@@ -1,0 +1,48 @@
+/// \file bench_ablation.cpp
+/// Experiment E11 (ablation): what the containment pruning of Definition 9
+/// buys. The expansion is rerun with pruning weakened to exact-duplicate
+/// detection only; the composite-state *representation* alone already
+/// collapses the per-n explosion, but containment is what shrinks the
+/// result to the essential states and cuts the visit count.
+
+#include <iostream>
+
+#include "core/expansion.hpp"
+#include "protocols/protocols.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ccver;
+
+  std::cout << "== E11: ablation -- containment pruning (Definition 9) vs "
+               "equality-only pruning ==\n\n";
+
+  TextTable table({"protocol", "essential states", "essential visits",
+                   "equality states", "equality visits", "visit ratio"});
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+
+    const ExpansionResult full = SymbolicExpander(p).run();
+
+    SymbolicExpander::Options weak;
+    weak.pruning = PruningMode::EqualityOnly;
+    const ExpansionResult eq = SymbolicExpander(p, weak).run();
+
+    char ratio[16];
+    std::snprintf(ratio, sizeof ratio, "%.1fx",
+                  static_cast<double>(eq.stats.visits) /
+                      static_cast<double>(full.stats.visits));
+    table.add_row({p.name(), std::to_string(full.essential.size()),
+                   std::to_string(full.stats.visits),
+                   std::to_string(eq.essential.size()),
+                   std::to_string(eq.stats.visits), ratio});
+  }
+  table.render(std::cout);
+
+  std::cout
+      << "\nReading: equality-only pruning still terminates (the canonical\n"
+         "composite lattice is finite) but reports every distinct composite\n"
+         "state it touches; containment pruning collapses those families\n"
+         "into the essential set with correspondingly fewer visits.\n";
+  return 0;
+}

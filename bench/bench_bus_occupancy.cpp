@@ -1,0 +1,125 @@
+/// \file bench_bus_occupancy.cpp
+/// Experiment E13 (substrate validation): an Archibald & Baer-style
+/// evaluation series. The protocol suite we verify comes from their
+/// TOCS'86 simulation study, whose headline figures plot bus occupancy
+/// per protocol against processor count and sharing behavior. This
+/// harness reproduces the *shape* of those results on our simulator:
+///  * write-broadcast protocols (Firefly, Dragon) win on read-shared and
+///    producer-consumer workloads (updates are cheaper than re-misses);
+///  * write-invalidate protocols win on migratory sharing (broadcasts
+///    push updates nobody reads);
+///  * ownership designs (Berkeley, MOESI, Dragon) save write-back traffic.
+
+#include <iostream>
+
+#include "protocols/protocols.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccver;
+
+/// Bus cycles per processor reference for one protocol/workload cell.
+double cycles_per_ref(const Protocol& p, const TraceConfig& cfg) {
+  Machine::Options opt;
+  opt.n_cpus = cfg.n_cpus;
+  const SimResult r = Machine(p, opt).run(generate_trace(cfg));
+  const double refs = static_cast<double>(r.stats.reads + r.stats.writes);
+  return static_cast<double>(r.stats.bus_cycles) / refs;
+}
+
+std::string fmt(double v) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "%.2f", v);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== E13: bus cycles per memory reference "
+               "(Archibald-Baer-style series) ==\n\n";
+
+  // Series 1: occupancy vs processor count, hot-set sharing.
+  {
+    TextTable table({"protocol", "n=2", "n=4", "n=8", "n=16"});
+    for (const protocols::NamedProtocol& np :
+         protocols::archibald_baer_suite()) {
+      const Protocol p = np.factory();
+      std::vector<std::string> row{p.name()};
+      for (const std::size_t n : {2u, 4u, 8u, 16u}) {
+        TraceConfig cfg;
+        cfg.n_cpus = n;
+        cfg.n_blocks = 64;
+        cfg.length = 50'000;
+        cfg.pattern = TracePattern::HotSet;
+        cfg.capacity = 16;
+        cfg.seed = 11;
+        row.push_back(fmt(cycles_per_ref(p, cfg)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "bus cycles / reference vs processor count (hot-set):\n";
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+
+  // Series 2: occupancy vs sharing pattern at n = 8.
+  {
+    TextTable table({"protocol", "uniform", "hot-set", "migratory",
+                     "producer-consumer"});
+    for (const protocols::NamedProtocol& np :
+         protocols::archibald_baer_suite()) {
+      const Protocol p = np.factory();
+      std::vector<std::string> row{p.name()};
+      for (const TracePattern pattern :
+           {TracePattern::Uniform, TracePattern::HotSet,
+            TracePattern::Migratory, TracePattern::ProducerConsumer}) {
+        TraceConfig cfg;
+        cfg.n_cpus = 8;
+        cfg.n_blocks = 64;
+        cfg.length = 50'000;
+        cfg.pattern = pattern;
+        cfg.capacity = 16;
+        cfg.seed = 12;
+        row.push_back(fmt(cycles_per_ref(p, cfg)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "bus cycles / reference vs sharing pattern (n = 8):\n";
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+
+  // Series 3: occupancy vs write fraction at n = 8, hot-set -- the
+  // invalidate/broadcast crossover.
+  {
+    TextTable table({"protocol", "w=0.1", "w=0.3", "w=0.5", "w=0.7"});
+    for (const char* name : {"Illinois", "Firefly", "Dragon", "Berkeley"}) {
+      const Protocol p = protocols::by_name(name);
+      std::vector<std::string> row{p.name()};
+      for (const double w : {0.1, 0.3, 0.5, 0.7}) {
+        TraceConfig cfg;
+        cfg.n_cpus = 8;
+        cfg.n_blocks = 64;
+        cfg.length = 50'000;
+        cfg.pattern = TracePattern::HotSet;
+        cfg.write_fraction = w;
+        cfg.capacity = 16;
+        cfg.seed = 13;
+        row.push_back(fmt(cycles_per_ref(p, cfg)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << "bus cycles / reference vs write fraction (n = 8, "
+                 "hot-set):\n";
+    table.render(std::cout);
+  }
+
+  std::cout << "\nReading: broadcast protocols stay flat as writes grow\n"
+               "(word-sized updates), invalidate protocols pay re-miss\n"
+               "traffic under fine-grain sharing but win on migratory\n"
+               "data -- the qualitative conclusions of the TOCS'86 study.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// \file bench_coverage.cpp
+/// Experiment E6: Theorem 1, validated empirically. For every protocol and
+/// cache count, exhaustively enumerate the reachable concrete states and
+/// check that each is symbolically characterized (covered) by one of the
+/// essential composite states. The paper proves this; the harness measures
+/// it, including *which* essential state covers how many concrete states.
+
+#include <iostream>
+
+#include "core/expansion.hpp"
+#include "enumeration/coverage.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/protocols.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ccver;
+
+  std::cout << "== E6: completeness of the essential states (Theorem 1) "
+               "==\n\n";
+
+  bool complete = true;
+  TextTable table({"protocol", "n", "reachable states", "covered",
+                   "uncovered"});
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    const ExpansionResult symbolic = SymbolicExpander(p).run();
+    for (const std::size_t n : {2u, 4u, 6u}) {
+      Enumerator::Options opt;
+      opt.n_caches = n;
+      opt.keep_states = true;
+      const EnumerationResult concrete = Enumerator(p, opt).run();
+      const CoverageReport coverage =
+          check_coverage(p, symbolic.essential, concrete.reachable);
+      complete = complete && coverage.complete();
+      table.add_row({p.name(), std::to_string(n),
+                     std::to_string(coverage.checked),
+                     std::to_string(coverage.covered),
+                     std::to_string(coverage.checked - coverage.covered)});
+    }
+  }
+  table.render(std::cout);
+
+  // Per-family population for Illinois at n = 6: how the concrete space
+  // decomposes into the five essential families (they may overlap; each
+  // state is attributed to the first covering family).
+  const Protocol p = protocols::illinois();
+  const ExpansionResult symbolic = SymbolicExpander(p).run();
+  Enumerator::Options opt;
+  opt.n_caches = 6;
+  opt.keep_states = true;
+  const EnumerationResult concrete = Enumerator(p, opt).run();
+
+  std::vector<std::size_t> family(symbolic.essential.size(), 0);
+  for (const EnumKey& key : concrete.reachable) {
+    for (std::size_t i = 0; i < symbolic.essential.size(); ++i) {
+      if (covers_concrete(p, symbolic.essential[i], key)) {
+        ++family[i];
+        break;
+      }
+    }
+  }
+  std::cout << "\nIllinois, n = 6: concrete states per essential family\n";
+  TextTable families({"essential state", "concrete states covered"});
+  for (std::size_t i = 0; i < symbolic.essential.size(); ++i) {
+    families.add_row(
+        {symbolic.essential[i].to_string(p), std::to_string(family[i])});
+  }
+  families.render(std::cout);
+
+  std::cout << (complete ? "\nAll reachable states covered -- Theorem 1 "
+                           "holds on every measured configuration.\n"
+                         : "\nCOVERAGE HOLE -- see rows above.\n");
+  return complete ? 0 : 1;
+}

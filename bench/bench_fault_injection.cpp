@@ -1,0 +1,86 @@
+/// \file bench_fault_injection.cpp
+/// Experiment E7: error-detection evaluation. Two parts:
+///  (a) the eight hand-crafted buggy variants -- classic coherence design
+///      slips -- each must be flagged with a counterexample;
+///  (b) a systematic single-rule mutation study over every protocol in the
+///      library: how many mutants the verifier kills, and the cross-check
+///      that every surviving mutant is concretely safe at n = 3 (the
+///      symbolic and exhaustive verdicts may never disagree).
+
+#include <iostream>
+
+#include "core/verifier.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ccver;
+  bool ok = true;
+
+  std::cout << "== E7a: hand-crafted defect detection ==\n\n";
+  TextTable defects({"variant", "detected", "invariant", "path length"});
+  for (const protocols::NamedMutant& variant : protocols::buggy_variants()) {
+    const Protocol p = variant.factory();
+    Verifier::Options opt;
+    opt.max_errors = 1;
+    opt.build_graph = false;
+    const VerificationReport report = Verifier(p, opt).verify();
+    if (report.ok) {
+      ok = false;
+      defects.add_row({variant.name, "NO", "-", "-"});
+    } else {
+      const VerificationError& err = report.errors.front();
+      defects.add_row({variant.name, "yes", err.violation.invariant,
+                       std::to_string(err.path.steps.size() - 1)});
+    }
+  }
+  defects.render(std::cout);
+
+  std::cout << "\n== E7b: systematic single-rule mutation study ==\n\n";
+  TextTable mutants({"protocol", "mutants", "killed", "survived",
+                     "kill rate", "survivors concretely safe (n=3)"});
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    std::size_t killed = 0;
+    std::size_t survived = 0;
+    std::size_t survivors_safe = 0;
+    for (const ProtocolMutant& m : ProtocolMutator::enumerate(p)) {
+      Verifier::Options opt;
+      opt.build_graph = false;
+      const VerificationReport report = Verifier(m.protocol, opt).verify();
+      if (!report.ok) {
+        ++killed;
+        continue;
+      }
+      ++survived;
+      Enumerator::Options eopt;
+      eopt.n_caches = 3;
+      if (Enumerator(m.protocol, eopt).run().errors.empty()) {
+        ++survivors_safe;
+      } else {
+        ok = false;  // symbolic verifier missed a concrete error
+      }
+    }
+    const std::size_t total = killed + survived;
+    char rate[16];
+    std::snprintf(rate, sizeof rate, "%.0f%%",
+                  total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(killed) /
+                                   static_cast<double>(total));
+    mutants.add_row({p.name(), std::to_string(total), std::to_string(killed),
+                     std::to_string(survived), rate,
+                     survived == 0
+                         ? "-"
+                         : std::to_string(survivors_safe) + "/" +
+                               std::to_string(survived)});
+  }
+  mutants.render(std::cout);
+
+  std::cout << "\nSurvivors are mutations that degrade performance without\n"
+               "breaking coherence (e.g. filling Shared instead of\n"
+               "Valid-Exclusive); each is double-checked by exhaustive\n"
+               "enumeration at n = 3.\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+/// \file bench_fig4_illinois.cpp
+/// Experiment E1 + E3: regenerate Figure 4 of the paper -- the global
+/// transition diagram of the Illinois protocol with the per-state
+/// attribute table -- and compare the headline numbers of Section 4
+/// ("after 22 state visits, five essential states").
+
+#include <iostream>
+
+#include "core/verifier.hpp"
+#include "protocols/protocols.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ccver;
+  const Protocol p = protocols::illinois();
+  const VerificationReport report = Verifier(p).verify();
+
+  std::cout << "== E1/E3: Figure 4 -- the Illinois global transition diagram "
+               "==\n\n";
+  std::cout << report.graph.render_figure(p) << '\n';
+
+  TextTable headline({"quantity", "paper (Sec. 4)", "measured"});
+  headline.add_row({"essential states", "5",
+                    std::to_string(report.essential.size())});
+  headline.add_row({"state visits", "22",
+                    std::to_string(report.stats.visits)});
+  headline.add_row({"data consistency", "satisfied",
+                    report.ok ? "satisfied" : "VIOLATED"});
+  headline.render(std::cout);
+  std::cout
+      << "\nNote: the measured visit count differs from the paper's by the\n"
+         "explicit rule-4(b) branch on the replacement from (Shared+, Inv*)\n"
+         "(both outcomes are counted as visits where the paper lists one\n"
+         "N-step line). See EXPERIMENTS.md.\n\n";
+
+  std::cout << "DOT rendering of the diagram (pipe into `dot -Tsvg`):\n\n"
+            << report.graph.to_dot(p);
+  return report.ok && report.essential.size() == 5 ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+/// \file bench_state_explosion.cpp
+/// Experiment E5: the state-space explosion of Section 3.1, measured.
+///
+/// The paper bounds exhaustive enumeration at m^n states and ~n*k*m^n
+/// visits, notes that counting equivalence (Definition 5) tames but does
+/// not remove the growth, and contrasts both with the symbolic expansion
+/// whose cost is independent of n. This harness produces that comparison
+/// as a table: for each protocol and cache count, the reachable state and
+/// visit counts under strict and counting equivalence, against the flat
+/// symbolic numbers.
+
+#include <iostream>
+
+#include "core/expansion.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/protocols.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ccver;
+
+  std::cout << "== E5: exhaustive enumeration vs symbolic expansion "
+               "(Section 3.1) ==\n\n";
+
+  for (const protocols::NamedProtocol& np : protocols::archibald_baer_suite()) {
+    const Protocol p = np.factory();
+    const ExpansionResult symbolic = SymbolicExpander(p).run();
+
+    TextTable table({"n caches", "strict states", "strict visits",
+                     "counting states", "counting visits", "symbolic states",
+                     "symbolic visits"});
+    for (std::size_t n = 1; n <= 12; ++n) {
+      std::string strict_states = "-";
+      std::string strict_visits = "-";
+      if (n <= 10) {  // strict equivalence blows up fastest; cap the sweep
+        Enumerator::Options strict;
+        strict.n_caches = n;
+        strict.equivalence = Equivalence::Strict;
+        const EnumerationResult rs = Enumerator(p, strict).run();
+        strict_states = std::to_string(rs.states);
+        strict_visits = std::to_string(rs.visits);
+      }
+
+      Enumerator::Options counting;
+      counting.n_caches = n;
+      counting.equivalence = Equivalence::Counting;
+      const EnumerationResult rc = Enumerator(p, counting).run();
+
+      table.add_row({std::to_string(n), strict_states, strict_visits,
+                     std::to_string(rc.states), std::to_string(rc.visits),
+                     std::to_string(symbolic.essential.size()),
+                     std::to_string(symbolic.stats.visits)});
+    }
+    std::cout << p.name() << " (|Q| = " << p.state_count() << "):\n";
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout
+      << "Reading: strict-equivalence states grow geometrically in n (the\n"
+         "paper's m^n bound), counting equivalence reduces this to\n"
+         "polynomial growth, and the symbolic columns are constant -- the\n"
+         "paper's headline claim.\n";
+  return 0;
+}

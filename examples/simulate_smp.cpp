@@ -1,0 +1,90 @@
+/// \file simulate_smp.cpp
+/// Trace-driven simulation of a snooping multiprocessor, in the style of
+/// the Archibald & Baer evaluation that the paper's protocol suite comes
+/// from: run every protocol against the same synthetic workload and
+/// compare miss rates, invalidations, broadcast updates, write-backs and
+/// bus traffic. Every read is gold-checked against the last stored value
+/// (Definition 3, enforced dynamically).
+///
+///   $ ./simulate_smp [pattern] [events]
+///
+/// pattern: uniform | hotset | migratory | producer (default: hotset)
+
+#include <cstring>
+#include <iostream>
+
+#include "protocols/protocols.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+ccver::TracePattern pattern_from(const char* name) {
+  using ccver::TracePattern;
+  if (std::strcmp(name, "uniform") == 0) return TracePattern::Uniform;
+  if (std::strcmp(name, "hotset") == 0) return TracePattern::HotSet;
+  if (std::strcmp(name, "migratory") == 0) return TracePattern::Migratory;
+  if (std::strcmp(name, "producer") == 0) {
+    return TracePattern::ProducerConsumer;
+  }
+  throw ccver::SpecError("unknown pattern (use uniform | hotset | migratory "
+                         "| producer)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccver;
+  try {
+    TraceConfig cfg;
+    cfg.n_cpus = 8;
+    cfg.n_blocks = 128;
+    cfg.length = argc > 2 ? std::stoul(argv[2]) : 200'000;
+    cfg.pattern = argc > 1 ? pattern_from(argv[1]) : TracePattern::HotSet;
+    cfg.capacity = 16;
+    cfg.seed = 2026;
+
+    const auto trace = generate_trace(cfg);
+    std::cout << "workload: " << to_string(cfg.pattern) << ", "
+              << cfg.length << " accesses, " << cfg.n_cpus << " cpus, "
+              << cfg.n_blocks << " blocks, " << cfg.capacity
+              << "-block caches\n\n";
+
+    TextTable table({"protocol", "miss rate", "invalidations", "updates",
+                     "writebacks", "bus transactions", "bus cycles",
+                     "stale reads"});
+    for (const protocols::NamedProtocol& np : protocols::all()) {
+      const Protocol p = np.factory();
+      Machine::Options opt;
+      opt.n_cpus = cfg.n_cpus;
+      const SimResult r = Machine(p, opt).run(trace);
+
+      const double accesses =
+          static_cast<double>(r.stats.reads + r.stats.writes);
+      char miss[16];
+      std::snprintf(miss, sizeof miss, "%.2f%%",
+                    100.0 * static_cast<double>(r.stats.misses) / accesses);
+      table.add_row({p.name(), miss, std::to_string(r.stats.invalidations),
+                     std::to_string(r.stats.updates),
+                     std::to_string(r.stats.writebacks),
+                     std::to_string(r.stats.bus_transactions),
+                     std::to_string(r.stats.bus_cycles),
+                     std::to_string(r.stats.stale_reads)});
+      if (!r.errors.empty()) {
+        std::cout << "!! " << p.name()
+                  << " reported an inconsistency: " << r.errors.front().detail
+                  << '\n';
+        return 1;
+      }
+    }
+    table.render(std::cout);
+    std::cout << "\nInvalidate protocols trade invalidations for misses;\n"
+                 "broadcast protocols (Firefly, Dragon) trade them for\n"
+                 "update traffic -- the contrast Archibald & Baer's study\n"
+                 "quantified and the paper's suite inherits.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

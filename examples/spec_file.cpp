@@ -1,0 +1,63 @@
+/// \file spec_file.cpp
+/// The specification-language workflow: load a protocol from a `.ccp` file
+/// and verify it, or dump the built-in library as `.ccp` files.
+///
+///   $ ./spec_file verify specs/illinois.ccp
+///   $ ./spec_file dump specs/
+///
+/// The shipped files under specs/ were generated with `dump` and round-trip
+/// to the exact built-in definitions (checked by the test suite).
+
+#include <cctype>
+#include <filesystem>
+#include <iostream>
+
+#include "core/verifier.hpp"
+#include "protocols/protocols.hpp"
+#include "spec/loader.hpp"
+
+namespace {
+
+int verify_file(const std::filesystem::path& path) {
+  using namespace ccver;
+  const Protocol p = load_protocol_file(path);
+  std::cout << "loaded " << p.name() << " from " << path << '\n';
+  const VerificationReport report = Verifier(p).verify();
+  std::cout << report.summary(p) << '\n';
+  if (report.ok) std::cout << '\n' << report.graph.render_figure(p);
+  return report.ok ? 0 : 1;
+}
+
+int dump_library(const std::filesystem::path& dir) {
+  using namespace ccver;
+  std::filesystem::create_directories(dir);
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    std::string file_name;
+    for (const char c : np.name) {
+      file_name +=
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const std::filesystem::path path = dir / (file_name + ".ccp");
+    save_protocol_file(np.factory(), path);
+    std::cout << "wrote " << path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 3 && std::string_view(argv[1]) == "verify") {
+      return verify_file(argv[2]);
+    }
+    if (argc == 3 && std::string_view(argv[1]) == "dump") {
+      return dump_library(argv[2]);
+    }
+    std::cerr << "usage: spec_file verify <file.ccp> | spec_file dump <dir>\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,199 @@
+#include "core/compare.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <optional>
+#include <sstream>
+
+#include <iterator>
+
+#include "core/verifier.hpp"
+#include "util/error.hpp"
+
+namespace ccver {
+
+namespace {
+
+/// Renames the cache states of `s` (expressed over protocol `a`) through
+/// the bijection `sigma` and re-canonicalizes over protocol `b`. Returns
+/// nullopt if the renamed structure is not canonical under `b` (cannot
+/// happen for true bijections, but keeps the search robust).
+std::optional<CompositeState> rename_state(
+    const Protocol& b, const CompositeState& s,
+    const std::array<StateId, kMaxStates>& sigma) {
+  CompositeState::ClassList renamed;
+  for (const ClassEntry& c : s.classes()) {
+    renamed.push_back(ClassEntry{sigma[c.state], c.rep, c.cdata});
+  }
+  const auto canon =
+      CompositeState::canonicalize(b, renamed, s.mdata(), s.level());
+  if (canon.size() != 1) return std::nullopt;
+  return canon[0];
+}
+
+}  // namespace
+
+ProtocolComparison compare_protocols(const Protocol& a, const Protocol& b) {
+  ProtocolComparison result;
+
+  // Operation tables must agree structurally (R/W/Z and any custom ops).
+  if (a.op_count() != b.op_count()) {
+    result.detail = "operation sets differ in size";
+    return result;
+  }
+  for (OpId o = 0; o < static_cast<OpId>(a.op_count()); ++o) {
+    if (a.op(o).is_write != b.op(o).is_write ||
+        a.op(o).is_replacement != b.op(o).is_replacement) {
+      result.detail = "operation kinds differ";
+      return result;
+    }
+  }
+  if (a.state_count() != b.state_count()) {
+    std::ostringstream os;
+    os << "state counts differ (|Q| = " << a.state_count() << " vs "
+       << b.state_count() << ")";
+    result.detail = os.str();
+    return result;
+  }
+
+  Verifier::Options opt;
+  const VerificationReport ra = Verifier(a, opt).verify();
+  const VerificationReport rb = Verifier(b, opt).verify();
+  if (!ra.ok || !rb.ok) {
+    throw ModelError("compare_protocols requires both protocols to verify");
+  }
+  if (ra.essential.size() != rb.essential.size()) {
+    std::ostringstream os;
+    os << "essential state counts differ (" << ra.essential.size() << " vs "
+       << rb.essential.size() << ")";
+    result.detail = os.str();
+    return result;
+  }
+  if (ra.graph.edges().size() != rb.graph.edges().size()) {
+    std::ostringstream os;
+    os << "edge counts differ (" << ra.graph.edges().size() << " vs "
+       << rb.graph.edges().size() << ")";
+    result.detail = os.str();
+    return result;
+  }
+
+  // Enumerate bijections over the valid states (Invalid maps to Invalid).
+  std::vector<StateId> a_valid;
+  std::vector<StateId> b_valid;
+  for (std::size_t s = 0; s < a.state_count(); ++s) {
+    if (a.is_valid_state(static_cast<StateId>(s))) {
+      a_valid.push_back(static_cast<StateId>(s));
+    }
+    if (b.is_valid_state(static_cast<StateId>(s))) {
+      b_valid.push_back(static_cast<StateId>(s));
+    }
+  }
+
+  std::vector<std::size_t> perm(b_valid.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    std::array<StateId, kMaxStates> sigma{};
+    sigma[a.invalid_state()] = b.invalid_state();
+    for (std::size_t i = 0; i < a_valid.size(); ++i) {
+      sigma[a_valid[i]] = b_valid[perm[i]];
+    }
+
+    // Map a's essential states through sigma and find each in b's list.
+    std::vector<std::optional<std::size_t>> node_map(ra.essential.size());
+    bool nodes_match = true;
+    for (std::size_t i = 0; i < ra.essential.size() && nodes_match; ++i) {
+      const auto renamed = rename_state(b, ra.essential[i], sigma);
+      if (!renamed.has_value()) {
+        nodes_match = false;
+        break;
+      }
+      for (std::size_t j = 0; j < rb.essential.size(); ++j) {
+        if (rb.essential[j] == *renamed) {
+          node_map[i] = j;
+          break;
+        }
+      }
+      nodes_match = node_map[i].has_value();
+    }
+    if (!nodes_match) continue;
+
+    // Edges must correspond one-to-one under the induced node mapping.
+    bool edges_match = true;
+    for (const ReachabilityGraph::Edge& e : ra.graph.edges()) {
+      const bool found = std::any_of(
+          rb.graph.edges().begin(), rb.graph.edges().end(),
+          [&](const ReachabilityGraph::Edge& f) {
+            return f.from == *node_map[e.from] && f.to == *node_map[e.to] &&
+                   f.label.op == e.label.op &&
+                   f.label.sharing == e.label.sharing &&
+                   f.label.origin_state == sigma[e.label.origin_state];
+          });
+      if (!found) {
+        edges_match = false;
+        break;
+      }
+    }
+    if (!edges_match) continue;
+
+    result.isomorphic = true;
+    for (std::size_t i = 0; i < a_valid.size(); ++i) {
+      result.state_mapping.emplace_back(a.state_name(a_valid[i]),
+                                        b.state_name(b_valid[perm[i]]));
+    }
+    return result;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  result.detail =
+      "no state renaming maps one global transition diagram onto the other";
+  return result;
+}
+
+namespace {
+
+/// Rendered (state, edge) text of a protocol's expansion, correctness not
+/// required.
+struct RenderedSpace {
+  std::vector<std::string> states;
+  std::vector<std::string> edges;
+};
+
+RenderedSpace render_space(const Protocol& p) {
+  const ExpansionResult r = SymbolicExpander(p).run();
+  const ReachabilityGraph g = ReachabilityGraph::build(p, r.essential);
+  RenderedSpace out;
+  for (const CompositeState& s : g.nodes()) {
+    out.states.push_back(s.to_string(p));
+  }
+  for (const ReachabilityGraph::Edge& e : g.edges()) {
+    out.edges.push_back(g.nodes()[e.from].to_string(p) + " --" +
+                        e.label.to_string(p) + "--> " +
+                        g.nodes()[e.to].to_string(p));
+  }
+  std::sort(out.states.begin(), out.states.end());
+  std::sort(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+std::vector<std::string> set_minus(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+ProtocolDiff diff_protocols(const Protocol& a, const Protocol& b) {
+  const RenderedSpace ra = render_space(a);
+  const RenderedSpace rb = render_space(b);
+  ProtocolDiff diff;
+  diff.states_only_in_a = set_minus(ra.states, rb.states);
+  diff.states_only_in_b = set_minus(rb.states, ra.states);
+  diff.edges_only_in_a = set_minus(ra.edges, rb.edges);
+  diff.edges_only_in_b = set_minus(rb.edges, ra.edges);
+  return diff;
+}
+
+}  // namespace ccver

@@ -1,0 +1,61 @@
+#pragma once
+/// \file compare.hpp
+/// Behavioral comparison of protocols through their global transition
+/// diagrams.
+///
+/// The paper's closing argument for the global state graph is that it
+/// "demonstrates the similarities and disparities among protocols". This
+/// module makes that precise: two protocols are *behaviorally isomorphic*
+/// when some renaming of their cache states maps one verified global
+/// diagram onto the other -- same essential states (including repetition
+/// operators, data attributes and characteristic values) and same labelled
+/// edges. Illinois and MESI are the canonical isomorphic pair; Synapse and
+/// MSI share a state count but differ in their diagrams.
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace ccver {
+
+/// Result of a behavioral comparison.
+struct ProtocolComparison {
+  bool isomorphic = false;
+  /// For isomorphic pairs: the discovered state renaming (a -> b).
+  std::vector<std::pair<std::string, std::string>> state_mapping;
+  /// For distinct pairs: a human-readable reason.
+  std::string detail;
+};
+
+/// Compares the verified global transition diagrams of `a` and `b` modulo
+/// cache-state renaming. Both protocols must verify cleanly (composite
+/// graphs only exist for permissible protocols); raises ModelError
+/// otherwise.
+[[nodiscard]] ProtocolComparison compare_protocols(const Protocol& a,
+                                                   const Protocol& b);
+
+/// A literal (name-matched, no renaming) difference between two global
+/// state spaces -- the designer's view of "what did my change do?".
+/// Works for erroneous protocols too: the expansion converges regardless
+/// of correctness, so a base can be diffed against its buggy variant to
+/// see exactly which states and transitions the defect introduces.
+struct ProtocolDiff {
+  std::vector<std::string> states_only_in_a;
+  std::vector<std::string> states_only_in_b;
+  std::vector<std::string> edges_only_in_a;
+  std::vector<std::string> edges_only_in_b;
+
+  [[nodiscard]] bool identical() const noexcept {
+    return states_only_in_a.empty() && states_only_in_b.empty() &&
+           edges_only_in_a.empty() && edges_only_in_b.empty();
+  }
+};
+
+/// Diffs the essential states and diagram edges of `a` and `b`, matching
+/// by rendered text (state names must coincide to match -- intended for
+/// base-vs-variant comparisons).
+[[nodiscard]] ProtocolDiff diff_protocols(const Protocol& a,
+                                          const Protocol& b);
+
+}  // namespace ccver

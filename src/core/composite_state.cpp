@@ -1,0 +1,381 @@
+#include "core/composite_state.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/string_util.hpp"
+
+namespace ccver {
+
+namespace {
+
+/// Ordering key used for the canonical class ordering.
+[[nodiscard]] std::uint16_t class_key(const ClassEntry& c) noexcept {
+  return static_cast<std::uint16_t>((c.state << 4) |
+                                    static_cast<std::uint8_t>(c.cdata));
+}
+
+}  // namespace
+
+CompositeState CompositeState::initial(const Protocol& p) {
+  CompositeState s;
+  s.classes_.push_back(
+      ClassEntry{p.invalid_state(), Rep::Plus, CData::NoData});
+  s.mdata_ = MData::Fresh;
+  s.level_ = SharingLevel::None;
+  return s;
+}
+
+Rep CompositeState::rep_of(StateId state, CData cdata) const noexcept {
+  for (const ClassEntry& c : classes_) {
+    if (c.state == state && c.cdata == cdata) return c.rep;
+  }
+  return Rep::Zero;
+}
+
+Rep CompositeState::rep_of_state(StateId state) const noexcept {
+  Rep acc = Rep::Zero;
+  for (const ClassEntry& c : classes_) {
+    if (c.state == state) acc = rep_merge(acc, c.rep);
+  }
+  return acc;
+}
+
+bool CompositeState::covered_by(const CompositeState& other) const noexcept {
+  // Both class lists are sorted by key; a merge-walk compares the
+  // repetition of every key present on either side (absent = Zero).
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < classes_.size() || j < other.classes_.size()) {
+    const bool take_left =
+        j >= other.classes_.size() ||
+        (i < classes_.size() &&
+         class_key(classes_[i]) <= class_key(other.classes_[j]));
+    const bool take_right =
+        i >= classes_.size() ||
+        (j < other.classes_.size() &&
+         class_key(other.classes_[j]) <= class_key(classes_[i]));
+    const Rep left = take_left ? classes_[i].rep : Rep::Zero;
+    const Rep right = take_right ? other.classes_[j].rep : Rep::Zero;
+    if (!rep_covered_by(left, right)) return false;
+    if (take_left) ++i;
+    if (take_right) ++j;
+  }
+  return true;
+}
+
+std::uint64_t CompositeState::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const ClassEntry& c : classes_) {
+    hash_combine(h, static_cast<std::uint64_t>(c.state));
+    hash_combine(h, static_cast<std::uint64_t>(c.rep));
+    hash_combine(h, static_cast<std::uint64_t>(c.cdata));
+  }
+  hash_combine(h, static_cast<std::uint64_t>(mdata_));
+  hash_combine(h, static_cast<std::uint64_t>(level_));
+  return h;
+}
+
+CountInterval valid_count_interval(const Protocol& p,
+                                   const CompositeState& s) {
+  CountInterval iv;
+  for (const ClassEntry& c : s.classes()) {
+    if (!p.is_valid_state(c.state)) continue;
+    iv.lo += rep_lo(c.rep);
+    iv.unbounded = iv.unbounded || rep_unbounded(c.rep);
+  }
+  return iv;
+}
+
+std::vector<CompositeState> CompositeState::canonicalize(
+    const Protocol& p, const ClassList& raw, MData mdata, SharingLevel level) {
+  // Step 1: normalize attributes, merge classes of equal key, sort.
+  ClassList merged;
+  for (const ClassEntry& entry : raw) {
+    if (entry.rep == Rep::Zero) continue;
+    ClassEntry c = entry;
+    if (!p.is_valid_state(c.state)) {
+      c.cdata = CData::NoData;
+    } else {
+      CCV_CHECK(c.cdata != CData::NoData,
+                "valid cache-state class must carry a data attribute");
+    }
+    bool found = false;
+    for (ClassEntry& m : merged) {
+      if (m.same_key(c)) {
+        m.rep = rep_merge(m.rep, c.rep);
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(c);
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ClassEntry& a, const ClassEntry& b) {
+              return class_key(a) < class_key(b);
+            });
+
+  // Step 2: feasibility and sharpening against the sharing level.
+  unsigned lo_sum = 0;
+  bool unbounded = false;
+  for (const ClassEntry& c : merged) {
+    if (!p.is_valid_state(c.state)) continue;
+    lo_sum += rep_lo(c.rep);
+    unbounded = unbounded || rep_unbounded(c.rep);
+  }
+
+  std::vector<CompositeState> out;
+  const auto emit = [&out, mdata, level](ClassList classes) {
+    CompositeState s;
+    s.classes_ = classes;
+    s.mdata_ = mdata;
+    s.level_ = level;
+    out.push_back(std::move(s));
+  };
+  const auto drop_flexible_valid = [&p](const ClassList& classes,
+                                        int keep_index) {
+    // Removes every valid class that can be empty, except `keep_index`.
+    ClassList kept;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      const ClassEntry& c = classes[i];
+      if (p.is_valid_state(c.state) && c.rep == Rep::Star &&
+          static_cast<int>(i) != keep_index) {
+        continue;
+      }
+      kept.push_back(c);
+    }
+    return kept;
+  };
+
+  switch (level) {
+    case SharingLevel::None: {
+      if (lo_sum > 0) return {};  // some valid copy surely exists
+      emit(drop_flexible_valid(merged, -1));
+      break;
+    }
+    case SharingLevel::One: {
+      if (lo_sum > 1) return {};
+      if (lo_sum == 1) {
+        // The single definite valid class holds the only copy.
+        ClassList classes = drop_flexible_valid(merged, -1);
+        for (ClassEntry& c : classes) {
+          if (p.is_valid_state(c.state) && c.rep == Rep::Plus) c.rep = Rep::One;
+        }
+        emit(classes);
+      } else {
+        // All valid classes are flexible; one of them holds the copy.
+        bool any = false;
+        for (std::size_t i = 0; i < merged.size(); ++i) {
+          if (!p.is_valid_state(merged[i].state)) continue;
+          CCV_CHECK(merged[i].rep == Rep::Star,
+                    "lo_sum==0 implies flexible valid classes");
+          ClassList classes = drop_flexible_valid(merged, static_cast<int>(i));
+          for (ClassEntry& c : classes) {
+            if (c.same_key(merged[i])) c.rep = Rep::One;
+          }
+          emit(classes);
+          any = true;
+        }
+        if (!any) return {};  // level One but no class can hold a copy
+      }
+      break;
+    }
+    case SharingLevel::Many: {
+      if (!unbounded && lo_sum < 2) return {};  // cannot reach two copies
+      ClassList classes = merged;
+      // Sharpen: a flexible valid class must be nonempty when the other
+      // valid classes cannot supply the two required copies on their own.
+      for (std::size_t i = 0; i < classes.size(); ++i) {
+        ClassEntry& c = classes[i];
+        if (!p.is_valid_state(c.state) || c.rep != Rep::Star) continue;
+        unsigned others_lo = 0;
+        bool others_unbounded = false;
+        for (std::size_t j = 0; j < classes.size(); ++j) {
+          if (j == i || !p.is_valid_state(classes[j].state)) continue;
+          others_lo += rep_lo(classes[j].rep);
+          others_unbounded =
+              others_unbounded || rep_unbounded(classes[j].rep);
+        }
+        if (!others_unbounded && others_lo < 2) {
+          // Others top out at others_lo copies; this class must contribute
+          // at least 2 - others_lo >= 1.
+          c.rep = Rep::Plus;
+        }
+      }
+      emit(classes);
+      break;
+    }
+  }
+  return out;
+}
+
+SmallVec<std::size_t, kMaxClasses> CompositeState::display_order(
+    const Protocol& p) const {
+  SmallVec<std::size_t, kMaxClasses> order;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (p.is_valid_state(classes_[i].state)) order.push_back(i);
+  }
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (!p.is_valid_state(classes_[i].state)) order.push_back(i);
+  }
+  return order;
+}
+
+std::string CompositeState::to_string(const Protocol& p) const {
+  std::ostringstream os;
+  os << '(';
+  bool first = true;
+  for (const std::size_t i : display_order(p)) {
+    const ClassEntry& c = classes_[i];
+    if (!first) os << ", ";
+    first = false;
+    os << p.state_name(c.state);
+    os << rep_suffix(c.rep);
+    if (c.cdata == CData::Obsolete) os << ":obsolete";
+  }
+  os << ") mem=" << ccver::to_string(mdata_);
+  // The level is printed only when the structure does not pin it.
+  const CountInterval iv = valid_count_interval(p, *this);
+  const bool ambiguous = iv.unbounded && iv.lo < 2;
+  if (ambiguous) os << " level=" << ccver::to_string(level_);
+  return os.str();
+}
+
+namespace {
+
+[[nodiscard]] std::string normalize_name(std::string_view s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == '-' || ch == '_') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return out;
+}
+
+[[nodiscard]] StateId resolve_state(const Protocol& p, std::string_view name) {
+  const std::string needle = normalize_name(name);
+  if (needle.empty()) throw SpecError("empty state name in composite state");
+  std::optional<StateId> match;
+  for (std::size_t i = 0; i < p.state_count(); ++i) {
+    const std::string full =
+        normalize_name(p.state_name(static_cast<StateId>(i)));
+    if (full == needle) return static_cast<StateId>(i);  // exact wins
+    if (starts_with(full, needle)) {
+      if (match.has_value()) {
+        throw SpecError("ambiguous state name prefix '" + std::string(name) +
+                        "' in protocol " + p.name());
+      }
+      match = static_cast<StateId>(i);
+    }
+  }
+  if (!match.has_value()) {
+    throw SpecError("unknown state name '" + std::string(name) +
+                    "' in protocol " + p.name());
+  }
+  return *match;
+}
+
+}  // namespace
+
+CompositeState CompositeState::parse(const Protocol& p,
+                                     std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  const std::size_t open = trimmed.find('(');
+  const std::size_t close = trimmed.find(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    throw SpecError("composite state must be parenthesized: '" +
+                    std::string(text) + "'");
+  }
+
+  ClassList raw;
+  for (const std::string& piece :
+       split(trimmed.substr(open + 1, close - open - 1), ',')) {
+    if (piece.empty()) continue;
+    std::string_view body = piece;
+    CData cdata = CData::Fresh;
+    if (const std::size_t colon = body.find(':');
+        colon != std::string_view::npos) {
+      const std::string_view attr = trim(body.substr(colon + 1));
+      if (attr == "fresh") {
+        cdata = CData::Fresh;
+      } else if (attr == "obsolete") {
+        cdata = CData::Obsolete;
+      } else {
+        throw SpecError("unknown cdata attribute '" + std::string(attr) + "'");
+      }
+      body = trim(body.substr(0, colon));
+    }
+    Rep rep = Rep::One;
+    if (!body.empty() && (body.back() == '+' || body.back() == '*')) {
+      rep = body.back() == '+' ? Rep::Plus : Rep::Star;
+      body = trim(body.substr(0, body.size() - 1));
+    }
+    const StateId state = resolve_state(p, body);
+    if (!p.is_valid_state(state)) cdata = CData::NoData;
+    raw.push_back(ClassEntry{state, rep, cdata});
+  }
+
+  MData mdata = MData::Fresh;
+  std::optional<SharingLevel> level;
+  std::istringstream tail{std::string(trimmed.substr(close + 1))};
+  std::string token;
+  while (tail >> token) {
+    if (starts_with(token, "mem=")) {
+      const std::string v = token.substr(4);
+      if (v == "fresh") {
+        mdata = MData::Fresh;
+      } else if (v == "obsolete") {
+        mdata = MData::Obsolete;
+      } else {
+        throw SpecError("unknown mdata value '" + v + "'");
+      }
+    } else if (starts_with(token, "level=")) {
+      const std::string v = token.substr(6);
+      if (v == "none") {
+        level = SharingLevel::None;
+      } else if (v == "one") {
+        level = SharingLevel::One;
+      } else if (v == "many") {
+        level = SharingLevel::Many;
+      } else {
+        throw SpecError("unknown level value '" + v + "'");
+      }
+    } else {
+      throw SpecError("unexpected token '" + token +
+                      "' after composite state");
+    }
+  }
+
+  if (!level.has_value()) {
+    // Infer from structure when unambiguous.
+    unsigned lo = 0;
+    bool unbounded = false;
+    for (const ClassEntry& c : raw) {
+      if (!p.is_valid_state(c.state)) continue;
+      lo += rep_lo(c.rep);
+      unbounded = unbounded || rep_unbounded(c.rep);
+    }
+    if (!unbounded) {
+      level = level_of_count(lo);
+    } else if (lo >= 2) {
+      level = SharingLevel::Many;
+    } else {
+      throw SpecError("composite state '" + std::string(text) +
+                      "' has an ambiguous sharing level; add level=...");
+    }
+  }
+
+  const std::vector<CompositeState> canon =
+      canonicalize(p, raw, mdata, *level);
+  if (canon.size() != 1) {
+    throw SpecError("composite state '" + std::string(text) +
+                    "' does not canonicalize to a unique state");
+  }
+  return canon[0];
+}
+
+}  // namespace ccver

@@ -1,0 +1,143 @@
+#pragma once
+/// \file composite_state.hpp
+/// Composite (symbolic) global states -- Definition 7 -- augmented with the
+/// context variables of Definition 4 and the characteristic value.
+///
+/// A composite state groups the caches of a system with an *arbitrary*
+/// number of caches into classes `q^r` (state symbol q, repetition operator
+/// r). We additionally attach to every class the abstract data attribute
+/// `cdata` of its members, and to the state as a whole the memory attribute
+/// `mdata` and the sharing level (the characteristic-function value).
+///
+/// Canonical form invariants (established by `canonicalize`):
+///  * classes are sorted by (state, cdata) and pairwise distinct;
+///  * no class has repetition Zero;
+///  * Invalid classes carry cdata = nodata; valid classes carry fresh or
+///    obsolete;
+///  * the class structure is *sharpened* against the sharing level: class
+///    count intervals incompatible with the level are refined (e.g. the
+///    sole valid class under level Many cannot be `*`), and impossible
+///    combinations are rejected as infeasible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/repetition.hpp"
+#include "core/sharing_level.hpp"
+#include "fsm/protocol.hpp"
+#include "util/small_vec.hpp"
+
+namespace ccver {
+
+/// Upper bound on the number of classes in a composite state: each of the
+/// at most kMaxStates-1 valid states can split into fresh/obsolete classes,
+/// plus the invalid class.
+inline constexpr std::size_t kMaxClasses = 2 * kMaxStates + 1;
+
+/// One cache-state class `q^r` with the data attribute of its members.
+struct ClassEntry {
+  StateId state = 0;
+  Rep rep = Rep::Zero;
+  CData cdata = CData::NoData;
+
+  [[nodiscard]] bool operator==(const ClassEntry& other) const = default;
+
+  /// Key ordering: classes are grouped by (state, cdata).
+  [[nodiscard]] bool same_key(const ClassEntry& other) const noexcept {
+    return state == other.state && cdata == other.cdata;
+  }
+};
+
+/// A canonical composite global state.
+class CompositeState {
+ public:
+  using ClassList = SmallVec<ClassEntry, kMaxClasses>;
+
+  /// The initial global state: every cache Invalid, memory fresh, no copies
+  /// (the paper's expansion starts from `(Invalid+)`).
+  [[nodiscard]] static CompositeState initial(const Protocol& p);
+
+  [[nodiscard]] const ClassList& classes() const noexcept { return classes_; }
+  [[nodiscard]] MData mdata() const noexcept { return mdata_; }
+  [[nodiscard]] SharingLevel level() const noexcept { return level_; }
+
+  /// Repetition operator for the (state, cdata) key; Zero if absent.
+  [[nodiscard]] Rep rep_of(StateId state, CData cdata) const noexcept;
+
+  /// Aggregated repetition for a state symbol across data attributes.
+  [[nodiscard]] Rep rep_of_state(StateId state) const noexcept;
+
+  /// Structural covering (Definition 8) extended pointwise to the
+  /// (state, cdata) keys: every key's repetition in *this is covered by the
+  /// same key's repetition in `other`.
+  [[nodiscard]] bool covered_by(const CompositeState& other) const noexcept;
+
+  /// Containment (Definition 9): structural covering plus equal
+  /// characteristic value -- and, since our states carry data attributes in
+  /// their identity, equal mdata (cdata equality is implied by the keys).
+  [[nodiscard]] bool contained_in(const CompositeState& other) const noexcept {
+    return level_ == other.level_ && mdata_ == other.mdata_ &&
+           covered_by(other);
+  }
+
+  [[nodiscard]] bool operator==(const CompositeState& other) const = default;
+
+  /// FNV-based hash over the canonical byte image.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  /// Indexes of `classes()` in display order: valid classes first (the
+  /// paper writes "(V-Ex, Invalid+)", valid copies leading), invalid last.
+  [[nodiscard]] SmallVec<std::size_t, kMaxClasses> display_order(
+      const Protocol& p) const;
+
+  /// Renders e.g. "(Dirty, Inv*) mem=obsolete" -- cdata shown only when it
+  /// is not the expectation (valid copies print ":obsolete", fresh is
+  /// implicit), level shown only when not implied by the structure.
+  [[nodiscard]] std::string to_string(const Protocol& p) const;
+
+  /// Parses the `to_string` format (used heavily by tests). Accepts state
+  /// names by unique case-insensitive prefix, optional ":fresh"/":obsolete"
+  /// cdata suffix, optional "mem=..." and "level=..." trailers. Throws
+  /// SpecError on malformed input or when the level is ambiguous and not
+  /// given.
+  [[nodiscard]] static CompositeState parse(const Protocol& p,
+                                            std::string_view text);
+
+  /// \name Construction from raw parts (canonicalizing)
+  /// Builds the feasible canonical refinements of a raw class list. The
+  /// result may be empty (the combination is infeasible for the level) or
+  /// contain several states (the level does not pin which flexible class
+  /// holds the last copy).
+  ///@{
+  [[nodiscard]] static std::vector<CompositeState> canonicalize(
+      const Protocol& p, const ClassList& raw, MData mdata,
+      SharingLevel level);
+  ///@}
+
+ private:
+  CompositeState() = default;
+
+  ClassList classes_;
+  MData mdata_ = MData::Fresh;
+  SharingLevel level_ = SharingLevel::None;
+};
+
+/// Interval of cache counts. Because every class interval is one of [1,1],
+/// [1,inf) or [0,inf), any sum is either the exact value `lo` (bounded) or
+/// the half-line [lo, inf) (unbounded).
+struct CountInterval {
+  unsigned lo = 0;
+  bool unbounded = false;
+
+  [[nodiscard]] bool admits(unsigned n) const noexcept {
+    return unbounded ? n >= lo : n == lo;
+  }
+};
+
+/// Interval of the number of valid copies implied by the class structure
+/// alone (before considering the level attribute).
+[[nodiscard]] CountInterval valid_count_interval(const Protocol& p,
+                                                 const CompositeState& s);
+
+}  // namespace ccver

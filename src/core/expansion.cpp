@@ -1,0 +1,427 @@
+#include "core/expansion.hpp"
+
+#include <cctype>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+namespace {
+
+constexpr unsigned kUnbounded = std::numeric_limits<unsigned>::max();
+
+[[nodiscard]] CData cdata_from_mdata(MData m) noexcept {
+  return m == MData::Fresh ? CData::Fresh : CData::Obsolete;
+}
+
+[[nodiscard]] MData mdata_from_cdata(CData c) {
+  CCV_CHECK(c != CData::NoData, "write-back from a copy that holds no data");
+  return c == CData::Fresh ? MData::Fresh : MData::Obsolete;
+}
+
+/// One resolution of the data micro-ops of a rule against the symbolic
+/// population (all caches except the originator). Supplier classes whose
+/// presence is uncertain (`*` repetition) split the scenario: the
+/// present-branch sharpens the class to `+`, the absent-branch removes it.
+struct Scenario {
+  CompositeState::ClassList population;  // pre-transition, originator removed
+  MData mdata;
+  std::optional<CData> load_value;
+};
+
+void resolve_load(const Protocol&, const Scenario& base,
+                  const SmallVec<StateId, kMaxStates>& sources,
+                  std::vector<Scenario>& out) {
+  Scenario cur = base;
+  for (const StateId src : sources) {
+    bool definite_found = false;
+    // Definite suppliers: classes of this state that surely have a member.
+    for (std::size_t i = 0; i < cur.population.size(); ++i) {
+      const ClassEntry& c = cur.population[i];
+      if (c.state != src) continue;
+      if (rep_definite(c.rep)) {
+        Scenario chosen = cur;
+        chosen.load_value = c.cdata;
+        out.push_back(std::move(chosen));
+        definite_found = true;
+      } else if (c.rep == Rep::Star) {
+        // Present-branch: the supplier exists; record the assumption by
+        // sharpening the class.
+        Scenario chosen = cur;
+        chosen.population[i].rep = Rep::Plus;
+        chosen.load_value = c.cdata;
+        out.push_back(std::move(chosen));
+      }
+    }
+    if (definite_found) return;  // a surely-present supplier blocks fallback
+    // Absent-branch: no cache of this state exists; drop its flexible
+    // classes and try the next preference.
+    for (std::size_t i = cur.population.size(); i-- > 0;) {
+      if (cur.population[i].state == src) cur.population.erase_at(i);
+    }
+  }
+  // Fallback: served by memory.
+  cur.load_value = cdata_from_mdata(cur.mdata);
+  out.push_back(std::move(cur));
+}
+
+void resolve_writeback_from(const Protocol&, const Scenario& base,
+                            StateId src, std::vector<Scenario>& out) {
+  bool definite_found = false;
+  for (std::size_t i = 0; i < base.population.size(); ++i) {
+    const ClassEntry& c = base.population[i];
+    if (c.state != src) continue;
+    if (rep_definite(c.rep)) {
+      Scenario chosen = base;
+      chosen.mdata = mdata_from_cdata(c.cdata);
+      out.push_back(std::move(chosen));
+      definite_found = true;
+    } else if (c.rep == Rep::Star) {
+      Scenario chosen = base;
+      chosen.population[i].rep = Rep::Plus;
+      chosen.mdata = mdata_from_cdata(c.cdata);
+      out.push_back(std::move(chosen));
+    }
+  }
+  if (definite_found) return;
+  // Absent-branch: no holder, the write-back does not happen.
+  Scenario none = base;
+  for (std::size_t i = none.population.size(); i-- > 0;) {
+    if (none.population[i].state == src) none.population.erase_at(i);
+  }
+  out.push_back(std::move(none));
+}
+
+[[nodiscard]] std::vector<Scenario> enumerate_scenarios(
+    const Protocol& p, const CompositeState& s, std::size_t origin_index,
+    const Rule& rule) {
+  const ClassEntry& origin = s.classes()[origin_index];
+
+  Scenario base;
+  base.mdata = s.mdata();
+  for (std::size_t i = 0; i < s.classes().size(); ++i) {
+    ClassEntry c = s.classes()[i];
+    if (i == origin_index) {
+      c.rep = rep_decrement(c.rep);
+      if (c.rep == Rep::Zero) continue;
+    }
+    base.population.push_back(c);
+  }
+
+  std::vector<Scenario> scenarios{std::move(base)};
+  for (const DataOp& d : rule.data_ops) {
+    switch (d.kind) {
+      case DataOpKind::LoadFromMemory:
+        for (Scenario& sc : scenarios) {
+          sc.load_value = cdata_from_mdata(sc.mdata);
+        }
+        break;
+      case DataOpKind::LoadPreferred: {
+        std::vector<Scenario> next;
+        for (const Scenario& sc : scenarios) {
+          resolve_load(p, sc, d.sources, next);
+        }
+        scenarios = std::move(next);
+        break;
+      }
+      case DataOpKind::WriteBackSelf:
+        for (Scenario& sc : scenarios) {
+          sc.mdata = mdata_from_cdata(origin.cdata);
+        }
+        break;
+      case DataOpKind::WriteBackFrom: {
+        std::vector<Scenario> next;
+        for (const Scenario& sc : scenarios) {
+          resolve_writeback_from(p, sc, d.sources[0], next);
+        }
+        scenarios = std::move(next);
+        break;
+      }
+      case DataOpKind::StoreSelf:
+      case DataOpKind::StoreThrough:
+      case DataOpKind::UpdateOthers:
+        break;  // handled in the store phase of apply_transition
+    }
+  }
+  return scenarios;
+}
+
+/// Applies the state phase, store phase and level analysis for one
+/// scenario; appends every feasible canonical successor state.
+void apply_transition(const Protocol& p, const CompositeState& s,
+                      std::size_t origin_index, const Rule& rule,
+                      const Scenario& scenario,
+                      std::vector<CompositeState>& out) {
+  const ClassEntry& origin = s.classes()[origin_index];
+  const bool orig_was_valid = p.is_valid_state(origin.state);
+  const bool orig_now_valid = p.is_valid_state(rule.self_next);
+
+  // ---- State phase: coincident transitions of the population.
+  CompositeState::ClassList entries;
+  for (const ClassEntry& c : scenario.population) {
+    const StateId next = rule.observed[c.state];
+    const CData cdata = p.is_valid_state(next) ? c.cdata : CData::NoData;
+    entries.push_back(ClassEntry{next, c.rep, cdata});
+  }
+
+  // Originator data value.
+  CData orig_cdata;
+  if (rule.loads()) {
+    CCV_CHECK(scenario.load_value.has_value(),
+              "load scenario resolved without a value");
+    orig_cdata = *scenario.load_value;
+  } else {
+    orig_cdata = origin.cdata;
+  }
+  MData mdata = scenario.mdata;
+
+  // ---- Store phase (Definition 3): age every copy of the old value, then
+  // apply write-through / write-broadcast, then freshen the writer.
+  if (rule.stores()) {
+    for (ClassEntry& e : entries) {
+      if (e.cdata == CData::Fresh) e.cdata = CData::Obsolete;
+    }
+    if (mdata == MData::Fresh) mdata = MData::Obsolete;
+    for (const DataOp& d : rule.data_ops) {
+      if (d.kind == DataOpKind::UpdateOthers) {
+        for (ClassEntry& e : entries) {
+          if (p.is_valid_state(e.state)) e.cdata = CData::Fresh;
+        }
+      }
+      if (d.kind == DataOpKind::StoreThrough) mdata = MData::Fresh;
+    }
+    orig_cdata = CData::Fresh;
+  }
+  if (!orig_now_valid) orig_cdata = CData::NoData;
+  entries.push_back(ClassEntry{rule.self_next, Rep::One, orig_cdata});
+
+  // ---- Sharing-level analysis.
+  // Effective lower bounds of the pre-transition population, sharpened by
+  // the pre-level: if the level promises more valid copies than the class
+  // structure shows and exactly one flexible valid class exists, the
+  // deficit must live there (e.g. `Shared+` under level Many holds >= 2).
+  unsigned pop_lo = 0;
+  std::size_t flexible_valid = 0;
+  std::size_t flexible_index = 0;
+  for (std::size_t i = 0; i < scenario.population.size(); ++i) {
+    const ClassEntry& c = scenario.population[i];
+    if (!p.is_valid_state(c.state)) continue;
+    pop_lo += rep_lo(c.rep);
+    if (rep_unbounded(c.rep)) {
+      ++flexible_valid;
+      flexible_index = i;
+    }
+  }
+  const unsigned orig_contrib = orig_was_valid ? 1U : 0U;
+  const unsigned pre_min = level_min(s.level());
+  const unsigned deficit =
+      pre_min > pop_lo + orig_contrib ? pre_min - pop_lo - orig_contrib : 0U;
+
+  // Post-transition interval of the number of valid copies.
+  unsigned post_lo = orig_now_valid ? 1U : 0U;
+  bool post_unbounded = false;
+  for (std::size_t i = 0; i < scenario.population.size(); ++i) {
+    const ClassEntry& c = scenario.population[i];
+    if (!p.is_valid_state(rule.observed[c.state])) continue;
+    unsigned lo = rep_lo(c.rep);
+    if (deficit > 0 && flexible_valid == 1 && i == flexible_index) {
+      lo += deficit;
+    }
+    post_lo += lo;
+    post_unbounded = post_unbounded || rep_unbounded(c.rep);
+  }
+  // Upper bound inherited from the pre-level when it pins the population
+  // count exactly (levels None and One are exact categories).
+  unsigned post_hi = post_unbounded ? kUnbounded : post_lo;
+  if (s.level() != SharingLevel::Many) {
+    const unsigned pop_max = level_min(s.level()) >= orig_contrib
+                                 ? level_min(s.level()) - orig_contrib
+                                 : 0U;
+    const unsigned cap = pop_max + (orig_now_valid ? 1U : 0U);
+    if (cap < post_hi) post_hi = cap;
+    if (post_lo > post_hi) post_lo = post_hi;  // defensive; should not occur
+  }
+
+  SmallVec<SharingLevel, 3> candidates;
+  if (post_lo == 0) candidates.push_back(SharingLevel::None);
+  if (post_lo <= 1 && post_hi >= 1) candidates.push_back(SharingLevel::One);
+  if (post_hi >= 2) candidates.push_back(SharingLevel::Many);
+
+  for (const SharingLevel level : candidates) {
+    for (CompositeState& succ :
+         CompositeState::canonicalize(p, entries, mdata, level)) {
+      out.push_back(std::move(succ));
+    }
+  }
+}
+
+}  // namespace
+
+std::string EdgeLabel::to_string(const Protocol& p) const {
+  std::string name = p.state_name(origin_state);
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return p.op(op).name + "_" + name;
+}
+
+std::vector<Successor> successors(const Protocol& p,
+                                  const CompositeState& s) {
+  std::vector<Successor> out;
+  for (std::size_t ci = 0; ci < s.classes().size(); ++ci) {
+    const ClassEntry& cls = s.classes()[ci];
+    if (!rep_possible(cls.rep)) continue;
+    const bool orig_valid = p.is_valid_state(cls.state);
+    CCV_CHECK(!(orig_valid && s.level() == SharingLevel::None),
+              "canonical state holds a valid class under level none");
+    const bool sharing = sharing_seen_by(s.level(), orig_valid);
+
+    for (OpId op = 0; op < static_cast<OpId>(p.op_count()); ++op) {
+      const Rule* rule = p.find_rule(cls.state, op, sharing);
+      if (rule == nullptr) continue;
+      const EdgeLabel label{op, cls.state, sharing};
+      for (const Scenario& scenario :
+           enumerate_scenarios(p, s, ci, *rule)) {
+        std::vector<CompositeState> states;
+        apply_transition(p, s, ci, *rule, scenario, states);
+        for (CompositeState& st : states) {
+          out.push_back(Successor{std::move(st), label});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string_view to_string(VisitDisposition d) noexcept {
+  switch (d) {
+    case VisitDisposition::Added: return "added";
+    case VisitDisposition::ContainedInVisited: return "contained";
+    case VisitDisposition::SupersededExisting: return "supersedes";
+    case VisitDisposition::SupersededSource: return "supersedes-source";
+  }
+  return "?";
+}
+
+SymbolicExpander::SymbolicExpander(const Protocol& p, Options options)
+    : protocol_(&p), options_(options) {}
+
+ExpansionResult SymbolicExpander::run() const {
+  return run(CompositeState::initial(*protocol_));
+}
+
+ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
+  const Protocol& p = *protocol_;
+  ExpansionResult result;
+
+  // Working and visited lists hold indices into the append-only archive so
+  // that counterexample paths survive containment pruning.
+  std::deque<std::size_t> work;
+  std::vector<std::size_t> visited;
+
+  result.archive.push_back(ArchiveEntry{initial, -1, {}});
+  work.push_back(0);
+
+  const auto state_at = [&result](std::size_t idx) -> const CompositeState& {
+    return result.archive[idx].state;
+  };
+
+  while (!work.empty()) {
+    const std::size_t current = work.front();
+    work.pop_front();
+    ++result.stats.expansions;
+
+    bool current_superseded = false;
+    for (const Successor& succ : successors(p, state_at(current))) {
+      ++result.stats.visits;
+      if (result.stats.visits > options_.max_visits) {
+        throw ModelError("symbolic expansion exceeded max_visits (" +
+                         std::to_string(options_.max_visits) + ")");
+      }
+
+      VisitDisposition disposition = VisitDisposition::Added;
+      const bool containment_pruning =
+          options_.pruning == PruningMode::Containment;
+      const auto subsumed = [&](const CompositeState& a,
+                                const CompositeState& b) {
+        return containment_pruning ? a.contained_in(b) : a == b;
+      };
+
+      // Discard if subsumed by the source, a working state or a visited
+      // state (Figure 3, first branch).
+      bool discard = subsumed(succ.state, state_at(current));
+      if (!discard) {
+        for (const std::size_t idx : work) {
+          if (subsumed(succ.state, state_at(idx))) {
+            discard = true;
+            break;
+          }
+        }
+      }
+      if (!discard) {
+        for (const std::size_t idx : visited) {
+          if (subsumed(succ.state, state_at(idx))) {
+            discard = true;
+            break;
+          }
+        }
+      }
+
+      if (discard) {
+        ++result.stats.discarded_contained;
+        disposition = VisitDisposition::ContainedInVisited;
+      } else {
+        if (containment_pruning) {
+          // Evict working/visited states contained in the newcomer.
+          const auto evict = [&](auto& container) {
+            for (auto it = container.begin(); it != container.end();) {
+              if (state_at(*it).contained_in(succ.state)) {
+                it = container.erase(it);
+                ++result.stats.evicted;
+                disposition = VisitDisposition::SupersededExisting;
+              } else {
+                ++it;
+              }
+            }
+          };
+          evict(work);
+          evict(visited);
+        }
+
+        result.archive.push_back(ArchiveEntry{
+            succ.state, static_cast<std::int64_t>(current), succ.label});
+        work.push_back(result.archive.size() - 1);
+
+        if (containment_pruning &&
+            state_at(current).contained_in(succ.state)) {
+          // Figure 3: "discard A and terminate all FOR loops starting a
+          // new run" -- the newcomer regenerates everything A would.
+          disposition = VisitDisposition::SupersededSource;
+          current_superseded = true;
+        }
+      }
+
+      if (options_.record_trace) {
+        result.trace.push_back(VisitRecord{state_at(current), succ.label,
+                                           succ.state, disposition});
+      }
+      if (current_superseded) {
+        ++result.stats.source_restarts;
+        break;
+      }
+    }
+
+    if (!current_superseded) visited.push_back(current);
+  }
+
+  result.essential.reserve(visited.size());
+  for (const std::size_t idx : visited) {
+    result.essential.push_back(state_at(idx));
+  }
+  return result;
+}
+
+}  // namespace ccver

@@ -1,0 +1,134 @@
+#pragma once
+/// \file expansion.hpp
+/// Symbolic state-space expansion: successor generation over composite
+/// states and the essential-state algorithm of Figure 3.
+///
+/// Successor generation implements the rules of Section 3.2.3 --
+/// aggregation, coincident transitions and one-step transitions -- in a
+/// single uniform step: one cache of a chosen class originates an
+/// operation, the remaining members of its class and all other classes take
+/// their coincident (observed) transitions, the data micro-ops update the
+/// context variables, and the result is re-canonicalized. The paper's
+/// N-step rules 4(a)/4(b) arise as fixpoints of repeated one-step
+/// application through the worklist: the canonical composite-state lattice
+/// is finite, so the chain `(Q, q2^1, q1^*) -> (Q, q2^+, q1^*) -> ...`
+/// stabilizes after at most two steps and the intermediate states are
+/// pruned by containment exactly as the paper prescribes.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/composite_state.hpp"
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// Label of a global transition: which operation, originated by a cache in
+/// which state, under which sharing-detection value.
+struct EdgeLabel {
+  OpId op = 0;
+  StateId origin_state = 0;
+  bool sharing = false;
+
+  [[nodiscard]] bool operator==(const EdgeLabel& other) const = default;
+
+  /// Paper notation: operation with the originator state as subscript,
+  /// e.g. "R_inv", "W_shared", "Z_dirty".
+  [[nodiscard]] std::string to_string(const Protocol& p) const;
+};
+
+/// One generated successor.
+struct Successor {
+  CompositeState state;
+  EdgeLabel label;
+};
+
+/// Generates every canonical successor of `s` reachable in one transition.
+/// Multiple successors may share a label (supplier-presence and
+/// sharing-level branches).
+[[nodiscard]] std::vector<Successor> successors(const Protocol& p,
+                                                const CompositeState& s);
+
+/// What happened to one generated state during the Figure-3 run; used by
+/// the Appendix A.2 trace reproduction.
+enum class VisitDisposition : std::uint8_t {
+  Added,                ///< new state, inserted into the working list
+  ContainedInVisited,   ///< discarded: contained in a W/H state (or in A)
+  SupersededExisting,   ///< inserted, evicting contained W/H states
+  SupersededSource,     ///< inserted and contains its own source A
+};
+
+[[nodiscard]] std::string_view to_string(VisitDisposition d) noexcept;
+
+/// One line of the expansion trace (one "state visit" in the paper's
+/// counting: Section 4 reports 22 such visits for the Illinois protocol).
+struct VisitRecord {
+  CompositeState from;
+  EdgeLabel label;
+  CompositeState to;
+  VisitDisposition disposition = VisitDisposition::Added;
+};
+
+/// Aggregate statistics of one expansion run.
+struct ExpansionStats {
+  std::size_t visits = 0;             ///< successor states generated
+  std::size_t expansions = 0;         ///< states taken from the working list
+  std::size_t discarded_contained = 0;
+  std::size_t evicted = 0;            ///< W/H states removed by supersession
+  std::size_t source_restarts = 0;    ///< "discard A and start a new run"
+};
+
+/// Ancestry record for counterexample reconstruction: every state that was
+/// ever inserted into the working list, with the transition that produced
+/// it. Entry 0 is the initial state (parent = -1).
+struct ArchiveEntry {
+  CompositeState state;
+  std::int64_t parent = -1;  ///< index into the archive
+  EdgeLabel via;             ///< meaningless for the initial state
+};
+
+/// Result of the essential-state generation algorithm.
+struct ExpansionResult {
+  std::vector<CompositeState> essential;  ///< the final H list
+  ExpansionStats stats;
+  std::vector<ArchiveEntry> archive;
+  std::vector<VisitRecord> trace;  ///< populated when Options::record_trace
+};
+
+/// How the working/visited lists are pruned during expansion.
+enum class PruningMode : std::uint8_t {
+  /// Figure 3: discard states contained in a kept state, evict kept states
+  /// contained in a newcomer. Produces the minimal essential set.
+  Containment = 0,
+  /// Ablation baseline: only exact duplicates are discarded. Converges to
+  /// the full set of distinct canonical composite states -- measurably
+  /// more states and visits (bench_ablation), same reachability verdicts.
+  EqualityOnly = 1,
+};
+
+/// The essential-state generation algorithm of Figure 3.
+class SymbolicExpander {
+ public:
+  struct Options {
+    bool record_trace = false;
+    PruningMode pruning = PruningMode::Containment;
+    std::size_t max_visits = 1'000'000;  ///< safety valve; throws ModelError
+  };
+
+  explicit SymbolicExpander(const Protocol& p) : SymbolicExpander(p, Options{}) {}
+  SymbolicExpander(const Protocol& p, Options options);
+
+  /// Runs from the canonical initial state `(Invalid+)`.
+  [[nodiscard]] ExpansionResult run() const;
+
+  /// Runs from an arbitrary seed state.
+  [[nodiscard]] ExpansionResult run(const CompositeState& initial) const;
+
+ private:
+  const Protocol* protocol_;
+  Options options_;
+};
+
+}  // namespace ccver

@@ -1,0 +1,137 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/dot.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace ccver {
+
+ReachabilityGraph ReachabilityGraph::build(
+    const Protocol& p, const std::vector<CompositeState>& essential) {
+  ReachabilityGraph g;
+  g.nodes_ = essential;
+
+  for (std::size_t from = 0; from < g.nodes_.size(); ++from) {
+    for (const Successor& succ : successors(p, g.nodes_[from])) {
+      const auto to = g.find_containing(succ.state);
+      CCV_CHECK(to.has_value(),
+                "successor of an essential state is not contained in any "
+                "essential state (completeness violation)");
+      const bool duplicate =
+          std::any_of(g.edges_.begin(), g.edges_.end(), [&](const Edge& e) {
+            return e.from == from && e.to == *to && e.label == succ.label;
+          });
+      if (!duplicate) {
+        g.edges_.push_back(Edge{from, *to, succ.label, false});
+      }
+    }
+  }
+
+  // Mark N-steps edges: a non-loop edge whose operation/originator also
+  // self-loops on its source or target is the collapsed form of the
+  // paper's rule-4 chains (repeated application of the same transition).
+  for (Edge& e : g.edges_) {
+    if (e.from == e.to) continue;
+    e.n_steps = std::any_of(
+        g.edges_.begin(), g.edges_.end(), [&e](const Edge& other) {
+          return other.from == other.to &&
+                 (other.from == e.to || other.from == e.from) &&
+                 other.label.op == e.label.op &&
+                 other.label.origin_state == e.label.origin_state;
+        });
+  }
+  return g;
+}
+
+std::optional<std::size_t> ReachabilityGraph::find_containing(
+    const CompositeState& s) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == s) return i;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (s.contained_in(nodes_[i])) return i;
+  }
+  return std::nullopt;
+}
+
+std::string ReachabilityGraph::sharing_vector(const Protocol& p,
+                                              const CompositeState& s) {
+  std::ostringstream os;
+  os << '(';
+  bool first = true;
+  for (const std::size_t i : s.display_order(p)) {
+    if (!first) os << ", ";
+    first = false;
+    const bool self_valid = p.is_valid_state(s.classes()[i].state);
+    os << (sharing_seen_by(s.level(), self_valid) ? "true" : "false");
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string ReachabilityGraph::cdata_vector(const Protocol& p,
+                                            const CompositeState& s) {
+  std::ostringstream os;
+  os << '(';
+  bool first = true;
+  for (const std::size_t i : s.display_order(p)) {
+    if (!first) os << ", ";
+    first = false;
+    os << to_string(s.classes()[i].cdata);
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string ReachabilityGraph::to_dot(const Protocol& p) const {
+  DotGraph dot(p.name());
+  std::vector<std::size_t> ids;
+  ids.reserve(nodes_.size());
+  for (const CompositeState& n : nodes_) {
+    ids.push_back(dot.add_node(n.to_string(p)));
+  }
+  for (const Edge& e : edges_) {
+    std::string label = e.label.to_string(p);
+    if (e.n_steps) label += "^n";
+    dot.add_edge(ids[e.from], ids[e.to], std::move(label));
+  }
+  return dot.to_string();
+}
+
+std::string ReachabilityGraph::render_figure(const Protocol& p) const {
+  std::ostringstream os;
+  os << "Global transition diagram for " << p.name() << " ("
+     << nodes_.size() << " essential states)\n\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    os << "  s" << i << " = " << nodes_[i].to_string(p) << '\n';
+  }
+  os << '\n';
+  for (const Edge& e : edges_) {
+    os << "  s" << e.from << " --" << e.label.to_string(p)
+       << (e.n_steps ? "^n" : "") << "--> s" << e.to << '\n';
+  }
+  os << '\n';
+
+  TextTable table({"state", "sharing (F)", "cdata", "mdata"});
+  for (const CompositeState& n : nodes_) {
+    std::ostringstream structure;
+    structure << '(';
+    bool first = true;
+    for (const std::size_t i : n.display_order(p)) {
+      if (!first) structure << ", ";
+      first = false;
+      structure << p.state_name(n.classes()[i].state)
+                << rep_suffix(n.classes()[i].rep);
+    }
+    structure << ')';
+    table.add_row({structure.str(), sharing_vector(p, n), cdata_vector(p, n),
+                   std::string(to_string(n.mdata()))});
+  }
+  table.render(os);
+  return os.str();
+}
+
+}  // namespace ccver

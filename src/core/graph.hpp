@@ -1,0 +1,67 @@
+#pragma once
+/// \file graph.hpp
+/// The global transition diagram over essential states (Figure 4).
+///
+/// After the essential states have converged, each is re-expanded once and
+/// every successor is mapped to the essential state that contains it (such
+/// a state must exist by Theorem 1 -- the build asserts it). Edges whose
+/// source and target coincide with a same-labelled self-loop on the target
+/// are the footprint of the paper's N-steps rule; `render_figure` marks
+/// them with the paper's ^n superscript.
+
+#include <string>
+#include <vector>
+
+#include "core/expansion.hpp"
+
+namespace ccver {
+
+/// A directed multigraph over essential composite states.
+class ReachabilityGraph {
+ public:
+  struct Edge {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    EdgeLabel label;
+    bool n_steps = false;  ///< same transition also self-loops on `to`
+  };
+
+  /// Builds the graph for `essential` (in the given order) by one-step
+  /// re-expansion. Throws InternalError if a successor is not contained in
+  /// any essential state (a completeness violation).
+  [[nodiscard]] static ReachabilityGraph build(
+      const Protocol& p, const std::vector<CompositeState>& essential);
+
+  [[nodiscard]] const std::vector<CompositeState>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Index of the essential state containing `s`, preferring equality.
+  [[nodiscard]] std::optional<std::size_t> find_containing(
+      const CompositeState& s) const;
+
+  /// Graphviz DOT rendering of the diagram.
+  [[nodiscard]] std::string to_dot(const Protocol& p) const;
+
+  /// Figure-4 style text: the transition list followed by the attribute
+  /// table (per-class sharing-detection values, cdata, mdata).
+  [[nodiscard]] std::string render_figure(const Protocol& p) const;
+
+  /// The per-class sharing vector of a state, e.g. "(false, true)" --
+  /// the value of f for a cache in each class, in class order.
+  [[nodiscard]] static std::string sharing_vector(const Protocol& p,
+                                                  const CompositeState& s);
+
+  /// The per-class cdata vector, e.g. "(fresh, nodata)".
+  [[nodiscard]] static std::string cdata_vector(const Protocol& p,
+                                                const CompositeState& s);
+
+ private:
+  std::vector<CompositeState> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ccver

@@ -1,0 +1,127 @@
+#include "core/invariants.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+Invariant::Invariant(std::string name, CheckFn check)
+    : name_(std::move(name)), check_(std::move(check)) {
+  CCV_CHECK(static_cast<bool>(check_), "Invariant requires a predicate");
+}
+
+std::optional<Violation> Invariant::check(const Protocol& p,
+                                          const CompositeState& s) const {
+  if (auto detail = check_(p, s); detail.has_value()) {
+    return Violation{name_, std::move(*detail)};
+  }
+  return std::nullopt;
+}
+
+Invariant Invariant::data_consistency() {
+  return Invariant(
+      "data-consistency",
+      [](const Protocol& p,
+         const CompositeState& s) -> std::optional<std::string> {
+        for (const ClassEntry& c : s.classes()) {
+          if (p.is_valid_state(c.state) && c.cdata == CData::Obsolete) {
+            std::ostringstream os;
+            os << "a cache in state " << p.state_name(c.state)
+               << " holds an obsolete copy that its processor can read "
+                  "(Definition 3)";
+            return os.str();
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+Invariant Invariant::no_lost_value() {
+  return Invariant(
+      "no-lost-value",
+      [](const Protocol&,
+         const CompositeState& s) -> std::optional<std::string> {
+        if (s.level() == SharingLevel::None && s.mdata() == MData::Obsolete) {
+          return std::string(
+              "no cache holds a copy and memory is obsolete: the last "
+              "stored value has been lost");
+        }
+        return std::nullopt;
+      });
+}
+
+namespace {
+
+/// True if two or more copies of `state` may coexist in some configuration
+/// of `s`: either the definite count is >= 2, or some class of that state
+/// has an unbounded repetition (a correct protocol keeps a unique state as
+/// a singleton class, so `+`/`*` can only arise from genuinely duplicating
+/// transitions).
+[[nodiscard]] bool multiple_copies_possible(const CompositeState& s,
+                                            StateId state) {
+  unsigned own_lo = 0;
+  bool own_unbounded = false;
+  for (const ClassEntry& c : s.classes()) {
+    if (c.state != state) continue;
+    own_lo += rep_lo(c.rep);
+    own_unbounded = own_unbounded || rep_unbounded(c.rep);
+  }
+  return own_lo >= 2 || own_unbounded;
+}
+
+}  // namespace
+
+Invariant Invariant::exclusivity(StateId state) {
+  return Invariant(
+      "exclusivity", [state](const Protocol& p, const CompositeState& s)
+                         -> std::optional<std::string> {
+        if (multiple_copies_possible(s, state)) {
+          return "state " + p.state_name(state) +
+                 " is declared exclusive but two or more copies may coexist";
+        }
+        bool own_possible = false;
+        bool other_possible = false;
+        for (const ClassEntry& c : s.classes()) {
+          if (!p.is_valid_state(c.state) || !rep_possible(c.rep)) continue;
+          if (c.state == state) {
+            own_possible = true;
+          } else {
+            other_possible = true;
+          }
+        }
+        if (own_possible && other_possible) {
+          return "state " + p.state_name(state) +
+                 " is declared exclusive but may coexist with another valid "
+                 "copy";
+        }
+        return std::nullopt;
+      });
+}
+
+Invariant Invariant::uniqueness(StateId state) {
+  return Invariant(
+      "uniqueness", [state](const Protocol& p, const CompositeState& s)
+                        -> std::optional<std::string> {
+        if (multiple_copies_possible(s, state)) {
+          return "state " + p.state_name(state) +
+                 " is declared unique but two or more copies may coexist";
+        }
+        return std::nullopt;
+      });
+}
+
+std::vector<Invariant> Invariant::standard_for(const Protocol& p) {
+  std::vector<Invariant> out;
+  out.push_back(data_consistency());
+  out.push_back(no_lost_value());
+  for (const ExclusivityInvariant& e : p.exclusivity()) {
+    out.push_back(exclusivity(e.state));
+  }
+  for (const StateId s : p.unique_states()) {
+    out.push_back(uniqueness(s));
+  }
+  return out;
+}
+
+}  // namespace ccver

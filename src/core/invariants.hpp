@@ -1,0 +1,74 @@
+#pragma once
+/// \file invariants.hpp
+/// Correctness conditions evaluated over composite states.
+///
+/// The primary condition is data consistency (Definition 3), checked
+/// through the context variables: a reachable composite state in which some
+/// cache could read an obsolete copy is erroneous. Protocols additionally
+/// declare structural invariants (exclusive states, Section 2.1's semantic
+/// interpretations); both kinds are monotone under containment, so checking
+/// the states retained by the expansion archive is sufficient.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/composite_state.hpp"
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// A reported invariant violation.
+struct Violation {
+  std::string invariant;  ///< invariant name, e.g. "data-consistency"
+  std::string detail;     ///< human-readable description
+
+  [[nodiscard]] bool operator==(const Violation& other) const = default;
+};
+
+/// A named predicate over composite states. Returns a violation
+/// description when the state is erroneous. Predicates must be monotone
+/// under containment: if S1 is contained in S2 and S1 violates, S2 must
+/// violate too (the paper relies on this to prune contained states safely).
+class Invariant {
+ public:
+  using CheckFn = std::function<std::optional<std::string>(
+      const Protocol&, const CompositeState&)>;
+
+  Invariant(std::string name, CheckFn check);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Evaluates the predicate; empty result means the state is permissible.
+  [[nodiscard]] std::optional<Violation> check(const Protocol& p,
+                                               const CompositeState& s) const;
+
+  /// Definition 3: no cache may hold a readable (valid) copy whose data
+  /// attribute is obsolete.
+  [[nodiscard]] static Invariant data_consistency();
+
+  /// No reachable state may strand the last fresh value: if no cache holds
+  /// a copy, memory must be fresh (otherwise every subsequent miss returns
+  /// stale data). This shortens counterexamples for write-back bugs.
+  [[nodiscard]] static Invariant no_lost_value();
+
+  /// A state declared exclusive (e.g. Dirty) may admit at most one copy
+  /// system-wide, and no other valid copy may coexist with it.
+  [[nodiscard]] static Invariant exclusivity(StateId state);
+
+  /// A state declared unique (e.g. Berkeley's Shared-Dirty) may admit at
+  /// most one copy system-wide, though other valid states may coexist.
+  [[nodiscard]] static Invariant uniqueness(StateId state);
+
+  /// The standard battery for a protocol: data consistency, no-lost-value,
+  /// one exclusivity invariant per declared exclusive state, and one
+  /// uniqueness invariant per declared unique state.
+  [[nodiscard]] static std::vector<Invariant> standard_for(const Protocol& p);
+
+ private:
+  std::string name_;
+  CheckFn check_;
+};
+
+}  // namespace ccver

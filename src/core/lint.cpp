@@ -1,0 +1,88 @@
+#include "core/lint.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace ccver {
+
+std::vector<LintWarning> lint_protocol(const Protocol& p) {
+  const ExpansionResult r = SymbolicExpander(p).run();
+
+  // A state is live if some reachable composite state may populate it; the
+  // archive covers every state that ever entered the working list, which
+  // includes everything the essential states subsume.
+  std::array<bool, kMaxStates> state_live{};
+  state_live[p.invalid_state()] = true;
+  for (const ArchiveEntry& entry : r.archive) {
+    for (const ClassEntry& c : entry.state.classes()) {
+      if (rep_possible(c.rep)) state_live[c.state] = true;
+    }
+  }
+
+  // A rule is live if re-expanding some essential state fires a transition
+  // matching its (from, op, guard) triple. Guard Any fires under either
+  // sharing value.
+  std::vector<bool> rule_live(p.rules().size(), false);
+  for (const CompositeState& s : r.essential) {
+    for (const Successor& succ : successors(p, s)) {
+      for (std::size_t i = 0; i < p.rules().size(); ++i) {
+        const Rule& rule = p.rules()[i];
+        const bool guard_matches =
+            rule.guard == SharingGuard::Any ||
+            (succ.label.sharing ? rule.guard == SharingGuard::Shared
+                                : rule.guard == SharingGuard::Unshared);
+        if (rule.from == succ.label.origin_state &&
+            rule.op == succ.label.op && guard_matches) {
+          rule_live[i] = true;
+        }
+      }
+    }
+  }
+
+  std::vector<LintWarning> warnings;
+  for (std::size_t s = 0; s < p.state_count(); ++s) {
+    if (!state_live[s]) {
+      warnings.push_back(LintWarning{
+          LintWarning::Kind::DeadState,
+          "state " + p.state_name(static_cast<StateId>(s)) +
+              " is declared but no reachable global state populates it"});
+    }
+  }
+  for (std::size_t i = 0; i < p.rules().size(); ++i) {
+    if (rule_live[i]) continue;
+    const Rule& rule = p.rules()[i];
+    if (!state_live[rule.from]) continue;  // subsumed by the dead-state report
+    std::ostringstream os;
+    os << "rule (" << p.state_name(rule.from) << ", " << p.op(rule.op).name
+       << ", " << to_string(rule.guard)
+       << ") can never fire from any reachable state";
+    warnings.push_back(
+        LintWarning{LintWarning::Kind::DeadRule, os.str()});
+  }
+
+  // A live state that stalls processor operations must offer the stalled
+  // processor a way forward on its own (a non-stall rule leaving the
+  // state); relying solely on other caches to abort it starves a lone
+  // processor forever.
+  for (std::size_t s = 0; s < p.state_count(); ++s) {
+    if (!state_live[s]) continue;
+    bool stalls = false;
+    bool self_exit = false;
+    for (const Rule& rule : p.rules()) {
+      if (rule.from != static_cast<StateId>(s)) continue;
+      stalls = stalls || rule.is_stall;
+      self_exit = self_exit ||
+                  (!rule.is_stall && rule.self_next != rule.from);
+    }
+    if (stalls && !self_exit) {
+      warnings.push_back(LintWarning{
+          LintWarning::Kind::StuckTransient,
+          "state " + p.state_name(static_cast<StateId>(s)) +
+              " stalls the processor but has no self-initiated exit "
+              "(missing completion rule?)"});
+    }
+  }
+  return warnings;
+}
+
+}  // namespace ccver

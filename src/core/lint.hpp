@@ -1,0 +1,48 @@
+#pragma once
+/// \file lint.hpp
+/// Specification liveness diagnostics.
+///
+/// Builder validation guarantees a protocol is *well-formed*; the verifier
+/// decides whether it is *correct*. Between the two sits a class of specs
+/// that are well-formed and even correct but suspicious: declared states
+/// the system can never globally reach, rules that can never fire (their
+/// guard is unsatisfiable from the reachable states), and transient states
+/// that stall the processor with no self-initiated way out. These are
+/// design smells -- usually leftovers of an edit or an unsatisfiable guard
+/// -- that a verifier-as-design-tool should surface.
+
+#include <string>
+#include <vector>
+
+#include "core/expansion.hpp"
+
+namespace ccver {
+
+/// One lint finding.
+struct LintWarning {
+  enum class Kind : std::uint8_t {
+    DeadState,        ///< never populated in any reachable composite state
+    DeadRule,         ///< never fires from any reachable composite state
+    StuckTransient,   ///< stalls processor ops but has no self-initiated exit
+  };
+  Kind kind = Kind::DeadState;
+  std::string detail;
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    LintWarning::Kind k) noexcept {
+  switch (k) {
+    case LintWarning::Kind::DeadState: return "dead-state";
+    case LintWarning::Kind::DeadRule: return "dead-rule";
+    case LintWarning::Kind::StuckTransient: return "stuck-transient";
+  }
+  return "?";
+}
+
+/// Lints `p` against its own reachable symbolic state space. Runs a fresh
+/// expansion internally (cheap: microseconds for every protocol in the
+/// library). All library protocols are lint-clean; the test suite pins
+/// that.
+[[nodiscard]] std::vector<LintWarning> lint_protocol(const Protocol& p);
+
+}  // namespace ccver

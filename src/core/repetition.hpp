@@ -1,0 +1,108 @@
+#pragma once
+/// \file repetition.hpp
+/// The repetition operators of Definition 6 and their algebra.
+///
+/// A cache-state class `q^r` describes how many caches sit in state q:
+///   0 (null instance), 1 (singleton), + (at least one), * (zero or more).
+/// Each operator denotes an interval of counts; the aggregation rules of
+/// Section 3.2.3 are interval addition followed by re-coarsening into the
+/// operator alphabet, and the information ordering (1 < + < *, 0 < *) of
+/// Section 3.2.2 is interval inclusion.
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace ccver {
+
+/// Repetition operator attached to a cache-state class.
+enum class Rep : std::uint8_t {
+  Zero = 0,  ///< no cache in this state (classes with Zero are elided)
+  One = 1,   ///< exactly one cache
+  Plus = 2,  ///< at least one cache
+  Star = 3,  ///< zero or more caches
+};
+
+/// Lower bound of the count interval denoted by `r`.
+[[nodiscard]] constexpr unsigned rep_lo(Rep r) noexcept {
+  return (r == Rep::One || r == Rep::Plus) ? 1U : 0U;
+}
+
+/// True if the interval denoted by `r` is unbounded above.
+[[nodiscard]] constexpr bool rep_unbounded(Rep r) noexcept {
+  return r == Rep::Plus || r == Rep::Star;
+}
+
+/// Upper bound of the count interval (UINT_MAX encodes unbounded).
+[[nodiscard]] constexpr unsigned rep_hi(Rep r) noexcept {
+  if (rep_unbounded(r)) return std::numeric_limits<unsigned>::max();
+  return r == Rep::One ? 1U : 0U;
+}
+
+/// Coarsens a count interval back into the operator alphabet. Intervals
+/// with lower bound >= 2 collapse to `+` -- the paper keeps the "two or
+/// more" information in the characteristic-function value instead of adding
+/// an operator (Section 4, discussion of the plus operator).
+[[nodiscard]] constexpr Rep rep_from_interval(unsigned lo,
+                                              bool unbounded) noexcept {
+  if (lo == 0) return unbounded ? Rep::Star : Rep::Zero;
+  if (lo == 1 && !unbounded) return Rep::One;
+  return unbounded ? Rep::Plus : Rep::Plus;  // lo >= 2 bounded also -> Plus
+}
+
+/// Aggregation (rule 1 of Section 3.2.3): merging two classes of the same
+/// state symbol adds their count intervals.
+[[nodiscard]] constexpr Rep rep_merge(Rep a, Rep b) noexcept {
+  const unsigned lo = rep_lo(a) + rep_lo(b);
+  const bool unbounded = rep_unbounded(a) || rep_unbounded(b) ||
+                         lo >= 2;  // bounded [2,2] coarsens to Plus anyway
+  return rep_from_interval(lo, unbounded);
+}
+
+/// Information ordering of Section 3.2.2 extended with the null instance:
+/// r1 <= r2 iff the interval of r1 is included in the interval of r2.
+/// (0 <= 0, 0 <= *, 1 <= 1/+/*, + <= +/*, * <= *).
+[[nodiscard]] constexpr bool rep_covered_by(Rep r1, Rep r2) noexcept {
+  switch (r2) {
+    case Rep::Star: return true;
+    case Rep::Plus: return r1 == Rep::One || r1 == Rep::Plus;
+    case Rep::One: return r1 == Rep::One;
+    case Rep::Zero: return r1 == Rep::Zero;
+  }
+  return false;
+}
+
+/// Removes one instance from a class (the originator of a transition).
+/// Requires an instance to exist (`r != Zero`).
+[[nodiscard]] constexpr Rep rep_decrement(Rep r) noexcept {
+  switch (r) {
+    case Rep::One: return Rep::Zero;
+    case Rep::Plus: return Rep::Star;
+    case Rep::Star: return Rep::Star;  // assumed nonempty when originating
+    case Rep::Zero: return Rep::Zero;  // guarded by callers
+  }
+  return Rep::Zero;
+}
+
+/// True if the class surely contains at least one cache.
+[[nodiscard]] constexpr bool rep_definite(Rep r) noexcept {
+  return r == Rep::One || r == Rep::Plus;
+}
+
+/// True if the class may contain at least one cache.
+[[nodiscard]] constexpr bool rep_possible(Rep r) noexcept {
+  return r != Rep::Zero;
+}
+
+/// Display suffix: "", "+", "*" ("0" never appears in canonical states).
+[[nodiscard]] constexpr std::string_view rep_suffix(Rep r) noexcept {
+  switch (r) {
+    case Rep::Zero: return "^0";
+    case Rep::One: return "";
+    case Rep::Plus: return "+";
+    case Rep::Star: return "*";
+  }
+  return "?";
+}
+
+}  // namespace ccver

@@ -1,0 +1,69 @@
+#include "core/report_json.hpp"
+
+#include "util/json.hpp"
+
+namespace ccver {
+
+std::string report_to_json(const VerificationReport& report,
+                           const Protocol& p) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("protocol").value(report.protocol);
+  json.key("ok").value(report.ok);
+
+  json.key("essential_states").begin_array();
+  for (const CompositeState& s : report.essential) {
+    json.value(s.to_string(p));
+  }
+  json.end_array();
+
+  json.key("stats").begin_object();
+  json.key("visits").value(report.stats.visits);
+  json.key("expansions").value(report.stats.expansions);
+  json.key("discarded_contained").value(report.stats.discarded_contained);
+  json.key("evicted").value(report.stats.evicted);
+  json.end_object();
+
+  json.key("errors").begin_array();
+  for (const VerificationError& e : report.errors) {
+    json.begin_object();
+    json.key("invariant").value(e.violation.invariant);
+    json.key("detail").value(e.violation.detail);
+    json.key("state").value(e.state.to_string(p));
+    json.key("path").begin_array();
+    for (const Counterexample::Step& step : e.path.steps) {
+      json.begin_object();
+      json.key("label").value(step.label);
+      json.key("state").value(step.state);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+
+  if (report.ok) {
+    json.key("graph").begin_object();
+    json.key("nodes").begin_array();
+    for (const CompositeState& n : report.graph.nodes()) {
+      json.value(n.to_string(p));
+    }
+    json.end_array();
+    json.key("edges").begin_array();
+    for (const ReachabilityGraph::Edge& e : report.graph.edges()) {
+      json.begin_object();
+      json.key("from").value(e.from);
+      json.key("to").value(e.to);
+      json.key("label").value(e.label.to_string(p));
+      json.key("n_steps").value(e.n_steps);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace ccver

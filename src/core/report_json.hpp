@@ -1,0 +1,24 @@
+#pragma once
+/// \file report_json.hpp
+/// Machine-readable (JSON) rendering of verification reports, for CI
+/// pipelines that gate on protocol correctness.
+
+#include <string>
+
+#include "core/verifier.hpp"
+
+namespace ccver {
+
+/// Serializes the report:
+/// {
+///   "protocol": ..., "ok": ..., "essential_states": [...],
+///   "stats": {"visits": ..., "expansions": ...},
+///   "errors": [{"invariant": ..., "detail": ..., "state": ...,
+///               "path": [{"label": ..., "state": ...}, ...]}, ...],
+///   "graph": {"nodes": [...], "edges": [{"from": i, "to": j,
+///             "label": ..., "n_steps": bool}, ...]}   // when ok
+/// }
+[[nodiscard]] std::string report_to_json(const VerificationReport& report,
+                                         const Protocol& p);
+
+}  // namespace ccver

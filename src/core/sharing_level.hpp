@@ -1,0 +1,74 @@
+#pragma once
+/// \file sharing_level.hpp
+/// The characteristic-function value attached to composite states.
+///
+/// For the protocols the paper considers, the characteristic function F is
+/// either null or the sharing-detection function. Appendix A.1 enumerates
+/// its three possible value vectors: v1 (no cached copy), v2 (exactly one
+/// cached copy) and v3 (two or more). We carry this three-way category --
+/// the *sharing level* -- as an attribute of every composite state; it is
+/// what lets the engine distinguish `(Shared+, Inv*)` from `(Shared, Inv+)`
+/// (states s3 and s4 in Section 4) and it makes containment (Definition 9)
+/// decidable without re-deriving F.
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/small_vec.hpp"
+
+namespace ccver {
+
+/// Number of valid (non-Invalid) cached copies, as a category.
+enum class SharingLevel : std::uint8_t {
+  None = 0,  ///< v1: no cache holds a copy
+  One = 1,   ///< v2: exactly one cache holds a copy
+  Many = 2,  ///< v3: two or more caches hold copies
+};
+
+[[nodiscard]] constexpr std::string_view to_string(SharingLevel l) noexcept {
+  switch (l) {
+    case SharingLevel::None: return "none";
+    case SharingLevel::One: return "one";
+    case SharingLevel::Many: return "many";
+  }
+  return "?";
+}
+
+/// Category of a concrete copy count.
+[[nodiscard]] constexpr SharingLevel level_of_count(unsigned n) noexcept {
+  if (n == 0) return SharingLevel::None;
+  return n == 1 ? SharingLevel::One : SharingLevel::Many;
+}
+
+/// Minimum copy count admitted by a level.
+[[nodiscard]] constexpr unsigned level_min(SharingLevel l) noexcept {
+  return static_cast<unsigned>(l);
+}
+
+/// Adding one copy to the system: exact category arithmetic.
+[[nodiscard]] constexpr SharingLevel level_plus_one(SharingLevel l) noexcept {
+  return l == SharingLevel::None ? SharingLevel::One : SharingLevel::Many;
+}
+
+/// Removing one copy: `Many - 1` is ambiguous ({One, Many}); callers branch.
+[[nodiscard]] inline SmallVec<SharingLevel, 2> level_minus_one(
+    SharingLevel l) noexcept {
+  switch (l) {
+    case SharingLevel::None: return {};  // nothing to remove; caller guards
+    case SharingLevel::One: return {SharingLevel::None};
+    case SharingLevel::Many: return {SharingLevel::One, SharingLevel::Many};
+  }
+  return {};
+}
+
+/// The sharing-detection function f_i from the perspective of a cache whose
+/// own state validity is `self_valid`, in a system at level `l`:
+/// "does some *other* cache hold a valid copy?" This is deterministic given
+/// the level -- the engine never needs to branch on f.
+[[nodiscard]] constexpr bool sharing_seen_by(SharingLevel l,
+                                             bool self_valid) noexcept {
+  if (self_valid) return l == SharingLevel::Many;
+  return l != SharingLevel::None;
+}
+
+}  // namespace ccver

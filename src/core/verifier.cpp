@@ -1,0 +1,116 @@
+#include "core/verifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+std::string Counterexample::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i == 0) {
+      os << "  start: " << steps[i].state << '\n';
+    } else {
+      os << "  --" << steps[i].label << "--> " << steps[i].state << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string VerificationReport::summary(const Protocol& p) const {
+  std::ostringstream os;
+  os << "protocol " << protocol << ": "
+     << (ok ? "VERIFIED" : "ERRONEOUS") << " -- " << essential.size()
+     << " essential states, " << stats.visits << " state visits, "
+     << stats.expansions << " expansions";
+  if (!ok) {
+    os << ", " << errors.size() << " error(s):\n";
+    for (const VerificationError& e : errors) {
+      os << "  [" << e.violation.invariant << "] in state "
+         << e.state.to_string(p) << ": " << e.violation.detail << '\n';
+      os << e.path.to_string();
+    }
+  }
+  return os.str();
+}
+
+Verifier::Verifier(const Protocol& p, Options options)
+    : protocol_(&p),
+      options_(options),
+      invariants_(Invariant::standard_for(p)) {}
+
+void Verifier::add_invariant(Invariant invariant) {
+  invariants_.push_back(std::move(invariant));
+}
+
+void Verifier::set_invariants(std::vector<Invariant> invariants) {
+  invariants_ = std::move(invariants);
+}
+
+ExpansionResult Verifier::expand() const {
+  SymbolicExpander::Options opt;
+  opt.max_visits = options_.max_visits;
+  opt.record_trace = options_.record_trace;
+  return SymbolicExpander(*protocol_, opt).run();
+}
+
+namespace {
+
+Counterexample reconstruct_path(const Protocol& p,
+                                const std::vector<ArchiveEntry>& archive,
+                                std::size_t index) {
+  std::vector<std::size_t> chain;
+  for (std::int64_t cur = static_cast<std::int64_t>(index); cur >= 0;
+       cur = archive[static_cast<std::size_t>(cur)].parent) {
+    chain.push_back(static_cast<std::size_t>(cur));
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  Counterexample path;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const ArchiveEntry& entry = archive[chain[i]];
+    Counterexample::Step step;
+    step.state = entry.state.to_string(p);
+    if (i > 0) step.label = entry.via.to_string(p);
+    path.steps.push_back(std::move(step));
+  }
+  return path;
+}
+
+}  // namespace
+
+VerificationReport Verifier::verify() const {
+  const Protocol& p = *protocol_;
+  VerificationReport report;
+  report.protocol = p.name();
+
+  const ExpansionResult expansion = expand();
+  report.essential = expansion.essential;
+  report.stats = expansion.stats;
+
+  // Every archived state was judged reachable at some point (archive
+  // entries are only created for states inserted into the working list);
+  // the invariants are monotone under containment, so this covers the
+  // pruned states as well.
+  for (std::size_t i = 0; i < expansion.archive.size(); ++i) {
+    if (report.errors.size() >= options_.max_errors) break;
+    const CompositeState& s = expansion.archive[i].state;
+    for (const Invariant& inv : invariants_) {
+      if (auto v = inv.check(p, s); v.has_value()) {
+        report.errors.push_back(VerificationError{
+            std::move(*v), s, reconstruct_path(p, expansion.archive, i)});
+        if (report.errors.size() >= options_.max_errors) break;
+      }
+    }
+  }
+
+  report.ok = report.errors.empty();
+  if (report.ok && options_.build_graph) {
+    report.graph = ReachabilityGraph::build(p, report.essential);
+  }
+  return report;
+}
+
+}  // namespace ccver

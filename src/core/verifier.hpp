@@ -1,0 +1,81 @@
+#pragma once
+/// \file verifier.hpp
+/// The top-level verification entry point: run the symbolic expansion,
+/// evaluate the correctness conditions over every reachable composite
+/// state, and assemble a report with the global transition diagram and --
+/// for incorrect protocols -- a counterexample path.
+
+#include <string>
+#include <vector>
+
+#include "core/expansion.hpp"
+#include "core/graph.hpp"
+#include "core/invariants.hpp"
+
+namespace ccver {
+
+/// A path from the initial state to an erroneous state, as rendered text.
+struct Counterexample {
+  struct Step {
+    std::string label;  ///< transition label; empty for the initial state
+    std::string state;  ///< rendered composite state
+  };
+  std::vector<Step> steps;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One detected error.
+struct VerificationError {
+  Violation violation;
+  CompositeState state;
+  Counterexample path;
+};
+
+/// The outcome of verifying one protocol.
+struct VerificationReport {
+  std::string protocol;
+  bool ok = false;
+  std::vector<CompositeState> essential;
+  ExpansionStats stats;
+  std::vector<VerificationError> errors;
+  ReachabilityGraph graph;  ///< built over the essential states when ok
+
+  /// One-paragraph human summary.
+  [[nodiscard]] std::string summary(const Protocol& p) const;
+};
+
+/// Verification driver. By default checks the standard invariant battery
+/// (data consistency, no-lost-value, declared exclusivity); additional
+/// invariants can be registered before `verify()`.
+class Verifier {
+ public:
+  struct Options {
+    std::size_t max_errors = 8;      ///< stop collecting after this many
+    std::size_t max_visits = 1'000'000;
+    bool build_graph = true;         ///< skip for pure pass/fail checks
+    bool record_trace = false;       ///< keep the full visit trace
+  };
+
+  explicit Verifier(const Protocol& p) : Verifier(p, Options{}) {}
+  Verifier(const Protocol& p, Options options);
+
+  /// Adds a custom invariant to the battery.
+  void add_invariant(Invariant invariant);
+
+  /// Replaces the whole battery (rarely needed; used by tests).
+  void set_invariants(std::vector<Invariant> invariants);
+
+  /// Runs the expansion and checks every archived reachable state.
+  [[nodiscard]] VerificationReport verify() const;
+
+  /// Access to the raw expansion (used by benches and the A.2 trace).
+  [[nodiscard]] ExpansionResult expand() const;
+
+ private:
+  const Protocol* protocol_;
+  Options options_;
+  std::vector<Invariant> invariants_;
+};
+
+}  // namespace ccver

@@ -1,0 +1,57 @@
+#include "enumeration/coverage.hpp"
+
+#include <array>
+
+namespace ccver {
+
+bool covers_concrete(const Protocol& p, const CompositeState& s,
+                     const EnumKey& key) {
+  // Population counts per (state, cdata) and the number of valid copies.
+  std::array<std::array<unsigned, 3>, kMaxStates> counts{};
+  unsigned valid = 0;
+  for (std::size_t i = 0; i < key.cells.size(); ++i) {
+    const StateId st = key_state(key, i);
+    ++counts[st][static_cast<std::size_t>(key_cdata(key, i))];
+    if (p.is_valid_state(st)) ++valid;
+  }
+
+  if (s.mdata() != key_mdata(key)) return false;
+  if (s.level() != level_of_count(valid)) return false;
+
+  // Every populated (state, cdata) must be admitted by the class
+  // repetition, and every definite class must be populated.
+  for (std::size_t st = 0; st < p.state_count(); ++st) {
+    for (std::size_t cd = 0; cd < 3; ++cd) {
+      const unsigned n = counts[st][cd];
+      const Rep rep = s.rep_of(static_cast<StateId>(st),
+                               static_cast<CData>(cd));
+      if (n < rep_lo(rep)) return false;             // definite class empty
+      if (n > rep_hi(rep)) return false;             // population too large
+    }
+  }
+  return true;
+}
+
+CoverageReport check_coverage(const Protocol& p,
+                              const std::vector<CompositeState>& essential,
+                              const std::vector<EnumKey>& reachable) {
+  CoverageReport report;
+  for (const EnumKey& key : reachable) {
+    ++report.checked;
+    bool covered = false;
+    for (const CompositeState& s : essential) {
+      if (covers_concrete(p, s, key)) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) {
+      ++report.covered;
+    } else if (report.uncovered.size() < 16) {
+      report.uncovered.push_back(key);
+    }
+  }
+  return report;
+}
+
+}  // namespace ccver

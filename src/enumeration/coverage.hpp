@@ -1,0 +1,37 @@
+#pragma once
+/// \file coverage.hpp
+/// Theorem-1 cross-validation: every reachable concrete state (for any
+/// fixed n) must be symbolically characterized by -- covered by -- one of
+/// the essential composite states reported by the symbolic expansion.
+
+#include <string>
+#include <vector>
+
+#include "core/composite_state.hpp"
+#include "enumeration/enum_state.hpp"
+
+namespace ccver {
+
+/// True if the concrete state `key` belongs to the family of
+/// configurations denoted by the composite state `s`: equal memory
+/// attribute and sharing level, and every (state, cdata) population count
+/// admitted by the corresponding class repetition (absent classes admit
+/// only zero; `1`/`+` classes require at least one member).
+[[nodiscard]] bool covers_concrete(const Protocol& p, const CompositeState& s,
+                                   const EnumKey& key);
+
+/// Result of checking a reachable set against the essential states.
+struct CoverageReport {
+  std::size_t checked = 0;
+  std::size_t covered = 0;
+  std::vector<EnumKey> uncovered;  ///< capped at 16 samples
+
+  [[nodiscard]] bool complete() const noexcept { return uncovered.empty(); }
+};
+
+/// Checks every key against the essential set.
+[[nodiscard]] CoverageReport check_coverage(
+    const Protocol& p, const std::vector<CompositeState>& essential,
+    const std::vector<EnumKey>& reachable);
+
+}  // namespace ccver

@@ -1,0 +1,52 @@
+#include "enumeration/enum_state.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ccver {
+
+EnumKey project(const Protocol& p, const ConcreteBlock& b, Equivalence eq) {
+  EnumKey key;
+  for (std::size_t i = 0; i < b.cache_count(); ++i) {
+    const auto cell = static_cast<std::uint8_t>(
+        (b.states[i] << 2) | static_cast<std::uint8_t>(cdata_of(p, b, i)));
+    key.cells.push_back(cell);
+  }
+  if (eq == Equivalence::Counting) {
+    std::sort(key.cells.begin(), key.cells.end());
+  }
+  key.mdata = static_cast<std::uint8_t>(mdata_of(b));
+  return key;
+}
+
+ConcreteBlock reify(const Protocol& p, const EnumKey& key) {
+  // Use token 1 as "latest" and token 0 as "stale"; the initial state (no
+  // store yet) is behaviorally equivalent to this encoding because all
+  // comparisons are against `latest`.
+  ConcreteBlock b;
+  b.latest = 1;
+  for (std::size_t i = 0; i < key.cells.size(); ++i) {
+    const StateId s = key_state(key, i);
+    const CData c = key_cdata(key, i);
+    b.states.push_back(s);
+    b.values.push_back(c == CData::Fresh ? 1U : 0U);
+    CCV_CHECK(p.is_valid_state(s) == (c != CData::NoData),
+              "EnumKey cell validity/cdata mismatch");
+  }
+  b.mem_value = key_mdata(key) == MData::Fresh ? 1U : 0U;
+  return b;
+}
+
+std::string to_string(const Protocol& p, const EnumKey& k) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < k.cells.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << p.state_name(key_state(k, i));
+    if (key_cdata(k, i) == CData::Obsolete) os << ":obsolete";
+  }
+  os << ") mem=" << to_string(key_mdata(k));
+  return os.str();
+}
+
+}  // namespace ccver

@@ -1,0 +1,77 @@
+#pragma once
+/// \file enum_state.hpp
+/// Abstract keys for the exhaustive enumeration baseline (Section 3.1).
+///
+/// The enumerator explores the concrete n-cache state space of Figure 2.
+/// Because the protocol's future behavior depends only on each copy's FSM
+/// state and freshness (not on absolute value tokens), concrete blocks are
+/// deduplicated through an abstraction key: one (state, cdata) cell per
+/// cache plus the memory attribute. Two key flavors implement the paper's
+/// two equivalences:
+///  * strict   -- tuple equality (Section 3.1.1's "strict equivalence");
+///  * counting -- cells sorted, i.e. permutation-invariant (Definition 5).
+
+#include <cstdint>
+
+#include "fsm/concrete.hpp"
+#include "util/hash.hpp"
+#include "util/small_vec.hpp"
+
+namespace ccver {
+
+/// Equivalence used for pruning during enumeration.
+enum class Equivalence : std::uint8_t {
+  Strict = 0,    ///< states equal iff equal as ordered tuples
+  Counting = 1,  ///< states equal modulo cache permutation (Definition 5)
+};
+
+/// Deduplication key of a concrete block.
+struct EnumKey {
+  SmallVec<std::uint8_t, kMaxCaches> cells;  ///< (state << 2) | cdata
+  std::uint8_t mdata = 0;
+
+  [[nodiscard]] bool operator==(const EnumKey& other) const = default;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint8_t c : cells) hash_combine(h, c);
+    hash_combine(h, mdata);
+    return h;
+  }
+
+  struct Hasher {
+    [[nodiscard]] std::size_t operator()(const EnumKey& k) const noexcept {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+};
+
+/// Projects a concrete block onto its abstraction key.
+[[nodiscard]] EnumKey project(const Protocol& p, const ConcreteBlock& b,
+                              Equivalence eq);
+
+/// Reconstructs a behaviorally equivalent representative block from a key
+/// (fresh copies get the latest token, stale ones an older token).
+[[nodiscard]] ConcreteBlock reify(const Protocol& p, const EnumKey& key);
+
+/// Per-cache state of a key.
+[[nodiscard]] inline StateId key_state(const EnumKey& k,
+                                       std::size_t i) noexcept {
+  return static_cast<StateId>(k.cells[i] >> 2);
+}
+
+/// Per-cache data attribute of a key.
+[[nodiscard]] inline CData key_cdata(const EnumKey& k,
+                                     std::size_t i) noexcept {
+  return static_cast<CData>(k.cells[i] & 0x3);
+}
+
+/// Memory attribute of a key.
+[[nodiscard]] inline MData key_mdata(const EnumKey& k) noexcept {
+  return static_cast<MData>(k.mdata);
+}
+
+/// Renders a key for diagnostics, e.g. "(Dirty, Invalid, Invalid) mem=obsolete".
+[[nodiscard]] std::string to_string(const Protocol& p, const EnumKey& k);
+
+}  // namespace ccver

@@ -1,0 +1,341 @@
+#include "enumeration/enumerator.hpp"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccver {
+
+namespace {
+
+/// Representative supplier indexes covering every distinct freshness among
+/// `candidates` (at most two: one fresh, one stale).
+SmallVec<std::size_t, 2> distinct_freshness_reps(
+    const Protocol& p, const ConcreteBlock& b,
+    const SmallVec<std::size_t, kMaxCaches>& candidates) {
+  SmallVec<std::size_t, 2> reps;
+  bool seen_fresh = false;
+  bool seen_stale = false;
+  for (const std::size_t j : candidates) {
+    const bool fresh = b.values[j] == b.latest;
+    if (fresh && !seen_fresh) {
+      seen_fresh = true;
+      reps.push_back(j);
+    } else if (!fresh && !seen_stale) {
+      seen_stale = true;
+      reps.push_back(j);
+    }
+    (void)p;
+  }
+  return reps;
+}
+
+}  // namespace
+
+std::optional<std::string> check_concrete_invariants(const Protocol& p,
+                                                     const EnumKey& key) {
+  const std::size_t n = key.cells.size();
+
+  std::size_t valid_copies = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const StateId s = key_state(key, i);
+    const CData c = key_cdata(key, i);
+    if (!p.is_valid_state(s)) continue;
+    ++valid_copies;
+    if (c == CData::Obsolete) {
+      return "cache " + std::to_string(i) + " in state " + p.state_name(s) +
+             " holds an obsolete copy (Definition 3)";
+    }
+  }
+  if (valid_copies == 0 && key_mdata(key) == MData::Obsolete) {
+    return std::string("no cached copy and memory obsolete: value lost");
+  }
+
+  const auto count_in = [&](StateId s) {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (key_state(key, i) == s) ++c;
+    }
+    return c;
+  };
+  for (const ExclusivityInvariant& e : p.exclusivity()) {
+    const std::size_t own = count_in(e.state);
+    if (own >= 2) {
+      return "two or more copies in exclusive state " +
+             p.state_name(e.state);
+    }
+    if (own == 1 && valid_copies > 1) {
+      return "exclusive state " + p.state_name(e.state) +
+             " coexists with another valid copy";
+    }
+  }
+  for (const StateId s : p.unique_states()) {
+    if (count_in(s) >= 2) {
+      return "two or more copies in unique state " + p.state_name(s);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<LabeledSuccessor> concrete_successors_labeled(
+    const Protocol& p, const EnumKey& key, Equivalence eq) {
+  std::vector<LabeledSuccessor> out;
+  const ConcreteBlock base = reify(p, key);
+  const std::size_t n = base.cache_count();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (OpId op = 0; op < static_cast<OpId>(p.op_count()); ++op) {
+      const Rule* rule = p.find_rule(base.states[i], op, sharing_of(p, base, i));
+      if (rule == nullptr) continue;
+
+      // Branch over load suppliers and write-back responders whose
+      // freshness differs (a single representative per freshness class).
+      SmallVec<std::size_t, 2> load_reps = distinct_freshness_reps(
+          p, base, candidate_suppliers(p, base, i, *rule));
+      SmallVec<std::size_t, 2> wb_reps = distinct_freshness_reps(
+          p, base, candidate_writeback_sources(p, base, i, *rule));
+
+      const std::size_t load_branches = load_reps.empty() ? 1 : load_reps.size();
+      const std::size_t wb_branches = wb_reps.empty() ? 1 : wb_reps.size();
+      for (std::size_t li = 0; li < load_branches; ++li) {
+        for (std::size_t wi = 0; wi < wb_branches; ++wi) {
+          ConcreteBlock block = base;
+          const std::optional<std::size_t> supplier =
+              load_reps.empty() ? std::nullopt
+                                : std::optional<std::size_t>(load_reps[li]);
+          const std::optional<std::size_t> responder =
+              wb_reps.empty() ? std::nullopt
+                              : std::optional<std::size_t>(wb_reps[wi]);
+          const ApplyOutcome outcome =
+              apply_op(p, block, i, op, supplier, responder);
+          if (outcome.applied) {
+            out.push_back(LabeledSuccessor{
+                project(p, block, eq),
+                ConcreteAction{static_cast<std::uint32_t>(i), op}});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EnumKey> concrete_successors(const Protocol& p,
+                                         const EnumKey& key, Equivalence eq) {
+  std::vector<EnumKey> out;
+  for (LabeledSuccessor& s : concrete_successors_labeled(p, key, eq)) {
+    out.push_back(std::move(s.key));
+  }
+  return out;
+}
+
+Enumerator::Enumerator(const Protocol& p, Options options)
+    : protocol_(&p), options_(options) {
+  CCV_CHECK(options_.n_caches >= 1 && options_.n_caches <= kMaxCaches,
+            "Enumerator cache count out of range");
+}
+
+namespace {
+
+/// Sequential BFS with parent tracking; used when replay paths are
+/// requested (small, typically buggy, state spaces).
+EnumerationResult run_with_paths(const Protocol& p,
+                                 const Enumerator::Options& options) {
+  struct Parent {
+    std::int64_t index = -1;  ///< into `order`
+    ConcreteAction action;
+  };
+  std::unordered_map<EnumKey, std::size_t, EnumKey::Hasher> index_of;
+  std::vector<EnumKey> order;
+  std::vector<Parent> parents;
+
+  EnumerationResult result;
+  const auto render_path = [&](std::size_t index) {
+    std::vector<std::string> path;
+    std::vector<std::size_t> chain;
+    for (std::int64_t cur = static_cast<std::int64_t>(index); cur >= 0;
+         cur = parents[static_cast<std::size_t>(cur)].index) {
+      chain.push_back(static_cast<std::size_t>(cur));
+    }
+    std::reverse(chain.begin(), chain.end());
+    for (std::size_t step = 0; step < chain.size(); ++step) {
+      std::ostringstream os;
+      if (step == 0) {
+        os << "start: " << to_string(p, order[chain[step]]);
+      } else {
+        const Parent& parent = parents[chain[step]];
+        os << "cpu" << parent.action.cache << ' '
+           << p.op(parent.action.op).name << " -> "
+           << to_string(p, order[chain[step]]);
+      }
+      path.push_back(os.str());
+    }
+    return path;
+  };
+  const auto record = [&](const EnumKey& key, std::size_t index) {
+    if (auto detail = check_concrete_invariants(p, key);
+        detail.has_value() && result.errors.size() < options.max_errors) {
+      result.errors.push_back(
+          ConcreteError{key, std::move(*detail), render_path(index)});
+    }
+  };
+
+  const EnumKey initial = project(
+      p, ConcreteBlock::initial(p, options.n_caches), options.equivalence);
+  index_of.emplace(initial, 0);
+  order.push_back(initial);
+  parents.push_back(Parent{});
+  record(initial, 0);
+
+  for (std::size_t next = 0; next < order.size(); ++next) {
+    ++result.levels;  // approximation: levels == expansions here
+    const EnumKey current = order[next];
+    for (LabeledSuccessor& succ :
+         concrete_successors_labeled(p, current, options.equivalence)) {
+      ++result.visits;
+      const auto [it, inserted] =
+          index_of.emplace(succ.key, order.size());
+      if (!inserted) continue;
+      order.push_back(succ.key);
+      parents.push_back(Parent{static_cast<std::int64_t>(next), succ.action});
+      record(succ.key, order.size() - 1);
+      if (order.size() > options.max_states) {
+        throw ModelError("enumeration exceeded max_states");
+      }
+    }
+  }
+
+  result.states = order.size();
+  if (options.keep_states) result.reachable = order;
+  return result;
+}
+
+}  // namespace
+
+EnumerationResult Enumerator::run() const {
+  const Protocol& p = *protocol_;
+  if (options_.track_paths) return run_with_paths(p, options_);
+  constexpr std::size_t kShards = 64;
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_set<EnumKey, EnumKey::Hasher> seen;
+  };
+  std::vector<Shard> shards(kShards);
+
+  const auto try_insert = [&shards](const EnumKey& key) {
+    Shard& shard = shards[key.hash() % kShards];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.seen.insert(key).second;
+  };
+
+  EnumerationResult result;
+  std::mutex error_mutex;
+
+  const EnumKey initial =
+      project(p, ConcreteBlock::initial(p, options_.n_caches),
+              options_.equivalence);
+  try_insert(initial);
+  if (auto detail = check_concrete_invariants(p, initial);
+      detail.has_value()) {
+    result.errors.push_back(ConcreteError{initial, *detail, {}});
+  }
+
+  std::vector<EnumKey> frontier{initial};
+  std::atomic<std::size_t> total_states{1};
+  std::atomic<std::size_t> total_visits{0};
+
+  ThreadPool pool(options_.threads);
+  const std::size_t workers = pool.thread_count();
+
+  while (!frontier.empty()) {
+    ++result.levels;
+    std::vector<std::vector<EnumKey>> next_per_worker(workers);
+
+    pool.parallel_for(
+        0, frontier.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          std::vector<EnumKey>& local_next = next_per_worker[worker];
+          std::size_t local_visits = 0;
+
+          // Visited-set inserts are batched per shard: one lock round-trip
+          // covers dozens of keys, which is what lets the frontier sweep
+          // scale past the lock bandwidth of a key-at-a-time protocol.
+          constexpr std::size_t kFlushAt = 64;
+          std::array<std::vector<EnumKey>, kShards> pending;
+          std::vector<EnumKey> fresh;
+
+          const auto flush = [&](std::size_t shard_index) {
+            std::vector<EnumKey>& batch = pending[shard_index];
+            if (batch.empty()) return;
+            fresh.clear();
+            {
+              Shard& shard = shards[shard_index];
+              const std::lock_guard<std::mutex> lock(shard.mutex);
+              for (EnumKey& key : batch) {
+                if (shard.seen.insert(key).second) {
+                  fresh.push_back(std::move(key));
+                }
+              }
+            }
+            batch.clear();
+            for (EnumKey& key : fresh) {
+              if (auto detail = check_concrete_invariants(p, key);
+                  detail.has_value()) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (result.errors.size() < options_.max_errors) {
+                  result.errors.push_back(
+                      ConcreteError{key, std::move(*detail), {}});
+                }
+              }
+              local_next.push_back(std::move(key));
+            }
+          };
+
+          for (std::size_t idx = begin; idx < end; ++idx) {
+            for (EnumKey& succ :
+                 concrete_successors(p, frontier[idx], options_.equivalence)) {
+              ++local_visits;
+              const std::size_t shard_index = succ.hash() % kShards;
+              pending[shard_index].push_back(std::move(succ));
+              if (pending[shard_index].size() >= kFlushAt) {
+                flush(shard_index);
+              }
+            }
+          }
+          for (std::size_t s = 0; s < kShards; ++s) flush(s);
+          total_visits.fetch_add(local_visits, std::memory_order_relaxed);
+        });
+
+    frontier.clear();
+    for (std::vector<EnumKey>& chunk : next_per_worker) {
+      total_states.fetch_add(chunk.size(), std::memory_order_relaxed);
+      frontier.insert(frontier.end(),
+                      std::make_move_iterator(chunk.begin()),
+                      std::make_move_iterator(chunk.end()));
+    }
+    if (total_states.load() > options_.max_states) {
+      throw ModelError("enumeration exceeded max_states (" +
+                       std::to_string(options_.max_states) + ")");
+    }
+  }
+
+  result.states = total_states.load();
+  result.visits = total_visits.load();
+  if (options_.keep_states) {
+    for (Shard& shard : shards) {
+      result.reachable.insert(result.reachable.end(), shard.seen.begin(),
+                              shard.seen.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace ccver

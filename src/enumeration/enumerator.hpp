@@ -1,0 +1,99 @@
+#pragma once
+/// \file enumerator.hpp
+/// The exhaustive-search baseline of Figure 2: breadth-first exploration of
+/// the concrete state space for a *fixed* number of caches, with either
+/// strict or counting (Definition 5) equivalence for pruning.
+///
+/// This is the approach the paper argues against: the reachable set and the
+/// visit count grow with n (up to m^n states, ~n*k*m^n visits), while the
+/// symbolic expansion is independent of n. The enumerator exists to measure
+/// that comparison (bench_state_explosion), to cross-validate Theorem 1
+/// (every reachable concrete state must be covered by an essential
+/// composite state), and to double-check error detection concretely.
+///
+/// The frontier sweep is bulk-parallel: each BFS level is partitioned over
+/// a thread pool and visited-set lookups go through hash-sharded sets, so
+/// large state spaces (6+ caches) enumerate at memory bandwidth rather than
+/// lock contention.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "enumeration/enum_state.hpp"
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// One concrete erroneous state found during enumeration, with a replay
+/// path from the initial state (populated when Options::track_paths).
+struct ConcreteError {
+  EnumKey state;
+  std::string detail;
+  /// Each step: "cache i op on <state>" rendered; empty without tracking.
+  std::vector<std::string> path;
+};
+
+/// Result of one enumeration run.
+struct EnumerationResult {
+  std::size_t states = 0;  ///< distinct reachable states (after equivalence)
+  std::size_t visits = 0;  ///< successor states generated (incl. duplicates)
+  std::size_t levels = 0;  ///< BFS depth until fixpoint
+  std::vector<ConcreteError> errors;  ///< capped at Options::max_errors
+  std::vector<EnumKey> reachable;     ///< kept when Options::keep_states
+};
+
+/// Checks the concrete counterparts of the standard invariants: Definition
+/// 3 staleness, lost values, exclusivity and uniqueness declarations.
+/// Returns a description of the first violation.
+[[nodiscard]] std::optional<std::string> check_concrete_invariants(
+    const Protocol& p, const EnumKey& key);
+
+/// The stimulus that produced a successor.
+struct ConcreteAction {
+  std::uint32_t cache = 0;
+  OpId op = 0;
+};
+
+/// A successor key together with the stimulus that produced it.
+struct LabeledSuccessor {
+  EnumKey key;
+  ConcreteAction action;
+};
+
+/// All successor keys of `key` under every (cache, operation) stimulus,
+/// branching over data suppliers whose freshness differs.
+[[nodiscard]] std::vector<EnumKey> concrete_successors(const Protocol& p,
+                                                       const EnumKey& key,
+                                                       Equivalence eq);
+
+/// As `concrete_successors`, labelled with the producing stimulus.
+[[nodiscard]] std::vector<LabeledSuccessor> concrete_successors_labeled(
+    const Protocol& p, const EnumKey& key, Equivalence eq);
+
+/// The Figure-2 exhaustive search.
+class Enumerator {
+ public:
+  struct Options {
+    std::size_t n_caches = 4;
+    Equivalence equivalence = Equivalence::Counting;
+    std::size_t threads = 1;          ///< 0 = hardware concurrency
+    std::size_t max_states = 50'000'000;  ///< safety valve; throws ModelError
+    std::size_t max_errors = 8;
+    bool keep_states = false;         ///< collect the reachable set
+    /// Record parent pointers and attach replay paths to errors. Implies
+    /// a sequential run (path bookkeeping is not worth parallelizing for
+    /// the small state spaces where paths are wanted).
+    bool track_paths = false;
+  };
+
+  Enumerator(const Protocol& p, Options options);
+
+  [[nodiscard]] EnumerationResult run() const;
+
+ private:
+  const Protocol* protocol_;
+  Options options_;
+};
+
+}  // namespace ccver

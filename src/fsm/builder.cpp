@@ -1,0 +1,420 @@
+#include "fsm/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+// ---------------------------------------------------------------- RuleDraft
+
+Rule& RuleDraft::rule() { return owner_->rules_[index_]; }
+
+RuleDraft& RuleDraft::when_unshared() {
+  rule().guard = SharingGuard::Unshared;
+  return *this;
+}
+
+RuleDraft& RuleDraft::when_shared() {
+  rule().guard = SharingGuard::Shared;
+  return *this;
+}
+
+RuleDraft& RuleDraft::to(StateId next) {
+  rule().self_next = next;
+  return *this;
+}
+
+RuleDraft& RuleDraft::observe(StateId q, StateId next) {
+  CCV_CHECK(q < kMaxStates && next < kMaxStates, "state id out of range");
+  rule().observed[q] = next;
+  return *this;
+}
+
+RuleDraft& RuleDraft::invalidate_others() {
+  for (std::size_t q = 0; q < owner_->state_names_.size(); ++q) {
+    rule().observed[q] = owner_->invalid_;
+  }
+  return *this;
+}
+
+RuleDraft& RuleDraft::load_memory() {
+  rule().data_ops.push_back(DataOp{DataOpKind::LoadFromMemory, {}});
+  return *this;
+}
+
+RuleDraft& RuleDraft::load_prefer(std::initializer_list<StateId> sources) {
+  DataOp op{DataOpKind::LoadPreferred, {}};
+  for (StateId s : sources) op.sources.push_back(s);
+  rule().data_ops.push_back(op);
+  return *this;
+}
+
+RuleDraft& RuleDraft::load_prefer(const std::vector<StateId>& sources) {
+  DataOp op{DataOpKind::LoadPreferred, {}};
+  for (StateId s : sources) op.sources.push_back(s);
+  rule().data_ops.push_back(op);
+  return *this;
+}
+
+RuleDraft& RuleDraft::writeback_self() {
+  rule().data_ops.push_back(DataOp{DataOpKind::WriteBackSelf, {}});
+  return *this;
+}
+
+RuleDraft& RuleDraft::writeback_from(StateId source) {
+  DataOp op{DataOpKind::WriteBackFrom, {}};
+  op.sources.push_back(source);
+  rule().data_ops.push_back(op);
+  return *this;
+}
+
+RuleDraft& RuleDraft::store() {
+  rule().data_ops.push_back(DataOp{DataOpKind::StoreSelf, {}});
+  return *this;
+}
+
+RuleDraft& RuleDraft::store_through() {
+  rule().data_ops.push_back(DataOp{DataOpKind::StoreThrough, {}});
+  return *this;
+}
+
+RuleDraft& RuleDraft::update_others() {
+  rule().data_ops.push_back(DataOp{DataOpKind::UpdateOthers, {}});
+  return *this;
+}
+
+RuleDraft& RuleDraft::stall() {
+  rule().is_stall = true;
+  return *this;
+}
+
+RuleDraft& RuleDraft::defer_store() {
+  rule().defers_store = true;
+  return *this;
+}
+
+RuleDraft& RuleDraft::note(std::string text) {
+  rule().note = std::move(text);
+  return *this;
+}
+
+// ---------------------------------------------------------- ProtocolBuilder
+
+ProtocolBuilder::ProtocolBuilder(std::string name,
+                                 CharacteristicKind characteristic)
+    : name_(std::move(name)), characteristic_(characteristic) {
+  ops_.push_back(OpDef{"R", /*is_write=*/false, /*is_replacement=*/false});
+  ops_.push_back(OpDef{"W", /*is_write=*/true, /*is_replacement=*/false});
+  ops_.push_back(OpDef{"Z", /*is_write=*/false, /*is_replacement=*/true});
+}
+
+StateId ProtocolBuilder::invalid_state(std::string name) {
+  if (has_invalid_) {
+    throw SpecError("protocol '" + name_ +
+                    "' declares more than one invalid state");
+  }
+  has_invalid_ = true;
+  invalid_ = state(std::move(name));
+  return invalid_;
+}
+
+StateId ProtocolBuilder::state(std::string name) {
+  if (state_names_.size() >= kMaxStates) {
+    throw SpecError("protocol '" + name_ + "' exceeds kMaxStates");
+  }
+  if (std::find(state_names_.begin(), state_names_.end(), name) !=
+      state_names_.end()) {
+    throw SpecError("duplicate state name '" + name + "'");
+  }
+  state_names_.push_back(std::move(name));
+  return static_cast<StateId>(state_names_.size() - 1);
+}
+
+OpId ProtocolBuilder::add_op(std::string name, bool is_write) {
+  if (ops_.size() >= kMaxOps) {
+    throw SpecError("protocol '" + name_ + "' exceeds kMaxOps");
+  }
+  for (const OpDef& o : ops_) {
+    if (o.name == name) throw SpecError("duplicate op name '" + name + "'");
+  }
+  ops_.push_back(OpDef{std::move(name), is_write, /*is_replacement=*/false});
+  return static_cast<OpId>(ops_.size() - 1);
+}
+
+ProtocolBuilder& ProtocolBuilder::exclusive(StateId s) {
+  exclusive_.push_back(ExclusivityInvariant{s});
+  return *this;
+}
+
+ProtocolBuilder& ProtocolBuilder::unique(StateId s) {
+  unique_.push_back(s);
+  return *this;
+}
+
+ProtocolBuilder& ProtocolBuilder::owner(StateId s) {
+  owners_.push_back(s);
+  return *this;
+}
+
+RuleDraft ProtocolBuilder::rule(StateId from, OpId op) {
+  CCV_CHECK(from < state_names_.size(), "rule(): unknown state id");
+  CCV_CHECK(op < ops_.size(), "rule(): unknown op id");
+  Rule r;
+  r.from = from;
+  r.op = op;
+  r.self_next = from;
+  std::iota(r.observed.begin(), r.observed.end(), StateId{0});
+  rules_.push_back(std::move(r));
+  return RuleDraft(*this, rules_.size() - 1);
+}
+
+namespace {
+
+std::string rule_label(const ProtocolBuilder&, const std::vector<std::string>& states,
+                       const std::vector<OpDef>& ops, const Rule& r) {
+  std::ostringstream os;
+  os << "rule (" << states[r.from] << ", " << ops[r.op].name << ", "
+     << to_string(r.guard) << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void ProtocolBuilder::validate() const {
+  if (!has_invalid_) {
+    throw SpecError("protocol '" + name_ + "' declares no invalid state");
+  }
+  if (state_names_.size() < 2) {
+    throw SpecError("protocol '" + name_ +
+                    "' needs at least one valid state besides Invalid");
+  }
+
+  const auto covers = [](SharingGuard g, bool sharing) {
+    return g == SharingGuard::Any ||
+           (sharing ? g == SharingGuard::Shared : g == SharingGuard::Unshared);
+  };
+
+  for (const Rule& r : rules_) {
+    const std::string label = rule_label(*this, state_names_, ops_, r);
+    if (r.from >= state_names_.size() || r.self_next >= state_names_.size()) {
+      throw SpecError(label + ": state id out of range");
+    }
+    if (characteristic_ == CharacteristicKind::Null &&
+        r.guard != SharingGuard::Any) {
+      throw SpecError(label +
+                      ": sharing guard requires F = sharing-detection");
+    }
+    for (std::size_t q = 0; q < state_names_.size(); ++q) {
+      if (r.observed[q] >= state_names_.size()) {
+        throw SpecError(label + ": observed target out of range");
+      }
+      if (static_cast<StateId>(q) == invalid_ && r.observed[q] != invalid_) {
+        throw SpecError(label +
+                        ": an observed transition may not create a copy "
+                        "(Invalid must map to Invalid)");
+      }
+    }
+    // Data micro-op sanity.
+    int load_count = 0;
+    int store_count = 0;
+    for (const DataOp& d : r.data_ops) {
+      switch (d.kind) {
+        case DataOpKind::LoadFromMemory:
+          ++load_count;
+          break;
+        case DataOpKind::LoadPreferred:
+          ++load_count;
+          if (d.sources.empty()) {
+            throw SpecError(label + ": LoadPreferred needs sources");
+          }
+          break;
+        case DataOpKind::WriteBackFrom:
+          if (d.sources.size() != 1) {
+            throw SpecError(label + ": WriteBackFrom needs one source");
+          }
+          break;
+        case DataOpKind::StoreSelf:
+        case DataOpKind::StoreThrough:
+          ++store_count;
+          break;
+        case DataOpKind::WriteBackSelf:
+        case DataOpKind::UpdateOthers:
+          break;
+      }
+      for (StateId s : d.sources) {
+        if (s >= state_names_.size()) {
+          throw SpecError(label + ": data op source state out of range");
+        }
+      }
+    }
+    if (load_count > 1) throw SpecError(label + ": more than one load");
+    if (store_count > 1) throw SpecError(label + ": more than one store");
+    if (r.is_stall) {
+      if (r.self_next != r.from || !r.data_ops.empty()) {
+        throw SpecError(label +
+                        ": a stall must be a self-loop without data ops");
+      }
+      bool identity = true;
+      for (std::size_t q = 0; q < state_names_.size(); ++q) {
+        identity = identity && r.observed[q] == static_cast<StateId>(q);
+      }
+      if (!identity) {
+        throw SpecError(label + ": a stall may not affect other caches");
+      }
+    }
+    if (ops_[r.op].is_write && store_count == 0 && !r.is_stall &&
+        !r.defers_store) {
+      throw SpecError(label +
+                      ": write operations must store (Definition 3 tracks "
+                      "every store) unless stalled or deferred");
+    }
+    if (r.defers_store && (!ops_[r.op].is_write || store_count != 0)) {
+      throw SpecError(label +
+                      ": defer_store applies to write requests that do not "
+                      "store themselves");
+    }
+    if (!ops_[r.op].is_write && store_count != 0) {
+      throw SpecError(label + ": non-write operations must not store");
+    }
+    if (r.self_next == invalid_ && ops_[r.op].is_write) {
+      throw SpecError(label + ": a write may not leave the originator "
+                              "without a copy");
+    }
+    // Loading into a state that drops the copy is meaningless.
+    if (load_count > 0 && r.self_next == invalid_) {
+      throw SpecError(label + ": rule loads data but ends Invalid");
+    }
+  }
+
+  // Duplicate / overlap detection and coverage.
+  for (std::size_t s = 0; s < state_names_.size(); ++s) {
+    for (std::size_t o = 0; o < ops_.size(); ++o) {
+      for (const bool sharing : {false, true}) {
+        const Rule* found = nullptr;
+        for (const Rule& r : rules_) {
+          if (r.from != static_cast<StateId>(s) ||
+              r.op != static_cast<OpId>(o) || !covers(r.guard, sharing)) {
+            continue;
+          }
+          if (found != nullptr) {
+            throw SpecError(rule_label(*this, state_names_, ops_, r) +
+                            ": overlaps another rule for the same situation");
+          }
+          found = &r;
+        }
+        // Coverage: the processor can always issue R and W, so every state
+        // must handle them; replacement applies to valid states; custom
+        // operations (bus completions, ...) are covered where declared.
+        const bool is_replace = ops_[o].is_replacement;
+        const bool is_custom = o >= 3;
+        const bool required =
+            !is_custom &&
+            (is_replace ? static_cast<StateId>(s) != invalid_ : true);
+        if (required && found == nullptr) {
+          std::ostringstream os;
+          os << "protocol '" << name_ << "': state " << state_names_[s]
+             << " has no rule for op " << ops_[o].name << " under sharing="
+             << (sharing ? "true" : "false");
+          throw SpecError(os.str());
+        }
+      }
+    }
+  }
+
+  for (const ExclusivityInvariant& e : exclusive_) {
+    if (e.state >= state_names_.size() || e.state == invalid_) {
+      throw SpecError("exclusivity invariant names an unknown or invalid "
+                      "state");
+    }
+  }
+  for (StateId s : owners_) {
+    if (s >= state_names_.size() || s == invalid_) {
+      throw SpecError("owner declaration names an unknown or invalid state");
+    }
+  }
+  for (StateId s : unique_) {
+    if (s >= state_names_.size() || s == invalid_) {
+      throw SpecError("uniqueness declaration names an unknown or invalid "
+                      "state");
+    }
+  }
+
+  check_strong_connectivity();
+}
+
+void ProtocolBuilder::check_strong_connectivity() const {
+  // Definition 1 requires the per-cache FSM to be strongly connected. The
+  // per-cache transition relation includes both self transitions and
+  // coincident (observed) transitions.
+  const std::size_t n = state_names_.size();
+  std::array<std::array<bool, kMaxStates>, kMaxStates> edge{};
+  for (const Rule& r : rules_) {
+    edge[r.from][r.self_next] = true;
+    for (std::size_t q = 0; q < n; ++q) {
+      edge[q][r.observed[q]] = true;
+    }
+  }
+
+  const auto reachable_from = [&](std::size_t start) {
+    std::array<bool, kMaxStates> seen{};
+    SmallVec<StateId, kMaxStates> stack;
+    seen[start] = true;
+    stack.push_back(static_cast<StateId>(start));
+    while (!stack.empty()) {
+      const StateId cur = stack.back();
+      stack.pop_back();
+      for (std::size_t q = 0; q < n; ++q) {
+        if (edge[cur][q] && !seen[q]) {
+          seen[q] = true;
+          stack.push_back(static_cast<StateId>(q));
+        }
+      }
+    }
+    return seen;
+  };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto seen = reachable_from(s);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!seen[t]) {
+        throw SpecError("protocol '" + name_ +
+                        "': per-cache FSM is not strongly connected (" +
+                        state_names_[s] + " cannot reach " + state_names_[t] +
+                        "), violating Definition 1");
+      }
+    }
+  }
+}
+
+Protocol ProtocolBuilder::build() && {
+  validate();
+
+  // Declaration lists are sets; normalize their order so that structural
+  // equality is declaration-order independent (the spec writer emits them
+  // in state order).
+  std::sort(exclusive_.begin(), exclusive_.end(),
+            [](const ExclusivityInvariant& a, const ExclusivityInvariant& b) {
+              return a.state < b.state;
+            });
+  std::sort(unique_.begin(), unique_.end());
+  std::sort(owners_.begin(), owners_.end());
+
+  Protocol p;
+  p.name_ = std::move(name_);
+  p.state_names_ = std::move(state_names_);
+  p.ops_ = std::move(ops_);
+  p.invalid_ = invalid_;
+  p.characteristic_ = characteristic_;
+  p.rules_ = std::move(rules_);
+  p.exclusive_ = std::move(exclusive_);
+  p.unique_ = std::move(unique_);
+  p.owners_ = std::move(owners_);
+
+  p.reindex();
+  return p;
+}
+
+}  // namespace ccver

@@ -1,0 +1,142 @@
+#pragma once
+/// \file builder.hpp
+/// Fluent construction and validation of `Protocol` specifications.
+///
+/// Example (a fragment of the Illinois protocol, Section 2.3):
+/// \code
+///   ProtocolBuilder b("Illinois", CharacteristicKind::SharingDetection);
+///   const StateId inv = b.invalid_state("Invalid");
+///   const StateId ve  = b.state("ValidExclusive");
+///   const StateId sh  = b.state("Shared");
+///   const StateId d   = b.state("Dirty");
+///   b.exclusive(ve).exclusive(d).owner(d);
+///   b.rule(inv, StdOps::Read).when_unshared().to(ve).load_memory()
+///     .note("read miss, no cached copy");
+///   b.rule(inv, StdOps::Read).when_shared().to(sh)
+///     .observe(d, sh).observe(ve, sh)
+///     .writeback_from(d).load_prefer({d, sh, ve})
+///     .note("read miss served by a cache");
+///   Protocol p = std::move(b).build();
+/// \endcode
+
+#include <string>
+#include <vector>
+
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+class ProtocolBuilder;
+
+/// Fluent editor for one rule under construction. Returned by
+/// `ProtocolBuilder::rule`; references remain valid until `build()`.
+class RuleDraft {
+ public:
+  /// Restricts the rule to f_i = false (no other cached copy).
+  RuleDraft& when_unshared();
+  /// Restricts the rule to f_i = true (some other cached copy).
+  RuleDraft& when_shared();
+  /// Sets the originator's next state.
+  RuleDraft& to(StateId next);
+  /// Sets the coincident next state for other caches currently in `q`.
+  RuleDraft& observe(StateId q, StateId next);
+  /// Convenience: every other cache with a valid copy is invalidated.
+  RuleDraft& invalidate_others();
+
+  /// \name Data micro-ops (see fsm/data_ops.hpp for semantics)
+  ///@{
+  RuleDraft& load_memory();
+  RuleDraft& load_prefer(std::initializer_list<StateId> sources);
+  RuleDraft& load_prefer(const std::vector<StateId>& sources);
+  RuleDraft& writeback_self();
+  RuleDraft& writeback_from(StateId source);
+  RuleDraft& store();
+  RuleDraft& store_through();
+  RuleDraft& update_others();
+  ///@}
+
+  /// Marks the rule as a stall: the processor is blocked (typically on a
+  /// transient state of a split-transaction protocol) and the operation is
+  /// deferred. Implies a self-loop with no data effects.
+  RuleDraft& stall();
+
+  /// Marks a write rule as a split-transaction request whose store retires
+  /// on a later completion rule (the rule itself must not store).
+  RuleDraft& defer_store();
+
+  /// Attaches a human-readable description.
+  RuleDraft& note(std::string text);
+
+ private:
+  friend class ProtocolBuilder;
+  RuleDraft(ProtocolBuilder& owner, std::size_t index)
+      : owner_(&owner), index_(index) {}
+
+  [[nodiscard]] Rule& rule();
+
+  ProtocolBuilder* owner_;
+  std::size_t index_;
+};
+
+/// Builds and validates a `Protocol`. All validation errors raise
+/// `SpecError` with a description of the offending rule.
+class ProtocolBuilder {
+ public:
+  ProtocolBuilder(std::string name, CharacteristicKind characteristic);
+
+  /// Declares the distinguished invalid ("no copy") state. Must be called
+  /// exactly once, before `build()`.
+  StateId invalid_state(std::string name);
+
+  /// Declares a valid cache-block state.
+  StateId state(std::string name);
+
+  /// Declares an additional operation beyond the standard {R, W, Rep}.
+  OpId add_op(std::string name, bool is_write);
+
+  /// Declares that `s` must be the only valid copy system-wide.
+  ProtocolBuilder& exclusive(StateId s);
+
+  /// Declares that at most one cache may be in `s`, though other valid
+  /// states may coexist (ownership states such as Berkeley's Shared-Dirty).
+  ProtocolBuilder& unique(StateId s);
+
+  /// Declares that `s` is an ownership state (memory possibly stale).
+  ProtocolBuilder& owner(StateId s);
+
+  /// Starts a new rule for (`from`, `op`); defaults: guard Any, self_next =
+  /// from, observed = identity, no data ops.
+  RuleDraft rule(StateId from, OpId op);
+
+  /// Validates and returns the finished protocol. Checks performed:
+  ///  * exactly one invalid state; unique state/op names;
+  ///  * no duplicate or guard-overlapping (from, op) rules;
+  ///  * observed transitions never materialize copies (invalid stays
+  ///    invalid) and never move the block out of Q;
+  ///  * guards other than Any require F = sharing-detection;
+  ///  * every state covers Read and Write for both sharing values; every
+  ///    valid state covers Replace;
+  ///  * rules on write operations store exactly once; non-write rules do
+  ///    not store; at most one load per rule;
+  ///  * the per-cache FSM is strongly connected (Definition 1).
+  [[nodiscard]] Protocol build() &&;
+
+ private:
+  friend class RuleDraft;
+
+  void validate() const;
+  void check_strong_connectivity() const;
+
+  std::string name_;
+  CharacteristicKind characteristic_;
+  std::vector<std::string> state_names_;
+  std::vector<OpDef> ops_;
+  bool has_invalid_ = false;
+  StateId invalid_ = 0;
+  std::vector<Rule> rules_;
+  std::vector<ExclusivityInvariant> exclusive_;
+  std::vector<StateId> unique_;
+  std::vector<StateId> owners_;
+};
+
+}  // namespace ccver

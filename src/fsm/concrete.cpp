@@ -1,0 +1,177 @@
+#include "fsm/concrete.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+ConcreteBlock ConcreteBlock::initial(const Protocol& p, std::size_t n_caches) {
+  CCV_CHECK(n_caches >= 1 && n_caches <= kMaxCaches,
+            "cache count out of range");
+  ConcreteBlock b;
+  for (std::size_t i = 0; i < n_caches; ++i) {
+    b.states.push_back(p.invalid_state());
+    b.values.push_back(0);
+  }
+  return b;
+}
+
+bool sharing_of(const Protocol& p, const ConcreteBlock& b, std::size_t i) {
+  for (std::size_t j = 0; j < b.cache_count(); ++j) {
+    if (j != i && p.is_valid_state(b.states[j])) return true;
+  }
+  return false;
+}
+
+SmallVec<std::size_t, kMaxCaches> candidate_suppliers(const Protocol& p,
+                                                      const ConcreteBlock& b,
+                                                      std::size_t i,
+                                                      const Rule& rule) {
+  (void)p;
+  SmallVec<std::size_t, kMaxCaches> out;
+  for (const DataOp& d : rule.data_ops) {
+    if (d.kind != DataOpKind::LoadPreferred) continue;
+    for (StateId source : d.sources) {
+      for (std::size_t j = 0; j < b.cache_count(); ++j) {
+        if (j != i && b.states[j] == source) out.push_back(j);
+      }
+      if (!out.empty()) return out;  // highest-priority present state wins
+    }
+  }
+  return out;
+}
+
+SmallVec<std::size_t, kMaxCaches> candidate_writeback_sources(
+    const Protocol& p, const ConcreteBlock& b, std::size_t i,
+    const Rule& rule) {
+  (void)p;
+  SmallVec<std::size_t, kMaxCaches> out;
+  for (const DataOp& d : rule.data_ops) {
+    if (d.kind != DataOpKind::WriteBackFrom) continue;
+    for (std::size_t j = 0; j < b.cache_count(); ++j) {
+      if (j != i && b.states[j] == d.sources[0]) out.push_back(j);
+    }
+  }
+  return out;
+}
+
+ApplyOutcome apply_op(const Protocol& p, ConcreteBlock& b, std::size_t i,
+                      OpId op, std::optional<std::size_t> supplier_override,
+                      std::optional<std::size_t> writeback_override) {
+  CCV_CHECK(i < b.cache_count(), "cache index out of range");
+  const bool sharing = sharing_of(p, b, i);
+  const Rule* rule = p.find_rule(b.states[i], op, sharing);
+  if (rule == nullptr) return ApplyOutcome{};
+
+  ApplyOutcome outcome;
+  outcome.applied = true;
+  outcome.rule = rule;
+
+  // Phase 1 (pre): loads and write-backs against pre-transition values.
+  std::optional<std::uint32_t> pending_load;
+  for (const DataOp& d : rule->data_ops) {
+    switch (d.kind) {
+      case DataOpKind::LoadFromMemory:
+        pending_load = b.mem_value;
+        outcome.supplier = Supplier{/*from_memory=*/true, 0};
+        break;
+      case DataOpKind::LoadPreferred: {
+        std::optional<std::size_t> chosen;
+        if (supplier_override.has_value()) {
+          chosen = supplier_override;
+        } else {
+          const auto candidates = candidate_suppliers(p, b, i, *rule);
+          if (!candidates.empty()) chosen = candidates[0];
+        }
+        if (chosen.has_value()) {
+          CCV_CHECK(*chosen != i && *chosen < b.cache_count(),
+                    "bad supplier index");
+          pending_load = b.values[*chosen];
+          outcome.supplier = Supplier{/*from_memory=*/false, *chosen};
+        } else {
+          pending_load = b.mem_value;
+          outcome.supplier = Supplier{/*from_memory=*/true, 0};
+        }
+        break;
+      }
+      case DataOpKind::WriteBackSelf:
+        b.mem_value = b.values[i];
+        break;
+      case DataOpKind::WriteBackFrom: {
+        if (writeback_override.has_value()) {
+          CCV_CHECK(*writeback_override != i &&
+                        *writeback_override < b.cache_count(),
+                    "bad writeback source index");
+          b.mem_value = b.values[*writeback_override];
+          break;
+        }
+        const StateId source = d.sources[0];
+        for (std::size_t j = 0; j < b.cache_count(); ++j) {
+          if (j != i && b.states[j] == source) {
+            b.mem_value = b.values[j];
+            break;
+          }
+        }
+        break;
+      }
+      case DataOpKind::StoreSelf:
+      case DataOpKind::StoreThrough:
+      case DataOpKind::UpdateOthers:
+        break;  // handled in the store phase
+    }
+  }
+
+  // Phase 2 (state): coincident transitions on other caches, then the
+  // originator.
+  for (std::size_t j = 0; j < b.cache_count(); ++j) {
+    if (j == i) continue;
+    b.states[j] = rule->observed[b.states[j]];
+  }
+  b.states[i] = rule->self_next;
+  if (pending_load.has_value()) b.values[i] = *pending_load;
+
+  // Phase 3 (store): mint a token, propagate write-through / broadcast.
+  if (rule->stores()) {
+    ++b.latest;
+    b.values[i] = b.latest;
+    for (const DataOp& d : rule->data_ops) {
+      if (d.kind == DataOpKind::StoreThrough) b.mem_value = b.latest;
+      if (d.kind == DataOpKind::UpdateOthers) {
+        for (std::size_t j = 0; j < b.cache_count(); ++j) {
+          if (j != i && p.is_valid_state(b.states[j])) b.values[j] = b.latest;
+        }
+      }
+    }
+  }
+  return outcome;
+}
+
+CData cdata_of(const Protocol& p, const ConcreteBlock& b, std::size_t i) {
+  if (!p.is_valid_state(b.states[i])) return CData::NoData;
+  return b.values[i] == b.latest ? CData::Fresh : CData::Obsolete;
+}
+
+MData mdata_of(const ConcreteBlock& b) {
+  return b.mem_value == b.latest ? MData::Fresh : MData::Obsolete;
+}
+
+bool holds_stale_copy(const Protocol& p, const ConcreteBlock& b,
+                      std::size_t i) {
+  return cdata_of(p, b, i) == CData::Obsolete;
+}
+
+std::string to_string(const Protocol& p, const ConcreteBlock& b) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < b.cache_count(); ++i) {
+    if (i > 0) os << ", ";
+    os << p.state_name(b.states[i]);
+    const CData c = cdata_of(p, b, i);
+    if (c != CData::NoData) os << ':' << to_string(c);
+  }
+  os << ") mem=" << to_string(mdata_of(b));
+  return os.str();
+}
+
+}  // namespace ccver

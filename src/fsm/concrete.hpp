@@ -1,0 +1,105 @@
+#pragma once
+/// \file concrete.hpp
+/// Concrete execution of a protocol on a fixed set of n caches.
+///
+/// This is the semantics that both the exhaustive enumerator (the paper's
+/// Figure 2 baseline) and the trace-driven simulator interpret. Instead of
+/// the abstract {nodata, fresh, obsolete} context variables, the concrete
+/// machine carries *value tokens*: each store mints a new token, loads and
+/// write-backs copy tokens around. Freshness is then derived by comparing a
+/// copy's token to the latest minted one -- a direct implementation of the
+/// data-consistency condition of Definition 3 (a processor must never
+/// observe a token older than the last store).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fsm/protocol.hpp"
+#include "util/small_vec.hpp"
+
+namespace ccver {
+
+/// Maximum cache count for concrete execution (the symbolic engine is
+/// unbounded; this limit only applies to the enumerator and simulator).
+inline constexpr std::size_t kMaxCaches = 32;
+
+/// Concrete per-block machine state: one FSM state and one value token per
+/// cache, plus the memory copy. Token 0 is the initial memory value.
+struct ConcreteBlock {
+  SmallVec<StateId, kMaxCaches> states;
+  SmallVec<std::uint32_t, kMaxCaches> values;
+  std::uint32_t mem_value = 0;
+  std::uint32_t latest = 0;  ///< token of the most recent store (0 = none yet)
+
+  /// All caches Invalid, memory fresh.
+  [[nodiscard]] static ConcreteBlock initial(const Protocol& p,
+                                             std::size_t n_caches);
+
+  [[nodiscard]] std::size_t cache_count() const noexcept {
+    return states.size();
+  }
+
+  [[nodiscard]] bool operator==(const ConcreteBlock& other) const = default;
+};
+
+/// Identifies where a load was served from.
+struct Supplier {
+  bool from_memory = true;
+  std::size_t cache = 0;  ///< meaningful when !from_memory
+};
+
+/// Result of applying one operation.
+struct ApplyOutcome {
+  bool applied = false;          ///< false: the op is a no-op in this state
+  const Rule* rule = nullptr;    ///< the rule that fired
+  std::optional<Supplier> supplier;  ///< where a load was served from
+};
+
+/// Evaluates the sharing-detection function f_i for cache `i`: true iff some
+/// other cache holds a non-invalid copy (Section 2.1).
+[[nodiscard]] bool sharing_of(const Protocol& p, const ConcreteBlock& b,
+                              std::size_t i);
+
+/// Candidate suppliers for the load performed by `rule` from cache `i`'s
+/// perspective: every cache holding the highest-priority present source
+/// state. Empty means the load is served by memory. Used by the enumerator
+/// to branch over suppliers whose freshness differs.
+[[nodiscard]] SmallVec<std::size_t, kMaxCaches> candidate_suppliers(
+    const Protocol& p, const ConcreteBlock& b, std::size_t i, const Rule& rule);
+
+/// Candidate responders for a WriteBackFrom micro-op of `rule`: every cache
+/// (other than `i`) in the micro-op's source state. Empty when the rule has
+/// no WriteBackFrom or no holder exists.
+[[nodiscard]] SmallVec<std::size_t, kMaxCaches> candidate_writeback_sources(
+    const Protocol& p, const ConcreteBlock& b, std::size_t i, const Rule& rule);
+
+/// Applies operation `op` issued by cache `i`. If `supplier_override` is
+/// set, a LoadPreferred micro-op is served by that cache instead of the
+/// default lowest-index candidate; likewise `writeback_override` selects
+/// the WriteBackFrom responder (used by the enumerator to branch over
+/// responders whose freshness differs).
+ApplyOutcome apply_op(const Protocol& p, ConcreteBlock& b, std::size_t i,
+                      OpId op,
+                      std::optional<std::size_t> supplier_override =
+                          std::nullopt,
+                      std::optional<std::size_t> writeback_override =
+                          std::nullopt);
+
+/// Freshness projection of one copy: maps the value token of cache `i` to
+/// the abstract context variable of Definition 4.
+[[nodiscard]] CData cdata_of(const Protocol& p, const ConcreteBlock& b,
+                             std::size_t i);
+
+/// Freshness projection of the memory copy.
+[[nodiscard]] MData mdata_of(const ConcreteBlock& b);
+
+/// True if cache `i` holds a valid copy whose token is stale -- the
+/// erroneous situation of Definition 3.
+[[nodiscard]] bool holds_stale_copy(const Protocol& p, const ConcreteBlock& b,
+                                    std::size_t i);
+
+/// Debug rendering: "(Dirty:fresh, Invalid, Invalid) mem=obsolete".
+[[nodiscard]] std::string to_string(const Protocol& p, const ConcreteBlock& b);
+
+}  // namespace ccver

@@ -1,0 +1,78 @@
+#pragma once
+/// \file data_ops.hpp
+/// Data micro-operations attached to transition rules.
+///
+/// Section 2.4 of the paper augments each protocol transition with updates
+/// to the context variables (cdata_i, mdata). We factor those natural-
+/// language descriptions into a small set of declarative micro-ops; the
+/// symbolic expander and the concrete executor interpret the same list, so
+/// the two semantics cannot drift apart.
+///
+/// Execution order within one transition (see `core/expansion.cpp` and
+/// `fsm/concrete.cpp`):
+///   1. pre-phase  : LoadFromMemory / LoadPreferred snapshot the pre-
+///                   transition values; WriteBackSelf / WriteBackFrom update
+///                   memory from pre-transition values.
+///   2. state phase: the FSM transition itself; any cache entering the
+///                   Invalid state has its copy dropped (cdata := nodata).
+///   3. store phase: if the rule stores (StoreSelf / StoreThrough), all
+///                   remaining copies of the old value age (fresh ->
+///                   obsolete, mdata -> obsolete), then UpdateOthers
+///                   re-freshens surviving copies (write-broadcast), then
+///                   the writer's copy becomes fresh; StoreThrough also
+///                   re-freshens memory.
+
+#include <string>
+
+#include "fsm/types.hpp"
+#include "util/small_vec.hpp"
+
+namespace ccver {
+
+/// Kind of a data micro-operation.
+enum class DataOpKind : std::uint8_t {
+  /// cdata_self := mdata (block fill from main memory).
+  LoadFromMemory,
+  /// cdata_self := cdata of the first *present* class among `sources`
+  /// (priority order); falls back to memory if none is present.
+  LoadPreferred,
+  /// mdata := cdata_self (write-back of the local copy).
+  WriteBackSelf,
+  /// mdata := cdata of the class with state `sources[0]`, if present
+  /// (a remote owner flushes while supplying the block). No-op otherwise.
+  WriteBackFrom,
+  /// The originator performs a store kept local (write-back policy):
+  /// old-value copies age, then cdata_self := fresh.
+  StoreSelf,
+  /// The originator performs a write-through store: like StoreSelf but
+  /// memory receives the new value too (mdata := fresh).
+  StoreThrough,
+  /// Write-broadcast: every other cache that still holds a copy after the
+  /// state phase receives the newly stored value (cdata := fresh).
+  /// Only meaningful after StoreSelf/StoreThrough in the same rule.
+  UpdateOthers,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DataOpKind k) noexcept {
+  switch (k) {
+    case DataOpKind::LoadFromMemory: return "load memory";
+    case DataOpKind::LoadPreferred: return "load preferred";
+    case DataOpKind::WriteBackSelf: return "writeback self";
+    case DataOpKind::WriteBackFrom: return "writeback from";
+    case DataOpKind::StoreSelf: return "store";
+    case DataOpKind::StoreThrough: return "store through";
+    case DataOpKind::UpdateOthers: return "update others";
+  }
+  return "?";
+}
+
+/// One data micro-operation. `sources` is used by LoadPreferred (priority
+/// list) and WriteBackFrom (single source state).
+struct DataOp {
+  DataOpKind kind = DataOpKind::LoadFromMemory;
+  SmallVec<StateId, kMaxStates> sources{};
+
+  [[nodiscard]] bool operator==(const DataOp& other) const = default;
+};
+
+}  // namespace ccver

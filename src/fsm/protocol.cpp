@@ -1,0 +1,111 @@
+#include "fsm/protocol.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+const std::string& Protocol::state_name(StateId s) const {
+  CCV_CHECK(s < state_names_.size(), "state id out of range");
+  return state_names_[s];
+}
+
+const OpDef& Protocol::op(OpId o) const {
+  CCV_CHECK(o < ops_.size(), "op id out of range");
+  return ops_[o];
+}
+
+std::optional<StateId> Protocol::find_state(std::string_view name) const {
+  for (std::size_t i = 0; i < state_names_.size(); ++i) {
+    if (state_names_[i] == name) return static_cast<StateId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<OpId> Protocol::find_op(std::string_view name) const {
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].name == name) return static_cast<OpId>(i);
+  }
+  return std::nullopt;
+}
+
+const Rule* Protocol::find_rule(StateId from, OpId op, bool sharing) const {
+  CCV_CHECK(from < state_names_.size(), "state id out of range");
+  CCV_CHECK(op < ops_.size(), "op id out of range");
+  const int idx = rule_index_[from][op][sharing ? 1 : 0];
+  return idx < 0 ? nullptr : &rules_[static_cast<std::size_t>(idx)];
+}
+
+bool Protocol::operator==(const Protocol& other) const {
+  return name_ == other.name_ && state_names_ == other.state_names_ &&
+         ops_ == other.ops_ && invalid_ == other.invalid_ &&
+         characteristic_ == other.characteristic_ && rules_ == other.rules_ &&
+         exclusive_ == other.exclusive_ && unique_ == other.unique_ &&
+         owners_ == other.owners_;
+}
+
+void Protocol::reindex() {
+  rule_index_.assign(state_names_.size(), {});
+  for (auto& per_state : rule_index_) {
+    for (auto& per_op : per_state) per_op = {-1, -1};
+  }
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& r = rules_[i];
+    const int idx = static_cast<int>(i);
+    switch (r.guard) {
+      case SharingGuard::Any:
+        rule_index_[r.from][r.op][0] = idx;
+        rule_index_[r.from][r.op][1] = idx;
+        break;
+      case SharingGuard::Unshared:
+        rule_index_[r.from][r.op][0] = idx;
+        break;
+      case SharingGuard::Shared:
+        rule_index_[r.from][r.op][1] = idx;
+        break;
+    }
+  }
+}
+
+std::string Protocol::describe() const {
+  std::ostringstream os;
+  os << "protocol " << name_ << " (|Q|=" << state_count()
+     << ", |Sigma|=" << op_count() << ", F="
+     << (characteristic_ == CharacteristicKind::Null ? "null"
+                                                     : "sharing-detection")
+     << ")\n";
+  os << "  states:";
+  for (std::size_t i = 0; i < state_names_.size(); ++i) {
+    os << ' ' << state_names_[i];
+    if (static_cast<StateId>(i) == invalid_) os << "(invalid)";
+  }
+  os << "\n  rules:\n";
+  for (const Rule& r : rules_) {
+    os << "    " << state_name(r.from) << " --" << ops_[r.op].name;
+    if (r.guard != SharingGuard::Any) os << '[' << to_string(r.guard) << ']';
+    os << "--> " << state_name(r.self_next);
+    bool first = true;
+    for (std::size_t q = 0; q < state_count(); ++q) {
+      if (r.observed[q] != static_cast<StateId>(q)) {
+        os << (first ? "  observed{" : ", ");
+        os << state_name(static_cast<StateId>(q)) << "->"
+           << state_name(r.observed[q]);
+        first = false;
+      }
+    }
+    if (!first) os << '}';
+    for (const DataOp& d : r.data_ops) {
+      os << "  [" << to_string(d.kind);
+      for (const StateId s : d.sources) os << ' ' << state_name(s);
+      os << ']';
+    }
+    if (r.is_stall) os << "  [stall]";
+    if (r.defers_store) os << "  [defer store]";
+    if (!r.note.empty()) os << "  ; " << r.note;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ccver

@@ -1,0 +1,125 @@
+#pragma once
+/// \file protocol.hpp
+/// The protocol FSM M = (Q, Sigma, F, delta) of Definition 1.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsm/rule.hpp"
+#include "fsm/types.hpp"
+
+namespace ccver {
+
+/// One element of Sigma. `is_write` selects the store semantics of
+/// Definition 3; `is_replacement` marks operations that model capacity
+/// evictions rather than processor accesses.
+struct OpDef {
+  std::string name;
+  bool is_write = false;
+  bool is_replacement = false;
+
+  [[nodiscard]] bool operator==(const OpDef& other) const = default;
+};
+
+/// Structural invariant declared by a protocol: a cache-block state whose
+/// semantic interpretation requires it to be the *only* valid copy in the
+/// system (e.g. Dirty and Valid-Exclusive in the Illinois protocol).
+/// Section 2.1 of the paper uses these interpretations to define which
+/// global states are permissible.
+struct ExclusivityInvariant {
+  StateId state = 0;
+
+  [[nodiscard]] bool operator==(const ExclusivityInvariant& other) const =
+      default;
+};
+
+/// An immutable, validated cache-coherence protocol specification.
+/// Construct through `ProtocolBuilder` (fsm/builder.hpp) or the spec-file
+/// loader (spec/loader.hpp).
+class Protocol {
+ public:
+  /// \name Identity and vocabulary
+  ///@{
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return state_names_.size();
+  }
+  [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
+  [[nodiscard]] const std::string& state_name(StateId s) const;
+  [[nodiscard]] const OpDef& op(OpId o) const;
+  [[nodiscard]] StateId invalid_state() const noexcept { return invalid_; }
+  [[nodiscard]] bool is_valid_state(StateId s) const noexcept {
+    return s != invalid_;
+  }
+  [[nodiscard]] CharacteristicKind characteristic() const noexcept {
+    return characteristic_;
+  }
+  ///@}
+
+  /// Looks up a state id by name; empty if unknown.
+  [[nodiscard]] std::optional<StateId> find_state(std::string_view name) const;
+
+  /// Looks up an op id by name; empty if unknown.
+  [[nodiscard]] std::optional<OpId> find_op(std::string_view name) const;
+
+  /// Returns the rule for (`from`, `op`) under sharing value `sharing`, or
+  /// nullptr if the operation has no effect in that situation (e.g. the
+  /// replacement of an Invalid block).
+  [[nodiscard]] const Rule* find_rule(StateId from, OpId op,
+                                      bool sharing) const;
+
+  /// All rules, in declaration order.
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept {
+    return rules_;
+  }
+
+  /// States declared as requiring global exclusivity (sole valid copy).
+  [[nodiscard]] const std::vector<ExclusivityInvariant>& exclusivity()
+      const noexcept {
+    return exclusive_;
+  }
+
+  /// States declared unique (at most one copy, but other valid states may
+  /// coexist -- ownership states like Berkeley's Shared-Dirty).
+  [[nodiscard]] const std::vector<StateId>& unique_states() const noexcept {
+    return unique_;
+  }
+
+  /// States whose semantic interpretation says memory is stale while they
+  /// hold the block (ownership states: Dirty, Shared-Dirty, ...). Used by
+  /// reports only; correctness checking relies on the context variables.
+  [[nodiscard]] const std::vector<StateId>& owner_states() const noexcept {
+    return owners_;
+  }
+
+  /// Structural equality of the full specification (used to check that the
+  /// spec-language loader reproduces the builder-defined protocols).
+  [[nodiscard]] bool operator==(const Protocol& other) const;
+
+  /// Renders the transition table as human-readable text.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class ProtocolBuilder;
+  friend class ProtocolMutator;
+  Protocol() = default;
+
+  /// Rebuilds rule_index_ from rules_ (after construction or mutation).
+  void reindex();
+
+  std::string name_;
+  std::vector<std::string> state_names_;
+  std::vector<OpDef> ops_;
+  StateId invalid_ = 0;
+  CharacteristicKind characteristic_ = CharacteristicKind::Null;
+  std::vector<Rule> rules_;
+  std::vector<ExclusivityInvariant> exclusive_;
+  std::vector<StateId> unique_;
+  std::vector<StateId> owners_;
+
+  /// rule_index_[from][op][sharing] -> index into rules_ or -1.
+  std::vector<std::array<std::array<int, 2>, kMaxOps>> rule_index_;
+};
+
+}  // namespace ccver

@@ -1,0 +1,72 @@
+#pragma once
+/// \file rule.hpp
+/// A transition rule of the protocol FSM (one row of delta in Definition 1,
+/// extended with the coincident effects on other caches and the data
+/// micro-ops of Section 2.4).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fsm/data_ops.hpp"
+#include "fsm/types.hpp"
+
+namespace ccver {
+
+/// A deterministic transition rule: when a cache in state `from` issues
+/// operation `op` and the sharing-detection function evaluates according to
+/// `guard`, the originator moves to `self_next` and every *other* cache in
+/// state q moves to `observed[q]` (the paper's coincident transition,
+/// rule 2 of Section 3.2.3).
+struct Rule {
+  StateId from = 0;
+  OpId op = 0;
+  SharingGuard guard = SharingGuard::Any;
+  StateId self_next = 0;
+
+  /// Coincident next-state for each other-cache state; identity by default.
+  /// `observed[invalid]` must remain invalid (a remote transaction can
+  /// update or invalidate an existing copy but never create one).
+  std::array<StateId, kMaxStates> observed{};
+
+  /// Data micro-ops, interpreted in declaration order within each phase.
+  std::vector<DataOp> data_ops;
+
+  /// A stall: the operation is deferred (processor blocked on a transient
+  /// state), nothing happens. Stall rules must be self-loops without data
+  /// ops; a stalled write is exempt from the must-store validation because
+  /// the store has not been performed yet.
+  bool is_stall = false;
+
+  /// A split-transaction write *request*: the rule moves into a transient
+  /// state and the store itself retires later, on the completion rule.
+  /// Exempts a write rule from the must-store validation.
+  bool defers_store = false;
+
+  /// Free-text description carried into reports ("read miss served by the
+  /// dirty cache", ...).
+  std::string note;
+
+  [[nodiscard]] bool operator==(const Rule& other) const = default;
+
+  /// True if this rule performs a store (StoreSelf or StoreThrough).
+  [[nodiscard]] bool stores() const noexcept {
+    for (const DataOp& d : data_ops) {
+      if (d.kind == DataOpKind::StoreSelf || d.kind == DataOpKind::StoreThrough)
+        return true;
+    }
+    return false;
+  }
+
+  /// True if this rule loads data into the originator.
+  [[nodiscard]] bool loads() const noexcept {
+    for (const DataOp& d : data_ops) {
+      if (d.kind == DataOpKind::LoadFromMemory ||
+          d.kind == DataOpKind::LoadPreferred)
+        return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace ccver

@@ -1,0 +1,85 @@
+#pragma once
+/// \file types.hpp
+/// Vocabulary types for the protocol FSM model (Definition 1 of the paper).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ccver {
+
+/// Index of a cache-block state within a protocol's state set Q.
+using StateId = std::uint8_t;
+
+/// Index of an operation within a protocol's operation set Sigma.
+using OpId = std::uint8_t;
+
+/// Upper bound on |Q|. The largest protocol in this repository (MOESI) has
+/// five states; 12 leaves generous room for experimental protocols while
+/// keeping composite states inline-allocated.
+inline constexpr std::size_t kMaxStates = 12;
+
+/// Upper bound on |Sigma|.
+inline constexpr std::size_t kMaxOps = 8;
+
+/// Context variable attached to each cache copy (Definition 4): `cdata_i`
+/// takes values from {nodata, fresh, obsolete}.
+enum class CData : std::uint8_t {
+  NoData = 0,    ///< no copy present (always the case in the Invalid state)
+  Fresh = 1,     ///< the copy holds the most recently stored value
+  Obsolete = 2,  ///< the copy holds a value older than the last store
+};
+
+/// Context variable for the memory copy: `mdata` in {fresh, obsolete}.
+enum class MData : std::uint8_t {
+  Fresh = 0,
+  Obsolete = 1,
+};
+
+/// Guard on the sharing-detection function f_i evaluated from the
+/// originating cache's perspective (Section 2.1).
+enum class SharingGuard : std::uint8_t {
+  Any = 0,       ///< rule applies regardless of f_i
+  Unshared = 1,  ///< rule applies when f_i = false (no other cached copy)
+  Shared = 2,    ///< rule applies when f_i = true (some other cached copy)
+};
+
+/// The characteristic function F of the FSM model. The paper restricts F to
+/// either null or the sharing-detection function; so do we.
+enum class CharacteristicKind : std::uint8_t {
+  Null = 0,
+  SharingDetection = 1,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CData v) noexcept {
+  switch (v) {
+    case CData::NoData: return "nodata";
+    case CData::Fresh: return "fresh";
+    case CData::Obsolete: return "obsolete";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(MData v) noexcept {
+  return v == MData::Fresh ? "fresh" : "obsolete";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(SharingGuard g) noexcept {
+  switch (g) {
+    case SharingGuard::Any: return "any";
+    case SharingGuard::Unshared: return "unshared";
+    case SharingGuard::Shared: return "shared";
+  }
+  return "?";
+}
+
+/// The three processor-issued operations shared by every protocol in the
+/// repository (Sigma = {R, W, Rep} in the paper). Protocols may define
+/// additional operations; these ids are reserved by `ProtocolBuilder`.
+struct StdOps {
+  static constexpr OpId Read = 0;
+  static constexpr OpId Write = 1;
+  static constexpr OpId Replace = 2;
+};
+
+}  // namespace ccver

@@ -1,0 +1,68 @@
+/// \file berkeley.cpp
+/// The Berkeley protocol (Archibald & Baer, Section 3.3): ownership-based
+/// write-invalidate. Owners (Dirty or Shared-Dirty) supply data directly,
+/// *without* updating memory; memory may therefore stay stale while clean
+/// Valid copies circulate. F is null.
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol berkeley() {
+  ProtocolBuilder b("Berkeley", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId val = b.state("Valid");
+  const StateId sd = b.state("SharedDirty");
+  const StateId d = b.state("Dirty");
+  b.exclusive(d).unique(sd).owner(d).owner(sd);
+
+  // Read.
+  b.rule(inv, StdOps::Read)
+      .to(val)
+      .observe(d, sd)
+      .load_prefer({d, sd})
+      .note("read miss: the owner supplies the block without updating "
+            "memory (a Dirty owner becomes Shared-Dirty); otherwise memory "
+            "supplies; block loaded Valid");
+  b.rule(val, StdOps::Read).to(val).note("read hit");
+  b.rule(sd, StdOps::Read).to(sd).note("read hit");
+  b.rule(d, StdOps::Read).to(d).note("read hit");
+
+  // Write.
+  b.rule(inv, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .load_prefer({d, sd})
+      .store()
+      .note("write miss: the owner or memory supplies; all other copies "
+            "invalidated; block loaded Dirty");
+  b.rule(val, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .store()
+      .note("write hit on Valid: invalidation broadcast; block becomes "
+            "Dirty");
+  b.rule(sd, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .store()
+      .note("write hit on Shared-Dirty: invalidation broadcast; block "
+            "becomes Dirty");
+  b.rule(d, StdOps::Write).to(d).store().note("write hit on Dirty");
+
+  // Replacement.
+  b.rule(val, StdOps::Replace).to(inv).note("replace unowned copy");
+  b.rule(sd, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace Shared-Dirty copy: owner must write back");
+  b.rule(d, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace Dirty copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

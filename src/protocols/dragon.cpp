@@ -1,0 +1,110 @@
+/// \file dragon.cpp
+/// The Xerox PARC Dragon protocol (Archibald & Baer, Section 3.6): write-
+/// broadcast with write-back to memory deferred through an owned
+/// Shared-Modified state. Shared writes update the other caches but not
+/// memory; the most recent writer owns the block.
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol dragon() {
+  ProtocolBuilder b("Dragon", CharacteristicKind::SharingDetection);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId e = b.state("Exclusive");
+  const StateId sc = b.state("SharedClean");
+  const StateId sm = b.state("SharedModified");
+  const StateId d = b.state("Dirty");
+  b.exclusive(e).exclusive(d).unique(sm).owner(sm).owner(d);
+
+  // Read.
+  b.rule(inv, StdOps::Read)
+      .when_unshared()
+      .to(e)
+      .load_memory()
+      .note("read miss, no sharers: memory supplies an Exclusive copy");
+  b.rule(inv, StdOps::Read)
+      .when_shared()
+      .to(sc)
+      .observe(d, sm)
+      .observe(e, sc)
+      .load_prefer({sm, d, sc, e})
+      .note("read miss, sharers exist: the owner (Sm or Dirty) supplies "
+            "without updating memory; a Dirty holder becomes Shared-"
+            "Modified; an Exclusive holder becomes Shared-Clean");
+  b.rule(e, StdOps::Read).to(e).note("read hit");
+  b.rule(sc, StdOps::Read).to(sc).note("read hit");
+  b.rule(sm, StdOps::Read).to(sm).note("read hit");
+  b.rule(d, StdOps::Read).to(d).note("read hit");
+
+  // Write.
+  b.rule(inv, StdOps::Write)
+      .when_unshared()
+      .to(d)
+      .load_memory()
+      .store()
+      .note("write miss, no sharers: memory supplies; written locally; "
+            "block Dirty");
+  b.rule(inv, StdOps::Write)
+      .when_shared()
+      .to(sm)
+      .observe(sm, sc)
+      .observe(d, sc)
+      .observe(e, sc)
+      .load_prefer({sm, d, sc, e})
+      .store()
+      .update_others()
+      .note("write miss, sharers exist: holders supply; the write is "
+            "broadcast to all sharers (not memory); the writer takes "
+            "ownership as Shared-Modified, the previous owner is "
+            "downgraded");
+  b.rule(e, StdOps::Write)
+      .to(d)
+      .store()
+      .note("write hit on Exclusive: silent upgrade to Dirty");
+  b.rule(sc, StdOps::Write)
+      .when_shared()
+      .to(sm)
+      .observe(sm, sc)
+      .store()
+      .update_others()
+      .note("write hit on Shared-Clean, sharers remain: broadcast update; "
+            "the writer becomes the owner (Shared-Modified)");
+  b.rule(sc, StdOps::Write)
+      .when_unshared()
+      .to(d)
+      .store()
+      .note("write hit on Shared-Clean, no sharers left: written locally; "
+            "block Dirty");
+  b.rule(sm, StdOps::Write)
+      .when_shared()
+      .to(sm)
+      .store()
+      .update_others()
+      .note("write hit on Shared-Modified, sharers remain: broadcast "
+            "update; ownership retained");
+  b.rule(sm, StdOps::Write)
+      .when_unshared()
+      .to(d)
+      .store()
+      .note("write hit on Shared-Modified, no sharers left: block becomes "
+            "Dirty");
+  b.rule(d, StdOps::Write).to(d).store().note("write hit on Dirty");
+
+  // Replacement: the owner (Sm or Dirty) must write back.
+  b.rule(e, StdOps::Replace).to(inv).note("replace clean exclusive copy");
+  b.rule(sc, StdOps::Replace).to(inv).note("replace shared-clean copy");
+  b.rule(sm, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace Shared-Modified copy: owner writes back");
+  b.rule(d, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace dirty copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

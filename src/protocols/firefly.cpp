@@ -1,0 +1,90 @@
+/// \file firefly.cpp
+/// The DEC Firefly protocol (Archibald & Baer, Section 3.5): write-
+/// broadcast. Blocks are never invalidated; writes to shared blocks are
+/// written through to memory and broadcast to all sharers. The SharedLine
+/// (our sharing-detection function) is used on misses and on shared write
+/// hits to detect when sharing has ceased.
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol firefly() {
+  ProtocolBuilder b("Firefly", CharacteristicKind::SharingDetection);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId ve = b.state("ValidExclusive");
+  const StateId sh = b.state("Shared");
+  const StateId d = b.state("Dirty");
+  b.exclusive(ve).exclusive(d).owner(d);
+
+  // Read.
+  b.rule(inv, StdOps::Read)
+      .when_unshared()
+      .to(ve)
+      .load_memory()
+      .note("read miss, SharedLine low: memory supplies a Valid-Exclusive "
+            "copy");
+  b.rule(inv, StdOps::Read)
+      .when_shared()
+      .to(sh)
+      .observe(d, sh)
+      .observe(ve, sh)
+      .writeback_from(d)
+      .load_prefer({d, sh, ve})
+      .note("read miss, SharedLine high: holders supply; a dirty holder "
+            "updates memory; everyone ends Shared");
+  b.rule(ve, StdOps::Read).to(ve).note("read hit");
+  b.rule(sh, StdOps::Read).to(sh).note("read hit");
+  b.rule(d, StdOps::Read).to(d).note("read hit");
+
+  // Write.
+  b.rule(inv, StdOps::Write)
+      .when_unshared()
+      .to(d)
+      .load_memory()
+      .store()
+      .note("write miss, SharedLine low: memory supplies; written locally; "
+            "block Dirty");
+  b.rule(inv, StdOps::Write)
+      .when_shared()
+      .to(sh)
+      .observe(d, sh)
+      .observe(ve, sh)
+      .load_prefer({d, sh, ve})
+      .store_through()
+      .update_others()
+      .note("write miss, SharedLine high: holders supply; the write is "
+            "broadcast to memory and to all sharers; block Shared");
+  b.rule(ve, StdOps::Write)
+      .to(d)
+      .store()
+      .note("write hit on Valid-Exclusive: silent upgrade to Dirty");
+  b.rule(sh, StdOps::Write)
+      .when_shared()
+      .to(sh)
+      .store_through()
+      .update_others()
+      .note("write hit on Shared, sharers remain: write through to memory "
+            "and broadcast to sharers");
+  b.rule(sh, StdOps::Write)
+      .when_unshared()
+      .to(ve)
+      .store_through()
+      .note("write hit on Shared, no sharers left: write through to "
+            "memory; copy becomes Valid-Exclusive");
+  b.rule(d, StdOps::Write).to(d).store().note("write hit on Dirty");
+
+  // Replacement. Shared copies are clean (shared writes go through to
+  // memory), so only Dirty needs a write-back.
+  b.rule(ve, StdOps::Replace).to(inv).note("replace clean exclusive copy");
+  b.rule(sh, StdOps::Replace).to(inv).note("replace shared copy (clean)");
+  b.rule(d, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace dirty copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

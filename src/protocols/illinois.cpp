@@ -1,0 +1,77 @@
+/// \file illinois.cpp
+/// The Illinois protocol (Papamarcos & Patel), exactly as specified in
+/// Sections 2.3 and 2.4 of the paper.
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol illinois() {
+  ProtocolBuilder b("Illinois", CharacteristicKind::SharingDetection);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId ve = b.state("ValidExclusive");
+  const StateId sh = b.state("Shared");
+  const StateId d = b.state("Dirty");
+  b.exclusive(ve).exclusive(d).owner(d);
+
+  // Read.
+  b.rule(inv, StdOps::Read)
+      .when_unshared()
+      .to(ve)
+      .load_memory()
+      .note("read miss, no cached copy: memory supplies a Valid-Exclusive "
+            "copy");
+  b.rule(inv, StdOps::Read)
+      .when_shared()
+      .to(sh)
+      .observe(d, sh)
+      .observe(ve, sh)
+      .writeback_from(d)
+      .load_prefer({d, sh, ve})
+      .note("read miss, cached copies exist: a dirty holder supplies the "
+            "block and updates memory; all holders end Shared");
+  b.rule(ve, StdOps::Read).to(ve).note("read hit");
+  b.rule(sh, StdOps::Read).to(sh).note("read hit");
+  b.rule(d, StdOps::Read).to(d).note("read hit");
+
+  // Write.
+  b.rule(inv, StdOps::Write)
+      .when_unshared()
+      .to(d)
+      .load_memory()
+      .store()
+      .note("write miss, no cached copy: memory supplies; block loaded "
+            "Dirty");
+  b.rule(inv, StdOps::Write)
+      .when_shared()
+      .to(d)
+      .invalidate_others()
+      .load_prefer({d, sh, ve})
+      .store()
+      .note("write miss, cached copies exist: a holder supplies; all "
+            "remote copies invalidated; block loaded Dirty");
+  b.rule(ve, StdOps::Write)
+      .to(d)
+      .store()
+      .note("write hit on Valid-Exclusive: silent upgrade to Dirty");
+  b.rule(sh, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .store()
+      .note("write hit on Shared: remote copies invalidated; copy turns "
+            "Dirty");
+  b.rule(d, StdOps::Write).to(d).store().note("write hit on Dirty");
+
+  // Replacement.
+  b.rule(ve, StdOps::Replace).to(inv).note("replace clean exclusive copy");
+  b.rule(sh, StdOps::Replace).to(inv).note("replace shared copy");
+  b.rule(d, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace dirty copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

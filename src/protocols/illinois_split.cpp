@@ -1,0 +1,143 @@
+/// \file illinois_split.cpp
+/// A split-transaction variant of the Illinois protocol, realizing the
+/// extension the paper's conclusion announces ("more complex protocols
+/// with large numbers of cache states, such as ... protocols with locked
+/// states"): misses are two-phase. The request snoops the bus -- holders
+/// react and the data is latched -- and the originator parks in a
+/// transient (locked) state until the completion event (AckR / AckW)
+/// retires the access. Between the two phases, any other cache may act;
+/// the engine explores all interleavings.
+///
+/// The coherence-critical obligations in this design:
+///  * every store must abort pending requests whose latched data it makes
+///    stale (invalidate_others covers the transient states);
+///  * a write request invalidates at request time AND at completion time
+///    (requests issued in between latch from memory and must be killed);
+///  * a request that kills the dirty holder must flush it to memory, and a
+///    pending writer can supply its latched (pre-store, still fresh) data
+///    -- otherwise the only fresh copy is stranded in a transient latch
+///    while memory is stale, and the next request fills with stale data.
+///
+/// The third obligation was *discovered by the verifier*: the first draft
+/// of this file omitted the flush and the WritePending supply path, and
+/// the symbolic expansion produced the counterexample
+///   (Inv+) --W--> (WM, Inv*) --AckW--> (Dirty, Inv*)
+///          --W--> (WM, Inv+)  [dirty holder killed, memory stale]
+///          --R--> (RM:obsolete, WM, Inv*)   [stale fill latched]
+/// in 235 visits. `illinois_split_lost_invalidation` in mutation.cpp
+/// drops the first obligation instead and is likewise caught.
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol illinois_split() {
+  ProtocolBuilder b("IllinoisSplit", CharacteristicKind::SharingDetection);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId rm = b.state("ReadPending");
+  const StateId wm = b.state("WritePending");
+  const StateId ve = b.state("ValidExclusive");
+  const StateId sh = b.state("Shared");
+  const StateId d = b.state("Dirty");
+  b.exclusive(ve).exclusive(d).unique(wm).owner(d);
+
+  const OpId ackr = b.add_op("AckR", /*is_write=*/false);
+  const OpId ackw = b.add_op("AckW", /*is_write=*/true);
+
+  // ---- Read transaction: request, then fill completion.
+  b.rule(inv, StdOps::Read)
+      .when_unshared()
+      .to(rm)
+      .load_memory()
+      .note("read request issued; no cached copy: data latched from "
+            "memory; fill pending");
+  b.rule(inv, StdOps::Read)
+      .when_shared()
+      .to(rm)
+      .observe(d, sh)
+      .observe(ve, sh)
+      .writeback_from(d)
+      .load_prefer({d, wm, sh, ve})
+      .note("read request issued; holders snoop at request time (a dirty "
+            "holder flushes, a pending writer supplies its latched copy), "
+            "data latched; fill pending");
+  b.rule(rm, ackr)
+      .when_unshared()
+      .to(ve)
+      .note("fill completes with no other copy: Valid-Exclusive");
+  b.rule(rm, ackr)
+      .when_shared()
+      .to(sh)
+      .note("fill completes with other copies present: Shared");
+
+  // ---- Write transaction: request (ownership pending), then retire.
+  b.rule(inv, StdOps::Write)
+      .when_unshared()
+      .to(wm)
+      .load_memory()
+      .defer_store()
+      .note("write request issued; no cached copy: data latched from "
+            "memory; ownership pending");
+  b.rule(inv, StdOps::Write)
+      .when_shared()
+      .to(wm)
+      .invalidate_others()
+      .writeback_from(d)
+      .load_prefer({d, wm, sh, ve})
+      .defer_store()
+      .note("write request issued; a dirty holder flushes to memory before "
+            "being invalidated; holders (including a superseded pending "
+            "writer) supply the latch; ownership pending");
+  b.rule(wm, ackw)
+      .to(d)
+      .invalidate_others()
+      .store()
+      .note("ownership granted: requests latched in between are aborted, "
+            "the write retires, copy becomes Dirty");
+
+  // ---- Processor accesses against transient states stall.
+  b.rule(rm, StdOps::Read).stall().note("read while fill pending: stall");
+  b.rule(rm, StdOps::Write).stall().note("write while fill pending: stall");
+  b.rule(rm, StdOps::Replace)
+      .stall()
+      .note("a pending fill cannot be evicted: stall");
+  b.rule(wm, StdOps::Read)
+      .stall()
+      .note("read while ownership pending: stall");
+  b.rule(wm, StdOps::Write)
+      .stall()
+      .note("write while ownership pending: stall");
+  b.rule(wm, StdOps::Replace)
+      .stall()
+      .note("a pending write cannot be evicted: stall");
+
+  // ---- Stable states behave as in atomic Illinois. Every store-carrying
+  // rule invalidates the transient states too (their latched data would
+  // otherwise go stale).
+  b.rule(ve, StdOps::Read).to(ve).note("read hit");
+  b.rule(sh, StdOps::Read).to(sh).note("read hit");
+  b.rule(d, StdOps::Read).to(d).note("read hit");
+  b.rule(ve, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .store()
+      .note("write hit on Valid-Exclusive: upgrade; abort latched requests");
+  b.rule(sh, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .store()
+      .note("write hit on Shared: remote copies and latched requests "
+            "invalidated");
+  b.rule(d, StdOps::Write).to(d).store().note("write hit on Dirty");
+  b.rule(ve, StdOps::Replace).to(inv).note("replace clean exclusive copy");
+  b.rule(sh, StdOps::Replace).to(inv).note("replace shared copy");
+  b.rule(d, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace dirty copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

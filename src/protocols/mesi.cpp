@@ -1,0 +1,76 @@
+/// \file mesi.cpp
+/// The MESI protocol: the modern formulation of Illinois. Structurally it
+/// matches the Illinois rule table under renamed states -- the verifier's
+/// global transition diagrams make the equivalence visible, which is one
+/// of the uses the paper advertises for the diagrams.
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol mesi() {
+  ProtocolBuilder b("MESI", CharacteristicKind::SharingDetection);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId e = b.state("Exclusive");
+  const StateId sh = b.state("Shared");
+  const StateId m = b.state("Modified");
+  b.exclusive(e).exclusive(m).owner(m);
+
+  // Read.
+  b.rule(inv, StdOps::Read)
+      .when_unshared()
+      .to(e)
+      .load_memory()
+      .note("read miss, no sharers: memory supplies an Exclusive copy");
+  b.rule(inv, StdOps::Read)
+      .when_shared()
+      .to(sh)
+      .observe(m, sh)
+      .observe(e, sh)
+      .writeback_from(m)
+      .load_prefer({m, sh, e})
+      .note("read miss, sharers exist: a modified holder flushes to memory "
+            "and supplies; everyone ends Shared");
+  b.rule(e, StdOps::Read).to(e).note("read hit");
+  b.rule(sh, StdOps::Read).to(sh).note("read hit");
+  b.rule(m, StdOps::Read).to(m).note("read hit");
+
+  // Write.
+  b.rule(inv, StdOps::Write)
+      .when_unshared()
+      .to(m)
+      .load_memory()
+      .store()
+      .note("write miss, no sharers: memory supplies; block Modified");
+  b.rule(inv, StdOps::Write)
+      .when_shared()
+      .to(m)
+      .invalidate_others()
+      .load_prefer({m, sh, e})
+      .store()
+      .note("write miss, sharers exist: a holder supplies; all other "
+            "copies invalidated; block Modified");
+  b.rule(e, StdOps::Write)
+      .to(m)
+      .store()
+      .note("write hit on Exclusive: silent upgrade");
+  b.rule(sh, StdOps::Write)
+      .to(m)
+      .invalidate_others()
+      .store()
+      .note("write hit on Shared: invalidation broadcast");
+  b.rule(m, StdOps::Write).to(m).store().note("write hit on Modified");
+
+  // Replacement.
+  b.rule(e, StdOps::Replace).to(inv).note("replace clean exclusive copy");
+  b.rule(sh, StdOps::Replace).to(inv).note("replace shared copy");
+  b.rule(m, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace modified copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

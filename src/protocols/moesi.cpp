@@ -1,0 +1,88 @@
+/// \file moesi.cpp
+/// The MOESI protocol: MESI plus an Owned state. A modified holder
+/// answering a remote read keeps the only up-to-date copy as Owned instead
+/// of flushing to memory; the owner supplies subsequent misses and writes
+/// back on replacement.
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol moesi() {
+  ProtocolBuilder b("MOESI", CharacteristicKind::SharingDetection);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId e = b.state("Exclusive");
+  const StateId sh = b.state("Shared");
+  const StateId o = b.state("Owned");
+  const StateId m = b.state("Modified");
+  b.exclusive(e).exclusive(m).unique(o).owner(o).owner(m);
+
+  // Read.
+  b.rule(inv, StdOps::Read)
+      .when_unshared()
+      .to(e)
+      .load_memory()
+      .note("read miss, no sharers: memory supplies an Exclusive copy");
+  b.rule(inv, StdOps::Read)
+      .when_shared()
+      .to(sh)
+      .observe(m, o)
+      .observe(e, sh)
+      .load_prefer({o, m, sh, e})
+      .note("read miss, sharers exist: the owner supplies without a memory "
+            "update (a Modified holder becomes Owned); block loaded "
+            "Shared");
+  b.rule(e, StdOps::Read).to(e).note("read hit");
+  b.rule(sh, StdOps::Read).to(sh).note("read hit");
+  b.rule(o, StdOps::Read).to(o).note("read hit");
+  b.rule(m, StdOps::Read).to(m).note("read hit");
+
+  // Write.
+  b.rule(inv, StdOps::Write)
+      .when_unshared()
+      .to(m)
+      .load_memory()
+      .store()
+      .note("write miss, no sharers: memory supplies; block Modified");
+  b.rule(inv, StdOps::Write)
+      .when_shared()
+      .to(m)
+      .invalidate_others()
+      .load_prefer({o, m, sh, e})
+      .store()
+      .note("write miss, sharers exist: the owner or a sharer supplies; "
+            "all other copies invalidated; block Modified");
+  b.rule(e, StdOps::Write)
+      .to(m)
+      .store()
+      .note("write hit on Exclusive: silent upgrade");
+  b.rule(sh, StdOps::Write)
+      .to(m)
+      .invalidate_others()
+      .store()
+      .note("write hit on Shared: invalidation broadcast");
+  b.rule(o, StdOps::Write)
+      .to(m)
+      .invalidate_others()
+      .store()
+      .note("write hit on Owned: invalidation broadcast; ownership "
+            "upgraded to Modified");
+  b.rule(m, StdOps::Write).to(m).store().note("write hit on Modified");
+
+  // Replacement: owners write back.
+  b.rule(e, StdOps::Replace).to(inv).note("replace clean exclusive copy");
+  b.rule(sh, StdOps::Replace).to(inv).note("replace shared copy");
+  b.rule(o, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace owned copy: write back to memory");
+  b.rule(m, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace modified copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

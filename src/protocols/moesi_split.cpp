@@ -1,0 +1,159 @@
+/// \file moesi_split.cpp
+/// Split-transaction MOESI with pending upgrades -- the hardest protocol
+/// in the library and the fullest exercise of the paper's "locked states"
+/// extension. Three transactions are two-phase:
+///  * read miss:    Invalid -> ReadPending  -> (AckR) Exclusive | Shared
+///  * write miss:   Invalid -> WritePending -> (AckW) Modified
+///  * upgrade:      Shared/Owned -> UpgradePending -> (AckW) Modified
+///
+/// The interesting concurrency:
+///  * two Shared holders may race their upgrades -- both sit in
+///    UpgradePending until the first completion invalidates the loser
+///    (upgrades do NOT invalidate at request time, unlike write misses);
+///  * a pending writer/upgrader holds the *pre-store* value, which is
+///    still the latest: transient states supply fills like owners do;
+///  * a write-miss request may kill the Owned holder without a flush --
+///    the fresh value survives only in the requester's latch, so pending
+///    states must be suppliable and un-evictable (replacements stall).
+///
+/// Reads hit on UpgradePending (the copy is valid until the store
+/// retires); reads stall on Read/WritePending (no data yet).
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol moesi_split() {
+  ProtocolBuilder b("MOESISplit", CharacteristicKind::SharingDetection);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId rp = b.state("ReadPending");
+  const StateId wp = b.state("WritePending");
+  const StateId up = b.state("UpgradePending");
+  const StateId e = b.state("Exclusive");
+  const StateId sh = b.state("Shared");
+  const StateId o = b.state("Owned");
+  const StateId m = b.state("Modified");
+  b.exclusive(e).exclusive(m).unique(o).unique(wp).owner(o).owner(m);
+
+  const OpId ackr = b.add_op("AckR", /*is_write=*/false);
+  const OpId ackw = b.add_op("AckW", /*is_write=*/true);
+
+  // ---- Read transaction.
+  b.rule(inv, StdOps::Read)
+      .when_unshared()
+      .to(rp)
+      .load_memory()
+      .note("read request, no cached copy: latch from memory");
+  b.rule(inv, StdOps::Read)
+      .when_shared()
+      .to(rp)
+      .observe(m, o)
+      .observe(e, sh)
+      .load_prefer({o, m, wp, up, sh, e})
+      .note("read request, copies exist: the owner (or a pending writer's "
+            "pre-store latch) supplies without a memory update; a Modified "
+            "holder downgrades to Owned, an Exclusive holder to Shared");
+  b.rule(rp, ackr)
+      .when_unshared()
+      .to(e)
+      .note("fill completes, no other copy: Exclusive");
+  b.rule(rp, ackr)
+      .when_shared()
+      .to(sh)
+      .note("fill completes, other copies exist: Shared");
+
+  // ---- Write-miss transaction.
+  b.rule(inv, StdOps::Write)
+      .when_unshared()
+      .to(wp)
+      .load_memory()
+      .defer_store()
+      .note("write request, no cached copy: latch from memory; ownership "
+            "pending");
+  b.rule(inv, StdOps::Write)
+      .when_shared()
+      .to(wp)
+      .invalidate_others()
+      .load_prefer({o, m, wp, up, sh, e})
+      .defer_store()
+      .note("write request: the owner or a pending holder supplies the "
+            "latch, then every other copy (including pending ones) is "
+            "invalidated; the fresh value survives in this latch");
+  b.rule(wp, ackw)
+      .to(m)
+      .invalidate_others()
+      .store()
+      .note("ownership granted: late-latched requests aborted, the write "
+            "retires Modified");
+
+  // ---- Upgrade transaction (Shared/Owned -> Modified). Upgrades do not
+  // invalidate at request time; the completion settles the race.
+  b.rule(sh, StdOps::Write)
+      .to(up)
+      .defer_store()
+      .note("upgrade request from Shared: keep the copy, wait for the bus");
+  b.rule(o, StdOps::Write)
+      .to(up)
+      .defer_store()
+      .note("upgrade request from Owned: keep the copy, wait for the bus");
+  b.rule(up, ackw)
+      .to(m)
+      .invalidate_others()
+      .store()
+      .note("upgrade granted: racing upgraders and sharers invalidated, "
+            "the write retires Modified");
+
+  // ---- Atomic upgrades/hits on stable states.
+  b.rule(e, StdOps::Write)
+      .to(m)
+      .store()
+      .note("write hit on Exclusive: silent upgrade");
+  b.rule(m, StdOps::Write).to(m).store().note("write hit on Modified");
+  b.rule(e, StdOps::Read).to(e).note("read hit");
+  b.rule(sh, StdOps::Read).to(sh).note("read hit");
+  b.rule(o, StdOps::Read).to(o).note("read hit");
+  b.rule(m, StdOps::Read).to(m).note("read hit");
+  b.rule(up, StdOps::Read)
+      .to(up)
+      .note("read hit on UpgradePending: the copy is valid until the "
+            "store retires");
+
+  // ---- Stalls on transient states.
+  b.rule(rp, StdOps::Read).stall().note("read while fill pending: stall");
+  b.rule(rp, StdOps::Write).stall().note("write while fill pending: stall");
+  b.rule(rp, StdOps::Replace)
+      .stall()
+      .note("a pending fill cannot be evicted: stall");
+  b.rule(wp, StdOps::Read)
+      .stall()
+      .note("read while write pending: stall");
+  b.rule(wp, StdOps::Write)
+      .stall()
+      .note("write while write pending: stall");
+  b.rule(wp, StdOps::Replace)
+      .stall()
+      .note("a pending write cannot be evicted: stall");
+  b.rule(up, StdOps::Write)
+      .stall()
+      .note("write while upgrade pending: stall");
+  b.rule(up, StdOps::Replace)
+      .stall()
+      .note("a pending upgrade cannot be evicted: stall");
+
+  // ---- Replacement of stable states.
+  b.rule(e, StdOps::Replace).to(inv).note("replace clean exclusive copy");
+  b.rule(sh, StdOps::Replace).to(inv).note("replace shared copy");
+  b.rule(o, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace owned copy: write back to memory");
+  b.rule(m, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace modified copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

@@ -1,0 +1,54 @@
+/// \file msi.cpp
+/// The minimal MSI write-invalidate protocol: a modified holder flushes to
+/// memory when a remote read is observed; writes invalidate all other
+/// copies. F is null (misses always load Shared).
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol msi() {
+  ProtocolBuilder b("MSI", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId sh = b.state("Shared");
+  const StateId m = b.state("Modified");
+  b.exclusive(m).owner(m);
+
+  // Read.
+  b.rule(inv, StdOps::Read)
+      .to(sh)
+      .observe(m, sh)
+      .writeback_from(m)
+      .load_prefer({m, sh})
+      .note("read miss: a modified holder flushes to memory and supplies; "
+            "otherwise a sharer or memory supplies; block loaded Shared");
+  b.rule(sh, StdOps::Read).to(sh).note("read hit");
+  b.rule(m, StdOps::Read).to(m).note("read hit");
+
+  // Write.
+  b.rule(inv, StdOps::Write)
+      .to(m)
+      .invalidate_others()
+      .load_prefer({m, sh})
+      .store()
+      .note("write miss: a holder or memory supplies; all other copies "
+            "invalidated; block loaded Modified");
+  b.rule(sh, StdOps::Write)
+      .to(m)
+      .invalidate_others()
+      .store()
+      .note("write hit on Shared: upgrade with invalidation broadcast");
+  b.rule(m, StdOps::Write).to(m).store().note("write hit on Modified");
+
+  // Replacement.
+  b.rule(sh, StdOps::Replace).to(inv).note("replace shared copy");
+  b.rule(m, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace modified copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

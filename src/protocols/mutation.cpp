@@ -1,0 +1,245 @@
+#include "protocols/mutation.hpp"
+
+#include <sstream>
+
+#include "protocols/protocols.hpp"
+#include "util/error.hpp"
+
+namespace ccver {
+
+Protocol ProtocolMutator::with_rule(const Protocol& p, std::size_t index,
+                                    Rule rule, std::string name_suffix) {
+  CCV_CHECK(index < p.rules().size(), "mutation rule index out of range");
+  Protocol mutant = p;
+  mutant.name_ += std::move(name_suffix);
+  mutant.rules_[index] = std::move(rule);
+  mutant.reindex();
+  return mutant;
+}
+
+std::vector<ProtocolMutant> ProtocolMutator::enumerate(const Protocol& p) {
+  std::vector<ProtocolMutant> out;
+  const auto emit = [&out, &p](std::size_t index, Rule rule,
+                               const std::string& what) {
+    if (rule == p.rules()[index]) return;  // mutation had no effect
+    std::ostringstream os;
+    os << "rule " << index << " (" << p.state_name(rule.from) << ", "
+       << p.op(rule.op).name << ", " << to_string(rule.guard) << "): " << what;
+    ProtocolMutant m{with_rule(p, index, std::move(rule), "[mut]"),
+                     os.str(), index};
+    out.push_back(std::move(m));
+  };
+
+  for (std::size_t i = 0; i < p.rules().size(); ++i) {
+    const Rule& original = p.rules()[i];
+
+    // (a) Weaken each non-identity coincident transition to "no change".
+    for (std::size_t q = 0; q < p.state_count(); ++q) {
+      if (original.observed[q] == static_cast<StateId>(q)) continue;
+      Rule rule = original;
+      rule.observed[q] = static_cast<StateId>(q);
+      emit(i, rule,
+           "coincident transition " + p.state_name(static_cast<StateId>(q)) +
+               "->" + p.state_name(original.observed[q]) + " dropped");
+    }
+
+    // (b) Drop each data micro-op except the store itself (dropping the
+    // store would change the meaning of the operation, not the protocol).
+    for (std::size_t d = 0; d < original.data_ops.size(); ++d) {
+      const DataOpKind kind = original.data_ops[d].kind;
+      if (kind == DataOpKind::StoreSelf || kind == DataOpKind::StoreThrough) {
+        continue;
+      }
+      if (kind == DataOpKind::LoadFromMemory ||
+          kind == DataOpKind::LoadPreferred) {
+        continue;  // a fill must come from somewhere; not a protocol slip
+      }
+      Rule rule = original;
+      rule.data_ops.erase(rule.data_ops.begin() +
+                          static_cast<std::ptrdiff_t>(d));
+      emit(i, rule,
+           std::string("data op '") + std::string(to_string(kind)) +
+               "' dropped");
+    }
+
+    // (c) Degrade a write-through store to a local store.
+    for (std::size_t d = 0; d < original.data_ops.size(); ++d) {
+      if (original.data_ops[d].kind != DataOpKind::StoreThrough) continue;
+      Rule rule = original;
+      rule.data_ops[d].kind = DataOpKind::StoreSelf;
+      emit(i, rule, "write-through degraded to local store");
+    }
+
+    // (d) Retarget the originator to every other valid state (keeping the
+    // copy: dropping it would violate the operation's meaning).
+    for (std::size_t q = 0; q < p.state_count(); ++q) {
+      const StateId target = static_cast<StateId>(q);
+      if (target == original.self_next || !p.is_valid_state(target)) continue;
+      if (!p.is_valid_state(original.self_next)) continue;  // keep drops
+      Rule rule = original;
+      rule.self_next = target;
+      emit(i, rule,
+           "originator retargeted " + p.state_name(original.self_next) +
+               "->" + p.state_name(target));
+    }
+  }
+  return out;
+}
+
+namespace protocols {
+
+namespace {
+
+/// Finds the index of the unique rule for (state-name, op, guard).
+[[nodiscard]] std::size_t find_rule_index(const Protocol& p,
+                                          std::string_view state,
+                                          OpId op, SharingGuard guard) {
+  const auto sid = p.find_state(state);
+  CCV_CHECK(sid.has_value(), "buggy-variant construction: unknown state");
+  for (std::size_t i = 0; i < p.rules().size(); ++i) {
+    const Rule& r = p.rules()[i];
+    if (r.from == *sid && r.op == op && r.guard == guard) return i;
+  }
+  throw InternalError("buggy-variant construction: rule not found");
+}
+
+}  // namespace
+
+Protocol illinois_no_invalidate_on_write_hit() {
+  const Protocol base = illinois();
+  const std::size_t idx =
+      find_rule_index(base, "Shared", StdOps::Write, SharingGuard::Any);
+  Rule rule = base.rules()[idx];
+  for (std::size_t q = 0; q < base.state_count(); ++q) {
+    rule.observed[q] = static_cast<StateId>(q);  // forget to invalidate
+  }
+  return ProtocolMutator::with_rule(base, idx, rule,
+                                    "-NoInvalidateOnWriteHit");
+}
+
+Protocol illinois_drop_dirty_on_replace() {
+  const Protocol base = illinois();
+  const std::size_t idx =
+      find_rule_index(base, "Dirty", StdOps::Replace, SharingGuard::Any);
+  Rule rule = base.rules()[idx];
+  rule.data_ops.clear();  // forget the write-back
+  return ProtocolMutator::with_rule(base, idx, rule, "-DropDirtyOnReplace");
+}
+
+Protocol illinois_read_miss_ignores_sharers() {
+  const Protocol base = illinois();
+  const std::size_t idx =
+      find_rule_index(base, "Invalid", StdOps::Read, SharingGuard::Shared);
+  Rule rule = base.rules()[idx];
+  rule.self_next = *base.find_state("ValidExclusive");  // wrong fill state
+  return ProtocolMutator::with_rule(base, idx, rule,
+                                    "-ReadMissIgnoresSharers");
+}
+
+Protocol synapse_dirty_no_flush() {
+  const Protocol base = synapse();
+  const std::size_t idx =
+      find_rule_index(base, "Invalid", StdOps::Read, SharingGuard::Any);
+  Rule rule = base.rules()[idx];
+  // The dirty holder keeps its copy as Valid and skips the flush; the
+  // requester is served stale data by memory.
+  rule.observed[*base.find_state("Dirty")] = *base.find_state("Valid");
+  rule.data_ops.clear();
+  rule.data_ops.push_back(DataOp{DataOpKind::LoadFromMemory, {}});
+  return ProtocolMutator::with_rule(base, idx, rule, "-DirtyNoFlush");
+}
+
+Protocol dragon_no_broadcast() {
+  const Protocol base = dragon();
+  const std::size_t idx = find_rule_index(base, "SharedModified",
+                                          StdOps::Write, SharingGuard::Shared);
+  Rule rule = base.rules()[idx];
+  std::erase_if(rule.data_ops, [](const DataOp& d) {
+    return d.kind == DataOpKind::UpdateOthers;
+  });
+  return ProtocolMutator::with_rule(base, idx, rule, "-NoBroadcast");
+}
+
+Protocol berkeley_owner_silent_drop() {
+  const Protocol base = berkeley();
+  const std::size_t idx = find_rule_index(base, "SharedDirty",
+                                          StdOps::Replace, SharingGuard::Any);
+  Rule rule = base.rules()[idx];
+  rule.data_ops.clear();  // owner evicted without write-back
+  return ProtocolMutator::with_rule(base, idx, rule, "-OwnerSilentDrop");
+}
+
+Protocol write_once_local_first_write() {
+  const Protocol base = write_once();
+  const std::size_t idx =
+      find_rule_index(base, "Valid", StdOps::Write, SharingGuard::Any);
+  Rule rule = base.rules()[idx];
+  for (std::size_t q = 0; q < base.state_count(); ++q) {
+    rule.observed[q] = static_cast<StateId>(q);  // skip the invalidation
+  }
+  for (DataOp& d : rule.data_ops) {
+    if (d.kind == DataOpKind::StoreThrough) d.kind = DataOpKind::StoreSelf;
+  }
+  return ProtocolMutator::with_rule(base, idx, rule, "-LocalFirstWrite");
+}
+
+Protocol mesi_write_miss_no_invalidate() {
+  const Protocol base = mesi();
+  const std::size_t idx =
+      find_rule_index(base, "Invalid", StdOps::Write, SharingGuard::Shared);
+  Rule rule = base.rules()[idx];
+  for (std::size_t q = 0; q < base.state_count(); ++q) {
+    rule.observed[q] = static_cast<StateId>(q);
+  }
+  return ProtocolMutator::with_rule(base, idx, rule,
+                                    "-WriteMissNoInvalidate");
+}
+
+Protocol illinois_split_lost_invalidation() {
+  const Protocol base = illinois_split();
+  const std::size_t idx =
+      find_rule_index(base, "Shared", StdOps::Write, SharingGuard::Any);
+  Rule rule = base.rules()[idx];
+  // The upgrade invalidates stable copies but forgets the transient
+  // ReadPending state: the latched fill data goes stale.
+  rule.observed[*base.find_state("ReadPending")] =
+      *base.find_state("ReadPending");
+  return ProtocolMutator::with_rule(base, idx, rule, "-LostInvalidation");
+}
+
+Protocol moesi_split_upgrade_race() {
+  const Protocol base = moesi_split();
+  const auto up = *base.find_state("UpgradePending");
+  const auto ackw = *base.find_op("AckW");
+  std::size_t idx = base.rules().size();
+  for (std::size_t i = 0; i < base.rules().size(); ++i) {
+    if (base.rules()[i].from == up && base.rules()[i].op == ackw) idx = i;
+  }
+  CCV_CHECK(idx < base.rules().size(), "upgrade completion rule not found");
+  Rule rule = base.rules()[idx];
+  rule.observed[up] = up;  // the racing upgrader survives the completion
+  return ProtocolMutator::with_rule(base, idx, rule, "-UpgradeRace");
+}
+
+const std::vector<NamedMutant>& buggy_variants() {
+  static const std::vector<NamedMutant> variants{
+      {"Illinois-NoInvalidateOnWriteHit",
+       &illinois_no_invalidate_on_write_hit},
+      {"Illinois-DropDirtyOnReplace", &illinois_drop_dirty_on_replace},
+      {"Illinois-ReadMissIgnoresSharers",
+       &illinois_read_miss_ignores_sharers},
+      {"Synapse-DirtyNoFlush", &synapse_dirty_no_flush},
+      {"Dragon-NoBroadcast", &dragon_no_broadcast},
+      {"Berkeley-OwnerSilentDrop", &berkeley_owner_silent_drop},
+      {"WriteOnce-LocalFirstWrite", &write_once_local_first_write},
+      {"MESI-WriteMissNoInvalidate", &mesi_write_miss_no_invalidate},
+      {"IllinoisSplit-LostInvalidation",
+       &illinois_split_lost_invalidation},
+      {"MOESISplit-UpgradeRace", &moesi_split_upgrade_race},
+  };
+  return variants;
+}
+
+}  // namespace protocols
+
+}  // namespace ccver

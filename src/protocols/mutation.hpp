@@ -1,0 +1,87 @@
+#pragma once
+/// \file mutation.hpp
+/// Systematic fault injection for protocol specifications.
+///
+/// The paper validates its method on correct protocols; to evaluate the
+/// error-*detection* half of the claim (erroneous states are reachable iff
+/// the protocol is incorrect), we inject single-rule defects and check that
+/// the verifier flags each mutant or proves it behaviorally equivalent.
+/// Mutation operators correspond to realistic design slips:
+///  * dropping an invalidation (a remote copy survives a write);
+///  * dropping a write-back (memory silently loses the last value);
+///  * dropping a broadcast update (a sharer keeps the old value);
+///  * retargeting the originator's next state;
+///  * weakening a coincident transition to "no change".
+
+#include <string>
+#include <vector>
+
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// One injected defect.
+struct ProtocolMutant {
+  Protocol protocol;        ///< the mutated specification
+  std::string description;  ///< what was broken, for reports
+  std::size_t rule_index;   ///< which rule was touched
+};
+
+/// Generates and applies single-defect mutations. Mutants bypass builder
+/// validation on purpose (a defect may violate well-formedness rules such
+/// as "writes must store").
+class ProtocolMutator {
+ public:
+  /// All single-rule mutants of `p` (deduplicated against the original).
+  [[nodiscard]] static std::vector<ProtocolMutant> enumerate(
+      const Protocol& p);
+
+  /// A copy of `p` with rule `index` replaced. Used by the hand-crafted
+  /// buggy variants and by `enumerate`.
+  [[nodiscard]] static Protocol with_rule(const Protocol& p,
+                                          std::size_t index, Rule rule,
+                                          std::string name_suffix);
+};
+
+namespace protocols {
+
+/// Hand-crafted buggy variants with descriptive names; each exhibits one
+/// classic coherence defect and must be flagged by the verifier.
+///@{
+/// Illinois where a write hit on Shared does not invalidate remote copies.
+[[nodiscard]] Protocol illinois_no_invalidate_on_write_hit();
+/// Illinois where replacing a Dirty block skips the write-back.
+[[nodiscard]] Protocol illinois_drop_dirty_on_replace();
+/// Illinois where a read miss with sharers loads Valid-Exclusive anyway.
+[[nodiscard]] Protocol illinois_read_miss_ignores_sharers();
+/// Synapse where the dirty holder stays Valid (keeps a copy) but skips the
+/// flush, so memory supplies stale data.
+[[nodiscard]] Protocol synapse_dirty_no_flush();
+/// Dragon where a shared write skips the broadcast update.
+[[nodiscard]] Protocol dragon_no_broadcast();
+/// Berkeley where replacing a Shared-Dirty owner skips the write-back.
+[[nodiscard]] Protocol berkeley_owner_silent_drop();
+/// Write-Once where the first write is applied locally without the
+/// write-through or invalidation.
+[[nodiscard]] Protocol write_once_local_first_write();
+/// MESI where a write miss with sharers fails to invalidate them.
+[[nodiscard]] Protocol mesi_write_miss_no_invalidate();
+/// Split-transaction Illinois where a write hit on Shared forgets to abort
+/// pending read requests -- the classic split-bus race: the latched data
+/// goes stale and the fill completes with an obsolete copy.
+[[nodiscard]] Protocol illinois_split_lost_invalidation();
+/// Split-transaction MOESI where an upgrade completion forgets to abort
+/// the racing upgrader -- both upgrades retire and coherence is lost.
+[[nodiscard]] Protocol moesi_split_upgrade_race();
+///@}
+
+/// All buggy variants, named.
+struct NamedMutant {
+  std::string name;
+  Protocol (*factory)();
+};
+[[nodiscard]] const std::vector<NamedMutant>& buggy_variants();
+
+}  // namespace protocols
+
+}  // namespace ccver

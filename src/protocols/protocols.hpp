@@ -1,0 +1,89 @@
+#pragma once
+/// \file protocols.hpp
+/// The protocol library: the Illinois protocol verified in the paper, the
+/// full Archibald & Baer [1] suite that the companion tech report [12]
+/// covers (Write-Once, Synapse, Berkeley, Firefly, Dragon), and three
+/// modern relatives (MSI, MESI, MOESI) as extensions.
+///
+/// Every factory returns a freshly built, validated `Protocol`. Sources for
+/// the rule tables:
+///  * Illinois: Section 2.3 / 2.4 of the paper (Papamarcos & Patel).
+///  * Write-Once, Synapse, Berkeley, Firefly, Dragon: J. Archibald and
+///    J.-L. Baer, "Cache Coherence Protocols: Evaluation Using a
+///    Multiprocessor Simulation Model", ACM TOCS 4(4), 1986.
+///  * MSI/MESI/MOESI: standard textbook formulations.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fsm/protocol.hpp"
+
+namespace ccver::protocols {
+
+/// Illinois (Papamarcos-Patel): Invalid / Valid-Exclusive / Shared / Dirty,
+/// write-invalidate, cache-to-cache supply, sharing detection on misses.
+[[nodiscard]] Protocol illinois();
+
+/// Goodman's Write-Once: first write goes through to memory (Reserved),
+/// later writes go write-back (Dirty). F is null.
+[[nodiscard]] Protocol write_once();
+
+/// Synapse N+1: three states; a dirty holder flushes and invalidates
+/// itself on a remote miss; writes to Valid behave like misses. F is null.
+[[nodiscard]] Protocol synapse();
+
+/// Berkeley: ownership states Shared-Dirty and Dirty supply data without
+/// updating memory. F is null.
+[[nodiscard]] Protocol berkeley();
+
+/// Firefly (DEC): write-broadcast; writes to shared blocks are written
+/// through to memory and to all sharers; never invalidates. Uses sharing
+/// detection on misses and on shared write hits.
+[[nodiscard]] Protocol firefly();
+
+/// Dragon (Xerox PARC): write-broadcast with an owned Shared-Modified
+/// state; memory is not updated on shared writes. Uses sharing detection.
+[[nodiscard]] Protocol dragon();
+
+/// MSI: minimal write-invalidate protocol. F is null.
+[[nodiscard]] Protocol msi();
+
+/// MESI: Illinois with the modern state names; dirty holder flushes to
+/// memory on remote read.
+[[nodiscard]] Protocol mesi();
+
+/// MOESI: MESI plus an Owned state supplying data without memory update.
+[[nodiscard]] Protocol moesi();
+
+/// Split-transaction Illinois: misses are two-phase (request latches data
+/// and parks in a transient state; a completion event retires the access).
+/// Realizes the "protocols with locked states" extension of the paper's
+/// conclusion. Uses custom completion operations AckR/AckW.
+[[nodiscard]] Protocol illinois_split();
+
+/// Split-transaction MOESI with pending upgrades: read/write misses and
+/// upgrades are all two-phase, and racing upgraders coexist until the
+/// first completion settles ownership. The hardest protocol in the
+/// library.
+[[nodiscard]] Protocol moesi_split();
+
+/// A named protocol factory.
+struct NamedProtocol {
+  std::string name;
+  Protocol (*factory)();
+};
+
+/// The six protocols covered by the paper and tech report [12], in the
+/// order of Archibald & Baer.
+[[nodiscard]] const std::vector<NamedProtocol>& archibald_baer_suite();
+
+/// The full library (Archibald-Baer suite + MSI/MESI/MOESI +
+/// IllinoisSplit).
+[[nodiscard]] const std::vector<NamedProtocol>& all();
+
+/// Looks up a factory by case-insensitive name; throws SpecError if
+/// unknown.
+[[nodiscard]] Protocol by_name(std::string_view name);
+
+}  // namespace ccver::protocols

@@ -1,0 +1,161 @@
+#include "protocols/random_protocol.hpp"
+
+#include <string>
+#include <vector>
+
+#include "fsm/builder.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccver::protocols {
+
+namespace {
+
+/// One attempt at generating a protocol; may fail builder validation
+/// (e.g. a state unreachable from the draws), in which case the caller
+/// retries with fresh randomness.
+Protocol generate_once(Rng& rng, const RandomProtocolConfig& config) {
+  const std::size_t n_states =
+      config.min_states +
+      rng.below(config.max_states - config.min_states + 1);
+  const bool sharing = rng.chance(config.sharing_detection_probability);
+
+  ProtocolBuilder b("Random",
+                    sharing ? CharacteristicKind::SharingDetection
+                            : CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("Invalid");
+  std::vector<StateId> valid;
+  for (std::size_t i = 1; i < n_states; ++i) {
+    std::string name = "S";  // two-step append sidesteps a GCC-12
+    name += std::to_string(i);  // -Wrestrict false positive
+    valid.push_back(b.state(std::move(name)));
+  }
+
+  const auto random_valid = [&] {
+    return valid[rng.below(valid.size())];
+  };
+  const auto random_observed = [&](RuleDraft& draft) {
+    for (const StateId q : valid) {
+      const double dice = rng.uniform();
+      if (dice < 0.2) {
+        draft.observe(q, inv);
+      } else if (dice < 0.35) {
+        draft.observe(q, random_valid());
+      }  // else identity
+    }
+  };
+  const auto random_load = [&](RuleDraft& draft) {
+    if (rng.chance(0.4)) {
+      draft.load_memory();
+      return;
+    }
+    // A random nonempty preference list over valid states.
+    std::vector<StateId> sources = valid;
+    for (std::size_t i = sources.size(); i-- > 1;) {
+      std::swap(sources[i], sources[rng.below(i + 1)]);
+    }
+    sources.resize(1 + rng.below(sources.size()));
+    draft.load_prefer(sources);
+  };
+
+  // The number of guard variants per (state, op): split rules only make
+  // sense with sharing detection.
+  const auto guard_variants = [&] {
+    return sharing && rng.chance(0.5) ? 2u : 1u;
+  };
+  const auto apply_guard = [](RuleDraft& draft, unsigned variant,
+                              unsigned total) {
+    if (total == 2) {
+      if (variant == 0) {
+        draft.when_unshared();
+      } else {
+        draft.when_shared();
+      }
+    }
+  };
+
+  // Reads.
+  {
+    const unsigned total = guard_variants();
+    for (unsigned v = 0; v < total; ++v) {
+      RuleDraft draft = b.rule(inv, StdOps::Read);
+      apply_guard(draft, v, total);
+      draft.to(random_valid());
+      if (rng.chance(config.writeback_probability)) {
+        draft.writeback_from(random_valid());
+      }
+      random_load(draft);
+      random_observed(draft);
+    }
+  }
+  for (const StateId s : valid) {
+    b.rule(s, StdOps::Read).to(s);  // read hits stay local
+  }
+
+  // Writes.
+  {
+    const unsigned total = guard_variants();
+    for (unsigned v = 0; v < total; ++v) {
+      RuleDraft draft = b.rule(inv, StdOps::Write);
+      apply_guard(draft, v, total);
+      draft.to(random_valid());
+      random_load(draft);
+      if (rng.chance(config.invalidate_probability)) {
+        draft.invalidate_others();
+      } else {
+        random_observed(draft);
+      }
+      if (rng.chance(0.5)) {
+        draft.store();
+      } else {
+        draft.store_through();
+      }
+      if (rng.chance(config.broadcast_probability)) draft.update_others();
+    }
+  }
+  for (const StateId s : valid) {
+    const unsigned total = guard_variants();
+    for (unsigned v = 0; v < total; ++v) {
+      RuleDraft draft = b.rule(s, StdOps::Write);
+      apply_guard(draft, v, total);
+      draft.to(random_valid());
+      if (rng.chance(config.invalidate_probability)) {
+        draft.invalidate_others();
+      } else {
+        random_observed(draft);
+      }
+      if (rng.chance(0.5)) {
+        draft.store();
+      } else {
+        draft.store_through();
+      }
+      if (rng.chance(config.broadcast_probability)) draft.update_others();
+    }
+  }
+
+  // Replacements: always back to Invalid (also anchors strong
+  // connectivity toward Invalid).
+  for (const StateId s : valid) {
+    RuleDraft draft = b.rule(s, StdOps::Replace).to(inv);
+    if (rng.chance(config.writeback_probability)) draft.writeback_self();
+  }
+
+  return std::move(b).build();
+}
+
+}  // namespace
+
+Protocol random_protocol(std::uint64_t seed,
+                         const RandomProtocolConfig& config) {
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    try {
+      return generate_once(rng, config);
+    } catch (const SpecError&) {
+      // Typically a state left unreachable; redraw.
+    }
+  }
+  throw InternalError("random_protocol failed to generate after 64 tries");
+}
+
+}  // namespace ccver::protocols

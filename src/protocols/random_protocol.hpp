@@ -1,0 +1,39 @@
+#pragma once
+/// \file random_protocol.hpp
+/// Seeded random protocol generation.
+///
+/// Random rule tables are the adversarial diet for the verification
+/// engine: most of them are incoherent in creative ways, which exercises
+/// the error-detection machinery far beyond the hand-written protocols.
+/// The generator produces only *well-formed* specifications (everything
+/// `ProtocolBuilder` validates, including strong connectivity), so every
+/// generated protocol is a legitimate verification input; whether it is
+/// *correct* is exactly what the cross-checking property tests determine.
+
+#include <cstdint>
+
+#include "fsm/protocol.hpp"
+
+namespace ccver::protocols {
+
+/// Knobs for the generator.
+struct RandomProtocolConfig {
+  std::size_t min_states = 3;  ///< including Invalid
+  std::size_t max_states = 5;
+  double sharing_detection_probability = 0.5;
+  /// Probability that a write invalidates other copies (the generator
+  /// biases toward plausible designs so that a fraction of samples are
+  /// actually coherent).
+  double invalidate_probability = 0.6;
+  double writeback_probability = 0.5;
+  double broadcast_probability = 0.2;
+};
+
+/// Generates a validated protocol from `seed`. Deterministic; different
+/// seeds give (usually) different protocols. Internally retries draws
+/// that fail validation, so every seed yields a protocol.
+[[nodiscard]] Protocol random_protocol(std::uint64_t seed,
+                                       const RandomProtocolConfig& config =
+                                           RandomProtocolConfig{});
+
+}  // namespace ccver::protocols

@@ -1,0 +1,53 @@
+/// \file registry.cpp
+/// Name-based lookup over the protocol library.
+
+#include <cctype>
+
+#include "protocols/protocols.hpp"
+#include "util/error.hpp"
+
+namespace ccver::protocols {
+
+namespace {
+
+[[nodiscard]] std::string lower(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<NamedProtocol>& archibald_baer_suite() {
+  static const std::vector<NamedProtocol> suite{
+      {"WriteOnce", &write_once}, {"Synapse", &synapse},
+      {"Berkeley", &berkeley},    {"Illinois", &illinois},
+      {"Firefly", &firefly},      {"Dragon", &dragon},
+  };
+  return suite;
+}
+
+const std::vector<NamedProtocol>& all() {
+  static const std::vector<NamedProtocol> everything = [] {
+    std::vector<NamedProtocol> v = archibald_baer_suite();
+    v.push_back({"MSI", &msi});
+    v.push_back({"MESI", &mesi});
+    v.push_back({"MOESI", &moesi});
+    v.push_back({"IllinoisSplit", &illinois_split});
+    v.push_back({"MOESISplit", &moesi_split});
+    return v;
+  }();
+  return everything;
+}
+
+Protocol by_name(std::string_view name) {
+  const std::string needle = lower(name);
+  for (const NamedProtocol& p : all()) {
+    if (lower(p.name) == needle) return p.factory();
+  }
+  throw SpecError("unknown protocol '" + std::string(name) + "'");
+}
+
+}  // namespace ccver::protocols

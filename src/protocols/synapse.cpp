@@ -1,0 +1,58 @@
+/// \file synapse.cpp
+/// The Synapse N+1 protocol (Archibald & Baer, Section 3.2): three states;
+/// on a remote miss the dirty holder flushes to memory and invalidates
+/// itself (memory always supplies the requester); a write hit on a Valid
+/// copy is handled like a miss. F is null.
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol synapse() {
+  ProtocolBuilder b("Synapse", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId val = b.state("Valid");
+  const StateId d = b.state("Dirty");
+  b.exclusive(d).owner(d);
+
+  // Read.
+  b.rule(inv, StdOps::Read)
+      .to(val)
+      .observe(d, inv)
+      .writeback_from(d)
+      .load_memory()
+      .note("read miss: a dirty holder flushes to memory and invalidates "
+            "itself; memory supplies the block Valid");
+  b.rule(val, StdOps::Read).to(val).note("read hit");
+  b.rule(d, StdOps::Read).to(d).note("read hit");
+
+  // Write.
+  b.rule(inv, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .writeback_from(d)
+      .load_memory()
+      .store()
+      .note("write miss: a dirty holder flushes and invalidates itself; "
+            "memory supplies; all other copies invalidated; block loaded "
+            "Dirty");
+  b.rule(val, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .store()
+      .note("write hit on Valid: treated as an ownership miss; other "
+            "copies invalidated; block becomes Dirty");
+  b.rule(d, StdOps::Write).to(d).store().note("write hit on Dirty");
+
+  // Replacement.
+  b.rule(val, StdOps::Replace).to(inv).note("replace clean copy");
+  b.rule(d, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace dirty copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

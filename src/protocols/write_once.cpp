@@ -1,0 +1,67 @@
+/// \file write_once.cpp
+/// Goodman's Write-Once protocol (Archibald & Baer, Section 3.1): the first
+/// write to a block is written through to memory and leaves the block
+/// Reserved; subsequent writes are local (Dirty). The characteristic
+/// function is null -- misses always load Valid regardless of sharers.
+
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver::protocols {
+
+Protocol write_once() {
+  ProtocolBuilder b("WriteOnce", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId val = b.state("Valid");
+  const StateId res = b.state("Reserved");
+  const StateId d = b.state("Dirty");
+  b.exclusive(res).exclusive(d).owner(d);
+
+  // Read.
+  b.rule(inv, StdOps::Read)
+      .to(val)
+      .observe(d, val)
+      .observe(res, val)
+      .writeback_from(d)
+      .load_prefer({d})
+      .note("read miss: a dirty holder supplies the block and updates "
+            "memory; otherwise memory supplies; holders fall back to "
+            "Valid");
+  b.rule(val, StdOps::Read).to(val).note("read hit");
+  b.rule(res, StdOps::Read).to(res).note("read hit");
+  b.rule(d, StdOps::Read).to(d).note("read hit");
+
+  // Write.
+  b.rule(inv, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .load_prefer({d})
+      .store()
+      .note("write miss: block comes from the dirty holder or memory; all "
+            "other copies invalidated; block loaded Dirty");
+  b.rule(val, StdOps::Write)
+      .to(res)
+      .invalidate_others()
+      .store_through()
+      .note("first write (write-once): written through to memory, other "
+            "copies invalidated, block becomes Reserved");
+  b.rule(res, StdOps::Write)
+      .to(d)
+      .store()
+      .note("write hit on Reserved: local write, block becomes Dirty");
+  b.rule(d, StdOps::Write).to(d).store().note("write hit on Dirty");
+
+  // Replacement.
+  b.rule(val, StdOps::Replace).to(inv).note("replace clean copy");
+  b.rule(res, StdOps::Replace)
+      .to(inv)
+      .note("replace Reserved copy: memory is current (write-through)");
+  b.rule(d, StdOps::Replace)
+      .to(inv)
+      .writeback_self()
+      .note("replace dirty copy: write back to memory");
+
+  return std::move(b).build();
+}
+
+}  // namespace ccver::protocols

@@ -1,0 +1,41 @@
+#include "sim/bus_model.hpp"
+
+namespace ccver {
+
+bool rule_uses_bus(const Protocol& p, const Rule& rule) {
+  if (rule.is_stall) return false;
+  for (const DataOp& d : rule.data_ops) {
+    if (d.kind != DataOpKind::StoreSelf) return true;
+  }
+  for (std::size_t q = 0; q < p.state_count(); ++q) {
+    if (rule.observed[q] != static_cast<StateId>(q)) return true;
+  }
+  return false;
+}
+
+std::uint32_t transaction_cycles(const Protocol& p, const Rule& rule,
+                                 const BusCostModel& model) {
+  if (!rule_uses_bus(p, rule)) return 0;
+  std::uint32_t cycles = model.address_cycles;
+  for (const DataOp& d : rule.data_ops) {
+    switch (d.kind) {
+      case DataOpKind::LoadFromMemory:
+      case DataOpKind::LoadPreferred:
+        cycles += model.block_cycles;  // fill: whole block on the bus
+        break;
+      case DataOpKind::WriteBackSelf:
+      case DataOpKind::WriteBackFrom:
+        cycles += model.block_cycles;  // flush: whole block to memory
+        break;
+      case DataOpKind::StoreThrough:
+      case DataOpKind::UpdateOthers:
+        cycles += model.word_cycles;  // word-sized write-through/broadcast
+        break;
+      case DataOpKind::StoreSelf:
+        break;  // local
+    }
+  }
+  return cycles;
+}
+
+}  // namespace ccver

@@ -1,0 +1,45 @@
+#pragma once
+/// \file bus_model.hpp
+/// Bus occupancy accounting for the simulator.
+///
+/// Archibald & Baer's evaluation (the study our protocol suite comes from)
+/// compares protocols by the bus cycles their transactions consume, not
+/// just by transaction counts: a block transfer occupies the bus for
+/// several cycles while an invalidation is address-only. This model
+/// assigns a cycle cost to every fired rule so the simulator can report
+/// bus occupancy per protocol.
+
+#include <cstdint>
+
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// Cycle costs of the bus transaction components. Defaults follow the
+/// flavor of the TOCS'86 study: single-cycle arbitration/address phase,
+/// multi-cycle block transfers, single-cycle word transfers.
+struct BusCostModel {
+  std::uint32_t address_cycles = 1;     ///< arbitration + address phase
+  std::uint32_t block_cycles = 4;       ///< whole-block data transfer
+  std::uint32_t word_cycles = 1;        ///< single-word transfer
+                                        ///< (write-through / broadcast)
+
+  [[nodiscard]] static BusCostModel archibald_baer() noexcept {
+    return BusCostModel{};
+  }
+};
+
+/// True if firing `rule` occupies the bus at all: any data movement or
+/// any coincident effect on other caches. Purely local rules (hits,
+/// silent upgrades, stalls) do not.
+[[nodiscard]] bool rule_uses_bus(const Protocol& p, const Rule& rule);
+
+/// Bus cycles consumed when `rule` fires: the address phase (whenever the
+/// rule uses the bus at all) plus a block transfer per fill or block
+/// write-back and a word transfer per write-through or broadcast update.
+/// Purely local rules cost zero.
+[[nodiscard]] std::uint32_t transaction_cycles(const Protocol& p,
+                                               const Rule& rule,
+                                               const BusCostModel& model);
+
+}  // namespace ccver

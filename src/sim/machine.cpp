@@ -1,0 +1,178 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "enumeration/enumerator.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccver {
+
+SimStats& SimStats::operator+=(const SimStats& other) noexcept {
+  reads += other.reads;
+  writes += other.writes;
+  replacements += other.replacements;
+  stalls += other.stalls;
+  read_hits += other.read_hits;
+  write_hits += other.write_hits;
+  misses += other.misses;
+  invalidations += other.invalidations;
+  updates += other.updates;
+  writebacks += other.writebacks;
+  bus_transactions += other.bus_transactions;
+  bus_cycles += other.bus_cycles;
+  stale_reads += other.stale_reads;
+  return *this;
+}
+
+Machine::Machine(const Protocol& p, Options options)
+    : protocol_(&p), options_(options) {
+  CCV_CHECK(options_.n_cpus >= 1 && options_.n_cpus <= kMaxCaches,
+            "Machine cpu count out of range");
+}
+
+namespace {
+
+struct BlockOutcome {
+  SimStats stats;
+  std::vector<SimError> errors;
+  std::unordered_set<EnumKey, EnumKey::Hasher> seen;
+};
+
+void simulate_block(const Protocol& p, std::uint32_t block,
+                    std::span<const TraceEvent> events,
+                    const Machine::Options& options, BlockOutcome& out) {
+  ConcreteBlock blk = ConcreteBlock::initial(p, options.n_cpus);
+  if (options.collect_states) {
+    out.seen.insert(project(p, blk, Equivalence::Counting));
+  }
+
+  SmallVec<StateId, kMaxCaches> pre_states;
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const TraceEvent& e = events[k];
+    CCV_CHECK(e.cpu < blk.cache_count(), "trace cpu out of range");
+    const bool pre_valid = p.is_valid_state(blk.states[e.cpu]);
+    pre_states = blk.states;
+
+    const ApplyOutcome outcome = apply_op(p, blk, e.cpu, e.op);
+    const bool stalled =
+        outcome.applied && outcome.rule != nullptr && outcome.rule->is_stall;
+
+    const OpDef& op = p.op(e.op);
+    if (stalled) {
+      ++out.stats.stalls;
+    } else if (op.is_replacement) {
+      if (outcome.applied) ++out.stats.replacements;
+    } else if (op.is_write) {
+      ++out.stats.writes;
+      (pre_valid ? out.stats.write_hits : out.stats.misses) += 1;
+    } else {
+      ++out.stats.reads;
+      (pre_valid ? out.stats.read_hits : out.stats.misses) += 1;
+    }
+
+    if (outcome.applied) {
+      const Rule& rule = *outcome.rule;
+      if (rule_uses_bus(p, rule)) ++out.stats.bus_transactions;
+      out.stats.bus_cycles +=
+          transaction_cycles(p, rule, options.cost_model);
+      for (std::size_t j = 0; j < blk.cache_count(); ++j) {
+        if (j == e.cpu) continue;
+        if (p.is_valid_state(pre_states[j]) &&
+            !p.is_valid_state(blk.states[j])) {
+          ++out.stats.invalidations;
+        }
+      }
+      for (const DataOp& d : rule.data_ops) {
+        if (d.kind == DataOpKind::WriteBackSelf ||
+            d.kind == DataOpKind::StoreThrough) {
+          ++out.stats.writebacks;
+        } else if (d.kind == DataOpKind::WriteBackFrom) {
+          for (std::size_t j = 0; j < blk.cache_count(); ++j) {
+            if (j != e.cpu && pre_states[j] == d.sources[0]) {
+              ++out.stats.writebacks;
+              break;
+            }
+          }
+        } else if (d.kind == DataOpKind::UpdateOthers) {
+          for (std::size_t j = 0; j < blk.cache_count(); ++j) {
+            if (j != e.cpu && p.is_valid_state(blk.states[j])) {
+              ++out.stats.updates;
+            }
+          }
+        }
+      }
+    }
+
+    // Gold check (Definition 3): the value a read returns must be the most
+    // recently stored token. Stalled accesses return no data.
+    if (!stalled && !op.is_replacement && !op.is_write &&
+        p.is_valid_state(blk.states[e.cpu]) &&
+        blk.values[e.cpu] != blk.latest) {
+      ++out.stats.stale_reads;
+      if (out.errors.size() < options.max_errors) {
+        out.errors.push_back(SimError{
+            block, e.cpu, k,
+            "read observed a stale value (token " +
+                std::to_string(blk.values[e.cpu]) + " != latest " +
+                std::to_string(blk.latest) + ")"});
+      }
+    }
+
+    // Structural invariants, concretely.
+    if (auto detail = check_concrete_invariants(
+            p, project(p, blk, Equivalence::Strict));
+        detail.has_value() && out.errors.size() < options.max_errors) {
+      out.errors.push_back(SimError{block, e.cpu, k, std::move(*detail)});
+    }
+
+    if (options.collect_states) {
+      out.seen.insert(project(p, blk, Equivalence::Counting));
+    }
+  }
+}
+
+}  // namespace
+
+SimResult Machine::run(std::span<const TraceEvent> trace) const {
+  const Protocol& p = *protocol_;
+
+  // Partition the trace by block (order within a block is preserved).
+  std::uint32_t max_block = 0;
+  for (const TraceEvent& e : trace) max_block = std::max(max_block, e.block);
+  std::vector<std::vector<TraceEvent>> per_block(max_block + 1);
+  for (const TraceEvent& e : trace) per_block[e.block].push_back(e);
+
+  std::vector<BlockOutcome> outcomes(per_block.size());
+  ThreadPool pool(options_.threads);
+  // Dynamic scheduling: under hot-set workloads a few blocks absorb most
+  // of the trace, so static contiguous chunking would idle most workers.
+  pool.parallel_for_dynamic(
+      0, per_block.size(), /*grain=*/1,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t b = begin; b < end; ++b) {
+          if (per_block[b].empty()) continue;
+          simulate_block(p, static_cast<std::uint32_t>(b),
+                         per_block[b], options_, outcomes[b]);
+        }
+      });
+
+  SimResult result;
+  std::unordered_set<EnumKey, EnumKey::Hasher> merged_states;
+  for (BlockOutcome& out : outcomes) {
+    result.stats += out.stats;
+    for (SimError& err : out.errors) {
+      if (result.errors.size() < options_.max_errors) {
+        result.errors.push_back(std::move(err));
+      }
+    }
+    merged_states.merge(out.seen);
+  }
+  if (options_.collect_states) {
+    result.states_seen.assign(merged_states.begin(), merged_states.end());
+  }
+  return result;
+}
+
+}  // namespace ccver

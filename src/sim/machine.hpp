@@ -1,0 +1,88 @@
+#pragma once
+/// \file machine.hpp
+/// Trace-driven multiprocessor simulator.
+///
+/// A `Machine` executes a memory-reference trace against the same protocol
+/// specification the verifier checks, using the token-valued concrete
+/// semantics of fsm/concrete.hpp. Every read is *gold-checked*: the value
+/// the processor observes must be the most recently stored token for that
+/// block (Definition 3, enforced dynamically). The simulator also records
+/// the distinct abstract states each block visits, which bench_sim_coverage
+/// compares against the exhaustively enumerated reachable set to quantify
+/// the paper's "simulation is incomplete" argument.
+///
+/// Blocks are independent under the atomic-bus assumption (the same one the
+/// paper makes), so the trace is partitioned by block and simulated in
+/// parallel on a thread pool.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "enumeration/enum_state.hpp"
+#include "fsm/concrete.hpp"
+#include "sim/bus_model.hpp"
+#include "sim/trace.hpp"
+
+namespace ccver {
+
+/// Aggregate event counters of one simulation run.
+struct SimStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t replacements = 0;
+  std::uint64_t stalls = 0;  ///< accesses deferred by a transient state
+  std::uint64_t read_hits = 0;    ///< reads finding a valid local copy
+  std::uint64_t write_hits = 0;   ///< writes finding a valid local copy
+  std::uint64_t misses = 0;       ///< fills (read or write miss)
+  std::uint64_t invalidations = 0;  ///< remote copies invalidated
+  std::uint64_t updates = 0;        ///< remote copies updated (broadcast)
+  std::uint64_t writebacks = 0;     ///< memory updates from caches
+  std::uint64_t bus_transactions = 0;  ///< rules that used the bus
+  std::uint64_t bus_cycles = 0;     ///< occupancy per the BusCostModel
+  std::uint64_t stale_reads = 0;    ///< gold-check failures (bugs!)
+
+  SimStats& operator+=(const SimStats& other) noexcept;
+};
+
+/// One detected inconsistency.
+struct SimError {
+  std::uint32_t block = 0;
+  std::uint32_t cpu = 0;
+  std::size_t event_index = 0;  ///< index within the block's subtrace
+  std::string detail;
+};
+
+/// Result of a simulation run.
+struct SimResult {
+  SimStats stats;
+  std::vector<SimError> errors;       ///< capped
+  std::vector<EnumKey> states_seen;   ///< distinct per-block abstract states
+                                      ///< (counting equivalence), when
+                                      ///< Options::collect_states
+};
+
+/// The simulator.
+class Machine {
+ public:
+  struct Options {
+    std::size_t n_cpus = 4;
+    std::size_t threads = 1;      ///< 0 = hardware concurrency
+    std::size_t max_errors = 8;
+    bool collect_states = false;  ///< record distinct abstract states
+    BusCostModel cost_model = BusCostModel::archibald_baer();
+  };
+
+  Machine(const Protocol& p, Options options);
+
+  /// Executes the trace and returns counters, errors and (optionally) the
+  /// set of distinct states seen.
+  [[nodiscard]] SimResult run(std::span<const TraceEvent> trace) const;
+
+ private:
+  const Protocol* protocol_;
+  Options options_;
+};
+
+}  // namespace ccver

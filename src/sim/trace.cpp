@@ -1,0 +1,119 @@
+#include "sim/trace.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ccver {
+
+std::string_view to_string(TracePattern p) noexcept {
+  switch (p) {
+    case TracePattern::Uniform: return "uniform";
+    case TracePattern::HotSet: return "hot-set";
+    case TracePattern::Migratory: return "migratory";
+    case TracePattern::ProducerConsumer: return "producer-consumer";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Tracks per-cpu resident sets and emits replacement events when a fill
+/// would exceed the configured capacity. Victim choice is random but
+/// deterministic (seeded).
+class ResidencyModel {
+ public:
+  ResidencyModel(const TraceConfig& cfg, Rng& rng)
+      : capacity_(cfg.capacity), rng_(&rng), resident_(cfg.n_cpus) {}
+
+  /// Called before cpu touches block; appends any required replacement.
+  void touch(std::uint32_t cpu, std::uint32_t block,
+             std::vector<TraceEvent>& out) {
+    if (capacity_ == 0) return;
+    std::vector<std::uint32_t>& set = resident_[cpu];
+    for (const std::uint32_t b : set) {
+      if (b == block) return;  // already resident
+    }
+    if (set.size() >= capacity_) {
+      const std::size_t victim_idx =
+          static_cast<std::size_t>(rng_->below(set.size()));
+      const std::uint32_t victim = set[victim_idx];
+      set.erase(set.begin() + static_cast<std::ptrdiff_t>(victim_idx));
+      out.push_back(TraceEvent{cpu, victim, StdOps::Replace});
+    }
+    set.push_back(block);
+  }
+
+ private:
+  std::size_t capacity_;
+  Rng* rng_;
+  std::vector<std::vector<std::uint32_t>> resident_;
+};
+
+}  // namespace
+
+std::vector<TraceEvent> generate_trace(const TraceConfig& cfg) {
+  CCV_CHECK(cfg.n_cpus >= 1, "trace needs at least one cpu");
+  CCV_CHECK(cfg.n_blocks >= 1, "trace needs at least one block");
+  Rng rng(cfg.seed);
+  ResidencyModel residency(cfg, rng);
+
+  std::vector<TraceEvent> out;
+  out.reserve(cfg.length);
+
+  const std::size_t hot_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(cfg.n_blocks) *
+                                  cfg.hot_fraction));
+
+  // Migratory bookkeeping: current holder and remaining burst per block.
+  std::vector<std::uint32_t> holder(cfg.n_blocks, 0);
+  std::vector<std::size_t> burst_left(cfg.n_blocks, 0);
+
+  for (std::size_t i = 0; i < cfg.length; ++i) {
+    std::uint32_t cpu = 0;
+    std::uint32_t block = 0;
+    bool write = rng.chance(cfg.write_fraction);
+
+    switch (cfg.pattern) {
+      case TracePattern::Uniform:
+        cpu = static_cast<std::uint32_t>(rng.below(cfg.n_cpus));
+        block = static_cast<std::uint32_t>(rng.below(cfg.n_blocks));
+        break;
+      case TracePattern::HotSet:
+        cpu = static_cast<std::uint32_t>(rng.below(cfg.n_cpus));
+        block = rng.chance(cfg.hot_bias)
+                    ? static_cast<std::uint32_t>(rng.below(hot_count))
+                    : static_cast<std::uint32_t>(rng.below(cfg.n_blocks));
+        break;
+      case TracePattern::Migratory: {
+        block = static_cast<std::uint32_t>(rng.below(cfg.n_blocks));
+        if (burst_left[block] == 0) {
+          holder[block] = static_cast<std::uint32_t>(rng.below(cfg.n_cpus));
+          burst_left[block] = std::max<std::size_t>(1, cfg.burst);
+        }
+        --burst_left[block];
+        cpu = holder[block];
+        break;
+      }
+      case TracePattern::ProducerConsumer: {
+        block = static_cast<std::uint32_t>(rng.below(cfg.n_blocks));
+        const auto producer =
+            static_cast<std::uint32_t>(block % cfg.n_cpus);
+        if (write) {
+          cpu = producer;  // only the producer writes
+        } else {
+          cpu = static_cast<std::uint32_t>(rng.below(cfg.n_cpus));
+        }
+        break;
+      }
+    }
+
+    residency.touch(cpu, block, out);
+    out.push_back(TraceEvent{cpu, block,
+                             write ? StdOps::Write : StdOps::Read});
+  }
+  return out;
+}
+
+}  // namespace ccver

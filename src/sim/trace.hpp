@@ -1,0 +1,63 @@
+#pragma once
+/// \file trace.hpp
+/// Synthetic memory-reference traces for the trace-driven simulator.
+///
+/// The paper's introduction argues that validation by simulation is
+/// incomplete: a random test sequence must run indefinitely to enter all
+/// reachable states. These generators produce the workload families used
+/// to measure that claim (bench_sim_coverage) and to exercise the
+/// simulator: uniformly random sharing, hot-set sharing, migratory objects
+/// and producer-consumer patterns -- the sharing behaviors Archibald &
+/// Baer's evaluation model distinguishes.
+///
+/// Finite cache capacity is modelled at trace level: the generator tracks
+/// per-cpu resident sets and emits an explicit replacement event before a
+/// fill would exceed the capacity. This keeps the simulator free of
+/// cross-block coupling, so blocks simulate in parallel.
+
+#include <cstdint>
+#include <vector>
+
+#include "fsm/types.hpp"
+
+namespace ccver {
+
+/// One trace event: processor `cpu` performs `op` on `block`.
+struct TraceEvent {
+  std::uint32_t cpu = 0;
+  std::uint32_t block = 0;
+  OpId op = StdOps::Read;
+
+  [[nodiscard]] bool operator==(const TraceEvent& other) const = default;
+};
+
+/// Sharing pattern of the generated workload.
+enum class TracePattern : std::uint8_t {
+  Uniform = 0,           ///< every cpu touches every block uniformly
+  HotSet = 1,            ///< a small hot set absorbs most accesses
+  Migratory = 2,         ///< blocks migrate: one cpu bursts, then the next
+  ProducerConsumer = 3,  ///< one writer per block, everyone else reads
+};
+
+[[nodiscard]] std::string_view to_string(TracePattern p) noexcept;
+
+/// Generator parameters. All randomness is derived from `seed`; equal
+/// configs produce identical traces on every platform.
+struct TraceConfig {
+  std::size_t n_cpus = 4;
+  std::size_t n_blocks = 64;
+  std::size_t length = 10'000;   ///< number of read/write events
+  std::uint64_t seed = 1;
+  TracePattern pattern = TracePattern::Uniform;
+  double write_fraction = 0.3;   ///< probability an access is a write
+  double hot_fraction = 0.1;     ///< HotSet: fraction of blocks that are hot
+  double hot_bias = 0.9;         ///< HotSet: probability of hitting hot set
+  std::size_t burst = 8;         ///< Migratory: accesses before a handoff
+  std::size_t capacity = 0;      ///< per-cpu resident blocks; 0 = unbounded
+};
+
+/// Generates the trace (length read/write events plus any replacement
+/// events implied by `capacity`).
+[[nodiscard]] std::vector<TraceEvent> generate_trace(const TraceConfig& cfg);
+
+}  // namespace ccver

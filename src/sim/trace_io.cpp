@@ -1,0 +1,105 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace ccver {
+
+void save_trace_file(const TraceFile& trace,
+                     const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw SpecError("cannot write trace file '" + path.string() + "'");
+  }
+  out << "ccver-trace v1 cpus=" << trace.n_cpus
+      << " blocks=" << trace.n_blocks << '\n';
+  for (const TraceEvent& e : trace.events) {
+    const char op = e.op == StdOps::Read    ? 'R'
+                    : e.op == StdOps::Write ? 'W'
+                                            : 'Z';
+    out << op << ' ' << e.cpu << ' ' << e.block << '\n';
+  }
+  if (!out) {
+    throw SpecError("I/O error writing trace file '" + path.string() + "'");
+  }
+}
+
+TraceFile load_trace_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SpecError("cannot open trace file '" + path.string() + "'");
+  }
+
+  const auto fail = [&path](std::size_t line, const std::string& message) {
+    throw SpecError(path.string() + ":" + std::to_string(line) + ": " +
+                    message);
+  };
+
+  TraceFile trace;
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Header.
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    std::istringstream header{std::string(body)};
+    std::string magic;
+    std::string version;
+    std::string cpus;
+    std::string blocks;
+    header >> magic >> version >> cpus >> blocks;
+    if (magic != "ccver-trace" || version != "v1" ||
+        !starts_with(cpus, "cpus=") || !starts_with(blocks, "blocks=")) {
+      fail(line_no, "expected header 'ccver-trace v1 cpus=N blocks=N'");
+    }
+    trace.n_cpus = parse_unsigned(std::string_view(cpus).substr(5));
+    trace.n_blocks = parse_unsigned(std::string_view(blocks).substr(7));
+    if (trace.n_cpus == 0 || trace.n_blocks == 0) {
+      fail(line_no, "cpus and blocks must be positive");
+    }
+    break;
+  }
+  if (trace.n_cpus == 0) {
+    throw SpecError(path.string() + ": missing trace header");
+  }
+
+  // Records.
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    std::istringstream record{std::string(body)};
+    std::string op;
+    std::string cpu;
+    std::string block;
+    record >> op >> cpu >> block;
+    std::string extra;
+    if (record >> extra) fail(line_no, "trailing content '" + extra + "'");
+
+    TraceEvent event;
+    if (op == "R") {
+      event.op = StdOps::Read;
+    } else if (op == "W") {
+      event.op = StdOps::Write;
+    } else if (op == "Z") {
+      event.op = StdOps::Replace;
+    } else {
+      fail(line_no, "unknown operation '" + op + "'");
+    }
+    event.cpu = static_cast<std::uint32_t>(parse_unsigned(cpu));
+    event.block = static_cast<std::uint32_t>(parse_unsigned(block));
+    if (event.cpu >= trace.n_cpus) fail(line_no, "cpu index out of range");
+    if (event.block >= trace.n_blocks) {
+      fail(line_no, "block index out of range");
+    }
+    trace.events.push_back(event);
+  }
+  return trace;
+}
+
+}  // namespace ccver

@@ -1,0 +1,43 @@
+#pragma once
+/// \file trace_io.hpp
+/// Trace persistence: a plain-text format so workloads can be captured,
+/// shared and replayed across runs and tools.
+///
+/// Format (one record per line, `#` comments allowed):
+///
+///   ccver-trace v1 cpus=<n> blocks=<n>
+///   R <cpu> <block>
+///   W <cpu> <block>
+///   Z <cpu> <block>
+///
+/// Operation mnemonics are resolved through the protocol-independent
+/// standard set (R/W/Z); custom-operation events are not representable in
+/// traces (they model bus completions, not processor references).
+
+#include <filesystem>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace ccver {
+
+/// Trace plus its declared machine shape.
+struct TraceFile {
+  std::size_t n_cpus = 0;
+  std::size_t n_blocks = 0;
+  std::vector<TraceEvent> events;
+
+  [[nodiscard]] bool operator==(const TraceFile& other) const = default;
+};
+
+/// Writes the trace in the v1 text format (overwrites). Throws SpecError
+/// on I/O failure.
+void save_trace_file(const TraceFile& trace,
+                     const std::filesystem::path& path);
+
+/// Parses a v1 trace file. Throws SpecError (with line numbers) on
+/// malformed input, unknown mnemonics, or cpu/block indices exceeding the
+/// declared shape.
+[[nodiscard]] TraceFile load_trace_file(const std::filesystem::path& path);
+
+}  // namespace ccver

@@ -1,0 +1,116 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+Lexer::Lexer(std::string_view source) : source_(source) { advance(); }
+
+Token Lexer::next() {
+  Token t = current_;
+  advance();
+  return t;
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view source) {
+  Lexer lexer(source);
+  std::vector<Token> out;
+  while (lexer.peek().kind != TokenKind::End) out.push_back(lexer.next());
+  out.push_back(lexer.peek());
+  return out;
+}
+
+void Lexer::fail(const std::string& message) const {
+  throw SpecError("spec:" + std::to_string(line_) + ":" +
+                  std::to_string(column_) + ": " + message);
+}
+
+void Lexer::advance() {
+  // Skip whitespace and comments.
+  for (;;) {
+    if (pos_ >= source_.size()) {
+      current_ = Token{TokenKind::End, "", line_, column_};
+      return;
+    }
+    const char c = source_[pos_];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+      ++pos_;
+    } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++column_;
+      ++pos_;
+    } else if (c == '#') {
+      while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+
+  const std::size_t tok_line = line_;
+  const std::size_t tok_col = column_;
+  const char c = source_[pos_];
+
+  const auto make = [&](TokenKind kind, std::string text,
+                        std::size_t consumed) {
+    pos_ += consumed;
+    column_ += consumed;
+    current_ = Token{kind, std::move(text), tok_line, tok_col};
+  };
+
+  if (c == '{') {
+    make(TokenKind::LBrace, "{", 1);
+    return;
+  }
+  if (c == '}') {
+    make(TokenKind::RBrace, "}", 1);
+    return;
+  }
+  if (c == '-') {
+    if (pos_ + 1 < source_.size() && source_[pos_ + 1] == '>') {
+      make(TokenKind::Arrow, "->", 2);
+      return;
+    }
+    fail("expected '->' after '-'");
+  }
+  if (c == '"') {
+    std::string text;
+    std::size_t i = pos_ + 1;
+    while (i < source_.size() && source_[i] != '"') {
+      if (source_[i] == '\n') fail("unterminated string literal");
+      if (source_[i] == '\\') {
+        ++i;
+        if (i >= source_.size() ||
+            (source_[i] != '"' && source_[i] != '\\')) {
+          fail("bad escape in string literal");
+        }
+      }
+      text += source_[i];
+      ++i;
+    }
+    if (i >= source_.size()) fail("unterminated string literal");
+    make(TokenKind::String, std::move(text), i + 1 - pos_);
+    return;
+  }
+  if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+    std::size_t i = pos_;
+    while (i < source_.size() &&
+           (std::isalnum(static_cast<unsigned char>(source_[i])) != 0 ||
+            source_[i] == '_' || source_[i] == '-')) {
+      // A '-' is part of a word only when not starting an arrow.
+      if (source_[i] == '-' &&
+          (i + 1 >= source_.size() || source_[i + 1] == '>')) {
+        break;
+      }
+      ++i;
+    }
+    make(TokenKind::Word, std::string(source_.substr(pos_, i - pos_)),
+         i - pos_);
+    return;
+  }
+  fail(std::string("unexpected character '") + c + "'");
+}
+
+}  // namespace ccver

@@ -1,0 +1,39 @@
+#pragma once
+/// \file lexer.hpp
+/// Lexer for the `.ccp` protocol specification language.
+
+#include <string_view>
+#include <vector>
+
+#include "spec/token.hpp"
+
+namespace ccver {
+
+/// Tokenizes `.ccp` source. `#` starts a comment running to end of line.
+/// Malformed input (unterminated string, stray character) raises SpecError
+/// with line:column information.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  /// The next token without consuming it.
+  [[nodiscard]] const Token& peek() const noexcept { return current_; }
+
+  /// Consumes and returns the current token.
+  Token next();
+
+  /// Tokenizes an entire source buffer (convenience for tests).
+  [[nodiscard]] static std::vector<Token> tokenize(std::string_view source);
+
+ private:
+  void advance();
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+  Token current_;
+};
+
+}  // namespace ccver

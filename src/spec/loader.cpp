@@ -1,0 +1,39 @@
+#include "spec/loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "spec/parser.hpp"
+#include "spec/writer.hpp"
+#include "util/error.hpp"
+
+namespace ccver {
+
+Protocol load_protocol_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SpecError("cannot open protocol spec '" + path.string() + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_protocol(buffer.str());
+  } catch (const SpecError& e) {
+    throw SpecError(path.string() + ": " + e.what());
+  }
+}
+
+void save_protocol_file(const Protocol& p,
+                        const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw SpecError("cannot write protocol spec '" + path.string() + "'");
+  }
+  out << to_spec(p);
+  if (!out) {
+    throw SpecError("I/O error writing protocol spec '" + path.string() +
+                    "'");
+  }
+}
+
+}  // namespace ccver

@@ -1,0 +1,18 @@
+#pragma once
+/// \file loader.hpp
+/// File-level convenience API over the `.ccp` parser and writer.
+
+#include <filesystem>
+
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// Reads and parses a `.ccp` protocol specification file. Raises SpecError
+/// on I/O or parse failure.
+[[nodiscard]] Protocol load_protocol_file(const std::filesystem::path& path);
+
+/// Serializes `p` and writes it to `path` (overwriting).
+void save_protocol_file(const Protocol& p, const std::filesystem::path& path);
+
+}  // namespace ccver

@@ -1,0 +1,267 @@
+#include "spec/parser.hpp"
+
+#include <map>
+
+#include "fsm/builder.hpp"
+#include "spec/lexer.hpp"
+#include "util/error.hpp"
+
+namespace ccver {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : lexer_(source) {}
+
+  Protocol parse() {
+    expect_word("protocol");
+    const std::string name = expect(TokenKind::Word).text;
+
+    // The characteristic must be known before the builder is created; scan
+    // for it is unnecessary -- we simply default to Null and require the
+    // directive to appear before any rule.
+    builder_.emplace(name, CharacteristicKind::Null);
+    pending_name_ = name;
+
+    expect(TokenKind::LBrace);
+    while (!at(TokenKind::RBrace)) parse_item();
+    expect(TokenKind::RBrace);
+    expect(TokenKind::End);
+
+    return std::move(*builder_).build();
+  }
+
+ private:
+  [[nodiscard]] bool at(TokenKind kind) const {
+    return lexer_.peek().kind == kind;
+  }
+
+  [[nodiscard]] bool at_word(std::string_view w) const {
+    return lexer_.peek().is_word(w);
+  }
+
+  Token expect(TokenKind kind) {
+    if (!at(kind)) {
+      fail("expected " + std::string(to_string(kind)) + ", found '" +
+           lexer_.peek().text + "'");
+    }
+    return lexer_.next();
+  }
+
+  void expect_word(std::string_view w) {
+    if (!at_word(w)) {
+      fail("expected '" + std::string(w) + "', found '" + lexer_.peek().text +
+           "'");
+    }
+    lexer_.next();
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    const Token& t = lexer_.peek();
+    throw SpecError("spec:" + std::to_string(t.line) + ":" +
+                    std::to_string(t.column) + ": " + message);
+  }
+
+  StateId lookup_state(const std::string& name) {
+    const auto it = states_.find(name);
+    if (it == states_.end()) fail("unknown state '" + name + "'");
+    return it->second;
+  }
+
+  OpId lookup_op(const std::string& name) {
+    if (name == "R") return StdOps::Read;
+    if (name == "W") return StdOps::Write;
+    if (name == "Z") return StdOps::Replace;
+    const auto it = ops_.find(name);
+    if (it == ops_.end()) fail("unknown operation '" + name + "'");
+    return it->second;
+  }
+
+  void parse_item() {
+    if (at_word("characteristic")) {
+      lexer_.next();
+      if (saw_declaration_) {
+        fail("'characteristic' must precede state and rule declarations");
+      }
+      if (at_word("sharing")) {
+        lexer_.next();
+        builder_.emplace(pending_name_,
+                         CharacteristicKind::SharingDetection);
+      } else {
+        expect_word("null");
+        builder_.emplace(pending_name_, CharacteristicKind::Null);
+      }
+      return;
+    }
+    if (at_word("op")) {
+      lexer_.next();
+      saw_declaration_ = true;
+      const std::string name = expect(TokenKind::Word).text;
+      bool is_write = false;
+      if (at_word("write")) {
+        lexer_.next();
+        is_write = true;
+      }
+      ops_.emplace(name, builder_->add_op(name, is_write));
+      return;
+    }
+    if (at_word("invalid") || at_word("state")) {
+      parse_state();
+      return;
+    }
+    if (at_word("rule")) {
+      parse_rule();
+      return;
+    }
+    fail("expected 'characteristic', 'op', 'state', 'invalid' or 'rule', "
+         "found '" +
+         lexer_.peek().text + "'");
+  }
+
+  void parse_state() {
+    saw_declaration_ = true;
+    bool invalid = false;
+    if (at_word("invalid")) {
+      lexer_.next();
+      invalid = true;
+    }
+    expect_word("state");
+    const std::string name = expect(TokenKind::Word).text;
+    if (states_.contains(name)) fail("duplicate state '" + name + "'");
+    const StateId id =
+        invalid ? builder_->invalid_state(name) : builder_->state(name);
+    states_.emplace(name, id);
+
+    for (;;) {
+      if (at_word("exclusive")) {
+        lexer_.next();
+        builder_->exclusive(id);
+      } else if (at_word("unique")) {
+        lexer_.next();
+        builder_->unique(id);
+      } else if (at_word("owner")) {
+        lexer_.next();
+        builder_->owner(id);
+      } else {
+        break;
+      }
+    }
+  }
+
+  void parse_rule() {
+    expect_word("rule");
+    saw_declaration_ = true;
+    const StateId from = lookup_state(expect(TokenKind::Word).text);
+    const OpId op = lookup_op(expect(TokenKind::Word).text);
+
+    RuleDraft draft = builder_->rule(from, op);
+    if (at_word("when")) {
+      lexer_.next();
+      if (at_word("shared")) {
+        lexer_.next();
+        draft.when_shared();
+      } else {
+        expect_word("unshared");
+        draft.when_unshared();
+      }
+    }
+    expect(TokenKind::Arrow);
+    draft.to(lookup_state(expect(TokenKind::Word).text));
+
+    expect(TokenKind::LBrace);
+    while (!at(TokenKind::RBrace)) parse_action(draft);
+    expect(TokenKind::RBrace);
+  }
+
+  void parse_action(RuleDraft& draft) {
+    if (at_word("observe")) {
+      lexer_.next();
+      const StateId q = lookup_state(expect(TokenKind::Word).text);
+      expect(TokenKind::Arrow);
+      draft.observe(q, lookup_state(expect(TokenKind::Word).text));
+      return;
+    }
+    if (at_word("invalidate")) {
+      lexer_.next();
+      expect_word("others");
+      draft.invalidate_others();
+      return;
+    }
+    if (at_word("load")) {
+      lexer_.next();
+      if (at_word("memory")) {
+        lexer_.next();
+        draft.load_memory();
+        return;
+      }
+      expect_word("prefer");
+      std::vector<StateId> sources;
+      while (at(TokenKind::Word) && states_.contains(lexer_.peek().text)) {
+        sources.push_back(lookup_state(lexer_.next().text));
+      }
+      if (sources.empty()) fail("'load prefer' needs at least one state");
+      draft.load_prefer(sources);
+      return;
+    }
+    if (at_word("writeback")) {
+      lexer_.next();
+      if (at_word("self")) {
+        lexer_.next();
+        draft.writeback_self();
+        return;
+      }
+      expect_word("from");
+      draft.writeback_from(lookup_state(expect(TokenKind::Word).text));
+      return;
+    }
+    if (at_word("store")) {
+      lexer_.next();
+      if (at_word("through")) {
+        lexer_.next();
+        draft.store_through();
+      } else {
+        draft.store();
+      }
+      return;
+    }
+    if (at_word("stall")) {
+      lexer_.next();
+      draft.stall();
+      return;
+    }
+    if (at_word("defer")) {
+      lexer_.next();
+      expect_word("store");
+      draft.defer_store();
+      return;
+    }
+    if (at_word("update")) {
+      lexer_.next();
+      expect_word("others");
+      draft.update_others();
+      return;
+    }
+    if (at_word("note")) {
+      lexer_.next();
+      draft.note(expect(TokenKind::String).text);
+      return;
+    }
+    fail("unknown rule action '" + lexer_.peek().text + "'");
+  }
+
+  Lexer lexer_;
+  std::optional<ProtocolBuilder> builder_;
+  std::string pending_name_;
+  bool saw_declaration_ = false;
+  std::map<std::string, StateId> states_;
+  std::map<std::string, OpId> ops_;
+};
+
+}  // namespace
+
+Protocol parse_protocol(std::string_view source) {
+  return Parser(source).parse();
+}
+
+}  // namespace ccver

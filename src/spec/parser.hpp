@@ -1,0 +1,36 @@
+#pragma once
+/// \file parser.hpp
+/// Recursive-descent parser for the `.ccp` protocol specification language.
+///
+/// Grammar (contextual keywords, `#` comments):
+///
+///   file           := "protocol" NAME "{" item* "}"
+///   item           := "characteristic" ("sharing" | "null")
+///                   | "op" NAME ["write"]
+///                   | ["invalid"] "state" NAME attr*
+///                   | "rule" STATE OP [guard] "->" STATE "{" action* "}"
+///   attr           := "exclusive" | "unique" | "owner"
+///   guard          := "when" ("shared" | "unshared")
+///   action         := "observe" STATE "->" STATE
+///                   | "invalidate" "others"
+///                   | "load" ("memory" | "prefer" STATE+)
+///                   | "writeback" ("self" | "from" STATE)
+///                   | "store" ["through"]
+///                   | "update" "others"
+///                   | "note" STRING
+///
+/// States must be declared before use; the standard operations R, W and Z
+/// are pre-declared. The parsed protocol goes through exactly the same
+/// `ProtocolBuilder` validation as the C++-defined library protocols.
+
+#include <string_view>
+
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// Parses one protocol from `.ccp` source. Raises SpecError (with
+/// line:column positions) on syntax or validation errors.
+[[nodiscard]] Protocol parse_protocol(std::string_view source);
+
+}  // namespace ccver

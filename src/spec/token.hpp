@@ -1,0 +1,52 @@
+#pragma once
+/// \file token.hpp
+/// Tokens of the `.ccp` protocol specification language.
+///
+/// The paper's conclusion calls for "a formal specification language
+/// capable of describing both the protocol behavior and the processes
+/// implementing it"; the `.ccp` format is our realization of the behavior
+/// half. Keywords are contextual -- any word may be used as a state or
+/// operation name -- so the lexer only distinguishes words, strings and
+/// punctuation.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ccver {
+
+/// Lexical category.
+enum class TokenKind : std::uint8_t {
+  Word,    ///< identifier or contextual keyword
+  String,  ///< double-quoted string literal (escapes: \" and \\)
+  LBrace,
+  RBrace,
+  Arrow,   ///< ->
+  End,     ///< end of input
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TokenKind k) noexcept {
+  switch (k) {
+    case TokenKind::Word: return "word";
+    case TokenKind::String: return "string";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::Arrow: return "'->'";
+    case TokenKind::End: return "end of input";
+  }
+  return "?";
+}
+
+/// One token with its source position (1-based line and column).
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;  ///< word text or decoded string contents
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  [[nodiscard]] bool is_word(std::string_view w) const noexcept {
+    return kind == TokenKind::Word && text == w;
+  }
+};
+
+}  // namespace ccver

@@ -1,0 +1,16 @@
+#pragma once
+/// \file writer.hpp
+/// Serializes a `Protocol` back to `.ccp` source. Round-trip guarantee:
+/// `parse_protocol(to_spec(p)) == p` for every protocol the builder
+/// accepts (checked by the test suite for the whole library).
+
+#include <string>
+
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// Renders `p` as `.ccp` source text.
+[[nodiscard]] std::string to_spec(const Protocol& p);
+
+}  // namespace ccver

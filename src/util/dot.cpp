@@ -1,0 +1,62 @@
+#include "util/dot.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+DotGraph::DotGraph(std::string name) : name_(std::move(name)) {}
+
+std::size_t DotGraph::add_node(std::string label, std::string shape) {
+  nodes_.push_back(Node{std::move(label), std::move(shape), {}});
+  return nodes_.size() - 1;
+}
+
+void DotGraph::add_edge(std::size_t from, std::size_t to, std::string label) {
+  CCV_CHECK(from < nodes_.size() && to < nodes_.size(),
+            "DotGraph edge endpoint out of range");
+  edges_.push_back(Edge{from, to, std::move(label)});
+}
+
+void DotGraph::highlight_node(std::size_t id, std::string color) {
+  CCV_CHECK(id < nodes_.size(), "DotGraph node id out of range");
+  nodes_[id].color = std::move(color);
+}
+
+std::string DotGraph::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void DotGraph::render(std::ostream& os) const {
+  os << "digraph \"" << escape(name_) << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    os << "  n" << i << " [label=\"" << escape(n.label) << "\", shape="
+       << n.shape;
+    if (!n.color.empty()) {
+      os << ", style=filled, fillcolor=\"" << escape(n.color) << "\"";
+    }
+    os << "];\n";
+  }
+  for (const Edge& e : edges_) {
+    os << "  n" << e.from << " -> n" << e.to << " [label=\""
+       << escape(e.label) << "\"];\n";
+  }
+  os << "}\n";
+}
+
+std::string DotGraph::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace ccver

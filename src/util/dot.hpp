@@ -1,0 +1,49 @@
+#pragma once
+/// \file dot.hpp
+/// Minimal Graphviz DOT emitter for global transition diagrams (Figure 4 of
+/// the paper and its equivalents for the other protocols).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccver {
+
+/// Builds a directed graph and emits DOT text. Node ids are dense integers;
+/// labels are escaped on output.
+class DotGraph {
+ public:
+  explicit DotGraph(std::string name);
+
+  /// Adds a node and returns its id.
+  std::size_t add_node(std::string label, std::string shape = "ellipse");
+
+  /// Adds a labelled edge between existing nodes.
+  void add_edge(std::size_t from, std::size_t to, std::string label);
+
+  /// Marks a node with a highlight (used for erroneous states).
+  void highlight_node(std::size_t id, std::string color);
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Node {
+    std::string label;
+    std::string shape;
+    std::string color;  // empty = default
+  };
+  struct Edge {
+    std::size_t from;
+    std::size_t to;
+    std::string label;
+  };
+
+  static std::string escape(const std::string& s);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ccver

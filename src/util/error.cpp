@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace ccver::detail {
+
+void throw_internal(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  std::ostringstream os;
+  os << "ccver internal error: " << msg << " [check `" << expr << "` failed at "
+     << file << ":" << line << "]";
+  throw InternalError(os.str());
+}
+
+}  // namespace ccver::detail

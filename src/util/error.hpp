@@ -1,0 +1,50 @@
+#pragma once
+/// \file error.hpp
+/// Error types and always-on checking helpers for the ccver library.
+///
+/// The library distinguishes three failure classes:
+///  * `SpecError`     -- a malformed protocol specification (user input).
+///  * `ModelError`    -- the verification engine was driven outside its
+///                       modelling assumptions (e.g. an observed transition
+///                       that materializes a cache copy out of thin air).
+///  * `InternalError` -- a broken internal invariant; always a ccver bug.
+
+#include <stdexcept>
+#include <string>
+
+namespace ccver {
+
+/// Raised when a protocol specification is malformed or inconsistent.
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an operation violates the engine's modelling assumptions.
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an internal invariant of the library is broken.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_internal(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+/// Always-on invariant check. Unlike `assert`, this is active in release
+/// builds: state-space exploration bugs are cheap to check and expensive to
+/// debug after the fact.
+#define CCV_CHECK(expr, msg)                                             \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::ccver::detail::throw_internal(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)
+
+}  // namespace ccver

@@ -1,0 +1,41 @@
+#pragma once
+/// \file hash.hpp
+/// Deterministic hashing helpers used by visited-state sets.
+///
+/// State-space exploration inserts millions of small fixed-size keys into
+/// hash sets; we use FNV-1a over raw bytes for determinism across platforms
+/// (std::hash is unspecified) and a boost-style combiner for aggregates.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ccver {
+
+/// FNV-1a 64-bit hash over a byte span.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                                            std::uint64_t seed =
+                                                0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes a value into an accumulated hash (boost::hash_combine style,
+/// widened to 64 bits).
+constexpr void hash_combine(std::uint64_t& seed, std::uint64_t value) noexcept {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Finalizer from SplitMix64; useful to de-correlate sequential ids.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace ccver

@@ -1,0 +1,151 @@
+#pragma once
+/// \file json.hpp
+/// A minimal streaming JSON writer (no DOM) for machine-readable reports.
+///
+/// Usage:
+/// \code
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("protocol").value("Illinois");
+///   json.key("ok").value(true);
+///   json.key("states").begin_array();
+///   json.value(5);
+///   json.end_array();
+///   json.end_object();
+///   std::string text = std::move(json).str();
+/// \endcode
+///
+/// The writer tracks nesting and comma placement; mismatched begin/end
+/// pairs raise InternalError at the offending call, not at serialization.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+/// Streaming JSON emitter.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    begin_value();
+    out_ << '{';
+    stack_.push_back(Frame::Object);
+    first_ = true;
+    return *this;
+  }
+
+  JsonWriter& end_object() {
+    CCV_CHECK(!stack_.empty() && stack_.back() == Frame::Object,
+              "JsonWriter::end_object without begin_object");
+    CCV_CHECK(!expecting_value_, "JsonWriter: dangling key");
+    out_ << '}';
+    stack_.pop_back();
+    first_ = false;
+    return *this;
+  }
+
+  JsonWriter& begin_array() {
+    begin_value();
+    out_ << '[';
+    stack_.push_back(Frame::Array);
+    first_ = true;
+    return *this;
+  }
+
+  JsonWriter& end_array() {
+    CCV_CHECK(!stack_.empty() && stack_.back() == Frame::Array,
+              "JsonWriter::end_array without begin_array");
+    out_ << ']';
+    stack_.pop_back();
+    first_ = false;
+    return *this;
+  }
+
+  /// Emits an object key; the next call must produce its value.
+  JsonWriter& key(std::string_view name) {
+    CCV_CHECK(!stack_.empty() && stack_.back() == Frame::Object,
+              "JsonWriter::key outside an object");
+    CCV_CHECK(!expecting_value_, "JsonWriter: key after key");
+    separate();
+    write_string(name);
+    out_ << ':';
+    expecting_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    begin_value();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    begin_value();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    begin_value();
+    out_ << v;
+    return *this;
+  }
+
+  /// Finishes and returns the document; the writer must be balanced.
+  [[nodiscard]] std::string str() && {
+    CCV_CHECK(stack_.empty(), "JsonWriter: unbalanced document");
+    return std::move(out_).str();
+  }
+
+ private:
+  enum class Frame { Object, Array };
+
+  void separate() {
+    if (!first_) out_ << ',';
+    first_ = false;
+  }
+
+  void begin_value() {
+    if (!stack_.empty() && stack_.back() == Frame::Object) {
+      CCV_CHECK(expecting_value_, "JsonWriter: value in object needs a key");
+      expecting_value_ = false;
+    } else if (!stack_.empty()) {
+      separate();
+    } else {
+      CCV_CHECK(out_.tellp() == std::streampos(0),
+                "JsonWriter: multiple top-level values");
+    }
+  }
+
+  void write_string(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        case '\r': out_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+            out_ << buffer;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  bool first_ = true;
+  bool expecting_value_ = false;
+};
+
+}  // namespace ccver

@@ -1,0 +1,67 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random generator for trace synthesis.
+///
+/// Simulation workloads must replay bit-identically across platforms and
+/// thread counts (each block gets an independent stream), so we implement
+/// SplitMix64 / xoshiro256** explicitly instead of relying on libstdc++
+/// distribution internals.
+
+#include <cstdint>
+
+namespace ccver {
+
+/// xoshiro256** seeded through SplitMix64. Streams seeded with distinct
+/// values are statistically independent for our purposes.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be nonzero. Uses Lemire's
+  /// multiply-shift rejection-free reduction (bias negligible at 64 bits).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(next()) * bound) >>
+                                      64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p`.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace ccver

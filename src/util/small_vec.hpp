@@ -1,0 +1,104 @@
+#pragma once
+/// \file small_vec.hpp
+/// A fixed-capacity inline vector.
+///
+/// Composite states hold at most |Q| x |cdata| classes (a dozen for every
+/// protocol in this repository), and the expansion inner loop creates and
+/// destroys them at high rate. `SmallVec` keeps elements inline -- no heap
+/// traffic, trivially relocatable when `T` is trivially copyable -- which is
+/// what the hot path of both the symbolic expander and the concrete
+/// enumerator wants.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+/// Fixed-capacity vector with inline storage. `T` must be default
+/// constructible; capacity overflow raises `InternalError` (it indicates a
+/// protocol larger than the engine was sized for, never a data-dependent
+/// condition).
+template <typename T, std::size_t Capacity>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = typename std::array<T, Capacity>::iterator;
+  using const_iterator = typename std::array<T, Capacity>::const_iterator;
+
+  constexpr SmallVec() = default;
+
+  constexpr SmallVec(std::initializer_list<T> init) {
+    CCV_CHECK(init.size() <= Capacity, "SmallVec initializer overflow");
+    for (const T& v : init) push_back(v);
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept {
+    return Capacity;
+  }
+
+  constexpr void push_back(const T& v) {
+    CCV_CHECK(size_ < Capacity, "SmallVec capacity overflow");
+    items_[size_++] = v;
+  }
+
+  template <typename... Args>
+  constexpr T& emplace_back(Args&&... args) {
+    CCV_CHECK(size_ < Capacity, "SmallVec capacity overflow");
+    items_[size_] = T{std::forward<Args>(args)...};
+    return items_[size_++];
+  }
+
+  constexpr void pop_back() {
+    CCV_CHECK(size_ > 0, "SmallVec pop_back on empty");
+    --size_;
+  }
+
+  constexpr void clear() noexcept { size_ = 0; }
+
+  /// Removes the element at `index`, preserving the order of the rest.
+  constexpr void erase_at(std::size_t index) {
+    CCV_CHECK(index < size_, "SmallVec erase_at out of range");
+    for (std::size_t i = index + 1; i < size_; ++i) items_[i - 1] = items_[i];
+    --size_;
+  }
+
+  [[nodiscard]] constexpr T& operator[](std::size_t i) {
+    CCV_CHECK(i < size_, "SmallVec index out of range");
+    return items_[i];
+  }
+  [[nodiscard]] constexpr const T& operator[](std::size_t i) const {
+    CCV_CHECK(i < size_, "SmallVec index out of range");
+    return items_[i];
+  }
+
+  [[nodiscard]] constexpr T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] constexpr const T& back() const { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] constexpr iterator begin() noexcept { return items_.begin(); }
+  [[nodiscard]] constexpr iterator end() noexcept {
+    return items_.begin() + static_cast<std::ptrdiff_t>(size_);
+  }
+  [[nodiscard]] constexpr const_iterator begin() const noexcept {
+    return items_.begin();
+  }
+  [[nodiscard]] constexpr const_iterator end() const noexcept {
+    return items_.begin() + static_cast<std::ptrdiff_t>(size_);
+  }
+
+  [[nodiscard]] constexpr bool operator==(const SmallVec& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  std::array<T, Capacity> items_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace ccver

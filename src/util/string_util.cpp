@@ -1,0 +1,59 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+unsigned long parse_unsigned(std::string_view s) {
+  if (s.empty()) throw SpecError("expected an unsigned integer, got ''");
+  unsigned long value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw SpecError("expected an unsigned integer, got '" + std::string(s) +
+                      "'");
+    }
+    const unsigned long digit = static_cast<unsigned long>(c - '0');
+    if (value > (~0UL - digit) / 10) {
+      throw SpecError("unsigned integer overflow in '" + std::string(s) + "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace ccver

@@ -1,0 +1,30 @@
+#pragma once
+/// \file string_util.hpp
+/// Small string helpers shared by the spec parser, the table printer and the
+/// report formatters.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccver {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits `s` on `sep`, trimming each piece; empty pieces are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// Case-sensitive string to unsigned integer; throws SpecError on overflow
+/// or non-digit input.
+[[nodiscard]] unsigned long parse_unsigned(std::string_view s);
+
+}  // namespace ccver

@@ -1,0 +1,49 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text table rendering used by the experiment harness to regenerate
+/// the paper's tables and figures in a stable, diffable format.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccver {
+
+/// Accumulates rows of cells and renders an aligned ASCII table.
+///
+/// Example:
+/// \code
+///   TextTable t({"state", "sharing", "cdata", "mdata"});
+///   t.add_row({"(Invalid+)", "(false)", "(nodata)", "fresh"});
+///   t.render(std::cout);
+/// \endcode
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table with column alignment and box-drawing rules.
+  void render(std::ostream& os) const;
+
+  /// Renders to a string (convenience for tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ccver

@@ -1,0 +1,150 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+namespace {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+/// Splits [begin, end) into `chunks` nearly-equal contiguous ranges and
+/// returns the half-open range for `index`.
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t begin,
+                                                std::size_t end,
+                                                std::size_t chunks,
+                                                std::size_t index) {
+  const std::size_t total = end - begin;
+  const std::size_t base = total / chunks;
+  const std::size_t rem = total % chunks;
+  const std::size_t lo =
+      begin + index * base + std::min(index, rem);
+  const std::size_t hi = lo + base + (index < rem ? 1 : 0);
+  return {lo, hi};
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = resolve_thread_count(threads);
+  // The calling thread acts as chunk 0; spawn total-1 helpers.
+  workers_.reserve(total - 1);
+  for (std::size_t i = 1; i < total; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t chunks = thread_count();
+
+  if (chunks == 1 || end - begin == 1) {
+    body(begin, end, 0);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    CCV_CHECK(outstanding_ == 0, "ThreadPool::parallel_for is not reentrant");
+    bulk_ = Bulk{&body, begin, end, chunks};
+    first_error_ = nullptr;
+    outstanding_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The calling thread runs chunk 0.
+  const auto [lo, hi] = chunk_range(begin, end, chunks, 0);
+  std::exception_ptr local_error;
+  try {
+    if (lo < hi) body(lo, hi, 0);
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  bulk_ = Bulk{};
+  if (first_error_ == nullptr) first_error_ = local_error;
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  CCV_CHECK(grain > 0, "parallel_for_dynamic grain must be positive");
+  std::atomic<std::size_t> cursor{begin};
+  // Reuse the static machinery: each chunk's body drains the shared
+  // cursor, so idle workers keep pulling grains regardless of imbalance.
+  parallel_for(0, thread_count(),
+               [&cursor, begin, end, grain, &body](std::size_t, std::size_t,
+                                                   std::size_t worker) {
+                 (void)begin;
+                 for (;;) {
+                   const std::size_t lo =
+                       cursor.fetch_add(grain, std::memory_order_relaxed);
+                   if (lo >= end) return;
+                   body(lo, std::min(lo + grain, end), worker);
+                 }
+               });
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    Bulk bulk;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [this, seen_generation] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      bulk = bulk_;
+    }
+
+    std::exception_ptr local_error;
+    const auto [lo, hi] =
+        chunk_range(bulk.begin, bulk.end, bulk.chunks, worker_index);
+    try {
+      if (lo < hi) (*bulk.body)(lo, hi, worker_index);
+    } catch (...) {
+      local_error = std::current_exception();
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (local_error != nullptr && first_error_ == nullptr) {
+        first_error_ = local_error;
+      }
+      --outstanding_;
+      if (outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace ccver

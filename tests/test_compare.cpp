@@ -1,0 +1,221 @@
+/// \file test_compare.cpp
+/// Behavioral comparison of protocols (diagram isomorphism) and the
+/// pruning-mode ablation: the properties behind bench_e10 and bench_e11.
+
+#include <gtest/gtest.h>
+
+#include "core/compare.hpp"
+#include "core/verifier.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+// ------------------------------------------------------------- comparison
+
+TEST(Compare, IllinoisIsIsomorphicToMesi) {
+  const ProtocolComparison cmp =
+      compare_protocols(protocols::illinois(), protocols::mesi());
+  ASSERT_TRUE(cmp.isomorphic) << cmp.detail;
+  // The renaming must be the textbook one.
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"ValidExclusive", "Exclusive"},
+      {"Shared", "Shared"},
+      {"Dirty", "Modified"},
+  };
+  EXPECT_EQ(cmp.state_mapping, expected);
+}
+
+TEST(Compare, IsomorphismIsSymmetric) {
+  const ProtocolComparison ab =
+      compare_protocols(protocols::illinois(), protocols::mesi());
+  const ProtocolComparison ba =
+      compare_protocols(protocols::mesi(), protocols::illinois());
+  EXPECT_TRUE(ab.isomorphic);
+  EXPECT_TRUE(ba.isomorphic);
+}
+
+TEST(Compare, EveryProtocolIsIsomorphicToItself) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const ProtocolComparison cmp =
+        compare_protocols(np.factory(), np.factory());
+    EXPECT_TRUE(cmp.isomorphic) << np.name << ": " << cmp.detail;
+  }
+}
+
+TEST(Compare, SynapseAndMsiDifferDespiteEqualStateCounts) {
+  const ProtocolComparison cmp =
+      compare_protocols(protocols::synapse(), protocols::msi());
+  EXPECT_FALSE(cmp.isomorphic);
+  EXPECT_FALSE(cmp.detail.empty());
+}
+
+TEST(Compare, DifferentStateCountsShortCircuit) {
+  const ProtocolComparison cmp =
+      compare_protocols(protocols::msi(), protocols::mesi());
+  EXPECT_FALSE(cmp.isomorphic);
+  EXPECT_NE(cmp.detail.find("state counts differ"), std::string::npos);
+}
+
+TEST(Compare, IllinoisAndFireflyShareStatesButNotBehavior) {
+  // Same state names, same |Q|, same characteristic -- but write-broadcast
+  // vs write-invalidate produce different diagrams.
+  const ProtocolComparison cmp =
+      compare_protocols(protocols::illinois(), protocols::firefly());
+  EXPECT_FALSE(cmp.isomorphic);
+}
+
+TEST(Compare, MoesiAndDragonBothHaveFiveStatesButDiffer) {
+  const ProtocolComparison cmp =
+      compare_protocols(protocols::moesi(), protocols::dragon());
+  EXPECT_FALSE(cmp.isomorphic);
+}
+
+TEST(Compare, ErroneousProtocolsAreRejected) {
+  EXPECT_THROW((void)compare_protocols(
+                   protocols::illinois(),
+                   protocols::illinois_no_invalidate_on_write_hit()),
+               ModelError);
+}
+
+// ------------------------------------------------------------------- diff
+
+TEST(Diff, IdenticalProtocolsHaveNoDiff) {
+  const ProtocolDiff d =
+      diff_protocols(protocols::illinois(), protocols::illinois());
+  EXPECT_TRUE(d.identical());
+}
+
+TEST(Diff, BaseVsBuggyVariantShowsTheDefectStates) {
+  // The no-invalidate bug adds states with stale Shared copies; the diff
+  // must surface them even though the variant does not verify.
+  const ProtocolDiff d =
+      diff_protocols(protocols::illinois(),
+                     protocols::illinois_no_invalidate_on_write_hit());
+  EXPECT_FALSE(d.identical());
+  ASSERT_FALSE(d.states_only_in_b.empty());
+  bool stale_state_shown = false;
+  for (const std::string& s : d.states_only_in_b) {
+    stale_state_shown =
+        stale_state_shown || s.find("obsolete") != std::string::npos;
+  }
+  EXPECT_TRUE(stale_state_shown);
+}
+
+TEST(Diff, PerformanceMutantShowsMissingExclusiveFills) {
+  // Filling Shared instead of Valid-Exclusive removes the V-Ex states.
+  const Protocol base = protocols::illinois();
+  const auto mutants = ProtocolMutator::enumerate(base);
+  const auto it = std::find_if(
+      mutants.begin(), mutants.end(), [](const ProtocolMutant& m) {
+        return m.description.find("ValidExclusive->Shared") !=
+               std::string::npos;
+      });
+  ASSERT_NE(it, mutants.end());
+  const ProtocolDiff d = diff_protocols(base, it->protocol);
+  EXPECT_FALSE(d.states_only_in_a.empty());
+  bool vex_removed = false;
+  for (const std::string& s : d.states_only_in_a) {
+    vex_removed = vex_removed || s.find("ValidExclusive") != std::string::npos;
+  }
+  EXPECT_TRUE(vex_removed);
+}
+
+TEST(Diff, RenamedStatesDoNotMatch) {
+  // diff is literal by design: Illinois vs MESI differ textually even
+  // though compare_protocols proves them isomorphic.
+  const ProtocolDiff d =
+      diff_protocols(protocols::illinois(), protocols::mesi());
+  EXPECT_FALSE(d.identical());
+}
+
+// ------------------------------------------------------- pruning ablation
+
+class PruningAblation : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PruningAblation, EqualityOnlyConvergesToASuperset) {
+  const Protocol p = protocols::by_name(GetParam());
+  const ExpansionResult full = SymbolicExpander(p).run();
+
+  SymbolicExpander::Options weak;
+  weak.pruning = PruningMode::EqualityOnly;
+  const ExpansionResult eq = SymbolicExpander(p, weak).run();
+
+  // Weaker pruning never shrinks the result set and never reduces visits.
+  EXPECT_GE(eq.essential.size(), full.essential.size());
+  EXPECT_GE(eq.stats.visits, full.stats.visits);
+  EXPECT_EQ(eq.stats.evicted, 0u);
+  EXPECT_EQ(eq.stats.source_restarts, 0u);
+
+  // Every equality-mode state is contained in some essential state
+  // (they are members of the essential families), and every essential
+  // state is literally present in the equality-mode set.
+  for (const CompositeState& s : eq.essential) {
+    const bool covered = std::any_of(
+        full.essential.begin(), full.essential.end(),
+        [&s](const CompositeState& e) { return s.contained_in(e); });
+    EXPECT_TRUE(covered) << s.to_string(p);
+  }
+  for (const CompositeState& e : full.essential) {
+    const bool present =
+        std::find(eq.essential.begin(), eq.essential.end(), e) !=
+        eq.essential.end();
+    EXPECT_TRUE(present) << e.to_string(p);
+  }
+}
+
+TEST_P(PruningAblation, VerdictsAgreeAcrossPruningModes) {
+  // Pruning strength must not change the pass/fail verdict -- checked on
+  // the buggy variants too (below, for one representative).
+  const Protocol p = protocols::by_name(GetParam());
+  for (const PruningMode mode :
+       {PruningMode::Containment, PruningMode::EqualityOnly}) {
+    SymbolicExpander::Options opt;
+    opt.pruning = mode;
+    const ExpansionResult r = SymbolicExpander(p, opt).run();
+    bool erroneous = false;
+    const auto invariants = Invariant::standard_for(p);
+    for (const ArchiveEntry& entry : r.archive) {
+      for (const Invariant& inv : invariants) {
+        if (inv.check(p, entry.state).has_value()) erroneous = true;
+      }
+    }
+    EXPECT_FALSE(erroneous) << GetParam();
+  }
+}
+
+std::vector<std::string> protocol_names() {
+  std::vector<std::string> names;
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    names.push_back(np.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, PruningAblation,
+                         ::testing::ValuesIn(protocol_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+TEST(PruningAblationErrors, BuggyVariantCaughtUnderBothModes) {
+  const Protocol p = protocols::dragon_no_broadcast();
+  const auto invariants = Invariant::standard_for(p);
+  for (const PruningMode mode :
+       {PruningMode::Containment, PruningMode::EqualityOnly}) {
+    SymbolicExpander::Options opt;
+    opt.pruning = mode;
+    const ExpansionResult r = SymbolicExpander(p, opt).run();
+    bool erroneous = false;
+    for (const ArchiveEntry& entry : r.archive) {
+      for (const Invariant& inv : invariants) {
+        if (inv.check(p, entry.state).has_value()) erroneous = true;
+      }
+    }
+    EXPECT_TRUE(erroneous);
+  }
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,289 @@
+/// \file test_composite.cpp
+/// Composite states (Definition 7): canonicalization (aggregation,
+/// level-sharpening, feasibility, branching), structural covering
+/// (Definition 8), containment (Definition 9) and its properties, and the
+/// parse/to_string round trip the rest of the test suite leans on.
+
+#include <gtest/gtest.h>
+
+#include "core/composite_state.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+class CompositeStateTest : public ::testing::Test {
+ protected:
+  const Protocol p = protocols::illinois();
+  const StateId inv = *p.find_state("Invalid");
+  const StateId ve = *p.find_state("ValidExclusive");
+  const StateId sh = *p.find_state("Shared");
+  const StateId d = *p.find_state("Dirty");
+
+  [[nodiscard]] CompositeState parse(std::string_view text) const {
+    return CompositeState::parse(p, text);
+  }
+};
+
+// --------------------------------------------------------------- initial
+
+TEST_F(CompositeStateTest, InitialStateIsInvalidPlus) {
+  const CompositeState s = CompositeState::initial(p);
+  ASSERT_EQ(s.classes().size(), 1u);
+  EXPECT_EQ(s.classes()[0].state, inv);
+  EXPECT_EQ(s.classes()[0].rep, Rep::Plus);
+  EXPECT_EQ(s.classes()[0].cdata, CData::NoData);
+  EXPECT_EQ(s.mdata(), MData::Fresh);
+  EXPECT_EQ(s.level(), SharingLevel::None);
+  EXPECT_EQ(s, parse("(Inv+)"));
+}
+
+// ----------------------------------------------------------- parse formats
+
+TEST_F(CompositeStateTest, ParseInfersLevelsFromStructure) {
+  EXPECT_EQ(parse("(Inv+)").level(), SharingLevel::None);
+  EXPECT_EQ(parse("(Dirty, Inv*)").level(), SharingLevel::One);
+  EXPECT_EQ(parse("(Shared, Shared, Inv*)").level(), SharingLevel::Many);
+}
+
+TEST_F(CompositeStateTest, ParseAggregatesDuplicateClasses) {
+  const CompositeState s = parse("(Shared, Shared, Inv*)");
+  EXPECT_EQ(s.rep_of(sh, CData::Fresh), Rep::Plus);
+  EXPECT_EQ(s.level(), SharingLevel::Many);
+}
+
+TEST_F(CompositeStateTest, ParseRequiresLevelWhenAmbiguous) {
+  EXPECT_THROW((void)parse("(Shared+, Inv*)"), SpecError);
+  EXPECT_EQ(parse("(Shared+, Inv*) level=many").level(), SharingLevel::Many);
+}
+
+TEST_F(CompositeStateTest, ParseReadsAttributes) {
+  const CompositeState s = parse("(Dirty:obsolete, Inv*) mem=obsolete");
+  EXPECT_EQ(s.rep_of(d, CData::Obsolete), Rep::One);
+  EXPECT_EQ(s.rep_of(d, CData::Fresh), Rep::Zero);
+  EXPECT_EQ(s.mdata(), MData::Obsolete);
+}
+
+TEST_F(CompositeStateTest, ParseAcceptsUniquePrefixes) {
+  EXPECT_EQ(parse("(Val, Inv*)"), parse("(ValidExclusive, Invalid*)"));
+  EXPECT_THROW((void)parse("(Frobnicate)"), SpecError);
+}
+
+TEST_F(CompositeStateTest, ToStringRoundTrips) {
+  for (const std::string_view text :
+       {"(Inv+)", "(ValidExclusive, Inv*)", "(Dirty, Inv*) mem=obsolete",
+        "(Shared+, Inv*) level=many", "(Shared, Inv+)",
+        "(Dirty:obsolete, Shared, Inv*) mem=obsolete level=many"}) {
+    const CompositeState s = parse(text);
+    EXPECT_EQ(CompositeState::parse(p, s.to_string(p)), s) << text;
+  }
+}
+
+// -------------------------------------------------------- canonicalization
+
+TEST_F(CompositeStateTest, CanonicalizeMergesSameKeyClasses) {
+  CompositeState::ClassList raw;
+  raw.push_back(ClassEntry{sh, Rep::One, CData::Fresh});
+  raw.push_back(ClassEntry{inv, Rep::Star, CData::NoData});
+  raw.push_back(ClassEntry{sh, Rep::One, CData::Fresh});
+  const auto out = CompositeState::canonicalize(p, raw, MData::Fresh,
+                                                SharingLevel::Many);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rep_of(sh, CData::Fresh), Rep::Plus);
+}
+
+TEST_F(CompositeStateTest, CanonicalizeDropsZeroClasses) {
+  CompositeState::ClassList raw;
+  raw.push_back(ClassEntry{sh, Rep::Zero, CData::Fresh});
+  raw.push_back(ClassEntry{inv, Rep::Plus, CData::NoData});
+  const auto out = CompositeState::canonicalize(p, raw, MData::Fresh,
+                                                SharingLevel::None);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].classes().size(), 1u);
+}
+
+TEST_F(CompositeStateTest, CanonicalizeRejectsInfeasibleLevels) {
+  CompositeState::ClassList raw;
+  raw.push_back(ClassEntry{d, Rep::One, CData::Fresh});
+  raw.push_back(ClassEntry{inv, Rep::Star, CData::NoData});
+  // A definite Dirty copy contradicts level None; a single exact copy
+  // contradicts level Many.
+  EXPECT_TRUE(
+      CompositeState::canonicalize(p, raw, MData::Fresh, SharingLevel::None)
+          .empty());
+  EXPECT_TRUE(
+      CompositeState::canonicalize(p, raw, MData::Fresh, SharingLevel::Many)
+          .empty());
+  EXPECT_EQ(
+      CompositeState::canonicalize(p, raw, MData::Fresh, SharingLevel::One)
+          .size(),
+      1u);
+}
+
+TEST_F(CompositeStateTest, CanonicalizeSharpensLoneStarUnderMany) {
+  CompositeState::ClassList raw;
+  raw.push_back(ClassEntry{sh, Rep::Star, CData::Fresh});
+  raw.push_back(ClassEntry{inv, Rep::Plus, CData::NoData});
+  const auto out = CompositeState::canonicalize(p, raw, MData::Fresh,
+                                                SharingLevel::Many);
+  ASSERT_EQ(out.size(), 1u);
+  // The sole valid class must hold the >= 2 copies: Star sharpens to Plus.
+  EXPECT_EQ(out[0].rep_of(sh, CData::Fresh), Rep::Plus);
+}
+
+TEST_F(CompositeStateTest, CanonicalizeSharpensPlusToOneUnderLevelOne) {
+  CompositeState::ClassList raw;
+  raw.push_back(ClassEntry{sh, Rep::Plus, CData::Fresh});
+  raw.push_back(ClassEntry{inv, Rep::Star, CData::NoData});
+  const auto out = CompositeState::canonicalize(p, raw, MData::Fresh,
+                                                SharingLevel::One);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rep_of(sh, CData::Fresh), Rep::One);
+}
+
+TEST_F(CompositeStateTest, CanonicalizeDropsStarValidClassesUnderNone) {
+  CompositeState::ClassList raw;
+  raw.push_back(ClassEntry{sh, Rep::Star, CData::Fresh});
+  raw.push_back(ClassEntry{inv, Rep::Plus, CData::NoData});
+  const auto out = CompositeState::canonicalize(p, raw, MData::Fresh,
+                                                SharingLevel::None);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rep_of(sh, CData::Fresh), Rep::Zero);
+}
+
+TEST_F(CompositeStateTest, CanonicalizeBranchesWhenLevelOneIsAmbiguous) {
+  // Two flexible valid classes under level One: either could hold the
+  // single copy.
+  CompositeState::ClassList raw;
+  raw.push_back(ClassEntry{sh, Rep::Star, CData::Fresh});
+  raw.push_back(ClassEntry{ve, Rep::Star, CData::Fresh});
+  raw.push_back(ClassEntry{inv, Rep::Plus, CData::NoData});
+  const auto out = CompositeState::canonicalize(p, raw, MData::Fresh,
+                                                SharingLevel::One);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0], out[1]);
+  for (const CompositeState& s : out) {
+    EXPECT_EQ(s.level(), SharingLevel::One);
+    EXPECT_EQ(rep_lo(s.rep_of(sh, CData::Fresh)) +
+                  rep_lo(s.rep_of(ve, CData::Fresh)),
+              1u);
+  }
+}
+
+// ------------------------------------------------- covering and containment
+
+TEST_F(CompositeStateTest, PaperCoveringExample) {
+  // Section 4: s4 = (Shared, Inv+) is structurally covered by
+  // s3 = (Shared+, Inv*) but NOT contained (different F values).
+  const CompositeState s3 = parse("(Shared+, Inv*) level=many");
+  const CompositeState s4 = parse("(Shared, Inv+)");
+  EXPECT_TRUE(s4.covered_by(s3));
+  EXPECT_FALSE(s4.contained_in(s3));
+  EXPECT_FALSE(s3.covered_by(s4));
+}
+
+TEST_F(CompositeStateTest, ContainmentRequiresEqualMData) {
+  const CompositeState a = parse("(Dirty, Inv*)");
+  const CompositeState b = parse("(Dirty, Inv*) mem=obsolete");
+  EXPECT_TRUE(a.covered_by(b));
+  EXPECT_FALSE(a.contained_in(b));
+}
+
+TEST_F(CompositeStateTest, ContainmentExamples) {
+  EXPECT_TRUE(parse("(Dirty, Inv+) mem=obsolete")
+                  .contained_in(parse("(Dirty, Inv*) mem=obsolete")));
+  EXPECT_TRUE(parse("(Shared, Shared, Inv+)")
+                  .contained_in(parse("(Shared+, Inv*) level=many")));
+  EXPECT_FALSE(parse("(ValidExclusive, Inv*)")
+                   .contained_in(parse("(Shared+, Inv*) level=many")));
+  // Absent classes only match 0 or *: (Dirty) is not contained in
+  // (Dirty, Shared) even though every declared class is covered.
+  EXPECT_FALSE(
+      parse("(Dirty, Shared, Inv*) mem=obsolete level=many")
+          .contained_in(parse("(Dirty, Inv*) mem=obsolete")));
+  EXPECT_FALSE(parse("(Dirty, Inv*) mem=obsolete")
+                   .contained_in(
+                       parse("(Dirty, Shared, Inv*) mem=obsolete level=many")));
+}
+
+TEST_F(CompositeStateTest, ContainmentIsReflexiveAndTransitive) {
+  const std::vector<CompositeState> states = {
+      parse("(Inv+)"),
+      parse("(Dirty, Inv+) mem=obsolete"),
+      parse("(Dirty, Inv*) mem=obsolete"),
+      parse("(Shared, Inv+)"),
+      parse("(Shared+, Inv*) level=many"),
+      parse("(Shared, Shared, Inv*)"),
+  };
+  for (const CompositeState& s : states) {
+    EXPECT_TRUE(s.contained_in(s));
+  }
+  for (const CompositeState& a : states) {
+    for (const CompositeState& b : states) {
+      for (const CompositeState& c : states) {
+        if (a.contained_in(b) && b.contained_in(c)) {
+          EXPECT_TRUE(a.contained_in(c));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CompositeStateTest, ContainmentIsAntisymmetric) {
+  const std::vector<CompositeState> states = {
+      parse("(Inv+)"),
+      parse("(Dirty, Inv*) mem=obsolete"),
+      parse("(Dirty, Inv+) mem=obsolete"),
+      parse("(Shared+, Inv*) level=many"),
+  };
+  for (const CompositeState& a : states) {
+    for (const CompositeState& b : states) {
+      if (a.contained_in(b) && b.contained_in(a)) {
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+}
+
+TEST_F(CompositeStateTest, HashAgreesWithEquality) {
+  const CompositeState a = parse("(Shared+, Inv*) level=many");
+  const CompositeState b = parse("(Shared, Shared, Inv*)");
+  const CompositeState c = parse("(Shared, Inv+)");
+  EXPECT_EQ(a, b);  // aggregation normalizes both to the same state
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.hash(), c.hash());  // not guaranteed in general, but stable here
+}
+
+TEST_F(CompositeStateTest, RepOfStateAggregatesAcrossData) {
+  const CompositeState s =
+      parse("(Dirty:obsolete, Dirty, Inv*) mem=obsolete level=many");
+  EXPECT_EQ(s.rep_of(d, CData::Fresh), Rep::One);
+  EXPECT_EQ(s.rep_of(d, CData::Obsolete), Rep::One);
+  EXPECT_EQ(s.rep_of_state(d), Rep::Plus);
+}
+
+TEST_F(CompositeStateTest, DisplayOrderPutsValidClassesFirst) {
+  const CompositeState s = parse("(Shared, Inv+)");
+  const auto order = s.display_order(p);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(s.classes()[order[0]].state, sh);
+  EXPECT_EQ(s.classes()[order[1]].state, inv);
+  EXPECT_EQ(s.to_string(p), "(Shared, Invalid+) mem=fresh");
+}
+
+TEST_F(CompositeStateTest, ValidCountIntervalReflectsStructure) {
+  const CountInterval none = valid_count_interval(p, parse("(Inv+)"));
+  EXPECT_EQ(none.lo, 0u);
+  EXPECT_FALSE(none.unbounded);
+
+  const CountInterval many =
+      valid_count_interval(p, parse("(Shared+, Inv*) level=many"));
+  EXPECT_EQ(many.lo, 1u);
+  EXPECT_TRUE(many.unbounded);
+  EXPECT_TRUE(many.admits(3));
+  EXPECT_FALSE(many.admits(0));
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,121 @@
+/// \file test_enumeration.cpp
+/// The exhaustive-search baseline (Figure 2) and the Theorem-1 coverage
+/// cross-check: for every protocol and cache count, the enumerated
+/// reachable set must be covered by the symbolic essential states, and no
+/// concrete erroneous state may be reachable for correct protocols.
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "enumeration/coverage.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+struct SweepParam {
+  std::string protocol;
+  std::size_t n_caches;
+};
+
+void PrintTo(const SweepParam& p, std::ostream* os) {
+  *os << p.protocol << "/n=" << p.n_caches;
+}
+
+class EnumerationSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EnumerationSweep, NoErroneousStateReachable) {
+  const Protocol p = protocols::by_name(GetParam().protocol);
+  Enumerator::Options opt;
+  opt.n_caches = GetParam().n_caches;
+  const EnumerationResult result = Enumerator(p, opt).run();
+  EXPECT_TRUE(result.errors.empty())
+      << result.errors.front().detail << " in "
+      << to_string(p, result.errors.front().state);
+  EXPECT_GE(result.states, 2u);
+}
+
+TEST_P(EnumerationSweep, ReachableSetCoveredByEssentialStates) {
+  const Protocol p = protocols::by_name(GetParam().protocol);
+  const ExpansionResult symbolic = SymbolicExpander(p).run();
+
+  Enumerator::Options opt;
+  opt.n_caches = GetParam().n_caches;
+  opt.keep_states = true;
+  const EnumerationResult concrete = Enumerator(p, opt).run();
+
+  const CoverageReport coverage =
+      check_coverage(p, symbolic.essential, concrete.reachable);
+  EXPECT_TRUE(coverage.complete())
+      << coverage.uncovered.size() << " uncovered, first: "
+      << to_string(p, coverage.uncovered.front());
+  EXPECT_EQ(coverage.checked, concrete.states);
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> params;
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    for (const std::size_t n : {1u, 2u, 3u, 4u}) {
+      params.push_back(SweepParam{np.name, n});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, EnumerationSweep, ::testing::ValuesIn(sweep_params()),
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return param_info.param.protocol + "_n" + std::to_string(param_info.param.n_caches);
+    });
+
+TEST(Enumeration, StrictAndCountingAgreeOnErrors) {
+  const Protocol p = protocols::illinois();
+  for (const Equivalence eq : {Equivalence::Strict, Equivalence::Counting}) {
+    Enumerator::Options opt;
+    opt.n_caches = 3;
+    opt.equivalence = eq;
+    const EnumerationResult r = Enumerator(p, opt).run();
+    EXPECT_TRUE(r.errors.empty());
+  }
+}
+
+TEST(Enumeration, CountingNeverExceedsStrict) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    Enumerator::Options strict;
+    strict.n_caches = 3;
+    strict.equivalence = Equivalence::Strict;
+    Enumerator::Options counting = strict;
+    counting.equivalence = Equivalence::Counting;
+    const auto rs = Enumerator(p, strict).run();
+    const auto rc = Enumerator(p, counting).run();
+    EXPECT_LE(rc.states, rs.states) << np.name;
+    EXPECT_GE(rs.states, rc.states) << np.name;
+  }
+}
+
+TEST(Enumeration, ParallelMatchesSequential) {
+  const Protocol p = protocols::dragon();
+  Enumerator::Options seq;
+  seq.n_caches = 4;
+  seq.threads = 1;
+  Enumerator::Options par = seq;
+  par.threads = 4;
+  const auto rs = Enumerator(p, seq).run();
+  const auto rp = Enumerator(p, par).run();
+  EXPECT_EQ(rs.states, rp.states);
+  EXPECT_EQ(rs.visits, rp.visits);
+}
+
+TEST(Enumeration, BuggyVariantCaughtConcretely) {
+  const Protocol p = protocols::illinois_no_invalidate_on_write_hit();
+  Enumerator::Options opt;
+  opt.n_caches = 2;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  EXPECT_FALSE(r.errors.empty());
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,302 @@
+/// \file test_fsm.cpp
+/// The protocol FSM model: builder validation (every well-formedness rule
+/// of Definition 1 and Section 2.4), rule lookup, and the concrete
+/// token-valued execution semantics shared by the enumerator and the
+/// simulator.
+
+#include <gtest/gtest.h>
+
+#include "fsm/builder.hpp"
+#include "fsm/concrete.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+/// A minimal correct two-state protocol used as a mutation base.
+ProtocolBuilder mini_builder() {
+  ProtocolBuilder b("Mini", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId d = b.state("D");
+  b.exclusive(d).owner(d);
+  b.rule(inv, StdOps::Read)
+      .to(d)
+      .observe(d, inv)
+      .writeback_from(d)
+      .load_memory();
+  b.rule(d, StdOps::Read).to(d);
+  b.rule(inv, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .writeback_from(d)
+      .load_memory()
+      .store();
+  b.rule(d, StdOps::Write).to(d).store();
+  b.rule(d, StdOps::Replace).to(inv).writeback_self();
+  return b;
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(Builder, AcceptsAWellFormedProtocol) {
+  const Protocol p = mini_builder().build();
+  EXPECT_EQ(p.name(), "Mini");
+  EXPECT_EQ(p.state_count(), 2u);
+  EXPECT_EQ(p.op_count(), 3u);
+}
+
+TEST(Builder, RequiresAnInvalidState) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  b.state("A");
+  b.state("B");
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, RejectsTwoInvalidStates) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  b.invalid_state("I");
+  EXPECT_THROW((void)b.invalid_state("J"), SpecError);
+}
+
+TEST(Builder, RejectsDuplicateStateNames) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  b.invalid_state("I");
+  EXPECT_THROW((void)b.state("I"), SpecError);
+}
+
+TEST(Builder, RejectsGuardsWithoutSharingDetection) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId d = b.state("D");
+  b.rule(inv, StdOps::Read).when_shared().to(d).load_memory();
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, RejectsObservedTransitionsThatCreateCopies) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId d = b.state("D");
+  b.rule(inv, StdOps::Read).to(d).observe(inv, d).load_memory();
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, RejectsMissingCoverage) {
+  // No W rule for state D.
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId d = b.state("D");
+  b.rule(inv, StdOps::Read).to(d).load_memory();
+  b.rule(d, StdOps::Read).to(d);
+  b.rule(inv, StdOps::Write).to(d).load_memory().store();
+  b.rule(d, StdOps::Replace).to(inv).writeback_self();
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, RejectsOverlappingRules) {
+  ProtocolBuilder b("X", CharacteristicKind::SharingDetection);
+  const StateId inv = b.invalid_state("I");
+  const StateId d = b.state("D");
+  b.rule(inv, StdOps::Read).to(d).load_memory();          // guard Any
+  b.rule(inv, StdOps::Read).when_shared().to(d).load_memory();  // overlaps
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, RejectsWritesThatDoNotStore) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId d = b.state("D");
+  b.rule(inv, StdOps::Read).to(d).load_memory();
+  b.rule(d, StdOps::Read).to(d);
+  b.rule(inv, StdOps::Write).to(d).load_memory();  // missing store
+  b.rule(d, StdOps::Write).to(d).store();
+  b.rule(d, StdOps::Replace).to(inv).writeback_self();
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, RejectsReadsThatStore) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId d = b.state("D");
+  b.rule(inv, StdOps::Read).to(d).load_memory().store();
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, RejectsTwoLoadsInOneRule) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId d = b.state("D");
+  b.rule(inv, StdOps::Read).to(d).load_memory().load_prefer({d});
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, RejectsDisconnectedFsm) {
+  // Definition 1: the per-cache FSM must be strongly connected. State T is
+  // reachable but never left.
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId t = b.state("T");
+  b.rule(inv, StdOps::Read).to(t).load_memory();
+  b.rule(t, StdOps::Read).to(t);
+  b.rule(inv, StdOps::Write).to(t).load_memory().store();
+  b.rule(t, StdOps::Write).to(t).store();
+  b.rule(t, StdOps::Replace).to(t);  // never returns to Invalid
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, RejectsExclusivityOnInvalidState) {
+  ProtocolBuilder b = mini_builder();
+  b.exclusive(StateId{0});  // state 0 is the Invalid state
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Builder, CustomOpsAreRegistered) {
+  ProtocolBuilder b = mini_builder();
+  const OpId flush = b.add_op("Flush", /*is_write=*/false);
+  b.rule(1, flush).to(0).writeback_self();
+  b.rule(0, flush).to(0);
+  const Protocol p = std::move(b).build();
+  EXPECT_EQ(p.op_count(), 4u);
+  EXPECT_EQ(p.find_op("Flush"), flush);
+}
+
+// ------------------------------------------------------------ rule lookup
+
+TEST(Protocol, FindRuleRespectsGuards) {
+  const Protocol p = protocols::illinois();
+  const StateId inv = *p.find_state("Invalid");
+  const Rule* unshared = p.find_rule(inv, StdOps::Read, false);
+  const Rule* shared = p.find_rule(inv, StdOps::Read, true);
+  ASSERT_NE(unshared, nullptr);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_NE(unshared, shared);
+  EXPECT_EQ(unshared->self_next, *p.find_state("ValidExclusive"));
+  EXPECT_EQ(shared->self_next, *p.find_state("Shared"));
+  // Replacement of an Invalid block has no rule.
+  EXPECT_EQ(p.find_rule(inv, StdOps::Replace, false), nullptr);
+}
+
+TEST(Protocol, DescribeListsRulesAndNotes) {
+  const Protocol p = protocols::illinois();
+  const std::string text = p.describe();
+  EXPECT_NE(text.find("F=sharing-detection"), std::string::npos);
+  EXPECT_NE(text.find("read hit"), std::string::npos);
+  EXPECT_NE(text.find("Invalid --R[unshared]--> ValidExclusive"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- concrete semantics
+
+class ConcreteSemantics : public ::testing::Test {
+ protected:
+  const Protocol p = protocols::illinois();
+  const StateId inv = *p.find_state("Invalid");
+  const StateId ve = *p.find_state("ValidExclusive");
+  const StateId sh = *p.find_state("Shared");
+  const StateId d = *p.find_state("Dirty");
+};
+
+TEST_F(ConcreteSemantics, InitialBlockIsAllInvalidAndFresh) {
+  const ConcreteBlock b = ConcreteBlock::initial(p, 3);
+  EXPECT_EQ(b.cache_count(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(b.states[i], inv);
+    EXPECT_EQ(cdata_of(p, b, i), CData::NoData);
+  }
+  EXPECT_EQ(mdata_of(b), MData::Fresh);
+}
+
+TEST_F(ConcreteSemantics, ReadMissLoadsValidExclusiveWhenAlone) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 3);
+  const ApplyOutcome o = apply_op(p, b, 0, StdOps::Read);
+  ASSERT_TRUE(o.applied);
+  EXPECT_EQ(b.states[0], ve);
+  EXPECT_EQ(cdata_of(p, b, 0), CData::Fresh);
+  ASSERT_TRUE(o.supplier.has_value());
+  EXPECT_TRUE(o.supplier->from_memory);
+}
+
+TEST_F(ConcreteSemantics, SecondReadSharesBothCopies) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 3);
+  (void)apply_op(p, b, 0, StdOps::Read);
+  const ApplyOutcome o = apply_op(p, b, 1, StdOps::Read);
+  ASSERT_TRUE(o.applied);
+  EXPECT_EQ(b.states[0], sh);
+  EXPECT_EQ(b.states[1], sh);
+  ASSERT_TRUE(o.supplier.has_value());
+  EXPECT_FALSE(o.supplier->from_memory);
+  EXPECT_EQ(o.supplier->cache, 0u);
+}
+
+TEST_F(ConcreteSemantics, WriteInvalidatesSharersAndAgesMemory) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 3);
+  (void)apply_op(p, b, 0, StdOps::Read);
+  (void)apply_op(p, b, 1, StdOps::Read);
+  (void)apply_op(p, b, 0, StdOps::Write);
+  EXPECT_EQ(b.states[0], d);
+  EXPECT_EQ(b.states[1], inv);
+  EXPECT_EQ(cdata_of(p, b, 0), CData::Fresh);
+  EXPECT_EQ(cdata_of(p, b, 1), CData::NoData);
+  EXPECT_EQ(mdata_of(b), MData::Obsolete);
+}
+
+TEST_F(ConcreteSemantics, DirtySupplierUpdatesMemoryOnRemoteRead) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 2);
+  (void)apply_op(p, b, 0, StdOps::Write);  // cache 0 Dirty, memory stale
+  EXPECT_EQ(mdata_of(b), MData::Obsolete);
+  (void)apply_op(p, b, 1, StdOps::Read);   // dirty holder supplies + flush
+  EXPECT_EQ(b.states[0], sh);
+  EXPECT_EQ(b.states[1], sh);
+  EXPECT_EQ(mdata_of(b), MData::Fresh);
+  EXPECT_EQ(cdata_of(p, b, 1), CData::Fresh);
+}
+
+TEST_F(ConcreteSemantics, ReplacementWritesBackDirtyData) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 2);
+  (void)apply_op(p, b, 0, StdOps::Write);
+  (void)apply_op(p, b, 0, StdOps::Replace);
+  EXPECT_EQ(b.states[0], inv);
+  EXPECT_EQ(mdata_of(b), MData::Fresh);
+}
+
+TEST_F(ConcreteSemantics, ReplacementOfInvalidIsANoOp) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 2);
+  const ApplyOutcome o = apply_op(p, b, 0, StdOps::Replace);
+  EXPECT_FALSE(o.applied);
+  EXPECT_EQ(b, ConcreteBlock::initial(p, 2));
+}
+
+TEST_F(ConcreteSemantics, SharingOfSeesOtherCopiesOnly) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 3);
+  EXPECT_FALSE(sharing_of(p, b, 0));
+  (void)apply_op(p, b, 0, StdOps::Read);
+  EXPECT_FALSE(sharing_of(p, b, 0));  // own copy does not count
+  EXPECT_TRUE(sharing_of(p, b, 1));
+}
+
+TEST_F(ConcreteSemantics, CandidateSuppliersFollowPriority) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 4);
+  (void)apply_op(p, b, 0, StdOps::Read);
+  (void)apply_op(p, b, 1, StdOps::Read);  // 0 and 1 Shared
+  const Rule* rule = p.find_rule(inv, StdOps::Read, true);
+  ASSERT_NE(rule, nullptr);
+  const auto candidates = candidate_suppliers(p, b, 2, *rule);
+  ASSERT_EQ(candidates.size(), 2u);  // both sharers, no dirty holder
+  EXPECT_EQ(candidates[0], 0u);
+  EXPECT_EQ(candidates[1], 1u);
+}
+
+TEST_F(ConcreteSemantics, StaleCopyDetection) {
+  // Use the buggy no-invalidate protocol to manufacture a stale copy.
+  const Protocol buggy = protocols::illinois_no_invalidate_on_write_hit();
+  ConcreteBlock b = ConcreteBlock::initial(buggy, 2);
+  (void)apply_op(buggy, b, 0, StdOps::Read);
+  (void)apply_op(buggy, b, 1, StdOps::Read);
+  (void)apply_op(buggy, b, 0, StdOps::Write);  // cache 1 keeps a stale copy
+  EXPECT_TRUE(holds_stale_copy(buggy, b, 1));
+  EXPECT_FALSE(holds_stale_copy(buggy, b, 0));
+  EXPECT_NE(to_string(buggy, b).find("obsolete"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,140 @@
+/// \file test_graph.cpp
+/// The reachability graph (Figure 4 generalized): construction over every
+/// protocol, containment-based edge targeting, DOT output structure, and
+/// the attribute vectors for non-Illinois protocols.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/graph.hpp"
+#include "core/verifier.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+class GraphPerProtocol : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GraphPerProtocol, NodesAreExactlyTheEssentialStates) {
+  const Protocol p = protocols::by_name(GetParam());
+  const ExpansionResult r = SymbolicExpander(p).run();
+  const ReachabilityGraph g = ReachabilityGraph::build(p, r.essential);
+  ASSERT_EQ(g.nodes().size(), r.essential.size());
+  for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+    EXPECT_EQ(g.nodes()[i], r.essential[i]);
+  }
+}
+
+TEST_P(GraphPerProtocol, EveryEdgeEndpointIsValid) {
+  const Protocol p = protocols::by_name(GetParam());
+  const ExpansionResult r = SymbolicExpander(p).run();
+  const ReachabilityGraph g = ReachabilityGraph::build(p, r.essential);
+  EXPECT_FALSE(g.edges().empty());
+  for (const ReachabilityGraph::Edge& e : g.edges()) {
+    EXPECT_LT(e.from, g.nodes().size());
+    EXPECT_LT(e.to, g.nodes().size());
+    EXPECT_LT(e.label.op, p.op_count());
+    EXPECT_LT(e.label.origin_state, p.state_count());
+  }
+}
+
+TEST_P(GraphPerProtocol, EdgesAreDeduplicated) {
+  const Protocol p = protocols::by_name(GetParam());
+  const ExpansionResult r = SymbolicExpander(p).run();
+  const ReachabilityGraph g = ReachabilityGraph::build(p, r.essential);
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    for (std::size_t j = i + 1; j < g.edges().size(); ++j) {
+      const auto& a = g.edges()[i];
+      const auto& b = g.edges()[j];
+      EXPECT_FALSE(a.from == b.from && a.to == b.to && a.label == b.label)
+          << GetParam() << ": duplicate edge " << a.label.to_string(p);
+    }
+  }
+}
+
+TEST_P(GraphPerProtocol, EveryNodeHasInAndOutDegree) {
+  // All protocols here drain to (Invalid+) and refill, so no node is a
+  // source or sink in the global diagram.
+  const Protocol p = protocols::by_name(GetParam());
+  const ExpansionResult r = SymbolicExpander(p).run();
+  const ReachabilityGraph g = ReachabilityGraph::build(p, r.essential);
+  for (std::size_t n = 0; n < g.nodes().size(); ++n) {
+    const bool has_out = std::any_of(
+        g.edges().begin(), g.edges().end(),
+        [n](const ReachabilityGraph::Edge& e) { return e.from == n; });
+    const bool has_in = std::any_of(
+        g.edges().begin(), g.edges().end(),
+        [n](const ReachabilityGraph::Edge& e) { return e.to == n; });
+    EXPECT_TRUE(has_out) << g.nodes()[n].to_string(p);
+    EXPECT_TRUE(has_in) << g.nodes()[n].to_string(p);
+  }
+}
+
+TEST_P(GraphPerProtocol, DotOutputIsWellFormed) {
+  const Protocol p = protocols::by_name(GetParam());
+  const VerificationReport report = Verifier(p).verify();
+  const std::string dot = report.graph.to_dot(p);
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+  // One node line per essential state, one edge line per edge.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(dot.begin(), dot.end(), '[')),
+            report.graph.nodes().size() + report.graph.edges().size() +
+                1 /* the global node [fontname] attribute */);
+}
+
+std::vector<std::string> names() {
+  std::vector<std::string> out;
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    out.push_back(np.name);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, GraphPerProtocol,
+                         ::testing::ValuesIn(names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+TEST(Graph, FindContainingPrefersEquality) {
+  const Protocol p = protocols::illinois();
+  const ExpansionResult r = SymbolicExpander(p).run();
+  const ReachabilityGraph g = ReachabilityGraph::build(p, r.essential);
+  for (std::size_t i = 0; i < g.nodes().size(); ++i) {
+    EXPECT_EQ(g.find_containing(g.nodes()[i]), i);
+  }
+  // A strictly-contained state maps to its container.
+  const CompositeState inner =
+      CompositeState::parse(p, "(Dirty, Inv+) mem=obsolete");
+  const auto idx = g.find_containing(inner);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(g.nodes()[*idx],
+            CompositeState::parse(p, "(Dirty, Inv*) mem=obsolete"));
+}
+
+TEST(Graph, FindContainingReturnsEmptyForForeignStates) {
+  const Protocol p = protocols::illinois();
+  const ExpansionResult r = SymbolicExpander(p).run();
+  const ReachabilityGraph g = ReachabilityGraph::build(p, r.essential);
+  // (Dirty, Shared, ...) is not reachable in Illinois.
+  const CompositeState foreign = CompositeState::parse(
+      p, "(Dirty, Shared, Inv*) mem=obsolete level=many");
+  EXPECT_FALSE(g.find_containing(foreign).has_value());
+}
+
+TEST(Graph, BergamotBerkeleyAttributeVectors) {
+  // Berkeley's signature state: owner + clean copies while memory is
+  // stale. Verify the rendered attribute vectors directly.
+  const Protocol p = protocols::berkeley();
+  const CompositeState s = CompositeState::parse(
+      p, "(SharedDirty, Valid+, Inv*) mem=obsolete level=many");
+  EXPECT_EQ(ReachabilityGraph::sharing_vector(p, s), "(true, true, true)");
+  EXPECT_EQ(ReachabilityGraph::cdata_vector(p, s),
+            "(fresh, fresh, nodata)");
+}
+
+}  // namespace
+}  // namespace ccver

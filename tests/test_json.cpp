@@ -1,0 +1,129 @@
+/// \file test_json.cpp
+/// The JSON writer and the machine-readable verification report.
+
+#include <gtest/gtest.h>
+
+#include "core/report_json.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+#include "util/json.hpp"
+
+namespace ccver {
+namespace {
+
+TEST(JsonWriter, EmitsObjectsArraysAndScalars) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("x");
+  json.key("ok").value(true);
+  json.key("n").value(std::uint64_t{42});
+  json.key("list").begin_array();
+  json.value("a");
+  json.value(std::uint64_t{1});
+  json.end_array();
+  json.key("empty").begin_object();
+  json.end_object();
+  json.end_object();
+  EXPECT_EQ(std::move(json).str(),
+            R"({"name":"x","ok":true,"n":42,"list":["a",1],"empty":{}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_array();
+  json.value("quote \" backslash \\ newline \n tab \t");
+  json.value(std::string_view("ctl \x01", 5));
+  json.end_array();
+  EXPECT_EQ(std::move(json).str(),
+            "[\"quote \\\" backslash \\\\ newline \\n tab \\t\","
+            "\"ctl \\u0001\"]");
+}
+
+TEST(JsonWriter, RejectsStructuralMisuse) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value("no key"), InternalError);
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    json.key("k");
+    EXPECT_THROW(json.key("again"), InternalError);
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), InternalError);
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW((void)std::move(json).str(), InternalError);
+  }
+}
+
+namespace {
+
+/// A structural sanity scan: balanced braces/brackets outside strings.
+bool balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+}  // namespace
+
+TEST(ReportJson, VerifiedProtocolIncludesGraph) {
+  const Protocol p = protocols::illinois();
+  const VerificationReport report = Verifier(p).verify();
+  const std::string json = report_to_json(report, p);
+  EXPECT_TRUE(balanced(json));
+  EXPECT_NE(json.find("\"protocol\":\"Illinois\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"visits\":23"), std::string::npos);
+  EXPECT_NE(json.find("\"graph\""), std::string::npos);
+  EXPECT_NE(json.find("\"n_steps\""), std::string::npos);
+  EXPECT_EQ(json.find("\"errors\":[]") == std::string::npos, false);
+}
+
+TEST(ReportJson, ErroneousProtocolIncludesCounterexamples) {
+  const Protocol p = protocols::dragon_no_broadcast();
+  Verifier::Options opt;
+  opt.build_graph = false;
+  opt.max_errors = 1;
+  const VerificationReport report = Verifier(p, opt).verify();
+  const std::string json = report_to_json(report, p);
+  EXPECT_TRUE(balanced(json));
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"invariant\":\"data-consistency\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"path\":["), std::string::npos);
+  EXPECT_EQ(json.find("\"graph\""), std::string::npos);
+}
+
+TEST(ReportJson, AllProtocolsSerializeCleanly) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    const VerificationReport report = Verifier(p).verify();
+    EXPECT_TRUE(balanced(report_to_json(report, p))) << np.name;
+  }
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,128 @@
+/// \file test_lint.cpp
+/// Specification liveness diagnostics: the whole library is lint-clean,
+/// and synthetic specs with dead states, unsatisfiable guards and stuck
+/// transient states are flagged.
+
+#include <gtest/gtest.h>
+
+#include "core/lint.hpp"
+#include "fsm/builder.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+TEST(Lint, EveryLibraryProtocolIsClean) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const auto warnings = lint_protocol(np.factory());
+    EXPECT_TRUE(warnings.empty())
+        << np.name << ": " << warnings.front().detail;
+  }
+}
+
+/// Illinois plus a "Trap" state entered only by a custom op whose guard is
+/// unsatisfiable from the state it reads (ValidExclusive is exclusive, so
+/// it never observes sharing).
+Protocol with_dead_trap_state() {
+  ProtocolBuilder b("DeadTrap", CharacteristicKind::SharingDetection);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId ve = b.state("ValidExclusive");
+  const StateId trap = b.state("Trap");
+  const OpId hop = b.add_op("Hop", /*is_write=*/false);
+
+  // Read misses *steal* the block (observe VE -> Invalid), so at most one
+  // valid copy ever exists and f is false from VE's perspective forever.
+  b.rule(inv, StdOps::Read)
+      .to(ve)
+      .observe(ve, inv)
+      .observe(trap, inv)
+      .load_memory();
+  b.rule(ve, StdOps::Read).to(ve);
+  b.rule(trap, StdOps::Read).to(trap);
+  b.rule(inv, StdOps::Write).to(ve).invalidate_others().load_memory().store();
+  b.rule(ve, StdOps::Write).to(ve).invalidate_others().store();
+  b.rule(trap, StdOps::Write).to(trap).store();
+  b.rule(ve, StdOps::Replace).to(inv);
+  b.rule(trap, StdOps::Replace).to(inv);
+  // The only way into Trap: a Hop from Valid-Exclusive under sharing --
+  // but every write/read keeps the copy exclusive, so f is always false
+  // from VE and the rule never fires.
+  b.rule(ve, hop).when_shared().to(trap);
+  b.rule(ve, hop).when_unshared().to(ve);
+  return std::move(b).build();
+}
+
+TEST(Lint, FlagsDeadStatesAndSubsumesTheirRules) {
+  const auto warnings = lint_protocol(with_dead_trap_state());
+  ASSERT_FALSE(warnings.empty());
+  bool dead_state = false;
+  for (const LintWarning& w : warnings) {
+    if (w.kind == LintWarning::Kind::DeadState) {
+      dead_state = true;
+      EXPECT_NE(w.detail.find("Trap"), std::string::npos);
+    }
+    // Rules *from* the dead state must not be double-reported.
+    if (w.kind == LintWarning::Kind::DeadRule) {
+      EXPECT_EQ(w.detail.find("(Trap"), std::string::npos) << w.detail;
+    }
+  }
+  EXPECT_TRUE(dead_state);
+}
+
+TEST(Lint, FlagsUnsatisfiableGuardRules) {
+  const auto warnings = lint_protocol(with_dead_trap_state());
+  bool dead_rule = false;
+  for (const LintWarning& w : warnings) {
+    if (w.kind == LintWarning::Kind::DeadRule &&
+        w.detail.find("Hop") != std::string::npos &&
+        w.detail.find("shared") != std::string::npos) {
+      dead_rule = true;
+    }
+  }
+  EXPECT_TRUE(dead_rule);
+}
+
+TEST(Lint, FlagsStuckTransientStates) {
+  // A pending state with stalls but no completion rule: the processor can
+  // never make progress on its own.
+  ProtocolBuilder b("Stuck", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("Invalid");
+  const StateId pend = b.state("Pending");
+  const StateId d = b.state("Dirty");
+
+  b.rule(inv, StdOps::Read).to(pend).load_memory();
+  b.rule(pend, StdOps::Read).stall();
+  b.rule(pend, StdOps::Write).stall();
+  b.rule(pend, StdOps::Replace).stall();
+  b.rule(d, StdOps::Read).to(d);
+  b.rule(inv, StdOps::Write)
+      .to(d)
+      .invalidate_others()
+      .load_memory()
+      .store();
+  b.rule(d, StdOps::Write).to(d).store();
+  b.rule(d, StdOps::Replace).to(inv).writeback_self();
+  // Connectivity escape hatch: a write by another cache aborts Pending --
+  // but that is not self-initiated progress.
+  // (invalidate_others on the write rules maps Pending -> Invalid.)
+  const Protocol p = std::move(b).build();
+
+  const auto warnings = lint_protocol(p);
+  bool stuck = false;
+  for (const LintWarning& w : warnings) {
+    if (w.kind == LintWarning::Kind::StuckTransient) {
+      stuck = true;
+      EXPECT_NE(w.detail.find("Pending"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(stuck);
+}
+
+TEST(Lint, KindNamesAreStable) {
+  EXPECT_EQ(to_string(LintWarning::Kind::DeadState), "dead-state");
+  EXPECT_EQ(to_string(LintWarning::Kind::DeadRule), "dead-rule");
+  EXPECT_EQ(to_string(LintWarning::Kind::StuckTransient), "stuck-transient");
+}
+
+}  // namespace
+}  // namespace ccver

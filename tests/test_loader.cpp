@@ -1,0 +1,111 @@
+/// \file test_loader.cpp
+/// File-level spec handling: the shipped specs/ directory loads and
+/// matches the built-in library exactly, save/load round-trips through a
+/// temporary directory, and I/O errors are reported as SpecError.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "core/verifier.hpp"
+#include "protocols/protocols.hpp"
+#include "spec/loader.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Locates the repository's specs/ directory relative to the test binary
+/// (build/tests/..) or the current working directory.
+fs::path specs_dir() {
+  for (fs::path base : {fs::current_path(), fs::current_path() / "..",
+                        fs::current_path() / "../.."}) {
+    if (fs::exists(base / "specs" / "illinois.ccp")) return base / "specs";
+  }
+  return "/root/repo/specs";  // repository default
+}
+
+std::string spec_file_name(const std::string& protocol) {
+  std::string name;
+  for (const char c : protocol) {
+    name += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name + ".ccp";
+}
+
+class ShippedSpecs : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShippedSpecs, LoadsAndMatchesTheBuiltinDefinition) {
+  const Protocol builtin = protocols::by_name(GetParam());
+  const fs::path path = specs_dir() / spec_file_name(GetParam());
+  ASSERT_TRUE(fs::exists(path)) << path;
+  const Protocol loaded = load_protocol_file(path);
+  EXPECT_TRUE(loaded == builtin) << path;
+}
+
+TEST_P(ShippedSpecs, LoadedProtocolVerifies) {
+  const Protocol loaded =
+      load_protocol_file(specs_dir() / spec_file_name(GetParam()));
+  const VerificationReport report = Verifier(loaded).verify();
+  EXPECT_TRUE(report.ok) << report.summary(loaded);
+}
+
+std::vector<std::string> names() {
+  std::vector<std::string> out;
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    out.push_back(np.name);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ShippedSpecs,
+                         ::testing::ValuesIn(names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+class LoaderIo : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ccver_loader_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(LoaderIo, SaveThenLoadRoundTrips) {
+  const Protocol original = protocols::dragon();
+  const fs::path path = dir_ / "dragon.ccp";
+  save_protocol_file(original, path);
+  const Protocol loaded = load_protocol_file(path);
+  EXPECT_TRUE(loaded == original);
+}
+
+TEST_F(LoaderIo, MissingFileRaisesSpecError) {
+  EXPECT_THROW((void)load_protocol_file(dir_ / "nonesuch.ccp"), SpecError);
+}
+
+TEST_F(LoaderIo, ParseErrorsCarryTheFileName) {
+  const fs::path path = dir_ / "broken.ccp";
+  std::ofstream(path) << "protocol Broken {\n  invalid state I\n";  // EOF
+  try {
+    (void)load_protocol_file(path);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.ccp"), std::string::npos);
+  }
+}
+
+TEST_F(LoaderIo, UnwritableTargetRaisesSpecError) {
+  EXPECT_THROW(
+      save_protocol_file(protocols::msi(), dir_ / "no" / "such" / "dir.ccp"),
+      SpecError);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,134 @@
+/// \file test_moesi_split.cpp
+/// The MOESISplit protocol: upgrade-race semantics, pending-supplier data
+/// flow, reads hitting on pending upgrades, and the upgrade-race mutant.
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "enumeration/coverage.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+class MoesiSplit : public ::testing::Test {
+ protected:
+  const Protocol p = protocols::moesi_split();
+  const OpId ackr = *p.find_op("AckR");
+  const OpId ackw = *p.find_op("AckW");
+};
+
+TEST_F(MoesiSplit, VerifiesWithTwentySevenEssentialStates) {
+  const VerificationReport report = Verifier(p).verify();
+  EXPECT_TRUE(report.ok) << report.summary(p);
+  EXPECT_EQ(report.essential.size(), 27u);
+}
+
+TEST_F(MoesiSplit, RacingUpgradersCoexistUntilCompletion) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 3);
+  // Two caches acquire Shared copies, then both request upgrades.
+  (void)apply_op(p, b, 0, StdOps::Read);
+  (void)apply_op(p, b, 0, ackr);
+  (void)apply_op(p, b, 1, StdOps::Read);
+  (void)apply_op(p, b, 1, ackr);
+  (void)apply_op(p, b, 0, StdOps::Write);
+  (void)apply_op(p, b, 1, StdOps::Write);
+  EXPECT_EQ(p.state_name(b.states[0]), "UpgradePending");
+  EXPECT_EQ(p.state_name(b.states[1]), "UpgradePending");
+
+  // The first completion wins; the loser is invalidated, not left stale.
+  (void)apply_op(p, b, 1, ackw);
+  EXPECT_EQ(p.state_name(b.states[1]), "Modified");
+  EXPECT_EQ(p.state_name(b.states[0]), "Invalid");
+  EXPECT_FALSE(holds_stale_copy(p, b, 0));
+  // The winner's later completion is a discarded response.
+  const ApplyOutcome late = apply_op(p, b, 0, ackw);
+  EXPECT_FALSE(late.applied);
+}
+
+TEST_F(MoesiSplit, ReadsHitOnPendingUpgrades) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 2);
+  // Both caches read (Shared copies), then cache 0 requests an upgrade.
+  // (A lone reader would fill Exclusive and upgrade silently instead.)
+  (void)apply_op(p, b, 0, StdOps::Read);
+  (void)apply_op(p, b, 0, ackr);
+  (void)apply_op(p, b, 1, StdOps::Read);
+  (void)apply_op(p, b, 1, ackr);
+  (void)apply_op(p, b, 0, StdOps::Write);  // upgrade pending
+  EXPECT_EQ(p.state_name(b.states[0]), "UpgradePending");
+  const ApplyOutcome read = apply_op(p, b, 0, StdOps::Read);
+  ASSERT_TRUE(read.applied);
+  EXPECT_FALSE(read.rule->is_stall);  // the copy is still readable
+  EXPECT_EQ(cdata_of(p, b, 0), CData::Fresh);
+}
+
+TEST_F(MoesiSplit, PendingWriterSuppliesItsLatch) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 3);
+  (void)apply_op(p, b, 0, StdOps::Write);  // cache 0 writes, retires
+  (void)apply_op(p, b, 0, ackw);
+  (void)apply_op(p, b, 1, StdOps::Write);  // kills the Modified holder;
+                                           // fresh value lives in the latch
+  EXPECT_EQ(p.state_name(b.states[0]), "Invalid");
+  EXPECT_EQ(p.state_name(b.states[1]), "WritePending");
+  EXPECT_EQ(mdata_of(b), MData::Obsolete);
+  EXPECT_EQ(cdata_of(p, b, 1), CData::Fresh);
+
+  // A read request latches from the pending writer, not stale memory.
+  const ApplyOutcome read = apply_op(p, b, 2, StdOps::Read);
+  ASSERT_TRUE(read.applied);
+  ASSERT_TRUE(read.supplier.has_value());
+  EXPECT_FALSE(read.supplier->from_memory);
+  EXPECT_EQ(read.supplier->cache, 1u);
+  EXPECT_EQ(cdata_of(p, b, 2), CData::Fresh);
+}
+
+TEST_F(MoesiSplit, OwnerDowngradePathMatchesMoesi) {
+  ConcreteBlock b = ConcreteBlock::initial(p, 2);
+  (void)apply_op(p, b, 0, StdOps::Write);
+  (void)apply_op(p, b, 0, ackw);           // Modified
+  (void)apply_op(p, b, 1, StdOps::Read);   // remote read request
+  EXPECT_EQ(p.state_name(b.states[0]), "Owned");
+  (void)apply_op(p, b, 1, ackr);
+  EXPECT_EQ(p.state_name(b.states[1]), "Shared");
+  EXPECT_EQ(mdata_of(b), MData::Obsolete);  // no memory update, as in MOESI
+}
+
+TEST_F(MoesiSplit, ConcreteStatesCoveredByEssentialStates) {
+  const ExpansionResult symbolic = SymbolicExpander(p).run();
+  for (const std::size_t n : {2u, 3u}) {
+    Enumerator::Options opt;
+    opt.n_caches = n;
+    opt.keep_states = true;
+    const EnumerationResult concrete = Enumerator(p, opt).run();
+    EXPECT_TRUE(concrete.errors.empty());
+    const CoverageReport coverage =
+        check_coverage(p, symbolic.essential, concrete.reachable);
+    EXPECT_TRUE(coverage.complete()) << "n=" << n;
+  }
+}
+
+TEST_F(MoesiSplit, UpgradeRaceMutantIsCaught) {
+  const Protocol buggy = protocols::moesi_split_upgrade_race();
+  Verifier::Options opt;
+  opt.build_graph = false;
+  const VerificationReport report = Verifier(buggy, opt).verify();
+  ASSERT_FALSE(report.ok);
+  bool upgrade_involved = false;
+  for (const VerificationError& e : report.errors) {
+    upgrade_involved =
+        upgrade_involved ||
+        e.violation.detail.find("UpgradePending") != std::string::npos;
+  }
+  EXPECT_TRUE(upgrade_involved) << report.summary(buggy);
+
+  // Cross-check concretely: the race needs only two caches.
+  Enumerator::Options eopt;
+  eopt.n_caches = 2;
+  const EnumerationResult concrete = Enumerator(buggy, eopt).run();
+  EXPECT_FALSE(concrete.errors.empty());
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,123 @@
+/// \file test_mutation.cpp
+/// The mutation engine itself: operator coverage, mutant well-formedness,
+/// determinism, and the hand-crafted variants' structural relationship to
+/// their bases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+TEST(Mutator, WithRuleReplacesExactlyOneRule) {
+  const Protocol base = protocols::illinois();
+  Rule rule = base.rules()[0];
+  rule.note = "changed";
+  const Protocol mutant = ProtocolMutator::with_rule(base, 0, rule, "-X");
+  EXPECT_EQ(mutant.name(), "Illinois-X");
+  EXPECT_EQ(mutant.rules().size(), base.rules().size());
+  EXPECT_EQ(mutant.rules()[0].note, "changed");
+  for (std::size_t i = 1; i < base.rules().size(); ++i) {
+    EXPECT_EQ(mutant.rules()[i], base.rules()[i]);
+  }
+}
+
+TEST(Mutator, WithRuleKeepsLookupConsistent) {
+  const Protocol base = protocols::illinois();
+  const StateId sh = *base.find_state("Shared");
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < base.rules().size(); ++i) {
+    if (base.rules()[i].from == sh && base.rules()[i].op == StdOps::Write) {
+      idx = i;
+    }
+  }
+  Rule rule = base.rules()[idx];
+  rule.self_next = sh;
+  const Protocol mutant = ProtocolMutator::with_rule(base, idx, rule, "-X");
+  const Rule* found = mutant.find_rule(sh, StdOps::Write, true);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->self_next, sh);  // the reindexed table sees the change
+}
+
+TEST(Mutator, EnumerationIsDeterministic) {
+  const auto a = ProtocolMutator::enumerate(protocols::dragon());
+  const auto b = ProtocolMutator::enumerate(protocols::dragon());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].description, b[i].description);
+    EXPECT_TRUE(a[i].protocol == b[i].protocol);
+  }
+}
+
+TEST(Mutator, EveryMutantDiffersFromTheOriginal) {
+  const Protocol base = protocols::moesi();
+  for (const ProtocolMutant& m : ProtocolMutator::enumerate(base)) {
+    EXPECT_FALSE(m.protocol == base) << m.description;
+    EXPECT_NE(m.protocol.rules()[m.rule_index], base.rules()[m.rule_index])
+        << m.description;
+  }
+}
+
+TEST(Mutator, CoversAllFourOperatorFamilies) {
+  const auto mutants = ProtocolMutator::enumerate(protocols::write_once());
+  const auto count_containing = [&mutants](std::string_view needle) {
+    return std::count_if(mutants.begin(), mutants.end(),
+                         [needle](const ProtocolMutant& m) {
+                           return m.description.find(needle) !=
+                                  std::string::npos;
+                         });
+  };
+  EXPECT_GT(count_containing("coincident transition"), 0);
+  EXPECT_GT(count_containing("dropped"), 0);
+  EXPECT_GT(count_containing("write-through degraded"), 0);
+  EXPECT_GT(count_containing("retargeted"), 0);
+}
+
+TEST(BuggyVariants, AllTenAreRegisteredAndNamed) {
+  const auto& variants = protocols::buggy_variants();
+  ASSERT_EQ(variants.size(), 10u);
+  for (const protocols::NamedMutant& v : variants) {
+    const Protocol p = v.factory();
+    // Mutant names carry the defect suffix appended to the base name.
+    EXPECT_NE(p.name().find('-'), std::string::npos) << v.name;
+  }
+}
+
+TEST(BuggyVariants, DifferFromTheirBasesByOneRule) {
+  struct Pair {
+    Protocol (*buggy)();
+    Protocol (*base)();
+  };
+  const Pair pairs[] = {
+      {&protocols::illinois_no_invalidate_on_write_hit,
+       &protocols::illinois},
+      {&protocols::illinois_drop_dirty_on_replace, &protocols::illinois},
+      {&protocols::illinois_read_miss_ignores_sharers,
+       &protocols::illinois},
+      {&protocols::synapse_dirty_no_flush, &protocols::synapse},
+      {&protocols::dragon_no_broadcast, &protocols::dragon},
+      {&protocols::berkeley_owner_silent_drop, &protocols::berkeley},
+      {&protocols::write_once_local_first_write, &protocols::write_once},
+      {&protocols::mesi_write_miss_no_invalidate, &protocols::mesi},
+      {&protocols::illinois_split_lost_invalidation,
+       &protocols::illinois_split},
+      {&protocols::moesi_split_upgrade_race, &protocols::moesi_split},
+  };
+  for (const Pair& pair : pairs) {
+    const Protocol buggy = pair.buggy();
+    const Protocol base = pair.base();
+    ASSERT_EQ(buggy.rules().size(), base.rules().size());
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < base.rules().size(); ++i) {
+      if (!(buggy.rules()[i] == base.rules()[i])) ++differing;
+    }
+    EXPECT_EQ(differing, 1u) << buggy.name();
+  }
+}
+
+}  // namespace
+}  // namespace ccver

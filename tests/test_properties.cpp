@@ -1,0 +1,282 @@
+/// \file test_properties.cpp
+/// Randomized property tests over the symbolic machinery (seeded and
+/// deterministic):
+///  * canonicalization is idempotent on its own output;
+///  * structural covering agrees with concrete-family inclusion;
+///  * the abstraction commutes: a concrete step followed by abstraction
+///    lands inside the symbolic successors of any covering composite state
+///    (the semantic core of Theorem 1);
+///  * Lemma 2 monotonicity over randomly drawn contained pairs;
+///  * the spec parser never crashes on mutated input.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/expansion.hpp"
+#include "enumeration/coverage.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/protocols.hpp"
+#include "sim/trace.hpp"
+#include "spec/parser.hpp"
+#include "spec/writer.hpp"
+#include "util/rng.hpp"
+
+namespace ccver {
+namespace {
+
+/// Draws a random raw class list + attributes; most combinations are
+/// infeasible or non-canonical, which is exactly what canonicalize must
+/// handle.
+CompositeState::ClassList random_raw(const Protocol& p, Rng& rng) {
+  CompositeState::ClassList raw;
+  const std::size_t classes = 1 + rng.below(4);
+  for (std::size_t i = 0; i < classes; ++i) {
+    const auto state = static_cast<StateId>(rng.below(p.state_count()));
+    const auto rep = static_cast<Rep>(1 + rng.below(3));  // One/Plus/Star
+    const CData cdata = p.is_valid_state(state)
+                            ? (rng.chance(0.8) ? CData::Fresh
+                                               : CData::Obsolete)
+                            : CData::NoData;
+    raw.push_back(ClassEntry{state, rep, cdata});
+  }
+  return raw;
+}
+
+SharingLevel random_level(Rng& rng) {
+  return static_cast<SharingLevel>(rng.below(3));
+}
+
+TEST(Properties, CanonicalizationIsIdempotent) {
+  const Protocol p = protocols::dragon();
+  Rng rng(2026);
+  std::size_t produced = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto raw = random_raw(p, rng);
+    const MData mdata = rng.chance(0.5) ? MData::Fresh : MData::Obsolete;
+    const SharingLevel level = random_level(rng);
+    for (const CompositeState& s :
+         CompositeState::canonicalize(p, raw, mdata, level)) {
+      ++produced;
+      const auto again =
+          CompositeState::canonicalize(p, s.classes(), s.mdata(), s.level());
+      ASSERT_EQ(again.size(), 1u) << s.to_string(p);
+      EXPECT_EQ(again[0], s) << s.to_string(p);
+    }
+  }
+  EXPECT_GT(produced, 500u);  // the generator must exercise the happy path
+}
+
+/// Draws a concrete population consistent with a canonical composite state
+/// (bounded instance counts for unbounded classes), or nullopt when the
+/// level's copy count cannot be met within the bound.
+std::optional<EnumKey> random_instance(const Protocol& p,
+                                       const CompositeState& s, Rng& rng,
+                                       std::size_t max_extra = 3) {
+  std::vector<std::uint8_t> cells;
+  unsigned valid = 0;
+  for (const ClassEntry& c : s.classes()) {
+    unsigned count = rep_lo(c.rep);
+    if (rep_unbounded(c.rep)) {
+      count += static_cast<unsigned>(rng.below(max_extra + 1));
+    }
+    for (unsigned k = 0; k < count; ++k) {
+      cells.push_back(static_cast<std::uint8_t>(
+          (c.state << 2) | static_cast<std::uint8_t>(c.cdata)));
+      if (p.is_valid_state(c.state)) ++valid;
+    }
+  }
+  if (level_of_count(valid) != s.level()) return std::nullopt;
+  if (cells.empty() || cells.size() > kMaxCaches) return std::nullopt;
+  std::sort(cells.begin(), cells.end());
+  EnumKey key;
+  for (const std::uint8_t cell : cells) key.cells.push_back(cell);
+  key.mdata = static_cast<std::uint8_t>(s.mdata());
+  return key;
+}
+
+TEST(Properties, InstancesOfAStateAreCoveredByIt) {
+  const Protocol p = protocols::moesi();
+  Rng rng(7);
+  const ExpansionResult r = SymbolicExpander(p).run();
+  std::size_t checked = 0;
+  for (const CompositeState& s : r.essential) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto key = random_instance(p, s, rng);
+      if (!key.has_value()) continue;
+      ++checked;
+      EXPECT_TRUE(covers_concrete(p, s, *key))
+          << s.to_string(p) << " does not cover " << to_string(p, *key);
+    }
+  }
+  EXPECT_GT(checked, 200u);
+}
+
+TEST(Properties, CoveringImpliesFamilyInclusion) {
+  // If S1 is contained in S2, every concrete instance of S1 must be
+  // covered by S2 as well.
+  const Protocol p = protocols::dragon();
+  Rng rng(17);
+
+  // Pool of canonical states: the equality-mode expansion visits more
+  // distinct states than the essential run.
+  SymbolicExpander::Options opt;
+  opt.pruning = PruningMode::EqualityOnly;
+  const ExpansionResult r = SymbolicExpander(p, opt).run();
+
+  std::size_t contained_pairs = 0;
+  for (const CompositeState& s1 : r.essential) {
+    for (const CompositeState& s2 : r.essential) {
+      if (!(s1.contained_in(s2)) || s1 == s2) continue;
+      ++contained_pairs;
+      for (int trial = 0; trial < 50; ++trial) {
+        const auto key = random_instance(p, s1, rng);
+        if (!key.has_value()) continue;
+        EXPECT_TRUE(covers_concrete(p, s2, *key))
+            << to_string(p, *key) << " in " << s1.to_string(p)
+            << " escapes " << s2.to_string(p);
+      }
+    }
+  }
+  EXPECT_GT(contained_pairs, 0u);
+}
+
+/// The semantic core of Theorem 1: take any reachable concrete state, any
+/// covering composite state, and any concrete transition; the abstracted
+/// result must be covered by the source or one of its symbolic successors.
+class AbstractionCommutes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AbstractionCommutes, ConcreteStepsStayInsideSymbolicSuccessors) {
+  const Protocol p = protocols::by_name(GetParam());
+  const ExpansionResult symbolic = SymbolicExpander(p).run();
+
+  Enumerator::Options eopt;
+  eopt.n_caches = 4;
+  eopt.keep_states = true;
+  const EnumerationResult concrete = Enumerator(p, eopt).run();
+
+  for (const EnumKey& key : concrete.reachable) {
+    // Find one covering essential state.
+    const CompositeState* covering = nullptr;
+    for (const CompositeState& s : symbolic.essential) {
+      if (covers_concrete(p, s, key)) {
+        covering = &s;
+        break;
+      }
+    }
+    ASSERT_NE(covering, nullptr) << to_string(p, key);
+
+    const auto symbolic_succ = successors(p, *covering);
+    for (const EnumKey& next :
+         concrete_successors(p, key, Equivalence::Counting)) {
+      const bool inside =
+          covers_concrete(p, *covering, next) ||
+          std::any_of(symbolic_succ.begin(), symbolic_succ.end(),
+                      [&](const Successor& s) {
+                        return covers_concrete(p, s.state, next);
+                      });
+      EXPECT_TRUE(inside)
+          << "concrete step " << to_string(p, key) << " -> "
+          << to_string(p, next) << " escapes symbolic successors of "
+          << covering->to_string(p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, AbstractionCommutes,
+    ::testing::Values("WriteOnce", "Synapse", "Berkeley", "Illinois",
+                      "Firefly", "Dragon", "MSI", "MESI", "MOESI"),
+    [](const ::testing::TestParamInfo<std::string>& i) { return i.param; });
+
+TEST(Properties, MonotonicityOverRandomContainedPairs) {
+  // Lemma 2 over every contained pair drawn from the equality-mode pool.
+  for (const char* name : {"Illinois", "Dragon", "Berkeley"}) {
+    const Protocol p = protocols::by_name(name);
+    SymbolicExpander::Options opt;
+    opt.pruning = PruningMode::EqualityOnly;
+    const ExpansionResult r = SymbolicExpander(p, opt).run();
+
+    for (const CompositeState& s1 : r.essential) {
+      for (const CompositeState& s2 : r.essential) {
+        if (s1 == s2 || !s1.contained_in(s2)) continue;
+        const auto succ2 = successors(p, s2);
+        for (const Successor& a : successors(p, s1)) {
+          const bool covered =
+              a.state.contained_in(s2) ||
+              std::any_of(succ2.begin(), succ2.end(),
+                          [&a](const Successor& b) {
+                            return a.state.contained_in(b.state);
+                          });
+          EXPECT_TRUE(covered)
+              << name << ": successor " << a.state.to_string(p) << " of "
+              << s1.to_string(p) << " escapes " << s2.to_string(p);
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- parser fuzzing
+
+TEST(Properties, ParserSurvivesMutatedSpecs) {
+  // Token-level mutations of a valid spec must either parse or raise
+  // SpecError -- never crash, never raise InternalError.
+  const std::string source = to_spec(protocols::illinois());
+  Rng rng(99);
+  std::size_t parsed_ok = 0;
+  std::size_t rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = source;
+    const std::size_t edits = 1 + rng.below(3);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.below(mutated.size());
+      switch (rng.below(4)) {
+        case 0:  // delete a span
+          mutated.erase(pos, 1 + rng.below(8));
+          break;
+        case 1:  // duplicate a span
+          mutated.insert(pos, mutated.substr(pos, 1 + rng.below(8)));
+          break;
+        case 2:  // garble a character
+          mutated[pos] = static_cast<char>('!' + rng.below(90));
+          break;
+        default:  // inject a random keyword
+          mutated.insert(pos, " store ");
+          break;
+      }
+    }
+    try {
+      (void)parse_protocol(mutated);
+      ++parsed_ok;
+    } catch (const SpecError&) {
+      ++rejected;
+    }
+    // InternalError or a crash fails the test by escaping the catch.
+  }
+  EXPECT_EQ(parsed_ok + rejected, 500u);
+  EXPECT_GT(rejected, 100u);  // mutations usually break something
+}
+
+TEST(Properties, TraceGenerationIsPermutationStableUnderBlockRelabeling) {
+  // Blocks are interchangeable: relabeling block ids in the config space
+  // must not change aggregate trace statistics (writes per block modulo
+  // the mapping). A cheap sanity property on the generator.
+  TraceConfig cfg;
+  cfg.n_cpus = 4;
+  cfg.n_blocks = 8;
+  cfg.length = 5'000;
+  cfg.seed = 5;
+  const auto trace = generate_trace(cfg);
+  std::size_t writes = 0;
+  for (const TraceEvent& e : trace) {
+    EXPECT_LT(e.cpu, cfg.n_cpus);
+    EXPECT_LT(e.block, cfg.n_blocks);
+    if (e.op == StdOps::Write) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / 5'000.0, cfg.write_fraction,
+              0.05);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,264 @@
+/// \file test_protocols.cpp
+/// Structural checks on every protocol in the library: state sets,
+/// characteristic kinds, invariant declarations, and per-protocol semantic
+/// sanity checks derived from their published descriptions (Archibald &
+/// Baer 1986 and the paper's Section 2.3/2.4).
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "fsm/concrete.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+// ------------------------------------------------------ library structure
+
+TEST(Library, ArchibaldBaerSuiteHasTheSixProtocols) {
+  const auto& suite = protocols::archibald_baer_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "WriteOnce");
+  EXPECT_EQ(suite[1].name, "Synapse");
+  EXPECT_EQ(suite[2].name, "Berkeley");
+  EXPECT_EQ(suite[3].name, "Illinois");
+  EXPECT_EQ(suite[4].name, "Firefly");
+  EXPECT_EQ(suite[5].name, "Dragon");
+}
+
+TEST(Library, AllHasElevenProtocols) {
+  EXPECT_EQ(protocols::all().size(), 11u);
+}
+
+TEST(Library, ByNameIsCaseInsensitive) {
+  EXPECT_EQ(protocols::by_name("illinois").name(), "Illinois");
+  EXPECT_EQ(protocols::by_name("MOESI").name(), "MOESI");
+  EXPECT_THROW((void)protocols::by_name("nonesuch"), SpecError);
+}
+
+TEST(Library, FactoryNamesMatchProtocolNames) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    EXPECT_EQ(np.factory().name(), np.name);
+  }
+}
+
+TEST(Library, EveryProtocolHasNotesOnEveryRule) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    for (const Rule& r : p.rules()) {
+      EXPECT_FALSE(r.note.empty())
+          << p.name() << ": undocumented rule from " << p.state_name(r.from);
+    }
+  }
+}
+
+TEST(Library, StructuralExpectations) {
+  struct Expect {
+    const char* name;
+    std::size_t states;
+    CharacteristicKind kind;
+    std::size_t exclusive;
+    std::size_t unique;
+    std::size_t owners;
+  };
+  const Expect expectations[] = {
+      {"WriteOnce", 4, CharacteristicKind::Null, 2, 0, 1},
+      {"Synapse", 3, CharacteristicKind::Null, 1, 0, 1},
+      {"Berkeley", 4, CharacteristicKind::Null, 1, 1, 2},
+      {"Illinois", 4, CharacteristicKind::SharingDetection, 2, 0, 1},
+      {"Firefly", 4, CharacteristicKind::SharingDetection, 2, 0, 1},
+      {"Dragon", 5, CharacteristicKind::SharingDetection, 2, 1, 2},
+      {"MSI", 3, CharacteristicKind::Null, 1, 0, 1},
+      {"MESI", 4, CharacteristicKind::SharingDetection, 2, 0, 1},
+      {"MOESI", 5, CharacteristicKind::SharingDetection, 2, 1, 2},
+      {"IllinoisSplit", 6, CharacteristicKind::SharingDetection, 2, 1, 1},
+      {"MOESISplit", 8, CharacteristicKind::SharingDetection, 2, 2, 2},
+  };
+  for (const Expect& e : expectations) {
+    const Protocol p = protocols::by_name(e.name);
+    EXPECT_EQ(p.state_count(), e.states) << e.name;
+    EXPECT_EQ(p.characteristic(), e.kind) << e.name;
+    EXPECT_EQ(p.exclusivity().size(), e.exclusive) << e.name;
+    EXPECT_EQ(p.unique_states().size(), e.unique) << e.name;
+    EXPECT_EQ(p.owner_states().size(), e.owners) << e.name;
+  }
+}
+
+// --------------------------------------- per-protocol semantic spot checks
+
+/// Runs an access sequence and returns the final block.
+ConcreteBlock run_sequence(
+    const Protocol& p, std::size_t n,
+    std::initializer_list<std::pair<std::size_t, OpId>> sequence) {
+  ConcreteBlock b = ConcreteBlock::initial(p, n);
+  for (const auto& [cpu, op] : sequence) {
+    (void)apply_op(p, b, cpu, op);
+  }
+  return b;
+}
+
+TEST(WriteOnceSemantics, FirstWriteGoesThroughSecondStaysLocal) {
+  const Protocol p = protocols::write_once();
+  ConcreteBlock b = run_sequence(p, 2, {{0, StdOps::Read}, {0, StdOps::Write}});
+  // Write-once: the first write updated memory (Reserved, memory fresh).
+  EXPECT_EQ(p.state_name(b.states[0]), "Reserved");
+  EXPECT_EQ(mdata_of(b), MData::Fresh);
+  (void)apply_op(p, b, 0, StdOps::Write);
+  EXPECT_EQ(p.state_name(b.states[0]), "Dirty");
+  EXPECT_EQ(mdata_of(b), MData::Obsolete);
+}
+
+TEST(SynapseSemantics, DirtyHolderInvalidatesItselfOnRemoteRead) {
+  const Protocol p = protocols::synapse();
+  ConcreteBlock b =
+      run_sequence(p, 2, {{0, StdOps::Write}, {1, StdOps::Read}});
+  // Synapse: no cache-to-cache transfer; the dirty holder flushed and
+  // dropped its copy, memory supplied the requester.
+  EXPECT_EQ(p.state_name(b.states[0]), "Invalid");
+  EXPECT_EQ(p.state_name(b.states[1]), "Valid");
+  EXPECT_EQ(mdata_of(b), MData::Fresh);
+}
+
+TEST(BerkeleySemantics, OwnerSuppliesWithoutUpdatingMemory) {
+  const Protocol p = protocols::berkeley();
+  ConcreteBlock b =
+      run_sequence(p, 2, {{0, StdOps::Write}, {1, StdOps::Read}});
+  EXPECT_EQ(p.state_name(b.states[0]), "SharedDirty");
+  EXPECT_EQ(p.state_name(b.states[1]), "Valid");
+  EXPECT_EQ(mdata_of(b), MData::Obsolete);  // the Berkeley signature
+  EXPECT_EQ(cdata_of(p, b, 1), CData::Fresh);
+}
+
+TEST(IllinoisSemantics, DirtySupplierUpdatesMemory) {
+  const Protocol p = protocols::illinois();
+  const ConcreteBlock b =
+      run_sequence(p, 2, {{0, StdOps::Write}, {1, StdOps::Read}});
+  EXPECT_EQ(p.state_name(b.states[0]), "Shared");
+  EXPECT_EQ(p.state_name(b.states[1]), "Shared");
+  EXPECT_EQ(mdata_of(b), MData::Fresh);  // unlike Berkeley
+}
+
+TEST(FireflySemantics, SharedWriteUpdatesSharersAndMemory) {
+  const Protocol p = protocols::firefly();
+  ConcreteBlock b = run_sequence(
+      p, 3, {{0, StdOps::Read}, {1, StdOps::Read}, {0, StdOps::Write}});
+  // Firefly never invalidates: both copies stay Shared and fresh, memory
+  // receives the write-through.
+  EXPECT_EQ(p.state_name(b.states[0]), "Shared");
+  EXPECT_EQ(p.state_name(b.states[1]), "Shared");
+  EXPECT_EQ(cdata_of(p, b, 1), CData::Fresh);
+  EXPECT_EQ(mdata_of(b), MData::Fresh);
+}
+
+TEST(FireflySemantics, LastSharerWriteBecomesValidExclusive) {
+  const Protocol p = protocols::firefly();
+  ConcreteBlock b = run_sequence(
+      p, 2, {{0, StdOps::Read}, {1, StdOps::Read}, {1, StdOps::Replace},
+             {0, StdOps::Write}});
+  EXPECT_EQ(p.state_name(b.states[0]), "ValidExclusive");
+  EXPECT_EQ(mdata_of(b), MData::Fresh);
+}
+
+TEST(DragonSemantics, SharedWriteMovesOwnershipWithoutMemoryUpdate) {
+  const Protocol p = protocols::dragon();
+  ConcreteBlock b = run_sequence(
+      p, 3, {{0, StdOps::Write}, {1, StdOps::Read}, {1, StdOps::Write}});
+  // Cache 0 wrote (Dirty), cache 1 read (0 -> SharedModified owner,
+  // 1 SharedClean), then cache 1 wrote: ownership moves to 1.
+  EXPECT_EQ(p.state_name(b.states[1]), "SharedModified");
+  EXPECT_EQ(p.state_name(b.states[0]), "SharedClean");
+  EXPECT_EQ(cdata_of(p, b, 0), CData::Fresh);  // broadcast updated it
+  EXPECT_EQ(mdata_of(b), MData::Obsolete);     // memory not updated
+}
+
+TEST(MoesiSemantics, ModifiedBecomesOwnedOnRemoteRead) {
+  const Protocol p = protocols::moesi();
+  const ConcreteBlock b =
+      run_sequence(p, 2, {{0, StdOps::Write}, {1, StdOps::Read}});
+  EXPECT_EQ(p.state_name(b.states[0]), "Owned");
+  EXPECT_EQ(p.state_name(b.states[1]), "Shared");
+  EXPECT_EQ(mdata_of(b), MData::Obsolete);  // owner holds the only fresh copy
+}
+
+TEST(MoesiSemantics, OwnerReplacementWritesBack) {
+  const Protocol p = protocols::moesi();
+  const ConcreteBlock b = run_sequence(
+      p, 2, {{0, StdOps::Write}, {1, StdOps::Read}, {0, StdOps::Replace}});
+  EXPECT_EQ(mdata_of(b), MData::Fresh);
+  EXPECT_EQ(p.state_name(b.states[1]), "Shared");
+  EXPECT_EQ(cdata_of(p, b, 1), CData::Fresh);
+}
+
+TEST(MsiSemantics, EveryFillIsShared) {
+  const Protocol p = protocols::msi();
+  const ConcreteBlock b = run_sequence(p, 2, {{0, StdOps::Read}});
+  EXPECT_EQ(p.state_name(b.states[0]), "Shared");  // no E state in MSI
+}
+
+// --------------------------------------------- cross-protocol properties
+
+TEST(Library, EveryProtocolVerifies) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    const VerificationReport report = Verifier(p).verify();
+    EXPECT_TRUE(report.ok) << report.summary(p);
+  }
+}
+
+TEST(Library, EssentialStatesStayTiny) {
+  // The paper's headline: a handful of essential states per protocol --
+  // even the split-transaction protocols stay within a small multiple of
+  // |Q| (MOESISplit: 27 essential states for |Q| = 8).
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    const VerificationReport report = Verifier(p).verify();
+    EXPECT_LE(report.essential.size(), 4 * p.state_count()) << p.name();
+  }
+}
+
+TEST(Library, InitialStateIsAlwaysEssential) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    const VerificationReport report = Verifier(p).verify();
+    const CompositeState initial = CompositeState::initial(p);
+    const bool found =
+        std::find(report.essential.begin(), report.essential.end(),
+                  initial) != report.essential.end();
+    EXPECT_TRUE(found) << p.name();
+  }
+}
+
+TEST(Library, DiagramIsStronglyConnected) {
+  // Every protocol here can always drain back to (Invalid+) via
+  // replacements and refill, so the global diagram over essential states
+  // must be strongly connected.
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    const VerificationReport report = Verifier(p).verify();
+    ASSERT_TRUE(report.ok);
+    const auto& g = report.graph;
+    const std::size_t n = g.nodes().size();
+    for (std::size_t start = 0; start < n; ++start) {
+      std::vector<bool> seen(n, false);
+      std::vector<std::size_t> stack{start};
+      seen[start] = true;
+      while (!stack.empty()) {
+        const std::size_t cur = stack.back();
+        stack.pop_back();
+        for (const ReachabilityGraph::Edge& e : g.edges()) {
+          if (e.from == cur && !seen[e.to]) {
+            seen[e.to] = true;
+            stack.push_back(e.to);
+          }
+        }
+      }
+      for (std::size_t t = 0; t < n; ++t) {
+        EXPECT_TRUE(seen[t]) << p.name() << ": s" << start
+                             << " cannot reach s" << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,213 @@
+/// \file test_repetition.cpp
+/// The repetition-operator algebra (Definition 6, Sections 3.2.1-3.2.2)
+/// and the sharing-level arithmetic: interval semantics, aggregation rules,
+/// the information ordering, and their algebraic properties.
+
+#include <gtest/gtest.h>
+
+#include "core/repetition.hpp"
+#include "core/sharing_level.hpp"
+
+namespace ccver {
+namespace {
+
+constexpr Rep kAllReps[] = {Rep::Zero, Rep::One, Rep::Plus, Rep::Star};
+
+// ---------------------------------------------------------------- intervals
+
+TEST(Repetition, IntervalSemantics) {
+  EXPECT_EQ(rep_lo(Rep::Zero), 0u);
+  EXPECT_EQ(rep_lo(Rep::One), 1u);
+  EXPECT_EQ(rep_lo(Rep::Plus), 1u);
+  EXPECT_EQ(rep_lo(Rep::Star), 0u);
+  EXPECT_FALSE(rep_unbounded(Rep::Zero));
+  EXPECT_FALSE(rep_unbounded(Rep::One));
+  EXPECT_TRUE(rep_unbounded(Rep::Plus));
+  EXPECT_TRUE(rep_unbounded(Rep::Star));
+}
+
+TEST(Repetition, FromInterval) {
+  EXPECT_EQ(rep_from_interval(0, false), Rep::Zero);
+  EXPECT_EQ(rep_from_interval(1, false), Rep::One);
+  EXPECT_EQ(rep_from_interval(0, true), Rep::Star);
+  EXPECT_EQ(rep_from_interval(1, true), Rep::Plus);
+  // The paper coarsens "two or more" to Plus; the extra information lives
+  // in the characteristic-function value (Section 4).
+  EXPECT_EQ(rep_from_interval(2, false), Rep::Plus);
+  EXPECT_EQ(rep_from_interval(5, true), Rep::Plus);
+}
+
+// ------------------------------------------------------ aggregation (rule 1)
+
+TEST(Repetition, PaperAggregationRules) {
+  // (q^0, q^r) == q^r
+  for (const Rep r : kAllReps) {
+    EXPECT_EQ(rep_merge(Rep::Zero, r), r);
+  }
+  // (q^*, q^*) == q^*
+  EXPECT_EQ(rep_merge(Rep::Star, Rep::Star), Rep::Star);
+  // (q, q^{1/+/*}) == q^+
+  EXPECT_EQ(rep_merge(Rep::One, Rep::One), Rep::Plus);
+  EXPECT_EQ(rep_merge(Rep::One, Rep::Plus), Rep::Plus);
+  EXPECT_EQ(rep_merge(Rep::One, Rep::Star), Rep::Plus);
+  // (q^+, q^*) == q^+
+  EXPECT_EQ(rep_merge(Rep::Plus, Rep::Star), Rep::Plus);
+  EXPECT_EQ(rep_merge(Rep::Plus, Rep::Plus), Rep::Plus);
+}
+
+TEST(Repetition, MergeIsCommutative) {
+  for (const Rep a : kAllReps) {
+    for (const Rep b : kAllReps) {
+      EXPECT_EQ(rep_merge(a, b), rep_merge(b, a));
+    }
+  }
+}
+
+TEST(Repetition, MergeIsAssociative) {
+  for (const Rep a : kAllReps) {
+    for (const Rep b : kAllReps) {
+      for (const Rep c : kAllReps) {
+        EXPECT_EQ(rep_merge(rep_merge(a, b), c), rep_merge(a, rep_merge(b, c)));
+      }
+    }
+  }
+}
+
+TEST(Repetition, ZeroIsMergeIdentity) {
+  for (const Rep r : kAllReps) {
+    EXPECT_EQ(rep_merge(r, Rep::Zero), r);
+  }
+}
+
+// --------------------------------------------- information ordering (3.2.2)
+
+TEST(Repetition, PaperOrdering) {
+  // 1 < + < *, 0 < *.
+  EXPECT_TRUE(rep_covered_by(Rep::One, Rep::Plus));
+  EXPECT_TRUE(rep_covered_by(Rep::One, Rep::Star));
+  EXPECT_TRUE(rep_covered_by(Rep::Plus, Rep::Star));
+  EXPECT_TRUE(rep_covered_by(Rep::Zero, Rep::Star));
+  // And the non-relations.
+  EXPECT_FALSE(rep_covered_by(Rep::Plus, Rep::One));
+  EXPECT_FALSE(rep_covered_by(Rep::Star, Rep::Plus));
+  EXPECT_FALSE(rep_covered_by(Rep::Zero, Rep::One));
+  EXPECT_FALSE(rep_covered_by(Rep::Zero, Rep::Plus));
+  EXPECT_FALSE(rep_covered_by(Rep::One, Rep::Zero));
+}
+
+TEST(Repetition, OrderingIsReflexive) {
+  for (const Rep r : kAllReps) {
+    EXPECT_TRUE(rep_covered_by(r, r));
+  }
+}
+
+TEST(Repetition, OrderingIsAntisymmetric) {
+  for (const Rep a : kAllReps) {
+    for (const Rep b : kAllReps) {
+      if (rep_covered_by(a, b) && rep_covered_by(b, a)) {
+        EXPECT_EQ(a, b);
+      }
+    }
+  }
+}
+
+TEST(Repetition, OrderingIsTransitive) {
+  for (const Rep a : kAllReps) {
+    for (const Rep b : kAllReps) {
+      for (const Rep c : kAllReps) {
+        if (rep_covered_by(a, b) && rep_covered_by(b, c)) {
+          EXPECT_TRUE(rep_covered_by(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(Repetition, OrderingMatchesIntervalInclusion) {
+  // r1 <= r2 iff every count admitted by r1 is admitted by r2 (checked on
+  // a generous sample of counts).
+  const auto admits = [](Rep r, unsigned n) {
+    return n >= rep_lo(r) && (rep_unbounded(r) ? true : n <= rep_hi(r));
+  };
+  for (const Rep a : kAllReps) {
+    for (const Rep b : kAllReps) {
+      bool included = true;
+      for (unsigned n = 0; n <= 8; ++n) {
+        if (admits(a, n) && !admits(b, n)) included = false;
+      }
+      EXPECT_EQ(rep_covered_by(a, b), included)
+          << rep_suffix(a) << " vs " << rep_suffix(b);
+    }
+  }
+}
+
+TEST(Repetition, Decrement) {
+  EXPECT_EQ(rep_decrement(Rep::One), Rep::Zero);
+  EXPECT_EQ(rep_decrement(Rep::Plus), Rep::Star);
+  EXPECT_EQ(rep_decrement(Rep::Star), Rep::Star);
+}
+
+TEST(Repetition, DefiniteAndPossible) {
+  EXPECT_TRUE(rep_definite(Rep::One));
+  EXPECT_TRUE(rep_definite(Rep::Plus));
+  EXPECT_FALSE(rep_definite(Rep::Star));
+  EXPECT_FALSE(rep_definite(Rep::Zero));
+  EXPECT_TRUE(rep_possible(Rep::Star));
+  EXPECT_FALSE(rep_possible(Rep::Zero));
+}
+
+// ------------------------------------------------------------ sharing level
+
+TEST(SharingLevelTest, CountCategories) {
+  EXPECT_EQ(level_of_count(0), SharingLevel::None);
+  EXPECT_EQ(level_of_count(1), SharingLevel::One);
+  EXPECT_EQ(level_of_count(2), SharingLevel::Many);
+  EXPECT_EQ(level_of_count(17), SharingLevel::Many);
+}
+
+TEST(SharingLevelTest, PlusOneIsExact) {
+  EXPECT_EQ(level_plus_one(SharingLevel::None), SharingLevel::One);
+  EXPECT_EQ(level_plus_one(SharingLevel::One), SharingLevel::Many);
+  EXPECT_EQ(level_plus_one(SharingLevel::Many), SharingLevel::Many);
+}
+
+TEST(SharingLevelTest, MinusOneBranchesOnMany) {
+  const auto from_one = level_minus_one(SharingLevel::One);
+  ASSERT_EQ(from_one.size(), 1u);
+  EXPECT_EQ(from_one[0], SharingLevel::None);
+
+  const auto from_many = level_minus_one(SharingLevel::Many);
+  ASSERT_EQ(from_many.size(), 2u);
+  EXPECT_EQ(from_many[0], SharingLevel::One);
+  EXPECT_EQ(from_many[1], SharingLevel::Many);
+}
+
+TEST(SharingLevelTest, SharingSeenByMatchesDefinition) {
+  // f_i = "exists another cache with a valid copy" (Section 2.1).
+  // A valid holder under level One is alone; under Many it has company.
+  EXPECT_FALSE(sharing_seen_by(SharingLevel::One, /*self_valid=*/true));
+  EXPECT_TRUE(sharing_seen_by(SharingLevel::Many, /*self_valid=*/true));
+  // An invalid observer sees sharing whenever any copy exists.
+  EXPECT_FALSE(sharing_seen_by(SharingLevel::None, /*self_valid=*/false));
+  EXPECT_TRUE(sharing_seen_by(SharingLevel::One, /*self_valid=*/false));
+  EXPECT_TRUE(sharing_seen_by(SharingLevel::Many, /*self_valid=*/false));
+}
+
+TEST(SharingLevelTest, AgreesWithExhaustiveCountSimulation) {
+  // Category arithmetic must agree with integer arithmetic on every count
+  // up to a bound: add one / remove one.
+  for (unsigned n = 0; n <= 6; ++n) {
+    EXPECT_EQ(level_plus_one(level_of_count(n)), level_of_count(n + 1));
+    if (n >= 1) {
+      const auto candidates = level_minus_one(level_of_count(n));
+      bool found = false;
+      for (const SharingLevel l : candidates) {
+        if (l == level_of_count(n - 1)) found = true;
+      }
+      EXPECT_TRUE(found) << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccver

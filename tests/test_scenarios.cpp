@@ -1,0 +1,118 @@
+/// \file test_scenarios.cpp
+/// Targeted tests for the data-scenario branching inside symbolic
+/// successor generation: supplier classes with `*` repetition split into
+/// present/absent branches (an exact family split), and WriteBackFrom
+/// responders whose presence is uncertain branch the memory attribute.
+/// These paths rarely trigger from the canonical initial state of correct
+/// protocols, so they are exercised here on hand-built composite states.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/expansion.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+std::vector<CompositeState> successors_via(const Protocol& p,
+                                           const CompositeState& s,
+                                           OpId op, StateId origin) {
+  std::vector<CompositeState> out;
+  for (const Successor& succ : successors(p, s)) {
+    if (succ.label.op == op && succ.label.origin_state == origin) {
+      out.push_back(succ.state);
+    }
+  }
+  return out;
+}
+
+TEST(Scenarios, StarSupplierClassesBranchOnPresence) {
+  // Dragon state with two flexible valid classes: neither can be
+  // sharpened (each could hold the copies). A read miss walks the supply
+  // preference [Sm, D, Sc, E]; both flexible classes split the scenario.
+  const Protocol p = protocols::dragon();
+  const CompositeState s = CompositeState::parse(
+      p, "(SharedClean*, SharedModified*, Inv+) level=many");
+  const auto fills =
+      successors_via(p, s, StdOps::Read, p.invalid_state());
+  // At least: latched from Sm (present-branch), from Sc (Sm absent), and
+  // the all-absent memory fallback.
+  EXPECT_GE(fills.size(), 3u);
+
+  // Present-branches must sharpen the assumed supplier to `+` or better.
+  const StateId sm = *p.find_state("SharedModified");
+  const bool sm_definite_branch =
+      std::any_of(fills.begin(), fills.end(), [&](const CompositeState& f) {
+        return rep_definite(f.rep_of(sm, CData::Fresh));
+      });
+  EXPECT_TRUE(sm_definite_branch);
+
+  // Absent-branches drop the class entirely.
+  const bool sm_absent_branch =
+      std::any_of(fills.begin(), fills.end(), [&](const CompositeState& f) {
+        return f.rep_of_state(sm) == Rep::Zero;
+      });
+  EXPECT_TRUE(sm_absent_branch);
+}
+
+TEST(Scenarios, WriteBackFromBranchesTheMemoryAttribute) {
+  // Illinois state where the dirty holder's presence is uncertain and
+  // memory is stale: the read-miss write-back either refreshes memory
+  // (holder present) or leaves it stale (holder absent, supplied by a
+  // Shared copy).
+  const Protocol p = protocols::illinois();
+  const CompositeState s = CompositeState::parse(
+      p, "(Dirty*, Shared+, Inv+) mem=obsolete level=many");
+  const auto fills =
+      successors_via(p, s, StdOps::Read, p.invalid_state());
+  std::set<MData> mdatas;
+  for (const CompositeState& f : fills) mdatas.insert(f.mdata());
+  EXPECT_TRUE(mdatas.contains(MData::Fresh));     // holder flushed
+  EXPECT_TRUE(mdatas.contains(MData::Obsolete));  // holder absent
+}
+
+TEST(Scenarios, DefiniteSupplierBlocksFallback) {
+  // With a definitely-present Dirty holder there is exactly one fill
+  // scenario: no memory fallback, no presence branches.
+  const Protocol p = protocols::illinois();
+  const CompositeState s =
+      CompositeState::parse(p, "(Dirty, Inv*) mem=obsolete");
+  const auto fills =
+      successors_via(p, s, StdOps::Read, p.invalid_state());
+  ASSERT_EQ(fills.size(), 1u);
+  EXPECT_EQ(fills[0].mdata(), MData::Fresh);  // the holder flushed
+}
+
+TEST(Scenarios, AllSuccessorsAreCanonical) {
+  // Every generated successor must be a fixpoint of canonicalization --
+  // checked over all successors of all hand-built states above plus the
+  // essential states of the most branch-heavy protocol.
+  const Protocol p = protocols::moesi_split();
+  const ExpansionResult r = SymbolicExpander(p).run();
+  for (const CompositeState& s : r.essential) {
+    for (const Successor& succ : successors(p, s)) {
+      const auto again = CompositeState::canonicalize(
+          p, succ.state.classes(), succ.state.mdata(), succ.state.level());
+      ASSERT_EQ(again.size(), 1u) << succ.state.to_string(p);
+      EXPECT_EQ(again[0], succ.state) << succ.state.to_string(p);
+    }
+  }
+}
+
+TEST(Scenarios, LevelBranchesAreMutuallyExclusiveFamilies) {
+  // The replacement from (Shared+, Inv*) produces the One/Many branch
+  // pair; no concrete configuration may satisfy both.
+  const Protocol p = protocols::illinois();
+  const CompositeState s =
+      CompositeState::parse(p, "(Shared+, Inv*) level=many");
+  const auto drops =
+      successors_via(p, s, StdOps::Replace, *p.find_state("Shared"));
+  ASSERT_EQ(drops.size(), 2u);
+  EXPECT_NE(drops[0].level(), drops[1].level());
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,173 @@
+/// \file test_sim.cpp
+/// Trace generation and simulator tests: determinism, gold-value checking
+/// across every protocol and workload pattern, parallel/sequential
+/// equivalence, capacity-driven replacements, and the guarantee that the
+/// states a simulation visits are covered by the symbolic essential states.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/expansion.hpp"
+#include "enumeration/coverage.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+#include "sim/machine.hpp"
+
+namespace ccver {
+namespace {
+
+TraceConfig small_config(TracePattern pattern, std::uint64_t seed = 7) {
+  TraceConfig cfg;
+  cfg.n_cpus = 4;
+  cfg.n_blocks = 16;
+  cfg.length = 4'000;
+  cfg.seed = seed;
+  cfg.pattern = pattern;
+  return cfg;
+}
+
+TEST(Trace, DeterministicAcrossCalls) {
+  const TraceConfig cfg = small_config(TracePattern::Uniform);
+  EXPECT_EQ(generate_trace(cfg), generate_trace(cfg));
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  EXPECT_NE(generate_trace(small_config(TracePattern::Uniform, 1)),
+            generate_trace(small_config(TracePattern::Uniform, 2)));
+}
+
+TEST(Trace, RespectsEventCount) {
+  const auto trace = generate_trace(small_config(TracePattern::HotSet));
+  std::size_t accesses = 0;
+  for (const TraceEvent& e : trace) {
+    if (e.op != StdOps::Replace) ++accesses;
+  }
+  EXPECT_EQ(accesses, 4'000u);
+}
+
+TEST(Trace, CapacityEmitsReplacements) {
+  TraceConfig cfg = small_config(TracePattern::Uniform);
+  cfg.capacity = 2;  // 16 blocks through 2-entry caches: many evictions
+  const auto trace = generate_trace(cfg);
+  const auto replacements =
+      std::count_if(trace.begin(), trace.end(), [](const TraceEvent& e) {
+        return e.op == StdOps::Replace;
+      });
+  EXPECT_GT(replacements, 100);
+}
+
+TEST(Trace, ProducerConsumerWritesComeFromProducer) {
+  TraceConfig cfg = small_config(TracePattern::ProducerConsumer);
+  for (const TraceEvent& e : generate_trace(cfg)) {
+    if (e.op == StdOps::Write) {
+      EXPECT_EQ(e.cpu, e.block % cfg.n_cpus);
+    }
+  }
+}
+
+struct SimParam {
+  std::string protocol;
+  TracePattern pattern;
+};
+
+class SimSweep : public ::testing::TestWithParam<SimParam> {};
+
+TEST_P(SimSweep, NoStaleReadsAndStatesCovered) {
+  const Protocol p = protocols::by_name(GetParam().protocol);
+  TraceConfig cfg = small_config(GetParam().pattern);
+  cfg.capacity = 4;
+
+  Machine::Options opt;
+  opt.n_cpus = cfg.n_cpus;
+  opt.collect_states = true;
+  const SimResult result = Machine(p, opt).run(generate_trace(cfg));
+
+  EXPECT_TRUE(result.errors.empty())
+      << result.errors.front().detail << " (block "
+      << result.errors.front().block << ")";
+  EXPECT_EQ(result.stats.stale_reads, 0u);
+  EXPECT_GT(result.stats.misses, 0u);
+
+  const ExpansionResult symbolic = SymbolicExpander(p).run();
+  const CoverageReport coverage =
+      check_coverage(p, symbolic.essential, result.states_seen);
+  EXPECT_TRUE(coverage.complete())
+      << coverage.uncovered.size() << " simulated states not covered";
+}
+
+std::vector<SimParam> sim_params() {
+  std::vector<SimParam> params;
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    for (const TracePattern pat :
+         {TracePattern::Uniform, TracePattern::HotSet,
+          TracePattern::Migratory, TracePattern::ProducerConsumer}) {
+      params.push_back(SimParam{np.name, pat});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, SimSweep, ::testing::ValuesIn(sim_params()),
+    [](const ::testing::TestParamInfo<SimParam>& param_info) {
+      std::string name = param_info.param.protocol + "_";
+      for (const char c : to_string(param_info.param.pattern)) {
+        if (c != '-') name += c;
+      }
+      return name;
+    });
+
+TEST(Machine, ParallelMatchesSequential) {
+  const Protocol p = protocols::dragon();
+  TraceConfig cfg = small_config(TracePattern::Uniform);
+  cfg.n_blocks = 32;
+  const auto trace = generate_trace(cfg);
+
+  Machine::Options seq;
+  seq.n_cpus = cfg.n_cpus;
+  seq.threads = 1;
+  Machine::Options par = seq;
+  par.threads = 4;
+
+  const SimResult rs = Machine(p, seq).run(trace);
+  const SimResult rp = Machine(p, par).run(trace);
+  EXPECT_EQ(rs.stats.reads, rp.stats.reads);
+  EXPECT_EQ(rs.stats.misses, rp.stats.misses);
+  EXPECT_EQ(rs.stats.invalidations, rp.stats.invalidations);
+  EXPECT_EQ(rs.stats.writebacks, rp.stats.writebacks);
+  EXPECT_EQ(rs.stats.bus_transactions, rp.stats.bus_transactions);
+}
+
+TEST(Machine, InvalidateProtocolsInvalidate) {
+  const Protocol p = protocols::illinois();
+  TraceConfig cfg = small_config(TracePattern::HotSet);
+  Machine::Options opt;
+  opt.n_cpus = cfg.n_cpus;
+  const SimResult r = Machine(p, opt).run(generate_trace(cfg));
+  EXPECT_GT(r.stats.invalidations, 0u);
+  EXPECT_EQ(r.stats.updates, 0u);  // Illinois never broadcasts data
+}
+
+TEST(Machine, BroadcastProtocolsUpdate) {
+  const Protocol p = protocols::dragon();
+  TraceConfig cfg = small_config(TracePattern::HotSet);
+  Machine::Options opt;
+  opt.n_cpus = cfg.n_cpus;
+  const SimResult r = Machine(p, opt).run(generate_trace(cfg));
+  EXPECT_GT(r.stats.updates, 0u);
+  EXPECT_EQ(r.stats.invalidations, 0u);  // Dragon never invalidates
+}
+
+TEST(Machine, BuggyProtocolProducesStaleReads) {
+  const Protocol p = protocols::illinois_no_invalidate_on_write_hit();
+  TraceConfig cfg = small_config(TracePattern::HotSet);
+  cfg.length = 20'000;
+  Machine::Options opt;
+  opt.n_cpus = cfg.n_cpus;
+  const SimResult r = Machine(p, opt).run(generate_trace(cfg));
+  EXPECT_FALSE(r.errors.empty());
+}
+
+}  // namespace
+}  // namespace ccver

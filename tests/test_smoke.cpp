@@ -1,0 +1,22 @@
+/// \file test_smoke.cpp
+/// End-to-end smoke test: the Illinois protocol verifies with exactly the
+/// five essential states of Section 4.
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+TEST(Smoke, IllinoisVerifiesWithFiveEssentialStates) {
+  const Protocol p = protocols::illinois();
+  const Verifier verifier(p);
+  const VerificationReport report = verifier.verify();
+  EXPECT_TRUE(report.ok) << report.summary(p);
+  EXPECT_EQ(report.essential.size(), 5u) << report.summary(p);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,175 @@
+/// \file test_spec.cpp
+/// The `.ccp` specification language: lexer behavior, parser acceptance,
+/// error positions, and the round-trip property `parse(to_spec(p)) == p`
+/// over the entire protocol library.
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "protocols/protocols.hpp"
+#include "spec/lexer.hpp"
+#include "spec/parser.hpp"
+#include "spec/writer.hpp"
+
+namespace ccver {
+namespace {
+
+TEST(Lexer, TokenizesWordsBracesAndArrows) {
+  const auto tokens = Lexer::tokenize("rule A R -> B { }");
+  ASSERT_EQ(tokens.size(), 8u);  // includes End
+  EXPECT_EQ(tokens[0].kind, TokenKind::Word);
+  EXPECT_EQ(tokens[0].text, "rule");
+  EXPECT_EQ(tokens[3].kind, TokenKind::Arrow);
+  EXPECT_EQ(tokens[5].kind, TokenKind::LBrace);
+  EXPECT_EQ(tokens[6].kind, TokenKind::RBrace);
+  EXPECT_EQ(tokens[7].kind, TokenKind::End);
+}
+
+TEST(Lexer, SkipsCommentsAndTracksLines) {
+  const auto tokens = Lexer::tokenize("# comment\n  word");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].line, 2u);
+  EXPECT_EQ(tokens[0].column, 3u);
+}
+
+TEST(Lexer, DecodesStringEscapes) {
+  const auto tokens = Lexer::tokenize(R"("a \"quoted\" \\ thing")");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::String);
+  EXPECT_EQ(tokens[0].text, "a \"quoted\" \\ thing");
+}
+
+TEST(Lexer, RejectsUnterminatedString) {
+  EXPECT_THROW(Lexer::tokenize("\"oops"), SpecError);
+}
+
+TEST(Lexer, RejectsStrayCharacter) {
+  EXPECT_THROW(Lexer::tokenize("a $ b"), SpecError);
+}
+
+TEST(Lexer, WordsMayContainDashes) {
+  const auto tokens = Lexer::tokenize("Shared-Dirty x->y");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "Shared-Dirty");
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].kind, TokenKind::Arrow);
+}
+
+constexpr std::string_view kMiniProtocol = R"(
+# A two-state write-back protocol for parser tests.
+protocol Mini {
+  characteristic null
+  invalid state I
+  state D exclusive owner
+
+  rule I R -> D {
+    writeback from D
+    observe D -> I
+    load memory
+    note "read miss steals the block"
+  }
+  rule D R -> D { }
+  rule I W -> D {
+    invalidate others
+    writeback from D
+    load memory
+    store
+  }
+  rule D W -> D { store }
+  rule D Z -> I { writeback self }
+}
+)";
+
+TEST(Parser, AcceptsAMinimalProtocol) {
+  const Protocol p = parse_protocol(kMiniProtocol);
+  EXPECT_EQ(p.name(), "Mini");
+  EXPECT_EQ(p.state_count(), 2u);
+  EXPECT_EQ(p.rules().size(), 5u);
+  EXPECT_EQ(p.characteristic(), CharacteristicKind::Null);
+  EXPECT_EQ(p.exclusivity().size(), 1u);
+}
+
+TEST(Parser, ParsedProtocolVerifies) {
+  const Protocol p = parse_protocol(kMiniProtocol);
+  const VerificationReport report = Verifier(p).verify();
+  EXPECT_TRUE(report.ok) << report.summary(p);
+}
+
+TEST(Parser, ReportsPositionOnUnknownState) {
+  try {
+    (void)parse_protocol("protocol X {\n  characteristic null\n"
+                         "  invalid state I\n  state V\n"
+                         "  rule Bogus R -> V { }\n}");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("spec:5"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("Bogus"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsCharacteristicAfterDeclarations) {
+  EXPECT_THROW((void)parse_protocol("protocol X {\n  invalid state I\n"
+                                    "  characteristic sharing\n}"),
+               SpecError);
+}
+
+TEST(Parser, RejectsGuardsUnderNullCharacteristic) {
+  EXPECT_THROW(
+      (void)parse_protocol("protocol X {\n  characteristic null\n"
+                           "  invalid state I\n  state V\n"
+                           "  rule I R when shared -> V { load memory }\n}"),
+      SpecError);
+}
+
+TEST(Parser, RejectsDuplicateState) {
+  EXPECT_THROW((void)parse_protocol("protocol X {\n  invalid state I\n"
+                                    "  state I\n}"),
+               SpecError);
+}
+
+TEST(Parser, RejectsMissingCoverage) {
+  // State V has no W rule: builder validation must fire through the parser.
+  EXPECT_THROW((void)parse_protocol("protocol X {\n  characteristic null\n"
+                                    "  invalid state I\n  state V\n"
+                                    "  rule I R -> V { load memory }\n"
+                                    "  rule V R -> V { }\n"
+                                    "  rule V Z -> I { }\n}"),
+               SpecError);
+}
+
+class RoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTrip, WriteThenParseIsIdentity) {
+  const Protocol original = protocols::by_name(GetParam());
+  const std::string source = to_spec(original);
+  const Protocol reparsed = parse_protocol(source);
+  EXPECT_TRUE(reparsed == original) << source;
+}
+
+TEST_P(RoundTrip, ReparsedProtocolVerifiesIdentically) {
+  const Protocol original = protocols::by_name(GetParam());
+  const Protocol reparsed = parse_protocol(to_spec(original));
+  const VerificationReport a = Verifier(original).verify();
+  const VerificationReport b = Verifier(reparsed).verify();
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.essential.size(), b.essential.size());
+  EXPECT_EQ(a.stats.visits, b.stats.visits);
+}
+
+std::vector<std::string> protocol_names() {
+  std::vector<std::string> names;
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    names.push_back(np.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, RoundTrip,
+                         ::testing::ValuesIn(protocol_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace ccver

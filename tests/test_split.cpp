@@ -1,0 +1,216 @@
+/// \file test_split.cpp
+/// The split-transaction extension (transient "locked" states, the paper's
+/// Section 5 future work): verification of the corrected IllinoisSplit
+/// protocol, detection of its two design races (the first-draft stranded-
+/// dirty-copy race, reconstructed here, and the lost-invalidation mutant),
+/// stall semantics, and concrete cross-checks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/verifier.hpp"
+#include "enumeration/coverage.hpp"
+#include "enumeration/enumerator.hpp"
+#include "fsm/builder.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+// --------------------------------------------------- the correct protocol
+
+TEST(Split, VerifiesWithTwelveEssentialStates) {
+  const Protocol p = protocols::illinois_split();
+  const VerificationReport report = Verifier(p).verify();
+  EXPECT_TRUE(report.ok) << report.summary(p);
+  EXPECT_EQ(report.essential.size(), 12u);
+}
+
+TEST(Split, TransientStatesAppearInTheEssentialSet) {
+  const Protocol p = protocols::illinois_split();
+  const VerificationReport report = Verifier(p).verify();
+  const StateId rm = *p.find_state("ReadPending");
+  const StateId wm = *p.find_state("WritePending");
+  bool saw_rm = false;
+  bool saw_wm = false;
+  for (const CompositeState& s : report.essential) {
+    saw_rm = saw_rm || s.rep_of_state(rm) != Rep::Zero;
+    saw_wm = saw_wm || s.rep_of_state(wm) != Rep::Zero;
+  }
+  EXPECT_TRUE(saw_rm);
+  EXPECT_TRUE(saw_wm);
+}
+
+TEST(Split, PendingWriterIsUniqueAndFillsAreRaceFree) {
+  // The request protocol guarantees at most one WritePending cache; the
+  // uniqueness invariant would flag any violation, so a clean verify
+  // already proves it. Check the stronger concrete statement at n = 4.
+  const Protocol p = protocols::illinois_split();
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.keep_states = true;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  EXPECT_TRUE(r.errors.empty());
+  const StateId wm = *p.find_state("WritePending");
+  for (const EnumKey& key : r.reachable) {
+    std::size_t pending_writers = 0;
+    for (std::size_t i = 0; i < key.cells.size(); ++i) {
+      if (key_state(key, i) == wm) ++pending_writers;
+    }
+    EXPECT_LE(pending_writers, 1u) << to_string(p, key);
+  }
+}
+
+TEST(Split, ConcreteStatesCoveredByEssentialStates) {
+  const Protocol p = protocols::illinois_split();
+  const ExpansionResult symbolic = SymbolicExpander(p).run();
+  for (const std::size_t n : {2u, 3u, 4u}) {
+    Enumerator::Options opt;
+    opt.n_caches = n;
+    opt.keep_states = true;
+    const EnumerationResult concrete = Enumerator(p, opt).run();
+    const CoverageReport coverage =
+        check_coverage(p, symbolic.essential, concrete.reachable);
+    EXPECT_TRUE(coverage.complete()) << "n=" << n;
+  }
+}
+
+// ------------------------------------------------------- stall semantics
+
+TEST(Split, StallRulesAreSelfLoopNoOps) {
+  const Protocol p = protocols::illinois_split();
+  const StateId rm = *p.find_state("ReadPending");
+  ConcreteBlock b = ConcreteBlock::initial(p, 2);
+  (void)apply_op(p, b, 0, StdOps::Read);  // request: park in ReadPending
+  ASSERT_EQ(b.states[0], rm);
+  const ConcreteBlock before = b;
+  for (const OpId op : {StdOps::Read, StdOps::Write, StdOps::Replace}) {
+    const ApplyOutcome o = apply_op(p, b, 0, op);
+    ASSERT_TRUE(o.applied);
+    EXPECT_TRUE(o.rule->is_stall);
+    EXPECT_EQ(b, before);  // a stall changes nothing
+  }
+}
+
+TEST(Split, CompletionFillsExclusiveWhenAlone) {
+  const Protocol p = protocols::illinois_split();
+  const OpId ackr = *p.find_op("AckR");
+  ConcreteBlock b = ConcreteBlock::initial(p, 2);
+  (void)apply_op(p, b, 0, StdOps::Read);
+  (void)apply_op(p, b, 0, ackr);
+  EXPECT_EQ(p.state_name(b.states[0]), "ValidExclusive");
+  EXPECT_EQ(cdata_of(p, b, 0), CData::Fresh);
+}
+
+TEST(Split, CompletionFillsSharedWhenRacedByAnotherRead) {
+  const Protocol p = protocols::illinois_split();
+  const OpId ackr = *p.find_op("AckR");
+  ConcreteBlock b = ConcreteBlock::initial(p, 2);
+  (void)apply_op(p, b, 0, StdOps::Read);
+  (void)apply_op(p, b, 1, StdOps::Read);  // second request before the fill
+  (void)apply_op(p, b, 0, ackr);
+  (void)apply_op(p, b, 1, ackr);
+  EXPECT_EQ(p.state_name(b.states[0]), "Shared");
+  EXPECT_EQ(p.state_name(b.states[1]), "Shared");
+}
+
+TEST(Split, WriteCompletionAbortsLatchedRequests) {
+  const Protocol p = protocols::illinois_split();
+  const OpId ackw = *p.find_op("AckW");
+  ConcreteBlock b = ConcreteBlock::initial(p, 3);
+  (void)apply_op(p, b, 0, StdOps::Write);  // ownership pending
+  (void)apply_op(p, b, 1, StdOps::Read);   // latches while write pending
+  (void)apply_op(p, b, 0, ackw);           // write retires
+  EXPECT_EQ(p.state_name(b.states[0]), "Dirty");
+  EXPECT_EQ(p.state_name(b.states[1]), "Invalid");  // aborted, not stale
+  EXPECT_FALSE(holds_stale_copy(p, b, 1));
+}
+
+// --------------------------------------------------------- the two races
+
+TEST(Split, LostInvalidationMutantIsCaught) {
+  const Protocol p = protocols::illinois_split_lost_invalidation();
+  Verifier::Options opt;
+  opt.build_graph = false;
+  const VerificationReport report = Verifier(p, opt).verify();
+  ASSERT_FALSE(report.ok);
+  // The counterexample must involve a stale transient latch.
+  bool mentions_pending = false;
+  for (const VerificationError& e : report.errors) {
+    mentions_pending =
+        mentions_pending ||
+        e.violation.detail.find("ReadPending") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_pending);
+}
+
+TEST(Split, FirstDraftStrandedDirtyRaceIsCaught) {
+  // Reconstruct the original design error: the shared write request kills
+  // the dirty holder without flushing it and cannot source the latch from
+  // a pending writer. The verifier found this race in development; pin it.
+  const Protocol base = protocols::illinois_split();
+  const auto wm = *base.find_state("WritePending");
+  std::size_t idx = base.rules().size();
+  for (std::size_t i = 0; i < base.rules().size(); ++i) {
+    const Rule& r = base.rules()[i];
+    if (r.from == base.invalid_state() && r.op == StdOps::Write &&
+        r.guard == SharingGuard::Shared) {
+      idx = i;
+    }
+  }
+  ASSERT_LT(idx, base.rules().size());
+  Rule rule = base.rules()[idx];
+  std::erase_if(rule.data_ops, [](const DataOp& d) {
+    return d.kind == DataOpKind::WriteBackFrom;
+  });
+  for (DataOp& d : rule.data_ops) {
+    if (d.kind == DataOpKind::LoadPreferred) {
+      SmallVec<StateId, kMaxStates> sources;
+      for (const StateId s : d.sources) {
+        if (s != wm) sources.push_back(s);
+      }
+      d.sources = sources;
+    }
+  }
+  const Protocol broken =
+      ProtocolMutator::with_rule(base, idx, rule, "-FirstDraft");
+
+  Verifier::Options opt;
+  opt.build_graph = false;
+  const VerificationReport report = Verifier(broken, opt).verify();
+  ASSERT_FALSE(report.ok);
+  // The counterexample matches the one recorded in illinois_split.cpp:
+  // write, retire, write again (strands the dirty data), read stale.
+  const Counterexample& path = report.errors.front().path;
+  ASSERT_GE(path.steps.size(), 4u);
+  EXPECT_EQ(path.steps[1].label, "W_invalid");
+}
+
+TEST(Split, BuilderRejectsMalformedStalls) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId t = b.state("T");
+  b.rule(inv, StdOps::Read).to(t).load_memory();
+  b.rule(t, StdOps::Read).to(t);
+  b.rule(inv, StdOps::Write).to(t).load_memory().store();
+  b.rule(t, StdOps::Write).to(inv).stall();  // stall must be a self-loop
+  b.rule(t, StdOps::Replace).to(inv);
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+TEST(Split, BuilderRejectsDeferStoreOnStoringRule) {
+  ProtocolBuilder b("X", CharacteristicKind::Null);
+  const StateId inv = b.invalid_state("I");
+  const StateId t = b.state("T");
+  b.rule(inv, StdOps::Read).to(t).load_memory();
+  b.rule(t, StdOps::Read).to(t);
+  b.rule(inv, StdOps::Write).to(t).load_memory().store().defer_store();
+  b.rule(t, StdOps::Write).to(t).store();
+  b.rule(t, StdOps::Replace).to(inv);
+  EXPECT_THROW((void)std::move(b).build(), SpecError);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,200 @@
+/// \file test_trace_io.cpp
+/// Trace persistence (the v1 text format), the bus-cycle cost model, and
+/// the enumerator's replay-path tracking.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "enumeration/enumerator.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+#include "sim/bus_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace_io.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceIo : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ccver_trace_io_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(TraceIo, SaveThenLoadRoundTrips) {
+  TraceConfig cfg;
+  cfg.n_cpus = 4;
+  cfg.n_blocks = 16;
+  cfg.length = 500;
+  cfg.capacity = 4;
+  cfg.seed = 3;
+  const TraceFile original{cfg.n_cpus, cfg.n_blocks, generate_trace(cfg)};
+  const fs::path path = dir_ / "trace.txt";
+  save_trace_file(original, path);
+  EXPECT_EQ(load_trace_file(path), original);
+}
+
+TEST_F(TraceIo, ReplayedTraceProducesIdenticalStats) {
+  TraceConfig cfg;
+  cfg.n_cpus = 4;
+  cfg.n_blocks = 8;
+  cfg.length = 2'000;
+  const auto events = generate_trace(cfg);
+  const fs::path path = dir_ / "trace.txt";
+  save_trace_file(TraceFile{cfg.n_cpus, cfg.n_blocks, events}, path);
+  const TraceFile replay = load_trace_file(path);
+
+  const Protocol p = protocols::illinois();
+  Machine::Options opt;
+  opt.n_cpus = cfg.n_cpus;
+  const SimResult a = Machine(p, opt).run(events);
+  const SimResult b = Machine(p, opt).run(replay.events);
+  EXPECT_EQ(a.stats.misses, b.stats.misses);
+  EXPECT_EQ(a.stats.bus_cycles, b.stats.bus_cycles);
+}
+
+TEST_F(TraceIo, CommentsAndBlankLinesAreSkipped) {
+  const fs::path path = dir_ / "trace.txt";
+  std::ofstream(path) << "# a comment\n\n"
+                         "ccver-trace v1 cpus=2 blocks=4\n"
+                         "# another\n"
+                         "R 0 1\n\nW 1 3\n";
+  const TraceFile t = load_trace_file(path);
+  EXPECT_EQ(t.n_cpus, 2u);
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.events[1].op, StdOps::Write);
+}
+
+TEST_F(TraceIo, RejectsMalformedInput) {
+  const auto expect_reject = [this](std::string_view contents,
+                                    std::string_view what) {
+    const fs::path path = dir_ / "bad.txt";
+    std::ofstream(path) << contents;
+    EXPECT_THROW((void)load_trace_file(path), SpecError) << what;
+  };
+  expect_reject("R 0 1\n", "missing header");
+  expect_reject("ccver-trace v2 cpus=2 blocks=4\n", "wrong version");
+  expect_reject("ccver-trace v1 cpus=0 blocks=4\n", "zero cpus");
+  expect_reject("ccver-trace v1 cpus=2 blocks=4\nX 0 1\n", "unknown op");
+  expect_reject("ccver-trace v1 cpus=2 blocks=4\nR 5 1\n", "cpu range");
+  expect_reject("ccver-trace v1 cpus=2 blocks=4\nR 0 9\n", "block range");
+  expect_reject("ccver-trace v1 cpus=2 blocks=4\nR 0 1 junk\n", "trailing");
+  EXPECT_THROW((void)load_trace_file(dir_ / "nonesuch"), SpecError);
+}
+
+// ------------------------------------------------------------- bus cycles
+
+TEST(BusModel, LocalRulesAreFree) {
+  const Protocol p = protocols::illinois();
+  const StateId sh = *p.find_state("Shared");
+  const StateId ve = *p.find_state("ValidExclusive");
+  const BusCostModel model;
+  // Read hit and silent upgrade: no bus.
+  EXPECT_EQ(transaction_cycles(p, *p.find_rule(sh, StdOps::Read, true),
+                               model),
+            0u);
+  EXPECT_EQ(transaction_cycles(p, *p.find_rule(ve, StdOps::Write, false),
+                               model),
+            0u);
+}
+
+TEST(BusModel, FillsCostAddressPlusBlock) {
+  const Protocol p = protocols::illinois();
+  const StateId inv = p.invalid_state();
+  const BusCostModel model;
+  EXPECT_EQ(transaction_cycles(p, *p.find_rule(inv, StdOps::Read, false),
+                               model),
+            model.address_cycles + model.block_cycles);
+  // Shared read miss: fill + the dirty holder's flush.
+  EXPECT_EQ(transaction_cycles(p, *p.find_rule(inv, StdOps::Read, true),
+                               model),
+            model.address_cycles + 2 * model.block_cycles);
+}
+
+TEST(BusModel, InvalidationOnlyCostsTheAddressPhase) {
+  const Protocol p = protocols::illinois();
+  const StateId sh = *p.find_state("Shared");
+  const BusCostModel model;
+  EXPECT_EQ(transaction_cycles(p, *p.find_rule(sh, StdOps::Write, true),
+                               model),
+            model.address_cycles);
+}
+
+TEST(BusModel, BroadcastWritesCostWords) {
+  const Protocol p = protocols::firefly();
+  const StateId sh = *p.find_state("Shared");
+  const BusCostModel model;
+  // Shared write hit: write-through word + broadcast word.
+  EXPECT_EQ(transaction_cycles(p, *p.find_rule(sh, StdOps::Write, true),
+                               model),
+            model.address_cycles + 2 * model.word_cycles);
+}
+
+TEST(BusModel, StallsAreFree) {
+  const Protocol p = protocols::illinois_split();
+  const StateId rm = *p.find_state("ReadPending");
+  EXPECT_EQ(transaction_cycles(p, *p.find_rule(rm, StdOps::Read, true),
+                               BusCostModel{}),
+            0u);
+}
+
+TEST(BusModel, InvalidateBeatsBroadcastOnMigratorySharing) {
+  // Migratory data (read-modify by one cpu at a time) is the classic case
+  // where invalidation protocols win on bus occupancy: broadcast keeps
+  // pushing updates nobody reads.
+  TraceConfig cfg;
+  cfg.n_cpus = 4;
+  cfg.n_blocks = 8;
+  cfg.length = 20'000;
+  cfg.pattern = TracePattern::Migratory;
+  cfg.write_fraction = 0.5;
+  const auto trace = generate_trace(cfg);
+
+  Machine::Options opt;
+  opt.n_cpus = cfg.n_cpus;
+  const SimResult illinois =
+      Machine(protocols::illinois(), opt).run(trace);
+  const SimResult dragon = Machine(protocols::dragon(), opt).run(trace);
+  EXPECT_LT(illinois.stats.bus_cycles, dragon.stats.bus_cycles);
+}
+
+// ------------------------------------------------- enumerator replay paths
+
+TEST(EnumeratorPaths, ErrorPathsReplayFromTheInitialState) {
+  const Protocol p = protocols::illinois_no_invalidate_on_write_hit();
+  Enumerator::Options opt;
+  opt.n_caches = 2;
+  opt.track_paths = true;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  ASSERT_FALSE(r.errors.empty());
+  for (const ConcreteError& e : r.errors) {
+    ASSERT_GE(e.path.size(), 2u);
+    EXPECT_EQ(e.path.front().find("start:"), 0u);
+    EXPECT_NE(e.path.back().find("->"), std::string::npos);
+  }
+}
+
+TEST(EnumeratorPaths, TrackingDoesNotChangeTheVerdictOrCounts) {
+  const Protocol p = protocols::dragon();
+  Enumerator::Options plain;
+  plain.n_caches = 3;
+  Enumerator::Options tracked = plain;
+  tracked.track_paths = true;
+  const EnumerationResult a = Enumerator(p, plain).run();
+  const EnumerationResult b = Enumerator(p, tracked).run();
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.visits, b.visits);
+  EXPECT_EQ(a.errors.size(), b.errors.size());
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,273 @@
+/// \file test_util.cpp
+/// Substrate utilities: SmallVec semantics, hashing, the deterministic
+/// RNG, string helpers, the table and DOT renderers, and the thread pool
+/// (chunking, reuse, exception propagation).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "util/dot.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/small_vec.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccver {
+namespace {
+
+// ----------------------------------------------------------------- SmallVec
+
+TEST(SmallVec, PushPopAndIndexing) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  v.emplace_back(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v.back(), 3);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVec, OverflowThrows) {
+  SmallVec<int, 2> v{1, 2};
+  EXPECT_THROW(v.push_back(3), InternalError);
+}
+
+TEST(SmallVec, OutOfRangeThrows) {
+  SmallVec<int, 2> v{1};
+  EXPECT_THROW((void)v[1], InternalError);
+  SmallVec<int, 2> empty;
+  EXPECT_THROW(empty.pop_back(), InternalError);
+}
+
+TEST(SmallVec, EraseAtPreservesOrder) {
+  SmallVec<int, 4> v{1, 2, 3, 4};
+  v.erase_at(1);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 3);
+  EXPECT_EQ(v[2], 4);
+  EXPECT_THROW(v.erase_at(3), InternalError);
+}
+
+TEST(SmallVec, EqualityComparesContents) {
+  const SmallVec<int, 4> a{1, 2};
+  const SmallVec<int, 4> b{1, 2};
+  const SmallVec<int, 4> c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVec, RangeForIteratesExactlySize) {
+  SmallVec<int, 8> v{5, 6, 7};
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 18);
+}
+
+// --------------------------------------------------------------------- hash
+
+TEST(Hash, Fnv1aIsStable) {
+  const std::byte data[] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  EXPECT_EQ(fnv1a(data), fnv1a(data));
+  const std::byte other[] = {std::byte{1}, std::byte{2}, std::byte{4}};
+  EXPECT_NE(fnv1a(data), fnv1a(other));
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  std::uint64_t a = 0;
+  hash_combine(a, 1);
+  hash_combine(a, 2);
+  std::uint64_t b = 0;
+  hash_combine(b, 2);
+  hash_combine(b, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hash, Mix64SpreadsSequentialInputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng c(43);
+  EXPECT_NE(Rng(42).next(), c.next());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversTheUnitInterval) {
+  Rng rng(11);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(RngTest, ChanceRespectsProbabilityRoughly) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20'000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20'000.0, 0.25, 0.02);
+}
+
+// ------------------------------------------------------------------ strings
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(StringUtil, SplitAndJoin) {
+  const auto parts = split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(StringUtil, ParseUnsigned) {
+  EXPECT_EQ(parse_unsigned("0"), 0u);
+  EXPECT_EQ(parse_unsigned("12345"), 12345u);
+  EXPECT_THROW((void)parse_unsigned(""), SpecError);
+  EXPECT_THROW((void)parse_unsigned("12x"), SpecError);
+  EXPECT_THROW((void)parse_unsigned("99999999999999999999999"), SpecError);
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "count"});
+  t.add_row({"illinois", "5"});
+  t.add_row({"dragon-long-name", "7"});
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("| illinois"), std::string::npos);
+  EXPECT_NE(text.find("| dragon-long-name"), std::string::npos);
+  // All lines share one width.
+  std::size_t width = 0;
+  for (const std::string& line : split(text, '\n')) {
+    if (line.empty()) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, RejectsAridityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InternalError);
+}
+
+// ---------------------------------------------------------------------- dot
+
+TEST(Dot, EmitsNodesEdgesAndEscapes) {
+  DotGraph g("test \"graph\"");
+  const std::size_t a = g.add_node("state \"A\"");
+  const std::size_t b = g.add_node("B", "box");
+  g.add_edge(a, b, "x->y");
+  g.highlight_node(b, "red");
+  const std::string text = g.to_string();
+  EXPECT_NE(text.find("digraph \"test \\\"graph\\\"\""), std::string::npos);
+  EXPECT_NE(text.find("state \\\"A\\\""), std::string::npos);
+  EXPECT_NE(text.find("shape=box"), std::string::npos);
+  EXPECT_NE(text.find("fillcolor=\"red\""), std::string::npos);
+  EXPECT_NE(text.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, RejectsBadEdgeEndpoints) {
+  DotGraph g("x");
+  (void)g.add_node("a");
+  EXPECT_THROW(g.add_edge(0, 5, "bad"), InternalError);
+}
+
+// -------------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, CoversTheFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        hits[i].fetch_add(1);
+                      }
+                    });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBulkCalls) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 100,
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        total.fetch_add(end - begin);
+                      });
+  }
+  EXPECT_EQ(total.load(), 5'000u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t, std::size_t) {
+    ran = true;
+  });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, PropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t begin, std::size_t, std::size_t) {
+                          if (begin > 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e, std::size_t) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::size_t sum = 0;  // no synchronization needed: runs on this thread
+  pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e, std::size_t) {
+    sum += e - b;
+  });
+  EXPECT_EQ(sum, 10u);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,0 +1,288 @@
+/// \file test_verifier.cpp
+/// The verification front-end: invariant predicates, the Figure-4 global
+/// transition diagram (nodes, edges, attribute vectors), counterexample
+/// paths, report rendering, and the systematic mutation study.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/verifier.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  const Protocol p = protocols::illinois();
+
+  [[nodiscard]] CompositeState parse(std::string_view text) const {
+    return CompositeState::parse(p, text);
+  }
+};
+
+// -------------------------------------------------------------- invariants
+
+TEST_F(VerifierTest, DataConsistencyFlagsReadableObsoleteCopies) {
+  const Invariant inv = Invariant::data_consistency();
+  EXPECT_FALSE(inv.check(p, parse("(Shared+, Inv*) level=many")).has_value());
+  const auto v = inv.check(
+      p, parse("(Shared:obsolete, Dirty, Inv*) mem=obsolete level=many"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "data-consistency");
+}
+
+TEST_F(VerifierTest, NoLostValueFlagsStrandedMemory) {
+  const Invariant inv = Invariant::no_lost_value();
+  EXPECT_FALSE(inv.check(p, parse("(Inv+)")).has_value());
+  EXPECT_FALSE(
+      inv.check(p, parse("(Dirty, Inv*) mem=obsolete")).has_value());
+  EXPECT_TRUE(inv.check(p, parse("(Inv+) mem=obsolete")).has_value());
+}
+
+TEST_F(VerifierTest, ExclusivityFlagsCoexistenceAndDuplication) {
+  const StateId d = *p.find_state("Dirty");
+  const Invariant inv = Invariant::exclusivity(d);
+  EXPECT_FALSE(inv.check(p, parse("(Dirty, Inv*) mem=obsolete")).has_value());
+  EXPECT_TRUE(
+      inv.check(p, parse("(Dirty, Shared, Inv*) mem=obsolete level=many"))
+          .has_value());
+  EXPECT_TRUE(
+      inv.check(p,
+                parse("(Dirty, Dirty:obsolete, Inv*) mem=obsolete level=many"))
+          .has_value());
+}
+
+TEST_F(VerifierTest, UniquenessToleratesCoexistence) {
+  const StateId sh = *p.find_state("Shared");
+  const Invariant inv = Invariant::uniqueness(sh);
+  // Shared is not unique in Illinois, but the predicate itself should
+  // tolerate coexistence with other states and reject duplication.
+  EXPECT_FALSE(inv.check(p, parse("(Shared, Inv+)")).has_value());
+  EXPECT_TRUE(
+      inv.check(p, parse("(Shared+, Inv*) level=many")).has_value());
+}
+
+TEST_F(VerifierTest, StandardBatteryMatchesDeclarations) {
+  const auto battery = Invariant::standard_for(p);
+  // data-consistency + no-lost-value + 2 exclusive states (VE, Dirty).
+  EXPECT_EQ(battery.size(), 4u);
+}
+
+TEST_F(VerifierTest, CustomInvariantIsChecked) {
+  Verifier verifier(p);
+  verifier.add_invariant(Invariant(
+      "no-dirty-ever", [](const Protocol& proto, const CompositeState& s)
+                           -> std::optional<std::string> {
+        const auto d = proto.find_state("Dirty");
+        if (s.rep_of_state(*d) != Rep::Zero) return "a Dirty copy exists";
+        return std::nullopt;
+      }));
+  const VerificationReport report = verifier.verify();
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.errors.front().violation.invariant, "no-dirty-ever");
+}
+
+// ------------------------------------------------------------- the diagram
+
+class Figure4 : public VerifierTest {
+ protected:
+  const VerificationReport report = Verifier(p).verify();
+
+  [[nodiscard]] std::size_t node_of(std::string_view text) const {
+    const auto idx = report.graph.find_containing(parse(text));
+    EXPECT_TRUE(idx.has_value()) << text;
+    return *idx;
+  }
+
+  [[nodiscard]] bool has_edge(std::string_view from, std::string_view to,
+                              std::string_view label) const {
+    const std::size_t f = node_of(from);
+    const std::size_t t = node_of(to);
+    return std::any_of(report.graph.edges().begin(),
+                       report.graph.edges().end(),
+                       [&](const ReachabilityGraph::Edge& e) {
+                         return e.from == f && e.to == t &&
+                                e.label.to_string(p) == label;
+                       });
+  }
+};
+
+TEST_F(Figure4, HasTheFivePaperNodes) {
+  EXPECT_EQ(report.graph.nodes().size(), 5u);
+}
+
+TEST_F(Figure4, ReproducesThePaperEdges) {
+  // The edge list of Figure 4 (labels are op_originatorstate).
+  EXPECT_TRUE(has_edge("(Inv+)", "(ValidExclusive, Inv*)", "R_invalid"));
+  EXPECT_TRUE(has_edge("(Inv+)", "(Dirty, Inv*) mem=obsolete", "W_invalid"));
+  EXPECT_TRUE(has_edge("(ValidExclusive, Inv*)", "(Inv+)",
+                       "Z_validexclusive"));
+  EXPECT_TRUE(has_edge("(ValidExclusive, Inv*)",
+                       "(Dirty, Inv*) mem=obsolete", "W_validexclusive"));
+  EXPECT_TRUE(has_edge("(ValidExclusive, Inv*)",
+                       "(Shared+, Inv*) level=many", "R_invalid"));
+  EXPECT_TRUE(has_edge("(Dirty, Inv*) mem=obsolete", "(Inv+)", "Z_dirty"));
+  EXPECT_TRUE(has_edge("(Dirty, Inv*) mem=obsolete",
+                       "(Shared+, Inv*) level=many", "R_invalid"));
+  EXPECT_TRUE(has_edge("(Shared+, Inv*) level=many", "(Shared, Inv+)",
+                       "Z_shared"));
+  EXPECT_TRUE(has_edge("(Shared+, Inv*) level=many",
+                       "(Dirty, Inv*) mem=obsolete", "W_shared"));
+  EXPECT_TRUE(has_edge("(Shared, Inv+)", "(Inv+)", "Z_shared"));
+  EXPECT_TRUE(has_edge("(Shared, Inv+)", "(Shared+, Inv*) level=many",
+                       "R_invalid"));
+}
+
+TEST_F(Figure4, AttributeTableMatchesThePaper) {
+  // Figure 4's table: sharing vector, cdata vector and mdata per state
+  // (class order: valid classes first, as the paper prints them).
+  const auto& g = report.graph;
+  const auto row = [&](std::string_view text) {
+    const CompositeState s = parse(text);
+    return ReachabilityGraph::sharing_vector(p, s) + " " +
+           ReachabilityGraph::cdata_vector(p, s) + " " +
+           std::string(to_string(s.mdata()));
+  };
+  (void)g;
+  EXPECT_EQ(row("(Inv+)"), "(false) (nodata) fresh");
+  EXPECT_EQ(row("(ValidExclusive, Inv*)"),
+            "(false, true) (fresh, nodata) fresh");
+  EXPECT_EQ(row("(Dirty, Inv*) mem=obsolete"),
+            "(false, true) (fresh, nodata) obsolete");
+  EXPECT_EQ(row("(Shared+, Inv*) level=many"),
+            "(true, true) (fresh, nodata) fresh");
+  EXPECT_EQ(row("(Shared, Inv+)"), "(false, true) (fresh, nodata) fresh");
+}
+
+TEST_F(Figure4, NStepEdgesAreMarked) {
+  // Rep^n_shared: (Shared+, Inv*) -> (Shared, Inv+) collapses a rule-4(a)
+  // chain; R^n_inv: (V-Ex, Inv*) -> (Shared+, Inv*) a rule-4(b) chain.
+  const auto& edges = report.graph.edges();
+  const auto marked = [&](std::string_view from, std::string_view to,
+                          std::string_view label) {
+    const std::size_t f = node_of(from);
+    const std::size_t t = node_of(to);
+    for (const ReachabilityGraph::Edge& e : edges) {
+      if (e.from == f && e.to == t && e.label.to_string(p) == label) {
+        return e.n_steps;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(marked("(Shared+, Inv*) level=many", "(Shared, Inv+)",
+                     "Z_shared"));
+  EXPECT_TRUE(marked("(ValidExclusive, Inv*)", "(Shared+, Inv*) level=many",
+                     "R_invalid"));
+  EXPECT_FALSE(marked("(Inv+)", "(ValidExclusive, Inv*)", "R_invalid"));
+}
+
+TEST_F(Figure4, DotOutputNamesEveryNode) {
+  const std::string dot = report.graph.to_dot(p);
+  EXPECT_NE(dot.find("digraph \"Illinois\""), std::string::npos);
+  for (const CompositeState& n : report.graph.nodes()) {
+    EXPECT_NE(dot.find(n.to_string(p)), std::string::npos);
+  }
+}
+
+TEST_F(Figure4, RenderedFigureContainsTheTable) {
+  const std::string figure = report.graph.render_figure(p);
+  EXPECT_NE(figure.find("5 essential states"), std::string::npos);
+  EXPECT_NE(figure.find("(Shared+, Invalid*)"), std::string::npos);
+  EXPECT_NE(figure.find("| (true, true)"), std::string::npos);
+}
+
+// -------------------------------------------------------- counterexamples
+
+TEST(Counterexamples, PathsStartAtInitialAndEndAtErroneousState) {
+  for (const protocols::NamedMutant& variant : protocols::buggy_variants()) {
+    const Protocol p = variant.factory();
+    Verifier::Options opt;
+    opt.build_graph = false;
+    const VerificationReport report = Verifier(p, opt).verify();
+    ASSERT_FALSE(report.ok) << variant.name;
+    for (const VerificationError& err : report.errors) {
+      ASSERT_GE(err.path.steps.size(), 2u) << variant.name;
+      EXPECT_EQ(err.path.steps.front().state, "(Invalid+) mem=fresh");
+      EXPECT_TRUE(err.path.steps.front().label.empty());
+      EXPECT_EQ(err.path.steps.back().state, err.state.to_string(p));
+      for (std::size_t i = 1; i < err.path.steps.size(); ++i) {
+        EXPECT_FALSE(err.path.steps[i].label.empty());
+      }
+    }
+  }
+}
+
+TEST(Counterexamples, MaxErrorsIsHonored) {
+  const Protocol p = protocols::illinois_no_invalidate_on_write_hit();
+  Verifier::Options opt;
+  opt.max_errors = 2;
+  opt.build_graph = false;
+  const VerificationReport report = Verifier(p, opt).verify();
+  EXPECT_FALSE(report.ok);
+  EXPECT_LE(report.errors.size(), 2u);
+}
+
+TEST(Reports, SummaryMentionsVerdictAndCounts) {
+  const Protocol ok_protocol = protocols::illinois();
+  const auto ok_report = Verifier(ok_protocol).verify();
+  const std::string ok_text = ok_report.summary(ok_protocol);
+  EXPECT_NE(ok_text.find("VERIFIED"), std::string::npos);
+  EXPECT_NE(ok_text.find("5 essential states"), std::string::npos);
+
+  const Protocol bad_protocol = protocols::dragon_no_broadcast();
+  Verifier::Options opt;
+  opt.build_graph = false;
+  const auto bad_report = Verifier(bad_protocol, opt).verify();
+  const std::string bad_text = bad_report.summary(bad_protocol);
+  EXPECT_NE(bad_text.find("ERRONEOUS"), std::string::npos);
+  EXPECT_NE(bad_text.find("data-consistency"), std::string::npos);
+}
+
+// ---------------------------------------------------------- mutation study
+
+TEST(MutationStudy, EnumeratesAReasonableMutantPool) {
+  const auto mutants = ProtocolMutator::enumerate(protocols::illinois());
+  EXPECT_GE(mutants.size(), 20u);
+  for (const ProtocolMutant& m : mutants) {
+    EXPECT_FALSE(m.description.empty());
+    EXPECT_LT(m.rule_index, protocols::illinois().rules().size());
+  }
+}
+
+TEST(MutationStudy, EveryMutantIsKilledOrConcretelySafe) {
+  // A mutant the symbolic verifier does not kill must be genuinely safe:
+  // some single-rule mutations only degrade performance (e.g. filling
+  // Shared instead of Valid-Exclusive turns Illinois into an MSI-like
+  // protocol). For every survivor, concrete enumeration at n = 3 must
+  // agree that no erroneous state is reachable -- the symbolic verdict and
+  // the exhaustive verdict may never disagree.
+  const Protocol original = protocols::illinois();
+
+  std::size_t killed = 0;
+  std::size_t survived = 0;
+  for (const ProtocolMutant& m : ProtocolMutator::enumerate(original)) {
+    Verifier::Options opt;
+    opt.build_graph = false;
+    const VerificationReport report = Verifier(m.protocol, opt).verify();
+    if (!report.ok) {
+      ++killed;
+      continue;
+    }
+    ++survived;
+    Enumerator::Options eopt;
+    eopt.n_caches = 3;
+    const EnumerationResult concrete = Enumerator(m.protocol, eopt).run();
+    EXPECT_TRUE(concrete.errors.empty())
+        << "symbolic verifier missed a concrete error: " << m.description;
+  }
+  EXPECT_GT(killed, 0u);
+  // Most single-rule defects in Illinois are observable.
+  EXPECT_GT(killed, survived);
+}
+
+}  // namespace
+}  // namespace ccver

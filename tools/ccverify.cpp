@@ -1,0 +1,384 @@
+/// \file ccverify.cpp
+/// Command-line front end for the ccver library.
+///
+///   ccverify list
+///   ccverify verify <protocol|file.ccp> [--dot <out.dot>] [--trace]
+///   ccverify describe <protocol|file.ccp>
+///   ccverify enumerate <protocol|file.ccp> [--caches N] [--strict]
+///                      [--threads N]
+///   ccverify simulate <protocol|file.ccp> [--pattern P] [--events N]
+///                     [--cpus N] [--blocks N] [--capacity N] [--seed S]
+///   ccverify compare <a> <b>
+///   ccverify mutate <protocol|file.ccp>
+///
+/// A protocol argument is either a library name (see `list`) or a path to
+/// a `.ccp` specification file.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compare.hpp"
+#include "core/lint.hpp"
+#include "core/report_json.hpp"
+#include "core/verifier.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+#include "protocols/random_protocol.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace_io.hpp"
+#include "spec/loader.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccver;
+
+/// Parsed `--flag value` options plus positional arguments.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] bool has(const std::string& flag) const {
+    return flags.contains(flag);
+  }
+
+  [[nodiscard]] std::string get(const std::string& flag,
+                                const std::string& fallback) const {
+    const auto it = flags.find(flag);
+    return it == flags.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::size_t get_number(const std::string& flag,
+                                       std::size_t fallback) const {
+    const auto it = flags.find(flag);
+    return it == flags.end() ? fallback : parse_unsigned(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  // Boolean flags take no value; everything else consumes the next token.
+  static const std::vector<std::string> kBooleanFlags = {"--trace",
+                                                         "--strict",
+                                                         "--paths",
+                                                         "--json"};
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!starts_with(token, "--")) {
+      args.positional.push_back(token);
+      continue;
+    }
+    const bool boolean =
+        std::find(kBooleanFlags.begin(), kBooleanFlags.end(), token) !=
+        kBooleanFlags.end();
+    if (boolean) {
+      args.flags[token] = "1";
+    } else {
+      if (i + 1 >= argc) {
+        std::string message = "flag ";  // two-step append sidesteps a
+        message += token;               // GCC-12 -Wrestrict false positive
+        message += " needs a value";
+        throw SpecError(message);
+      }
+      args.flags[token] = argv[++i];
+    }
+  }
+  return args;
+}
+
+Protocol resolve_protocol(const std::string& name_or_path) {
+  if (name_or_path.ends_with(".ccp")) {
+    return load_protocol_file(name_or_path);
+  }
+  return protocols::by_name(name_or_path);
+}
+
+int cmd_list() {
+  TextTable table({"name", "|Q|", "characteristic", "states"});
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    std::string states;
+    for (std::size_t s = 0; s < p.state_count(); ++s) {
+      if (s > 0) states += ", ";
+      states += p.state_name(static_cast<StateId>(s));
+    }
+    table.add_row({p.name(), std::to_string(p.state_count()),
+                   p.characteristic() == CharacteristicKind::SharingDetection
+                       ? "sharing-detection"
+                       : "null",
+                   states});
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const Protocol p = resolve_protocol(args.positional.at(0));
+  Verifier::Options opt;
+  opt.record_trace = args.has("--trace");
+  const Verifier verifier(p, opt);
+
+  if (args.has("--json")) {
+    const VerificationReport report = verifier.verify();
+    std::cout << report_to_json(report, p) << '\n';
+    return report.ok ? 0 : 1;
+  }
+
+  if (opt.record_trace) {
+    const ExpansionResult r = verifier.expand();
+    std::cout << "expansion trace (" << r.trace.size() << " visits):\n";
+    for (const VisitRecord& v : r.trace) {
+      std::cout << "  " << v.from.to_string(p) << " --"
+                << v.label.to_string(p) << "--> " << v.to.to_string(p)
+                << " [" << to_string(v.disposition) << "]\n";
+    }
+    std::cout << '\n';
+  }
+
+  const VerificationReport report = verifier.verify();
+  std::cout << report.summary(p) << '\n';
+  for (const LintWarning& w : lint_protocol(p)) {
+    std::cout << "warning [" << to_string(w.kind) << "]: " << w.detail
+              << '\n';
+  }
+  if (report.ok) {
+    std::cout << '\n' << report.graph.render_figure(p);
+    if (args.has("--dot")) {
+      const std::string path = args.get("--dot", "");
+      std::ofstream out(path);
+      if (!out) throw SpecError("cannot write " + path);
+      out << report.graph.to_dot(p);
+      std::cout << "\nwrote " << path << '\n';
+    }
+  }
+  return report.ok ? 0 : 1;
+}
+
+int cmd_describe(const Args& args) {
+  const Protocol p = resolve_protocol(args.positional.at(0));
+  std::cout << p.describe();
+  return 0;
+}
+
+int cmd_enumerate(const Args& args) {
+  const Protocol p = resolve_protocol(args.positional.at(0));
+  Enumerator::Options opt;
+  opt.n_caches = args.get_number("--caches", 4);
+  opt.threads = args.get_number("--threads", 1);
+  opt.equivalence =
+      args.has("--strict") ? Equivalence::Strict : Equivalence::Counting;
+  opt.track_paths = args.has("--paths");
+  const EnumerationResult r = Enumerator(p, opt).run();
+  std::cout << p.name() << ", n = " << opt.n_caches << " caches, "
+            << (opt.equivalence == Equivalence::Strict ? "strict"
+                                                       : "counting")
+            << " equivalence:\n"
+            << "  reachable states: " << r.states << '\n'
+            << "  state visits:     " << r.visits << '\n'
+            << "  BFS levels:       " << r.levels << '\n';
+  for (const ConcreteError& e : r.errors) {
+    std::cout << "  ERROR: " << e.detail << " in " << to_string(p, e.state)
+              << '\n';
+    for (const std::string& step : e.path) {
+      std::cout << "    " << step << '\n';
+    }
+  }
+  return r.errors.empty() ? 0 : 1;
+}
+
+int cmd_simulate(const Args& args) {
+  const Protocol p = resolve_protocol(args.positional.at(0));
+
+  std::vector<TraceEvent> trace;
+  std::size_t n_cpus = args.get_number("--cpus", 8);
+  if (args.has("--trace-file")) {
+    const TraceFile file = load_trace_file(args.get("--trace-file", ""));
+    trace = file.events;
+    n_cpus = file.n_cpus;
+  } else {
+    TraceConfig cfg;
+    cfg.n_cpus = n_cpus;
+    cfg.n_blocks = args.get_number("--blocks", 128);
+    cfg.length = args.get_number("--events", 100'000);
+    cfg.capacity = args.get_number("--capacity", 16);
+    cfg.seed = args.get_number("--seed", 1);
+    const std::string pattern = args.get("--pattern", "hotset");
+    if (pattern == "uniform") {
+      cfg.pattern = TracePattern::Uniform;
+    } else if (pattern == "hotset") {
+      cfg.pattern = TracePattern::HotSet;
+    } else if (pattern == "migratory") {
+      cfg.pattern = TracePattern::Migratory;
+    } else if (pattern == "producer") {
+      cfg.pattern = TracePattern::ProducerConsumer;
+    } else {
+      throw SpecError("unknown pattern '" + pattern + "'");
+    }
+    trace = generate_trace(cfg);
+    if (args.has("--save-trace")) {
+      save_trace_file(TraceFile{cfg.n_cpus, cfg.n_blocks, trace},
+                      args.get("--save-trace", ""));
+      std::cout << "saved trace to " << args.get("--save-trace", "")
+                << '\n';
+    }
+  }
+
+  Machine::Options mopt;
+  mopt.n_cpus = n_cpus;
+  mopt.threads = args.get_number("--threads", 1);
+  const SimResult r = Machine(p, mopt).run(trace);
+
+  TextTable table({"counter", "value"});
+  table.add_row({"reads", std::to_string(r.stats.reads)});
+  table.add_row({"writes", std::to_string(r.stats.writes)});
+  table.add_row({"read hits", std::to_string(r.stats.read_hits)});
+  table.add_row({"write hits", std::to_string(r.stats.write_hits)});
+  table.add_row({"misses", std::to_string(r.stats.misses)});
+  table.add_row({"replacements", std::to_string(r.stats.replacements)});
+  table.add_row({"invalidations", std::to_string(r.stats.invalidations)});
+  table.add_row({"updates", std::to_string(r.stats.updates)});
+  table.add_row({"writebacks", std::to_string(r.stats.writebacks)});
+  table.add_row({"stalls", std::to_string(r.stats.stalls)});
+  table.add_row({"bus transactions",
+                 std::to_string(r.stats.bus_transactions)});
+  table.add_row({"bus cycles", std::to_string(r.stats.bus_cycles)});
+  table.add_row({"stale reads", std::to_string(r.stats.stale_reads)});
+  table.render(std::cout);
+  for (const SimError& e : r.errors) {
+    std::cout << "ERROR: block " << e.block << " cpu " << e.cpu << ": "
+              << e.detail << '\n';
+  }
+  return r.errors.empty() ? 0 : 1;
+}
+
+int cmd_compare(const Args& args) {
+  const Protocol a = resolve_protocol(args.positional.at(0));
+  const Protocol b = resolve_protocol(args.positional.at(1));
+  const ProtocolComparison cmp = compare_protocols(a, b);
+  if (cmp.isomorphic) {
+    std::cout << a.name() << " and " << b.name()
+              << " are behaviorally isomorphic:";
+    for (const auto& [from, to] : cmp.state_mapping) {
+      std::cout << ' ' << from << "->" << to;
+    }
+    std::cout << '\n';
+    return 0;
+  }
+  std::cout << a.name() << " and " << b.name() << " differ: " << cmp.detail
+            << '\n';
+  return 1;
+}
+
+int cmd_diff(const Args& args) {
+  const Protocol a = resolve_protocol(args.positional.at(0));
+  const Protocol b = resolve_protocol(args.positional.at(1));
+  const ProtocolDiff diff = diff_protocols(a, b);
+  if (diff.identical()) {
+    std::cout << "global state spaces are identical\n";
+    return 0;
+  }
+  const auto dump = [](const char* heading,
+                       const std::vector<std::string>& items) {
+    if (items.empty()) return;
+    std::cout << heading << '\n';
+    for (const std::string& item : items) std::cout << "  " << item << '\n';
+  };
+  dump(("states only in " + a.name() + ":").c_str(), diff.states_only_in_a);
+  dump(("states only in " + b.name() + ":").c_str(), diff.states_only_in_b);
+  dump(("transitions only in " + a.name() + ":").c_str(),
+       diff.edges_only_in_a);
+  dump(("transitions only in " + b.name() + ":").c_str(),
+       diff.edges_only_in_b);
+  return 1;
+}
+
+int cmd_random(const Args& args) {
+  const std::uint64_t seed = parse_unsigned(args.positional.at(0));
+  const Protocol p = protocols::random_protocol(seed);
+  if (args.has("--out")) {
+    save_protocol_file(p, args.get("--out", ""));
+    std::cout << "wrote " << args.get("--out", "") << '\n';
+  } else {
+    std::cout << p.describe();
+  }
+  Verifier::Options opt;
+  opt.build_graph = false;
+  opt.max_errors = 1;
+  const VerificationReport report = Verifier(p, opt).verify();
+  std::cout << report.summary(p) << '\n';
+  return 0;
+}
+
+int cmd_mutate(const Args& args) {
+  const Protocol p = resolve_protocol(args.positional.at(0));
+  std::size_t killed = 0;
+  std::size_t survived = 0;
+  for (const ProtocolMutant& m : ProtocolMutator::enumerate(p)) {
+    Verifier::Options opt;
+    opt.build_graph = false;
+    opt.max_errors = 1;
+    const VerificationReport report = Verifier(m.protocol, opt).verify();
+    if (report.ok) {
+      ++survived;
+      std::cout << "SURVIVED  " << m.description << '\n';
+    } else {
+      ++killed;
+      std::cout << "killed    " << m.description << "  ["
+                << report.errors.front().violation.invariant << "]\n";
+    }
+  }
+  std::cout << "\nkilled " << killed << " of " << (killed + survived)
+            << " single-rule mutants\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: ccverify <command> [args]\n"
+      "  list                                 protocols in the library\n"
+      "  verify <protocol> [--dot F] [--trace] [--json]\n"
+      "                                       symbolic verification\n"
+      "  describe <protocol>                  print the rule table\n"
+      "  enumerate <protocol> [--caches N] [--strict] [--threads N]\n"
+      "            [--paths]\n"
+      "  simulate <protocol> [--pattern P] [--events N] [--cpus N]\n"
+      "           [--blocks N] [--capacity N] [--seed S] [--threads N]\n"
+      "           [--save-trace F | --trace-file F]\n"
+      "  compare <a> <b>                      diagram isomorphism\n"
+      "  diff <a> <b>                         state-space difference\n"
+      "  mutate <protocol>                    single-rule mutation study\n"
+      "  random <seed> [--out F.ccp]          generate a random protocol\n"
+      "<protocol> is a library name or a .ccp file path.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (command == "list") return cmd_list();
+    if (command == "verify") return cmd_verify(args);
+    if (command == "describe") return cmd_describe(args);
+    if (command == "enumerate") return cmd_enumerate(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "compare") return cmd_compare(args);
+    if (command == "diff") return cmd_diff(args);
+    if (command == "mutate") return cmd_mutate(args);
+    if (command == "random") return cmd_random(args);
+    return usage();
+  } catch (const std::out_of_range&) {
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

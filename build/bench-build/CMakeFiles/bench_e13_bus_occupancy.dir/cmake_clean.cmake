@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_bus_occupancy"
+  "../bench/bench_e13_bus_occupancy.pdb"
+  "CMakeFiles/bench_e13_bus_occupancy.dir/bench_bus_occupancy.cpp.o"
+  "CMakeFiles/bench_e13_bus_occupancy.dir/bench_bus_occupancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_bus_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

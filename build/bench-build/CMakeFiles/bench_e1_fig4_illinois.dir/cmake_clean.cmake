@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_fig4_illinois"
+  "../bench/bench_e1_fig4_illinois.pdb"
+  "CMakeFiles/bench_e1_fig4_illinois.dir/bench_fig4_illinois.cpp.o"
+  "CMakeFiles/bench_e1_fig4_illinois.dir/bench_fig4_illinois.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_fig4_illinois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

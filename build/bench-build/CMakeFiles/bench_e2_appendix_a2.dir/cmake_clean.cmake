@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_appendix_a2"
+  "../bench/bench_e2_appendix_a2.pdb"
+  "CMakeFiles/bench_e2_appendix_a2.dir/bench_appendix_a2.cpp.o"
+  "CMakeFiles/bench_e2_appendix_a2.dir/bench_appendix_a2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_appendix_a2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_all_protocols"
+  "../bench/bench_e4_all_protocols.pdb"
+  "CMakeFiles/bench_e4_all_protocols.dir/bench_all_protocols.cpp.o"
+  "CMakeFiles/bench_e4_all_protocols.dir/bench_all_protocols.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_all_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

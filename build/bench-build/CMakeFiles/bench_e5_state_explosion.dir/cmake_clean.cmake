@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_state_explosion"
+  "../bench/bench_e5_state_explosion.pdb"
+  "CMakeFiles/bench_e5_state_explosion.dir/bench_state_explosion.cpp.o"
+  "CMakeFiles/bench_e5_state_explosion.dir/bench_state_explosion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_state_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

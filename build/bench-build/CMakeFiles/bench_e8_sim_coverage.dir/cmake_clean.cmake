@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_sim_coverage"
+  "../bench/bench_e8_sim_coverage.pdb"
+  "CMakeFiles/bench_e8_sim_coverage.dir/bench_sim_coverage.cpp.o"
+  "CMakeFiles/bench_e8_sim_coverage.dir/bench_sim_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_sim_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

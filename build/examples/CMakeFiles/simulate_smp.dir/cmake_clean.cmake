@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_smp.dir/simulate_smp.cpp.o"
+  "CMakeFiles/simulate_smp.dir/simulate_smp.cpp.o.d"
+  "simulate_smp"
+  "simulate_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

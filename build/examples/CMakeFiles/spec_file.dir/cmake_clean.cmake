@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_file.dir/spec_file.cpp.o"
+  "CMakeFiles/spec_file.dir/spec_file.cpp.o.d"
+  "spec_file"
+  "spec_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compare.cpp" "src/core/CMakeFiles/ccver_core.dir/compare.cpp.o" "gcc" "src/core/CMakeFiles/ccver_core.dir/compare.cpp.o.d"
+  "/root/repo/src/core/composite_state.cpp" "src/core/CMakeFiles/ccver_core.dir/composite_state.cpp.o" "gcc" "src/core/CMakeFiles/ccver_core.dir/composite_state.cpp.o.d"
+  "/root/repo/src/core/expansion.cpp" "src/core/CMakeFiles/ccver_core.dir/expansion.cpp.o" "gcc" "src/core/CMakeFiles/ccver_core.dir/expansion.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/core/CMakeFiles/ccver_core.dir/graph.cpp.o" "gcc" "src/core/CMakeFiles/ccver_core.dir/graph.cpp.o.d"
+  "/root/repo/src/core/invariants.cpp" "src/core/CMakeFiles/ccver_core.dir/invariants.cpp.o" "gcc" "src/core/CMakeFiles/ccver_core.dir/invariants.cpp.o.d"
+  "/root/repo/src/core/lint.cpp" "src/core/CMakeFiles/ccver_core.dir/lint.cpp.o" "gcc" "src/core/CMakeFiles/ccver_core.dir/lint.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/ccver_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/ccver_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/core/CMakeFiles/ccver_core.dir/verifier.cpp.o" "gcc" "src/core/CMakeFiles/ccver_core.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/ccver_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccver_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccver_core.dir/compare.cpp.o"
+  "CMakeFiles/ccver_core.dir/compare.cpp.o.d"
+  "CMakeFiles/ccver_core.dir/composite_state.cpp.o"
+  "CMakeFiles/ccver_core.dir/composite_state.cpp.o.d"
+  "CMakeFiles/ccver_core.dir/expansion.cpp.o"
+  "CMakeFiles/ccver_core.dir/expansion.cpp.o.d"
+  "CMakeFiles/ccver_core.dir/graph.cpp.o"
+  "CMakeFiles/ccver_core.dir/graph.cpp.o.d"
+  "CMakeFiles/ccver_core.dir/invariants.cpp.o"
+  "CMakeFiles/ccver_core.dir/invariants.cpp.o.d"
+  "CMakeFiles/ccver_core.dir/lint.cpp.o"
+  "CMakeFiles/ccver_core.dir/lint.cpp.o.d"
+  "CMakeFiles/ccver_core.dir/report_json.cpp.o"
+  "CMakeFiles/ccver_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/ccver_core.dir/verifier.cpp.o"
+  "CMakeFiles/ccver_core.dir/verifier.cpp.o.d"
+  "libccver_core.a"
+  "libccver_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccver_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enumeration/coverage.cpp" "src/enumeration/CMakeFiles/ccver_enumeration.dir/coverage.cpp.o" "gcc" "src/enumeration/CMakeFiles/ccver_enumeration.dir/coverage.cpp.o.d"
+  "/root/repo/src/enumeration/enum_state.cpp" "src/enumeration/CMakeFiles/ccver_enumeration.dir/enum_state.cpp.o" "gcc" "src/enumeration/CMakeFiles/ccver_enumeration.dir/enum_state.cpp.o.d"
+  "/root/repo/src/enumeration/enumerator.cpp" "src/enumeration/CMakeFiles/ccver_enumeration.dir/enumerator.cpp.o" "gcc" "src/enumeration/CMakeFiles/ccver_enumeration.dir/enumerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccver_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/ccver_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccver_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

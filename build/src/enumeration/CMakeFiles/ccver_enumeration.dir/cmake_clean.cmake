@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccver_enumeration.dir/coverage.cpp.o"
+  "CMakeFiles/ccver_enumeration.dir/coverage.cpp.o.d"
+  "CMakeFiles/ccver_enumeration.dir/enum_state.cpp.o"
+  "CMakeFiles/ccver_enumeration.dir/enum_state.cpp.o.d"
+  "CMakeFiles/ccver_enumeration.dir/enumerator.cpp.o"
+  "CMakeFiles/ccver_enumeration.dir/enumerator.cpp.o.d"
+  "libccver_enumeration.a"
+  "libccver_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccver_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

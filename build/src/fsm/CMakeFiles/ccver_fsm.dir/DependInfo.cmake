@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/builder.cpp" "src/fsm/CMakeFiles/ccver_fsm.dir/builder.cpp.o" "gcc" "src/fsm/CMakeFiles/ccver_fsm.dir/builder.cpp.o.d"
+  "/root/repo/src/fsm/concrete.cpp" "src/fsm/CMakeFiles/ccver_fsm.dir/concrete.cpp.o" "gcc" "src/fsm/CMakeFiles/ccver_fsm.dir/concrete.cpp.o.d"
+  "/root/repo/src/fsm/protocol.cpp" "src/fsm/CMakeFiles/ccver_fsm.dir/protocol.cpp.o" "gcc" "src/fsm/CMakeFiles/ccver_fsm.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccver_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

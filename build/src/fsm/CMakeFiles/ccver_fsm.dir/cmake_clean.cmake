@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccver_fsm.dir/builder.cpp.o"
+  "CMakeFiles/ccver_fsm.dir/builder.cpp.o.d"
+  "CMakeFiles/ccver_fsm.dir/concrete.cpp.o"
+  "CMakeFiles/ccver_fsm.dir/concrete.cpp.o.d"
+  "CMakeFiles/ccver_fsm.dir/protocol.cpp.o"
+  "CMakeFiles/ccver_fsm.dir/protocol.cpp.o.d"
+  "libccver_fsm.a"
+  "libccver_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccver_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

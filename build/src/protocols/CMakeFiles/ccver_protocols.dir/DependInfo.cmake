@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/berkeley.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/berkeley.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/berkeley.cpp.o.d"
+  "/root/repo/src/protocols/dragon.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/dragon.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/dragon.cpp.o.d"
+  "/root/repo/src/protocols/firefly.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/firefly.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/firefly.cpp.o.d"
+  "/root/repo/src/protocols/illinois.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/illinois.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/illinois.cpp.o.d"
+  "/root/repo/src/protocols/illinois_split.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/illinois_split.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/illinois_split.cpp.o.d"
+  "/root/repo/src/protocols/mesi.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/mesi.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/mesi.cpp.o.d"
+  "/root/repo/src/protocols/moesi.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/moesi.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/moesi.cpp.o.d"
+  "/root/repo/src/protocols/moesi_split.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/moesi_split.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/moesi_split.cpp.o.d"
+  "/root/repo/src/protocols/msi.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/msi.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/msi.cpp.o.d"
+  "/root/repo/src/protocols/mutation.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/mutation.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/mutation.cpp.o.d"
+  "/root/repo/src/protocols/random_protocol.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/random_protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/random_protocol.cpp.o.d"
+  "/root/repo/src/protocols/registry.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/registry.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/registry.cpp.o.d"
+  "/root/repo/src/protocols/synapse.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/synapse.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/synapse.cpp.o.d"
+  "/root/repo/src/protocols/write_once.cpp" "src/protocols/CMakeFiles/ccver_protocols.dir/write_once.cpp.o" "gcc" "src/protocols/CMakeFiles/ccver_protocols.dir/write_once.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/ccver_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccver_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

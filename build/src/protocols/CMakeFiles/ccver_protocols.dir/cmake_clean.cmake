@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccver_protocols.dir/berkeley.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/berkeley.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/dragon.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/dragon.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/firefly.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/firefly.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/illinois.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/illinois.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/illinois_split.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/illinois_split.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/mesi.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/mesi.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/moesi.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/moesi.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/moesi_split.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/moesi_split.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/msi.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/msi.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/mutation.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/mutation.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/random_protocol.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/random_protocol.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/registry.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/registry.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/synapse.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/synapse.cpp.o.d"
+  "CMakeFiles/ccver_protocols.dir/write_once.cpp.o"
+  "CMakeFiles/ccver_protocols.dir/write_once.cpp.o.d"
+  "libccver_protocols.a"
+  "libccver_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccver_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus_model.cpp" "src/sim/CMakeFiles/ccver_sim.dir/bus_model.cpp.o" "gcc" "src/sim/CMakeFiles/ccver_sim.dir/bus_model.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/ccver_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/ccver_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/ccver_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/ccver_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/ccver_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/ccver_sim.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enumeration/CMakeFiles/ccver_enumeration.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/ccver_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccver_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccver_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccver_sim.dir/bus_model.cpp.o"
+  "CMakeFiles/ccver_sim.dir/bus_model.cpp.o.d"
+  "CMakeFiles/ccver_sim.dir/machine.cpp.o"
+  "CMakeFiles/ccver_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/ccver_sim.dir/trace.cpp.o"
+  "CMakeFiles/ccver_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/ccver_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/ccver_sim.dir/trace_io.cpp.o.d"
+  "libccver_sim.a"
+  "libccver_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccver_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

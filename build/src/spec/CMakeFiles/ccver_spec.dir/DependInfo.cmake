@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/lexer.cpp" "src/spec/CMakeFiles/ccver_spec.dir/lexer.cpp.o" "gcc" "src/spec/CMakeFiles/ccver_spec.dir/lexer.cpp.o.d"
+  "/root/repo/src/spec/loader.cpp" "src/spec/CMakeFiles/ccver_spec.dir/loader.cpp.o" "gcc" "src/spec/CMakeFiles/ccver_spec.dir/loader.cpp.o.d"
+  "/root/repo/src/spec/parser.cpp" "src/spec/CMakeFiles/ccver_spec.dir/parser.cpp.o" "gcc" "src/spec/CMakeFiles/ccver_spec.dir/parser.cpp.o.d"
+  "/root/repo/src/spec/writer.cpp" "src/spec/CMakeFiles/ccver_spec.dir/writer.cpp.o" "gcc" "src/spec/CMakeFiles/ccver_spec.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/ccver_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccver_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccver_spec.dir/lexer.cpp.o"
+  "CMakeFiles/ccver_spec.dir/lexer.cpp.o.d"
+  "CMakeFiles/ccver_spec.dir/loader.cpp.o"
+  "CMakeFiles/ccver_spec.dir/loader.cpp.o.d"
+  "CMakeFiles/ccver_spec.dir/parser.cpp.o"
+  "CMakeFiles/ccver_spec.dir/parser.cpp.o.d"
+  "CMakeFiles/ccver_spec.dir/writer.cpp.o"
+  "CMakeFiles/ccver_spec.dir/writer.cpp.o.d"
+  "libccver_spec.a"
+  "libccver_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccver_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

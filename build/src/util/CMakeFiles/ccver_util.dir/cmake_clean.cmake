@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccver_util.dir/dot.cpp.o"
+  "CMakeFiles/ccver_util.dir/dot.cpp.o.d"
+  "CMakeFiles/ccver_util.dir/error.cpp.o"
+  "CMakeFiles/ccver_util.dir/error.cpp.o.d"
+  "CMakeFiles/ccver_util.dir/string_util.cpp.o"
+  "CMakeFiles/ccver_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/ccver_util.dir/table.cpp.o"
+  "CMakeFiles/ccver_util.dir/table.cpp.o.d"
+  "CMakeFiles/ccver_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ccver_util.dir/thread_pool.cpp.o.d"
+  "libccver_util.a"
+  "libccver_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccver_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

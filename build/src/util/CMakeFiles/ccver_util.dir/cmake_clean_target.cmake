@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccver_util.a"
+)

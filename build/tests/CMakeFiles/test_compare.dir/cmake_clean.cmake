@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compare.dir/test_compare.cpp.o"
+  "CMakeFiles/test_compare.dir/test_compare.cpp.o.d"
+  "test_compare"
+  "test_compare.pdb"
+  "test_compare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_loader.cpp" "tests/CMakeFiles/test_loader.dir/test_loader.cpp.o" "gcc" "tests/CMakeFiles/test_loader.dir/test_loader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccver_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/ccver_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumeration/CMakeFiles/ccver_enumeration.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccver_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/ccver_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/ccver_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccver_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

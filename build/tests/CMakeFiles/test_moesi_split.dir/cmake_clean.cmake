@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moesi_split.dir/test_moesi_split.cpp.o"
+  "CMakeFiles/test_moesi_split.dir/test_moesi_split.cpp.o.d"
+  "test_moesi_split"
+  "test_moesi_split.pdb"
+  "test_moesi_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moesi_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_protocols.dir/test_random_protocols.cpp.o"
+  "CMakeFiles/test_random_protocols.dir/test_random_protocols.cpp.o.d"
+  "test_random_protocols"
+  "test_random_protocols.pdb"
+  "test_random_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repetition.dir/test_repetition.cpp.o"
+  "CMakeFiles/test_repetition.dir/test_repetition.cpp.o.d"
+  "test_repetition"
+  "test_repetition.pdb"
+  "test_repetition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repetition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

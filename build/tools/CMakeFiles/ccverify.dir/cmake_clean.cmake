@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccverify.dir/ccverify.cpp.o"
+  "CMakeFiles/ccverify.dir/ccverify.cpp.o.d"
+  "ccverify"
+  "ccverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,121 @@
+/// \file bench_enum_scaling.cpp
+/// Experiment E14: thread scaling of the parallel exhaustive enumerator.
+///
+/// Sweeps the worker count over the MOESI split-transaction workload
+/// (MOESISplit, n = 5 caches, strict equivalence -- 5655 reachable
+/// states, ~94k visits) and emits a machine-readable JSON curve of
+/// wall-clock time and speedup versus the single-threaded run. The
+/// enumerator's results are deterministic across thread counts, so the
+/// state/visit counts double as a cross-check: any divergence between
+/// rows is a correctness bug, not noise.
+///
+/// Usage: bench_enum_scaling [protocol] [n_caches] [repeats]
+///
+/// Speedup is computed from the best of `repeats` runs per thread count
+/// (minimum wall time estimates the noise floor). The JSON includes
+/// `hardware_concurrency` so readers can judge the curve against the
+/// machine it ran on: with a single hardware thread every speedup is
+/// ~1.0 by construction.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "enumeration/enumerator.hpp"
+#include "protocols/protocols.hpp"
+#include "util/json.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ScalingPoint {
+  std::size_t threads = 0;
+  std::uint64_t best_wall_ns = 0;
+  std::size_t states = 0;
+  std::size_t visits = 0;
+  std::size_t levels = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccver;
+
+  const std::string name = argc > 1 ? argv[1] : "MOESISplit";
+  const std::size_t n_caches = argc > 2 ? parse_unsigned(argv[2]) : 5;
+  const std::size_t repeats = argc > 3 ? parse_unsigned(argv[3]) : 5;
+  const Protocol p = protocols::by_name(name);
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<ScalingPoint> curve;
+
+  for (const std::size_t threads : thread_counts) {
+    Enumerator::Options opt;
+    opt.n_caches = n_caches;
+    opt.threads = threads;
+    opt.equivalence = Equivalence::Strict;
+    const Enumerator enumerator(p, opt);
+
+    ScalingPoint point;
+    point.threads = threads;
+    point.best_wall_ns = UINT64_MAX;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      const std::uint64_t t0 = now_ns();
+      const EnumerationResult result = enumerator.run();
+      point.best_wall_ns = std::min(point.best_wall_ns, now_ns() - t0);
+      point.states = result.states;
+      point.visits = result.visits;
+      point.levels = result.levels;
+    }
+    curve.push_back(point);
+  }
+
+  // Determinism cross-check: every thread count must agree exactly.
+  for (const ScalingPoint& point : curve) {
+    if (point.states != curve.front().states ||
+        point.visits != curve.front().visits ||
+        point.levels != curve.front().levels) {
+      std::cerr << "FATAL: results diverge across thread counts\n";
+      return 1;
+    }
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("benchmark").value("enum_scaling");
+  json.key("protocol").value(p.name());
+  json.key("n_caches").value(static_cast<std::uint64_t>(n_caches));
+  json.key("equivalence").value("strict");
+  json.key("repeats").value(static_cast<std::uint64_t>(repeats));
+  json.key("hardware_concurrency")
+      .value(static_cast<std::uint64_t>(
+          std::thread::hardware_concurrency()));
+  json.key("states").value(static_cast<std::uint64_t>(curve.front().states));
+  json.key("visits").value(static_cast<std::uint64_t>(curve.front().visits));
+  json.key("levels").value(static_cast<std::uint64_t>(curve.front().levels));
+  json.key("curve").begin_array();
+  const double base = static_cast<double>(curve.front().best_wall_ns);
+  for (const ScalingPoint& point : curve) {
+    json.begin_object();
+    json.key("threads").value(static_cast<std::uint64_t>(point.threads));
+    json.key("wall_ns").value(point.best_wall_ns);
+    json.key("speedup").value(base /
+                              static_cast<double>(point.best_wall_ns));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::cout << std::move(json).str() << '\n';
+  return 0;
+}

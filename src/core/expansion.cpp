@@ -315,6 +315,8 @@ ExpansionResult SymbolicExpander::run() const {
 
 ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
   const Protocol& p = *protocol_;
+  MetricsRegistry* const metrics = options_.metrics;
+  const ScopedTimer wall(metrics, "expand.wall");
   ExpansionResult result;
 
   // Working and visited lists hold indices into the append-only archive so
@@ -333,6 +335,7 @@ ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
     const std::size_t current = work.front();
     work.pop_front();
     ++result.stats.expansions;
+    const std::uint64_t step_t0 = metrics == nullptr ? 0 : metrics_now_ns();
 
     bool current_superseded = false;
     for (const Successor& succ : successors(p, state_at(current))) {
@@ -415,11 +418,24 @@ ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
     }
 
     if (!current_superseded) visited.push_back(current);
+    if (metrics != nullptr) {
+      metrics->timer_add("expand.step", metrics_now_ns() - step_t0);
+    }
   }
 
   result.essential.reserve(visited.size());
   for (const std::size_t idx : visited) {
     result.essential.push_back(state_at(idx));
+  }
+  if (metrics != nullptr) {
+    metrics->counter_add("expand.visits", result.stats.visits);
+    metrics->counter_add("expand.expansions", result.stats.expansions);
+    metrics->counter_add("expand.discarded_contained",
+                         result.stats.discarded_contained);
+    metrics->counter_add("expand.evicted", result.stats.evicted);
+    metrics->counter_add("expand.source_restarts",
+                         result.stats.source_restarts);
+    metrics->counter_add("expand.essential", result.essential.size());
   }
   return result;
 }

@@ -22,6 +22,7 @@
 
 #include "core/composite_state.hpp"
 #include "fsm/protocol.hpp"
+#include "util/metrics.hpp"
 
 namespace ccver {
 
@@ -115,6 +116,9 @@ class SymbolicExpander {
     bool record_trace = false;
     PruningMode pruning = PruningMode::Containment;
     std::size_t max_visits = 1'000'000;  ///< safety valve; throws ModelError
+    /// When set, the run records `expand.*` counters and phase timers
+    /// (total wall clock, per-expansion-step). Null = no instrumentation.
+    MetricsRegistry* metrics = nullptr;
   };
 
   explicit SymbolicExpander(const Protocol& p) : SymbolicExpander(p, Options{}) {}

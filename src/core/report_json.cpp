@@ -5,7 +5,8 @@
 namespace ccver {
 
 std::string report_to_json(const VerificationReport& report,
-                           const Protocol& p) {
+                           const Protocol& p,
+                           const MetricsSnapshot* metrics) {
   JsonWriter json;
   json.begin_object();
   json.key("protocol").value(report.protocol);
@@ -60,6 +61,11 @@ std::string report_to_json(const VerificationReport& report,
     }
     json.end_array();
     json.end_object();
+  }
+
+  if (metrics != nullptr) {
+    json.key("metrics");
+    metrics_to_json(json, *metrics);
   }
 
   json.end_object();

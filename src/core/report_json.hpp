@@ -16,9 +16,12 @@ namespace ccver {
 ///   "errors": [{"invariant": ..., "detail": ..., "state": ...,
 ///               "path": [{"label": ..., "state": ...}, ...]}, ...],
 ///   "graph": {"nodes": [...], "edges": [{"from": i, "to": j,
-///             "label": ..., "n_steps": bool}, ...]}   // when ok
+///             "label": ..., "n_steps": bool}, ...]},  // when ok
+///   "metrics": {"counters": ..., "gauges": ..., "timers": ...}  // opt-in
 /// }
-[[nodiscard]] std::string report_to_json(const VerificationReport& report,
-                                         const Protocol& p);
+/// The "metrics" section appears when `metrics` is non-null (`--stats`).
+[[nodiscard]] std::string report_to_json(
+    const VerificationReport& report, const Protocol& p,
+    const MetricsSnapshot* metrics = nullptr);
 
 }  // namespace ccver

@@ -53,6 +53,7 @@ ExpansionResult Verifier::expand() const {
   SymbolicExpander::Options opt;
   opt.max_visits = options_.max_visits;
   opt.record_trace = options_.record_trace;
+  opt.metrics = options_.metrics;
   return SymbolicExpander(*protocol_, opt).run();
 }
 

@@ -55,6 +55,8 @@ class Verifier {
     std::size_t max_visits = 1'000'000;
     bool build_graph = true;         ///< skip for pure pass/fail checks
     bool record_trace = false;       ///< keep the full visit trace
+    /// Forwarded to the symbolic expander (`expand.*` counters/timers).
+    MetricsRegistry* metrics = nullptr;
   };
 
   explicit Verifier(const Protocol& p) : Verifier(p, Options{}) {}

@@ -46,6 +46,21 @@ struct EnumKey {
   };
 };
 
+/// Canonical total order over keys: cell count, then cells
+/// lexicographically, then the memory attribute. Parallel enumeration sorts
+/// its outputs (errors, reachable set) by this order, which is what makes
+/// `--json` reports bit-stable across runs and thread counts.
+[[nodiscard]] inline bool key_less(const EnumKey& a,
+                                   const EnumKey& b) noexcept {
+  if (a.cells.size() != b.cells.size()) {
+    return a.cells.size() < b.cells.size();
+  }
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (a.cells[i] != b.cells[i]) return a.cells[i] < b.cells[i];
+  }
+  return a.mdata < b.mdata;
+}
+
 /// Projects a concrete block onto its abstraction key.
 [[nodiscard]] EnumKey project(const Protocol& p, const ConcreteBlock& b,
                               Equivalence eq);

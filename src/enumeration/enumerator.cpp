@@ -144,13 +144,33 @@ Enumerator::Enumerator(const Protocol& p, Options options)
 
 namespace {
 
+/// Orders errors by the canonical key order of their states (details break
+/// ties defensively; a state is checked at most once per run, so two errors
+/// never share a state in practice).
+bool error_less(const ConcreteError& a, const ConcreteError& b) {
+  if (key_less(a.state, b.state)) return true;
+  if (key_less(b.state, a.state)) return false;
+  return a.detail < b.detail;
+}
+
+/// Sorts, truncates to `max_errors`, and flags the truncation.
+void finalize_errors(std::vector<ConcreteError>& found,
+                     std::size_t max_errors, EnumerationResult& result) {
+  std::sort(found.begin(), found.end(), error_less);
+  result.errors_truncated = found.size() > max_errors;
+  if (result.errors_truncated) found.resize(max_errors);
+  result.errors = std::move(found);
+}
+
 /// Sequential BFS with parent tracking; used when replay paths are
 /// requested (small, typically buggy, state spaces).
 EnumerationResult run_with_paths(const Protocol& p,
                                  const Enumerator::Options& options) {
+  const ScopedTimer run_timer(options.metrics, "enum.run_wall");
   struct Parent {
     std::int64_t index = -1;  ///< into `order`
     ConcreteAction action;
+    std::size_t depth = 0;  ///< BFS depth (initial state = 0)
   };
   std::unordered_map<EnumKey, std::size_t, EnumKey::Hasher> index_of;
   std::vector<EnumKey> order;
@@ -179,11 +199,19 @@ EnumerationResult run_with_paths(const Protocol& p,
     }
     return path;
   };
+
+  // Erroneous states are collected without their (expensive) replay paths;
+  // paths are rendered only for the states that survive the deterministic
+  // sort-and-truncate selection at the end.
+  struct PendingError {
+    std::size_t index = 0;  ///< into `order`
+    std::string detail;
+  };
+  std::vector<PendingError> found;
   const auto record = [&](const EnumKey& key, std::size_t index) {
     if (auto detail = check_concrete_invariants(p, key);
-        detail.has_value() && result.errors.size() < options.max_errors) {
-      result.errors.push_back(
-          ConcreteError{key, std::move(*detail), render_path(index)});
+        detail.has_value()) {
+      found.push_back(PendingError{index, std::move(*detail)});
     }
   };
 
@@ -194,8 +222,9 @@ EnumerationResult run_with_paths(const Protocol& p,
   parents.push_back(Parent{});
   record(initial, 0);
 
+  std::size_t max_depth = 0;
   for (std::size_t next = 0; next < order.size(); ++next) {
-    ++result.levels;  // approximation: levels == expansions here
+    ++result.expansions;
     const EnumKey current = order[next];
     for (LabeledSuccessor& succ :
          concrete_successors_labeled(p, current, options.equivalence)) {
@@ -203,17 +232,43 @@ EnumerationResult run_with_paths(const Protocol& p,
       const auto [it, inserted] =
           index_of.emplace(succ.key, order.size());
       if (!inserted) continue;
+      const std::size_t depth = parents[next].depth + 1;
+      max_depth = std::max(max_depth, depth);
       order.push_back(succ.key);
-      parents.push_back(Parent{static_cast<std::int64_t>(next), succ.action});
+      parents.push_back(
+          Parent{static_cast<std::int64_t>(next), succ.action, depth});
       record(succ.key, order.size() - 1);
       if (order.size() > options.max_states) {
-        throw ModelError("enumeration exceeded max_states");
+        throw ModelError("enumeration exceeded max_states (" +
+                         std::to_string(options.max_states) + ")");
       }
     }
   }
 
   result.states = order.size();
-  if (options.keep_states) result.reachable = order;
+  result.levels = max_depth + 1;
+
+  std::vector<ConcreteError> errors;
+  errors.reserve(found.size());
+  for (PendingError& e : found) {
+    errors.push_back(
+        ConcreteError{order[e.index], std::move(e.detail), {}});
+  }
+  finalize_errors(errors, options.max_errors, result);
+  for (ConcreteError& e : result.errors) {
+    e.path = render_path(index_of.at(e.state));
+  }
+
+  if (options.keep_states) {
+    result.reachable = order;
+    std::sort(result.reachable.begin(), result.reachable.end(), key_less);
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->counter_add("enum.states", result.states);
+    options.metrics->counter_add("enum.visits", result.visits);
+    options.metrics->counter_add("enum.levels", result.levels);
+    options.metrics->counter_add("enum.expansions", result.expansions);
+  }
   return result;
 }
 
@@ -223,6 +278,7 @@ EnumerationResult Enumerator::run() const {
   const Protocol& p = *protocol_;
   if (options_.track_paths) return run_with_paths(p, options_);
   constexpr std::size_t kShards = 64;
+  MetricsRegistry* const metrics = options_.metrics;
 
   struct Shard {
     std::mutex mutex;
@@ -230,22 +286,16 @@ EnumerationResult Enumerator::run() const {
   };
   std::vector<Shard> shards(kShards);
 
-  const auto try_insert = [&shards](const EnumKey& key) {
-    Shard& shard = shards[key.hash() % kShards];
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    return shard.seen.insert(key).second;
-  };
-
   EnumerationResult result;
-  std::mutex error_mutex;
+  std::vector<ConcreteError> found;  // all erroneous states; sorted later
 
   const EnumKey initial =
       project(p, ConcreteBlock::initial(p, options_.n_caches),
               options_.equivalence);
-  try_insert(initial);
+  shards[initial.hash() % kShards].seen.insert(initial);
   if (auto detail = check_concrete_invariants(p, initial);
       detail.has_value()) {
-    result.errors.push_back(ConcreteError{initial, *detail, {}});
+    found.push_back(ConcreteError{initial, std::move(*detail), {}});
   }
 
   std::vector<EnumKey> frontier{initial};
@@ -255,86 +305,174 @@ EnumerationResult Enumerator::run() const {
   ThreadPool pool(options_.threads);
   const std::size_t workers = pool.thread_count();
 
-  while (!frontier.empty()) {
-    ++result.levels;
-    std::vector<std::vector<EnumKey>> next_per_worker(workers);
+  // Visited-set inserts are batched per shard: one lock round-trip covers
+  // dozens of keys, which is what lets the frontier sweep scale past the
+  // lock bandwidth of a key-at-a-time protocol. With a small max_states the
+  // batch shrinks so the in-level bound check (one per flush) cannot
+  // overrun the cap by more than ~one batch per worker.
+  const std::size_t flush_at = std::clamp<std::size_t>(
+      options_.max_states / (4 * workers), 1, 64);
 
-    pool.parallel_for(
-        0, frontier.size(),
-        [&](std::size_t begin, std::size_t end, std::size_t worker) {
-          std::vector<EnumKey>& local_next = next_per_worker[worker];
-          std::size_t local_visits = 0;
+  struct WorkerState {
+    std::vector<EnumKey> next;
+    std::vector<ConcreteError> errors;
+    std::array<std::vector<EnumKey>, kShards> pending;
+    std::vector<EnumKey> fresh;
+    std::size_t visits = 0;
+    std::size_t flushes = 0;
+    std::uint64_t lock_wait_ns = 0;
+    std::uint64_t busy_ns = 0;
+  };
 
-          // Visited-set inserts are batched per shard: one lock round-trip
-          // covers dozens of keys, which is what lets the frontier sweep
-          // scale past the lock bandwidth of a key-at-a-time protocol.
-          constexpr std::size_t kFlushAt = 64;
-          std::array<std::vector<EnumKey>, kShards> pending;
-          std::vector<EnumKey> fresh;
+  const auto over_cap = [this] {
+    return ModelError("enumeration exceeded max_states (" +
+                      std::to_string(options_.max_states) + ")");
+  };
 
-          const auto flush = [&](std::size_t shard_index) {
-            std::vector<EnumKey>& batch = pending[shard_index];
-            if (batch.empty()) return;
-            fresh.clear();
-            {
-              Shard& shard = shards[shard_index];
-              const std::lock_guard<std::mutex> lock(shard.mutex);
-              for (EnumKey& key : batch) {
-                if (shard.seen.insert(key).second) {
-                  fresh.push_back(std::move(key));
+  const auto flush = [&](WorkerState& ws, std::size_t shard_index) {
+    std::vector<EnumKey>& batch = ws.pending[shard_index];
+    if (batch.empty()) return;
+    ++ws.flushes;
+    ws.fresh.clear();
+    {
+      Shard& shard = shards[shard_index];
+      if (metrics != nullptr) {
+        const std::uint64_t t0 = metrics_now_ns();
+        shard.mutex.lock();
+        ws.lock_wait_ns += metrics_now_ns() - t0;
+      } else {
+        shard.mutex.lock();
+      }
+      const std::lock_guard<std::mutex> lock(shard.mutex, std::adopt_lock);
+      for (EnumKey& key : batch) {
+        if (shard.seen.insert(key).second) {
+          ws.fresh.push_back(std::move(key));
+        }
+      }
+    }
+    batch.clear();
+    if (ws.fresh.empty()) return;
+    // In-level memory bound: account for the admitted batch immediately,
+    // not at the level barrier, so one wide frontier cannot blow past the
+    // cap by orders of magnitude before anyone notices.
+    const std::size_t admitted =
+        total_states.fetch_add(ws.fresh.size(), std::memory_order_relaxed) +
+        ws.fresh.size();
+    if (admitted > options_.max_states) throw over_cap();
+    for (EnumKey& key : ws.fresh) {
+      if (auto detail = check_concrete_invariants(p, key);
+          detail.has_value()) {
+        ws.errors.push_back(ConcreteError{key, std::move(*detail), {}});
+      }
+      ws.next.push_back(std::move(key));
+    }
+  };
+
+  std::uint64_t level_wall_ns = 0;
+  std::uint64_t lock_wait_total_ns = 0;
+  std::uint64_t busy_total_ns = 0;
+  std::size_t flushes_total = 0;
+  std::size_t frontier_peak = 1;
+  std::size_t grain_used = 1;
+
+  const auto publish_metrics = [&] {
+    if (metrics == nullptr) return;
+    metrics->counter_add("enum.states", total_states.load());
+    metrics->counter_add("enum.visits", total_visits.load());
+    metrics->counter_add("enum.levels", result.levels);
+    metrics->counter_add("enum.expansions", result.expansions);
+    metrics->timer_add("enum.lock_wait", lock_wait_total_ns, flushes_total);
+    metrics->timer_add("enum.worker_busy", busy_total_ns,
+                       result.levels * workers);
+    metrics->gauge_set("enum.frontier_peak",
+                       static_cast<double>(frontier_peak));
+    metrics->gauge_set("enum.grain", static_cast<double>(grain_used));
+    metrics->gauge_set("enum.threads", static_cast<double>(workers));
+    if (level_wall_ns > 0) {
+      metrics->gauge_set(
+          "enum.thread_utilization",
+          static_cast<double>(busy_total_ns) /
+              (static_cast<double>(workers) *
+               static_cast<double>(level_wall_ns)));
+    }
+  };
+
+  try {
+    while (!frontier.empty()) {
+      ++result.levels;
+      result.expansions += frontier.size();
+      frontier_peak = std::max(frontier_peak, frontier.size());
+      const std::uint64_t level_t0 =
+          metrics == nullptr ? 0 : metrics_now_ns();
+      std::vector<WorkerState> wstate(workers);
+
+      // Frontier chunks are badly skewed (successor fan-out varies per
+      // state), so hand indices out dynamically in grains instead of one
+      // static split per worker.
+      grain_used = std::clamp<std::size_t>(
+          frontier.size() / (workers * 8), 1, 64);
+      pool.parallel_for_dynamic(
+          0, frontier.size(), grain_used,
+          [&](std::size_t begin, std::size_t end, std::size_t worker) {
+            WorkerState& ws = wstate[worker];
+            const std::uint64_t t0 =
+                metrics == nullptr ? 0 : metrics_now_ns();
+            for (std::size_t idx = begin; idx < end; ++idx) {
+              if (total_states.load(std::memory_order_relaxed) >
+                  options_.max_states) {
+                throw over_cap();  // another worker crossed the bound
+              }
+              for (EnumKey& succ : concrete_successors(
+                       p, frontier[idx], options_.equivalence)) {
+                ++ws.visits;
+                const std::size_t shard_index = succ.hash() % kShards;
+                ws.pending[shard_index].push_back(std::move(succ));
+                if (ws.pending[shard_index].size() >= flush_at) {
+                  flush(ws, shard_index);
                 }
               }
             }
-            batch.clear();
-            for (EnumKey& key : fresh) {
-              if (auto detail = check_concrete_invariants(p, key);
-                  detail.has_value()) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (result.errors.size() < options_.max_errors) {
-                  result.errors.push_back(
-                      ConcreteError{key, std::move(*detail), {}});
-                }
-              }
-              local_next.push_back(std::move(key));
-            }
-          };
+            if (metrics != nullptr) ws.busy_ns += metrics_now_ns() - t0;
+          });
 
-          for (std::size_t idx = begin; idx < end; ++idx) {
-            for (EnumKey& succ :
-                 concrete_successors(p, frontier[idx], options_.equivalence)) {
-              ++local_visits;
-              const std::size_t shard_index = succ.hash() % kShards;
-              pending[shard_index].push_back(std::move(succ));
-              if (pending[shard_index].size() >= kFlushAt) {
-                flush(shard_index);
-              }
-            }
-          }
-          for (std::size_t s = 0; s < kShards; ++s) flush(s);
-          total_visits.fetch_add(local_visits, std::memory_order_relaxed);
-        });
+      // Drain the leftover per-worker batches (each below flush_at).
+      for (WorkerState& ws : wstate) {
+        for (std::size_t s = 0; s < kShards; ++s) flush(ws, s);
+      }
 
-    frontier.clear();
-    for (std::vector<EnumKey>& chunk : next_per_worker) {
-      total_states.fetch_add(chunk.size(), std::memory_order_relaxed);
-      frontier.insert(frontier.end(),
-                      std::make_move_iterator(chunk.begin()),
-                      std::make_move_iterator(chunk.end()));
+      frontier.clear();
+      for (WorkerState& ws : wstate) {
+        total_visits.fetch_add(ws.visits, std::memory_order_relaxed);
+        lock_wait_total_ns += ws.lock_wait_ns;
+        busy_total_ns += ws.busy_ns;
+        flushes_total += ws.flushes;
+        for (ConcreteError& e : ws.errors) found.push_back(std::move(e));
+        frontier.insert(frontier.end(),
+                        std::make_move_iterator(ws.next.begin()),
+                        std::make_move_iterator(ws.next.end()));
+      }
+      if (metrics != nullptr) {
+        const std::uint64_t level_ns = metrics_now_ns() - level_t0;
+        level_wall_ns += level_ns;
+        metrics->timer_add("enum.level_wall", level_ns);
+      }
     }
-    if (total_states.load() > options_.max_states) {
-      throw ModelError("enumeration exceeded max_states (" +
-                       std::to_string(options_.max_states) + ")");
-    }
+  } catch (...) {
+    publish_metrics();  // the admitted-state count at abort is observable
+    throw;
   }
 
   result.states = total_states.load();
   result.visits = total_visits.load();
+  finalize_errors(found, options_.max_errors, result);
   if (options_.keep_states) {
     for (Shard& shard : shards) {
       result.reachable.insert(result.reachable.end(), shard.seen.begin(),
                               shard.seen.end());
     }
+    std::sort(result.reachable.begin(), result.reachable.end(), key_less);
   }
+  publish_metrics();
   return result;
 }
 

@@ -22,6 +22,7 @@
 
 #include "enumeration/enum_state.hpp"
 #include "fsm/protocol.hpp"
+#include "util/metrics.hpp"
 
 namespace ccver {
 
@@ -35,12 +36,18 @@ struct ConcreteError {
 };
 
 /// Result of one enumeration run.
+///
+/// Determinism guarantee: every field except wall-clock metrics is a pure
+/// function of (protocol, Options) -- identical across runs, thread counts
+/// and scheduling. `errors` and `reachable` are sorted by `key_less`.
 struct EnumerationResult {
   std::size_t states = 0;  ///< distinct reachable states (after equivalence)
   std::size_t visits = 0;  ///< successor states generated (incl. duplicates)
-  std::size_t levels = 0;  ///< BFS depth until fixpoint
-  std::vector<ConcreteError> errors;  ///< capped at Options::max_errors
-  std::vector<EnumKey> reachable;     ///< kept when Options::keep_states
+  std::size_t levels = 0;      ///< BFS depth until fixpoint (initial = 1)
+  std::size_t expansions = 0;  ///< states expanded (= states at fixpoint)
+  std::vector<ConcreteError> errors;  ///< sorted; capped at max_errors
+  bool errors_truncated = false;      ///< errors were dropped past the cap
+  std::vector<EnumKey> reachable;     ///< sorted; when Options::keep_states
 };
 
 /// Checks the concrete counterparts of the standard invariants: Definition
@@ -78,13 +85,23 @@ class Enumerator {
     std::size_t n_caches = 4;
     Equivalence equivalence = Equivalence::Counting;
     std::size_t threads = 1;          ///< 0 = hardware concurrency
-    std::size_t max_states = 50'000'000;  ///< safety valve; throws ModelError
+    /// Safety valve, enforced *during* a level: workers stop admitting
+    /// states and throw ModelError as soon as the bound is crossed, so a
+    /// single wide frontier cannot overrun the cap by more than roughly
+    /// one flush batch per worker.
+    std::size_t max_states = 50'000'000;
     std::size_t max_errors = 8;
     bool keep_states = false;         ///< collect the reachable set
     /// Record parent pointers and attach replay paths to errors. Implies
     /// a sequential run (path bookkeeping is not worth parallelizing for
     /// the small state spaces where paths are wanted).
     bool track_paths = false;
+    /// When set, the run records counters (states, visits, ...), per-level
+    /// wall-clock timers, shard lock-wait time and thread utilization.
+    /// Published even when the run throws (e.g. on max_states), so the
+    /// admitted-state count at abort time is observable. Null = no
+    /// instrumentation, no clock reads.
+    MetricsRegistry* metrics = nullptr;
   };
 
   Enumerator(const Protocol& p, Options options);

@@ -137,6 +137,9 @@ void simulate_block(const Protocol& p, std::uint32_t block,
 
 SimResult Machine::run(std::span<const TraceEvent> trace) const {
   const Protocol& p = *protocol_;
+  MetricsRegistry* const metrics = options_.metrics;
+  const ScopedTimer wall(metrics, "sim.wall");
+  const std::uint64_t run_t0 = metrics == nullptr ? 0 : metrics_now_ns();
 
   // Partition the trace by block (order within a block is preserved).
   std::uint32_t max_block = 0;
@@ -146,17 +149,51 @@ SimResult Machine::run(std::span<const TraceEvent> trace) const {
 
   std::vector<BlockOutcome> outcomes(per_block.size());
   ThreadPool pool(options_.threads);
+  const std::size_t workers = pool.thread_count();
+  // Per-worker sinks: samples accumulate lock-free during the sweep and
+  // reach the shared registry at one merge point per worker, below.
+  std::vector<LocalMetrics> locals(workers);
+  std::vector<std::uint64_t> busy_ns(workers, 0);
   // Dynamic scheduling: under hot-set workloads a few blocks absorb most
   // of the trace, so static contiguous chunking would idle most workers.
   pool.parallel_for_dynamic(
       0, per_block.size(), /*grain=*/1,
-      [&](std::size_t begin, std::size_t end, std::size_t) {
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
         for (std::size_t b = begin; b < end; ++b) {
           if (per_block[b].empty()) continue;
+          const std::uint64_t t0 =
+              metrics == nullptr ? 0 : metrics_now_ns();
           simulate_block(p, static_cast<std::uint32_t>(b),
                          per_block[b], options_, outcomes[b]);
+          if (metrics != nullptr) {
+            const std::uint64_t dt = metrics_now_ns() - t0;
+            locals[worker].timer_add("sim.block", dt);
+            locals[worker].counter_add("sim.events",
+                                       per_block[b].size());
+            busy_ns[worker] += dt;
+          }
         }
       });
+  if (metrics != nullptr) {
+    std::uint64_t busy_total = 0;
+    std::size_t active_blocks = 0;
+    for (const std::vector<TraceEvent>& b : per_block) {
+      if (!b.empty()) ++active_blocks;
+    }
+    for (std::size_t w = 0; w < workers; ++w) {
+      metrics->merge(locals[w]);
+      busy_total += busy_ns[w];
+    }
+    metrics->counter_add("sim.blocks", active_blocks);
+    metrics->gauge_set("sim.threads", static_cast<double>(workers));
+    const std::uint64_t sweep_ns = metrics_now_ns() - run_t0;
+    if (sweep_ns > 0) {
+      metrics->gauge_set("sim.thread_utilization",
+                         static_cast<double>(busy_total) /
+                             (static_cast<double>(workers) *
+                              static_cast<double>(sweep_ns)));
+    }
+  }
 
   SimResult result;
   std::unordered_set<EnumKey, EnumKey::Hasher> merged_states;

@@ -24,6 +24,7 @@
 #include "fsm/concrete.hpp"
 #include "sim/bus_model.hpp"
 #include "sim/trace.hpp"
+#include "util/metrics.hpp"
 
 namespace ccver {
 
@@ -72,6 +73,10 @@ class Machine {
     std::size_t max_errors = 8;
     bool collect_states = false;  ///< record distinct abstract states
     BusCostModel cost_model = BusCostModel::archibald_baer();
+    /// When set, the run records `sim.*` counters, per-block phase timers
+    /// (accumulated thread-locally, merged once per worker) and thread
+    /// utilization. Null = no instrumentation, no clock reads.
+    MetricsRegistry* metrics = nullptr;
   };
 
   Machine(const Protocol& p, Options options);

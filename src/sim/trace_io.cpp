@@ -42,6 +42,19 @@ TraceFile load_trace_file(const std::filesystem::path& path) {
   std::string line;
   std::size_t line_no = 0;
 
+  // Numeric field with the failing line in the message (parse_unsigned
+  // alone reports the text but not where it came from).
+  const auto parse_field = [&fail, &line_no](std::string_view text,
+                                             const char* what) {
+    try {
+      return parse_unsigned(text);
+    } catch (const SpecError&) {
+      fail(line_no, "invalid " + std::string(what) + " '" +
+                        std::string(text) + "'");
+    }
+    return 0ul;  // unreachable; fail throws
+  };
+
   // Header.
   while (std::getline(in, line)) {
     ++line_no;
@@ -57,8 +70,13 @@ TraceFile load_trace_file(const std::filesystem::path& path) {
         !starts_with(cpus, "cpus=") || !starts_with(blocks, "blocks=")) {
       fail(line_no, "expected header 'ccver-trace v1 cpus=N blocks=N'");
     }
-    trace.n_cpus = parse_unsigned(std::string_view(cpus).substr(5));
-    trace.n_blocks = parse_unsigned(std::string_view(blocks).substr(7));
+    std::string extra;
+    if (header >> extra) {
+      fail(line_no, "trailing header content '" + extra + "'");
+    }
+    trace.n_cpus = parse_field(std::string_view(cpus).substr(5), "cpus");
+    trace.n_blocks =
+        parse_field(std::string_view(blocks).substr(7), "blocks");
     if (trace.n_cpus == 0 || trace.n_blocks == 0) {
       fail(line_no, "cpus and blocks must be positive");
     }
@@ -91,8 +109,8 @@ TraceFile load_trace_file(const std::filesystem::path& path) {
     } else {
       fail(line_no, "unknown operation '" + op + "'");
     }
-    event.cpu = static_cast<std::uint32_t>(parse_unsigned(cpu));
-    event.block = static_cast<std::uint32_t>(parse_unsigned(block));
+    event.cpu = static_cast<std::uint32_t>(parse_field(cpu, "cpu"));
+    event.block = static_cast<std::uint32_t>(parse_field(block, "block"));
     if (event.cpu >= trace.n_cpus) fail(line_no, "cpu index out of range");
     if (event.block >= trace.n_blocks) {
       fail(line_no, "block index out of range");

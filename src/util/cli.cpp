@@ -1,0 +1,65 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace ccver {
+
+std::size_t CliArgs::get_number(const std::string& flag,
+                                std::size_t fallback) const {
+  const auto it = flags.find(flag);
+  if (it == flags.end()) return fallback;
+  try {
+    return parse_unsigned(it->second);
+  } catch (const SpecError&) {
+    throw SpecError("flag " + flag + " expects a number, got '" +
+                    it->second + "'");
+  }
+}
+
+const std::string& CliArgs::positional_at(std::size_t index,
+                                          std::string_view what) const {
+  if (index >= positional.size()) {
+    throw SpecError("missing required <" + std::string(what) + "> argument");
+  }
+  return positional[index];
+}
+
+CliArgs parse_cli_args(const std::vector<std::string>& tokens,
+                       const std::vector<std::string>& boolean_flags) {
+  CliArgs args;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (!starts_with(token, "--")) {
+      args.positional.push_back(token);
+      continue;
+    }
+    const bool boolean =
+        std::find(boolean_flags.begin(), boolean_flags.end(), token) !=
+        boolean_flags.end();
+    if (boolean) {
+      args.flags[token] = "1";
+    } else {
+      if (i + 1 >= tokens.size()) {
+        std::string message = "flag ";  // two-step append sidesteps a
+        message += token;               // GCC-12 -Wrestrict false positive
+        message += " needs a value";
+        throw SpecError(message);
+      }
+      args.flags[token] = tokens[++i];
+    }
+  }
+  return args;
+}
+
+CliArgs parse_cli_args(int argc, const char* const* argv, int first,
+                       const std::vector<std::string>& boolean_flags) {
+  std::vector<std::string> tokens;
+  tokens.reserve(argc > first ? static_cast<std::size_t>(argc - first) : 0);
+  for (int i = first; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse_cli_args(tokens, boolean_flags);
+}
+
+}  // namespace ccver

@@ -1,0 +1,57 @@
+#pragma once
+/// \file cli.hpp
+/// Command-line argument parsing shared by the `ccverify` front end and
+/// testable in isolation: `--flag value` options, boolean flags that take
+/// no value, and positional arguments.
+///
+/// Every failure mode throws `SpecError` with a message naming the flag or
+/// argument, so front ends can print it verbatim instead of collapsing
+/// parse problems into a generic usage string.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccver {
+
+/// Parsed `--flag value` options plus positional arguments.
+struct CliArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] bool has(const std::string& flag) const {
+    return flags.contains(flag);
+  }
+
+  [[nodiscard]] std::string get(const std::string& flag,
+                                const std::string& fallback) const {
+    const auto it = flags.find(flag);
+    return it == flags.end() ? fallback : it->second;
+  }
+
+  /// Numeric flag lookup; throws SpecError (naming the flag) on non-numeric
+  /// input.
+  [[nodiscard]] std::size_t get_number(const std::string& flag,
+                                       std::size_t fallback) const;
+
+  /// Checked positional access: throws SpecError naming the missing
+  /// argument instead of std::out_of_range.
+  [[nodiscard]] const std::string& positional_at(std::size_t index,
+                                                 std::string_view what) const;
+};
+
+/// Parses `tokens` into flags and positionals. Flags listed in
+/// `boolean_flags` take no value; every other `--flag` consumes the next
+/// token and throws SpecError when none is left (including when the missing
+/// value is because a boolean flag was given where a value was expected).
+[[nodiscard]] CliArgs parse_cli_args(
+    const std::vector<std::string>& tokens,
+    const std::vector<std::string>& boolean_flags);
+
+/// argv convenience wrapper: parses `argv[first..argc)`.
+[[nodiscard]] CliArgs parse_cli_args(
+    int argc, const char* const* argv, int first,
+    const std::vector<std::string>& boolean_flags);
+
+}  // namespace ccver

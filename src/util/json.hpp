@@ -18,6 +18,8 @@
 /// The writer tracks nesting and comma placement; mismatched begin/end
 /// pairs raise InternalError at the offending call, not at serialization.
 
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -91,6 +93,19 @@ class JsonWriter {
   JsonWriter& value(std::uint64_t v) {
     begin_value();
     out_ << v;
+    return *this;
+  }
+  /// Finite doubles only (gauges, ratios); non-finite values have no JSON
+  /// representation and are emitted as null.
+  JsonWriter& value(double v) {
+    begin_value();
+    if (std::isfinite(v)) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.6g", v);
+      out_ << buffer;
+    } else {
+      out_ << "null";
+    }
     return *this;
   }
 

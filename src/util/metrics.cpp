@@ -1,0 +1,117 @@
+#include "util/metrics.hpp"
+
+#include <cstdio>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace ccver {
+
+void MetricsRegistry::counter_add(std::string_view name,
+                                  std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.gauges[std::string(name)] = value;
+}
+
+void MetricsRegistry::timer_add(std::string_view name, std::uint64_t ns,
+                                std::uint64_t count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.timers[std::string(name)].add(ns, count);
+}
+
+void MetricsRegistry::merge(const LocalMetrics& local) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, delta] : local.counters_) {
+    data_.counters[name] += delta;
+  }
+  for (const auto& [name, stat] : local.timers_) {
+    data_.timers[name] += stat;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_ = MetricsSnapshot{};
+}
+
+void metrics_to_json(JsonWriter& json, const MetricsSnapshot& snapshot) {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.key(name).value(value);
+  }
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.key(name).value(value);
+  }
+  json.end_object();
+  json.key("timers").begin_object();
+  for (const auto& [name, stat] : snapshot.timers) {
+    json.key(name).begin_object();
+    json.key("count").value(stat.count);
+    json.key("total_ns").value(stat.total_ns);
+    json.key("mean_ns").value(stat.mean_ns());
+    json.key("max_ns").value(stat.max_ns);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+namespace {
+
+/// Human scale for nanosecond durations: "412ns", "3.1us", "12.4ms", "1.2s".
+std::string format_ns(std::uint64_t ns) {
+  char buffer[32];
+  if (ns < 1'000) {
+    std::snprintf(buffer, sizeof buffer, "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buffer, sizeof buffer, "%.1fus",
+                  static_cast<double>(ns) / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buffer, sizeof buffer, "%.1fms",
+                  static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.2fs",
+                  static_cast<double>(ns) / 1e9);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string metrics_to_table(const MetricsSnapshot& snapshot) {
+  TextTable table({"metric", "kind", "value"});
+  for (const auto& [name, value] : snapshot.counters) {
+    table.add_row({name, "counter", std::to_string(value)});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+    table.add_row({name, "gauge", buffer});
+  }
+  for (const auto& [name, stat] : snapshot.timers) {
+    table.add_row({name, "timer",
+                   "count=" + std::to_string(stat.count) +
+                       " total=" + format_ns(stat.total_ns) +
+                       " mean=" + format_ns(stat.mean_ns()) +
+                       " max=" + format_ns(stat.max_ns)});
+  }
+  std::ostringstream os;
+  table.render(os);
+  return std::move(os).str();
+}
+
+}  // namespace ccver

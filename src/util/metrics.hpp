@@ -1,0 +1,148 @@
+#pragma once
+/// \file metrics.hpp
+/// Engine-wide metrics and observability: a lightweight registry of named
+/// counters, gauges and phase timers.
+///
+/// The parallel consumers in this repository (frontier expansion in the
+/// concrete enumerator, per-block simulation) are bulk-synchronous, so the
+/// metrics layer mirrors that shape: workers accumulate into a lock-free
+/// `LocalMetrics` sink and hand it to `MetricsRegistry::merge` at a single
+/// merge point (the end of a bulk region). Callers that are already
+/// single-threaded may record straight into the registry.
+///
+/// Metric names are dotted strings (`enum.lock_wait`, `sim.block`); the
+/// snapshot keeps them in ordered maps so any rendering of a snapshot is
+/// deterministic. Wall-clock samples come from `std::chrono::steady_clock`.
+/// All recording paths are optional: engine entry points take a
+/// `MetricsRegistry*` and skip every clock read when it is null, so the
+/// un-instrumented hot paths stay exactly as fast as before.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ccver {
+
+class JsonWriter;
+
+/// Current steady-clock time in nanoseconds (monotonic, for durations).
+[[nodiscard]] inline std::uint64_t metrics_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Accumulated samples of one named phase timer.
+struct TimerStat {
+  std::uint64_t count = 0;     ///< number of recorded phases
+  std::uint64_t total_ns = 0;  ///< summed wall-clock time
+  std::uint64_t max_ns = 0;    ///< longest single phase
+
+  void add(std::uint64_t ns, std::uint64_t n = 1) noexcept {
+    count += n;
+    total_ns += ns;
+    if (ns > max_ns) max_ns = ns;
+  }
+
+  TimerStat& operator+=(const TimerStat& other) noexcept {
+    count += other.count;
+    total_ns += other.total_ns;
+    if (other.max_ns > max_ns) max_ns = other.max_ns;
+    return *this;
+  }
+
+  /// Mean phase duration; 0 when nothing was recorded.
+  [[nodiscard]] std::uint64_t mean_ns() const noexcept {
+    return count == 0 ? 0 : total_ns / count;
+  }
+};
+
+/// Point-in-time copy of a registry's contents. Ordered maps: iterating a
+/// snapshot (tables, JSON) always yields the same name order.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStat> timers;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && timers.empty();
+  }
+};
+
+/// Lock-free per-thread sink. A worker accumulates here during a bulk
+/// region and the owner merges the sink into the shared registry once.
+class LocalMetrics {
+ public:
+  void counter_add(std::string_view name, std::uint64_t delta) {
+    counters_[std::string(name)] += delta;
+  }
+
+  void timer_add(std::string_view name, std::uint64_t ns,
+                 std::uint64_t count = 1) {
+    timers_[std::string(name)].add(ns, count);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, TimerStat> timers_;
+};
+
+/// Shared, mutex-protected registry. Cheap enough for per-phase recording
+/// (per BFS level, per merge); workers on hot paths should batch through
+/// `LocalMetrics` instead of taking this lock per sample.
+class MetricsRegistry {
+ public:
+  void counter_add(std::string_view name, std::uint64_t delta);
+  void gauge_set(std::string_view name, double value);
+  void timer_add(std::string_view name, std::uint64_t ns,
+                 std::uint64_t count = 1);
+
+  /// The single merge point for a worker's thread-local sink.
+  void merge(const LocalMetrics& local);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot data_;
+};
+
+/// RAII phase timer: records the elapsed wall-clock time into a registry
+/// timer on destruction. A null registry disarms it (no clock reads).
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string_view name)
+      : registry_(registry),
+        name_(name),
+        start_ns_(registry == nullptr ? 0 : metrics_now_ns()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (registry_ != nullptr) {
+      registry_->timer_add(name_, metrics_now_ns() - start_ns_);
+    }
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::uint64_t start_ns_;
+};
+
+/// Writes a snapshot as one JSON object value: `{"counters": {...},
+/// "gauges": {...}, "timers": {"name": {"count": ..., ...}}}`. The caller
+/// positions the writer (e.g. after `json.key("metrics")`).
+void metrics_to_json(JsonWriter& json, const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as an aligned text table for terminal output.
+[[nodiscard]] std::string metrics_to_table(const MetricsSnapshot& snapshot);
+
+}  // namespace ccver

@@ -1,0 +1,106 @@
+/// \file test_cli_args.cpp
+/// The shared command-line parser: flag/value pairing, boolean flags,
+/// checked positional access, and the error messages the `ccverify`
+/// front end prints verbatim.
+
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ccver {
+namespace {
+
+const std::vector<std::string> kBooleans = {"--strict", "--json", "--stats"};
+
+CliArgs parse(std::initializer_list<const char*> tokens) {
+  return parse_cli_args(std::vector<std::string>(tokens.begin(), tokens.end()),
+                        kBooleans);
+}
+
+TEST(CliArgs, SeparatesPositionalsAndFlags) {
+  const CliArgs args =
+      parse({"illinois", "--caches", "4", "--strict", "extra"});
+  ASSERT_EQ(args.positional.size(), 2u);
+  EXPECT_EQ(args.positional[0], "illinois");
+  EXPECT_EQ(args.positional[1], "extra");
+  EXPECT_EQ(args.get("--caches", ""), "4");
+  EXPECT_TRUE(args.has("--strict"));
+  EXPECT_FALSE(args.has("--json"));
+}
+
+TEST(CliArgs, BooleanFlagConsumesNoValue) {
+  // `--strict` must not swallow `illinois` as its value.
+  const CliArgs args = parse({"--strict", "illinois"});
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "illinois");
+  EXPECT_EQ(args.get("--strict", "sentinel"), "1");
+}
+
+TEST(CliArgs, ValueFlagAtEndOfArgvThrows) {
+  EXPECT_THROW(parse({"illinois", "--caches"}), SpecError);
+  try {
+    parse({"illinois", "--caches"});
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("--caches"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, BooleanThenValueFlagAtEndOfArgv) {
+  // Regression for the exact shape `enumerate foo --strict --caches`:
+  // the boolean parses, the dangling value flag is the reported error.
+  try {
+    parse({"foo", "--strict", "--caches"});
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("--caches"), std::string::npos);
+  }
+  // And the reverse order pairs `--caches --strict` as flag + value --
+  // documented behavior: value flags greedily take the next token.
+  const CliArgs args = parse({"foo", "--caches", "--strict"});
+  EXPECT_EQ(args.get("--caches", ""), "--strict");
+  EXPECT_FALSE(args.has("--strict"));
+}
+
+TEST(CliArgs, PositionalAtReportsWhatIsMissing) {
+  const CliArgs args = parse({"illinois"});
+  EXPECT_EQ(args.positional_at(0, "protocol"), "illinois");
+  try {
+    (void)args.positional_at(1, "protocol b");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("protocol b"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, GetNumberParsesAndReportsBadInput) {
+  const CliArgs args = parse({"--caches", "12", "--seed", "banana"});
+  EXPECT_EQ(args.get_number("--caches", 4), 12u);
+  EXPECT_EQ(args.get_number("--threads", 4), 4u);  // fallback
+  try {
+    (void)args.get_number("--seed", 1);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--seed"), std::string::npos);
+    EXPECT_NE(what.find("banana"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, RepeatedFlagKeepsLastValue) {
+  const CliArgs args = parse({"--caches", "2", "--caches", "8"});
+  EXPECT_EQ(args.get_number("--caches", 0), 8u);
+}
+
+TEST(CliArgs, ArgvWrapperSkipsCommandPrefix) {
+  const char* argv[] = {"ccverify", "enumerate", "illinois", "--json"};
+  const CliArgs args = parse_cli_args(4, argv, 2, kBooleans);
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "illinois");
+  EXPECT_TRUE(args.has("--json"));
+}
+
+}  // namespace
+}  // namespace ccver

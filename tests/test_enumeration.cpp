@@ -117,5 +117,121 @@ TEST(Enumeration, BuggyVariantCaughtConcretely) {
   EXPECT_FALSE(r.errors.empty());
 }
 
+TEST(Enumeration, ParallelResultsAreDeterministic) {
+  // Not just the counts: the error list and the reachable set must come
+  // back in the same (canonical) order on every run and at every thread
+  // count, so `--json` output is byte-stable.
+  const Protocol p = protocols::illinois_no_invalidate_on_write_hit();
+  Enumerator::Options opt;
+  opt.n_caches = 3;
+  opt.threads = 8;
+  opt.keep_states = true;
+  opt.max_errors = 1'000'000;  // don't let truncation mask order issues
+  const EnumerationResult first = Enumerator(p, opt).run();
+  const EnumerationResult second = Enumerator(p, opt).run();
+
+  Enumerator::Options seq = opt;
+  seq.threads = 1;
+  const EnumerationResult sequential = Enumerator(p, seq).run();
+
+  ASSERT_FALSE(first.errors.empty());
+  for (const EnumerationResult* other : {&second, &sequential}) {
+    ASSERT_EQ(first.errors.size(), other->errors.size());
+    for (std::size_t i = 0; i < first.errors.size(); ++i) {
+      EXPECT_EQ(first.errors[i].detail, other->errors[i].detail);
+      EXPECT_TRUE(first.errors[i].state == other->errors[i].state);
+    }
+    ASSERT_EQ(first.reachable.size(), other->reachable.size());
+    for (std::size_t i = 0; i < first.reachable.size(); ++i) {
+      EXPECT_TRUE(first.reachable[i] == other->reachable[i]);
+    }
+    EXPECT_EQ(first.levels, other->levels);
+    EXPECT_EQ(first.expansions, other->expansions);
+  }
+  // The reachable set arrives sorted by the documented canonical order.
+  for (std::size_t i = 1; i < first.reachable.size(); ++i) {
+    EXPECT_TRUE(key_less(first.reachable[i - 1], first.reachable[i]));
+  }
+}
+
+TEST(Enumeration, ErrorsTruncatedFlagReflectsMaxErrors) {
+  const Protocol p = protocols::illinois_no_invalidate_on_write_hit();
+  Enumerator::Options all;
+  all.n_caches = 3;
+  all.max_errors = 1'000'000;
+  const EnumerationResult everything = Enumerator(p, all).run();
+  ASSERT_GT(everything.errors.size(), 1u);
+  EXPECT_FALSE(everything.errors_truncated);
+
+  Enumerator::Options capped = all;
+  capped.max_errors = 1;
+  const EnumerationResult truncated = Enumerator(p, capped).run();
+  EXPECT_EQ(truncated.errors.size(), 1u);
+  EXPECT_TRUE(truncated.errors_truncated);
+  // Truncation keeps the canonically-first errors, so the capped list is
+  // a prefix of the full one.
+  EXPECT_EQ(truncated.errors.front().detail, everything.errors.front().detail);
+  EXPECT_TRUE(truncated.errors.front().state ==
+              everything.errors.front().state);
+}
+
+TEST(Enumeration, MaxStatesEnforcedDuringALevel) {
+  // Regression: the cap used to be checked only between BFS levels, so a
+  // wide level could allocate far past it. With in-level enforcement the
+  // admitted-state count observed at the throw stays within ~2x the cap.
+  const Protocol p = protocols::moesi_split();
+  MetricsRegistry metrics;
+  Enumerator::Options opt;
+  opt.n_caches = 5;
+  opt.threads = 8;
+  opt.equivalence = Equivalence::Strict;  // 5655 states, far over the cap
+  opt.max_states = 100;
+  opt.metrics = &metrics;
+  EXPECT_THROW((void)Enumerator(p, opt).run(), ModelError);
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  const auto it = snapshot.counters.find("enum.states");
+  ASSERT_NE(it, snapshot.counters.end());
+  EXPECT_GT(it->second, 0u);
+  EXPECT_LE(it->second, 2 * opt.max_states);
+}
+
+TEST(Enumeration, LevelsAndExpansionsAgreeAcrossModes) {
+  const Protocol p = protocols::illinois();
+  Enumerator::Options fast;
+  fast.n_caches = 3;
+  fast.threads = 4;
+  Enumerator::Options paths = fast;
+  paths.threads = 1;
+  paths.track_paths = true;
+  const EnumerationResult a = Enumerator(p, fast).run();
+  const EnumerationResult b = Enumerator(p, paths).run();
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_EQ(a.expansions, b.expansions);
+  EXPECT_EQ(a.expansions, a.states);
+  EXPECT_GE(a.levels, 2u);
+}
+
+TEST(Enumeration, MetricsReportLevelTimingsAndUtilization) {
+  const Protocol p = protocols::dragon();
+  MetricsRegistry metrics;
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.threads = 4;
+  opt.metrics = &metrics;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  const MetricsSnapshot snapshot = metrics.snapshot();
+
+  ASSERT_TRUE(snapshot.timers.contains("enum.level_wall"));
+  EXPECT_EQ(snapshot.timers.at("enum.level_wall").count, r.levels);
+  ASSERT_TRUE(snapshot.timers.contains("enum.lock_wait"));
+  ASSERT_TRUE(snapshot.counters.contains("enum.states"));
+  EXPECT_EQ(snapshot.counters.at("enum.states"), r.states);
+  EXPECT_EQ(snapshot.counters.at("enum.visits"), r.visits);
+  ASSERT_TRUE(snapshot.gauges.contains("enum.thread_utilization"));
+  const double util = snapshot.gauges.at("enum.thread_utilization");
+  EXPECT_GT(util, 0.0);
+  EXPECT_LE(util, 1.0 + 1e-9);
+}
+
 }  // namespace
 }  // namespace ccver

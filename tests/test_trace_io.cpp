@@ -88,7 +88,31 @@ TEST_F(TraceIo, RejectsMalformedInput) {
   expect_reject("ccver-trace v1 cpus=2 blocks=4\nR 5 1\n", "cpu range");
   expect_reject("ccver-trace v1 cpus=2 blocks=4\nR 0 9\n", "block range");
   expect_reject("ccver-trace v1 cpus=2 blocks=4\nR 0 1 junk\n", "trailing");
+  expect_reject("ccver-trace v1 cpus=2 blocks=4 junk\n", "trailing header");
+  expect_reject("ccver-trace v1 cpus=two blocks=4\n", "non-numeric cpus");
+  expect_reject("ccver-trace v1 cpus=2 blocks=\n", "empty blocks");
+  expect_reject("ccver-trace v1 cpus=2 blocks=4\nR zero 1\n",
+                "non-numeric cpu");
+  expect_reject("ccver-trace v1 cpus=2 blocks=4\nR 0 1.5\n",
+                "non-numeric block");
+  expect_reject("ccver-trace v1 cpus=2 blocks=4\nR 0\n", "missing field");
   EXPECT_THROW((void)load_trace_file(dir_ / "nonesuch"), SpecError);
+}
+
+TEST_F(TraceIo, MalformedInputErrorsNameTheLine) {
+  const fs::path path = dir_ / "bad.txt";
+  std::ofstream(path) << "# comment\n"
+                         "ccver-trace v1 cpus=2 blocks=4\n"
+                         "R 0 1\n"
+                         "W 1 bogus\n";
+  try {
+    (void)load_trace_file(path);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":4:"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+  }
 }
 
 // ------------------------------------------------------------- bus cycles

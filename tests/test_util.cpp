@@ -12,6 +12,7 @@
 #include "util/dot.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/small_vec.hpp"
 #include "util/string_util.hpp"
@@ -267,6 +268,95 @@ TEST(ThreadPoolTest, SingleThreadRunsInline) {
     sum += e - b;
   });
   EXPECT_EQ(sum, 10u);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, CountersGaugesAndTimersAccumulate) {
+  MetricsRegistry registry;
+  registry.counter_add("visits", 3);
+  registry.counter_add("visits", 4);
+  registry.gauge_set("utilization", 0.25);
+  registry.gauge_set("utilization", 0.5);  // last write wins
+  registry.timer_add("level", 100);
+  registry.timer_add("level", 300);
+
+  const MetricsSnapshot s = registry.snapshot();
+  EXPECT_EQ(s.counters.at("visits"), 7u);
+  EXPECT_EQ(s.gauges.at("utilization"), 0.5);
+  EXPECT_EQ(s.timers.at("level").count, 2u);
+  EXPECT_EQ(s.timers.at("level").total_ns, 400u);
+  EXPECT_EQ(s.timers.at("level").max_ns, 300u);
+  EXPECT_EQ(s.timers.at("level").mean_ns(), 200u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(MetricsSnapshot{}.empty());
+
+  registry.clear();
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(Metrics, LocalSinkMergesIntoRegistry) {
+  MetricsRegistry registry;
+  LocalMetrics local;
+  local.counter_add("events", 5);
+  local.timer_add("block", 42);
+  local.timer_add("block", 8);
+  registry.merge(local);
+  registry.merge(local);  // merging twice doubles everything
+
+  const MetricsSnapshot s = registry.snapshot();
+  EXPECT_EQ(s.counters.at("events"), 10u);
+  EXPECT_EQ(s.timers.at("block").count, 4u);
+  EXPECT_EQ(s.timers.at("block").total_ns, 100u);
+}
+
+TEST(Metrics, ConcurrentWorkersMergeWithoutRaces) {
+  // Exercised under -fsanitize=thread in CI: per-worker LocalMetrics are
+  // lock-free during the sweep, the shared registry takes direct adds from
+  // all workers concurrently.
+  MetricsRegistry registry;
+  ThreadPool pool(8);
+  const std::size_t workers = pool.thread_count();
+  std::vector<LocalMetrics> locals(workers);
+  pool.parallel_for(0, 1'000,
+                    [&](std::size_t b, std::size_t e, std::size_t worker) {
+                      for (std::size_t i = b; i < e; ++i) {
+                        locals[worker].counter_add("local", 1);
+                        registry.counter_add("shared", 1);
+                        registry.timer_add("shared_t", i);
+                      }
+                    });
+  for (LocalMetrics& local : locals) registry.merge(local);
+
+  const MetricsSnapshot s = registry.snapshot();
+  EXPECT_EQ(s.counters.at("local"), 1'000u);
+  EXPECT_EQ(s.counters.at("shared"), 1'000u);
+  EXPECT_EQ(s.timers.at("shared_t").count, 1'000u);
+}
+
+TEST(Metrics, ScopedTimerRecordsOnceAndNullDisarms) {
+  MetricsRegistry registry;
+  {
+    const ScopedTimer timer(&registry, "scope");
+  }
+  EXPECT_EQ(registry.snapshot().timers.at("scope").count, 1u);
+  {
+    const ScopedTimer disarmed(nullptr, "scope");  // must be a no-op
+  }
+  EXPECT_EQ(registry.snapshot().timers.at("scope").count, 1u);
+}
+
+TEST(Metrics, TableRendersEveryKindOnce) {
+  MetricsRegistry registry;
+  registry.counter_add("enum.visits", 68);
+  registry.gauge_set("enum.threads", 4.0);
+  registry.timer_add("enum.level_wall", 1'500'000);
+  const std::string table = metrics_to_table(registry.snapshot());
+  EXPECT_NE(table.find("enum.visits"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("gauge"), std::string::npos);
+  EXPECT_NE(table.find("timer"), std::string::npos);
+  EXPECT_NE(table.find("1.5ms"), std::string::npos);
 }
 
 }  // namespace

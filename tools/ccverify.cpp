@@ -3,11 +3,14 @@
 ///
 ///   ccverify list
 ///   ccverify verify <protocol|file.ccp> [--dot <out.dot>] [--trace]
+///                   [--json] [--stats]
 ///   ccverify describe <protocol|file.ccp>
-///   ccverify enumerate <protocol|file.ccp> [--caches N] [--strict]
-///                      [--threads N]
+///   ccverify enumerate <protocol|file.ccp> [--caches N | --n N] [--strict]
+///                      [--threads N] [--max-states N] [--max-errors N]
+///                      [--paths] [--json] [--stats]
 ///   ccverify simulate <protocol|file.ccp> [--pattern P] [--events N]
 ///                     [--cpus N] [--blocks N] [--capacity N] [--seed S]
+///                     [--stats]
 ///   ccverify compare <a> <b>
 ///   ccverify mutate <protocol|file.ccp>
 ///
@@ -17,7 +20,6 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,9 @@
 #include "sim/machine.hpp"
 #include "sim/trace_io.hpp"
 #include "spec/loader.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -39,57 +44,13 @@ namespace {
 
 using namespace ccver;
 
-/// Parsed `--flag value` options plus positional arguments.
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;
-
-  [[nodiscard]] bool has(const std::string& flag) const {
-    return flags.contains(flag);
-  }
-
-  [[nodiscard]] std::string get(const std::string& flag,
-                                const std::string& fallback) const {
-    const auto it = flags.find(flag);
-    return it == flags.end() ? fallback : it->second;
-  }
-
-  [[nodiscard]] std::size_t get_number(const std::string& flag,
-                                       std::size_t fallback) const {
-    const auto it = flags.find(flag);
-    return it == flags.end() ? fallback : parse_unsigned(it->second);
-  }
-};
+using Args = CliArgs;
 
 Args parse_args(int argc, char** argv, int first) {
   // Boolean flags take no value; everything else consumes the next token.
-  static const std::vector<std::string> kBooleanFlags = {"--trace",
-                                                         "--strict",
-                                                         "--paths",
-                                                         "--json"};
-  Args args;
-  for (int i = first; i < argc; ++i) {
-    const std::string token = argv[i];
-    if (!starts_with(token, "--")) {
-      args.positional.push_back(token);
-      continue;
-    }
-    const bool boolean =
-        std::find(kBooleanFlags.begin(), kBooleanFlags.end(), token) !=
-        kBooleanFlags.end();
-    if (boolean) {
-      args.flags[token] = "1";
-    } else {
-      if (i + 1 >= argc) {
-        std::string message = "flag ";  // two-step append sidesteps a
-        message += token;               // GCC-12 -Wrestrict false positive
-        message += " needs a value";
-        throw SpecError(message);
-      }
-      args.flags[token] = argv[++i];
-    }
-  }
-  return args;
+  static const std::vector<std::string> kBooleanFlags = {
+      "--trace", "--strict", "--paths", "--json", "--stats"};
+  return parse_cli_args(argc, argv, first, kBooleanFlags);
 }
 
 Protocol resolve_protocol(const std::string& name_or_path) {
@@ -97,6 +58,11 @@ Protocol resolve_protocol(const std::string& name_or_path) {
     return load_protocol_file(name_or_path);
   }
   return protocols::by_name(name_or_path);
+}
+
+/// Prints the `--stats` table unless the metrics went into a JSON report.
+void print_stats(const MetricsRegistry& metrics) {
+  std::cout << "\nengine metrics:\n" << metrics_to_table(metrics.snapshot());
 }
 
 int cmd_list() {
@@ -119,14 +85,21 @@ int cmd_list() {
 }
 
 int cmd_verify(const Args& args) {
-  const Protocol p = resolve_protocol(args.positional.at(0));
+  const Protocol p = resolve_protocol(args.positional_at(0, "protocol"));
+  MetricsRegistry metrics;
   Verifier::Options opt;
   opt.record_trace = args.has("--trace");
+  if (args.has("--stats")) opt.metrics = &metrics;
   const Verifier verifier(p, opt);
 
   if (args.has("--json")) {
     const VerificationReport report = verifier.verify();
-    std::cout << report_to_json(report, p) << '\n';
+    if (args.has("--stats")) {
+      const MetricsSnapshot snapshot = metrics.snapshot();
+      std::cout << report_to_json(report, p, &snapshot) << '\n';
+    } else {
+      std::cout << report_to_json(report, p) << '\n';
+    }
     return report.ok ? 0 : 1;
   }
 
@@ -157,31 +130,75 @@ int cmd_verify(const Args& args) {
       std::cout << "\nwrote " << path << '\n';
     }
   }
+  if (args.has("--stats")) print_stats(metrics);
   return report.ok ? 0 : 1;
 }
 
 int cmd_describe(const Args& args) {
-  const Protocol p = resolve_protocol(args.positional.at(0));
+  const Protocol p = resolve_protocol(args.positional_at(0, "protocol"));
   std::cout << p.describe();
   return 0;
 }
 
 int cmd_enumerate(const Args& args) {
-  const Protocol p = resolve_protocol(args.positional.at(0));
+  const Protocol p = resolve_protocol(args.positional_at(0, "protocol"));
+  MetricsRegistry metrics;
   Enumerator::Options opt;
-  opt.n_caches = args.get_number("--caches", 4);
+  opt.n_caches = args.get_number("--n", args.get_number("--caches", 4));
   opt.threads = args.get_number("--threads", 1);
+  opt.max_states = args.get_number("--max-states", opt.max_states);
+  opt.max_errors = args.get_number("--max-errors", opt.max_errors);
   opt.equivalence =
       args.has("--strict") ? Equivalence::Strict : Equivalence::Counting;
   opt.track_paths = args.has("--paths");
+  if (args.has("--stats")) opt.metrics = &metrics;
   const EnumerationResult r = Enumerator(p, opt).run();
+
+  if (args.has("--json")) {
+    // Field order and content are deterministic: errors and reachable
+    // states come back canonically sorted, and wall-clock data only
+    // appears under the opt-in "metrics" key.
+    JsonWriter json;
+    json.begin_object();
+    json.key("protocol").value(p.name());
+    json.key("n_caches").value(static_cast<std::uint64_t>(opt.n_caches));
+    json.key("equivalence")
+        .value(opt.equivalence == Equivalence::Strict ? "strict"
+                                                      : "counting");
+    json.key("states").value(static_cast<std::uint64_t>(r.states));
+    json.key("visits").value(static_cast<std::uint64_t>(r.visits));
+    json.key("levels").value(static_cast<std::uint64_t>(r.levels));
+    json.key("expansions")
+        .value(static_cast<std::uint64_t>(r.expansions));
+    json.key("errors").begin_array();
+    for (const ConcreteError& e : r.errors) {
+      json.begin_object();
+      json.key("detail").value(e.detail);
+      json.key("state").value(to_string(p, e.state));
+      json.key("path").begin_array();
+      for (const std::string& step : e.path) json.value(step);
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.key("errors_truncated").value(r.errors_truncated);
+    if (args.has("--stats")) {
+      json.key("metrics");
+      metrics_to_json(json, metrics.snapshot());
+    }
+    json.end_object();
+    std::cout << std::move(json).str() << '\n';
+    return r.errors.empty() ? 0 : 1;
+  }
+
   std::cout << p.name() << ", n = " << opt.n_caches << " caches, "
             << (opt.equivalence == Equivalence::Strict ? "strict"
                                                        : "counting")
             << " equivalence:\n"
             << "  reachable states: " << r.states << '\n'
             << "  state visits:     " << r.visits << '\n'
-            << "  BFS levels:       " << r.levels << '\n';
+            << "  BFS levels:       " << r.levels << '\n'
+            << "  expansions:       " << r.expansions << '\n';
   for (const ConcreteError& e : r.errors) {
     std::cout << "  ERROR: " << e.detail << " in " << to_string(p, e.state)
               << '\n';
@@ -189,11 +206,15 @@ int cmd_enumerate(const Args& args) {
       std::cout << "    " << step << '\n';
     }
   }
+  if (r.errors_truncated) {
+    std::cout << "  (more errors beyond --max-errors were dropped)\n";
+  }
+  if (args.has("--stats")) print_stats(metrics);
   return r.errors.empty() ? 0 : 1;
 }
 
 int cmd_simulate(const Args& args) {
-  const Protocol p = resolve_protocol(args.positional.at(0));
+  const Protocol p = resolve_protocol(args.positional_at(0, "protocol"));
 
   std::vector<TraceEvent> trace;
   std::size_t n_cpus = args.get_number("--cpus", 8);
@@ -229,9 +250,11 @@ int cmd_simulate(const Args& args) {
     }
   }
 
+  MetricsRegistry metrics;
   Machine::Options mopt;
   mopt.n_cpus = n_cpus;
   mopt.threads = args.get_number("--threads", 1);
+  if (args.has("--stats")) mopt.metrics = &metrics;
   const SimResult r = Machine(p, mopt).run(trace);
 
   TextTable table({"counter", "value"});
@@ -254,12 +277,13 @@ int cmd_simulate(const Args& args) {
     std::cout << "ERROR: block " << e.block << " cpu " << e.cpu << ": "
               << e.detail << '\n';
   }
+  if (args.has("--stats")) print_stats(metrics);
   return r.errors.empty() ? 0 : 1;
 }
 
 int cmd_compare(const Args& args) {
-  const Protocol a = resolve_protocol(args.positional.at(0));
-  const Protocol b = resolve_protocol(args.positional.at(1));
+  const Protocol a = resolve_protocol(args.positional_at(0, "protocol a"));
+  const Protocol b = resolve_protocol(args.positional_at(1, "protocol b"));
   const ProtocolComparison cmp = compare_protocols(a, b);
   if (cmp.isomorphic) {
     std::cout << a.name() << " and " << b.name()
@@ -276,8 +300,8 @@ int cmd_compare(const Args& args) {
 }
 
 int cmd_diff(const Args& args) {
-  const Protocol a = resolve_protocol(args.positional.at(0));
-  const Protocol b = resolve_protocol(args.positional.at(1));
+  const Protocol a = resolve_protocol(args.positional_at(0, "protocol a"));
+  const Protocol b = resolve_protocol(args.positional_at(1, "protocol b"));
   const ProtocolDiff diff = diff_protocols(a, b);
   if (diff.identical()) {
     std::cout << "global state spaces are identical\n";
@@ -299,7 +323,8 @@ int cmd_diff(const Args& args) {
 }
 
 int cmd_random(const Args& args) {
-  const std::uint64_t seed = parse_unsigned(args.positional.at(0));
+  const std::uint64_t seed =
+      parse_unsigned(args.positional_at(0, "seed"));
   const Protocol p = protocols::random_protocol(seed);
   if (args.has("--out")) {
     save_protocol_file(p, args.get("--out", ""));
@@ -316,7 +341,7 @@ int cmd_random(const Args& args) {
 }
 
 int cmd_mutate(const Args& args) {
-  const Protocol p = resolve_protocol(args.positional.at(0));
+  const Protocol p = resolve_protocol(args.positional_at(0, "protocol"));
   std::size_t killed = 0;
   std::size_t survived = 0;
   for (const ProtocolMutant& m : ProtocolMutator::enumerate(p)) {
@@ -342,19 +367,22 @@ int usage() {
   std::cerr <<
       "usage: ccverify <command> [args]\n"
       "  list                                 protocols in the library\n"
-      "  verify <protocol> [--dot F] [--trace] [--json]\n"
+      "  verify <protocol> [--dot F] [--trace] [--json] [--stats]\n"
       "                                       symbolic verification\n"
       "  describe <protocol>                  print the rule table\n"
-      "  enumerate <protocol> [--caches N] [--strict] [--threads N]\n"
-      "            [--paths]\n"
+      "  enumerate <protocol> [--caches N | --n N] [--strict] [--threads N]\n"
+      "            [--max-states N] [--max-errors N] [--paths] [--json]\n"
+      "            [--stats]\n"
       "  simulate <protocol> [--pattern P] [--events N] [--cpus N]\n"
       "           [--blocks N] [--capacity N] [--seed S] [--threads N]\n"
-      "           [--save-trace F | --trace-file F]\n"
+      "           [--save-trace F | --trace-file F] [--stats]\n"
       "  compare <a> <b>                      diagram isomorphism\n"
       "  diff <a> <b>                         state-space difference\n"
       "  mutate <protocol>                    single-rule mutation study\n"
       "  random <seed> [--out F.ccp]          generate a random protocol\n"
-      "<protocol> is a library name or a .ccp file path.\n";
+      "<protocol> is a library name or a .ccp file path.\n"
+      "--stats prints engine metrics (per-level timings, lock wait,\n"
+      "thread utilization); with --json they land under \"metrics\".\n";
   return 2;
 }
 
@@ -363,6 +391,9 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  // Argument-lookup failures (missing positionals, bad flag values) throw
+  // SpecError with a message; only an unknown command falls through to the
+  // usage text, so genuine errors inside commands are never masked.
   try {
     const Args args = parse_args(argc, argv, 2);
     if (command == "list") return cmd_list();
@@ -374,8 +405,6 @@ int main(int argc, char** argv) {
     if (command == "diff") return cmd_diff(args);
     if (command == "mutate") return cmd_mutate(args);
     if (command == "random") return cmd_random(args);
-    return usage();
-  } catch (const std::out_of_range&) {
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,400 @@
+#include "analysis/checks.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <tuple>
+
+#include "core/expansion.hpp"
+
+namespace ccver {
+
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics) {
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.span.line, a.span.column, a.check, a.message) <
+                     std::tie(b.span.line, b.span.column, b.check, b.message);
+            });
+}
+
+const std::vector<CheckInfo>& all_checks() {
+  static const std::vector<CheckInfo> registry = {
+      {"parse-error", Severity::Error, CheckLayer::Structural,
+       "the spec file does not parse, even leniently"},
+      {"duplicate-rule", Severity::Error, CheckLayer::Structural,
+       "the same (state, op, guard) transition is declared twice"},
+      {"rule-overlap", Severity::Error, CheckLayer::Structural,
+       "two rules with different guards cover the same situation"},
+      {"guard-in-null", Severity::Error, CheckLayer::Structural,
+       "a sharing guard in a protocol whose characteristic is null"},
+      {"missing-coverage", Severity::Error, CheckLayer::Structural,
+       "a state has no rule for a processor operation it must handle"},
+      {"unused-op", Severity::Note, CheckLayer::Structural,
+       "a declared operation appears in no rule"},
+      {"owner-evict-no-writeback", Severity::Warning, CheckLayer::DataFlow,
+       "an owner state is evicted without writing the block back"},
+      {"store-no-invalidate", Severity::Warning, CheckLayer::DataFlow,
+       "a store in a non-exclusive state leaves other copies stale"},
+      {"load-prefer-missing-owner", Severity::Warning, CheckLayer::DataFlow,
+       "a 'load prefer' list omits an owner state (memory may be stale)"},
+      {"dead-state", Severity::Warning, CheckLayer::Reachability,
+       "no reachable global state populates the declared state"},
+      {"dead-rule", Severity::Warning, CheckLayer::Reachability,
+       "the rule can never fire from any reachable global state"},
+      {"stuck-transient", Severity::Warning, CheckLayer::Reachability,
+       "a state stalls the processor but has no self-initiated exit"},
+  };
+  return registry;
+}
+
+const CheckInfo* find_check(std::string_view id) {
+  for (const CheckInfo& c : all_checks()) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Shared state of one lint run: the protocol under analysis plus an
+/// `emit` sink that applies the registry severity and the disabled list.
+struct LintContext {
+  const Protocol& p;
+  const LintOptions& options;
+  std::vector<Diagnostic>& out;
+
+  [[nodiscard]] bool enabled(std::string_view id) const {
+    return std::find(options.disabled.begin(), options.disabled.end(), id) ==
+           options.disabled.end();
+  }
+
+  void emit(std::string_view id, SourceSpan span, std::string message,
+            std::string fix_hint) const {
+    const CheckInfo* info = find_check(id);
+    out.push_back(Diagnostic{std::string(id), info->severity, span,
+                             std::move(message), std::move(fix_hint)});
+  }
+
+  [[nodiscard]] std::string rule_label(const Rule& r) const {
+    std::ostringstream os;
+    os << "rule (" << p.state_name(r.from) << ", " << p.op(r.op).name << ", "
+       << to_string(r.guard) << ")";
+    return os.str();
+  }
+};
+
+[[nodiscard]] bool covers(SharingGuard g, bool sharing) {
+  return g == SharingGuard::Any ||
+         (sharing ? g == SharingGuard::Shared : g == SharingGuard::Unshared);
+}
+
+[[nodiscard]] bool guards_overlap(SharingGuard a, SharingGuard b) {
+  return (covers(a, false) && covers(b, false)) ||
+         (covers(a, true) && covers(b, true));
+}
+
+// ------------------------------------------------------- structural layer
+
+void check_duplicate_rule(const LintContext& ctx) {
+  const auto& rules = ctx.p.rules();
+  for (std::size_t j = 1; j < rules.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (rules[i].from == rules[j].from && rules[i].op == rules[j].op &&
+          rules[i].guard == rules[j].guard) {
+        ctx.emit("duplicate-rule", ctx.p.rule_span(j),
+                 ctx.rule_label(rules[j]) + " is declared more than once",
+                 "delete one of the duplicate rules");
+        break;  // one report per offending re-declaration
+      }
+    }
+  }
+}
+
+void check_rule_overlap(const LintContext& ctx) {
+  const auto& rules = ctx.p.rules();
+  for (std::size_t j = 1; j < rules.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (rules[i].from != rules[j].from || rules[i].op != rules[j].op ||
+          rules[i].guard == rules[j].guard ||  // that is duplicate-rule's job
+          !guards_overlap(rules[i].guard, rules[j].guard)) {
+        continue;
+      }
+      ctx.emit("rule-overlap", ctx.p.rule_span(j),
+               ctx.rule_label(rules[j]) + " overlaps " +
+                   ctx.rule_label(rules[i]) + ": both apply to the same "
+                   "(state, op, sharing) situation",
+               "restrict the guards so the situations are disjoint");
+      break;
+    }
+  }
+}
+
+void check_guard_in_null(const LintContext& ctx) {
+  if (ctx.p.characteristic() != CharacteristicKind::Null) return;
+  const auto& rules = ctx.p.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].guard == SharingGuard::Any) continue;
+    ctx.emit("guard-in-null", ctx.p.rule_span(i),
+             ctx.rule_label(rules[i]) +
+                 " has a sharing guard, but the protocol's characteristic "
+                 "function is null (Section 2.1: guards need F = "
+                 "sharing-detection)",
+             "declare 'characteristic sharing' or drop the 'when' clause");
+  }
+}
+
+void check_missing_coverage(const LintContext& ctx) {
+  // Mirrors the strict-build coverage rule: the processor can always issue
+  // R and W, so every state must handle them; replacement applies to valid
+  // states; custom operations are covered only where declared.
+  for (std::size_t s = 0; s < ctx.p.state_count(); ++s) {
+    for (std::size_t o = 0; o < 3; ++o) {
+      const bool is_replace = ctx.p.op(static_cast<OpId>(o)).is_replacement;
+      if (is_replace && static_cast<StateId>(s) == ctx.p.invalid_state()) {
+        continue;
+      }
+      std::vector<std::string> missing;
+      for (const bool sharing : {false, true}) {
+        bool found = false;
+        for (const Rule& r : ctx.p.rules()) {
+          found = found || (r.from == static_cast<StateId>(s) &&
+                            r.op == static_cast<OpId>(o) &&
+                            covers(r.guard, sharing));
+        }
+        if (!found) missing.emplace_back(sharing ? "shared" : "unshared");
+      }
+      if (missing.empty()) continue;
+      std::ostringstream os;
+      os << "state " << ctx.p.state_name(static_cast<StateId>(s))
+         << " has no rule for op " << ctx.p.op(static_cast<OpId>(o)).name;
+      if (missing.size() == 1) os << " when " << missing.front();
+      ctx.emit("missing-coverage", ctx.p.state_span(static_cast<StateId>(s)),
+               os.str(),
+               "add a rule (a stall or a self-loop is acceptable) so the "
+               "operation is always defined");
+    }
+  }
+}
+
+void check_unused_op(const LintContext& ctx) {
+  for (std::size_t o = 3; o < ctx.p.op_count(); ++o) {  // customs only
+    bool used = false;
+    for (const Rule& r : ctx.p.rules()) {
+      used = used || r.op == static_cast<OpId>(o);
+    }
+    if (used) continue;
+    ctx.emit("unused-op", ctx.p.op_span(static_cast<OpId>(o)),
+             "op " + ctx.p.op(static_cast<OpId>(o)).name +
+                 " is declared but appears in no rule",
+             "remove the declaration or add rules that use the operation");
+  }
+}
+
+// -------------------------------------------------------- data-flow layer
+
+void check_owner_evict_no_writeback(const LintContext& ctx) {
+  const auto& owners = ctx.p.owner_states();
+  const auto& rules = ctx.p.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const Rule& r = rules[i];
+    if (!ctx.p.op(r.op).is_replacement || r.is_stall) continue;
+    if (std::find(owners.begin(), owners.end(), r.from) == owners.end()) {
+      continue;
+    }
+    bool writes_back = false;
+    for (const DataOp& d : r.data_ops) {
+      writes_back = writes_back || d.kind == DataOpKind::WriteBackSelf;
+    }
+    if (writes_back) continue;
+    ctx.emit("owner-evict-no-writeback", ctx.p.rule_span(i),
+             ctx.rule_label(r) + " evicts owner state " +
+                 ctx.p.state_name(r.from) +
+                 " without writing the block back; memory stays obsolete "
+                 "and the only fresh copy is lost",
+             "add 'writeback self' to the rule");
+  }
+}
+
+void check_store_no_invalidate(const LintContext& ctx) {
+  const auto& rules = ctx.p.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const Rule& r = rules[i];
+    if (!r.stores()) continue;
+    // Exempt stores that cannot encounter another copy: the originator is
+    // in a globally exclusive state, or the guard certifies no sharer.
+    bool exclusive = false;
+    for (const ExclusivityInvariant& e : ctx.p.exclusivity()) {
+      exclusive = exclusive || e.state == r.from;
+    }
+    if (exclusive || r.guard == SharingGuard::Unshared) continue;
+    // Exempt stores that do handle the other copies: a write-broadcast
+    // (update others) or a coincident invalidation of every valid state.
+    bool updates_others = false;
+    for (const DataOp& d : r.data_ops) {
+      updates_others = updates_others || d.kind == DataOpKind::UpdateOthers;
+    }
+    if (updates_others) continue;
+    bool invalidates_all = true;
+    for (std::size_t q = 0; q < ctx.p.state_count(); ++q) {
+      if (static_cast<StateId>(q) == ctx.p.invalid_state()) continue;
+      invalidates_all =
+          invalidates_all && r.observed[q] == ctx.p.invalid_state();
+    }
+    if (invalidates_all) continue;
+    ctx.emit("store-no-invalidate", ctx.p.rule_span(i),
+             ctx.rule_label(r) + " stores while other caches may hold the "
+                 "block, but neither invalidates nor updates them; their "
+                 "copies become stale (Definition 2)",
+             "add 'invalidate others' or 'update others' to the rule, or "
+             "guard it with 'when unshared'");
+  }
+}
+
+void check_load_prefer_missing_owner(const LintContext& ctx) {
+  const auto& owners = ctx.p.owner_states();
+  if (owners.empty()) return;
+  const auto& rules = ctx.p.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    for (const DataOp& d : rules[i].data_ops) {
+      if (d.kind != DataOpKind::LoadPreferred) continue;
+      for (const StateId w : owners) {
+        if (std::find(d.sources.begin(), d.sources.end(), w) !=
+            d.sources.end()) {
+          continue;
+        }
+        ctx.emit("load-prefer-missing-owner", ctx.p.rule_span(i),
+                 ctx.rule_label(rules[i]) + ": 'load prefer' omits owner "
+                     "state " + ctx.p.state_name(w) +
+                     ", whose copy may be the only fresh one while memory "
+                     "is obsolete",
+                 "add " + ctx.p.state_name(w) + " to the 'load prefer' list");
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------- reachability layer
+
+void check_dead_state(const LintContext& ctx,
+                      const std::array<bool, kMaxStates>& state_live) {
+  for (std::size_t s = 0; s < ctx.p.state_count(); ++s) {
+    if (state_live[s]) continue;
+    ctx.emit("dead-state", ctx.p.state_span(static_cast<StateId>(s)),
+             "state " + ctx.p.state_name(static_cast<StateId>(s)) +
+                 " is declared but no reachable global state populates it",
+             "remove the state or add a transition that enters it");
+  }
+}
+
+void check_dead_rule(const LintContext& ctx, const ExpansionResult& r,
+                     const std::array<bool, kMaxStates>& state_live) {
+  // A rule is live if re-expanding some essential state fires a transition
+  // matching its (from, op, guard) triple. Guard Any fires under either
+  // sharing value.
+  const auto& rules = ctx.p.rules();
+  std::vector<bool> rule_live(rules.size(), false);
+  for (const CompositeState& s : r.essential) {
+    for (const Successor& succ : successors(ctx.p, s)) {
+      for (std::size_t i = 0; i < rules.size(); ++i) {
+        const bool guard_matches = covers(rules[i].guard, succ.label.sharing);
+        if (rules[i].from == succ.label.origin_state &&
+            rules[i].op == succ.label.op && guard_matches) {
+          rule_live[i] = true;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rule_live[i]) continue;
+    // A rule out of a dead state is subsumed by the dead-state report.
+    if (!state_live[rules[i].from]) continue;
+    ctx.emit("dead-rule", ctx.p.rule_span(i),
+             ctx.rule_label(rules[i]) +
+                 " can never fire from any reachable state",
+             "delete the rule or fix the guard that makes it unsatisfiable");
+  }
+}
+
+void check_stuck_transient(const LintContext& ctx,
+                           const std::array<bool, kMaxStates>& state_live) {
+  // A live state that stalls processor operations must offer the stalled
+  // processor a way forward on its own (a non-stall rule leaving the
+  // state); relying solely on other caches to abort it starves a lone
+  // processor forever.
+  for (std::size_t s = 0; s < ctx.p.state_count(); ++s) {
+    if (!state_live[s]) continue;
+    bool stalls = false;
+    bool self_exit = false;
+    for (const Rule& rule : ctx.p.rules()) {
+      if (rule.from != static_cast<StateId>(s)) continue;
+      stalls = stalls || rule.is_stall;
+      self_exit =
+          self_exit || (!rule.is_stall && rule.self_next != rule.from);
+    }
+    if (!stalls || self_exit) continue;
+    ctx.emit("stuck-transient", ctx.p.state_span(static_cast<StateId>(s)),
+             "state " + ctx.p.state_name(static_cast<StateId>(s)) +
+                 " stalls the processor but has no self-initiated exit",
+             "add a completion rule that leaves the state");
+  }
+}
+
+}  // namespace
+
+LintReport lint_protocol(const Protocol& p, const LintOptions& options) {
+  LintReport report;
+  const LintContext ctx{p, options, report.diagnostics};
+
+  const auto run = [&](std::string_view id, const auto& check) {
+    if (!ctx.enabled(id)) return;
+    ScopedTimer timer(options.metrics, "lint.check." + std::string(id));
+    check(ctx);
+  };
+
+  run("duplicate-rule", check_duplicate_rule);
+  run("rule-overlap", check_rule_overlap);
+  run("guard-in-null", check_guard_in_null);
+  run("missing-coverage", check_missing_coverage);
+  run("unused-op", check_unused_op);
+
+  run("owner-evict-no-writeback", check_owner_evict_no_writeback);
+  run("store-no-invalidate", check_store_no_invalidate);
+  run("load-prefer-missing-owner", check_load_prefer_missing_owner);
+
+  // Reachability checks interpret the rule table through the symbolic
+  // expander; on a structurally broken table (duplicates, holes) the
+  // expansion semantics are arbitrary, so skip rather than mislead.
+  const bool want_reachability = ctx.enabled("dead-state") ||
+                                 ctx.enabled("dead-rule") ||
+                                 ctx.enabled("stuck-transient");
+  if (want_reachability && !report.has_errors()) {
+    ExpansionResult result;
+    {
+      ScopedTimer timer(options.metrics, "lint.expansion");
+      result = SymbolicExpander(p).run();
+    }
+    // A state is live if some reachable composite state may populate it;
+    // the archive covers every state that ever entered the working list,
+    // which includes everything the essential states subsume.
+    std::array<bool, kMaxStates> state_live{};
+    state_live[p.invalid_state()] = true;
+    for (const ArchiveEntry& entry : result.archive) {
+      for (const ClassEntry& c : entry.state.classes()) {
+        if (rep_possible(c.rep)) state_live[c.state] = true;
+      }
+    }
+    run("dead-state",
+        [&](const LintContext& c) { check_dead_state(c, state_live); });
+    run("dead-rule", [&](const LintContext& c) {
+      check_dead_rule(c, result, state_live);
+    });
+    run("stuck-transient", [&](const LintContext& c) {
+      check_stuck_transient(c, state_live);
+    });
+  }
+
+  sort_diagnostics(report.diagnostics);
+  return report;
+}
+
+}  // namespace ccver

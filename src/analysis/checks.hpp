@@ -1,0 +1,104 @@
+#pragma once
+/// \file checks.hpp
+/// The check registry and driver of the protocol static-analysis engine.
+///
+/// Builder validation (fsm/builder.hpp) guarantees a protocol object is
+/// *usable*; the symbolic verifier (core/verifier.hpp) decides whether the
+/// protocol is *correct*. The analysis layer sits between the two and
+/// answers a third question: is the specification *well written*? Its
+/// checks run in three escalating layers:
+///
+///   1. **Structural** -- properties of the rule table alone: duplicate or
+///      overlapping rules, guards under a null characteristic, states with
+///      no coverage for processor operations, operations never used. These
+///      mirror what `BuildMode::Strict` rejects; linting parses with
+///      `BuildMode::Lenient` so that every defect in a file is reported at
+///      its declaration instead of aborting at the first.
+///   2. **Data-flow** -- properties of the data micro-ops attached to each
+///      rule: an owner state evicted without a write-back, a store in a
+///      non-exclusive state that neither invalidates nor updates the other
+///      copies, a load that ignores the owner's fresher copy. These are the
+///      slips that later surface as Definition-2/3 violations; catching
+///      them statically names the offending rule directly.
+///   3. **Reachability** -- properties of the protocol's own symbolic state
+///      space (a fresh Figure-3 expansion): states no reachable composite
+///      state populates, rules that can never fire, transient states that
+///      stall the processor with no self-initiated exit. Skipped when
+///      layer-1 found errors: expansion semantics are unreliable on a
+///      structurally broken rule table.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "fsm/protocol.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+
+/// Which analysis layer a check belongs to (the order they run in).
+enum class CheckLayer : std::uint8_t {
+  Structural = 0,
+  DataFlow = 1,
+  Reachability = 2,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CheckLayer l) noexcept {
+  switch (l) {
+    case CheckLayer::Structural: return "structural";
+    case CheckLayer::DataFlow: return "data-flow";
+    case CheckLayer::Reachability: return "reachability";
+  }
+  return "?";
+}
+
+/// Registry entry for one check: its stable id, default severity, layer,
+/// and a one-line description (used by docs and `ccverify lint --list`).
+struct CheckInfo {
+  std::string_view id;
+  Severity severity = Severity::Warning;
+  CheckLayer layer = CheckLayer::Structural;
+  std::string_view description;
+};
+
+/// All registered checks, in execution order. The `parse-error` pseudo-
+/// check (files the lenient parser still rejects) is listed too so that
+/// every check id appearing in reports is documented here.
+[[nodiscard]] const std::vector<CheckInfo>& all_checks();
+
+/// Looks up a check by id; nullptr if unknown.
+[[nodiscard]] const CheckInfo* find_check(std::string_view id);
+
+/// Options for one lint run.
+struct LintOptions {
+  /// Check ids to skip (`--disable=<id>`). Unknown ids are the caller's
+  /// problem; the CLI validates against the registry first.
+  std::vector<std::string> disabled;
+  /// When set, each check records a `lint.check.<id>` phase timer.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Result of linting one protocol.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;  ///< canonical order (sorted)
+
+  [[nodiscard]] std::size_t count(Severity s) const noexcept {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics) n += d.severity == s ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] bool has_errors() const noexcept {
+    return count(Severity::Error) > 0;
+  }
+  [[nodiscard]] bool clean() const noexcept { return diagnostics.empty(); }
+};
+
+/// Runs every enabled check against `p` and returns the findings in
+/// canonical order. Reachability checks run a fresh symbolic expansion
+/// internally (microseconds for every protocol in the library) and are
+/// skipped when a structural check reported an error.
+[[nodiscard]] LintReport lint_protocol(const Protocol& p,
+                                       const LintOptions& options = {});
+
+}  // namespace ccver

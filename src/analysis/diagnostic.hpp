@@ -1,0 +1,56 @@
+#pragma once
+/// \file diagnostic.hpp
+/// The located-diagnostic model of the protocol static-analysis engine.
+///
+/// Pong & Dubois position the symbolic verifier as a *design tool*: most
+/// protocol bugs are edit-time slips that are cheaper to catch statically
+/// than to rediscover as Definition-3 violations during expansion. Every
+/// finding of the analysis layer is a `Diagnostic`: a stable check id, a
+/// severity, a source span threaded from the `.ccp` lexer through the
+/// parser into `fsm::Protocol`, a human message, and (when the fix is
+/// obvious) a one-line hint. The model is deliberately renderer-agnostic;
+/// src/analysis/output.hpp turns diagnostic lists into terminal text,
+/// stable JSON, or SARIF for CI annotation.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/source_span.hpp"
+
+namespace ccver {
+
+/// Severity of one finding. `Note` never fails a lint run; `Warning`
+/// fails under `--Werror`; `Error` always fails.
+enum class Severity : std::uint8_t {
+  Note = 0,
+  Warning = 1,
+  Error = 2,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+/// One finding of the static-analysis engine.
+struct Diagnostic {
+  std::string check;     ///< stable check id ("dead-state", ...)
+  Severity severity = Severity::Warning;
+  SourceSpan span;       ///< unknown for programmatically built protocols
+  std::string message;   ///< what is wrong, in terms of the spec
+  std::string fix_hint;  ///< suggested edit; empty when no fix is obvious
+
+  [[nodiscard]] bool operator==(const Diagnostic& other) const = default;
+};
+
+/// Canonical report order: by position, then check id, then message --
+/// deterministic regardless of the order checks ran in.
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics);
+
+}  // namespace ccver

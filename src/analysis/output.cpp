@@ -1,0 +1,139 @@
+#include "analysis/output.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/source_span.hpp"
+
+namespace ccver {
+
+std::string diagnostics_to_text(const std::vector<LintedFile>& files) {
+  std::ostringstream os;
+  for (const LintedFile& f : files) {
+    for (const Diagnostic& d : f.report.diagnostics) {
+      os << format_location(f.file, d.span) << ": " << to_string(d.severity)
+         << ": " << d.message << " [" << d.check << "]\n";
+      if (!d.fix_hint.empty()) os << "  hint: " << d.fix_hint << "\n";
+    }
+  }
+  return std::move(os).str();
+}
+
+std::string diagnostics_to_json(const std::vector<LintedFile>& files) {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema_version").value(std::uint64_t{1});
+  json.key("files").begin_array();
+  for (const LintedFile& f : files) {
+    errors += f.report.count(Severity::Error);
+    warnings += f.report.count(Severity::Warning);
+    notes += f.report.count(Severity::Note);
+    json.begin_object();
+    json.key("file").value(f.file);
+    json.key("diagnostics").begin_array();
+    for (const Diagnostic& d : f.report.diagnostics) {
+      json.begin_object();
+      json.key("check").value(d.check);
+      json.key("severity").value(to_string(d.severity));
+      json.key("line").value(std::uint64_t{d.span.line});
+      json.key("column").value(std::uint64_t{d.span.column});
+      json.key("location").value(format_location(f.file, d.span));
+      json.key("message").value(d.message);
+      json.key("fix_hint").value(d.fix_hint);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("summary").begin_object();
+  json.key("errors").value(static_cast<std::uint64_t>(errors));
+  json.key("warnings").value(static_cast<std::uint64_t>(warnings));
+  json.key("notes").value(static_cast<std::uint64_t>(notes));
+  json.end_object();
+  json.end_object();
+  return std::move(json).str();
+}
+
+namespace {
+
+[[nodiscard]] std::string_view sarif_level(Severity s) noexcept {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string diagnostics_to_sarif(const std::vector<LintedFile>& files) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("$schema").value(
+      "https://json.schemastore.org/sarif-2.1.0.json");
+  json.key("version").value("2.1.0");
+  json.key("runs").begin_array();
+  json.begin_object();
+
+  json.key("tool").begin_object();
+  json.key("driver").begin_object();
+  json.key("name").value("ccverify lint");
+  json.key("rules").begin_array();
+  for (const CheckInfo& c : all_checks()) {
+    json.begin_object();
+    json.key("id").value(c.id);
+    json.key("shortDescription").begin_object();
+    json.key("text").value(c.description);
+    json.end_object();
+    json.key("defaultConfiguration").begin_object();
+    json.key("level").value(sarif_level(c.severity));
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+
+  json.key("results").begin_array();
+  for (const LintedFile& f : files) {
+    for (const Diagnostic& d : f.report.diagnostics) {
+      json.begin_object();
+      json.key("ruleId").value(d.check);
+      json.key("level").value(sarif_level(d.severity));
+      json.key("message").begin_object();
+      std::string text = d.message;
+      if (!d.fix_hint.empty()) text += " (hint: " + d.fix_hint + ")";
+      json.key("text").value(text);
+      json.end_object();
+      json.key("locations").begin_array();
+      json.begin_object();
+      json.key("physicalLocation").begin_object();
+      json.key("artifactLocation").begin_object();
+      json.key("uri").value(f.file);
+      json.end_object();
+      if (d.span.known()) {
+        json.key("region").begin_object();
+        json.key("startLine").value(std::uint64_t{d.span.line});
+        json.key("startColumn").value(std::uint64_t{d.span.column});
+        json.end_object();
+      }
+      json.end_object();
+      json.end_object();
+      json.end_array();
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace ccver

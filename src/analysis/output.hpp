@@ -1,0 +1,49 @@
+#pragma once
+/// \file output.hpp
+/// Renderers for lint reports: terminal text, stable JSON, and SARIF.
+
+#include <string>
+#include <vector>
+
+#include "analysis/checks.hpp"
+
+namespace ccver {
+
+/// One linted input and its findings. `file` is whatever the caller wants
+/// locations anchored to: a `.ccp` path, or a library protocol name (whose
+/// diagnostics then carry no line:column, since the protocol was built
+/// programmatically).
+struct LintedFile {
+  std::string file;
+  LintReport report;
+};
+
+/// Compiler-style text: one `file:line:col: severity: message [check-id]`
+/// line per diagnostic, followed by an indented `hint:` line when the
+/// check suggests a fix. Diagnostics without a position drop the
+/// `line:col` part, never the file.
+[[nodiscard]] std::string diagnostics_to_text(
+    const std::vector<LintedFile>& files);
+
+/// Stable machine-readable report (schema_version 1):
+/// \code
+/// {"schema_version": 1,
+///  "files": [{"file": ..., "diagnostics": [
+///     {"check": ..., "severity": ..., "line": N, "column": N,
+///      "location": "file:line:col", "message": ..., "fix_hint": ...}]}],
+///  "summary": {"errors": N, "warnings": N, "notes": N}}
+/// \endcode
+/// `line`/`column` are 0 when the position is unknown, and `location`
+/// degrades to just the file name. Consumers should key on `check` ids,
+/// which are stable across releases.
+[[nodiscard]] std::string diagnostics_to_json(
+    const std::vector<LintedFile>& files);
+
+/// SARIF 2.1.0 (the static-analysis interchange format GitHub et al.
+/// ingest for inline annotations). One run, driver "ccverify lint", every
+/// registered check as a reportingDescriptor rule, one result per
+/// diagnostic with a physicalLocation when the position is known.
+[[nodiscard]] std::string diagnostics_to_sarif(
+    const std::vector<LintedFile>& files);
+
+}  // namespace ccver

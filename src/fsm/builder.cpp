@@ -109,38 +109,46 @@ ProtocolBuilder::ProtocolBuilder(std::string name,
   ops_.push_back(OpDef{"R", /*is_write=*/false, /*is_replacement=*/false});
   ops_.push_back(OpDef{"W", /*is_write=*/true, /*is_replacement=*/false});
   ops_.push_back(OpDef{"Z", /*is_write=*/false, /*is_replacement=*/true});
+  // Keep op_spans_ parallel to ops_: the standard ops are implicit in
+  // every spec, so their declaration position is unknown.
+  op_spans_.resize(ops_.size());
 }
 
-StateId ProtocolBuilder::invalid_state(std::string name) {
+StateId ProtocolBuilder::invalid_state(std::string name, SourceSpan span) {
   if (has_invalid_) {
-    throw SpecError("protocol '" + name_ +
-                    "' declares more than one invalid state");
+    throw SpecError(span, "protocol '" + name_ +
+                              "' declares more than one invalid state");
   }
   has_invalid_ = true;
-  invalid_ = state(std::move(name));
+  invalid_ = state(std::move(name), span);
   return invalid_;
 }
 
-StateId ProtocolBuilder::state(std::string name) {
+StateId ProtocolBuilder::state(std::string name, SourceSpan span) {
   if (state_names_.size() >= kMaxStates) {
-    throw SpecError("protocol '" + name_ + "' exceeds kMaxStates");
+    throw SpecError(span, "protocol '" + name_ + "' exceeds kMaxStates");
   }
   if (std::find(state_names_.begin(), state_names_.end(), name) !=
       state_names_.end()) {
-    throw SpecError("duplicate state name '" + name + "'");
+    throw SpecError(span, "duplicate state name '" + name + "'");
   }
   state_names_.push_back(std::move(name));
+  state_spans_.push_back(span);
   return static_cast<StateId>(state_names_.size() - 1);
 }
 
-OpId ProtocolBuilder::add_op(std::string name, bool is_write) {
+OpId ProtocolBuilder::add_op(std::string name, bool is_write,
+                             SourceSpan span) {
   if (ops_.size() >= kMaxOps) {
-    throw SpecError("protocol '" + name_ + "' exceeds kMaxOps");
+    throw SpecError(span, "protocol '" + name_ + "' exceeds kMaxOps");
   }
   for (const OpDef& o : ops_) {
-    if (o.name == name) throw SpecError("duplicate op name '" + name + "'");
+    if (o.name == name) {
+      throw SpecError(span, "duplicate op name '" + name + "'");
+    }
   }
   ops_.push_back(OpDef{std::move(name), is_write, /*is_replacement=*/false});
+  op_spans_.push_back(span);
   return static_cast<OpId>(ops_.size() - 1);
 }
 
@@ -159,7 +167,7 @@ ProtocolBuilder& ProtocolBuilder::owner(StateId s) {
   return *this;
 }
 
-RuleDraft ProtocolBuilder::rule(StateId from, OpId op) {
+RuleDraft ProtocolBuilder::rule(StateId from, OpId op, SourceSpan span) {
   CCV_CHECK(from < state_names_.size(), "rule(): unknown state id");
   CCV_CHECK(op < ops_.size(), "rule(): unknown op id");
   Rule r;
@@ -168,6 +176,7 @@ RuleDraft ProtocolBuilder::rule(StateId from, OpId op) {
   r.self_next = from;
   std::iota(r.observed.begin(), r.observed.end(), StateId{0});
   rules_.push_back(std::move(r));
+  rule_spans_.push_back(span);
   return RuleDraft(*this, rules_.size() - 1);
 }
 
@@ -183,7 +192,8 @@ std::string rule_label(const ProtocolBuilder&, const std::vector<std::string>& s
 
 }  // namespace
 
-void ProtocolBuilder::validate() const {
+void ProtocolBuilder::validate(BuildMode mode) const {
+  const bool strict = mode == BuildMode::Strict;
   if (!has_invalid_) {
     throw SpecError("protocol '" + name_ + "' declares no invalid state");
   }
@@ -197,24 +207,27 @@ void ProtocolBuilder::validate() const {
            (sharing ? g == SharingGuard::Shared : g == SharingGuard::Unshared);
   };
 
-  for (const Rule& r : rules_) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& r = rules_[i];
+    const SourceSpan span = rule_spans_[i];
     const std::string label = rule_label(*this, state_names_, ops_, r);
     if (r.from >= state_names_.size() || r.self_next >= state_names_.size()) {
-      throw SpecError(label + ": state id out of range");
+      throw SpecError(span, label + ": state id out of range");
     }
-    if (characteristic_ == CharacteristicKind::Null &&
+    if (strict && characteristic_ == CharacteristicKind::Null &&
         r.guard != SharingGuard::Any) {
-      throw SpecError(label +
-                      ": sharing guard requires F = sharing-detection");
+      throw SpecError(span,
+                      label + ": sharing guard requires F = sharing-detection");
     }
     for (std::size_t q = 0; q < state_names_.size(); ++q) {
       if (r.observed[q] >= state_names_.size()) {
-        throw SpecError(label + ": observed target out of range");
+        throw SpecError(span, label + ": observed target out of range");
       }
       if (static_cast<StateId>(q) == invalid_ && r.observed[q] != invalid_) {
-        throw SpecError(label +
-                        ": an observed transition may not create a copy "
-                        "(Invalid must map to Invalid)");
+        throw SpecError(span,
+                        label +
+                            ": an observed transition may not create a copy "
+                            "(Invalid must map to Invalid)");
       }
     }
     // Data micro-op sanity.
@@ -228,12 +241,12 @@ void ProtocolBuilder::validate() const {
         case DataOpKind::LoadPreferred:
           ++load_count;
           if (d.sources.empty()) {
-            throw SpecError(label + ": LoadPreferred needs sources");
+            throw SpecError(span, label + ": LoadPreferred needs sources");
           }
           break;
         case DataOpKind::WriteBackFrom:
           if (d.sources.size() != 1) {
-            throw SpecError(label + ": WriteBackFrom needs one source");
+            throw SpecError(span, label + ": WriteBackFrom needs one source");
           }
           break;
         case DataOpKind::StoreSelf:
@@ -246,15 +259,15 @@ void ProtocolBuilder::validate() const {
       }
       for (StateId s : d.sources) {
         if (s >= state_names_.size()) {
-          throw SpecError(label + ": data op source state out of range");
+          throw SpecError(span, label + ": data op source state out of range");
         }
       }
     }
-    if (load_count > 1) throw SpecError(label + ": more than one load");
-    if (store_count > 1) throw SpecError(label + ": more than one store");
+    if (load_count > 1) throw SpecError(span, label + ": more than one load");
+    if (store_count > 1) throw SpecError(span, label + ": more than one store");
     if (r.is_stall) {
       if (r.self_next != r.from || !r.data_ops.empty()) {
-        throw SpecError(label +
+        throw SpecError(span, label +
                         ": a stall must be a self-loop without data ops");
       }
       bool identity = true;
@@ -262,63 +275,71 @@ void ProtocolBuilder::validate() const {
         identity = identity && r.observed[q] == static_cast<StateId>(q);
       }
       if (!identity) {
-        throw SpecError(label + ": a stall may not affect other caches");
+        throw SpecError(span, label + ": a stall may not affect other caches");
       }
     }
     if (ops_[r.op].is_write && store_count == 0 && !r.is_stall &&
         !r.defers_store) {
-      throw SpecError(label +
+      throw SpecError(span, label +
                       ": write operations must store (Definition 3 tracks "
                       "every store) unless stalled or deferred");
     }
     if (r.defers_store && (!ops_[r.op].is_write || store_count != 0)) {
-      throw SpecError(label +
+      throw SpecError(span, label +
                       ": defer_store applies to write requests that do not "
                       "store themselves");
     }
     if (!ops_[r.op].is_write && store_count != 0) {
-      throw SpecError(label + ": non-write operations must not store");
+      throw SpecError(span, label + ": non-write operations must not store");
     }
     if (r.self_next == invalid_ && ops_[r.op].is_write) {
-      throw SpecError(label + ": a write may not leave the originator "
+      throw SpecError(span, label + ": a write may not leave the originator "
                               "without a copy");
     }
     // Loading into a state that drops the copy is meaningless.
     if (load_count > 0 && r.self_next == invalid_) {
-      throw SpecError(label + ": rule loads data but ends Invalid");
+      throw SpecError(span, label + ": rule loads data but ends Invalid");
     }
   }
 
-  // Duplicate / overlap detection and coverage.
-  for (std::size_t s = 0; s < state_names_.size(); ++s) {
-    for (std::size_t o = 0; o < ops_.size(); ++o) {
-      for (const bool sharing : {false, true}) {
-        const Rule* found = nullptr;
-        for (const Rule& r : rules_) {
-          if (r.from != static_cast<StateId>(s) ||
-              r.op != static_cast<OpId>(o) || !covers(r.guard, sharing)) {
-            continue;
+  // Duplicate / overlap detection and coverage. Lenient builds admit both
+  // defect classes; the analysis layer re-derives them as diagnostics
+  // (`duplicate-rule`, `rule-overlap`, `missing-coverage`) with spans.
+  if (strict) {
+    for (std::size_t s = 0; s < state_names_.size(); ++s) {
+      for (std::size_t o = 0; o < ops_.size(); ++o) {
+        for (const bool sharing : {false, true}) {
+          const Rule* found = nullptr;
+          for (std::size_t i = 0; i < rules_.size(); ++i) {
+            const Rule& r = rules_[i];
+            if (r.from != static_cast<StateId>(s) ||
+                r.op != static_cast<OpId>(o) || !covers(r.guard, sharing)) {
+              continue;
+            }
+            if (found != nullptr) {
+              throw SpecError(
+                  rule_spans_[i],
+                  rule_label(*this, state_names_, ops_, r) +
+                      ": overlaps another rule for the same situation");
+            }
+            found = &r;
           }
-          if (found != nullptr) {
-            throw SpecError(rule_label(*this, state_names_, ops_, r) +
-                            ": overlaps another rule for the same situation");
+          // Coverage: the processor can always issue R and W, so every
+          // state must handle them; replacement applies to valid states;
+          // custom operations (bus completions, ...) are covered where
+          // declared.
+          const bool is_replace = ops_[o].is_replacement;
+          const bool is_custom = o >= 3;
+          const bool required =
+              !is_custom &&
+              (is_replace ? static_cast<StateId>(s) != invalid_ : true);
+          if (required && found == nullptr) {
+            std::ostringstream os;
+            os << "protocol '" << name_ << "': state " << state_names_[s]
+               << " has no rule for op " << ops_[o].name << " under sharing="
+               << (sharing ? "true" : "false");
+            throw SpecError(state_spans_[s], os.str());
           }
-          found = &r;
-        }
-        // Coverage: the processor can always issue R and W, so every state
-        // must handle them; replacement applies to valid states; custom
-        // operations (bus completions, ...) are covered where declared.
-        const bool is_replace = ops_[o].is_replacement;
-        const bool is_custom = o >= 3;
-        const bool required =
-            !is_custom &&
-            (is_replace ? static_cast<StateId>(s) != invalid_ : true);
-        if (required && found == nullptr) {
-          std::ostringstream os;
-          os << "protocol '" << name_ << "': state " << state_names_[s]
-             << " has no rule for op " << ops_[o].name << " under sharing="
-             << (sharing ? "true" : "false");
-          throw SpecError(os.str());
         }
       }
     }
@@ -342,7 +363,7 @@ void ProtocolBuilder::validate() const {
     }
   }
 
-  check_strong_connectivity();
+  if (strict) check_strong_connectivity();
 }
 
 void ProtocolBuilder::check_strong_connectivity() const {
@@ -389,8 +410,8 @@ void ProtocolBuilder::check_strong_connectivity() const {
   }
 }
 
-Protocol ProtocolBuilder::build() && {
-  validate();
+Protocol ProtocolBuilder::build(BuildMode mode) && {
+  validate(mode);
 
   // Declaration lists are sets; normalize their order so that structural
   // equality is declaration-order independent (the spec writer emits them
@@ -412,6 +433,9 @@ Protocol ProtocolBuilder::build() && {
   p.exclusive_ = std::move(exclusive_);
   p.unique_ = std::move(unique_);
   p.owners_ = std::move(owners_);
+  p.state_spans_ = std::move(state_spans_);
+  p.op_spans_ = std::move(op_spans_);
+  p.rule_spans_ = std::move(rule_spans_);
 
   p.reindex();
   return p;

@@ -28,6 +28,22 @@ namespace ccver {
 
 class ProtocolBuilder;
 
+/// How strictly `ProtocolBuilder::build` validates.
+///
+/// `Strict` is the historical behavior: every structural defect throws
+/// `SpecError`. `Lenient` admits the defect classes the static-analysis
+/// layer (`src/analysis/`) diagnoses with source locations -- duplicate
+/// and guard-overlapping rules, missing R/W/Z coverage, sharing guards
+/// under a null characteristic, and broken strong connectivity -- so that
+/// `ccverify lint` can show *all* problems of a spec instead of aborting
+/// on the first. Defects that would make the `Protocol` object itself
+/// unusable (out-of-range ids, malformed data micro-ops, stall shape,
+/// store-count violations) still throw in both modes.
+enum class BuildMode : std::uint8_t {
+  Strict = 0,
+  Lenient = 1,
+};
+
 /// Fluent editor for one rule under construction. Returned by
 /// `ProtocolBuilder::rule`; references remain valid until `build()`.
 class RuleDraft {
@@ -85,14 +101,15 @@ class ProtocolBuilder {
   ProtocolBuilder(std::string name, CharacteristicKind characteristic);
 
   /// Declares the distinguished invalid ("no copy") state. Must be called
-  /// exactly once, before `build()`.
-  StateId invalid_state(std::string name);
+  /// exactly once, before `build()`. `span` records where the declaration
+  /// sits in `.ccp` source (unknown for programmatic construction).
+  StateId invalid_state(std::string name, SourceSpan span = {});
 
   /// Declares a valid cache-block state.
-  StateId state(std::string name);
+  StateId state(std::string name, SourceSpan span = {});
 
   /// Declares an additional operation beyond the standard {R, W, Rep}.
-  OpId add_op(std::string name, bool is_write);
+  OpId add_op(std::string name, bool is_write, SourceSpan span = {});
 
   /// Declares that `s` must be the only valid copy system-wide.
   ProtocolBuilder& exclusive(StateId s);
@@ -106,7 +123,7 @@ class ProtocolBuilder {
 
   /// Starts a new rule for (`from`, `op`); defaults: guard Any, self_next =
   /// from, observed = identity, no data ops.
-  RuleDraft rule(StateId from, OpId op);
+  RuleDraft rule(StateId from, OpId op, SourceSpan span = {});
 
   /// Validates and returns the finished protocol. Checks performed:
   ///  * exactly one invalid state; unique state/op names;
@@ -119,12 +136,17 @@ class ProtocolBuilder {
   ///  * rules on write operations store exactly once; non-write rules do
   ///    not store; at most one load per rule;
   ///  * the per-cache FSM is strongly connected (Definition 1).
-  [[nodiscard]] Protocol build() &&;
+  /// Under `BuildMode::Lenient` the checks listed at `BuildMode` are
+  /// skipped so the analysis layer can diagnose them instead.
+  [[nodiscard]] Protocol build() && {
+    return std::move(*this).build(BuildMode::Strict);
+  }
+  [[nodiscard]] Protocol build(BuildMode mode) &&;
 
  private:
   friend class RuleDraft;
 
-  void validate() const;
+  void validate(BuildMode mode) const;
   void check_strong_connectivity() const;
 
   std::string name_;
@@ -137,6 +159,9 @@ class ProtocolBuilder {
   std::vector<ExclusivityInvariant> exclusive_;
   std::vector<StateId> unique_;
   std::vector<StateId> owners_;
+  std::vector<SourceSpan> state_spans_;
+  std::vector<SourceSpan> op_spans_;
+  std::vector<SourceSpan> rule_spans_;
 };
 
 }  // namespace ccver

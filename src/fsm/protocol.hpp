@@ -8,6 +8,7 @@
 
 #include "fsm/rule.hpp"
 #include "fsm/types.hpp"
+#include "util/source_span.hpp"
 
 namespace ccver {
 
@@ -93,8 +94,27 @@ class Protocol {
     return owners_;
   }
 
+  /// \name Source locations
+  /// Where each declaration sits in the `.ccp` source this protocol was
+  /// parsed from. Unknown (line 0) for programmatically built protocols.
+  /// Spans are provenance, not specification: they are excluded from
+  /// structural equality, so `parse(to_spec(p)) == p` holds even though
+  /// the reparsed protocol carries fresh positions.
+  ///@{
+  [[nodiscard]] SourceSpan state_span(StateId s) const noexcept {
+    return s < state_spans_.size() ? state_spans_[s] : SourceSpan{};
+  }
+  [[nodiscard]] SourceSpan op_span(OpId o) const noexcept {
+    return o < op_spans_.size() ? op_spans_[o] : SourceSpan{};
+  }
+  [[nodiscard]] SourceSpan rule_span(std::size_t index) const noexcept {
+    return index < rule_spans_.size() ? rule_spans_[index] : SourceSpan{};
+  }
+  ///@}
+
   /// Structural equality of the full specification (used to check that the
   /// spec-language loader reproduces the builder-defined protocols).
+  /// Source spans do not participate.
   [[nodiscard]] bool operator==(const Protocol& other) const;
 
   /// Renders the transition table as human-readable text.
@@ -117,6 +137,12 @@ class Protocol {
   std::vector<ExclusivityInvariant> exclusive_;
   std::vector<StateId> unique_;
   std::vector<StateId> owners_;
+
+  /// Declaration positions, parallel to state_names_/ops_/rules_ (or empty
+  /// for protocols that never touched `.ccp` source).
+  std::vector<SourceSpan> state_spans_;
+  std::vector<SourceSpan> op_spans_;
+  std::vector<SourceSpan> rule_spans_;
 
   /// rule_index_[from][op][sharing] -> index into rules_ or -1.
   std::vector<std::array<std::array<int, 2>, kMaxOps>> rule_index_;

@@ -17,6 +17,55 @@ Protocol ProtocolMutator::with_rule(const Protocol& p, std::size_t index,
   return mutant;
 }
 
+Protocol ProtocolMutator::with_extra_rule(const Protocol& p, Rule rule,
+                                          std::string name_suffix) {
+  Protocol mutant = p;
+  mutant.name_ += std::move(name_suffix);
+  mutant.rules_.push_back(std::move(rule));
+  if (!mutant.rule_spans_.empty()) {
+    mutant.rule_spans_.resize(mutant.rules_.size());
+  }
+  mutant.reindex();
+  return mutant;
+}
+
+Protocol ProtocolMutator::without_rule(const Protocol& p, std::size_t index,
+                                       std::string name_suffix) {
+  CCV_CHECK(index < p.rules().size(), "mutation rule index out of range");
+  Protocol mutant = p;
+  mutant.name_ += std::move(name_suffix);
+  mutant.rules_.erase(mutant.rules_.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+  if (index < mutant.rule_spans_.size()) {
+    mutant.rule_spans_.erase(mutant.rule_spans_.begin() +
+                             static_cast<std::ptrdiff_t>(index));
+  }
+  mutant.reindex();
+  return mutant;
+}
+
+Protocol ProtocolMutator::with_characteristic(const Protocol& p,
+                                              CharacteristicKind kind,
+                                              std::string name_suffix) {
+  Protocol mutant = p;
+  mutant.name_ += std::move(name_suffix);
+  mutant.characteristic_ = kind;
+  return mutant;
+}
+
+Protocol ProtocolMutator::with_extra_op(const Protocol& p, OpDef op,
+                                        std::string name_suffix) {
+  CCV_CHECK(p.op_count() < kMaxOps, "mutation exceeds kMaxOps");
+  Protocol mutant = p;
+  mutant.name_ += std::move(name_suffix);
+  mutant.ops_.push_back(std::move(op));
+  if (!mutant.op_spans_.empty()) {
+    mutant.op_spans_.resize(mutant.ops_.size());
+  }
+  mutant.reindex();
+  return mutant;
+}
+
 std::vector<ProtocolMutant> ProtocolMutator::enumerate(const Protocol& p) {
   std::vector<ProtocolMutant> out;
   const auto emit = [&out, &p](std::size_t index, Rule rule,

@@ -41,6 +41,27 @@ class ProtocolMutator {
   [[nodiscard]] static Protocol with_rule(const Protocol& p,
                                           std::size_t index, Rule rule,
                                           std::string name_suffix);
+
+  /// A copy of `p` with `rule` appended after the existing rules. Together
+  /// with `without_rule` this builds the structural-defect fixtures of the
+  /// lint test suite (duplicate rules, overlapping guards, ...).
+  [[nodiscard]] static Protocol with_extra_rule(const Protocol& p, Rule rule,
+                                                std::string name_suffix);
+
+  /// A copy of `p` with rule `index` removed (e.g. to break coverage).
+  [[nodiscard]] static Protocol without_rule(const Protocol& p,
+                                             std::size_t index,
+                                             std::string name_suffix);
+
+  /// A copy of `p` with the characteristic function replaced (e.g. to put
+  /// guarded rules under a null characteristic).
+  [[nodiscard]] static Protocol with_characteristic(const Protocol& p,
+                                                    CharacteristicKind kind,
+                                                    std::string name_suffix);
+
+  /// A copy of `p` with an extra (unused) operation declared.
+  [[nodiscard]] static Protocol with_extra_op(const Protocol& p, OpDef op,
+                                              std::string name_suffix);
 };
 
 namespace protocols {

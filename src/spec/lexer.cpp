@@ -23,8 +23,9 @@ std::vector<Token> Lexer::tokenize(std::string_view source) {
 }
 
 void Lexer::fail(const std::string& message) const {
-  throw SpecError("spec:" + std::to_string(line_) + ":" +
-                  std::to_string(column_) + ": " + message);
+  throw SpecError(SourceSpan{static_cast<std::uint32_t>(line_),
+                             static_cast<std::uint32_t>(column_)},
+                  message);
 }
 
 void Lexer::advance() {

@@ -9,7 +9,8 @@
 
 namespace ccver {
 
-Protocol load_protocol_file(const std::filesystem::path& path) {
+Protocol load_protocol_file(const std::filesystem::path& path,
+                            BuildMode mode) {
   std::ifstream in(path);
   if (!in) {
     throw SpecError("cannot open protocol spec '" + path.string() + "'");
@@ -17,9 +18,13 @@ Protocol load_protocol_file(const std::filesystem::path& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   try {
-    return parse_protocol(buffer.str());
+    return mode == BuildMode::Strict ? parse_protocol(buffer.str())
+                                     : parse_protocol_lenient(buffer.str());
   } catch (const SpecError& e) {
-    throw SpecError(path.string() + ": " + e.what());
+    // Re-anchor located errors as `<path>:<line>:<col>: detail`; errors
+    // without a position just gain the path prefix.
+    if (e.span().known()) throw SpecError(e.span(), e.detail(), path.string());
+    throw SpecError(path.string() + ": " + e.detail());
   }
 }
 

@@ -4,13 +4,17 @@
 
 #include <filesystem>
 
+#include "fsm/builder.hpp"
 #include "fsm/protocol.hpp"
 
 namespace ccver {
 
 /// Reads and parses a `.ccp` protocol specification file. Raises SpecError
-/// on I/O or parse failure.
-[[nodiscard]] Protocol load_protocol_file(const std::filesystem::path& path);
+/// on I/O or parse failure; parse failures are reported as
+/// `<path>:<line>:<col>: <message>`. `BuildMode::Lenient` admits the
+/// structural defects the lint layer diagnoses (see spec/parser.hpp).
+[[nodiscard]] Protocol load_protocol_file(const std::filesystem::path& path,
+                                          BuildMode mode = BuildMode::Strict);
 
 /// Serializes `p` and writes it to `path` (overwriting).
 void save_protocol_file(const Protocol& p, const std::filesystem::path& path);

@@ -12,9 +12,11 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view source) : lexer_(source) {}
+  Parser(std::string_view source, BuildMode mode)
+      : lexer_(source), mode_(mode) {}
 
   Protocol parse() {
+    protocol_span_ = span_of(lexer_.peek());
     expect_word("protocol");
     const std::string name = expect(TokenKind::Word).text;
 
@@ -29,10 +31,23 @@ class Parser {
     expect(TokenKind::RBrace);
     expect(TokenKind::End);
 
-    return std::move(*builder_).build();
+    // Whole-spec validation failures (missing invalid state, broken
+    // connectivity, ...) have no single offending declaration; anchor them
+    // to the `protocol` keyword so every parse error carries a position.
+    try {
+      return std::move(*builder_).build(mode_);
+    } catch (const SpecError& e) {
+      if (e.span().known()) throw;
+      throw SpecError(protocol_span_, e.detail());
+    }
   }
 
  private:
+  [[nodiscard]] static SourceSpan span_of(const Token& t) {
+    return SourceSpan{static_cast<std::uint32_t>(t.line),
+                      static_cast<std::uint32_t>(t.column)};
+  }
+
   [[nodiscard]] bool at(TokenKind kind) const {
     return lexer_.peek().kind == kind;
   }
@@ -58,23 +73,27 @@ class Parser {
   }
 
   [[noreturn]] void fail(const std::string& message) const {
-    const Token& t = lexer_.peek();
-    throw SpecError("spec:" + std::to_string(t.line) + ":" +
-                    std::to_string(t.column) + ": " + message);
+    throw SpecError(span_of(lexer_.peek()), message);
   }
 
-  StateId lookup_state(const std::string& name) {
-    const auto it = states_.find(name);
-    if (it == states_.end()) fail("unknown state '" + name + "'");
+  // Name lookups take the consumed token, not just its text, so that the
+  // error points at the unknown name itself rather than whatever follows.
+  StateId lookup_state(const Token& t) {
+    const auto it = states_.find(t.text);
+    if (it == states_.end()) {
+      throw SpecError(span_of(t), "unknown state '" + t.text + "'");
+    }
     return it->second;
   }
 
-  OpId lookup_op(const std::string& name) {
-    if (name == "R") return StdOps::Read;
-    if (name == "W") return StdOps::Write;
-    if (name == "Z") return StdOps::Replace;
-    const auto it = ops_.find(name);
-    if (it == ops_.end()) fail("unknown operation '" + name + "'");
+  OpId lookup_op(const Token& t) {
+    if (t.text == "R") return StdOps::Read;
+    if (t.text == "W") return StdOps::Write;
+    if (t.text == "Z") return StdOps::Replace;
+    const auto it = ops_.find(t.text);
+    if (it == ops_.end()) {
+      throw SpecError(span_of(t), "unknown operation '" + t.text + "'");
+    }
     return it->second;
   }
 
@@ -95,6 +114,7 @@ class Parser {
       return;
     }
     if (at_word("op")) {
+      const SourceSpan span = span_of(lexer_.peek());
       lexer_.next();
       saw_declaration_ = true;
       const std::string name = expect(TokenKind::Word).text;
@@ -103,7 +123,7 @@ class Parser {
         lexer_.next();
         is_write = true;
       }
-      ops_.emplace(name, builder_->add_op(name, is_write));
+      ops_.emplace(name, builder_->add_op(name, is_write, span));
       return;
     }
     if (at_word("invalid") || at_word("state")) {
@@ -121,6 +141,7 @@ class Parser {
 
   void parse_state() {
     saw_declaration_ = true;
+    const SourceSpan span = span_of(lexer_.peek());
     bool invalid = false;
     if (at_word("invalid")) {
       lexer_.next();
@@ -129,8 +150,8 @@ class Parser {
     expect_word("state");
     const std::string name = expect(TokenKind::Word).text;
     if (states_.contains(name)) fail("duplicate state '" + name + "'");
-    const StateId id =
-        invalid ? builder_->invalid_state(name) : builder_->state(name);
+    const StateId id = invalid ? builder_->invalid_state(name, span)
+                               : builder_->state(name, span);
     states_.emplace(name, id);
 
     for (;;) {
@@ -150,12 +171,13 @@ class Parser {
   }
 
   void parse_rule() {
+    const SourceSpan span = span_of(lexer_.peek());
     expect_word("rule");
     saw_declaration_ = true;
-    const StateId from = lookup_state(expect(TokenKind::Word).text);
-    const OpId op = lookup_op(expect(TokenKind::Word).text);
+    const StateId from = lookup_state(expect(TokenKind::Word));
+    const OpId op = lookup_op(expect(TokenKind::Word));
 
-    RuleDraft draft = builder_->rule(from, op);
+    RuleDraft draft = builder_->rule(from, op, span);
     if (at_word("when")) {
       lexer_.next();
       if (at_word("shared")) {
@@ -167,7 +189,7 @@ class Parser {
       }
     }
     expect(TokenKind::Arrow);
-    draft.to(lookup_state(expect(TokenKind::Word).text));
+    draft.to(lookup_state(expect(TokenKind::Word)));
 
     expect(TokenKind::LBrace);
     while (!at(TokenKind::RBrace)) parse_action(draft);
@@ -177,9 +199,9 @@ class Parser {
   void parse_action(RuleDraft& draft) {
     if (at_word("observe")) {
       lexer_.next();
-      const StateId q = lookup_state(expect(TokenKind::Word).text);
+      const StateId q = lookup_state(expect(TokenKind::Word));
       expect(TokenKind::Arrow);
-      draft.observe(q, lookup_state(expect(TokenKind::Word).text));
+      draft.observe(q, lookup_state(expect(TokenKind::Word)));
       return;
     }
     if (at_word("invalidate")) {
@@ -198,7 +220,7 @@ class Parser {
       expect_word("prefer");
       std::vector<StateId> sources;
       while (at(TokenKind::Word) && states_.contains(lexer_.peek().text)) {
-        sources.push_back(lookup_state(lexer_.next().text));
+        sources.push_back(lookup_state(lexer_.next()));
       }
       if (sources.empty()) fail("'load prefer' needs at least one state");
       draft.load_prefer(sources);
@@ -212,7 +234,7 @@ class Parser {
         return;
       }
       expect_word("from");
-      draft.writeback_from(lookup_state(expect(TokenKind::Word).text));
+      draft.writeback_from(lookup_state(expect(TokenKind::Word)));
       return;
     }
     if (at_word("store")) {
@@ -251,6 +273,8 @@ class Parser {
   }
 
   Lexer lexer_;
+  BuildMode mode_;
+  SourceSpan protocol_span_{};
   std::optional<ProtocolBuilder> builder_;
   std::string pending_name_;
   bool saw_declaration_ = false;
@@ -261,7 +285,11 @@ class Parser {
 }  // namespace
 
 Protocol parse_protocol(std::string_view source) {
-  return Parser(source).parse();
+  return Parser(source, BuildMode::Strict).parse();
+}
+
+Protocol parse_protocol_lenient(std::string_view source) {
+  return Parser(source, BuildMode::Lenient).parse();
 }
 
 }  // namespace ccver

@@ -33,4 +33,12 @@ namespace ccver {
 /// line:column positions) on syntax or validation errors.
 [[nodiscard]] Protocol parse_protocol(std::string_view source);
 
+/// Parses with `BuildMode::Lenient` validation: structural defects that
+/// the static-analysis layer can diagnose (duplicate/overlapping rules,
+/// missing coverage, guards under a null characteristic, broken
+/// connectivity) are admitted instead of thrown, so `ccverify lint` can
+/// locate every problem in one pass. Syntax errors and defects that would
+/// corrupt the `Protocol` object still raise SpecError.
+[[nodiscard]] Protocol parse_protocol_lenient(std::string_view source);
+
 }  // namespace ccver

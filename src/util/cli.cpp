@@ -36,6 +36,13 @@ CliArgs parse_cli_args(const std::vector<std::string>& tokens,
       args.positional.push_back(token);
       continue;
     }
+    // `--flag=value` is equivalent to `--flag value` (and is the only way
+    // to pass a value that itself starts with `--`). Repeats keep the last
+    // value either way.
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      args.flags[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
     const bool boolean =
         std::find(boolean_flags.begin(), boolean_flags.end(), token) !=
         boolean_flags.end();

@@ -45,6 +45,8 @@ struct CliArgs {
 /// `boolean_flags` take no value; every other `--flag` consumes the next
 /// token and throws SpecError when none is left (including when the missing
 /// value is because a boolean flag was given where a value was expected).
+/// `--flag=value` binds the value inline, for any flag; a repeated flag
+/// keeps its last value in either spelling.
 [[nodiscard]] CliArgs parse_cli_args(
     const std::vector<std::string>& tokens,
     const std::vector<std::string>& boolean_flags);

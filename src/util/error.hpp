@@ -12,12 +12,38 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/source_span.hpp"
+
 namespace ccver {
 
 /// Raised when a protocol specification is malformed or inconsistent.
+///
+/// Errors that originate from `.ccp` source carry the offending position
+/// and compose their message as `<file>:<line>:<col>: <detail>`; the file
+/// defaults to the pseudo-name "spec" until a file-aware layer (the
+/// loader) re-throws with the real path. `detail()` always returns the
+/// bare message so wrappers can re-anchor it without re-parsing `what()`.
 class SpecError : public std::runtime_error {
  public:
-  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+  explicit SpecError(const std::string& what)
+      : std::runtime_error(what), detail_(what) {}
+
+  SpecError(SourceSpan span, const std::string& detail,
+            const std::string& file = "spec")
+      : std::runtime_error(format_location(file, span) + ": " + detail),
+        span_(span),
+        detail_(detail) {}
+
+  /// Position in the source text; `known()` is false for errors that have
+  /// no location (I/O failures, programmatic construction).
+  [[nodiscard]] SourceSpan span() const noexcept { return span_; }
+
+  /// The message without any location prefix.
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  SourceSpan span_{};
+  std::string detail_;
 };
 
 /// Raised when an operation violates the engine's modelling assumptions.

@@ -1,0 +1,37 @@
+#pragma once
+/// \file source_span.hpp
+/// Source positions for specification text.
+///
+/// A `SourceSpan` anchors a declaration or a diagnostic to the `.ccp`
+/// source it came from. Protocols constructed programmatically (the
+/// built-in library, random generation, mutation) carry unknown spans;
+/// everything the parser produces carries the position of the declaring
+/// token. The file name is *not* part of the span -- a protocol comes from
+/// one file, so the file is carried once by whoever owns the protocol (the
+/// loader, the lint driver) rather than duplicated per declaration.
+
+#include <cstdint>
+#include <string>
+
+namespace ccver {
+
+/// A position in `.ccp` source text; 1-based, line 0 means "unknown".
+struct SourceSpan {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool known() const noexcept { return line > 0; }
+
+  [[nodiscard]] bool operator==(const SourceSpan& other) const = default;
+};
+
+/// Renders "file:line:col" (or just "file" when the span is unknown) -- the
+/// one true location format shared by parse errors and lint diagnostics.
+[[nodiscard]] inline std::string format_location(const std::string& file,
+                                                 SourceSpan span) {
+  if (!span.known()) return file;
+  return file + ":" + std::to_string(span.line) + ":" +
+         std::to_string(span.column);
+}
+
+}  // namespace ccver

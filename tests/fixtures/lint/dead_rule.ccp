@@ -1,0 +1,30 @@
+# Fixture: read misses steal the block (observe Exclusive -> Invalid), so
+# at most one copy ever exists and the sharing-detection function is always
+# false from Exclusive's perspective: the guarded Hop rule can never fire
+# -> dead-rule.
+protocol DeadRule {
+  characteristic sharing
+
+  op Hop
+
+  invalid state Invalid
+  state Exclusive exclusive
+
+  rule Invalid R -> Exclusive {
+    observe Exclusive -> Invalid
+    load memory
+  }
+  rule Exclusive R -> Exclusive {}
+  rule Invalid W -> Exclusive {
+    invalidate others
+    load memory
+    store
+  }
+  rule Exclusive W -> Exclusive {
+    invalidate others
+    store
+  }
+  rule Exclusive Z -> Invalid {}
+  rule Exclusive Hop when shared -> Invalid {}
+  rule Exclusive Hop when unshared -> Exclusive {}
+}

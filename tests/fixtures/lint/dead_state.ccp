@@ -1,0 +1,41 @@
+# Fixture: no transition ever enters Trap, so no reachable global state
+# populates it -> dead-state. (Lenient parsing admits the broken per-cache
+# connectivity; a strict build would reject this spec outright.)
+protocol DeadState {
+  characteristic null
+
+  invalid state Invalid
+  state Shared
+  state Modified exclusive owner
+  state Trap
+
+  rule Invalid R -> Shared {
+    observe Modified -> Shared
+    writeback from Modified
+    load prefer Modified Shared
+  }
+  rule Shared R -> Shared {}
+  rule Modified R -> Modified {}
+  rule Trap R -> Trap {}
+  rule Invalid W -> Modified {
+    invalidate others
+    load prefer Modified Shared
+    store
+  }
+  rule Shared W -> Modified {
+    invalidate others
+    store
+  }
+  rule Modified W -> Modified {
+    store
+  }
+  rule Trap W -> Trap {
+    invalidate others
+    store
+  }
+  rule Shared Z -> Invalid {}
+  rule Modified Z -> Invalid {
+    writeback self
+  }
+  rule Trap Z -> Invalid {}
+}

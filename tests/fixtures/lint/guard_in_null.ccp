@@ -1,0 +1,37 @@
+# Fixture: sharing guards on the write-hit rules, but the characteristic
+# function is null -> guard-in-null (twice).
+protocol GuardInNull {
+  characteristic null
+
+  invalid state Invalid
+  state Shared
+  state Modified exclusive owner
+
+  rule Invalid R -> Shared {
+    observe Modified -> Shared
+    writeback from Modified
+    load prefer Modified Shared
+  }
+  rule Shared R -> Shared {}
+  rule Modified R -> Modified {}
+  rule Invalid W -> Modified {
+    invalidate others
+    load prefer Modified Shared
+    store
+  }
+  rule Shared W when shared -> Modified {
+    invalidate others
+    store
+  }
+  rule Shared W when unshared -> Modified {
+    invalidate others
+    store
+  }
+  rule Modified W -> Modified {
+    store
+  }
+  rule Shared Z -> Invalid {}
+  rule Modified Z -> Invalid {
+    writeback self
+  }
+}

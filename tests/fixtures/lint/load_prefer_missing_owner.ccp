@@ -1,0 +1,34 @@
+# Fixture: the read-miss fill prefers Shared but omits the owner state
+# Modified, whose copy may be the only fresh one
+# -> load-prefer-missing-owner.
+protocol LoadPreferMissingOwner {
+  characteristic null
+
+  invalid state Invalid
+  state Shared
+  state Modified exclusive owner
+
+  rule Invalid R -> Shared {
+    observe Modified -> Shared
+    writeback from Modified
+    load prefer Shared
+  }
+  rule Shared R -> Shared {}
+  rule Modified R -> Modified {}
+  rule Invalid W -> Modified {
+    invalidate others
+    load prefer Modified Shared
+    store
+  }
+  rule Shared W -> Modified {
+    invalidate others
+    store
+  }
+  rule Modified W -> Modified {
+    store
+  }
+  rule Shared Z -> Invalid {}
+  rule Modified Z -> Invalid {
+    writeback self
+  }
+}

@@ -1,0 +1,31 @@
+# Fixture: Shared has no replacement rule -> missing-coverage.
+protocol MissingCoverage {
+  characteristic null
+
+  invalid state Invalid
+  state Shared
+  state Modified exclusive owner
+
+  rule Invalid R -> Shared {
+    observe Modified -> Shared
+    writeback from Modified
+    load prefer Modified Shared
+  }
+  rule Shared R -> Shared {}
+  rule Modified R -> Modified {}
+  rule Invalid W -> Modified {
+    invalidate others
+    load prefer Modified Shared
+    store
+  }
+  rule Shared W -> Modified {
+    invalidate others
+    store
+  }
+  rule Modified W -> Modified {
+    store
+  }
+  rule Modified Z -> Invalid {
+    writeback self
+  }
+}

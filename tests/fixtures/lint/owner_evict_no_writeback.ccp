@@ -1,0 +1,31 @@
+# Fixture: replacing Modified drops the only fresh copy without a
+# write-back -> owner-evict-no-writeback.
+protocol OwnerEvict {
+  characteristic null
+
+  invalid state Invalid
+  state Shared
+  state Modified exclusive owner
+
+  rule Invalid R -> Shared {
+    observe Modified -> Shared
+    writeback from Modified
+    load prefer Modified Shared
+  }
+  rule Shared R -> Shared {}
+  rule Modified R -> Modified {}
+  rule Invalid W -> Modified {
+    invalidate others
+    load prefer Modified Shared
+    store
+  }
+  rule Shared W -> Modified {
+    invalidate others
+    store
+  }
+  rule Modified W -> Modified {
+    store
+  }
+  rule Shared Z -> Invalid {}
+  rule Modified Z -> Invalid {}
+}

@@ -1,0 +1,10 @@
+# Fixture: references an undeclared state -> parse-error even under
+# lenient parsing.
+protocol ParseError {
+  characteristic null
+
+  invalid state Invalid
+  state Valid
+
+  rule Nowhere R -> Valid {}
+}

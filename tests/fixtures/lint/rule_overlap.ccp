@@ -1,0 +1,38 @@
+# Fixture: an unguarded write-miss rule coexists with a guarded one; both
+# apply when the block is shared -> rule-overlap.
+protocol RuleOverlap {
+  characteristic sharing
+
+  invalid state Invalid
+  state Shared
+  state Modified exclusive owner
+
+  rule Invalid R -> Shared {
+    observe Modified -> Shared
+    writeback from Modified
+    load prefer Modified Shared
+  }
+  rule Shared R -> Shared {}
+  rule Modified R -> Modified {}
+  rule Invalid W -> Modified {
+    invalidate others
+    load prefer Modified Shared
+    store
+  }
+  rule Invalid W when shared -> Modified {
+    invalidate others
+    load prefer Modified Shared
+    store
+  }
+  rule Shared W -> Modified {
+    invalidate others
+    store
+  }
+  rule Modified W -> Modified {
+    store
+  }
+  rule Shared Z -> Invalid {}
+  rule Modified Z -> Invalid {
+    writeback self
+  }
+}

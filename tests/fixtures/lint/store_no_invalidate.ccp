@@ -1,0 +1,32 @@
+# Fixture: the write hit on Shared upgrades without invalidating the other
+# sharers -> store-no-invalidate.
+protocol StoreNoInvalidate {
+  characteristic null
+
+  invalid state Invalid
+  state Shared
+  state Modified exclusive owner
+
+  rule Invalid R -> Shared {
+    observe Modified -> Shared
+    writeback from Modified
+    load prefer Modified Shared
+  }
+  rule Shared R -> Shared {}
+  rule Modified R -> Modified {}
+  rule Invalid W -> Modified {
+    invalidate others
+    load prefer Modified Shared
+    store
+  }
+  rule Shared W -> Modified {
+    store
+  }
+  rule Modified W -> Modified {
+    store
+  }
+  rule Shared Z -> Invalid {}
+  rule Modified Z -> Invalid {
+    writeback self
+  }
+}

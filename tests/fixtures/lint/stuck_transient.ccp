@@ -1,0 +1,36 @@
+# Fixture: Pending stalls every processor operation and no rule leaves it
+# on the originator's own initiative -> stuck-transient. (A remote write
+# aborts Pending via the invalidation, which keeps the FSM connected but
+# is not self-initiated progress.)
+protocol StuckTransient {
+  characteristic null
+
+  invalid state Invalid
+  state Pending
+  state Dirty exclusive owner
+
+  rule Invalid R -> Pending {
+    load memory
+  }
+  rule Pending R -> Pending {
+    stall
+  }
+  rule Pending W -> Pending {
+    stall
+  }
+  rule Pending Z -> Pending {
+    stall
+  }
+  rule Dirty R -> Dirty {}
+  rule Invalid W -> Dirty {
+    invalidate others
+    load memory
+    store
+  }
+  rule Dirty W -> Dirty {
+    store
+  }
+  rule Dirty Z -> Invalid {
+    writeback self
+  }
+}

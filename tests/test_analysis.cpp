@@ -1,0 +1,324 @@
+/// \file test_analysis.cpp
+/// The static-analysis engine: every check id is triggered by (a) a
+/// mutated library protocol built with ProtocolMutator and round-tripped
+/// through the spec writer and lenient parser, and (b) a `.ccp` fixture
+/// under tests/fixtures/lint/ whose diagnostics carry file:line:col
+/// positions. Also covers the text/JSON/SARIF renderers.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "analysis/checks.hpp"
+#include "analysis/output.hpp"
+#include "protocols/mutation.hpp"
+#include "protocols/protocols.hpp"
+#include "spec/loader.hpp"
+#include "spec/parser.hpp"
+#include "spec/writer.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fixture(const std::string& name) {
+  return fs::path(CCVER_SOURCE_DIR) / "tests" / "fixtures" / "lint" /
+         (name + ".ccp");
+}
+
+/// Returns the first diagnostic with the given check id, or nullptr.
+const Diagnostic* find_diag(const LintReport& report, std::string_view id) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.check == id) return &d;
+  }
+  return nullptr;
+}
+
+/// Lints a mutated protocol after a writer/lenient-parser round trip, so
+/// the diagnostics carry the rewritten spec's source positions.
+LintReport lint_via_spec(const Protocol& mutant) {
+  return lint_protocol(parse_protocol_lenient(to_spec(mutant)));
+}
+
+// ------------------------------------------------- mutation-driven checks
+
+TEST(Analysis, DuplicateRuleFromMutatedProtocol) {
+  const Protocol base = protocols::msi();
+  const Protocol mutant =
+      ProtocolMutator::with_extra_rule(base, base.rules().front(), "-Dup");
+  const LintReport report = lint_via_spec(mutant);
+  const Diagnostic* d = find_diag(report, "duplicate-rule");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_TRUE(d->span.known());
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(Analysis, RuleOverlapFromMutatedProtocol) {
+  const Protocol base = protocols::illinois();
+  // Clone an unguarded rule with a Shared guard: both now apply whenever
+  // the block is shared.
+  Rule clone;
+  std::size_t index = base.rules().size();
+  for (std::size_t i = 0; i < base.rules().size(); ++i) {
+    if (base.rules()[i].guard == SharingGuard::Any) {
+      clone = base.rules()[i];
+      index = i;
+      break;
+    }
+  }
+  ASSERT_LT(index, base.rules().size());
+  clone.guard = SharingGuard::Shared;
+  const Protocol mutant =
+      ProtocolMutator::with_extra_rule(base, clone, "-Overlap");
+  const LintReport report = lint_via_spec(mutant);
+  const Diagnostic* d = find_diag(report, "rule-overlap");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_TRUE(d->span.known());
+}
+
+TEST(Analysis, GuardInNullFromMutatedProtocol) {
+  // Illinois relies on sharing detection; flipping its characteristic to
+  // null leaves every guarded rule stranded.
+  const Protocol mutant = ProtocolMutator::with_characteristic(
+      protocols::illinois(), CharacteristicKind::Null, "-Null");
+  const LintReport report = lint_via_spec(mutant);
+  const Diagnostic* d = find_diag(report, "guard-in-null");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_TRUE(d->span.known());
+}
+
+TEST(Analysis, MissingCoverageFromMutatedProtocol) {
+  const Protocol base = protocols::msi();
+  // Drop the Shared replacement rule: Z is no longer covered there.
+  const StateId shared = *base.find_state("Shared");
+  std::size_t index = base.rules().size();
+  for (std::size_t i = 0; i < base.rules().size(); ++i) {
+    if (base.rules()[i].from == shared &&
+        base.rules()[i].op == StdOps::Replace) {
+      index = i;
+    }
+  }
+  ASSERT_LT(index, base.rules().size());
+  const Protocol mutant =
+      ProtocolMutator::without_rule(base, index, "-Gap");
+  const LintReport report = lint_via_spec(mutant);
+  const Diagnostic* d = find_diag(report, "missing-coverage");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_TRUE(d->span.known());
+  EXPECT_NE(d->message.find("Shared"), std::string::npos);
+}
+
+TEST(Analysis, UnusedOpFromMutatedProtocol) {
+  const Protocol mutant = ProtocolMutator::with_extra_op(
+      protocols::msi(), OpDef{"Probe", false, false}, "-Op");
+  const LintReport report = lint_via_spec(mutant);
+  const Diagnostic* d = find_diag(report, "unused-op");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Note);
+  EXPECT_TRUE(d->span.known());
+  // A note alone neither errs nor warns.
+  EXPECT_EQ(report.count(Severity::Error), 0u);
+  EXPECT_EQ(report.count(Severity::Warning), 0u);
+}
+
+TEST(Analysis, OwnerEvictNoWritebackFromBuggyVariant) {
+  const LintReport report =
+      lint_via_spec(protocols::berkeley_owner_silent_drop());
+  const Diagnostic* d = find_diag(report, "owner-evict-no-writeback");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_TRUE(d->span.known());
+}
+
+TEST(Analysis, StoreNoInvalidateFromBuggyVariant) {
+  const LintReport report =
+      lint_via_spec(protocols::illinois_no_invalidate_on_write_hit());
+  const Diagnostic* d = find_diag(report, "store-no-invalidate");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_TRUE(d->span.known());
+}
+
+TEST(Analysis, LoadPreferMissingOwnerFromMutatedProtocol) {
+  const Protocol base = protocols::msi();
+  const StateId modified = *base.find_state("Modified");
+  // Strip the owner state from the read-miss supplier list.
+  std::size_t index = base.rules().size();
+  Rule rule;
+  for (std::size_t i = 0; i < base.rules().size(); ++i) {
+    rule = base.rules()[i];
+    bool changed = false;
+    for (DataOp& dop : rule.data_ops) {
+      if (dop.kind != DataOpKind::LoadPreferred) continue;
+      SmallVec<StateId, kMaxStates> kept;
+      for (const StateId s : dop.sources) {
+        if (s != modified) kept.push_back(s);
+      }
+      if (kept.size() != dop.sources.size() && !kept.empty()) {
+        dop.sources = kept;
+        changed = true;
+      }
+    }
+    if (changed) {
+      index = i;
+      break;
+    }
+  }
+  ASSERT_LT(index, base.rules().size());
+  const Protocol mutant =
+      ProtocolMutator::with_rule(base, index, rule, "-NoOwner");
+  const LintReport report = lint_via_spec(mutant);
+  const Diagnostic* d = find_diag(report, "load-prefer-missing-owner");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_TRUE(d->span.known());
+  EXPECT_NE(d->message.find("Modified"), std::string::npos);
+}
+
+TEST(Analysis, ReachabilityChecksAreGatedBehindStructuralErrors) {
+  // A protocol with a structural error must not run (possibly misleading)
+  // reachability checks: the duplicate-rule mutant of DeadTrap-like specs
+  // would otherwise also report dead rules.
+  const Protocol base = protocols::msi();
+  const Protocol mutant =
+      ProtocolMutator::with_extra_rule(base, base.rules().front(), "-Dup");
+  const LintReport report = lint_protocol(mutant);
+  EXPECT_NE(find_diag(report, "duplicate-rule"), nullptr);
+  EXPECT_EQ(find_diag(report, "dead-state"), nullptr);
+  EXPECT_EQ(find_diag(report, "dead-rule"), nullptr);
+}
+
+// -------------------------------------------------- fixture-file checks
+
+struct FixtureCase {
+  const char* file;     ///< fixture basename under tests/fixtures/lint/
+  const char* check;    ///< expected check id
+  Severity severity;    ///< expected severity
+};
+
+class LintFixture : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(LintFixture, TriggersExactlyItsCheckWithAPosition) {
+  const FixtureCase& c = GetParam();
+  const Protocol p =
+      load_protocol_file(fixture(c.file), BuildMode::Lenient);
+  const LintReport report = lint_protocol(p);
+  ASSERT_FALSE(report.clean());
+  const Diagnostic* d = find_diag(report, c.check);
+  ASSERT_NE(d, nullptr) << report.diagnostics.front().check;
+  EXPECT_EQ(d->severity, c.severity);
+  EXPECT_TRUE(d->span.known());
+  // The fixture is minimal: every diagnostic it raises is of this check.
+  for (const Diagnostic& other : report.diagnostics) {
+    EXPECT_EQ(other.check, c.check) << other.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChecks, LintFixture,
+    ::testing::Values(
+        FixtureCase{"duplicate_rule", "duplicate-rule", Severity::Error},
+        FixtureCase{"rule_overlap", "rule-overlap", Severity::Error},
+        FixtureCase{"guard_in_null", "guard-in-null", Severity::Error},
+        FixtureCase{"missing_coverage", "missing-coverage", Severity::Error},
+        FixtureCase{"unused_op", "unused-op", Severity::Note},
+        FixtureCase{"owner_evict_no_writeback", "owner-evict-no-writeback",
+                    Severity::Warning},
+        FixtureCase{"store_no_invalidate", "store-no-invalidate",
+                    Severity::Warning},
+        FixtureCase{"load_prefer_missing_owner", "load-prefer-missing-owner",
+                    Severity::Warning},
+        FixtureCase{"dead_state", "dead-state", Severity::Warning},
+        FixtureCase{"dead_rule", "dead-rule", Severity::Warning},
+        FixtureCase{"stuck_transient", "stuck-transient",
+                    Severity::Warning}),
+    [](const ::testing::TestParamInfo<FixtureCase>& i) {
+      return std::string(i.param.file);
+    });
+
+TEST(Analysis, ParseErrorFixtureFailsEvenLeniently) {
+  try {
+    (void)load_protocol_file(fixture("parse_error"), BuildMode::Lenient);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_TRUE(e.span().known());
+    EXPECT_NE(std::string(e.what()).find("parse_error.ccp"),
+              std::string::npos);
+  }
+}
+
+// --------------------------------------------------------- renderers
+
+LintedFile lint_fixture_file(const std::string& name) {
+  const std::string path = fixture(name).string();
+  return LintedFile{
+      path, lint_protocol(load_protocol_file(path, BuildMode::Lenient))};
+}
+
+TEST(Output, TextRendererUsesCompilerStyleLocations) {
+  const LintedFile f = lint_fixture_file("store_no_invalidate");
+  const std::string text = diagnostics_to_text({f});
+  EXPECT_NE(text.find(f.file + ":22:3: warning: "), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[store-no-invalidate]"), std::string::npos);
+  EXPECT_NE(text.find("hint: "), std::string::npos);
+}
+
+TEST(Output, JsonCarriesSchemaVersionSpanAndSummary) {
+  const LintedFile f = lint_fixture_file("dead_state");
+  const std::string json = diagnostics_to_json({f});
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"check\":\"dead-state\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"column\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"location\":\"" + f.file + ":10:3\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"summary\":{\"errors\":0,\"warnings\":1,\"notes\":0}"),
+            std::string::npos);
+}
+
+TEST(Output, JsonReportsUnknownPositionsAsZero) {
+  // Library protocols have no source; the schema keeps the keys, zeroed.
+  const LintedFile f{"MSI", lint_protocol(protocols::msi())};
+  const std::string json = diagnostics_to_json({f});
+  EXPECT_NE(json.find("\"file\":\"MSI\""), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\":[]"), std::string::npos);
+}
+
+TEST(Output, SarifCarriesRulesResultsAndRegions) {
+  const LintedFile f = lint_fixture_file("duplicate_rule");
+  const std::string sarif = diagnostics_to_sarif({f});
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"duplicate-rule\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":15"), std::string::npos) << sarif;
+  // Every registered check appears as a rule descriptor.
+  for (const CheckInfo& c : all_checks()) {
+    EXPECT_NE(sarif.find("\"id\":\"" + std::string(c.id) + "\""),
+              std::string::npos)
+        << c.id;
+  }
+}
+
+TEST(Output, DiagnosticsSortByPositionThenCheck) {
+  std::vector<Diagnostic> diags = {
+      {"b-check", Severity::Warning, SourceSpan{9, 1}, "later", ""},
+      {"b-check", Severity::Warning, SourceSpan{2, 7}, "early-wide", ""},
+      {"a-check", Severity::Error, SourceSpan{2, 7}, "early", ""},
+      {"c-check", Severity::Note, SourceSpan{}, "unlocated", ""},
+  };
+  sort_diagnostics(diags);
+  EXPECT_EQ(diags[0].check, "c-check");  // unknown position sorts first
+  EXPECT_EQ(diags[1].check, "a-check");
+  EXPECT_EQ(diags[2].message, "early-wide");
+  EXPECT_EQ(diags[3].message, "later");
+}
+
+}  // namespace
+}  // namespace ccver

@@ -1,22 +1,31 @@
 /// \file test_lint.cpp
-/// Specification liveness diagnostics: the whole library is lint-clean,
-/// and synthetic specs with dead states, unsatisfiable guards and stuck
-/// transient states are flagged.
+/// Reachability-layer diagnostics of the analysis engine: the whole
+/// library is lint-clean, and synthetic specs with dead states,
+/// unsatisfiable guards and stuck transient states are flagged.
+/// (Structural and data-flow checks are covered by test_analysis.cpp.)
 
 #include <gtest/gtest.h>
 
-#include "core/lint.hpp"
+#include "analysis/checks.hpp"
 #include "fsm/builder.hpp"
 #include "protocols/protocols.hpp"
 
 namespace ccver {
 namespace {
 
+[[nodiscard]] bool has_check(const LintReport& report, std::string_view id) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.check == id) return true;
+  }
+  return false;
+}
+
 TEST(Lint, EveryLibraryProtocolIsClean) {
   for (const protocols::NamedProtocol& np : protocols::all()) {
-    const auto warnings = lint_protocol(np.factory());
-    EXPECT_TRUE(warnings.empty())
-        << np.name << ": " << warnings.front().detail;
+    const LintReport report = lint_protocol(np.factory());
+    EXPECT_TRUE(report.clean())
+        << np.name << ": " << report.diagnostics.front().check << ": "
+        << report.diagnostics.front().message;
   }
 }
 
@@ -53,33 +62,53 @@ Protocol with_dead_trap_state() {
 }
 
 TEST(Lint, FlagsDeadStatesAndSubsumesTheirRules) {
-  const auto warnings = lint_protocol(with_dead_trap_state());
-  ASSERT_FALSE(warnings.empty());
+  const LintReport report = lint_protocol(with_dead_trap_state());
+  ASSERT_FALSE(report.clean());
   bool dead_state = false;
-  for (const LintWarning& w : warnings) {
-    if (w.kind == LintWarning::Kind::DeadState) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.check == "dead-state") {
       dead_state = true;
-      EXPECT_NE(w.detail.find("Trap"), std::string::npos);
+      EXPECT_NE(d.message.find("Trap"), std::string::npos);
+      EXPECT_EQ(d.severity, Severity::Warning);
     }
     // Rules *from* the dead state must not be double-reported.
-    if (w.kind == LintWarning::Kind::DeadRule) {
-      EXPECT_EQ(w.detail.find("(Trap"), std::string::npos) << w.detail;
+    if (d.check == "dead-rule") {
+      EXPECT_EQ(d.message.find("(Trap"), std::string::npos) << d.message;
     }
   }
   EXPECT_TRUE(dead_state);
 }
 
 TEST(Lint, FlagsUnsatisfiableGuardRules) {
-  const auto warnings = lint_protocol(with_dead_trap_state());
+  const LintReport report = lint_protocol(with_dead_trap_state());
   bool dead_rule = false;
-  for (const LintWarning& w : warnings) {
-    if (w.kind == LintWarning::Kind::DeadRule &&
-        w.detail.find("Hop") != std::string::npos &&
-        w.detail.find("shared") != std::string::npos) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.check == "dead-rule" &&
+        d.message.find("Hop") != std::string::npos &&
+        d.message.find("shared") != std::string::npos) {
       dead_rule = true;
     }
   }
   EXPECT_TRUE(dead_rule);
+}
+
+TEST(Lint, DisabledChecksAreSkipped) {
+  LintOptions options;
+  options.disabled = {"dead-state", "dead-rule", "store-no-invalidate"};
+  const LintReport report = lint_protocol(with_dead_trap_state(), options);
+  EXPECT_FALSE(has_check(report, "dead-state"));
+  EXPECT_FALSE(has_check(report, "dead-rule"));
+}
+
+TEST(Lint, PerCheckTimersAreRecorded) {
+  MetricsRegistry metrics;
+  LintOptions options;
+  options.metrics = &metrics;
+  (void)lint_protocol(with_dead_trap_state(), options);
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_TRUE(snapshot.timers.contains("lint.check.dead-state"));
+  EXPECT_TRUE(snapshot.timers.contains("lint.check.duplicate-rule"));
+  EXPECT_TRUE(snapshot.timers.contains("lint.expansion"));
 }
 
 TEST(Lint, FlagsStuckTransientStates) {
@@ -107,21 +136,30 @@ TEST(Lint, FlagsStuckTransientStates) {
   // (invalidate_others on the write rules maps Pending -> Invalid.)
   const Protocol p = std::move(b).build();
 
-  const auto warnings = lint_protocol(p);
+  const LintReport report = lint_protocol(p);
   bool stuck = false;
-  for (const LintWarning& w : warnings) {
-    if (w.kind == LintWarning::Kind::StuckTransient) {
+  for (const Diagnostic& d2 : report.diagnostics) {
+    if (d2.check == "stuck-transient") {
       stuck = true;
-      EXPECT_NE(w.detail.find("Pending"), std::string::npos);
+      EXPECT_NE(d2.message.find("Pending"), std::string::npos);
     }
   }
   EXPECT_TRUE(stuck);
 }
 
-TEST(Lint, KindNamesAreStable) {
-  EXPECT_EQ(to_string(LintWarning::Kind::DeadState), "dead-state");
-  EXPECT_EQ(to_string(LintWarning::Kind::DeadRule), "dead-rule");
-  EXPECT_EQ(to_string(LintWarning::Kind::StuckTransient), "stuck-transient");
+TEST(Lint, RegistryIdsAreStableAndComplete) {
+  for (const char* id :
+       {"parse-error", "duplicate-rule", "rule-overlap", "guard-in-null",
+        "missing-coverage", "unused-op", "owner-evict-no-writeback",
+        "store-no-invalidate", "load-prefer-missing-owner", "dead-state",
+        "dead-rule", "stuck-transient"}) {
+    const CheckInfo* info = find_check(id);
+    ASSERT_NE(info, nullptr) << id;
+    EXPECT_EQ(info->id, id);
+    EXPECT_FALSE(info->description.empty());
+  }
+  EXPECT_EQ(all_checks().size(), 12u);
+  EXPECT_EQ(find_check("no-such-check"), nullptr);
 }
 
 }  // namespace

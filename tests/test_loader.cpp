@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cctype>
 #include <filesystem>
 #include <fstream>
@@ -70,7 +72,11 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, ShippedSpecs,
 class LoaderIo : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "ccver_loader_test";
+    // Unique per test process: ctest runs the discovered cases in
+    // parallel, and a shared directory would let one case's TearDown
+    // delete another's files mid-test.
+    dir_ = fs::temp_directory_path() /
+           ("ccver_loader_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
@@ -98,6 +104,25 @@ TEST_F(LoaderIo, ParseErrorsCarryTheFileName) {
     FAIL() << "expected SpecError";
   } catch (const SpecError& e) {
     EXPECT_NE(std::string(e.what()).find("broken.ccp"), std::string::npos);
+  }
+}
+
+TEST_F(LoaderIo, ParseErrorsReanchorToPathLineColumn) {
+  // Located parse errors come back as `<path>:<line>:<col>: <detail>` --
+  // the `spec` pseudo-file of the string-level parser is replaced by the
+  // real path, keeping the position.
+  const fs::path path = dir_ / "located.ccp";
+  std::ofstream(path) << "protocol X {\n  characteristic null\n"
+                         "  invalid state I\n  state V\n"
+                         "  rule Bogus R -> V { }\n}\n";
+  try {
+    (void)load_protocol_file(path);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string expected = path.string() + ":5:8: unknown state";
+    EXPECT_NE(std::string(e.what()).find(expected), std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.span(), (SourceSpan{5, 8}));
   }
 }
 

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/verifier.hpp"
 #include "protocols/protocols.hpp"
 #include "spec/lexer.hpp"
+#include "spec/loader.hpp"
 #include "spec/parser.hpp"
 #include "spec/writer.hpp"
 
@@ -95,17 +98,114 @@ TEST(Parser, ParsedProtocolVerifies) {
   EXPECT_TRUE(report.ok) << report.summary(p);
 }
 
-TEST(Parser, ReportsPositionOnUnknownState) {
+/// Asserts that parsing `source` (strictly) raises a SpecError whose
+/// message starts with the canonical `spec:<line>:<col>: ` location prefix
+/// and mentions `needle`. Every parse failure -- lexer, grammar, builder
+/// validation -- must go through this format.
+void expect_parse_error_at(std::string_view source, std::string_view prefix,
+                           std::string_view needle) {
   try {
-    (void)parse_protocol("protocol X {\n  characteristic null\n"
-                         "  invalid state I\n  state V\n"
-                         "  rule Bogus R -> V { }\n}");
-    FAIL() << "expected SpecError";
+    (void)parse_protocol(source);
+    FAIL() << "expected SpecError from:\n" << source;
   } catch (const SpecError& e) {
-    EXPECT_NE(std::string(e.what()).find("spec:5"), std::string::npos)
-        << e.what();
-    EXPECT_NE(std::string(e.what()).find("Bogus"), std::string::npos);
+    const std::string what = e.what();
+    EXPECT_EQ(what.find(prefix), 0u) << what;
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+    EXPECT_TRUE(e.span().known()) << what;
   }
+}
+
+TEST(Parser, ReportsPositionOnUnknownState) {
+  expect_parse_error_at(
+      "protocol X {\n  characteristic null\n"
+      "  invalid state I\n  state V\n"
+      "  rule Bogus R -> V { }\n}",
+      "spec:5:8: ", "unknown state 'Bogus'");
+}
+
+TEST(Parser, ReportsPositionOnUnknownOp) {
+  expect_parse_error_at(
+      "protocol X {\n  characteristic null\n"
+      "  invalid state I\n  state V\n"
+      "  rule V Flush -> V { }\n}",
+      "spec:5:10: ", "unknown operation 'Flush'");
+}
+
+TEST(Parser, ReportsPositionOnLexerError) {
+  expect_parse_error_at("protocol X {\n  state $ I\n}", "spec:2:9: ",
+                        "unexpected character");
+}
+
+TEST(Parser, ReportsRulePositionOnGuardUnderNull) {
+  // A builder-validation failure tied to one rule must surface at that
+  // rule's `rule` keyword, not at the protocol header.
+  expect_parse_error_at(
+      "protocol X {\n  characteristic null\n"
+      "  invalid state I\n  state V\n"
+      "  rule I R when shared -> V { load memory }\n}",
+      "spec:5:3: ", "sharing guard requires");
+}
+
+TEST(Parser, ReportsStatePositionOnMissingCoverage) {
+  // Coverage holes anchor to the uncovered state's declaration.
+  expect_parse_error_at(
+      "protocol X {\n  characteristic null\n"
+      "  invalid state I\n  state V\n"
+      "  rule I R -> V { load memory }\n"
+      "  rule V R -> V { }\n"
+      "  rule V Z -> I { }\n}",
+      "spec:3:3: ", "state I has no rule for op W");
+}
+
+TEST(Parser, ReportsProtocolPositionOnWholeSpecErrors) {
+  // No invalid state: there is no single offending declaration, so the
+  // error anchors to the `protocol` keyword.
+  expect_parse_error_at("protocol X {\n  characteristic null\n}",
+                        "spec:1:1: ", "declares no invalid state");
+}
+
+TEST(Parser, ThreadsDeclarationSpansIntoTheProtocol) {
+  const Protocol p = parse_protocol(kMiniProtocol);
+  // kMiniProtocol opens with a blank line and a comment: `invalid state I`
+  // sits on line 5, `state D` on line 6, the first rule on line 8.
+  EXPECT_EQ(p.state_span(0), (SourceSpan{5, 3}));
+  EXPECT_EQ(p.state_span(1), (SourceSpan{6, 3}));
+  EXPECT_EQ(p.rule_span(0), (SourceSpan{8, 3}));
+  // The standard ops are implicit -- no declaration, no span.
+  EXPECT_FALSE(p.op_span(StdOps::Read).known());
+}
+
+TEST(Parser, BuilderProtocolsCarryNoSpans) {
+  const Protocol p = protocols::by_name("MSI");
+  EXPECT_FALSE(p.state_span(0).known());
+  EXPECT_FALSE(p.rule_span(0).known());
+}
+
+TEST(Parser, LenientModeAdmitsLintableDefects) {
+  // Strict parsing rejects the duplicated read hit; lenient parsing keeps
+  // both copies for the analysis layer to diagnose.
+  const std::string source =
+      "protocol X {\n  characteristic null\n"
+      "  invalid state I\n  state V\n"
+      "  rule I R -> V { load memory }\n"
+      "  rule V R -> V { }\n"
+      "  rule V R -> V { }\n"
+      "  rule I W -> V { invalidate others\n load memory\n store }\n"
+      "  rule V W -> V { invalidate others\n store }\n"
+      "  rule V Z -> I { }\n}";
+  EXPECT_THROW((void)parse_protocol(source), SpecError);
+  const Protocol p = parse_protocol_lenient(source);
+  EXPECT_EQ(p.rules().size(), 6u);
+}
+
+TEST(Parser, LenientModeStillRejectsCorruptingDefects) {
+  // An unknown state reference cannot produce a usable Protocol object;
+  // even lenient parsing must throw.
+  EXPECT_THROW((void)parse_protocol_lenient(
+                   "protocol X {\n  characteristic null\n"
+                   "  invalid state I\n  state V\n"
+                   "  rule Bogus R -> V { }\n}"),
+               SpecError);
 }
 
 TEST(Parser, RejectsCharacteristicAfterDeclarations) {
@@ -170,6 +270,44 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, RoundTrip,
                          [](const ::testing::TestParamInfo<std::string>& i) {
                            return i.param;
                          });
+
+/// File-level round trip over every shipped spec: parsing a `.ccp` file,
+/// writing it back out and reparsing must reproduce the same protocol
+/// (declaration order of ops, states and rules included). Source spans are
+/// provenance, not specification, so the rewritten spec's fresh positions
+/// do not break equality.
+class FileRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FileRoundTrip, ParseWriteReparseIsIdentity) {
+  const std::filesystem::path path =
+      std::filesystem::path(CCVER_SOURCE_DIR) / "specs" / GetParam();
+  const Protocol original = load_protocol_file(path);
+  const Protocol reparsed = parse_protocol(to_spec(original));
+  EXPECT_TRUE(reparsed == original) << path;
+}
+
+TEST_P(FileRoundTrip, FileSpansAreKnown) {
+  const std::filesystem::path path =
+      std::filesystem::path(CCVER_SOURCE_DIR) / "specs" / GetParam();
+  const Protocol p = load_protocol_file(path);
+  for (std::size_t s = 0; s < p.state_count(); ++s) {
+    EXPECT_TRUE(p.state_span(static_cast<StateId>(s)).known()) << path;
+  }
+  for (std::size_t i = 0; i < p.rules().size(); ++i) {
+    EXPECT_TRUE(p.rule_span(i).known()) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecFiles, FileRoundTrip,
+    ::testing::Values("berkeley.ccp", "dragon.ccp", "firefly.ccp",
+                      "illinois.ccp", "illinoissplit.ccp", "mesi.ccp",
+                      "moesi.ccp", "moesisplit.ccp", "msi.ccp",
+                      "synapse.ccp", "writeonce.ccp"),
+    [](const ::testing::TestParamInfo<std::string>& i) {
+      std::string name = i.param.substr(0, i.param.find('.'));
+      return name;
+    });
 
 }  // namespace
 }  // namespace ccver

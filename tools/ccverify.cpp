@@ -13,18 +13,22 @@
 ///                     [--stats]
 ///   ccverify compare <a> <b>
 ///   ccverify mutate <protocol|file.ccp>
+///   ccverify lint <protocol|file.ccp>... [--json | --sarif] [--Werror]
+///                 [--disable=<id>[,<id>...]] [--list] [--stats]
 ///
 /// A protocol argument is either a library name (see `list`) or a path to
 /// a `.ccp` specification file.
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/checks.hpp"
+#include "analysis/output.hpp"
 #include "core/compare.hpp"
-#include "core/lint.hpp"
 #include "core/report_json.hpp"
 #include "core/verifier.hpp"
 #include "enumeration/enumerator.hpp"
@@ -49,7 +53,8 @@ using Args = CliArgs;
 Args parse_args(int argc, char** argv, int first) {
   // Boolean flags take no value; everything else consumes the next token.
   static const std::vector<std::string> kBooleanFlags = {
-      "--trace", "--strict", "--paths", "--json", "--stats"};
+      "--trace", "--strict", "--paths", "--json", "--stats",
+      "--sarif", "--Werror", "--list"};
   return parse_cli_args(argc, argv, first, kBooleanFlags);
 }
 
@@ -116,9 +121,9 @@ int cmd_verify(const Args& args) {
 
   const VerificationReport report = verifier.verify();
   std::cout << report.summary(p) << '\n';
-  for (const LintWarning& w : lint_protocol(p)) {
-    std::cout << "warning [" << to_string(w.kind) << "]: " << w.detail
-              << '\n';
+  for (const Diagnostic& d : lint_protocol(p).diagnostics) {
+    std::cout << to_string(d.severity) << " [" << d.check << "]: "
+              << d.message << '\n';
   }
   if (report.ok) {
     std::cout << '\n' << report.graph.render_figure(p);
@@ -363,6 +368,88 @@ int cmd_mutate(const Args& args) {
   return 0;
 }
 
+int cmd_lint(const Args& args) {
+  if (args.has("--list")) {
+    TextTable table({"check", "severity", "layer", "description"});
+    for (const CheckInfo& c : all_checks()) {
+      table.add_row({std::string(c.id), std::string(to_string(c.severity)),
+                     std::string(to_string(c.layer)),
+                     std::string(c.description)});
+    }
+    table.render(std::cout);
+    return 0;
+  }
+  if (args.positional.empty()) {
+    throw SpecError("lint needs at least one <protocol|file.ccp> argument");
+  }
+
+  LintOptions options;
+  for (const std::string& id : split(args.get("--disable", ""), ',')) {
+    if (id.empty()) continue;
+    if (find_check(id) == nullptr) {
+      throw SpecError("--disable: unknown check '" + id +
+                      "' (see ccverify lint --list)");
+    }
+    options.disabled.push_back(id);
+  }
+  MetricsRegistry metrics;
+  if (args.has("--stats")) options.metrics = &metrics;
+
+  const auto enabled = [&options](std::string_view id) {
+    return std::find(options.disabled.begin(), options.disabled.end(), id) ==
+           options.disabled.end();
+  };
+
+  std::vector<LintedFile> files;
+  for (const std::string& input : args.positional) {
+    LintedFile f{input, {}};
+    if (input.ends_with(".ccp")) {
+      // Lenient parsing keeps every lint-diagnosable defect in the built
+      // protocol; what it still rejects becomes a parse-error diagnostic
+      // located at the offending token.
+      try {
+        f.report = lint_protocol(load_protocol_file(input, BuildMode::Lenient),
+                                 options);
+      } catch (const SpecError& e) {
+        if (enabled("parse-error")) {
+          f.report.diagnostics.push_back(
+              Diagnostic{"parse-error", Severity::Error, e.span(), e.detail(),
+                         ""});
+        }
+      }
+    } else {
+      // Library protocols are built programmatically: diagnostics carry no
+      // line:column, only the protocol name.
+      f.report = lint_protocol(protocols::by_name(input), options);
+    }
+    files.push_back(std::move(f));
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const LintedFile& f : files) {
+    errors += f.report.count(Severity::Error);
+    warnings += f.report.count(Severity::Warning);
+  }
+
+  if (args.has("--json")) {
+    std::cout << diagnostics_to_json(files) << '\n';
+  } else if (args.has("--sarif")) {
+    std::cout << diagnostics_to_sarif(files) << '\n';
+  } else {
+    std::cout << diagnostics_to_text(files);
+    std::cout << files.size() << " input(s): " << errors << " error(s), "
+              << warnings << " warning(s)";
+    if (args.has("--Werror") && warnings > 0) {
+      std::cout << " (warnings are errors under --Werror)";
+    }
+    std::cout << '\n';
+    if (args.has("--stats")) print_stats(metrics);
+  }
+  const bool failed = errors > 0 || (args.has("--Werror") && warnings > 0);
+  return failed ? 1 : 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: ccverify <command> [args]\n"
@@ -379,6 +466,9 @@ int usage() {
       "  compare <a> <b>                      diagram isomorphism\n"
       "  diff <a> <b>                         state-space difference\n"
       "  mutate <protocol>                    single-rule mutation study\n"
+      "  lint <protocol>... [--json | --sarif] [--Werror]\n"
+      "       [--disable=<id>[,<id>...]] [--list] [--stats]\n"
+      "                                       static analysis of the spec\n"
       "  random <seed> [--out F.ccp]          generate a random protocol\n"
       "<protocol> is a library name or a .ccp file path.\n"
       "--stats prints engine metrics (per-level timings, lock wait,\n"
@@ -404,6 +494,7 @@ int main(int argc, char** argv) {
     if (command == "compare") return cmd_compare(args);
     if (command == "diff") return cmd_diff(args);
     if (command == "mutate") return cmd_mutate(args);
+    if (command == "lint") return cmd_lint(args);
     if (command == "random") return cmd_random(args);
     return usage();
   } catch (const std::exception& e) {

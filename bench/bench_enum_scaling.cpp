@@ -10,6 +10,13 @@
 /// rows is a correctness bug, not noise.
 ///
 /// Usage: bench_enum_scaling [protocol] [n_caches] [repeats]
+///        [--strict | --counting] [--json <path>]
+///
+/// `--counting` switches to counting equivalence (where the successor
+/// kernel's symmetry reduction is active; see successor_kernel.hpp);
+/// default remains strict. `--json <path>` additionally writes the
+/// stable-schema perf trajectory file (`BENCH_enum.json`; see
+/// bench_trajectory.hpp) with one row per thread count.
 ///
 /// Speedup is computed from the best of `repeats` runs per thread count
 /// (minimum wall time estimates the noise floor). The JSON includes
@@ -17,75 +24,53 @@
 /// machine it ran on: with a single hardware thread every speedup is
 /// ~1.0 by construction.
 
-#include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_trajectory.hpp"
 #include "enumeration/enumerator.hpp"
 #include "protocols/protocols.hpp"
 #include "util/json.hpp"
 #include "util/string_util.hpp"
 
-namespace {
-
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-struct ScalingPoint {
-  std::size_t threads = 0;
-  std::uint64_t best_wall_ns = 0;
-  std::size_t states = 0;
-  std::size_t visits = 0;
-  std::size_t levels = 0;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace ccver;
 
-  const std::string name = argc > 1 ? argv[1] : "MOESISplit";
-  const std::size_t n_caches = argc > 2 ? parse_unsigned(argv[2]) : 5;
-  const std::size_t repeats = argc > 3 ? parse_unsigned(argv[3]) : 5;
+  const std::string json_path = bench::strip_json_flag(argc, argv);
+  Equivalence eq = Equivalence::Strict;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      eq = Equivalence::Strict;
+    } else if (arg == "--counting") {
+      eq = Equivalence::Counting;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  const std::string name = !positional.empty() ? positional[0] : "MOESISplit";
+  const std::size_t n_caches =
+      positional.size() > 1 ? parse_unsigned(positional[1]) : 5;
+  const std::size_t repeats =
+      positional.size() > 2 ? parse_unsigned(positional[2]) : 5;
   const Protocol p = protocols::by_name(name);
 
   const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
-  std::vector<ScalingPoint> curve;
-
+  std::vector<bench::BenchEnumRow> curve;
   for (const std::size_t threads : thread_counts) {
-    Enumerator::Options opt;
-    opt.n_caches = n_caches;
-    opt.threads = threads;
-    opt.equivalence = Equivalence::Strict;
-    const Enumerator enumerator(p, opt);
-
-    ScalingPoint point;
-    point.threads = threads;
-    point.best_wall_ns = UINT64_MAX;
-    for (std::size_t r = 0; r < repeats; ++r) {
-      const std::uint64_t t0 = now_ns();
-      const EnumerationResult result = enumerator.run();
-      point.best_wall_ns = std::min(point.best_wall_ns, now_ns() - t0);
-      point.states = result.states;
-      point.visits = result.visits;
-      point.levels = result.levels;
-    }
-    curve.push_back(point);
+    curve.push_back(bench::measure_enum(p, n_caches, eq, threads, repeats));
   }
 
   // Determinism cross-check: every thread count must agree exactly.
-  for (const ScalingPoint& point : curve) {
-    if (point.states != curve.front().states ||
-        point.visits != curve.front().visits ||
-        point.levels != curve.front().levels) {
+  for (const bench::BenchEnumRow& row : curve) {
+    if (row.states != curve.front().states ||
+        row.visits != curve.front().visits ||
+        row.symmetry_skips != curve.front().symmetry_skips) {
       std::cerr << "FATAL: results diverge across thread counts\n";
       return 1;
     }
@@ -96,26 +81,33 @@ int main(int argc, char** argv) {
   json.key("benchmark").value("enum_scaling");
   json.key("protocol").value(p.name());
   json.key("n_caches").value(static_cast<std::uint64_t>(n_caches));
-  json.key("equivalence").value("strict");
+  json.key("equivalence")
+      .value(eq == Equivalence::Strict ? "strict" : "counting");
   json.key("repeats").value(static_cast<std::uint64_t>(repeats));
   json.key("hardware_concurrency")
       .value(static_cast<std::uint64_t>(
           std::thread::hardware_concurrency()));
   json.key("states").value(static_cast<std::uint64_t>(curve.front().states));
   json.key("visits").value(static_cast<std::uint64_t>(curve.front().visits));
-  json.key("levels").value(static_cast<std::uint64_t>(curve.front().levels));
+  json.key("symmetry_skips")
+      .value(static_cast<std::uint64_t>(curve.front().symmetry_skips));
   json.key("curve").begin_array();
-  const double base = static_cast<double>(curve.front().best_wall_ns);
-  for (const ScalingPoint& point : curve) {
+  const double base = static_cast<double>(curve.front().wall_ns);
+  for (const bench::BenchEnumRow& row : curve) {
     json.begin_object();
-    json.key("threads").value(static_cast<std::uint64_t>(point.threads));
-    json.key("wall_ns").value(point.best_wall_ns);
-    json.key("speedup").value(base /
-                              static_cast<double>(point.best_wall_ns));
+    json.key("threads").value(static_cast<std::uint64_t>(row.threads));
+    json.key("wall_ns").value(row.wall_ns);
+    json.key("speedup").value(base / static_cast<double>(row.wall_ns));
     json.end_object();
   }
   json.end_array();
   json.end_object();
   std::cout << std::move(json).str() << '\n';
+
+  if (!json_path.empty() &&
+      !bench::write_bench_enum_json(json_path, "enum_scaling", curve)) {
+    std::cerr << "FATAL: cannot write " << json_path << '\n';
+    return 1;
+  }
   return 0;
 }

@@ -5,8 +5,18 @@
 /// function of cache count and thread count, containment checks (the inner
 /// loop of Figure 3), the concrete transition function, and simulator
 /// throughput.
+///
+/// In addition to the usual google-benchmark flags, `--json <path>` writes
+/// the stable-schema perf trajectory file (`BENCH_enum.json`; see
+/// bench_trajectory.hpp) after the benchmarks run: best-of-3 enumeration
+/// wall time for a small fixed set of (protocol, n, equivalence, threads)
+/// configurations, with the kernel's symmetry-skip count per row.
 
 #include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_trajectory.hpp"
 
 #include "core/verifier.hpp"
 #include "enumeration/enumerator.hpp"
@@ -157,4 +167,25 @@ BENCHMARK(BM_SimulatorThroughput)->RangeMultiplier(2)->Range(1, 8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = bench::strip_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (json_path.empty()) return 0;
+  std::vector<bench::BenchEnumRow> rows;
+  for (const char* name : {"Illinois", "MOESISplit"}) {
+    const Protocol p = protocols::by_name(name);
+    for (const std::size_t threads : {1UL, 8UL}) {
+      rows.push_back(
+          bench::measure_enum(p, 6, Equivalence::Counting, threads, 3));
+    }
+  }
+  if (!bench::write_bench_enum_json(json_path, "e9_perf", rows)) {
+    std::cerr << "FATAL: cannot write " << json_path << '\n';
+    return 1;
+  }
+  return 0;
+}

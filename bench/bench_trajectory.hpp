@@ -1,0 +1,145 @@
+#pragma once
+/// \file bench_trajectory.hpp
+/// The machine-readable perf trajectory shared by `bench_e9_perf` and
+/// `bench_enum_scaling`: both accept `--json <path>` and write a
+/// `BENCH_enum.json` with one row per measured enumeration configuration.
+///
+/// Schema (stable; checked by the `perf-smoke` CI job and documented in
+/// docs/observability.md):
+///
+///   {
+///     "benchmark": "<emitting binary>",
+///     "schema_version": 1,
+///     "hardware_concurrency": <uint>,
+///     "rows": [
+///       { "protocol": "<name>", "n": <uint>, "equivalence":
+///         "strict"|"counting", "threads": <uint>, "states": <uint>,
+///         "visits": <uint>, "symmetry_skips": <uint>, "wall_ns": <uint>,
+///         "states_per_sec": <double> }, ...
+///     ]
+///   }
+///
+/// `wall_ns` is the best (minimum) of the configured repeats -- the noise
+/// floor, which is what a perf trajectory wants to track across commits.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "enumeration/enumerator.hpp"
+#include "util/json.hpp"
+
+namespace ccver::bench {
+
+inline std::uint64_t trajectory_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One measured enumeration configuration.
+struct BenchEnumRow {
+  std::string protocol;
+  std::size_t n = 0;
+  Equivalence equivalence = Equivalence::Counting;
+  std::size_t threads = 0;
+  std::size_t states = 0;
+  std::size_t visits = 0;
+  std::size_t symmetry_skips = 0;
+  std::uint64_t wall_ns = 0;  ///< best of the configured repeats
+  double states_per_sec = 0.0;
+};
+
+/// Runs one enumeration configuration `repeats` times and reports the
+/// best-of run as a trajectory row.
+inline BenchEnumRow measure_enum(const Protocol& p, std::size_t n,
+                                 Equivalence eq, std::size_t threads,
+                                 std::size_t repeats) {
+  Enumerator::Options opt;
+  opt.n_caches = n;
+  opt.equivalence = eq;
+  opt.threads = threads;
+  const Enumerator enumerator(p, opt);
+
+  BenchEnumRow row;
+  row.protocol = p.name();
+  row.n = n;
+  row.equivalence = eq;
+  row.threads = threads;
+  row.wall_ns = UINT64_MAX;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const std::uint64_t t0 = trajectory_now_ns();
+    const EnumerationResult result = enumerator.run();
+    const std::uint64_t dt = trajectory_now_ns() - t0;
+    if (dt < row.wall_ns) row.wall_ns = dt;
+    row.states = result.states;
+    row.visits = result.visits;
+    row.symmetry_skips = result.symmetry_skips;
+  }
+  row.states_per_sec = row.wall_ns == 0
+                           ? 0.0
+                           : 1e9 * static_cast<double>(row.states) /
+                                 static_cast<double>(row.wall_ns);
+  return row;
+}
+
+/// Writes the trajectory file. Returns false (after reporting nothing --
+/// callers print their own diagnostics) if the file cannot be opened.
+inline bool write_bench_enum_json(const std::string& path,
+                                  const std::string& benchmark,
+                                  const std::vector<BenchEnumRow>& rows) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("benchmark").value(benchmark);
+  json.key("schema_version").value(std::uint64_t{1});
+  json.key("hardware_concurrency")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.key("rows").begin_array();
+  for (const BenchEnumRow& row : rows) {
+    json.begin_object();
+    json.key("protocol").value(row.protocol);
+    json.key("n").value(static_cast<std::uint64_t>(row.n));
+    json.key("equivalence")
+        .value(row.equivalence == Equivalence::Strict ? "strict"
+                                                      : "counting");
+    json.key("threads").value(static_cast<std::uint64_t>(row.threads));
+    json.key("states").value(static_cast<std::uint64_t>(row.states));
+    json.key("visits").value(static_cast<std::uint64_t>(row.visits));
+    json.key("symmetry_skips")
+        .value(static_cast<std::uint64_t>(row.symmetry_skips));
+    json.key("wall_ns").value(row.wall_ns);
+    json.key("states_per_sec").value(row.states_per_sec);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << std::move(json).str() << '\n';
+  return out.good();
+}
+
+/// Strips a trailing `--json <path>` style flag pair (any position) from
+/// argv; returns the path or empty. Shared by both bench binaries so
+/// google-benchmark / positional parsing never sees the flag.
+inline std::string strip_json_flag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::string(argv[r]) == "--json" && r + 1 < argc) {
+      path = argv[r + 1];
+      ++r;
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argc = w;
+  return path;
+}
+
+}  // namespace ccver::bench

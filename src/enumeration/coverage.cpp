@@ -1,28 +1,17 @@
 #include "enumeration/coverage.hpp"
 
-#include <array>
-
 namespace ccver {
 
 bool covers_concrete(const Protocol& p, const CompositeState& s,
-                     const EnumKey& key) {
-  // Population counts per (state, cdata) and the number of valid copies.
-  std::array<std::array<unsigned, 3>, kMaxStates> counts{};
-  unsigned valid = 0;
-  for (std::size_t i = 0; i < key.cells.size(); ++i) {
-    const StateId st = key_state(key, i);
-    ++counts[st][static_cast<std::size_t>(key_cdata(key, i))];
-    if (p.is_valid_state(st)) ++valid;
-  }
-
+                     const EnumKey& key, const KeyCensus& census) {
   if (s.mdata() != key_mdata(key)) return false;
-  if (s.level() != level_of_count(valid)) return false;
+  if (s.level() != level_of_count(census.valid)) return false;
 
   // Every populated (state, cdata) must be admitted by the class
   // repetition, and every definite class must be populated.
   for (std::size_t st = 0; st < p.state_count(); ++st) {
     for (std::size_t cd = 0; cd < 3; ++cd) {
-      const unsigned n = counts[st][cd];
+      const unsigned n = census.counts[st][cd];
       const Rep rep = s.rep_of(static_cast<StateId>(st),
                                static_cast<CData>(cd));
       if (n < rep_lo(rep)) return false;             // definite class empty
@@ -32,15 +21,22 @@ bool covers_concrete(const Protocol& p, const CompositeState& s,
   return true;
 }
 
+bool covers_concrete(const Protocol& p, const CompositeState& s,
+                     const EnumKey& key) {
+  return covers_concrete(p, s, key, census_of(p, key));
+}
+
 CoverageReport check_coverage(const Protocol& p,
                               const std::vector<CompositeState>& essential,
                               const std::vector<EnumKey>& reachable) {
   CoverageReport report;
   for (const EnumKey& key : reachable) {
     ++report.checked;
+    // One census per key, reused across every essential candidate.
+    const KeyCensus census = census_of(p, key);
     bool covered = false;
     for (const CompositeState& s : essential) {
-      if (covers_concrete(p, s, key)) {
+      if (covers_concrete(p, s, key, census)) {
         covered = true;
         break;
       }

@@ -9,6 +9,7 @@
 
 #include "core/composite_state.hpp"
 #include "enumeration/enum_state.hpp"
+#include "enumeration/successor_kernel.hpp"
 
 namespace ccver {
 
@@ -19,6 +20,13 @@ namespace ccver {
 /// only zero; `1`/`+` classes require at least one member).
 [[nodiscard]] bool covers_concrete(const Protocol& p, const CompositeState& s,
                                    const EnumKey& key);
+
+/// As above with the key's census precomputed -- `check_coverage` builds
+/// the census once per key and reuses it across every essential candidate
+/// instead of recounting cells per (key, essential) pair.
+[[nodiscard]] bool covers_concrete(const Protocol& p, const CompositeState& s,
+                                   const EnumKey& key,
+                                   const KeyCensus& census);
 
 /// Result of checking a reachable set against the essential states.
 struct CoverageReport {

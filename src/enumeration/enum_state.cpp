@@ -20,10 +20,17 @@ EnumKey project(const Protocol& p, const ConcreteBlock& b, Equivalence eq) {
 }
 
 ConcreteBlock reify(const Protocol& p, const EnumKey& key) {
+  ConcreteBlock b;
+  reify_into(p, key, b);
+  return b;
+}
+
+void reify_into(const Protocol& p, const EnumKey& key, ConcreteBlock& b) {
   // Use token 1 as "latest" and token 0 as "stale"; the initial state (no
   // store yet) is behaviorally equivalent to this encoding because all
   // comparisons are against `latest`.
-  ConcreteBlock b;
+  b.states.clear();
+  b.values.clear();
   b.latest = 1;
   for (std::size_t i = 0; i < key.cells.size(); ++i) {
     const StateId s = key_state(key, i);
@@ -34,7 +41,6 @@ ConcreteBlock reify(const Protocol& p, const EnumKey& key) {
               "EnumKey cell validity/cdata mismatch");
   }
   b.mem_value = key_mdata(key) == MData::Fresh ? 1U : 0U;
-  return b;
 }
 
 std::string to_string(const Protocol& p, const EnumKey& k) {

@@ -69,6 +69,11 @@ struct EnumKey {
 /// (fresh copies get the latest token, stale ones an older token).
 [[nodiscard]] ConcreteBlock reify(const Protocol& p, const EnumKey& key);
 
+/// As `reify`, but writes into `b` (cleared first). The successor kernel
+/// reifies into per-worker scratch instead of constructing a block per
+/// expanded state.
+void reify_into(const Protocol& p, const EnumKey& key, ConcreteBlock& b);
+
 /// Per-cache state of a key.
 [[nodiscard]] inline StateId key_state(const EnumKey& k,
                                        std::size_t i) noexcept {

@@ -15,55 +15,29 @@ namespace ccver {
 
 namespace {
 
-/// Representative supplier indexes covering every distinct freshness among
-/// `candidates` (at most two: one fresh, one stale).
-SmallVec<std::size_t, 2> distinct_freshness_reps(
-    const Protocol& p, const ConcreteBlock& b,
-    const SmallVec<std::size_t, kMaxCaches>& candidates) {
-  SmallVec<std::size_t, 2> reps;
-  bool seen_fresh = false;
-  bool seen_stale = false;
-  for (const std::size_t j : candidates) {
-    const bool fresh = b.values[j] == b.latest;
-    if (fresh && !seen_fresh) {
-      seen_fresh = true;
-      reps.push_back(j);
-    } else if (!fresh && !seen_stale) {
-      seen_stale = true;
-      reps.push_back(j);
-    }
-    (void)p;
-  }
-  return reps;
-}
-
-}  // namespace
-
-std::optional<std::string> check_concrete_invariants(const Protocol& p,
-                                                     const EnumKey& key) {
-  const std::size_t n = key.cells.size();
-
-  std::size_t valid_copies = 0;
+/// Shared core of the concrete invariant checks, parameterized over how a
+/// cell is read (from a key or from a live block). The per-state counting
+/// checks run off the census in O(|Q|) instead of rescanning the n caches
+/// once per declared invariant.
+template <typename StateAt, typename CDataAt>
+std::optional<std::string> check_invariants_impl(
+    const Protocol& p, std::size_t n, MData mdata, const KeyCensus& census,
+    StateAt state_at, CDataAt cdata_at) {
   for (std::size_t i = 0; i < n; ++i) {
-    const StateId s = key_state(key, i);
-    const CData c = key_cdata(key, i);
+    const StateId s = state_at(i);
     if (!p.is_valid_state(s)) continue;
-    ++valid_copies;
-    if (c == CData::Obsolete) {
+    if (cdata_at(i) == CData::Obsolete) {
       return "cache " + std::to_string(i) + " in state " + p.state_name(s) +
              " holds an obsolete copy (Definition 3)";
     }
   }
-  if (valid_copies == 0 && key_mdata(key) == MData::Obsolete) {
+  if (census.valid == 0 && mdata == MData::Obsolete) {
     return std::string("no cached copy and memory obsolete: value lost");
   }
 
   const auto count_in = [&](StateId s) {
-    std::size_t c = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (key_state(key, i) == s) ++c;
-    }
-    return c;
+    return static_cast<std::size_t>(census.count(s, CData::NoData)) +
+           census.count(s, CData::Fresh) + census.count(s, CData::Obsolete);
   };
   for (const ExclusivityInvariant& e : p.exclusivity()) {
     const std::size_t own = count_in(e.state);
@@ -71,7 +45,7 @@ std::optional<std::string> check_concrete_invariants(const Protocol& p,
       return "two or more copies in exclusive state " +
              p.state_name(e.state);
     }
-    if (own == 1 && valid_copies > 1) {
+    if (own == 1 && census.valid > 1) {
       return "exclusive state " + p.state_name(e.state) +
              " coexists with another valid copy";
     }
@@ -84,55 +58,45 @@ std::optional<std::string> check_concrete_invariants(const Protocol& p,
   return std::nullopt;
 }
 
+}  // namespace
+
+std::optional<std::string> check_concrete_invariants(const Protocol& p,
+                                                     const EnumKey& key) {
+  return check_invariants_impl(
+      p, key.cells.size(), key_mdata(key), census_of(p, key),
+      [&](std::size_t i) { return key_state(key, i); },
+      [&](std::size_t i) { return key_cdata(key, i); });
+}
+
+std::optional<std::string> check_concrete_invariants(const Protocol& p,
+                                                     const ConcreteBlock& b) {
+  return check_invariants_impl(
+      p, b.cache_count(), mdata_of(b), census_of(p, b),
+      [&](std::size_t i) { return b.states[i]; },
+      [&](std::size_t i) { return cdata_of(p, b, i); });
+}
+
 std::vector<LabeledSuccessor> concrete_successors_labeled(
     const Protocol& p, const EnumKey& key, Equivalence eq) {
   std::vector<LabeledSuccessor> out;
-  const ConcreteBlock base = reify(p, key);
-  const std::size_t n = base.cache_count();
-
-  for (std::size_t i = 0; i < n; ++i) {
-    for (OpId op = 0; op < static_cast<OpId>(p.op_count()); ++op) {
-      const Rule* rule = p.find_rule(base.states[i], op, sharing_of(p, base, i));
-      if (rule == nullptr) continue;
-
-      // Branch over load suppliers and write-back responders whose
-      // freshness differs (a single representative per freshness class).
-      SmallVec<std::size_t, 2> load_reps = distinct_freshness_reps(
-          p, base, candidate_suppliers(p, base, i, *rule));
-      SmallVec<std::size_t, 2> wb_reps = distinct_freshness_reps(
-          p, base, candidate_writeback_sources(p, base, i, *rule));
-
-      const std::size_t load_branches = load_reps.empty() ? 1 : load_reps.size();
-      const std::size_t wb_branches = wb_reps.empty() ? 1 : wb_reps.size();
-      for (std::size_t li = 0; li < load_branches; ++li) {
-        for (std::size_t wi = 0; wi < wb_branches; ++wi) {
-          ConcreteBlock block = base;
-          const std::optional<std::size_t> supplier =
-              load_reps.empty() ? std::nullopt
-                                : std::optional<std::size_t>(load_reps[li]);
-          const std::optional<std::size_t> responder =
-              wb_reps.empty() ? std::nullopt
-                              : std::optional<std::size_t>(wb_reps[wi]);
-          const ApplyOutcome outcome =
-              apply_op(p, block, i, op, supplier, responder);
-          if (outcome.applied) {
-            out.push_back(LabeledSuccessor{
-                project(p, block, eq),
-                ConcreteAction{static_cast<std::uint32_t>(i), op}});
-          }
-        }
-      }
-    }
-  }
+  SuccessorKernel kernel(p, eq);
+  SuccessorStats stats;
+  kernel.expand(key, stats,
+                [&](const EnumKey& succ, ConcreteAction action) {
+                  out.push_back(LabeledSuccessor{succ, action});
+                });
   return out;
 }
 
 std::vector<EnumKey> concrete_successors(const Protocol& p,
                                          const EnumKey& key, Equivalence eq) {
+  // Straight through the kernel: no intermediate labeled-successor copy.
   std::vector<EnumKey> out;
-  for (LabeledSuccessor& s : concrete_successors_labeled(p, key, eq)) {
-    out.push_back(std::move(s.key));
-  }
+  SuccessorKernel kernel(p, eq);
+  SuccessorStats stats;
+  kernel.expand(key, stats, [&](const EnumKey& succ, ConcreteAction) {
+    out.push_back(succ);
+  });
   return out;
 }
 
@@ -222,30 +186,36 @@ EnumerationResult run_with_paths(const Protocol& p,
   parents.push_back(Parent{});
   record(initial, 0);
 
+  SuccessorKernel kernel(p, options.equivalence,
+                         SuccessorKernel::Options{options.exploit_symmetry});
+  SuccessorStats stats;
+
   std::size_t max_depth = 0;
   for (std::size_t next = 0; next < order.size(); ++next) {
     ++result.expansions;
-    const EnumKey current = order[next];
-    for (LabeledSuccessor& succ :
-         concrete_successors_labeled(p, current, options.equivalence)) {
-      ++result.visits;
-      const auto [it, inserted] =
-          index_of.emplace(succ.key, order.size());
-      if (!inserted) continue;
-      const std::size_t depth = parents[next].depth + 1;
-      max_depth = std::max(max_depth, depth);
-      order.push_back(succ.key);
-      parents.push_back(
-          Parent{static_cast<std::int64_t>(next), succ.action, depth});
-      record(succ.key, order.size() - 1);
-      if (order.size() > options.max_states) {
-        throw ModelError("enumeration exceeded max_states (" +
-                         std::to_string(options.max_states) + ")");
-      }
-    }
+    const EnumKey current = order[next];  // `order` grows during expansion
+    kernel.expand(
+        current, stats, [&](const EnumKey& succ, ConcreteAction action) {
+          const auto [it, inserted] = index_of.emplace(succ, order.size());
+          if (!inserted) return;
+          // Admitting this state would push the count past the cap: throw
+          // *before* admitting (same boundary as the parallel sweep).
+          if (order.size() >= options.max_states) {
+            throw ModelError("enumeration exceeded max_states (" +
+                             std::to_string(options.max_states) + ")");
+          }
+          const std::size_t depth = parents[next].depth + 1;
+          max_depth = std::max(max_depth, depth);
+          order.push_back(succ);
+          parents.push_back(
+              Parent{static_cast<std::int64_t>(next), action, depth});
+          record(succ, order.size() - 1);
+        });
   }
 
   result.states = order.size();
+  result.visits = static_cast<std::size_t>(stats.visits);
+  result.symmetry_skips = static_cast<std::size_t>(stats.symmetry_skips);
   result.levels = max_depth + 1;
 
   std::vector<ConcreteError> errors;
@@ -266,6 +236,8 @@ EnumerationResult run_with_paths(const Protocol& p,
   if (options.metrics != nullptr) {
     options.metrics->counter_add("enum.states", result.states);
     options.metrics->counter_add("enum.visits", result.visits);
+    options.metrics->counter_add("enum.symmetry_skips",
+                                 result.symmetry_skips);
     options.metrics->counter_add("enum.levels", result.levels);
     options.metrics->counter_add("enum.expansions", result.expansions);
   }
@@ -300,7 +272,8 @@ EnumerationResult Enumerator::run() const {
 
   std::vector<EnumKey> frontier{initial};
   std::atomic<std::size_t> total_states{1};
-  std::atomic<std::size_t> total_visits{0};
+  std::size_t total_visits = 0;         // merged at each level barrier
+  std::size_t total_symmetry_skips = 0;
 
   ThreadPool pool(options_.threads);
   const std::size_t workers = pool.thread_count();
@@ -318,7 +291,7 @@ EnumerationResult Enumerator::run() const {
     std::vector<ConcreteError> errors;
     std::array<std::vector<EnumKey>, kShards> pending;
     std::vector<EnumKey> fresh;
-    std::size_t visits = 0;
+    SuccessorStats stats;
     std::size_t flushes = 0;
     std::uint64_t lock_wait_ns = 0;
     std::uint64_t busy_ns = 0;
@@ -378,7 +351,8 @@ EnumerationResult Enumerator::run() const {
   const auto publish_metrics = [&] {
     if (metrics == nullptr) return;
     metrics->counter_add("enum.states", total_states.load());
-    metrics->counter_add("enum.visits", total_visits.load());
+    metrics->counter_add("enum.visits", total_visits);
+    metrics->counter_add("enum.symmetry_skips", total_symmetry_skips);
     metrics->counter_add("enum.levels", result.levels);
     metrics->counter_add("enum.expansions", result.expansions);
     metrics->timer_add("enum.lock_wait", lock_wait_total_ns, flushes_total);
@@ -397,6 +371,18 @@ EnumerationResult Enumerator::run() const {
     }
   };
 
+  // Per-worker expansion state lives *outside* the level loop: kernels
+  // keep their reified-block scratch, and WorkerState keeps the capacity
+  // of its 64 per-shard pending batches, instead of reconstructing
+  // workers x 64 vectors at every BFS level.
+  std::vector<WorkerState> wstate(workers);
+  std::vector<SuccessorKernel> kernels;
+  kernels.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    kernels.emplace_back(p, options_.equivalence,
+                         SuccessorKernel::Options{options_.exploit_symmetry});
+  }
+
   try {
     while (!frontier.empty()) {
       ++result.levels;
@@ -404,7 +390,6 @@ EnumerationResult Enumerator::run() const {
       frontier_peak = std::max(frontier_peak, frontier.size());
       const std::uint64_t level_t0 =
           metrics == nullptr ? 0 : metrics_now_ns();
-      std::vector<WorkerState> wstate(workers);
 
       // Frontier chunks are badly skewed (successor fan-out varies per
       // state), so hand indices out dynamically in grains instead of one
@@ -415,22 +400,22 @@ EnumerationResult Enumerator::run() const {
           0, frontier.size(), grain_used,
           [&](std::size_t begin, std::size_t end, std::size_t worker) {
             WorkerState& ws = wstate[worker];
+            SuccessorKernel& kernel = kernels[worker];
             const std::uint64_t t0 =
                 metrics == nullptr ? 0 : metrics_now_ns();
+            const auto sink = [&](const EnumKey& succ, ConcreteAction) {
+              const std::size_t shard_index = succ.hash() % kShards;
+              ws.pending[shard_index].push_back(succ);
+              if (ws.pending[shard_index].size() >= flush_at) {
+                flush(ws, shard_index);
+              }
+            };
             for (std::size_t idx = begin; idx < end; ++idx) {
               if (total_states.load(std::memory_order_relaxed) >
                   options_.max_states) {
                 throw over_cap();  // another worker crossed the bound
               }
-              for (EnumKey& succ : concrete_successors(
-                       p, frontier[idx], options_.equivalence)) {
-                ++ws.visits;
-                const std::size_t shard_index = succ.hash() % kShards;
-                ws.pending[shard_index].push_back(std::move(succ));
-                if (ws.pending[shard_index].size() >= flush_at) {
-                  flush(ws, shard_index);
-                }
-              }
+              kernel.expand(frontier[idx], ws.stats, sink);
             }
             if (metrics != nullptr) ws.busy_ns += metrics_now_ns() - t0;
           });
@@ -442,7 +427,9 @@ EnumerationResult Enumerator::run() const {
 
       frontier.clear();
       for (WorkerState& ws : wstate) {
-        total_visits.fetch_add(ws.visits, std::memory_order_relaxed);
+        total_visits += static_cast<std::size_t>(ws.stats.visits);
+        total_symmetry_skips +=
+            static_cast<std::size_t>(ws.stats.symmetry_skips);
         lock_wait_total_ns += ws.lock_wait_ns;
         busy_total_ns += ws.busy_ns;
         flushes_total += ws.flushes;
@@ -450,6 +437,12 @@ EnumerationResult Enumerator::run() const {
         frontier.insert(frontier.end(),
                         std::make_move_iterator(ws.next.begin()),
                         std::make_move_iterator(ws.next.end()));
+        ws.next.clear();
+        ws.errors.clear();
+        ws.stats = SuccessorStats{};
+        ws.flushes = 0;
+        ws.lock_wait_ns = 0;
+        ws.busy_ns = 0;
       }
       if (metrics != nullptr) {
         const std::uint64_t level_ns = metrics_now_ns() - level_t0;
@@ -463,7 +456,8 @@ EnumerationResult Enumerator::run() const {
   }
 
   result.states = total_states.load();
-  result.visits = total_visits.load();
+  result.visits = total_visits;
+  result.symmetry_skips = total_symmetry_skips;
   finalize_errors(found, options_.max_errors, result);
   if (options_.keep_states) {
     for (Shard& shard : shards) {

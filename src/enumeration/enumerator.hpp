@@ -11,16 +11,21 @@
 /// (every reachable concrete state must be covered by an essential
 /// composite state), and to double-check error detection concretely.
 ///
-/// The frontier sweep is bulk-parallel: each BFS level is partitioned over
-/// a thread pool and visited-set lookups go through hash-sharded sets, so
-/// large state spaces (6+ caches) enumerate at memory bandwidth rather than
-/// lock contention.
+/// Successor generation goes through the symmetry-reduced, allocation-free
+/// kernel of successor_kernel.hpp: under counting equivalence only one
+/// representative cache per distinct (state, freshness) cell class is
+/// expanded, with skipped duplicates credited so `visits` matches an
+/// unreduced expansion exactly. The frontier sweep is bulk-parallel: each
+/// BFS level is partitioned over a thread pool and visited-set lookups go
+/// through hash-sharded sets, so large state spaces (6+ caches) enumerate
+/// at memory bandwidth rather than lock contention.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "enumeration/enum_state.hpp"
+#include "enumeration/successor_kernel.hpp"
 #include "fsm/protocol.hpp"
 #include "util/metrics.hpp"
 
@@ -45,6 +50,9 @@ struct EnumerationResult {
   std::size_t visits = 0;  ///< successor states generated (incl. duplicates)
   std::size_t levels = 0;      ///< BFS depth until fixpoint (initial = 1)
   std::size_t expansions = 0;  ///< states expanded (= states at fixpoint)
+  /// Successor generations skipped (and credited into `visits`) by the
+  /// kernel's symmetry reduction; 0 under strict equivalence.
+  std::size_t symmetry_skips = 0;
   std::vector<ConcreteError> errors;  ///< sorted; capped at max_errors
   bool errors_truncated = false;      ///< errors were dropped past the cap
   std::vector<EnumKey> reachable;     ///< sorted; when Options::keep_states
@@ -56,11 +64,10 @@ struct EnumerationResult {
 [[nodiscard]] std::optional<std::string> check_concrete_invariants(
     const Protocol& p, const EnumKey& key);
 
-/// The stimulus that produced a successor.
-struct ConcreteAction {
-  std::uint32_t cache = 0;
-  OpId op = 0;
-};
+/// As above, evaluated directly on a live concrete block -- the simulator's
+/// per-event check, with no projection to an `EnumKey` required.
+[[nodiscard]] std::optional<std::string> check_concrete_invariants(
+    const Protocol& p, const ConcreteBlock& b);
 
 /// A successor key together with the stimulus that produced it.
 struct LabeledSuccessor {
@@ -69,7 +76,9 @@ struct LabeledSuccessor {
 };
 
 /// All successor keys of `key` under every (cache, operation) stimulus,
-/// branching over data suppliers whose freshness differs.
+/// branching over data suppliers whose freshness differs. Symmetry-reduced
+/// under counting equivalence: interchangeable caches contribute one
+/// representative expansion (the successor *set* is unchanged).
 [[nodiscard]] std::vector<EnumKey> concrete_successors(const Protocol& p,
                                                        const EnumKey& key,
                                                        Equivalence eq);
@@ -85,10 +94,12 @@ class Enumerator {
     std::size_t n_caches = 4;
     Equivalence equivalence = Equivalence::Counting;
     std::size_t threads = 1;          ///< 0 = hardware concurrency
-    /// Safety valve, enforced *during* a level: workers stop admitting
-    /// states and throw ModelError as soon as the bound is crossed, so a
-    /// single wide frontier cannot overrun the cap by more than roughly
-    /// one flush batch per worker.
+    /// Safety valve, enforced *during* a level in both modes: the run
+    /// throws ModelError as soon as admitting a state would push the
+    /// distinct-state count past the cap. A space with exactly
+    /// `max_states` reachable states completes; one more state throws.
+    /// (The parallel sweep checks per flushed batch, so its transient
+    /// overshoot stays within roughly one batch per worker.)
     std::size_t max_states = 50'000'000;
     std::size_t max_errors = 8;
     bool keep_states = false;         ///< collect the reachable set
@@ -96,11 +107,16 @@ class Enumerator {
     /// a sequential run (path bookkeeping is not worth parallelizing for
     /// the small state spaces where paths are wanted).
     bool track_paths = false;
-    /// When set, the run records counters (states, visits, ...), per-level
-    /// wall-clock timers, shard lock-wait time and thread utilization.
-    /// Published even when the run throws (e.g. on max_states), so the
-    /// admitted-state count at abort time is observable. Null = no
-    /// instrumentation, no clock reads.
+    /// Expand one representative cache per interchangeable cell class
+    /// (counting equivalence only; see successor_kernel.hpp). Off = the
+    /// reference unreduced expansion. Every result field is identical
+    /// either way except `symmetry_skips`, which is 0 when off.
+    bool exploit_symmetry = true;
+    /// When set, the run records counters (states, visits, symmetry
+    /// skips, ...), per-level wall-clock timers, shard lock-wait time and
+    /// thread utilization. Published even when the run throws (e.g. on
+    /// max_states), so the admitted-state count at abort time is
+    /// observable. Null = no instrumentation, no clock reads.
     MetricsRegistry* metrics = nullptr;
   };
 

@@ -1,0 +1,25 @@
+#include "enumeration/successor_kernel.hpp"
+
+namespace ccver {
+
+KeyCensus census_of(const Protocol& p, const EnumKey& key) {
+  KeyCensus census;
+  for (std::size_t i = 0; i < key.cells.size(); ++i) {
+    const StateId s = key_state(key, i);
+    ++census.counts[s][static_cast<std::size_t>(key_cdata(key, i))];
+    if (p.is_valid_state(s)) ++census.valid;
+  }
+  return census;
+}
+
+KeyCensus census_of(const Protocol& p, const ConcreteBlock& b) {
+  KeyCensus census;
+  for (std::size_t i = 0; i < b.cache_count(); ++i) {
+    const StateId s = b.states[i];
+    ++census.counts[s][static_cast<std::size_t>(cdata_of(p, b, i))];
+    if (p.is_valid_state(s)) ++census.valid;
+  }
+  return census;
+}
+
+}  // namespace ccver

@@ -1,0 +1,210 @@
+#pragma once
+/// \file successor_kernel.hpp
+/// The symmetry-reduced, allocation-free successor kernel shared by every
+/// concrete-space consumer: the exhaustive enumerator (sequential and
+/// parallel), the public `concrete_successors*` helpers, the simulator's
+/// per-event invariant checks and the Theorem-1 coverage check.
+///
+/// Two ideas carry the speedup:
+///
+/// 1. **Symmetry reduction at generation time.** Under counting
+///    equivalence (Definition 5) two caches whose key cells agree -- same
+///    FSM state *and* same freshness class -- are interchangeable: swapping
+///    them permutes a reified block into itself, so expanding either one
+///    yields exactly the same successor keys, op for op and branch for
+///    branch. The kernel therefore expands one representative per distinct
+///    cell class and *credits* the skipped generations (the counting key is
+///    sorted, so a class is a maximal run of equal cells). Typical
+///    reachable states are mostly `Invalid` plus a few sharers, so the
+///    fan-out drops from `n*k` toward `(#classes)*k`. Skips are reported in
+///    `SuccessorStats::symmetry_skips` (surfaced as the
+///    `enum.symmetry_skips` counter) and the credited `visits` count stays
+///    byte-identical to an unreduced expansion.
+///
+/// 2. **Allocation-free inner loop.** Successors stream through a caller
+///    sink instead of a per-state `std::vector`; the reified base block and
+///    the mutation scratch live in the kernel and are reused across states
+///    and BFS levels, with only the `n` live cells restored after each
+///    branch; the valid-copy count is taken once per key, making the
+///    sharing-detection guard O(1) per (cache, op) instead of an O(n)
+///    rescan; and the rule is resolved once per (cache, op), not once per
+///    branch (`apply_rule`).
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "enumeration/enum_state.hpp"
+#include "fsm/concrete.hpp"
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// The stimulus that produced a successor.
+struct ConcreteAction {
+  std::uint32_t cache = 0;
+  OpId op = 0;
+};
+
+/// Population census of one concrete global state: copy counts per
+/// (FSM state, freshness class) cell plus the number of valid copies.
+/// Shared by the kernel (O(1) sharing guard), the concrete invariant
+/// checks (O(|Q|) exclusivity/uniqueness instead of O(n) rescans) and the
+/// Theorem-1 coverage check (one census per key, reused across all
+/// essential states).
+struct KeyCensus {
+  std::array<std::array<std::uint8_t, 3>, kMaxStates> counts{};
+  std::uint32_t valid = 0;  ///< caches holding a valid copy
+
+  [[nodiscard]] std::uint8_t count(StateId s, CData c) const noexcept {
+    return counts[s][static_cast<std::size_t>(c)];
+  }
+};
+
+/// Census of a key's cells.
+[[nodiscard]] KeyCensus census_of(const Protocol& p, const EnumKey& key);
+
+/// Census of a live concrete block (no projection required).
+[[nodiscard]] KeyCensus census_of(const Protocol& p, const ConcreteBlock& b);
+
+/// Generation counters accumulated across `SuccessorKernel::expand` calls.
+struct SuccessorStats {
+  /// Successors the unreduced expansion would have generated (credited:
+  /// each emitted successor counts once per interchangeable cache).
+  std::uint64_t visits = 0;
+  /// Provably-duplicate generations skipped by symmetry reduction.
+  std::uint64_t symmetry_skips = 0;
+};
+
+/// Representative supplier/responder indexes covering every distinct
+/// freshness among `candidates` (at most two: one fresh, one stale).
+[[nodiscard]] inline SmallVec<std::size_t, 2> distinct_freshness_reps(
+    const ConcreteBlock& b,
+    const SmallVec<std::size_t, kMaxCaches>& candidates) {
+  SmallVec<std::size_t, 2> reps;
+  bool seen_fresh = false;
+  bool seen_stale = false;
+  for (const std::size_t j : candidates) {
+    const bool fresh = b.values[j] == b.latest;
+    if (fresh && !seen_fresh) {
+      seen_fresh = true;
+      reps.push_back(j);
+    } else if (!fresh && !seen_stale) {
+      seen_stale = true;
+      reps.push_back(j);
+    }
+  }
+  return reps;
+}
+
+/// Reusable per-worker successor generator. Not thread-safe: each worker
+/// owns one kernel and reuses its scratch across every state it expands.
+class SuccessorKernel {
+ public:
+  struct Options {
+    /// Expand one representative cache per distinct (state, freshness)
+    /// cell class under counting equivalence. Off = the reference
+    /// unreduced expansion (also used by the equivalence test sweep).
+    bool exploit_symmetry = true;
+  };
+
+  SuccessorKernel(const Protocol& p, Equivalence eq)
+      : SuccessorKernel(p, eq, Options{}) {}
+
+  SuccessorKernel(const Protocol& p, Equivalence eq, Options options)
+      : protocol_(&p),
+        eq_(eq),
+        reduce_(options.exploit_symmetry && eq == Equivalence::Counting) {}
+
+  /// Expands `key`, calling `sink(successor_key, action)` for every
+  /// generated successor. Symmetry-skipped duplicates are credited to
+  /// `stats` but never reach the sink. `key` must stay valid for the whole
+  /// call (the kernel reads its cells while iterating); sink callbacks
+  /// must not mutate it.
+  template <typename Sink>
+  void expand(const EnumKey& key, SuccessorStats& stats, Sink&& sink) {
+    const Protocol& p = *protocol_;
+    reify_into(p, key, base_);
+    const std::size_t n = base_.cache_count();
+
+    std::uint32_t valid = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p.is_valid_state(base_.states[i])) ++valid;
+    }
+
+    work_ = base_;  // one block copy per expanded key, not per branch
+    const auto op_count = static_cast<OpId>(p.op_count());
+
+    for (std::size_t i = 0; i < n;) {
+      // Under counting equivalence the key is sorted, so the caches
+      // interchangeable with `i` are exactly the run of equal cells.
+      std::size_t mult = 1;
+      if (reduce_) {
+        while (i + mult < n && key.cells[i + mult] == key.cells[i]) ++mult;
+      }
+
+      // f_i is "some other cache holds a valid copy": O(1) from the
+      // per-key census instead of an O(n) rescan per (cache, op).
+      const bool sharing =
+          valid > (p.is_valid_state(base_.states[i]) ? 1U : 0U);
+
+      std::uint64_t generated = 0;
+      for (OpId op = 0; op < op_count; ++op) {
+        const Rule* rule = p.find_rule(base_.states[i], op, sharing);
+        if (rule == nullptr) continue;
+
+        // Branch over load suppliers and write-back responders whose
+        // freshness differs (a single representative per freshness class).
+        const SmallVec<std::size_t, 2> load_reps = distinct_freshness_reps(
+            base_, candidate_suppliers(p, base_, i, *rule));
+        const SmallVec<std::size_t, 2> wb_reps = distinct_freshness_reps(
+            base_, candidate_writeback_sources(p, base_, i, *rule));
+
+        const std::size_t load_branches =
+            load_reps.empty() ? 1 : load_reps.size();
+        const std::size_t wb_branches = wb_reps.empty() ? 1 : wb_reps.size();
+        for (std::size_t li = 0; li < load_branches; ++li) {
+          for (std::size_t wi = 0; wi < wb_branches; ++wi) {
+            const std::optional<std::size_t> supplier =
+                load_reps.empty()
+                    ? std::nullopt
+                    : std::optional<std::size_t>(load_reps[li]);
+            const std::optional<std::size_t> responder =
+                wb_reps.empty() ? std::nullopt
+                                : std::optional<std::size_t>(wb_reps[wi]);
+            (void)apply_rule(p, work_, i, *rule, supplier, responder);
+            ++generated;
+            sink(project(p, work_, eq_),
+                 ConcreteAction{static_cast<std::uint32_t>(i), op});
+            restore_work(n);
+          }
+        }
+      }
+      stats.visits += mult * generated;
+      stats.symmetry_skips += (mult - 1) * generated;
+      i += mult;
+    }
+  }
+
+ private:
+  /// Restores only the `n` live cells mutated by `apply_rule` instead of
+  /// copying the whole fixed-capacity block.
+  void restore_work(std::size_t n) noexcept {
+    std::copy(base_.states.begin(),
+              base_.states.begin() + static_cast<std::ptrdiff_t>(n),
+              work_.states.begin());
+    std::copy(base_.values.begin(),
+              base_.values.begin() + static_cast<std::ptrdiff_t>(n),
+              work_.values.begin());
+    work_.mem_value = base_.mem_value;
+    work_.latest = base_.latest;
+  }
+
+  const Protocol* protocol_;
+  Equivalence eq_;
+  bool reduce_;
+  ConcreteBlock base_;  ///< pristine reified representative of the key
+  ConcreteBlock work_;  ///< mutated by each branch, then restored
+};
+
+}  // namespace ccver

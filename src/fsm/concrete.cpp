@@ -67,31 +67,43 @@ ApplyOutcome apply_op(const Protocol& p, ConcreteBlock& b, std::size_t i,
   ApplyOutcome outcome;
   outcome.applied = true;
   outcome.rule = rule;
+  outcome.supplier =
+      apply_rule(p, b, i, *rule, supplier_override, writeback_override);
+  return outcome;
+}
+
+std::optional<Supplier> apply_rule(const Protocol& p, ConcreteBlock& b,
+                                   std::size_t i, const Rule& rule,
+                                   std::optional<std::size_t>
+                                       supplier_override,
+                                   std::optional<std::size_t>
+                                       writeback_override) {
+  std::optional<Supplier> served_from;
 
   // Phase 1 (pre): loads and write-backs against pre-transition values.
   std::optional<std::uint32_t> pending_load;
-  for (const DataOp& d : rule->data_ops) {
+  for (const DataOp& d : rule.data_ops) {
     switch (d.kind) {
       case DataOpKind::LoadFromMemory:
         pending_load = b.mem_value;
-        outcome.supplier = Supplier{/*from_memory=*/true, 0};
+        served_from = Supplier{/*from_memory=*/true, 0};
         break;
       case DataOpKind::LoadPreferred: {
         std::optional<std::size_t> chosen;
         if (supplier_override.has_value()) {
           chosen = supplier_override;
         } else {
-          const auto candidates = candidate_suppliers(p, b, i, *rule);
+          const auto candidates = candidate_suppliers(p, b, i, rule);
           if (!candidates.empty()) chosen = candidates[0];
         }
         if (chosen.has_value()) {
           CCV_CHECK(*chosen != i && *chosen < b.cache_count(),
                     "bad supplier index");
           pending_load = b.values[*chosen];
-          outcome.supplier = Supplier{/*from_memory=*/false, *chosen};
+          served_from = Supplier{/*from_memory=*/false, *chosen};
         } else {
           pending_load = b.mem_value;
-          outcome.supplier = Supplier{/*from_memory=*/true, 0};
+          served_from = Supplier{/*from_memory=*/true, 0};
         }
         break;
       }
@@ -126,16 +138,16 @@ ApplyOutcome apply_op(const Protocol& p, ConcreteBlock& b, std::size_t i,
   // originator.
   for (std::size_t j = 0; j < b.cache_count(); ++j) {
     if (j == i) continue;
-    b.states[j] = rule->observed[b.states[j]];
+    b.states[j] = rule.observed[b.states[j]];
   }
-  b.states[i] = rule->self_next;
+  b.states[i] = rule.self_next;
   if (pending_load.has_value()) b.values[i] = *pending_load;
 
   // Phase 3 (store): mint a token, propagate write-through / broadcast.
-  if (rule->stores()) {
+  if (rule.stores()) {
     ++b.latest;
     b.values[i] = b.latest;
-    for (const DataOp& d : rule->data_ops) {
+    for (const DataOp& d : rule.data_ops) {
       if (d.kind == DataOpKind::StoreThrough) b.mem_value = b.latest;
       if (d.kind == DataOpKind::UpdateOthers) {
         for (std::size_t j = 0; j < b.cache_count(); ++j) {
@@ -144,7 +156,7 @@ ApplyOutcome apply_op(const Protocol& p, ConcreteBlock& b, std::size_t i,
       }
     }
   }
-  return outcome;
+  return served_from;
 }
 
 CData cdata_of(const Protocol& p, const ConcreteBlock& b, std::size_t i) {

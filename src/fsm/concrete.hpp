@@ -86,6 +86,18 @@ ApplyOutcome apply_op(const Protocol& p, ConcreteBlock& b, std::size_t i,
                       std::optional<std::size_t> writeback_override =
                           std::nullopt);
 
+/// Applies an already-resolved `rule` issued by cache `i`, skipping the
+/// sharing evaluation and rule lookup that `apply_op` performs. The hot
+/// successor kernel resolves the rule once per (cache, op) and calls this
+/// per supplier/responder branch. Returns where a load was served from
+/// (empty when the rule loads nothing).
+std::optional<Supplier> apply_rule(const Protocol& p, ConcreteBlock& b,
+                                   std::size_t i, const Rule& rule,
+                                   std::optional<std::size_t>
+                                       supplier_override = std::nullopt,
+                                   std::optional<std::size_t>
+                                       writeback_override = std::nullopt);
+
 /// Freshness projection of one copy: maps the value token of cache `i` to
 /// the abstract context variable of Definition 4.
 [[nodiscard]] CData cdata_of(const Protocol& p, const ConcreteBlock& b,

@@ -120,9 +120,9 @@ void simulate_block(const Protocol& p, std::uint32_t block,
       }
     }
 
-    // Structural invariants, concretely.
-    if (auto detail = check_concrete_invariants(
-            p, project(p, blk, Equivalence::Strict));
+    // Structural invariants, concretely -- checked on the live block, no
+    // per-event projection to an EnumKey.
+    if (auto detail = check_concrete_invariants(p, blk);
         detail.has_value() && out.errors.size() < options.max_errors) {
       out.errors.push_back(SimError{block, e.cpu, k, std::move(*detail)});
     }

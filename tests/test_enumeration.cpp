@@ -195,6 +195,67 @@ TEST(Enumeration, MaxStatesEnforcedDuringALevel) {
   EXPECT_LE(it->second, 2 * opt.max_states);
 }
 
+TEST(Enumeration, MaxStatesBoundaryIsExact) {
+  // Unified cap semantics across both modes: a space with exactly
+  // `max_states` reachable states completes; one fewer throws as soon as
+  // admitting a state would exceed the cap.
+  const Protocol p = protocols::illinois();
+  Enumerator::Options opt;
+  opt.n_caches = 3;
+  const std::size_t exact = Enumerator(p, opt).run().states;
+  ASSERT_GT(exact, 1u);
+
+  for (const bool track_paths : {false, true}) {
+    Enumerator::Options at_cap = opt;
+    at_cap.track_paths = track_paths;
+    at_cap.max_states = exact;
+    EXPECT_EQ(Enumerator(p, at_cap).run().states, exact);
+
+    Enumerator::Options below_cap = at_cap;
+    below_cap.max_states = exact - 1;
+    EXPECT_THROW((void)Enumerator(p, below_cap).run(), ModelError);
+  }
+}
+
+TEST(Enumeration, SymmetrySkipsPositiveForEveryProtocolUnderCounting) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    Enumerator::Options opt;
+    opt.n_caches = 3;
+    opt.equivalence = Equivalence::Counting;
+    const EnumerationResult r = Enumerator(p, opt).run();
+    EXPECT_GT(r.symmetry_skips, 0u) << p.name();
+
+    Enumerator::Options strict = opt;
+    strict.equivalence = Equivalence::Strict;
+    EXPECT_EQ(Enumerator(p, strict).run().symmetry_skips, 0u) << p.name();
+  }
+}
+
+TEST(Enumeration, SymmetrySkipsReportedInMetricsAndCreditedToVisits) {
+  const Protocol p = protocols::moesi_split();
+  MetricsRegistry metrics;
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.equivalence = Equivalence::Counting;
+  opt.metrics = &metrics;
+  const EnumerationResult reduced = Enumerator(p, opt).run();
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  ASSERT_TRUE(snapshot.counters.contains("enum.symmetry_skips"));
+  EXPECT_EQ(snapshot.counters.at("enum.symmetry_skips"),
+            reduced.symmetry_skips);
+  EXPECT_GT(reduced.symmetry_skips, 0u);
+
+  // `visits` credits the skipped generations: the unreduced reference
+  // reports the same count while actually generating every duplicate.
+  Enumerator::Options reference = opt;
+  reference.metrics = nullptr;
+  reference.exploit_symmetry = false;
+  const EnumerationResult full = Enumerator(p, reference).run();
+  EXPECT_EQ(full.visits, reduced.visits);
+  EXPECT_EQ(full.symmetry_skips, 0u);
+}
+
 TEST(Enumeration, LevelsAndExpansionsAgreeAcrossModes) {
   const Protocol p = protocols::illinois();
   Enumerator::Options fast;

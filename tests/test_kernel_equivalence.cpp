@@ -1,0 +1,117 @@
+/// \file test_kernel_equivalence.cpp
+/// The symmetry-reduced successor kernel must be invisible in every result:
+/// for every shipped spec, cache count, equivalence and thread count, the
+/// reduced expansion (the default) and the reference unreduced expansion
+/// (`exploit_symmetry = false`) must produce byte-identical reachable
+/// sets, error lists and counters -- only `symmetry_skips` may differ.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "enumeration/enumerator.hpp"
+#include "spec/loader.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Locates the repository's specs/ directory relative to the test binary
+/// (build/tests/..) or the current working directory.
+fs::path specs_dir() {
+  for (fs::path base : {fs::current_path(), fs::current_path() / "..",
+                        fs::current_path() / "../.."}) {
+    if (fs::exists(base / "specs" / "illinois.ccp")) return base / "specs";
+  }
+  return "/root/repo/specs";  // repository default
+}
+
+std::vector<std::string> spec_stems() {
+  std::vector<std::string> stems;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(specs_dir())) {
+    if (entry.path().extension() == ".ccp") {
+      stems.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(stems.begin(), stems.end());
+  return stems;
+}
+
+// (spec stem, n_caches, equivalence, threads)
+using Config = std::tuple<std::string, std::size_t, Equivalence, std::size_t>;
+
+class KernelEquivalence : public ::testing::TestWithParam<Config> {};
+
+EnumerationResult run(const Protocol& p, const Config& config,
+                      bool exploit_symmetry) {
+  Enumerator::Options opt;
+  opt.n_caches = std::get<1>(config);
+  opt.equivalence = std::get<2>(config);
+  opt.threads = std::get<3>(config);
+  opt.keep_states = true;
+  opt.exploit_symmetry = exploit_symmetry;
+  return Enumerator(p, opt).run();
+}
+
+TEST_P(KernelEquivalence, ReducedExpansionIsInvisibleInResults) {
+  const Config& config = GetParam();
+  const Protocol p =
+      load_protocol_file(specs_dir() / (std::get<0>(config) + ".ccp"));
+
+  const EnumerationResult reduced = run(p, config, true);
+  const EnumerationResult reference = run(p, config, false);
+
+  EXPECT_EQ(reduced.states, reference.states);
+  EXPECT_EQ(reduced.visits, reference.visits);
+  EXPECT_EQ(reduced.levels, reference.levels);
+  EXPECT_EQ(reduced.expansions, reference.expansions);
+  EXPECT_EQ(reduced.errors_truncated, reference.errors_truncated);
+
+  ASSERT_EQ(reduced.reachable.size(), reference.reachable.size());
+  for (std::size_t i = 0; i < reduced.reachable.size(); ++i) {
+    EXPECT_EQ(reduced.reachable[i], reference.reachable[i])
+        << "reachable set diverges at index " << i << ": "
+        << to_string(p, reduced.reachable[i]) << " vs "
+        << to_string(p, reference.reachable[i]);
+  }
+
+  ASSERT_EQ(reduced.errors.size(), reference.errors.size());
+  for (std::size_t i = 0; i < reduced.errors.size(); ++i) {
+    EXPECT_EQ(reduced.errors[i].state, reference.errors[i].state);
+    EXPECT_EQ(reduced.errors[i].detail, reference.errors[i].detail);
+    EXPECT_EQ(reduced.errors[i].path, reference.errors[i].path);
+  }
+
+  // The reference never skips; the reduced run skips exactly when counting
+  // equivalence makes caches interchangeable (any multi-cache run: the
+  // initial state alone has n equal cells).
+  EXPECT_EQ(reference.symmetry_skips, 0U);
+  const bool expect_skips = std::get<2>(config) == Equivalence::Counting &&
+                            std::get<1>(config) >= 2;
+  EXPECT_EQ(reduced.symmetry_skips > 0, expect_skips);
+}
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  return std::get<0>(info.param) + "_n" +
+         std::to_string(std::get<1>(info.param)) +
+         (std::get<2>(info.param) == Equivalence::Strict ? "_strict"
+                                                         : "_counting") +
+         "_t" + std::to_string(std::get<3>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, KernelEquivalence,
+    ::testing::Combine(::testing::ValuesIn(spec_stems()),
+                       ::testing::Values<std::size_t>(1, 2, 3, 4, 5),
+                       ::testing::Values(Equivalence::Strict,
+                                         Equivalence::Counting),
+                       ::testing::Values<std::size_t>(1, 4)),
+    config_name);
+
+}  // namespace
+}  // namespace ccver

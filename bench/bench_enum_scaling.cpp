@@ -25,6 +25,7 @@
 /// ~1.0 by construction.
 
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -66,6 +67,48 @@ int main(int argc, char** argv) {
     curve.push_back(bench::measure_enum(p, n_caches, eq, threads, repeats));
   }
 
+  // Checkpoint overhead at the widest configuration: the same run with
+  // periodic (interval-gated) checkpointing enabled, against a plain run.
+  // The two variants are timed back-to-back inside each repeat so that
+  // machine drift hits both equally; a fixed spread would still need the
+  // separated measurements to agree. The robustness budget is <5% wall
+  // clock.
+  bench::CheckpointOverhead overhead;
+  {
+    const std::size_t threads = thread_counts.back();
+    const std::filesystem::path ckpt =
+        std::filesystem::temp_directory_path() / "bench_enum_scaling.ckpt";
+    Enumerator::Options opt;
+    opt.n_caches = n_caches;
+    opt.equivalence = eq;
+    opt.threads = threads;
+    const Enumerator plain(p, opt);
+    opt.checkpoint_path = ckpt.string();
+    const Enumerator checkpointed(p, opt);
+    std::uint64_t best_plain = UINT64_MAX;
+    std::uint64_t best_ckpt = UINT64_MAX;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      std::uint64_t t0 = bench::trajectory_now_ns();
+      (void)plain.run();
+      const std::uint64_t dt_plain = bench::trajectory_now_ns() - t0;
+      if (dt_plain < best_plain) best_plain = dt_plain;
+      t0 = bench::trajectory_now_ns();
+      (void)checkpointed.run();
+      const std::uint64_t dt_ckpt = bench::trajectory_now_ns() - t0;
+      if (dt_ckpt < best_ckpt) best_ckpt = dt_ckpt;
+    }
+    std::error_code ec;
+    std::filesystem::remove(ckpt, ec);
+    overhead.threads = threads;
+    overhead.plain_wall_ns = best_plain;
+    overhead.checkpoint_wall_ns = best_ckpt;
+    overhead.overhead_pct =
+        best_plain == 0 || best_ckpt <= best_plain
+            ? 0.0
+            : 100.0 * static_cast<double>(best_ckpt - best_plain) /
+                  static_cast<double>(best_plain);
+  }
+
   // Determinism cross-check: every thread count must agree exactly.
   for (const bench::BenchEnumRow& row : curve) {
     if (row.states != curve.front().states ||
@@ -101,11 +144,13 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+  json.key("checkpoint_overhead_pct").value(overhead.overhead_pct);
   json.end_object();
   std::cout << std::move(json).str() << '\n';
 
   if (!json_path.empty() &&
-      !bench::write_bench_enum_json(json_path, "enum_scaling", curve)) {
+      !bench::write_bench_enum_json(json_path, "enum_scaling", curve,
+                                    &overhead)) {
     std::cerr << "FATAL: cannot write " << json_path << '\n';
     return 1;
   }

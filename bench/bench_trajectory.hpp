@@ -87,11 +87,23 @@ inline BenchEnumRow measure_enum(const Protocol& p, std::size_t n,
   return row;
 }
 
+/// Cost of periodic checkpointing relative to a checkpoint-free run of
+/// the same configuration (best-of-repeats both sides).
+struct CheckpointOverhead {
+  std::size_t threads = 0;
+  std::uint64_t plain_wall_ns = 0;
+  std::uint64_t checkpoint_wall_ns = 0;
+  double overhead_pct = 0.0;
+};
+
 /// Writes the trajectory file. Returns false (after reporting nothing --
 /// callers print their own diagnostics) if the file cannot be opened.
-inline bool write_bench_enum_json(const std::string& path,
-                                  const std::string& benchmark,
-                                  const std::vector<BenchEnumRow>& rows) {
+/// When `overhead` is non-null a `checkpoint_overhead` object is appended
+/// after the rows (additive; schema_version stays 1).
+inline bool write_bench_enum_json(
+    const std::string& path, const std::string& benchmark,
+    const std::vector<BenchEnumRow>& rows,
+    const CheckpointOverhead* overhead = nullptr) {
   JsonWriter json;
   json.begin_object();
   json.key("benchmark").value(benchmark);
@@ -116,6 +128,14 @@ inline bool write_bench_enum_json(const std::string& path,
     json.end_object();
   }
   json.end_array();
+  if (overhead != nullptr) {
+    json.key("checkpoint_overhead").begin_object();
+    json.key("threads").value(static_cast<std::uint64_t>(overhead->threads));
+    json.key("plain_wall_ns").value(overhead->plain_wall_ns);
+    json.key("checkpoint_wall_ns").value(overhead->checkpoint_wall_ns);
+    json.key("overhead_pct").value(overhead->overhead_pct);
+    json.end_object();
+  }
   json.end_object();
 
   std::ofstream out(path);

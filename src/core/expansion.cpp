@@ -331,10 +331,20 @@ ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
     return result.archive[idx].state;
   };
 
+  Budget* const budget = options_.budget;
   while (!work.empty()) {
+    // Polled between expansion steps only, so a stopped run has settled
+    // every state it reports and simply leaves the rest of the working
+    // list unexplored.
+    if (budget != nullptr && budget->poll() != StopReason::None) {
+      result.outcome = Outcome::Partial;
+      result.stop_reason = budget->latched();
+      break;
+    }
     const std::size_t current = work.front();
     work.pop_front();
     ++result.stats.expansions;
+    if (budget != nullptr) budget->charge_states(1);
     const std::uint64_t step_t0 = metrics == nullptr ? 0 : metrics_now_ns();
 
     bool current_superseded = false;

@@ -22,6 +22,7 @@
 
 #include "core/composite_state.hpp"
 #include "fsm/protocol.hpp"
+#include "util/budget.hpp"
 #include "util/metrics.hpp"
 
 namespace ccver {
@@ -92,6 +93,11 @@ struct ArchiveEntry {
 
 /// Result of the essential-state generation algorithm.
 struct ExpansionResult {
+  /// Partial = a budget stopped the run before the working list drained;
+  /// `essential` then holds the states settled so far (a sound prefix of
+  /// the run, but not a complete essential set).
+  Outcome outcome = Outcome::Complete;
+  StopReason stop_reason = StopReason::None;
   std::vector<CompositeState> essential;  ///< the final H list
   ExpansionStats stats;
   std::vector<ArchiveEntry> archive;
@@ -119,6 +125,10 @@ class SymbolicExpander {
     /// When set, the run records `expand.*` counters and phase timers
     /// (total wall clock, per-expansion-step). Null = no instrumentation.
     MetricsRegistry* metrics = nullptr;
+    /// Cooperative budget, polled once per working-list pop. Exhaustion
+    /// stops the run cleanly with `Outcome::Partial` instead of throwing.
+    /// Null = unlimited.
+    Budget* budget = nullptr;
   };
 
   explicit SymbolicExpander(const Protocol& p) : SymbolicExpander(p, Options{}) {}

@@ -11,6 +11,8 @@ std::string report_to_json(const VerificationReport& report,
   json.begin_object();
   json.key("protocol").value(report.protocol);
   json.key("ok").value(report.ok);
+  json.key("outcome").value(std::string(to_string(report.outcome)));
+  json.key("stop_reason").value(std::string(to_string(report.stop_reason)));
 
   json.key("essential_states").begin_array();
   for (const CompositeState& s : report.essential) {

@@ -21,8 +21,14 @@ std::string Counterexample::to_string() const {
 
 std::string VerificationReport::summary(const Protocol& p) const {
   std::ostringstream os;
-  os << "protocol " << protocol << ": "
-     << (ok ? "VERIFIED" : "ERRONEOUS") << " -- " << essential.size()
+  const char* verdict = ok ? "VERIFIED" : "ERRONEOUS";
+  if (outcome == Outcome::Partial) {
+    // A partial run only vouches for what it reached; never claim VERIFIED.
+    verdict = ok ? "PARTIAL (no errors before the budget stop)"
+                 : "PARTIAL, ERRONEOUS";
+  }
+  os << "protocol " << protocol << ": " << verdict << " -- "
+     << essential.size()
      << " essential states, " << stats.visits << " state visits, "
      << stats.expansions << " expansions";
   if (!ok) {
@@ -54,6 +60,7 @@ ExpansionResult Verifier::expand() const {
   opt.max_visits = options_.max_visits;
   opt.record_trace = options_.record_trace;
   opt.metrics = options_.metrics;
+  opt.budget = options_.budget;
   return SymbolicExpander(*protocol_, opt).run();
 }
 
@@ -88,6 +95,8 @@ VerificationReport Verifier::verify() const {
   report.protocol = p.name();
 
   const ExpansionResult expansion = expand();
+  report.outcome = expansion.outcome;
+  report.stop_reason = expansion.stop_reason;
   report.essential = expansion.essential;
   report.stats = expansion.stats;
 

@@ -35,6 +35,10 @@ struct VerificationError {
 /// The outcome of verifying one protocol.
 struct VerificationReport {
   std::string protocol;
+  /// Partial = a budget stopped the expansion early; `ok` then only
+  /// vouches for the states actually reached.
+  Outcome outcome = Outcome::Complete;
+  StopReason stop_reason = StopReason::None;
   bool ok = false;
   std::vector<CompositeState> essential;
   ExpansionStats stats;
@@ -57,6 +61,9 @@ class Verifier {
     bool record_trace = false;       ///< keep the full visit trace
     /// Forwarded to the symbolic expander (`expand.*` counters/timers).
     MetricsRegistry* metrics = nullptr;
+    /// Forwarded to the symbolic expander; exhaustion yields a Partial
+    /// report instead of an exception.
+    Budget* budget = nullptr;
   };
 
   explicit Verifier(const Protocol& p) : Verifier(p, Options{}) {}

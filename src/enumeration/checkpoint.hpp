@@ -1,0 +1,91 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Versioned, checksummed checkpoints for the exhaustive enumerator.
+///
+/// A checkpoint captures everything a run needs to continue after an
+/// interruption: the visited set, the unexpanded remainder of the current
+/// BFS frontier, the already-admitted states of the next level, the errors
+/// found so far and the cumulative counters. Resuming from a checkpoint
+/// produces final results *byte-identical* to an uninterrupted run at any
+/// thread count: every state is expanded exactly once across the
+/// interrupt/resume boundary, and all result sets are order-independent.
+///
+/// On-disk format (text, line-oriented, `ccver-checkpoint v1`):
+///
+///   ccver-checkpoint v1
+///   protocol <name>
+///   fingerprint <hex>            # FNV-1a of the protocol description
+///   n_caches <n>
+///   equivalence strict|counting
+///   symmetry 0|1
+///   mid_level 0|1                # frontier belongs to a started level
+///   levels/visits/symmetry_skips/expansions <n>
+///   visited <count>              # then one key per line
+///   frontier <count>             # unexpanded current-level states
+///   next <count>                 # admitted next-level states
+///   errors <count>               # "<key> <detail>" per line
+///   checksum <hex>               # FNV-1a of every preceding byte
+///
+/// A key renders as `<cells-hex> <mdata>` (two hex digits per cell).
+/// Writes are atomic -- the payload goes to `<path>.tmp` and is renamed
+/// into place only after a fully flushed, validated write -- and transient
+/// I/O failures are retried with backoff, so a crash or injected fault can
+/// lose a checkpoint update but never corrupt an existing checkpoint.
+/// Loading validates the magic, the version, every count, every key and
+/// the checksum, and reports problems as located `IoError`s
+/// (`<path>:<line>: detail`), never crashes.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "enumeration/enumerator.hpp"
+
+namespace ccver {
+
+class MetricsRegistry;
+
+/// Serializable mid-run state of one enumeration.
+struct EnumCheckpoint {
+  /// Format version this library writes (and the newest it loads).
+  static constexpr std::uint32_t kVersion = 1;
+
+  // -- run identity: a checkpoint only resumes the exact same search ----
+  std::string protocol;         ///< Protocol::name()
+  std::uint64_t fingerprint = 0;  ///< protocol_fingerprint() at save time
+  std::size_t n_caches = 0;
+  Equivalence equivalence = Equivalence::Counting;
+  bool exploit_symmetry = true;
+
+  // -- cumulative counters at the capture point ------------------------
+  bool mid_level = false;  ///< frontier states belong to an already-counted level
+  std::size_t levels = 0;
+  std::uint64_t visits = 0;
+  std::uint64_t symmetry_skips = 0;
+  std::size_t expansions = 0;
+
+  // -- the search state itself -----------------------------------------
+  std::vector<EnumKey> visited;   ///< full visited set
+  std::vector<EnumKey> frontier;  ///< states not yet expanded
+  std::vector<EnumKey> next;      ///< admitted states of the following level
+  std::vector<ConcreteError> errors;  ///< found so far (paths never recorded)
+};
+
+/// Stable identity hash of a protocol (FNV-1a over its description);
+/// guards against resuming a checkpoint with a different spec.
+[[nodiscard]] std::uint64_t protocol_fingerprint(const Protocol& p);
+
+/// Writes `cp` to `path` atomically (temp file + rename), retrying
+/// transient failures with backoff. Throws IoError when every attempt
+/// fails. Records `checkpoint.*` metrics when `metrics` is non-null.
+void save_checkpoint(const EnumCheckpoint& cp,
+                     const std::filesystem::path& path,
+                     MetricsRegistry* metrics = nullptr);
+
+/// Parses a checkpoint; throws a located IoError (`<path>:<line>: detail`)
+/// on any malformed, truncated or bit-flipped content.
+[[nodiscard]] EnumCheckpoint load_checkpoint(
+    const std::filesystem::path& path);
+
+}  // namespace ccver

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "enumeration/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -126,6 +127,47 @@ void finalize_errors(std::vector<ConcreteError>& found,
   result.errors = std::move(found);
 }
 
+/// Deterministic working-set estimate charged to a memory budget per
+/// admitted state: the key lives once in a visited shard (plus node
+/// overhead) and once in the frontier. Coarse on purpose -- the budget is
+/// a degradation threshold, not an allocator audit -- and identical at
+/// every thread count so memory-budget runs stay reproducible.
+constexpr std::uint64_t kStateFootprintBytes = 2 * sizeof(EnumKey) + 64;
+
+/// A checkpoint only resumes the exact same search: any identity mismatch
+/// (different spec revision, cache count, equivalence or reduction) would
+/// silently corrupt the result, so all of them are hard usage errors.
+void validate_resume(const Protocol& p, const Enumerator::Options& options,
+                     const EnumCheckpoint& cp) {
+  const auto reject = [](const std::string& detail) {
+    throw SpecError("cannot resume: " + detail);
+  };
+  if (cp.protocol != p.name()) {
+    reject("checkpoint was written for protocol '" + cp.protocol +
+           "', not '" + p.name() + "'");
+  }
+  if (cp.fingerprint != protocol_fingerprint(p)) {
+    reject("protocol '" + p.name() +
+           "' changed since the checkpoint was written "
+           "(description fingerprint mismatch)");
+  }
+  if (cp.n_caches != options.n_caches) {
+    reject("checkpoint has n_caches=" + std::to_string(cp.n_caches) +
+           ", run has n_caches=" + std::to_string(options.n_caches));
+  }
+  if (cp.equivalence != options.equivalence) {
+    reject(std::string("checkpoint equivalence is '") +
+           (cp.equivalence == Equivalence::Strict ? "strict" : "counting") +
+           "', run uses '" +
+           (options.equivalence == Equivalence::Strict ? "strict"
+                                                       : "counting") +
+           "'");
+  }
+  if (cp.exploit_symmetry != options.exploit_symmetry) {
+    reject("checkpoint and run disagree on symmetry reduction");
+  }
+}
+
 /// Sequential BFS with parent tracking; used when replay paths are
 /// requested (small, typically buggy, state spaces).
 EnumerationResult run_with_paths(const Protocol& p,
@@ -190,8 +232,19 @@ EnumerationResult run_with_paths(const Protocol& p,
                          SuccessorKernel::Options{options.exploit_symmetry});
   SuccessorStats stats;
 
+  Budget* const budget = options.budget;
+  if (budget != nullptr) budget->charge_states(1);  // the initial state
+
   std::size_t max_depth = 0;
   for (std::size_t next = 0; next < order.size(); ++next) {
+    // Budget check sits *between* expansions, so a stopped run has every
+    // state either fully expanded or untouched -- the prefix it returns is
+    // exact, not torn.
+    if (budget != nullptr && budget->poll() != StopReason::None) {
+      result.outcome = Outcome::Partial;
+      result.stop_reason = budget->latched();
+      break;
+    }
     ++result.expansions;
     const EnumKey current = order[next];  // `order` grows during expansion
     kernel.expand(
@@ -203,6 +256,10 @@ EnumerationResult run_with_paths(const Protocol& p,
           if (order.size() >= options.max_states) {
             throw ModelError("enumeration exceeded max_states (" +
                              std::to_string(options.max_states) + ")");
+          }
+          if (budget != nullptr) {
+            budget->charge_states(1);
+            budget->charge_bytes(kStateFootprintBytes);
           }
           const std::size_t depth = parents[next].depth + 1;
           max_depth = std::max(max_depth, depth);
@@ -248,9 +305,21 @@ EnumerationResult run_with_paths(const Protocol& p,
 
 EnumerationResult Enumerator::run() const {
   const Protocol& p = *protocol_;
-  if (options_.track_paths) return run_with_paths(p, options_);
+  if (options_.track_paths) {
+    // Path bookkeeping is sequential and parent-indexed; a checkpoint of
+    // it would be a different (much bigger) format for runs small enough
+    // to just rerun. Budgets still apply.
+    if (options_.resume != nullptr || !options_.checkpoint_path.empty()) {
+      throw SpecError(
+          "checkpoint/resume is not supported with replay-path tracking");
+    }
+    return run_with_paths(p, options_);
+  }
   constexpr std::size_t kShards = 64;
   MetricsRegistry* const metrics = options_.metrics;
+  Budget* const budget = options_.budget;
+  const EnumCheckpoint* const resume = options_.resume;
+  if (resume != nullptr) validate_resume(p, options_, *resume);
 
   struct Shard {
     std::mutex mutex;
@@ -261,19 +330,48 @@ EnumerationResult Enumerator::run() const {
   EnumerationResult result;
   std::vector<ConcreteError> found;  // all erroneous states; sorted later
 
-  const EnumKey initial =
-      project(p, ConcreteBlock::initial(p, options_.n_caches),
-              options_.equivalence);
-  shards[initial.hash() % kShards].seen.insert(initial);
-  if (auto detail = check_concrete_invariants(p, initial);
-      detail.has_value()) {
-    found.push_back(ConcreteError{initial, std::move(*detail), {}});
-  }
-
-  std::vector<EnumKey> frontier{initial};
-  std::atomic<std::size_t> total_states{1};
+  std::vector<EnumKey> frontier;
+  // Next-level states admitted before an interruption; merged into the
+  // frontier at the first barrier of a mid-level resume.
+  std::vector<EnumKey> next_carry;
+  // The interrupted run already counted the level its leftover frontier
+  // belongs to; the first resumed sweep must not count it again.
+  bool resume_level_counted = false;
+  std::size_t seed_states = 1;
   std::size_t total_visits = 0;         // merged at each level barrier
   std::size_t total_symmetry_skips = 0;
+
+  if (resume == nullptr) {
+    const EnumKey initial =
+        project(p, ConcreteBlock::initial(p, options_.n_caches),
+                options_.equivalence);
+    shards[initial.hash() % kShards].seen.insert(initial);
+    if (auto detail = check_concrete_invariants(p, initial);
+        detail.has_value()) {
+      found.push_back(ConcreteError{initial, std::move(*detail), {}});
+    }
+    frontier.push_back(initial);
+    if (budget != nullptr) budget->charge_states(1);
+  } else {
+    // Everything the interrupted run had admitted -- including its errors
+    // and counters -- is restored verbatim; only the unexpanded states get
+    // (re)expanded, so each state is expanded exactly once across the
+    // interrupt/resume boundary.
+    for (const EnumKey& key : resume->visited) {
+      shards[key.hash() % kShards].seen.insert(key);
+    }
+    frontier = resume->frontier;
+    next_carry = resume->next;
+    found = resume->errors;
+    resume_level_counted = resume->mid_level;
+    result.levels = resume->levels;
+    result.expansions = resume->expansions;
+    total_visits = static_cast<std::size_t>(resume->visits);
+    total_symmetry_skips = static_cast<std::size_t>(resume->symmetry_skips);
+    seed_states = resume->visited.size();
+    if (budget != nullptr) budget->charge_states(seed_states);
+  }
+  std::atomic<std::size_t> total_states{seed_states};
 
   ThreadPool pool(options_.threads);
   const std::size_t workers = pool.thread_count();
@@ -332,6 +430,13 @@ EnumerationResult Enumerator::run() const {
         total_states.fetch_add(ws.fresh.size(), std::memory_order_relaxed) +
         ws.fresh.size();
     if (admitted > options_.max_states) throw over_cap();
+    // Budget charges latch instead of throwing: the sweep keeps draining
+    // already-generated successors and stops cleanly at the next per-state
+    // poll, so a budget stop never tears an expansion.
+    if (budget != nullptr) {
+      budget->charge_states(ws.fresh.size());
+      budget->charge_bytes(ws.fresh.size() * kStateFootprintBytes);
+    }
     for (EnumKey& key : ws.fresh) {
       if (auto detail = check_concrete_invariants(p, key);
           detail.has_value()) {
@@ -383,13 +488,57 @@ EnumerationResult Enumerator::run() const {
                          SuccessorKernel::Options{options_.exploit_symmetry});
   }
 
+  // Captures the current search state (visited set, the given unexpanded
+  // frontier/next split, cumulative counters) and writes it atomically to
+  // checkpoint_path. Sections are sorted so the file is identical at every
+  // thread count.
+  const auto write_checkpoint = [&](std::vector<EnumKey> cp_frontier,
+                                    std::vector<EnumKey> cp_next,
+                                    bool mid_level) {
+    EnumCheckpoint cp;
+    cp.protocol = p.name();
+    cp.fingerprint = protocol_fingerprint(p);
+    cp.n_caches = options_.n_caches;
+    cp.equivalence = options_.equivalence;
+    cp.exploit_symmetry = options_.exploit_symmetry;
+    cp.mid_level = mid_level;
+    cp.levels = result.levels;
+    cp.visits = total_visits;
+    cp.symmetry_skips = total_symmetry_skips;
+    cp.expansions = result.expansions;
+    cp.visited.reserve(total_states.load());
+    for (Shard& shard : shards) {
+      cp.visited.insert(cp.visited.end(), shard.seen.begin(),
+                        shard.seen.end());
+    }
+    std::sort(cp.visited.begin(), cp.visited.end(), key_less);
+    cp.frontier = std::move(cp_frontier);
+    std::sort(cp.frontier.begin(), cp.frontier.end(), key_less);
+    cp.next = std::move(cp_next);
+    std::sort(cp.next.begin(), cp.next.end(), key_less);
+    cp.errors = found;  // full, untruncated; the final run truncates
+    std::sort(cp.errors.begin(), cp.errors.end(), error_less);
+    save_checkpoint(cp, options_.checkpoint_path, metrics);
+    result.checkpoint_written = true;
+  };
+  std::uint64_t last_checkpoint_ns =
+      options_.checkpoint_path.empty() ? 0 : metrics_now_ns();
+
   try {
-    while (!frontier.empty()) {
-      ++result.levels;
-      result.expansions += frontier.size();
+    bool first_sweep = true;
+    while (!frontier.empty() || !next_carry.empty()) {
+      // A mid-level resume re-enters a level the interrupted run already
+      // counted; every later sweep starts a fresh level.
+      if (!(first_sweep && resume_level_counted)) ++result.levels;
+      first_sweep = false;
       frontier_peak = std::max(frontier_peak, frontier.size());
       const std::uint64_t level_t0 =
           metrics == nullptr ? 0 : metrics_now_ns();
+
+      // Which frontier states this sweep finished. Each index is written
+      // only by the worker that owns its grain and read after the pool
+      // barrier, so plain chars are race-free.
+      std::vector<char> expanded(frontier.size(), 0);
 
       // Frontier chunks are badly skewed (successor fan-out varies per
       // state), so hand indices out dynamically in grains instead of one
@@ -415,17 +564,32 @@ EnumerationResult Enumerator::run() const {
                   options_.max_states) {
                 throw over_cap();  // another worker crossed the bound
               }
+              // Budget polls sit *between* states: an expansion, once
+              // started, always completes, so `expanded[]` cleanly
+              // partitions the frontier at a stop.
+              if (budget != nullptr &&
+                  budget->poll() != StopReason::None) {
+                break;
+              }
               kernel.expand(frontier[idx], ws.stats, sink);
+              expanded[idx] = 1;
             }
             if (metrics != nullptr) ws.busy_ns += metrics_now_ns() - t0;
           });
 
-      // Drain the leftover per-worker batches (each below flush_at).
+      // Drain the leftover per-worker batches (each below flush_at) --
+      // unconditionally, also after a budget stop, so the visited set and
+      // the admitted next-level states agree with the expanded[] partition
+      // before any checkpoint is captured.
       for (WorkerState& ws : wstate) {
         for (std::size_t s = 0; s < kShards; ++s) flush(ws, s);
       }
+      for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
+        if (expanded[idx] != 0) ++result.expansions;
+      }
 
-      frontier.clear();
+      std::vector<EnumKey> next = std::move(next_carry);
+      next_carry.clear();
       for (WorkerState& ws : wstate) {
         total_visits += static_cast<std::size_t>(ws.stats.visits);
         total_symmetry_skips +=
@@ -434,9 +598,8 @@ EnumerationResult Enumerator::run() const {
         busy_total_ns += ws.busy_ns;
         flushes_total += ws.flushes;
         for (ConcreteError& e : ws.errors) found.push_back(std::move(e));
-        frontier.insert(frontier.end(),
-                        std::make_move_iterator(ws.next.begin()),
-                        std::make_move_iterator(ws.next.end()));
+        next.insert(next.end(), std::make_move_iterator(ws.next.begin()),
+                    std::make_move_iterator(ws.next.end()));
         ws.next.clear();
         ws.errors.clear();
         ws.stats = SuccessorStats{};
@@ -448,6 +611,50 @@ EnumerationResult Enumerator::run() const {
         const std::uint64_t level_ns = metrics_now_ns() - level_t0;
         level_wall_ns += level_ns;
         metrics->timer_add("enum.level_wall", level_ns);
+      }
+
+      const StopReason stop =
+          budget == nullptr ? StopReason::None : budget->latched();
+      if (stop != StopReason::None) {
+        std::vector<EnumKey> remainder;
+        for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
+          if (expanded[idx] == 0) {
+            remainder.push_back(std::move(frontier[idx]));
+          }
+        }
+        if (remainder.empty() && next.empty()) {
+          // The budget latched exactly as the search hit its fixpoint:
+          // nothing is left undone, so the result is Complete after all.
+        } else {
+          if (!options_.checkpoint_path.empty()) {
+            if (!remainder.empty()) {
+              // Some of the (already-counted) current level is unexpanded.
+              write_checkpoint(std::move(remainder), std::move(next),
+                               /*mid_level=*/true);
+            } else {
+              // The stop landed on a level barrier: the next level becomes
+              // the checkpoint's (uncounted) frontier.
+              write_checkpoint(std::move(next), {}, /*mid_level=*/false);
+            }
+          }
+          result.outcome = Outcome::Partial;
+          result.stop_reason = stop;
+          break;  // shared finalization below
+        }
+      }
+
+      frontier = std::move(next);
+
+      // Periodic barrier checkpoint, time-gated so its cost amortizes to
+      // noise on long campaigns (interval 0 = every barrier, for tests).
+      if (!options_.checkpoint_path.empty() && !frontier.empty()) {
+        const std::uint64_t now = metrics_now_ns();
+        if (options_.checkpoint_interval_ms == 0 ||
+            now - last_checkpoint_ns >=
+                options_.checkpoint_interval_ms * 1'000'000ULL) {
+          write_checkpoint(frontier, {}, /*mid_level=*/false);
+          last_checkpoint_ns = metrics_now_ns();
+        }
       }
     }
   } catch (...) {

@@ -27,9 +27,12 @@
 #include "enumeration/enum_state.hpp"
 #include "enumeration/successor_kernel.hpp"
 #include "fsm/protocol.hpp"
+#include "util/budget.hpp"
 #include "util/metrics.hpp"
 
 namespace ccver {
+
+struct EnumCheckpoint;
 
 /// One concrete erroneous state found during enumeration, with a replay
 /// path from the initial state (populated when Options::track_paths).
@@ -45,11 +48,18 @@ struct ConcreteError {
 /// Determinism guarantee: every field except wall-clock metrics is a pure
 /// function of (protocol, Options) -- identical across runs, thread counts
 /// and scheduling. `errors` and `reachable` are sorted by `key_less`.
+/// A `Partial` run interrupted by a budget and later resumed from its
+/// checkpoint reaches the *same* final result as an uninterrupted run:
+/// every state is expanded exactly once across the interrupt/resume
+/// boundary and all result fields are order-independent.
 struct EnumerationResult {
+  Outcome outcome = Outcome::Complete;  ///< Partial = a budget stopped us
+  StopReason stop_reason = StopReason::None;  ///< why, when Partial
+  bool checkpoint_written = false;  ///< at least one checkpoint was saved
   std::size_t states = 0;  ///< distinct reachable states (after equivalence)
   std::size_t visits = 0;  ///< successor states generated (incl. duplicates)
   std::size_t levels = 0;      ///< BFS depth until fixpoint (initial = 1)
-  std::size_t expansions = 0;  ///< states expanded (= states at fixpoint)
+  std::size_t expansions = 0;  ///< states fully expanded so far
   /// Successor generations skipped (and credited into `visits`) by the
   /// kernel's symmetry reduction; 0 under strict equivalence.
   std::size_t symmetry_skips = 0;
@@ -118,6 +128,28 @@ class Enumerator {
     /// max_states), so the admitted-state count at abort time is
     /// observable. Null = no instrumentation, no clock reads.
     MetricsRegistry* metrics = nullptr;
+    /// Cooperative resource budget (deadline / states / bytes /
+    /// cancellation). Polled between per-state expansions; exhaustion does
+    /// NOT throw -- the run stops at the next state boundary and returns
+    /// `Outcome::Partial` carrying everything found so far (plus a
+    /// checkpoint when `checkpoint_path` is set). Null = unlimited.
+    Budget* budget = nullptr;
+    /// When non-empty, the run writes a resumable checkpoint here: always
+    /// at a budget stop, and periodically at level barriers (see
+    /// `checkpoint_interval_ms`). Writes are atomic (temp file + rename);
+    /// a persistent write failure throws IoError. Incompatible with
+    /// `track_paths`.
+    std::string checkpoint_path;
+    /// Minimum wall-clock spacing of periodic barrier checkpoints, in
+    /// milliseconds. 0 = checkpoint at every level barrier (tests).
+    std::uint64_t checkpoint_interval_ms = 500;
+    /// Resume from this previously-loaded checkpoint instead of the
+    /// initial state. The checkpoint's protocol identity (name,
+    /// fingerprint, n_caches, equivalence, symmetry) must match this run's
+    /// options exactly; any mismatch throws SpecError. The final result of
+    /// a resumed run is byte-identical to an uninterrupted run at any
+    /// thread count.
+    const EnumCheckpoint* resume = nullptr;
   };
 
   Enumerator(const Protocol& p, Options options);

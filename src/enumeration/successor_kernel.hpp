@@ -33,10 +33,12 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <new>
 
 #include "enumeration/enum_state.hpp"
 #include "fsm/concrete.hpp"
 #include "fsm/protocol.hpp"
+#include "util/failpoint.hpp"
 
 namespace ccver {
 
@@ -124,6 +126,11 @@ class SuccessorKernel {
   template <typename Sink>
   void expand(const EnumKey& key, SuccessorStats& stats, Sink&& sink) {
     const Protocol& p = *protocol_;
+    // Chaos hook standing in for a real scratch-allocation failure (the
+    // kernel itself is allocation-free; its callers' sinks are not). Fires
+    // at the entry boundary so an injected failure never tears a
+    // half-expanded state.
+    if (CCV_FAILPOINT("kernel.scratch_alloc")) throw std::bad_alloc();
     reify_into(p, key, base_);
     const std::size_t n = base_.cache_count();
 

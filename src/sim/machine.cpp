@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "enumeration/enumerator.hpp"
@@ -42,14 +43,24 @@ struct BlockOutcome {
 
 void simulate_block(const Protocol& p, std::uint32_t block,
                     std::span<const TraceEvent> events,
-                    const Machine::Options& options, BlockOutcome& out) {
+                    const Machine::Options& options, BlockOutcome& out,
+                    std::atomic<bool>& stopped_early) {
+  Budget* const budget = options.budget;
   ConcreteBlock blk = ConcreteBlock::initial(p, options.n_cpus);
   if (options.collect_states) {
     out.seen.insert(project(p, blk, Equivalence::Counting));
   }
 
   SmallVec<StateId, kMaxCaches> pre_states;
-  for (std::size_t k = 0; k < events.size(); ++k) {
+  std::size_t k = 0;
+  for (; k < events.size(); ++k) {
+    // Event-granular budget check, amortized over 64 events so the hot
+    // loop stays clock-free between polls.
+    if (budget != nullptr && k != 0 && (k & 63U) == 0 &&
+        budget->poll() != StopReason::None) {
+      stopped_early.store(true, std::memory_order_relaxed);
+      break;
+    }
     const TraceEvent& e = events[k];
     CCV_CHECK(e.cpu < blk.cache_count(), "trace cpu out of range");
     const bool pre_valid = p.is_valid_state(blk.states[e.cpu]);
@@ -131,6 +142,7 @@ void simulate_block(const Protocol& p, std::uint32_t block,
       out.seen.insert(project(p, blk, Equivalence::Counting));
     }
   }
+  if (budget != nullptr) budget->charge_states(k);  // events executed
 }
 
 }  // namespace
@@ -156,15 +168,23 @@ SimResult Machine::run(std::span<const TraceEvent> trace) const {
   std::vector<std::uint64_t> busy_ns(workers, 0);
   // Dynamic scheduling: under hot-set workloads a few blocks absorb most
   // of the trace, so static contiguous chunking would idle most workers.
+  Budget* const budget = options_.budget;
+  std::atomic<bool> stopped_early{false};
   pool.parallel_for_dynamic(
       0, per_block.size(), /*grain=*/1,
       [&](std::size_t begin, std::size_t end, std::size_t worker) {
         for (std::size_t b = begin; b < end; ++b) {
           if (per_block[b].empty()) continue;
+          if (budget != nullptr &&
+              budget->poll() != StopReason::None) {
+            stopped_early.store(true, std::memory_order_relaxed);
+            break;
+          }
           const std::uint64_t t0 =
               metrics == nullptr ? 0 : metrics_now_ns();
           simulate_block(p, static_cast<std::uint32_t>(b),
-                         per_block[b], options_, outcomes[b]);
+                         per_block[b], options_, outcomes[b],
+                         stopped_early);
           if (metrics != nullptr) {
             const std::uint64_t dt = metrics_now_ns() - t0;
             locals[worker].timer_add("sim.block", dt);
@@ -196,6 +216,10 @@ SimResult Machine::run(std::span<const TraceEvent> trace) const {
   }
 
   SimResult result;
+  if (stopped_early.load(std::memory_order_relaxed)) {
+    result.outcome = Outcome::Partial;
+    result.stop_reason = budget->latched();
+  }
   std::unordered_set<EnumKey, EnumKey::Hasher> merged_states;
   for (BlockOutcome& out : outcomes) {
     result.stats += out.stats;

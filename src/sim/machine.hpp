@@ -24,6 +24,7 @@
 #include "fsm/concrete.hpp"
 #include "sim/bus_model.hpp"
 #include "sim/trace.hpp"
+#include "util/budget.hpp"
 #include "util/metrics.hpp"
 
 namespace ccver {
@@ -57,6 +58,10 @@ struct SimError {
 
 /// Result of a simulation run.
 struct SimResult {
+  /// Partial = a budget stopped the run; counters and errors then cover
+  /// only the events executed before the stop.
+  Outcome outcome = Outcome::Complete;
+  StopReason stop_reason = StopReason::None;
   SimStats stats;
   std::vector<SimError> errors;       ///< capped
   std::vector<EnumKey> states_seen;   ///< distinct per-block abstract states
@@ -77,6 +82,10 @@ class Machine {
     /// (accumulated thread-locally, merged once per worker) and thread
     /// utilization. Null = no instrumentation, no clock reads.
     MetricsRegistry* metrics = nullptr;
+    /// Cooperative budget, polled per block and every 64 events inside a
+    /// block; each executed event charges one state. Exhaustion stops the
+    /// run cleanly with `Outcome::Partial`. Null = unlimited.
+    Budget* budget = nullptr;
   };
 
   Machine(const Protocol& p, Options options);

@@ -12,7 +12,7 @@ void save_trace_file(const TraceFile& trace,
                      const std::filesystem::path& path) {
   std::ofstream out(path);
   if (!out) {
-    throw SpecError("cannot write trace file '" + path.string() + "'");
+    throw IoError("cannot write trace file '" + path.string() + "'");
   }
   out << "ccver-trace v1 cpus=" << trace.n_cpus
       << " blocks=" << trace.n_blocks << '\n';
@@ -23,19 +23,20 @@ void save_trace_file(const TraceFile& trace,
     out << op << ' ' << e.cpu << ' ' << e.block << '\n';
   }
   if (!out) {
-    throw SpecError("I/O error writing trace file '" + path.string() + "'");
+    throw IoError("I/O error writing trace file '" + path.string() + "'");
   }
 }
 
 TraceFile load_trace_file(const std::filesystem::path& path) {
   std::ifstream in(path);
   if (!in) {
-    throw SpecError("cannot open trace file '" + path.string() + "'");
+    throw IoError("cannot open trace file '" + path.string() + "'");
   }
 
+  // Corrupt content is an IoError (exit code 3 in ccverify), located at
+  // the offending line.
   const auto fail = [&path](std::size_t line, const std::string& message) {
-    throw SpecError(path.string() + ":" + std::to_string(line) + ": " +
-                    message);
+    throw IoError(path.string(), line, message);
   };
 
   TraceFile trace;
@@ -83,7 +84,7 @@ TraceFile load_trace_file(const std::filesystem::path& path) {
     break;
   }
   if (trace.n_cpus == 0) {
-    throw SpecError(path.string() + ": missing trace header");
+    throw IoError(path.string() + ": missing trace header");
   }
 
   // Records.

@@ -6,17 +6,21 @@
 #include "spec/parser.hpp"
 #include "spec/writer.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace ccver {
 
 Protocol load_protocol_file(const std::filesystem::path& path,
                             BuildMode mode) {
   std::ifstream in(path);
-  if (!in) {
-    throw SpecError("cannot open protocol spec '" + path.string() + "'");
+  if (!in || CCV_FAILPOINT("spec.load_io")) {
+    throw IoError("cannot open protocol spec '" + path.string() + "'");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad()) {
+    throw IoError("I/O error reading protocol spec '" + path.string() + "'");
+  }
   try {
     return mode == BuildMode::Strict ? parse_protocol(buffer.str())
                                      : parse_protocol_lenient(buffer.str());
@@ -32,12 +36,12 @@ void save_protocol_file(const Protocol& p,
                         const std::filesystem::path& path) {
   std::ofstream out(path);
   if (!out) {
-    throw SpecError("cannot write protocol spec '" + path.string() + "'");
+    throw IoError("cannot write protocol spec '" + path.string() + "'");
   }
   out << to_spec(p);
   if (!out) {
-    throw SpecError("I/O error writing protocol spec '" + path.string() +
-                    "'");
+    throw IoError("I/O error writing protocol spec '" + path.string() +
+                  "'");
   }
 }
 

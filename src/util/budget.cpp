@@ -1,0 +1,86 @@
+#include "util/budget.hpp"
+
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+
+std::string_view to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Complete: return "complete";
+    case Outcome::Partial: return "partial";
+  }
+  return "?";
+}
+
+std::string_view to_string(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::None: return "none";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::StateBudget: return "state-budget";
+    case StopReason::MemoryBudget: return "memory-budget";
+    case StopReason::Cancelled: return "cancelled";
+    case StopReason::Failpoint: return "failpoint";
+  }
+  return "?";
+}
+
+Budget::Budget(Limits limits)
+    : limits_(limits),
+      start_ns_(limits.deadline_ns == 0 ? 0 : metrics_now_ns()) {}
+
+void Budget::latch(StopReason reason) noexcept {
+  // First limit crossed wins; later crossings keep the original reason so
+  // every thread reports the same stop cause.
+  std::uint8_t expected = 0;
+  stop_.compare_exchange_strong(expected, static_cast<std::uint8_t>(reason),
+                                std::memory_order_relaxed);
+}
+
+void Budget::charge_states(std::uint64_t n) noexcept {
+  const std::uint64_t total =
+      states_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_states != 0 && total >= limits_.max_states) {
+    latch(StopReason::StateBudget);
+  }
+}
+
+void Budget::charge_bytes(std::uint64_t n) noexcept {
+  const std::uint64_t total =
+      bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_bytes != 0 && total >= limits_.max_bytes) {
+    latch(StopReason::MemoryBudget);
+  }
+}
+
+void Budget::cancel() noexcept { latch(StopReason::Cancelled); }
+
+StopReason Budget::poll() noexcept {
+  StopReason reason = latched();
+  if (reason != StopReason::None) return reason;
+  if (limits_.deadline_ns != 0 &&
+      metrics_now_ns() - start_ns_ >= limits_.deadline_ns) {
+    latch(StopReason::Deadline);
+  } else if (CCV_FAILPOINT("budget.exhaust")) {
+    latch(StopReason::Failpoint);
+  }
+  return latched();
+}
+
+std::uint64_t Budget::remaining_ns() const noexcept {
+  if (limits_.deadline_ns == 0) return UINT64_MAX;
+  const std::uint64_t elapsed = metrics_now_ns() - start_ns_;
+  return elapsed >= limits_.deadline_ns ? 0 : limits_.deadline_ns - elapsed;
+}
+
+void Budget::publish(MetricsRegistry& metrics) const {
+  metrics.counter_add("budget.states_charged", states_charged());
+  metrics.counter_add("budget.bytes_charged", bytes_charged());
+  metrics.gauge_set("budget.exhausted", exhausted() ? 1.0 : 0.0);
+  if (limits_.deadline_ns != 0) {
+    metrics.gauge_set("budget.remaining_ns",
+                      static_cast<double>(remaining_ns()));
+  }
+}
+
+}  // namespace ccver

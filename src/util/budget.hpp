@@ -1,0 +1,121 @@
+#pragma once
+/// \file budget.hpp
+/// Resource budgets and cooperative cancellation for long-running engine
+/// loops.
+///
+/// The exhaustive baseline blows up as m^n, so real campaigns at n >= 7 are
+/// exactly the runs that die to OOM or wall-clock limits. A `Budget` turns
+/// those deaths into graceful degradation: engine loops (concrete
+/// enumeration, symbolic expansion, trace simulation) poll it at natural
+/// unit boundaries and, when it reports exhaustion, stop cleanly and return
+/// an `Outcome::Partial` result carrying everything found so far -- instead
+/// of throwing away hours of state-space expansion.
+///
+/// A budget is shared by every worker of a run: all members are atomics and
+/// the first limit crossed latches sticky, so one poll after the crossing
+/// is enough for every thread to observe the same stop reason. Polling is
+/// cheap by construction -- one relaxed atomic load on the fast path; the
+/// deadline clock is only read by `poll()`, which callers invoke once per
+/// coarse unit of work (a state expansion, an expansion step, a trace
+/// block), never per successor.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ccver {
+
+class MetricsRegistry;
+
+/// How a run ended.
+enum class Outcome : std::uint8_t {
+  Complete = 0,  ///< ran to fixpoint; the result is exhaustive
+  Partial = 1,   ///< a budget stopped the run; the result is a prefix
+};
+
+/// Which limit stopped a partial run.
+enum class StopReason : std::uint8_t {
+  None = 0,         ///< not stopped (Outcome::Complete)
+  Deadline = 1,     ///< wall-clock deadline passed
+  StateBudget = 2,  ///< distinct-state allowance spent
+  MemoryBudget = 3, ///< byte allowance spent
+  Cancelled = 4,    ///< Budget::cancel() was called
+  Failpoint = 5,    ///< forced by the `budget.exhaust` failpoint
+};
+
+[[nodiscard]] std::string_view to_string(Outcome o) noexcept;
+[[nodiscard]] std::string_view to_string(StopReason r) noexcept;
+
+/// Shared, thread-safe resource budget. Engine loops `charge_*` what they
+/// consume and `poll()` between units of work; exhaustion latches the first
+/// crossed limit and every subsequent poll (from any thread) reports it.
+class Budget {
+ public:
+  struct Limits {
+    std::uint64_t deadline_ns = 0;  ///< wall-clock allowance; 0 = unlimited
+    std::uint64_t max_states = 0;   ///< distinct-state allowance; 0 = unlimited
+    std::uint64_t max_bytes = 0;    ///< byte allowance; 0 = unlimited
+  };
+
+  Budget() : Budget(Limits{}) {}
+  /// The deadline clock starts at construction.
+  explicit Budget(Limits limits);
+
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  /// Records `n` admitted states; latches StateBudget when the allowance
+  /// is spent. Never throws.
+  void charge_states(std::uint64_t n) noexcept;
+
+  /// Records `n` bytes of working-set growth; latches MemoryBudget when
+  /// the allowance is spent. Never throws.
+  void charge_bytes(std::uint64_t n) noexcept;
+
+  /// Requests cooperative cancellation (latches Cancelled).
+  void cancel() noexcept;
+
+  /// Full check: consults the latched reason, then the deadline clock and
+  /// the `budget.exhaust` failpoint. One steady-clock read per call when a
+  /// deadline is armed; call once per coarse unit of work.
+  [[nodiscard]] StopReason poll() noexcept;
+
+  /// Flag-only check (one relaxed load, no clock read): the latched stop
+  /// reason, or None. Right for inner loops that must stay allocation- and
+  /// syscall-free.
+  [[nodiscard]] StopReason latched() const noexcept {
+    return static_cast<StopReason>(stop_.load(std::memory_order_relaxed));
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return latched() != StopReason::None;
+  }
+
+  [[nodiscard]] std::uint64_t states_charged() const noexcept {
+    return states_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_charged() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const Limits& limits() const noexcept { return limits_; }
+
+  /// Nanoseconds of wall clock left before the deadline (0 when passed;
+  /// UINT64_MAX when no deadline is armed).
+  [[nodiscard]] std::uint64_t remaining_ns() const noexcept;
+
+  /// Publishes `budget.*` counters/gauges (states and bytes charged,
+  /// exhausted flag, stop reason) into `metrics`.
+  void publish(MetricsRegistry& metrics) const;
+
+ private:
+  void latch(StopReason reason) noexcept;
+
+  Limits limits_;
+  std::uint64_t start_ns_ = 0;
+  std::atomic<std::uint64_t> states_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint8_t> stop_{0};
+};
+
+}  // namespace ccver

@@ -1,6 +1,8 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -67,6 +69,77 @@ CliArgs parse_cli_args(int argc, const char* const* argv, int first,
   tokens.reserve(argc > first ? static_cast<std::size_t>(argc - first) : 0);
   for (int i = first; i < argc; ++i) tokens.emplace_back(argv[i]);
   return parse_cli_args(tokens, boolean_flags);
+}
+
+namespace {
+
+/// Splits `text` into its leading digits and the trailing unit; throws
+/// SpecError (with `what` in the message) when either part is malformed.
+std::pair<std::uint64_t, std::string> split_magnitude(std::string_view text,
+                                                      const char* what) {
+  const std::string_view body = trim(text);
+  std::size_t digits = 0;
+  while (digits < body.size() && body[digits] >= '0' && body[digits] <= '9') {
+    ++digits;
+  }
+  if (digits == 0) {
+    throw SpecError("invalid " + std::string(what) + " '" +
+                    std::string(text) + "'");
+  }
+  const std::uint64_t magnitude = parse_unsigned(body.substr(0, digits));
+  if (magnitude == 0) {
+    throw SpecError(std::string(what) + " must be positive, got '" +
+                    std::string(text) + "'");
+  }
+  return {magnitude, std::string(body.substr(digits))};
+}
+
+}  // namespace
+
+std::uint64_t parse_duration_ns(std::string_view text) {
+  const auto [magnitude, unit] = split_magnitude(text, "duration");
+  std::uint64_t scale = 0;
+  if (unit.empty() || unit == "s") {
+    scale = 1'000'000'000;
+  } else if (unit == "ns") {
+    scale = 1;
+  } else if (unit == "us") {
+    scale = 1'000;
+  } else if (unit == "ms") {
+    scale = 1'000'000;
+  } else if (unit == "m") {
+    scale = 60ULL * 1'000'000'000;
+  } else if (unit == "h") {
+    scale = 3'600ULL * 1'000'000'000;
+  } else {
+    throw SpecError("invalid duration unit '" + unit +
+                    "' (use ns, us, ms, s, m or h)");
+  }
+  return magnitude * scale;
+}
+
+std::uint64_t parse_byte_size(std::string_view text) {
+  auto [magnitude, unit] = split_magnitude(text, "byte size");
+  // Normalize: case-insensitive, optional B/iB after the multiplier.
+  for (char& c : unit) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (unit.size() > 1 && unit.back() == 'b') unit.pop_back();
+  if (unit.size() > 1 && unit.back() == 'i') unit.pop_back();
+  std::uint64_t scale = 0;
+  if (unit.empty() || unit == "b") {
+    scale = 1;
+  } else if (unit == "k") {
+    scale = 1ULL << 10;
+  } else if (unit == "m") {
+    scale = 1ULL << 20;
+  } else if (unit == "g") {
+    scale = 1ULL << 30;
+  } else {
+    throw SpecError("invalid byte-size unit '" + unit +
+                    "' (use K, M or G)");
+  }
+  return magnitude * scale;
 }
 
 }  // namespace ccver

@@ -8,6 +8,7 @@
 /// argument, so front ends can print it verbatim instead of collapsing
 /// parse problems into a generic usage string.
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -55,5 +56,15 @@ struct CliArgs {
 [[nodiscard]] CliArgs parse_cli_args(
     int argc, const char* const* argv, int first,
     const std::vector<std::string>& boolean_flags);
+
+/// Parses a wall-clock duration into nanoseconds. Accepted suffixes:
+/// `ns`, `us`, `ms`, `s`, `m`, `h`; a bare number means seconds
+/// (`--deadline 30` = 30s). Throws SpecError on malformed input or zero.
+[[nodiscard]] std::uint64_t parse_duration_ns(std::string_view text);
+
+/// Parses a byte count. Accepted suffixes: `K`, `M`, `G` (binary multiples,
+/// case-insensitive, optional trailing `B`/`iB`); a bare number means
+/// bytes. Throws SpecError on malformed input or zero.
+[[nodiscard]] std::uint64_t parse_byte_size(std::string_view text);
 
 }  // namespace ccver

@@ -9,6 +9,7 @@
 ///                       that materializes a cache copy out of thin air).
 ///  * `InternalError` -- a broken internal invariant; always a ccver bug.
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -44,6 +45,26 @@ class SpecError : public std::runtime_error {
  private:
   SourceSpan span_{};
   std::string detail_;
+};
+
+/// Raised on I/O failures and corrupt data files: unreadable specs or
+/// traces, failed checkpoint writes, malformed/truncated/bit-flipped
+/// checkpoint content. Derives from SpecError so input-layer callers that
+/// already handle SpecError keep working, while the `ccverify` front end
+/// can map I/O failures to their own exit code (3, vs 2 for usage errors).
+///
+/// Errors anchored in a file compose their message as
+/// `<file>:<line>: <detail>` (line 0 = whole-file problems, rendered
+/// without the line suffix).
+class IoError : public SpecError {
+ public:
+  explicit IoError(const std::string& what) : SpecError(what) {}
+
+  IoError(const std::string& file, std::size_t line,
+          const std::string& detail)
+      : SpecError(line == 0 ? file + ": " + detail
+                            : file + ":" + std::to_string(line) + ": " +
+                                  detail) {}
 };
 
 /// Raised when an operation violates the engine's modelling assumptions.

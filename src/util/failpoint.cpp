@@ -1,0 +1,148 @@
+#include "util/failpoint.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/string_util.hpp"
+
+namespace ccver {
+
+namespace {
+
+/// Armed trigger for one failpoint.
+struct Trigger {
+  std::uint64_t from_hit = 1;  ///< first hit that fires (1-based)
+  bool one_shot = false;       ///< fire only on `from_hit`, not after
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Trigger, std::less<>> armed;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Parses one `name`, `name=N` or `name=N+` element into the armed map.
+void arm_one(std::map<std::string, Trigger, std::less<>>& armed,
+             std::string_view element) {
+  const std::string_view body = trim(element);
+  if (body.empty()) return;
+  const std::size_t eq = body.find('=');
+  Trigger trigger;
+  std::string name;
+  if (eq == std::string_view::npos) {
+    name = std::string(body);
+  } else {
+    name = std::string(trim(body.substr(0, eq)));
+    std::string_view count = trim(body.substr(eq + 1));
+    trigger.one_shot = true;
+    if (!count.empty() && count.back() == '+') {
+      trigger.one_shot = false;
+      count.remove_suffix(1);
+    }
+    try {
+      trigger.from_hit = parse_unsigned(count);
+    } catch (const SpecError&) {
+      throw SpecError("failpoint '" + std::string(body) +
+                      "': trigger must be N or N+ (e.g. io.fail=3)");
+    }
+    if (trigger.from_hit == 0) {
+      throw SpecError("failpoint '" + std::string(body) +
+                      "': hit counts are 1-based");
+    }
+  }
+  if (name.empty()) {
+    throw SpecError("failpoint spec element '" + std::string(element) +
+                    "' has no name");
+  }
+  armed[name] = trigger;
+}
+
+void load_env_locked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  const char* env = std::getenv("CCVER_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  for (const std::string& element : split(env, ',')) {
+    arm_one(r.armed, element);
+  }
+  detail::failpoints_armed.store(static_cast<std::uint32_t>(r.armed.size()),
+                                 std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<std::uint32_t> failpoints_armed{
+    // Arm the fast-path gate when the environment names any failpoint; the
+    // actual spec is parsed lazily on first evaluation/configure.
+    []() -> std::uint32_t {
+      const char* env = std::getenv("CCVER_FAILPOINTS");
+      return env != nullptr && *env != '\0' ? 1 : 0;
+    }()};
+
+bool failpoint_hit(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  const auto it = r.armed.find(name);
+  if (it == r.armed.end()) return false;
+  Trigger& t = it->second;
+  ++t.hits;
+  const bool fire =
+      t.one_shot ? t.hits == t.from_hit : t.hits >= t.from_hit;
+  if (fire) ++t.fires;
+  return fire;
+}
+
+}  // namespace detail
+
+void failpoints_configure(std::string_view spec) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.env_loaded = true;  // explicit configuration overrides the environment
+  r.armed.clear();
+  for (const std::string& element : split(spec, ',')) {
+    arm_one(r.armed, element);
+  }
+  detail::failpoints_armed.store(static_cast<std::uint32_t>(r.armed.size()),
+                                 std::memory_order_relaxed);
+}
+
+void failpoints_clear() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.env_loaded = true;
+  r.armed.clear();
+  detail::failpoints_armed.store(0, std::memory_order_relaxed);
+}
+
+std::vector<FailpointStat> failpoint_stats() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<FailpointStat> stats;
+  stats.reserve(r.armed.size());
+  for (const auto& [name, trigger] : r.armed) {
+    stats.push_back(FailpointStat{name, trigger.hits, trigger.fires});
+  }
+  return stats;
+}
+
+void failpoints_publish(MetricsRegistry& metrics) {
+  for (const FailpointStat& s : failpoint_stats()) {
+    metrics.counter_add("failpoint." + s.name + ".hits", s.hits);
+    metrics.counter_add("failpoint." + s.name + ".fires", s.fires);
+  }
+}
+
+}  // namespace ccver

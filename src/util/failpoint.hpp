@@ -1,0 +1,81 @@
+#pragma once
+/// \file failpoint.hpp
+/// Named failpoints: deterministic fault injection for the chaos harness.
+///
+/// A failpoint is a named site in engine code that can be armed to fail on
+/// demand -- an allocation failure in the successor-kernel scratch path, a
+/// worker-thread exception, a truncated checkpoint write, a spec-load I/O
+/// error. Under any injected fault the engine must either recover (bounded
+/// retries for transient I/O) or exit with a structured diagnostic; the
+/// chaos CI job runs the test suite with a rotating schedule of armed
+/// failpoints to enforce exactly that.
+///
+/// Arming comes from `CCVER_FAILPOINTS` in the environment (read once, on
+/// first evaluation) or programmatically via `failpoints_configure`, which
+/// tests and `ccverify --failpoints=` use. The spec grammar is a
+/// comma-separated list of triggers:
+///
+///   name        fire on every hit
+///   name=N      fire only on the N-th hit (1-based) -- one-shot faults
+///   name=N+     fire on the N-th hit and every hit after it
+///
+/// Evaluation cost: when nothing is armed (the production case), one
+/// relaxed atomic load. Armed failpoints are looked up under a mutex --
+/// they sit on slow paths (checkpoint writes, spec loads, budget polls,
+/// per-state expansion entry), so the lock is never hot.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccver {
+
+class MetricsRegistry;
+
+namespace detail {
+extern std::atomic<std::uint32_t> failpoints_armed;
+[[nodiscard]] bool failpoint_hit(std::string_view name);
+}  // namespace detail
+
+/// Evaluates the named failpoint: counts the hit and returns true when the
+/// armed trigger says this hit fails. Near-zero cost when nothing is armed.
+#define CCV_FAILPOINT(name)                                             \
+  (::ccver::detail::failpoints_armed.load(std::memory_order_relaxed) != \
+       0 &&                                                             \
+   ::ccver::detail::failpoint_hit(name))
+
+/// Replaces the armed set from a spec string (see grammar above). Throws
+/// SpecError on a malformed spec. An empty spec disarms everything.
+void failpoints_configure(std::string_view spec);
+
+/// Disarms every failpoint and clears hit/fire statistics.
+void failpoints_clear();
+
+/// One armed failpoint's lifetime statistics.
+struct FailpointStat {
+  std::string name;
+  std::uint64_t hits = 0;   ///< times the site was evaluated
+  std::uint64_t fires = 0;  ///< times it was told to fail
+};
+
+/// Statistics for every armed failpoint, in name order.
+[[nodiscard]] std::vector<FailpointStat> failpoint_stats();
+
+/// Publishes `failpoint.<name>.hits` / `.fires` counters into `metrics`.
+void failpoints_publish(MetricsRegistry& metrics);
+
+/// RAII arm/disarm for tests: configures on construction, clears on
+/// destruction (restoring the disarmed state, not any previous spec).
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(std::string_view spec) {
+    failpoints_configure(spec);
+  }
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+  ~ScopedFailpoints() { failpoints_clear(); }
+};
+
+}  // namespace ccver

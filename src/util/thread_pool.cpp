@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace ccver {
 
@@ -66,6 +67,7 @@ void ThreadPool::parallel_for(
     CCV_CHECK(outstanding_ == 0, "ThreadPool::parallel_for is not reentrant");
     bulk_ = Bulk{&body, begin, end, chunks};
     first_error_ = nullptr;
+    abort_.store(false, std::memory_order_relaxed);
     outstanding_ = workers_.size();
     ++generation_;
   }
@@ -78,6 +80,7 @@ void ThreadPool::parallel_for(
     if (lo < hi) body(lo, hi, 0);
   } catch (...) {
     local_error = std::current_exception();
+    abort_.store(true, std::memory_order_relaxed);
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
@@ -100,11 +103,14 @@ void ThreadPool::parallel_for_dynamic(
   std::atomic<std::size_t> cursor{begin};
   // Reuse the static machinery: each chunk's body drains the shared
   // cursor, so idle workers keep pulling grains regardless of imbalance.
+  // Once any worker has recorded an error, siblings stop pulling grains:
+  // the bulk call drains cleanly instead of burning the rest of the range.
   parallel_for(0, thread_count(),
-               [&cursor, begin, end, grain, &body](std::size_t, std::size_t,
-                                                   std::size_t worker) {
+               [this, &cursor, begin, end, grain, &body](
+                   std::size_t, std::size_t, std::size_t worker) {
                  (void)begin;
                  for (;;) {
+                   if (abort_.load(std::memory_order_relaxed)) return;
                    const std::size_t lo =
                        cursor.fetch_add(grain, std::memory_order_relaxed);
                    if (lo >= end) return;
@@ -131,9 +137,15 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     const auto [lo, hi] =
         chunk_range(bulk.begin, bulk.end, bulk.chunks, worker_index);
     try {
+      if (CCV_FAILPOINT("pool.worker_throw")) {
+        throw InternalError(
+            "injected fault: pool.worker_throw in worker " +
+            std::to_string(worker_index));
+      }
       if (lo < hi) (*bulk.body)(lo, hi, worker_index);
     } catch (...) {
       local_error = std::current_exception();
+      abort_.store(true, std::memory_order_relaxed);
     }
 
     {

@@ -8,6 +8,7 @@
 /// graph. The pool keeps threads parked between bulk calls so repeated
 /// frontier sweeps do not pay thread start-up costs.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -18,8 +19,11 @@
 namespace ccver {
 
 /// Bulk-synchronous thread pool. Exception-safe: if a worker body throws,
-/// the first exception is re-thrown on the calling thread after the bulk
-/// call completes.
+/// every sibling first drains cleanly -- it finishes its current chunk
+/// (preserving any per-worker results it accumulated) and, in the dynamic
+/// variant, stops pulling further grains -- and only then is the first
+/// recorded exception re-thrown on the calling thread. The pool stays
+/// usable for subsequent bulk calls.
 class ThreadPool {
  public:
   /// Creates a pool with `threads` workers (0 = hardware concurrency).
@@ -47,6 +51,9 @@ class ThreadPool {
   /// indices keep pulling work (guided scheduling without stealing).
   /// Right for skewed per-index costs -- e.g. simulating blocks whose
   /// access counts differ by orders of magnitude under hot-set workloads.
+  /// After any worker throws, siblings stop pulling new grains (their
+  /// in-flight grain still completes), so one failure cannot burn the
+  /// whole remaining range before the error propagates.
   void parallel_for_dynamic(std::size_t begin, std::size_t end,
                             std::size_t grain,
                             const std::function<void(std::size_t, std::size_t,
@@ -71,6 +78,7 @@ class ThreadPool {
   std::size_t generation_ = 0;   // incremented per bulk call
   std::size_t outstanding_ = 0;  // workers still running current bulk
   std::exception_ptr first_error_;
+  std::atomic<bool> abort_{false};  // an error was recorded this bulk call
   bool stopping_ = false;
 };
 

@@ -1,0 +1,188 @@
+/// \file test_budget.cpp
+/// Resource budgets: latching semantics, deadline clock, cooperative
+/// cancellation, metrics publication, and graceful degradation of the
+/// engine loops (enumeration, symbolic expansion, simulation) under each
+/// budget kind.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/verifier.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/protocols.hpp"
+#include "sim/machine.hpp"
+#include "util/budget.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+namespace {
+
+TEST(Budget, UnlimitedNeverLatches) {
+  Budget b;
+  b.charge_states(1'000'000);
+  b.charge_bytes(1'000'000'000);
+  EXPECT_EQ(b.poll(), StopReason::None);
+  EXPECT_EQ(b.latched(), StopReason::None);
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_EQ(b.remaining_ns(), UINT64_MAX);
+}
+
+TEST(Budget, StateBudgetLatchesAtCrossingAndIsSticky) {
+  Budget b{Budget::Limits{.max_states = 10}};
+  b.charge_states(9);
+  EXPECT_EQ(b.latched(), StopReason::None);
+  b.charge_states(1);  // reaches the allowance: spent
+  EXPECT_EQ(b.latched(), StopReason::StateBudget);
+  // Later charges (even of a different kind) never overwrite the first
+  // latched reason.
+  b.charge_bytes(1'000'000'000);
+  b.cancel();
+  EXPECT_EQ(b.poll(), StopReason::StateBudget);
+  EXPECT_EQ(b.states_charged(), 10u);
+}
+
+TEST(Budget, ByteBudgetLatches) {
+  Budget b{Budget::Limits{.max_bytes = 1024}};
+  b.charge_bytes(1000);
+  EXPECT_EQ(b.latched(), StopReason::None);
+  b.charge_bytes(100);
+  EXPECT_EQ(b.latched(), StopReason::MemoryBudget);
+  EXPECT_EQ(b.bytes_charged(), 1100u);
+}
+
+TEST(Budget, DeadlineLatchesOnPoll) {
+  Budget b{Budget::Limits{.deadline_ns = 1}};
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // The clock is only consulted by poll(), never by latched().
+  EXPECT_EQ(b.latched(), StopReason::None);
+  EXPECT_EQ(b.poll(), StopReason::Deadline);
+  EXPECT_EQ(b.latched(), StopReason::Deadline);
+  EXPECT_EQ(b.remaining_ns(), 0u);
+}
+
+TEST(Budget, CancelLatchesCancelled) {
+  Budget b;
+  b.cancel();
+  EXPECT_EQ(b.poll(), StopReason::Cancelled);
+}
+
+TEST(Budget, ExhaustFailpointLatchesFailpoint) {
+  ScopedFailpoints fp("budget.exhaust=2");
+  Budget b;
+  EXPECT_EQ(b.poll(), StopReason::None);  // first hit: not armed for it
+  EXPECT_EQ(b.poll(), StopReason::Failpoint);
+  EXPECT_EQ(b.poll(), StopReason::Failpoint);  // sticky
+}
+
+TEST(Budget, PublishExportsCountersAndReason) {
+  Budget b{Budget::Limits{.max_states = 5}};
+  b.charge_states(7);
+  b.charge_bytes(33);
+  MetricsRegistry metrics;
+  b.publish(metrics);
+  const MetricsSnapshot snap = metrics.snapshot();
+  ASSERT_TRUE(snap.counters.contains("budget.states_charged"));
+  EXPECT_EQ(snap.counters.at("budget.states_charged"), 7u);
+  ASSERT_TRUE(snap.counters.contains("budget.bytes_charged"));
+  EXPECT_EQ(snap.counters.at("budget.bytes_charged"), 33u);
+  ASSERT_TRUE(snap.gauges.contains("budget.exhausted"));
+  EXPECT_EQ(snap.gauges.at("budget.exhausted"), 1.0);
+}
+
+TEST(Budget, ToStringCoversEveryEnumerator) {
+  EXPECT_EQ(to_string(Outcome::Complete), "complete");
+  EXPECT_EQ(to_string(Outcome::Partial), "partial");
+  EXPECT_EQ(to_string(StopReason::None), "none");
+  EXPECT_EQ(to_string(StopReason::Deadline), "deadline");
+  EXPECT_EQ(to_string(StopReason::StateBudget), "state-budget");
+  EXPECT_EQ(to_string(StopReason::MemoryBudget), "memory-budget");
+  EXPECT_EQ(to_string(StopReason::Cancelled), "cancelled");
+  EXPECT_EQ(to_string(StopReason::Failpoint), "failpoint");
+}
+
+// -- graceful degradation of the engine loops ---------------------------
+
+TEST(BudgetEngines, EnumerationStopsPartialOnStateBudget) {
+  const Protocol p = protocols::moesi_split();
+  Budget budget{Budget::Limits{.max_states = 50}};
+  Enumerator::Options opt;
+  opt.n_caches = 5;
+  opt.budget = &budget;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.stop_reason, StopReason::StateBudget);
+  EXPECT_GE(r.states, 50u);  // everything admitted before the stop is kept
+  EXPECT_FALSE(r.checkpoint_written);  // no checkpoint_path given
+}
+
+TEST(BudgetEngines, EnumerationCompletesUnderGenerousBudget) {
+  const Protocol p = protocols::illinois();
+  Budget budget{Budget::Limits{.max_states = 1'000'000}};
+  Enumerator::Options opt;
+  opt.n_caches = 3;
+  opt.budget = &budget;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  EXPECT_EQ(r.outcome, Outcome::Complete);
+  EXPECT_EQ(r.stop_reason, StopReason::None);
+}
+
+TEST(BudgetEngines, EnumerationStopsOnImmediateDeadline) {
+  const Protocol p = protocols::moesi();
+  Budget budget{Budget::Limits{.deadline_ns = 1}};
+  Enumerator::Options opt;
+  opt.n_caches = 6;
+  opt.threads = 4;
+  opt.budget = &budget;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.stop_reason, StopReason::Deadline);
+}
+
+TEST(BudgetEngines, VerifierReportsPartialOnCancelledBudget) {
+  const Protocol p = protocols::illinois();
+  Budget budget;
+  budget.cancel();
+  Verifier::Options opt;
+  opt.budget = &budget;
+  const VerificationReport r = Verifier(p, opt).verify();
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.stop_reason, StopReason::Cancelled);
+  // A partial expansion must never claim full verification.
+  EXPECT_NE(r.summary(p).find("PARTIAL"), std::string::npos);
+}
+
+TEST(BudgetEngines, SimulationStopsPartialOnStateBudget) {
+  const Protocol p = protocols::illinois();
+  Budget budget{Budget::Limits{.max_states = 500}};
+  Machine::Options opt;
+  opt.n_cpus = 4;
+  opt.budget = &budget;
+  TraceConfig cfg;
+  cfg.n_cpus = 4;
+  cfg.length = 100'000;
+  const SimResult r = Machine(p, opt).run(generate_trace(cfg));
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.stop_reason, StopReason::StateBudget);
+  EXPECT_LT(r.stats.reads + r.stats.writes + r.stats.stalls +
+                r.stats.replacements,
+            100'000u);
+}
+
+TEST(BudgetEngines, SimulationCompletesWithoutBudget) {
+  const Protocol p = protocols::illinois();
+  Machine::Options opt;
+  opt.n_cpus = 2;
+  TraceConfig cfg;
+  cfg.n_cpus = 2;
+  cfg.length = 1'000;
+  const SimResult r = Machine(p, opt).run(generate_trace(cfg));
+  EXPECT_EQ(r.outcome, Outcome::Complete);
+  EXPECT_EQ(r.stats.reads + r.stats.writes + r.stats.stalls +
+                r.stats.replacements,
+            1'000u);
+}
+
+}  // namespace
+}  // namespace ccver

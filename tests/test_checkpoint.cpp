@@ -1,0 +1,173 @@
+/// \file test_checkpoint.cpp
+/// Checkpoint persistence: round-trips, atomicity under injected write
+/// faults, and located structured errors for every corrupt-file shape in
+/// the robustness corpus (tests/fixtures/robustness/).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "enumeration/checkpoint.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/protocols.hpp"
+#include "util/budget.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_path(const std::string& name) {
+  return fs::path(CCVER_SOURCE_DIR) / "tests" / "fixtures" / "robustness" /
+         name;
+}
+
+class Checkpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ccver_checkpoint_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Runs a budget-interrupted enumeration that writes a checkpoint.
+  EnumCheckpoint make_checkpoint(const Protocol& p, std::size_t max_states,
+                                 const fs::path& path) {
+    Budget budget{Budget::Limits{.max_states = max_states}};
+    Enumerator::Options opt;
+    opt.n_caches = 4;
+    opt.budget = &budget;
+    opt.checkpoint_path = path.string();
+    const EnumerationResult r = Enumerator(p, opt).run();
+    EXPECT_EQ(r.outcome, Outcome::Partial);
+    EXPECT_TRUE(r.checkpoint_written);
+    return load_checkpoint(path);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(Checkpoint, SaveLoadRoundTripsEveryField) {
+  const Protocol p = protocols::moesi_split();
+  const fs::path path = dir_ / "moesi_split.ckpt";
+  const EnumCheckpoint cp = make_checkpoint(p, 40, path);
+
+  EXPECT_EQ(cp.protocol, p.name());
+  EXPECT_EQ(cp.fingerprint, protocol_fingerprint(p));
+  EXPECT_EQ(cp.n_caches, 4u);
+  EXPECT_FALSE(cp.visited.empty());
+
+  // Re-save what we loaded; the second generation must load back equal.
+  const fs::path copy = dir_ / "copy.ckpt";
+  save_checkpoint(cp, copy);
+  const EnumCheckpoint again = load_checkpoint(copy);
+  EXPECT_EQ(again.protocol, cp.protocol);
+  EXPECT_EQ(again.fingerprint, cp.fingerprint);
+  EXPECT_EQ(again.mid_level, cp.mid_level);
+  EXPECT_EQ(again.levels, cp.levels);
+  EXPECT_EQ(again.visits, cp.visits);
+  EXPECT_EQ(again.symmetry_skips, cp.symmetry_skips);
+  EXPECT_EQ(again.expansions, cp.expansions);
+  EXPECT_EQ(again.visited, cp.visited);
+  EXPECT_EQ(again.frontier, cp.frontier);
+  EXPECT_EQ(again.next, cp.next);
+}
+
+TEST_F(Checkpoint, SaveIsAtomicNoTempFileLeftBehind) {
+  const Protocol p = protocols::illinois();
+  const fs::path path = dir_ / "atomic.ckpt";
+  (void)make_checkpoint(p, 4, path);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+}
+
+TEST_F(Checkpoint, ShortWriteIsRetriedAndSucceeds) {
+  const Protocol p = protocols::illinois();
+  const fs::path path = dir_ / "retry.ckpt";
+  ScopedFailpoints fp("checkpoint.short_write=1");  // first attempt fails
+  MetricsRegistry metrics;
+  Budget budget{Budget::Limits{.max_states = 4}};
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.budget = &budget;
+  opt.checkpoint_path = path.string();
+  opt.metrics = &metrics;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_TRUE(r.checkpoint_written);
+  // The retry wrote a fully valid file.
+  EXPECT_NO_THROW((void)load_checkpoint(path));
+  const MetricsSnapshot snap = metrics.snapshot();
+  ASSERT_TRUE(snap.counters.contains("checkpoint.retries"));
+  EXPECT_GE(snap.counters.at("checkpoint.retries"), 1u);
+}
+
+TEST_F(Checkpoint, PersistentWriteFaultThrowsIoErrorAndKeepsOldFile) {
+  const Protocol p = protocols::illinois();
+  const fs::path path = dir_ / "keep.ckpt";
+  const EnumCheckpoint cp = make_checkpoint(p, 4, path);
+  const auto old_size = fs::file_size(path);
+
+  // Every further rename fails: the save must throw, and the previous
+  // checkpoint generation must survive untouched (atomicity).
+  ScopedFailpoints fp("checkpoint.rename_fail");
+  EXPECT_THROW(save_checkpoint(cp, path), IoError);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_EQ(fs::file_size(path), old_size);
+  EXPECT_NO_THROW((void)load_checkpoint(path));
+}
+
+TEST_F(Checkpoint, MissingFileThrowsIoError) {
+  EXPECT_THROW((void)load_checkpoint(dir_ / "nonexistent.ckpt"), IoError);
+}
+
+// -- corrupt-file corpus ------------------------------------------------
+// Each fixture is a deliberately damaged v1 checkpoint; loading must fail
+// with a located IoError (`<path>:<line>: detail`), never crash.
+
+struct CorpusCase {
+  const char* file;
+  const char* expect;  ///< substring of the diagnostic
+};
+
+class CorruptCorpus : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(CorruptCorpus, LoadFailsWithLocatedIoError) {
+  const CorpusCase& c = GetParam();
+  const fs::path path = corpus_path(c.file);
+  ASSERT_TRUE(fs::exists(path)) << path;
+  try {
+    (void)load_checkpoint(path);
+    FAIL() << c.file << ": expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    // Located: names the file and carries a line number.
+    EXPECT_NE(what.find(c.file), std::string::npos) << what;
+    EXPECT_NE(what.find(':'), std::string::npos) << what;
+    EXPECT_NE(what.find(c.expect), std::string::npos) << what;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Robustness, CorruptCorpus,
+    ::testing::Values(
+        CorpusCase{"truncated.ckpt", "truncated"},
+        CorpusCase{"bad_magic.ckpt", "magic"},
+        CorpusCase{"bad_version.ckpt", "version"},
+        CorpusCase{"bad_checksum.ckpt", "checksum"},
+        CorpusCase{"bad_count.ckpt", ""},
+        CorpusCase{"bad_key.ckpt", ""},
+        CorpusCase{"trailing_garbage.ckpt", ""}),
+    [](const ::testing::TestParamInfo<CorpusCase>& info) {
+      std::string name = info.param.file;
+      name.resize(name.find('.'));
+      return name;
+    });
+
+}  // namespace
+}  // namespace ccver

@@ -102,5 +102,42 @@ TEST(CliArgs, ArgvWrapperSkipsCommandPrefix) {
   EXPECT_TRUE(args.has("--json"));
 }
 
+TEST(ParseDuration, AcceptsEveryUnitAndBareSeconds) {
+  EXPECT_EQ(parse_duration_ns("250ns"), 250u);
+  EXPECT_EQ(parse_duration_ns("7us"), 7'000u);
+  EXPECT_EQ(parse_duration_ns("15ms"), 15'000'000u);
+  EXPECT_EQ(parse_duration_ns("2s"), 2'000'000'000u);
+  EXPECT_EQ(parse_duration_ns("3m"), 180'000'000'000u);
+  EXPECT_EQ(parse_duration_ns("1h"), 3'600'000'000'000u);
+  EXPECT_EQ(parse_duration_ns("30"), 30'000'000'000u);  // bare = seconds
+  EXPECT_EQ(parse_duration_ns(" 5s "), 5'000'000'000u);  // trimmed
+}
+
+TEST(ParseDuration, RejectsMalformedAndZero) {
+  EXPECT_THROW((void)parse_duration_ns(""), SpecError);
+  EXPECT_THROW((void)parse_duration_ns("banana"), SpecError);
+  EXPECT_THROW((void)parse_duration_ns("10fortnights"), SpecError);
+  EXPECT_THROW((void)parse_duration_ns("0s"), SpecError);
+  EXPECT_THROW((void)parse_duration_ns("-5s"), SpecError);
+}
+
+TEST(ParseByteSize, AcceptsBinaryMultiplesCaseInsensitively) {
+  EXPECT_EQ(parse_byte_size("512"), 512u);  // bare = bytes
+  EXPECT_EQ(parse_byte_size("2K"), 2048u);
+  EXPECT_EQ(parse_byte_size("2k"), 2048u);
+  EXPECT_EQ(parse_byte_size("3M"), 3u << 20);
+  EXPECT_EQ(parse_byte_size("1G"), 1u << 30);
+  EXPECT_EQ(parse_byte_size("4KB"), 4096u);
+  EXPECT_EQ(parse_byte_size("4KiB"), 4096u);
+  EXPECT_EQ(parse_byte_size("100B"), 100u);
+}
+
+TEST(ParseByteSize, RejectsMalformedAndZero) {
+  EXPECT_THROW((void)parse_byte_size(""), SpecError);
+  EXPECT_THROW((void)parse_byte_size("lots"), SpecError);
+  EXPECT_THROW((void)parse_byte_size("1T"), SpecError);
+  EXPECT_THROW((void)parse_byte_size("0M"), SpecError);
+}
+
 }  // namespace
 }  // namespace ccver

@@ -1,0 +1,175 @@
+/// \file test_failpoint.cpp
+/// The chaos harness: failpoint spec grammar, trigger semantics (every
+/// hit / N-th hit / N-th onward), statistics, and the engine-level
+/// guarantee that every shipped failpoint degrades into a structured
+/// error or a clean recovery -- never a hang, crash or corrupted result.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <new>
+
+#include "enumeration/enumerator.hpp"
+#include "protocols/protocols.hpp"
+#include "spec/loader.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Failpoint, UnarmedNeverFires) {
+  failpoints_clear();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(CCV_FAILPOINT("test.unarmed"));
+  }
+}
+
+TEST(Failpoint, PlainNameFiresOnEveryHit) {
+  ScopedFailpoints fp("test.every");
+  EXPECT_TRUE(CCV_FAILPOINT("test.every"));
+  EXPECT_TRUE(CCV_FAILPOINT("test.every"));
+  EXPECT_FALSE(CCV_FAILPOINT("test.other"));  // names are independent
+}
+
+TEST(Failpoint, NthHitIsOneShot) {
+  ScopedFailpoints fp("test.third=3");
+  EXPECT_FALSE(CCV_FAILPOINT("test.third"));
+  EXPECT_FALSE(CCV_FAILPOINT("test.third"));
+  EXPECT_TRUE(CCV_FAILPOINT("test.third"));
+  EXPECT_FALSE(CCV_FAILPOINT("test.third"));  // one-shot: fired and done
+}
+
+TEST(Failpoint, NthOnwardFiresFromNth) {
+  ScopedFailpoints fp("test.onward=2+");
+  EXPECT_FALSE(CCV_FAILPOINT("test.onward"));
+  EXPECT_TRUE(CCV_FAILPOINT("test.onward"));
+  EXPECT_TRUE(CCV_FAILPOINT("test.onward"));
+}
+
+TEST(Failpoint, CommaSeparatedSpecArmsSeveral) {
+  ScopedFailpoints fp("test.a, test.b=2");
+  EXPECT_TRUE(CCV_FAILPOINT("test.a"));
+  EXPECT_FALSE(CCV_FAILPOINT("test.b"));
+  EXPECT_TRUE(CCV_FAILPOINT("test.b"));
+}
+
+TEST(Failpoint, MalformedSpecThrowsSpecError) {
+  EXPECT_THROW(failpoints_configure("test.bad="), SpecError);
+  EXPECT_THROW(failpoints_configure("test.bad=x"), SpecError);
+  EXPECT_THROW(failpoints_configure("test.bad=0"), SpecError);
+  EXPECT_THROW(failpoints_configure("=3"), SpecError);
+  failpoints_clear();
+}
+
+TEST(Failpoint, StatsCountHitsAndFires) {
+  ScopedFailpoints fp("test.stats=2");
+  (void)CCV_FAILPOINT("test.stats");
+  (void)CCV_FAILPOINT("test.stats");
+  (void)CCV_FAILPOINT("test.stats");
+  const std::vector<FailpointStat> stats = failpoint_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "test.stats");
+  EXPECT_EQ(stats[0].hits, 3u);
+  EXPECT_EQ(stats[0].fires, 1u);
+}
+
+TEST(Failpoint, PublishExportsPerFailpointCounters) {
+  ScopedFailpoints fp("test.metrics");
+  (void)CCV_FAILPOINT("test.metrics");
+  MetricsRegistry metrics;
+  failpoints_publish(metrics);
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_TRUE(snap.counters.contains("failpoint.test.metrics.hits"));
+  EXPECT_TRUE(snap.counters.contains("failpoint.test.metrics.fires"));
+}
+
+TEST(Failpoint, ClearDisarmsAndResetsStats) {
+  failpoints_configure("test.clear");
+  (void)CCV_FAILPOINT("test.clear");
+  failpoints_clear();
+  EXPECT_FALSE(CCV_FAILPOINT("test.clear"));
+  EXPECT_TRUE(failpoint_stats().empty());
+}
+
+// -- shipped failpoints: fault -> structured error or clean recovery ----
+
+TEST(FailpointChaos, KernelScratchAllocSurfacesAsBadAlloc) {
+  ScopedFailpoints fp("kernel.scratch_alloc=3");
+  const Protocol p = protocols::moesi();
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.threads = 4;
+  EXPECT_THROW((void)Enumerator(p, opt).run(), std::bad_alloc);
+  // The pool drained cleanly: the same options run fine immediately after
+  // (the one-shot trigger has fired), proving no lock or thread was lost.
+  failpoints_clear();
+  const EnumerationResult r = Enumerator(p, opt).run();
+  EXPECT_EQ(r.outcome, Outcome::Complete);
+}
+
+TEST(FailpointChaos, SpecLoadIoSurfacesAsLocatedIoError) {
+  ScopedFailpoints fp("spec.load_io");
+  const fs::path spec =
+      fs::path(CCVER_SOURCE_DIR) / "specs" / "illinois.ccp";
+  try {
+    (void)load_protocol_file(spec.string());
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("illinois.ccp"), std::string::npos);
+  }
+}
+
+TEST(FailpointChaos, WorkerThrowDrainsAndPropagatesFirstError) {
+  // Satellite regression: a throwing task under 8 threads must propagate
+  // exactly one error after a clean drain, and the pool must stay usable.
+  ScopedFailpoints fp("pool.worker_throw=5+");
+  ThreadPool pool(8);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for_dynamic(0, 10'000, 64,
+                                [&](std::size_t b, std::size_t e,
+                                    std::size_t) {
+                                  completed += static_cast<int>(e - b);
+                                }),
+      InternalError);
+  failpoints_clear();
+  // Reusable after the failure: a full bulk call completes every index.
+  completed = 0;
+  pool.parallel_for(0, 1'000, [&](std::size_t b, std::size_t e, std::size_t) {
+    completed += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(completed.load(), 1'000);
+}
+
+TEST(FailpointChaos, BodyExceptionUnderEightThreadsPropagatesOnce) {
+  ThreadPool pool(8);
+  std::atomic<int> throws_prepared{0};
+  try {
+    pool.parallel_for(0, 8'000,
+                      [&](std::size_t b, std::size_t, std::size_t) {
+                        if (b % 2 == 0) {
+                          throws_prepared.fetch_add(1);
+                          throw std::runtime_error("task failure");
+                        }
+                      });
+    FAIL() << "expected the first worker error to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failure");
+  }
+  EXPECT_GE(throws_prepared.load(), 1);
+  // Multiple workers threw, exactly one exception reached the caller, and
+  // the pool still completes subsequent bulk work.
+  std::atomic<int> done{0};
+  pool.parallel_for(0, 100, [&](std::size_t b, std::size_t e, std::size_t) {
+    done += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(done.load(), 100);
+}
+
+}  // namespace
+}  // namespace ccver

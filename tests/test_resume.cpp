@@ -1,0 +1,264 @@
+/// \file test_resume.cpp
+/// Kill-and-resume determinism: for every shipped spec, an enumeration
+/// interrupted at 25/50/75% of its state space and resumed from the
+/// checkpoint must reproduce the uninterrupted result exactly -- every
+/// counter, the error list and the full reachable set -- at 1 and 8
+/// threads. Plus the resume-validation guards (a checkpoint only resumes
+/// the exact same search).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <tuple>
+
+#include "enumeration/checkpoint.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/protocols.hpp"
+#include "spec/loader.hpp"
+#include "util/budget.hpp"
+#include "util/error.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Two results agree on every deterministic field.
+void expect_equal_results(const EnumerationResult& a,
+                          const EnumerationResult& b) {
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.visits, b.visits);
+  EXPECT_EQ(a.levels, b.levels);
+  EXPECT_EQ(a.expansions, b.expansions);
+  EXPECT_EQ(a.symmetry_skips, b.symmetry_skips);
+  EXPECT_EQ(a.errors_truncated, b.errors_truncated);
+  ASSERT_EQ(a.errors.size(), b.errors.size());
+  for (std::size_t i = 0; i < a.errors.size(); ++i) {
+    EXPECT_EQ(a.errors[i].state, b.errors[i].state);
+    EXPECT_EQ(a.errors[i].detail, b.errors[i].detail);
+  }
+  EXPECT_EQ(a.reachable, b.reachable);
+}
+
+// -- the spec matrix: every .ccp x {25,50,75}% x {1,8} threads ----------
+
+using MatrixParam = std::tuple<std::string, int, int>;  // spec, pct, threads
+
+class KillAndResume : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ccver_resume_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_P(KillAndResume, ResumedRunMatchesUninterrupted) {
+  const auto& [spec, pct, threads] = GetParam();
+  const fs::path spec_path = fs::path(CCVER_SOURCE_DIR) / "specs" / spec;
+  const Protocol p = load_protocol_file(spec_path.string());
+
+  Enumerator::Options base;
+  base.n_caches = 4;
+  base.threads = static_cast<std::size_t>(threads);
+  base.keep_states = true;
+  const EnumerationResult full = Enumerator(p, base).run();
+  ASSERT_EQ(full.outcome, Outcome::Complete);
+  ASSERT_GT(full.states, 0u);
+
+  // Interrupt at pct% of the reachable set. The budget latches strictly
+  // before the fixpoint, so the run is guaranteed Partial.
+  const std::uint64_t cut = std::max<std::uint64_t>(
+      1, full.states * static_cast<std::uint64_t>(pct) / 100);
+  const fs::path ckpt = dir_ / (spec + ".ckpt");
+  Budget budget{Budget::Limits{.max_states = cut}};
+  Enumerator::Options interrupted = base;
+  interrupted.budget = &budget;
+  interrupted.checkpoint_path = ckpt.string();
+  const EnumerationResult partial = Enumerator(p, interrupted).run();
+  ASSERT_EQ(partial.outcome, Outcome::Partial);
+  ASSERT_EQ(partial.stop_reason, StopReason::StateBudget);
+  ASSERT_TRUE(partial.checkpoint_written);
+  ASSERT_LE(partial.states, full.states);
+
+  const EnumCheckpoint cp = load_checkpoint(ckpt);
+  Enumerator::Options resumed = base;
+  resumed.resume = &cp;
+  const EnumerationResult after = Enumerator(p, resumed).run();
+  ASSERT_EQ(after.outcome, Outcome::Complete);
+  expect_equal_results(full, after);
+}
+
+std::vector<MatrixParam> matrix() {
+  std::vector<MatrixParam> params;
+  const fs::path specs = fs::path(CCVER_SOURCE_DIR) / "specs";
+  for (const fs::directory_entry& entry : fs::directory_iterator(specs)) {
+    if (entry.path().extension() != ".ccp") continue;
+    for (const int pct : {25, 50, 75}) {
+      for (const int threads : {1, 8}) {
+        params.emplace_back(entry.path().filename().string(), pct, threads);
+      }
+    }
+  }
+  return params;
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  const std::string& spec = std::get<0>(info.param);
+  return spec.substr(0, spec.find('.')) + "_" +
+         std::to_string(std::get<1>(info.param)) + "pct_" +
+         std::to_string(std::get<2>(info.param)) + "t";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, KillAndResume,
+                         ::testing::ValuesIn(matrix()), matrix_name);
+
+// -- mid-level interrupts at scale --------------------------------------
+
+TEST(ResumeMidLevel, EightThreadInterruptResumesExactly) {
+  // A budget that latches mid-sweep under 8 threads: the checkpoint
+  // carries a partially expanded frontier (mid_level) and the resumed run
+  // must still land on the uninterrupted result exactly.
+  const fs::path dir = fs::temp_directory_path() / "ccver_resume_mid";
+  fs::create_directories(dir);
+  const Protocol p = protocols::moesi_split();
+
+  Enumerator::Options base;
+  base.n_caches = 5;
+  base.threads = 8;
+  base.keep_states = true;
+  const EnumerationResult full = Enumerator(p, base).run();
+
+  const fs::path ckpt = dir / "mid.ckpt";
+  Budget budget{Budget::Limits{.max_states = full.states / 2}};
+  Enumerator::Options interrupted = base;
+  interrupted.budget = &budget;
+  interrupted.checkpoint_path = ckpt.string();
+  const EnumerationResult partial = Enumerator(p, interrupted).run();
+  ASSERT_EQ(partial.outcome, Outcome::Partial);
+
+  const EnumCheckpoint cp = load_checkpoint(ckpt);
+  Enumerator::Options resumed = base;
+  resumed.resume = &cp;
+  expect_equal_results(full, Enumerator(p, resumed).run());
+  fs::remove_all(dir);
+}
+
+TEST(ResumeMidLevel, ChainedInterruptsConverge) {
+  // Interrupt, resume with another tight budget, interrupt again, resume
+  // to completion: state is never lost or double-counted across multiple
+  // checkpoint generations.
+  const fs::path dir = fs::temp_directory_path() / "ccver_resume_chain";
+  fs::create_directories(dir);
+  const Protocol p = protocols::moesi();
+
+  Enumerator::Options base;
+  base.n_caches = 5;
+  base.threads = 4;
+  base.keep_states = true;
+  const EnumerationResult full = Enumerator(p, base).run();
+
+  const fs::path ckpt = dir / "chain.ckpt";
+  Budget b1{Budget::Limits{.max_states = full.states / 4}};
+  Enumerator::Options step = base;
+  step.budget = &b1;
+  step.checkpoint_path = ckpt.string();
+  ASSERT_EQ(Enumerator(p, step).run().outcome, Outcome::Partial);
+
+  // Second leg: resume with a larger (but likely still insufficient)
+  // campaign budget. Resume charges the seeded states, so the
+  // total-campaign allowance must exceed the first leg's count to make
+  // progress. Batched admission can overshoot past the fixpoint, so the
+  // leg may occasionally complete outright; either way the final result
+  // must match the uninterrupted run.
+  EnumCheckpoint cp1 = load_checkpoint(ckpt);
+  Budget b2{Budget::Limits{.max_states = full.states * 3 / 4}};
+  step.budget = &b2;
+  step.resume = &cp1;
+  const EnumerationResult second = Enumerator(p, step).run();
+  if (second.outcome == Outcome::Complete) {
+    expect_equal_results(full, second);
+  } else {
+    EnumCheckpoint cp2 = load_checkpoint(ckpt);
+    Enumerator::Options last = base;
+    last.resume = &cp2;
+    expect_equal_results(full, Enumerator(p, last).run());
+  }
+  fs::remove_all(dir);
+}
+
+// -- resume validation guards -------------------------------------------
+
+class ResumeValidation : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ccver_resume_validation";
+    fs::create_directories(dir_);
+    const Protocol p = protocols::illinois();
+    ckpt_ = dir_ / "illinois.ckpt";
+    Budget budget{Budget::Limits{.max_states = 3}};
+    Enumerator::Options opt;
+    opt.n_caches = 4;
+    opt.budget = &budget;
+    opt.checkpoint_path = ckpt_.string();
+    ASSERT_EQ(Enumerator(p, opt).run().outcome, Outcome::Partial);
+    cp_ = load_checkpoint(ckpt_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  fs::path ckpt_;
+  EnumCheckpoint cp_;
+};
+
+TEST_F(ResumeValidation, WrongProtocolIsRejected) {
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.resume = &cp_;
+  EXPECT_THROW((void)Enumerator(protocols::dragon(), opt).run(), SpecError);
+}
+
+TEST_F(ResumeValidation, WrongCacheCountIsRejected) {
+  Enumerator::Options opt;
+  opt.n_caches = 5;
+  opt.resume = &cp_;
+  EXPECT_THROW((void)Enumerator(protocols::illinois(), opt).run(), SpecError);
+}
+
+TEST_F(ResumeValidation, WrongEquivalenceIsRejected) {
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.equivalence = Equivalence::Strict;
+  opt.resume = &cp_;
+  EXPECT_THROW((void)Enumerator(protocols::illinois(), opt).run(), SpecError);
+}
+
+TEST_F(ResumeValidation, WrongSymmetryModeIsRejected) {
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.exploit_symmetry = false;
+  opt.resume = &cp_;
+  EXPECT_THROW((void)Enumerator(protocols::illinois(), opt).run(), SpecError);
+}
+
+TEST_F(ResumeValidation, TrackPathsIsIncompatibleWithResume) {
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.track_paths = true;
+  opt.resume = &cp_;
+  EXPECT_THROW((void)Enumerator(protocols::illinois(), opt).run(), SpecError);
+}
+
+TEST_F(ResumeValidation, TrackPathsIsIncompatibleWithCheckpointing) {
+  Enumerator::Options opt;
+  opt.n_caches = 4;
+  opt.track_paths = true;
+  opt.checkpoint_path = (dir_ / "paths.ckpt").string();
+  EXPECT_THROW((void)Enumerator(protocols::illinois(), opt).run(), SpecError);
+}
+
+}  // namespace
+}  // namespace ccver

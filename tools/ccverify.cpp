@@ -3,14 +3,15 @@
 ///
 ///   ccverify list
 ///   ccverify verify <protocol|file.ccp> [--dot <out.dot>] [--trace]
-///                   [--json] [--stats]
+///                   [--json] [--stats] [--deadline D] [--mem-budget B]
 ///   ccverify describe <protocol|file.ccp>
 ///   ccverify enumerate <protocol|file.ccp> [--caches N | --n N] [--strict]
 ///                      [--threads N] [--max-states N] [--max-errors N]
-///                      [--paths] [--json] [--stats]
+///                      [--paths] [--json] [--stats] [--deadline D]
+///                      [--mem-budget B] [--checkpoint F] [--resume F]
 ///   ccverify simulate <protocol|file.ccp> [--pattern P] [--events N]
 ///                     [--cpus N] [--blocks N] [--capacity N] [--seed S]
-///                     [--stats]
+///                     [--stats] [--deadline D]
 ///   ccverify compare <a> <b>
 ///   ccverify mutate <protocol|file.ccp>
 ///   ccverify lint <protocol|file.ccp>... [--json | --sarif] [--Werror]
@@ -18,6 +19,15 @@
 ///
 /// A protocol argument is either a library name (see `list`) or a path to
 /// a `.ccp` specification file.
+///
+/// Exit codes (uniform across commands):
+///   0  verified / completed with no protocol errors
+///   1  protocol errors found (or compare/diff/lint mismatch)
+///   2  usage error (bad flags, unknown protocol, malformed spec)
+///   3  internal or I/O failure (unreadable/corrupt files, OOM)
+///   4  partial result: a --deadline/--mem-budget/--max-states budget
+///      stopped the run before completion (enumerate writes a resumable
+///      checkpoint when --checkpoint is given)
 
 #include <algorithm>
 #include <cstring>
@@ -31,6 +41,7 @@
 #include "core/compare.hpp"
 #include "core/report_json.hpp"
 #include "core/verifier.hpp"
+#include "enumeration/checkpoint.hpp"
 #include "enumeration/enumerator.hpp"
 #include "protocols/mutation.hpp"
 #include "protocols/protocols.hpp"
@@ -38,7 +49,9 @@
 #include "sim/machine.hpp"
 #include "sim/trace_io.hpp"
 #include "spec/loader.hpp"
+#include "util/budget.hpp"
 #include "util/cli.hpp"
+#include "util/failpoint.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/string_util.hpp"
@@ -49,6 +62,13 @@ namespace {
 using namespace ccver;
 
 using Args = CliArgs;
+
+// Uniform exit-code taxonomy; see the file header.
+constexpr int kExitVerified = 0;
+constexpr int kExitProtocolErrors = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInternal = 3;
+constexpr int kExitPartial = 4;
 
 Args parse_args(int argc, char** argv, int first) {
   // Boolean flags take no value; everything else consumes the next token.
@@ -68,6 +88,29 @@ Protocol resolve_protocol(const std::string& name_or_path) {
 /// Prints the `--stats` table unless the metrics went into a JSON report.
 void print_stats(const MetricsRegistry& metrics) {
   std::cout << "\nengine metrics:\n" << metrics_to_table(metrics.snapshot());
+}
+
+/// Builds run budget limits from --deadline / --mem-budget (and, when
+/// `states_from_flag`, --max-states). An all-zero Limits is unlimited.
+Budget::Limits budget_limits(const Args& args, bool states_from_flag) {
+  Budget::Limits limits;
+  if (args.has("--deadline")) {
+    limits.deadline_ns = parse_duration_ns(args.get("--deadline", ""));
+  }
+  if (args.has("--mem-budget")) {
+    limits.max_bytes = parse_byte_size(args.get("--mem-budget", ""));
+  }
+  if (states_from_flag) {
+    limits.max_states = args.get_number("--max-states", 0);
+  }
+  return limits;
+}
+
+/// Folds budget/failpoint observability into the `--stats` registry.
+void publish_robustness_metrics(const Budget& budget,
+                                MetricsRegistry& metrics) {
+  budget.publish(metrics);
+  failpoints_publish(metrics);
 }
 
 int cmd_list() {
@@ -90,22 +133,39 @@ int cmd_list() {
 }
 
 int cmd_verify(const Args& args) {
+  if (args.has("--checkpoint") || args.has("--resume")) {
+    // The symbolic expansion finishes in milliseconds even for the largest
+    // shipped protocols; there is nothing worth checkpointing. Fail loudly
+    // instead of silently ignoring the flag.
+    throw SpecError(
+        "verify does not support --checkpoint/--resume (the symbolic "
+        "expansion completes in milliseconds; checkpointing applies to "
+        "'enumerate')");
+  }
   const Protocol p = resolve_protocol(args.positional_at(0, "protocol"));
   MetricsRegistry metrics;
+  Budget budget(budget_limits(args, /*states_from_flag=*/false));
   Verifier::Options opt;
   opt.record_trace = args.has("--trace");
+  opt.budget = &budget;
   if (args.has("--stats")) opt.metrics = &metrics;
   const Verifier verifier(p, opt);
+
+  const auto exit_code = [](const VerificationReport& report) {
+    if (!report.ok) return kExitProtocolErrors;
+    return report.outcome == Outcome::Partial ? kExitPartial : kExitVerified;
+  };
 
   if (args.has("--json")) {
     const VerificationReport report = verifier.verify();
     if (args.has("--stats")) {
+      publish_robustness_metrics(budget, metrics);
       const MetricsSnapshot snapshot = metrics.snapshot();
       std::cout << report_to_json(report, p, &snapshot) << '\n';
     } else {
       std::cout << report_to_json(report, p) << '\n';
     }
-    return report.ok ? 0 : 1;
+    return exit_code(report);
   }
 
   if (opt.record_trace) {
@@ -125,18 +185,21 @@ int cmd_verify(const Args& args) {
     std::cout << to_string(d.severity) << " [" << d.check << "]: "
               << d.message << '\n';
   }
-  if (report.ok) {
+  if (report.ok && report.outcome == Outcome::Complete) {
     std::cout << '\n' << report.graph.render_figure(p);
     if (args.has("--dot")) {
       const std::string path = args.get("--dot", "");
       std::ofstream out(path);
-      if (!out) throw SpecError("cannot write " + path);
+      if (!out) throw IoError("cannot write " + path);
       out << report.graph.to_dot(p);
       std::cout << "\nwrote " << path << '\n';
     }
   }
-  if (args.has("--stats")) print_stats(metrics);
-  return report.ok ? 0 : 1;
+  if (args.has("--stats")) {
+    publish_robustness_metrics(budget, metrics);
+    print_stats(metrics);
+  }
+  return exit_code(report);
 }
 
 int cmd_describe(const Args& args) {
@@ -151,13 +214,36 @@ int cmd_enumerate(const Args& args) {
   Enumerator::Options opt;
   opt.n_caches = args.get_number("--n", args.get_number("--caches", 4));
   opt.threads = args.get_number("--threads", 1);
-  opt.max_states = args.get_number("--max-states", opt.max_states);
+  // --max-states is a *budget* at the CLI: exceeding it ends the run
+  // gracefully (Partial result, exit 4, checkpoint when requested) instead
+  // of throwing. The library-level hard cap keeps its default as a safety
+  // valve far above any budgeted run.
   opt.max_errors = args.get_number("--max-errors", opt.max_errors);
   opt.equivalence =
       args.has("--strict") ? Equivalence::Strict : Equivalence::Counting;
   opt.track_paths = args.has("--paths");
   if (args.has("--stats")) opt.metrics = &metrics;
+
+  Budget budget(budget_limits(args, /*states_from_flag=*/true));
+  opt.budget = &budget;
+  opt.checkpoint_path = args.get("--checkpoint", "");
+  opt.checkpoint_interval_ms =
+      args.get_number("--checkpoint-interval-ms", 500);
+  if (opt.track_paths &&
+      (!opt.checkpoint_path.empty() || args.has("--resume"))) {
+    throw SpecError("--paths cannot be combined with --checkpoint/--resume");
+  }
+  EnumCheckpoint resume_cp;
+  if (args.has("--resume")) {
+    resume_cp = load_checkpoint(args.get("--resume", ""));
+    opt.resume = &resume_cp;
+  }
+
   const EnumerationResult r = Enumerator(p, opt).run();
+  if (args.has("--stats")) publish_robustness_metrics(budget, metrics);
+  const int exit_code = !r.errors.empty()         ? kExitProtocolErrors
+                        : r.outcome == Outcome::Partial ? kExitPartial
+                                                        : kExitVerified;
 
   if (args.has("--json")) {
     // Field order and content are deterministic: errors and reachable
@@ -170,6 +256,8 @@ int cmd_enumerate(const Args& args) {
     json.key("equivalence")
         .value(opt.equivalence == Equivalence::Strict ? "strict"
                                                       : "counting");
+    json.key("outcome").value(std::string(to_string(r.outcome)));
+    json.key("stop_reason").value(std::string(to_string(r.stop_reason)));
     json.key("states").value(static_cast<std::uint64_t>(r.states));
     json.key("visits").value(static_cast<std::uint64_t>(r.visits));
     json.key("levels").value(static_cast<std::uint64_t>(r.levels));
@@ -193,7 +281,7 @@ int cmd_enumerate(const Args& args) {
     }
     json.end_object();
     std::cout << std::move(json).str() << '\n';
-    return r.errors.empty() ? 0 : 1;
+    return exit_code;
   }
 
   std::cout << p.name() << ", n = " << opt.n_caches << " caches, "
@@ -214,8 +302,16 @@ int cmd_enumerate(const Args& args) {
   if (r.errors_truncated) {
     std::cout << "  (more errors beyond --max-errors were dropped)\n";
   }
+  if (r.outcome == Outcome::Partial) {
+    std::cout << "  PARTIAL: stopped by " << to_string(r.stop_reason)
+              << " budget; counts above cover the explored prefix\n";
+    if (r.checkpoint_written) {
+      std::cout << "  checkpoint written to " << opt.checkpoint_path
+                << " (resume with --resume)\n";
+    }
+  }
   if (args.has("--stats")) print_stats(metrics);
-  return r.errors.empty() ? 0 : 1;
+  return exit_code;
 }
 
 int cmd_simulate(const Args& args) {
@@ -256,11 +352,14 @@ int cmd_simulate(const Args& args) {
   }
 
   MetricsRegistry metrics;
+  Budget budget(budget_limits(args, /*states_from_flag=*/false));
   Machine::Options mopt;
   mopt.n_cpus = n_cpus;
   mopt.threads = args.get_number("--threads", 1);
+  mopt.budget = &budget;
   if (args.has("--stats")) mopt.metrics = &metrics;
   const SimResult r = Machine(p, mopt).run(trace);
+  if (args.has("--stats")) publish_robustness_metrics(budget, metrics);
 
   TextTable table({"counter", "value"});
   table.add_row({"reads", std::to_string(r.stats.reads)});
@@ -282,8 +381,13 @@ int cmd_simulate(const Args& args) {
     std::cout << "ERROR: block " << e.block << " cpu " << e.cpu << ": "
               << e.detail << '\n';
   }
+  if (r.outcome == Outcome::Partial) {
+    std::cout << "PARTIAL: stopped by " << to_string(r.stop_reason)
+              << " budget; counters cover the executed prefix\n";
+  }
   if (args.has("--stats")) print_stats(metrics);
-  return r.errors.empty() ? 0 : 1;
+  if (!r.errors.empty()) return kExitProtocolErrors;
+  return r.outcome == Outcome::Partial ? kExitPartial : kExitVerified;
 }
 
 int cmd_compare(const Args& args) {
@@ -455,14 +559,18 @@ int usage() {
       "usage: ccverify <command> [args]\n"
       "  list                                 protocols in the library\n"
       "  verify <protocol> [--dot F] [--trace] [--json] [--stats]\n"
+      "         [--deadline D] [--mem-budget B]\n"
       "                                       symbolic verification\n"
       "  describe <protocol>                  print the rule table\n"
       "  enumerate <protocol> [--caches N | --n N] [--strict] [--threads N]\n"
       "            [--max-states N] [--max-errors N] [--paths] [--json]\n"
-      "            [--stats]\n"
+      "            [--stats] [--deadline D] [--mem-budget B]\n"
+      "            [--checkpoint F] [--checkpoint-interval-ms N]\n"
+      "            [--resume F]\n"
       "  simulate <protocol> [--pattern P] [--events N] [--cpus N]\n"
       "           [--blocks N] [--capacity N] [--seed S] [--threads N]\n"
       "           [--save-trace F | --trace-file F] [--stats]\n"
+      "           [--deadline D]\n"
       "  compare <a> <b>                      diagram isomorphism\n"
       "  diff <a> <b>                         state-space difference\n"
       "  mutate <protocol>                    single-rule mutation study\n"
@@ -472,8 +580,16 @@ int usage() {
       "  random <seed> [--out F.ccp]          generate a random protocol\n"
       "<protocol> is a library name or a .ccp file path.\n"
       "--stats prints engine metrics (per-level timings, lock wait,\n"
-      "thread utilization); with --json they land under \"metrics\".\n";
-  return 2;
+      "thread utilization); with --json they land under \"metrics\".\n"
+      "--deadline takes ns/us/ms/s/m/h (bare number = seconds);\n"
+      "--mem-budget takes K/M/G (bare number = bytes). A crossed budget\n"
+      "ends the run gracefully: partial results, exit code 4, and -- for\n"
+      "enumerate with --checkpoint -- a resumable checkpoint. --failpoints\n"
+      "(or CCVER_FAILPOINTS) arms fault-injection points: name[=N[+]],\n"
+      "comma-separated; see docs/robustness.md.\n"
+      "exit codes: 0 verified, 1 protocol errors, 2 usage,\n"
+      "3 internal/IO failure, 4 partial (budget exhausted).\n";
+  return kExitUsage;
 }
 
 }  // namespace
@@ -483,9 +599,14 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   // Argument-lookup failures (missing positionals, bad flag values) throw
   // SpecError with a message; only an unknown command falls through to the
-  // usage text, so genuine errors inside commands are never masked.
+  // usage text, so genuine errors inside commands are never masked. The
+  // catch order matters: IoError derives from SpecError, so it must be
+  // matched first to land in the internal/IO exit class rather than usage.
   try {
     const Args args = parse_args(argc, argv, 2);
+    if (args.has("--failpoints")) {
+      failpoints_configure(args.get("--failpoints", ""));
+    }
     if (command == "list") return cmd_list();
     if (command == "verify") return cmd_verify(args);
     if (command == "describe") return cmd_describe(args);
@@ -497,8 +618,17 @@ int main(int argc, char** argv) {
     if (command == "lint") return cmd_lint(args);
     if (command == "random") return cmd_random(args);
     return usage();
+  } catch (const IoError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitInternal;
+  } catch (const SpecError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitUsage;
+  } catch (const std::bad_alloc&) {
+    std::cerr << "error: out of memory\n";
+    return kExitInternal;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 2;
+    return kExitInternal;
   }
 }

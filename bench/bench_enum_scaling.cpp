@@ -1,28 +1,37 @@
 /// \file bench_enum_scaling.cpp
 /// Experiment E14: thread scaling of the parallel exhaustive enumerator.
 ///
-/// Sweeps the worker count over the MOESI split-transaction workload
-/// (MOESISplit, n = 5 caches, strict equivalence -- 5655 reachable
-/// states, ~94k visits) and emits a machine-readable JSON curve of
-/// wall-clock time and speedup versus the single-threaded run. The
-/// enumerator's results are deterministic across thread counts, so the
-/// state/visit counts double as a cross-check: any divergence between
-/// rows is a correctness bug, not noise.
+/// Two modes, both emitting the stable-schema perf trajectory
+/// (`BENCH_enum.json`; see bench_trajectory.hpp) when `--json <path>` is
+/// given:
+///
+///  * **Scaling curve** (default): one (protocol, n, equivalence)
+///    configuration swept over thread counts, with speedup versus the
+///    single-threaded run and the periodic-checkpoint overhead at the
+///    widest configuration.
+///  * **`--sweep`**: the E14 size sweep -- MOESISplit (or the given
+///    protocol) at n = 6..10 under counting *and* strict equivalence, so
+///    the speedup claim is measured where parallelism can pay. Strict
+///    blows up as m^n; sizes above `--sweep-max-strict-n` (default 8) are
+///    recorded as skipped instead of burning minutes per repeat -- raise
+///    the bound on a machine with cores and patience.
+///
+/// Thread counts above the *actual* `std::thread::hardware_concurrency()`
+/// are skipped and listed in the JSON (`skipped_threads`): the enumerator
+/// clamps its workers to the hardware anyway, so oversubscribed rows
+/// would just re-measure the clamped configuration under another name.
+/// 1-thread rows are always measured. Both modes record the hardware
+/// concurrency so readers can judge the curve against the machine it ran
+/// on.
 ///
 /// Usage: bench_enum_scaling [protocol] [n_caches] [repeats]
-///        [--strict | --counting] [--json <path>]
+///        [--strict | --counting] [--sweep] [--sweep-max-strict-n <n>]
+///        [--json <path>]
 ///
-/// `--counting` switches to counting equivalence (where the successor
-/// kernel's symmetry reduction is active; see successor_kernel.hpp);
-/// default remains strict. `--json <path>` additionally writes the
-/// stable-schema perf trajectory file (`BENCH_enum.json`; see
-/// bench_trajectory.hpp) with one row per thread count.
-///
-/// Speedup is computed from the best of `repeats` runs per thread count
-/// (minimum wall time estimates the noise floor). The JSON includes
-/// `hardware_concurrency` so readers can judge the curve against the
-/// machine it ran on: with a single hardware thread every speedup is
-/// ~1.0 by construction.
+/// Wall times are the best (minimum) of the configured repeats. The
+/// enumerator's results are deterministic across thread counts, so the
+/// state/visit counts double as a cross-check: any divergence between
+/// rows of one configuration is a correctness bug, not noise.
 
 #include <cstdint>
 #include <filesystem>
@@ -37,33 +46,127 @@
 #include "util/json.hpp"
 #include "util/string_util.hpp"
 
-int main(int argc, char** argv) {
-  using namespace ccver;
+namespace {
 
-  const std::string json_path = bench::strip_json_flag(argc, argv);
-  Equivalence eq = Equivalence::Strict;
-  std::vector<std::string> positional;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--strict") {
-      eq = Equivalence::Strict;
-    } else if (arg == "--counting") {
-      eq = Equivalence::Counting;
-    } else {
-      positional.push_back(arg);
+using namespace ccver;
+
+const char* eq_name(Equivalence eq) {
+  return eq == Equivalence::Strict ? "strict" : "counting";
+}
+
+/// The thread counts worth measuring on this machine: the standard ladder
+/// cut at the hardware concurrency (1 always stays).
+struct ThreadPlan {
+  std::vector<std::size_t> measured;
+  std::vector<std::size_t> skipped;
+};
+
+ThreadPlan plan_threads() {
+  const auto hardware = static_cast<std::size_t>(
+      std::max(1U, std::thread::hardware_concurrency()));
+  ThreadPlan plan;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    (threads <= hardware ? plan.measured : plan.skipped).push_back(threads);
+  }
+  return plan;
+}
+
+void emit_skipped_threads(JsonWriter& json, const ThreadPlan& plan) {
+  json.key("skipped_threads").begin_array();
+  for (const std::size_t threads : plan.skipped) {
+    json.value(static_cast<std::uint64_t>(threads));
+  }
+  json.end_array();
+}
+
+/// Rows of one (protocol, n, equivalence) configuration must agree on
+/// every deterministic field across thread counts.
+bool rows_consistent(const std::vector<bench::BenchEnumRow>& rows,
+                     std::size_t group_begin) {
+  for (std::size_t i = group_begin; i < rows.size(); ++i) {
+    if (rows[i].states != rows[group_begin].states ||
+        rows[i].visits != rows[group_begin].visits ||
+        rows[i].symmetry_skips != rows[group_begin].symmetry_skips) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_sweep(const Protocol& p, std::size_t repeats,
+              std::size_t max_strict_n, const std::string& json_path) {
+  const ThreadPlan plan = plan_threads();
+  std::vector<bench::BenchEnumRow> rows;
+  struct Skip {
+    std::size_t n;
+    Equivalence eq;
+  };
+  std::vector<Skip> skipped;
+
+  for (const Equivalence eq : {Equivalence::Counting, Equivalence::Strict}) {
+    for (std::size_t n = 6; n <= 10; ++n) {
+      if (eq == Equivalence::Strict && n > max_strict_n) {
+        skipped.push_back(Skip{n, eq});
+        continue;
+      }
+      const std::size_t group_begin = rows.size();
+      for (const std::size_t threads : plan.measured) {
+        rows.push_back(bench::measure_enum(p, n, eq, threads, repeats));
+      }
+      if (!rows_consistent(rows, group_begin)) {
+        std::cerr << "FATAL: results diverge across thread counts at "
+                  << p.name() << " n=" << n << ' ' << eq_name(eq) << '\n';
+        return 1;
+      }
     }
   }
 
-  const std::string name = !positional.empty() ? positional[0] : "MOESISplit";
-  const std::size_t n_caches =
-      positional.size() > 1 ? parse_unsigned(positional[1]) : 5;
-  const std::size_t repeats =
-      positional.size() > 2 ? parse_unsigned(positional[2]) : 5;
-  const Protocol p = protocols::by_name(name);
+  JsonWriter json;
+  json.begin_object();
+  json.key("benchmark").value("enum_sweep");
+  json.key("protocol").value(p.name());
+  json.key("repeats").value(static_cast<std::uint64_t>(repeats));
+  json.key("hardware_concurrency")
+      .value(
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.key("max_strict_n").value(static_cast<std::uint64_t>(max_strict_n));
+  emit_skipped_threads(json, plan);
+  json.key("skipped").begin_array();
+  for (const Skip& skip : skipped) {
+    json.begin_object();
+    json.key("n").value(static_cast<std::uint64_t>(skip.n));
+    json.key("equivalence").value(eq_name(skip.eq));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("rows").begin_array();
+  for (const bench::BenchEnumRow& row : rows) {
+    json.begin_object();
+    json.key("n").value(static_cast<std::uint64_t>(row.n));
+    json.key("equivalence").value(eq_name(row.equivalence));
+    json.key("threads").value(static_cast<std::uint64_t>(row.threads));
+    json.key("states").value(static_cast<std::uint64_t>(row.states));
+    json.key("wall_ns").value(row.wall_ns);
+    json.key("states_per_sec").value(row.states_per_sec);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::cout << std::move(json).str() << '\n';
 
-  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  if (!json_path.empty() &&
+      !bench::write_bench_enum_json(json_path, "enum_sweep", rows)) {
+    std::cerr << "FATAL: cannot write " << json_path << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int run_curve(const Protocol& p, std::size_t n_caches, Equivalence eq,
+              std::size_t repeats, const std::string& json_path) {
+  const ThreadPlan plan = plan_threads();
   std::vector<bench::BenchEnumRow> curve;
-  for (const std::size_t threads : thread_counts) {
+  for (const std::size_t threads : plan.measured) {
     curve.push_back(bench::measure_enum(p, n_caches, eq, threads, repeats));
   }
 
@@ -75,7 +178,7 @@ int main(int argc, char** argv) {
   // clock.
   bench::CheckpointOverhead overhead;
   {
-    const std::size_t threads = thread_counts.back();
+    const std::size_t threads = plan.measured.back();
     const std::filesystem::path ckpt =
         std::filesystem::temp_directory_path() / "bench_enum_scaling.ckpt";
     Enumerator::Options opt;
@@ -110,13 +213,9 @@ int main(int argc, char** argv) {
   }
 
   // Determinism cross-check: every thread count must agree exactly.
-  for (const bench::BenchEnumRow& row : curve) {
-    if (row.states != curve.front().states ||
-        row.visits != curve.front().visits ||
-        row.symmetry_skips != curve.front().symmetry_skips) {
-      std::cerr << "FATAL: results diverge across thread counts\n";
-      return 1;
-    }
+  if (!rows_consistent(curve, 0)) {
+    std::cerr << "FATAL: results diverge across thread counts\n";
+    return 1;
   }
 
   JsonWriter json;
@@ -124,12 +223,12 @@ int main(int argc, char** argv) {
   json.key("benchmark").value("enum_scaling");
   json.key("protocol").value(p.name());
   json.key("n_caches").value(static_cast<std::uint64_t>(n_caches));
-  json.key("equivalence")
-      .value(eq == Equivalence::Strict ? "strict" : "counting");
+  json.key("equivalence").value(eq_name(eq));
   json.key("repeats").value(static_cast<std::uint64_t>(repeats));
   json.key("hardware_concurrency")
-      .value(static_cast<std::uint64_t>(
-          std::thread::hardware_concurrency()));
+      .value(
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  emit_skipped_threads(json, plan);
   json.key("states").value(static_cast<std::uint64_t>(curve.front().states));
   json.key("visits").value(static_cast<std::uint64_t>(curve.front().visits));
   json.key("symmetry_skips")
@@ -155,4 +254,38 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::strip_json_flag(argc, argv);
+  Equivalence eq = Equivalence::Strict;
+  bool sweep = false;
+  std::size_t max_strict_n = 8;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      eq = Equivalence::Strict;
+    } else if (arg == "--counting") {
+      eq = Equivalence::Counting;
+    } else if (arg == "--sweep") {
+      sweep = true;
+    } else if (arg == "--sweep-max-strict-n" && i + 1 < argc) {
+      max_strict_n = parse_unsigned(argv[++i]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  const std::string name = !positional.empty() ? positional[0] : "MOESISplit";
+  const std::size_t n_caches =
+      positional.size() > 1 ? parse_unsigned(positional[1]) : 5;
+  const std::size_t repeats =
+      positional.size() > 2 ? parse_unsigned(positional[2]) : 5;
+  const Protocol p = protocols::by_name(name);
+
+  return sweep ? run_sweep(p, repeats, max_strict_n, json_path)
+               : run_curve(p, n_caches, eq, repeats, json_path);
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_enum.json trajectory.
+
+Compares a freshly measured trajectory against the checked-in baseline:
+rows are matched on (protocol, n, equivalence, threads) and the gate fails
+when any matched single-thread row's states_per_sec regressed by more than
+the tolerance (default 30%, absorbing machine-to-machine variance between
+the baseline runner and CI). Multi-thread rows are reported but never
+gate: their throughput depends on the runner's core count, which the
+baseline machine does not control.
+
+Rows whose baseline wall time is below --min-wall-ms (default 5) are
+reported but not gated: sub-millisecond enumerations are dominated by
+scheduler noise, and a 30% band on a 350us run gates nothing but jitter.
+Rows present on only one side (different machine => different thread
+ladder, different sweep bounds) are skipped and listed. At least one
+single-thread row must survive the filters, otherwise the comparison is
+vacuous and the gate fails.
+
+Usage: check_perf_regression.py <measured.json> <baseline.json>
+       [--tolerance-pct 30] [--min-wall-ms 5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version "
+                 f"{doc.get('schema_version')!r}")
+    rows = {}
+    for row in doc.get("rows", []):
+        key = (row["protocol"], row["n"], row["equivalence"], row["threads"])
+        rows[key] = row
+    return doc, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance-pct", type=float, default=30.0)
+    parser.add_argument("--min-wall-ms", type=float, default=5.0)
+    args = parser.parse_args()
+
+    measured_doc, measured = load_rows(args.measured)
+    baseline_doc, baseline = load_rows(args.baseline)
+    print(f"measured on hardware_concurrency="
+          f"{measured_doc.get('hardware_concurrency')}, baseline on "
+          f"{baseline_doc.get('hardware_concurrency')}")
+
+    matched_1t = 0
+    failures = []
+    for key in sorted(set(measured) & set(baseline)):
+        protocol, n, equivalence, threads = key
+        new = measured[key]["states_per_sec"]
+        old = baseline[key]["states_per_sec"]
+        if old <= 0:
+            continue
+        delta_pct = 100.0 * (new - old) / old
+        label = (f"{protocol} n={n} {equivalence} threads={threads}: "
+                 f"{old:,.0f} -> {new:,.0f} states/s ({delta_pct:+.1f}%)")
+        if threads != 1:
+            print(f"  info (not gated): {label}")
+            continue
+        if baseline[key]["wall_ns"] < args.min_wall_ms * 1e6:
+            print(f"  info (too fast to gate): {label}")
+            continue
+        matched_1t += 1
+        if delta_pct < -args.tolerance_pct:
+            failures.append(label)
+            print(f"  FAIL: {label}")
+        else:
+            print(f"  ok:   {label}")
+
+    for key in sorted(set(measured) ^ set(baseline)):
+        side = "measured only" if key in measured else "baseline only"
+        print(f"  skip ({side}): {key}")
+
+    if matched_1t == 0:
+        sys.exit("no single-thread rows matched between measured and "
+                 "baseline: the gate compared nothing")
+    if failures:
+        sys.exit(f"{len(failures)} single-thread row(s) regressed more "
+                 f"than {args.tolerance_pct:.0f}%")
+    print(f"gate passed: {matched_1t} single-thread row(s) within "
+          f"{args.tolerance_pct:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

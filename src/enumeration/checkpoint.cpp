@@ -34,10 +34,11 @@ std::string to_hex(std::uint64_t v) {
 
 void render_key(std::ostream& out, const EnumKey& key) {
   static constexpr char kDigits[] = "0123456789abcdef";
-  for (const std::uint8_t cell : key.cells) {
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    const std::uint8_t cell = key.cell(i);
     out << kDigits[cell >> 4] << kDigits[cell & 0xf];
   }
-  out << ' ' << static_cast<unsigned>(key.mdata);
+  out << ' ' << static_cast<unsigned>(key.mdata());
 }
 
 /// Serializes everything above the checksum line.
@@ -219,7 +220,7 @@ struct CheckpointReader {
       fail("state key has " + std::to_string(hex.size() / 2) +
            " cells, expected " + std::to_string(n_caches));
     }
-    EnumKey key;
+    std::array<std::uint8_t, kMaxCaches> cells{};
     for (std::size_t i = 0; i < hex.size(); i += 2) {
       int cell = 0;
       for (std::size_t j = i; j < i + 2; ++j) {
@@ -230,19 +231,24 @@ struct CheckpointReader {
         if (digit < 0) fail("invalid state key hex '" + std::string(hex) + "'");
         cell = (cell << 4) | digit;
       }
-      key.cells.push_back(static_cast<std::uint8_t>(cell));
+      if (cell >= 1 << 6) {
+        fail("state key cell out of range in '" + std::string(hex) + "'");
+      }
+      cells[i / 2] = static_cast<std::uint8_t>(cell);
     }
     std::string_view tail = text.substr(space + 1);
     const std::size_t md_end = tail.find(' ');
     const std::string_view md =
         md_end == std::string_view::npos ? tail : tail.substr(0, md_end);
+    std::uint8_t mdata = 0;
     try {
-      const unsigned long mdata = parse_unsigned(md);
-      if (mdata > 3) fail("state key mdata out of range");
-      key.mdata = static_cast<std::uint8_t>(mdata);
+      const unsigned long parsed = parse_unsigned(md);
+      if (parsed > 3) fail("state key mdata out of range");
+      mdata = static_cast<std::uint8_t>(parsed);
     } catch (const SpecError&) {
       fail("invalid state key mdata '" + std::string(md) + "'");
     }
+    const EnumKey key = EnumKey::pack(cells.data(), hex.size() / 2, mdata);
     if (rest != nullptr) {
       *rest = md_end == std::string_view::npos ? std::string_view{}
                                                : tail.substr(md_end + 1);

@@ -1,22 +1,30 @@
 #include "enumeration/enum_state.hpp"
 
-#include <algorithm>
+#include <array>
 #include <sstream>
 
 namespace ccver {
 
 EnumKey project(const Protocol& p, const ConcreteBlock& b, Equivalence eq) {
-  EnumKey key;
-  for (std::size_t i = 0; i < b.cache_count(); ++i) {
-    const auto cell = static_cast<std::uint8_t>(
+  std::array<std::uint8_t, kMaxCaches> cells;
+  const std::size_t n = b.cache_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    cells[i] = static_cast<std::uint8_t>(
         (b.states[i] << 2) | static_cast<std::uint8_t>(cdata_of(p, b, i)));
-    key.cells.push_back(cell);
   }
   if (eq == Equivalence::Counting) {
-    std::sort(key.cells.begin(), key.cells.end());
+    // Insertion sort: n is at most kMaxCaches and successor blocks are one
+    // rule application away from an already-sorted representative, so the
+    // input is nearly sorted -- this beats std::sort on the hot path.
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::uint8_t v = cells[i];
+      std::size_t j = i;
+      for (; j > 0 && cells[j - 1] > v; --j) cells[j] = cells[j - 1];
+      cells[j] = v;
+    }
   }
-  key.mdata = static_cast<std::uint8_t>(mdata_of(b));
-  return key;
+  return EnumKey::pack(cells.data(), n,
+                       static_cast<std::uint8_t>(mdata_of(b)));
 }
 
 ConcreteBlock reify(const Protocol& p, const EnumKey& key) {
@@ -32,9 +40,11 @@ void reify_into(const Protocol& p, const EnumKey& key, ConcreteBlock& b) {
   b.states.clear();
   b.values.clear();
   b.latest = 1;
-  for (std::size_t i = 0; i < key.cells.size(); ++i) {
-    const StateId s = key_state(key, i);
-    const CData c = key_cdata(key, i);
+  const std::size_t n = key.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t cell = key.cell(i);
+    const auto s = static_cast<StateId>(cell >> 2);
+    const auto c = static_cast<CData>(cell & 0x3);
     b.states.push_back(s);
     b.values.push_back(c == CData::Fresh ? 1U : 0U);
     CCV_CHECK(p.is_valid_state(s) == (c != CData::NoData),
@@ -46,7 +56,7 @@ void reify_into(const Protocol& p, const EnumKey& key, ConcreteBlock& b) {
 std::string to_string(const Protocol& p, const EnumKey& k) {
   std::ostringstream os;
   os << '(';
-  for (std::size_t i = 0; i < k.cells.size(); ++i) {
+  for (std::size_t i = 0; i < k.size(); ++i) {
     if (i > 0) os << ", ";
     os << p.state_name(key_state(k, i));
     if (key_cdata(k, i) == CData::Obsolete) os << ":obsolete";

@@ -10,7 +10,32 @@
 /// two equivalences:
 ///  * strict   -- tuple equality (Section 3.1.1's "strict equivalence");
 ///  * counting -- cells sorted, i.e. permutation-invariant (Definition 5).
+///
+/// ## Packed representation
+///
+/// A cell is 6 bits -- `(state << 2) | cdata`, valid because kMaxStates is
+/// 12 < 16 -- so an entire key packs into four 64-bit words:
+///
+///   words[0..2]  cells 0..29, ten per word, cell j of word w in bits
+///                [63 - 6j, 58 - 6j] (the low 4 bits of each word are 0)
+///   words[3]     cells 30..31 in bits [63,52], the cell count in bits
+///                [7,2] and mdata in bits [1,0]
+///
+/// Keys with up to 10 caches (the common case) live entirely in words[0]
+/// and words[3]. The layout is chosen so the canonical `key_less` order --
+/// cell count, then cells lexicographically, then mdata -- reduces to an
+/// integer comparison of the words: cells pack most-significant-first, and
+/// once counts are equal the count/mdata bits of words[3] tie-break
+/// exactly in canonical order. Equality is a word compare (no memcmp, no
+/// loop over bytes), hashing is a fixed chain of SplitMix64 finalizers,
+/// and the struct is trivially copyable -- visited sets and frontiers move
+/// 32-byte POD values instead of 48-byte SmallVec aggregates.
+///
+/// `CellKey` keeps the legacy unpacked encoding (one byte per cell) as the
+/// reference representation: the checkpoint text format and the
+/// packed<->cells round-trip property tests are written against it.
 
+#include <array>
 #include <cstdint>
 
 #include "fsm/concrete.hpp"
@@ -25,18 +50,75 @@ enum class Equivalence : std::uint8_t {
   Counting = 1,  ///< states equal modulo cache permutation (Definition 5)
 };
 
-/// Deduplication key of a concrete block.
+/// Deduplication key of a concrete block, bit-packed (see file comment).
 struct EnumKey {
-  SmallVec<std::uint8_t, kMaxCaches> cells;  ///< (state << 2) | cdata
-  std::uint8_t mdata = 0;
+  static constexpr std::size_t kWords = 4;
+  static constexpr std::size_t kCellsPerWord = 10;
+  static constexpr unsigned kCellBits = 6;
+
+  std::array<std::uint64_t, kWords> words{};
 
   [[nodiscard]] bool operator==(const EnumKey& other) const = default;
 
+  /// Number of (state, cdata) cells, i.e. the cache count of the run.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>((words[3] >> 2) & 0x3f);
+  }
+
+  /// The i-th 6-bit cell, `(state << 2) | cdata`.
+  [[nodiscard]] std::uint8_t cell(std::size_t i) const noexcept {
+    if (i < 3 * kCellsPerWord) {
+      const std::size_t w = i / kCellsPerWord;
+      const unsigned shift =
+          4 + kCellBits * static_cast<unsigned>(kCellsPerWord - 1 -
+                                                i % kCellsPerWord);
+      return static_cast<std::uint8_t>((words[w] >> shift) & 0x3f);
+    }
+    const unsigned shift =
+        58 - kCellBits * static_cast<unsigned>(i - 3 * kCellsPerWord);
+    return static_cast<std::uint8_t>((words[3] >> shift) & 0x3f);
+  }
+
+  /// The memory attribute.
+  [[nodiscard]] std::uint8_t mdata() const noexcept {
+    return static_cast<std::uint8_t>(words[3] & 0x3);
+  }
+
+  /// Packs `n` 6-bit cells plus the memory attribute. The cells must
+  /// already be in the order the equivalence demands (sorted for
+  /// counting); `pack` is a pure layout change.
+  [[nodiscard]] static EnumKey pack(const std::uint8_t* cells, std::size_t n,
+                                    std::uint8_t mdata) noexcept {
+    EnumKey key;
+    std::size_t i = 0;
+    for (; i < n && i < 3 * kCellsPerWord; ++i) {
+      const unsigned shift =
+          4 + kCellBits * static_cast<unsigned>(kCellsPerWord - 1 -
+                                                i % kCellsPerWord);
+      key.words[i / kCellsPerWord] |= static_cast<std::uint64_t>(cells[i])
+                                      << shift;
+    }
+    for (; i < n; ++i) {
+      const unsigned shift =
+          58 - kCellBits * static_cast<unsigned>(i - 3 * kCellsPerWord);
+      key.words[3] |= static_cast<std::uint64_t>(cells[i]) << shift;
+    }
+    key.words[3] |= (static_cast<std::uint64_t>(n) << 2) |
+                    static_cast<std::uint64_t>(mdata & 0x3);
+    return key;
+  }
+
+  /// Single-mix hash: one SplitMix64 finalizer per live word. Keys of ten
+  /// or fewer caches occupy only words[0] and words[3]; the two always-zero
+  /// middle words are skipped (the branch is uniform within a run, where
+  /// every key has the same cell count).
   [[nodiscard]] std::uint64_t hash() const noexcept {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const std::uint8_t c : cells) hash_combine(h, c);
-    hash_combine(h, mdata);
-    return h;
+    std::uint64_t h = mix64(words[0] ^ 0x9e3779b97f4a7c15ULL);
+    if ((words[1] | words[2]) != 0) {
+      h = mix64(h ^ words[1]);
+      h = mix64(h ^ words[2]);
+    }
+    return mix64(h ^ words[3]);
   }
 
   struct Hasher {
@@ -46,19 +128,65 @@ struct EnumKey {
   };
 };
 
+static_assert(sizeof(EnumKey) == 32);
+static_assert(std::is_trivially_copyable_v<EnumKey>);
+static_assert(kMaxStates <= 16, "a (state << 2) | cdata cell must fit 6 bits");
+static_assert(kMaxCaches <= 32, "EnumKey packs at most 32 cells");
+
 /// Canonical total order over keys: cell count, then cells
 /// lexicographically, then the memory attribute. Parallel enumeration sorts
 /// its outputs (errors, reachable set) by this order, which is what makes
-/// `--json` reports bit-stable across runs and thread counts.
+/// `--json` reports bit-stable across runs and thread counts. On the
+/// packed layout this is a word comparison (see the file comment).
 [[nodiscard]] inline bool key_less(const EnumKey& a,
                                    const EnumKey& b) noexcept {
-  if (a.cells.size() != b.cells.size()) {
-    return a.cells.size() < b.cells.size();
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a.words < b.words;
+}
+
+/// The legacy unpacked key encoding: one byte per cell. This is the
+/// reference representation -- the checkpoint text format stores two hex
+/// digits per cell, and the packed<->cells round-trip property tests are
+/// phrased against it. Not used on the enumeration hot path.
+struct CellKey {
+  SmallVec<std::uint8_t, kMaxCaches> cells;  ///< (state << 2) | cdata
+  std::uint8_t mdata = 0;
+
+  [[nodiscard]] bool operator==(const CellKey& other) const = default;
+
+  /// Single-pass FNV-1a over the cell byte run plus mdata (the historic
+  /// per-byte hash_combine chain mixed poorly for short runs).
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint8_t c : cells) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= mdata;
+    h *= 0x100000001b3ULL;
+    return h;
   }
-  for (std::size_t i = 0; i < a.cells.size(); ++i) {
-    if (a.cells[i] != b.cells[i]) return a.cells[i] < b.cells[i];
-  }
-  return a.mdata < b.mdata;
+
+  struct Hasher {
+    [[nodiscard]] std::size_t operator()(const CellKey& k) const noexcept {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+};
+
+/// Packs the legacy encoding (layout change only; cell order preserved).
+[[nodiscard]] inline EnumKey pack_key(const CellKey& k) noexcept {
+  std::array<std::uint8_t, kMaxCaches> cells{};
+  for (std::size_t i = 0; i < k.cells.size(); ++i) cells[i] = k.cells[i];
+  return EnumKey::pack(cells.data(), k.cells.size(), k.mdata);
+}
+
+/// Unpacks to the legacy encoding (exact inverse of `pack_key`).
+[[nodiscard]] inline CellKey unpack_key(const EnumKey& k) {
+  CellKey out;
+  for (std::size_t i = 0; i < k.size(); ++i) out.cells.push_back(k.cell(i));
+  out.mdata = k.mdata();
+  return out;
 }
 
 /// Projects a concrete block onto its abstraction key.
@@ -77,18 +205,18 @@ void reify_into(const Protocol& p, const EnumKey& key, ConcreteBlock& b);
 /// Per-cache state of a key.
 [[nodiscard]] inline StateId key_state(const EnumKey& k,
                                        std::size_t i) noexcept {
-  return static_cast<StateId>(k.cells[i] >> 2);
+  return static_cast<StateId>(k.cell(i) >> 2);
 }
 
 /// Per-cache data attribute of a key.
 [[nodiscard]] inline CData key_cdata(const EnumKey& k,
                                      std::size_t i) noexcept {
-  return static_cast<CData>(k.cells[i] & 0x3);
+  return static_cast<CData>(k.cell(i) & 0x3);
 }
 
 /// Memory attribute of a key.
 [[nodiscard]] inline MData key_mdata(const EnumKey& k) noexcept {
-  return static_cast<MData>(k.mdata);
+  return static_cast<MData>(k.mdata());
 }
 
 /// Renders a key for diagnostics, e.g. "(Dirty, Invalid, Invalid) mem=obsolete".

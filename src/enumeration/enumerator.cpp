@@ -1,14 +1,14 @@
 #include "enumeration/enumerator.hpp"
 
-#include <array>
-#include <atomic>
-#include <mutex>
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "enumeration/checkpoint.hpp"
+#include "enumeration/visited_set.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -64,7 +64,7 @@ std::optional<std::string> check_invariants_impl(
 std::optional<std::string> check_concrete_invariants(const Protocol& p,
                                                      const EnumKey& key) {
   return check_invariants_impl(
-      p, key.cells.size(), key_mdata(key), census_of(p, key),
+      p, key.size(), key_mdata(key), census_of(p, key),
       [&](std::size_t i) { return key_state(key, i); },
       [&](std::size_t i) { return key_cdata(key, i); });
 }
@@ -128,11 +128,15 @@ void finalize_errors(std::vector<ConcreteError>& found,
 }
 
 /// Deterministic working-set estimate charged to a memory budget per
-/// admitted state: the key lives once in a visited shard (plus node
-/// overhead) and once in the frontier. Coarse on purpose -- the budget is
+/// admitted state: the key lives once in a visited-table slot (plus table
+/// headroom) and once in the frontier. Coarse on purpose -- the budget is
 /// a degradation threshold, not an allocator audit -- and identical at
 /// every thread count so memory-budget runs stay reproducible.
 constexpr std::uint64_t kStateFootprintBytes = 2 * sizeof(EnumKey) + 64;
+
+/// Seed capacity for the replay-path containers: deep enough that small,
+/// typically buggy spaces never rehash, tiny against a real search.
+constexpr std::size_t kPathReserve = 1024;
 
 /// A checkpoint only resumes the exact same search: any identity mismatch
 /// (different spec revision, cache count, equivalence or reduction) would
@@ -181,6 +185,9 @@ EnumerationResult run_with_paths(const Protocol& p,
   std::unordered_map<EnumKey, std::size_t, EnumKey::Hasher> index_of;
   std::vector<EnumKey> order;
   std::vector<Parent> parents;
+  index_of.reserve(kPathReserve);
+  order.reserve(kPathReserve);
+  parents.reserve(kPathReserve);
 
   EnumerationResult result;
   const auto render_path = [&](std::size_t index) {
@@ -301,6 +308,16 @@ EnumerationResult run_with_paths(const Protocol& p,
   return result;
 }
 
+/// Per-worker local dedup cache: a direct-mapped array of recently pushed
+/// keys, consulted before anything reaches the worker's pending batch. A
+/// hit proves the key already went through this worker's batch pipeline
+/// (and therefore reached -- or will reach, at the unconditional end-of-
+/// level flush -- the shared table), so it can be dropped without touching
+/// shared state. Lossy by design: a miss only costs the shared-table CAS
+/// that the old design paid for every successor. 4096 packed keys =
+/// 128 KiB, sized to sit in L2.
+constexpr std::size_t kLocalDedupSlots = 4096;
+
 }  // namespace
 
 EnumerationResult Enumerator::run() const {
@@ -315,17 +332,24 @@ EnumerationResult Enumerator::run() const {
     }
     return run_with_paths(p, options_);
   }
-  constexpr std::size_t kShards = 64;
   MetricsRegistry* const metrics = options_.metrics;
   Budget* const budget = options_.budget;
   const EnumCheckpoint* const resume = options_.resume;
   if (resume != nullptr) validate_resume(p, options_, *resume);
 
-  struct Shard {
-    std::mutex mutex;
-    std::unordered_set<EnumKey, EnumKey::Hasher> seen;
-  };
-  std::vector<Shard> shards(kShards);
+  // Adaptive worker count: oversubscribing a CPU-bound sweep past the real
+  // core count only adds context switches and barrier latency (the
+  // checked-in scaling benchmark used to *regress* with thread count on a
+  // single-core runner for exactly this reason).
+  const auto hardware = static_cast<std::size_t>(
+      std::max(1U, std::thread::hardware_concurrency()));
+  const std::size_t requested =
+      options_.threads == 0 ? hardware : options_.threads;
+  const std::size_t workers =
+      options_.clamp_threads ? std::min(requested, hardware) : requested;
+
+  ConcurrentKeySet visited(resume == nullptr ? 0
+                                             : resume->visited.size() * 2);
 
   EnumerationResult result;
   std::vector<ConcreteError> found;  // all erroneous states; sorted later
@@ -345,7 +369,7 @@ EnumerationResult Enumerator::run() const {
     const EnumKey initial =
         project(p, ConcreteBlock::initial(p, options_.n_caches),
                 options_.equivalence);
-    shards[initial.hash() % kShards].seen.insert(initial);
+    visited.insert_serial(initial);
     if (auto detail = check_concrete_invariants(p, initial);
         detail.has_value()) {
       found.push_back(ConcreteError{initial, std::move(*detail), {}});
@@ -357,8 +381,9 @@ EnumerationResult Enumerator::run() const {
     // and counters -- is restored verbatim; only the unexpanded states get
     // (re)expanded, so each state is expanded exactly once across the
     // interrupt/resume boundary.
+    visited.reserve(resume->visited.size());
     for (const EnumKey& key : resume->visited) {
-      shards[key.hash() % kShards].seen.insert(key);
+      visited.insert_serial(key);
     }
     frontier = resume->frontier;
     next_carry = resume->next;
@@ -373,24 +398,31 @@ EnumerationResult Enumerator::run() const {
   }
   std::atomic<std::size_t> total_states{seed_states};
 
-  ThreadPool pool(options_.threads);
-  const std::size_t workers = pool.thread_count();
+  // The pool spins up lazily, on the first level wide enough to go
+  // parallel: small searches (and every search's first levels) run
+  // entirely on the calling thread and never pay thread start-up.
+  std::optional<ThreadPool> pool;
 
-  // Visited-set inserts are batched per shard: one lock round-trip covers
-  // dozens of keys, which is what lets the frontier sweep scale past the
-  // lock bandwidth of a key-at-a-time protocol. With a small max_states the
-  // batch shrinks so the in-level bound check (one per flush) cannot
-  // overrun the cap by more than ~one batch per worker.
+  // Shared-table inserts are batched per worker: the batch is deduplicated
+  // locally (sort + unique) before any shared insert, so a worker touches
+  // the shared table at most once per distinct key per flush. With a small
+  // max_states the batch shrinks so the in-level bound check (one per
+  // flush) cannot overrun the cap by more than ~one batch per worker.
   const std::size_t flush_at = std::clamp<std::size_t>(
       options_.max_states / (4 * workers), 1, 64);
 
   struct WorkerState {
     std::vector<EnumKey> next;
     std::vector<ConcreteError> errors;
-    std::array<std::vector<EnumKey>, kShards> pending;
+    std::vector<EnumKey> pending;
     std::vector<EnumKey> fresh;
+    std::vector<EnumKey> dedup_cache;  ///< direct-mapped, zero = empty
     SuccessorStats stats;
     std::size_t flushes = 0;
+    std::uint64_t inserts = 0;      ///< keys newly admitted to the table
+    std::uint64_t dupes = 0;        ///< shared-table hits (already seen)
+    std::uint64_t local_dupes = 0;  ///< dropped by the local cache/batch
+    std::uint64_t probes = 0;       ///< shared-table collision steps
     std::uint64_t lock_wait_ns = 0;
     std::uint64_t busy_ns = 0;
   };
@@ -400,29 +432,35 @@ EnumerationResult Enumerator::run() const {
                       std::to_string(options_.max_states) + ")");
   };
 
-  const auto flush = [&](WorkerState& ws, std::size_t shard_index) {
-    std::vector<EnumKey>& batch = ws.pending[shard_index];
-    if (batch.empty()) return;
+  const auto flush = [&](WorkerState& ws) {
+    if (ws.pending.empty()) return;
     ++ws.flushes;
+    // Local batch dedup: one shared-table touch per distinct key.
+    std::sort(ws.pending.begin(), ws.pending.end(), key_less);
+    const auto last = std::unique(ws.pending.begin(), ws.pending.end());
+    ws.local_dupes +=
+        static_cast<std::uint64_t>(ws.pending.end() - last);
+    ws.pending.erase(last, ws.pending.end());
+    // Growth check sits *between* insert scopes: the exclusive rehash only
+    // ever waits for in-flight batches.
+    if (visited.needs_grow()) visited.maybe_grow();
     ws.fresh.clear();
     {
-      Shard& shard = shards[shard_index];
-      if (metrics != nullptr) {
-        const std::uint64_t t0 = metrics_now_ns();
-        shard.mutex.lock();
-        ws.lock_wait_ns += metrics_now_ns() - t0;
-      } else {
-        shard.mutex.lock();
-      }
-      const std::lock_guard<std::mutex> lock(shard.mutex, std::adopt_lock);
-      for (EnumKey& key : batch) {
-        if (shard.seen.insert(key).second) {
-          ws.fresh.push_back(std::move(key));
+      const std::uint64_t t0 = metrics == nullptr ? 0 : metrics_now_ns();
+      ConcurrentKeySet::InsertScope scope = visited.insert_scope();
+      if (metrics != nullptr) ws.lock_wait_ns += metrics_now_ns() - t0;
+      for (EnumKey& key : ws.pending) {
+        if (scope.insert(key)) {
+          ws.fresh.push_back(key);
+        } else {
+          ++ws.dupes;
         }
       }
+      ws.probes += scope.probes;
     }
-    batch.clear();
+    ws.pending.clear();
     if (ws.fresh.empty()) return;
+    ws.inserts += ws.fresh.size();
     // In-level memory bound: account for the admitted batch immediately,
     // not at the level barrier, so one wide frontier cannot blow past the
     // cap by orders of magnitude before anyone notices.
@@ -442,7 +480,7 @@ EnumerationResult Enumerator::run() const {
           detail.has_value()) {
         ws.errors.push_back(ConcreteError{key, std::move(*detail), {}});
       }
-      ws.next.push_back(std::move(key));
+      ws.next.push_back(key);
     }
   };
 
@@ -450,6 +488,12 @@ EnumerationResult Enumerator::run() const {
   std::uint64_t lock_wait_total_ns = 0;
   std::uint64_t busy_total_ns = 0;
   std::size_t flushes_total = 0;
+  std::uint64_t inserts_total = 0;
+  std::uint64_t dupes_total = 0;
+  std::uint64_t local_dupes_total = 0;
+  std::uint64_t probes_total = 0;
+  std::size_t serial_levels = 0;
+  std::size_t parallel_levels = 0;
   std::size_t frontier_peak = 1;
   std::size_t grain_used = 1;
 
@@ -460,6 +504,14 @@ EnumerationResult Enumerator::run() const {
     metrics->counter_add("enum.symmetry_skips", total_symmetry_skips);
     metrics->counter_add("enum.levels", result.levels);
     metrics->counter_add("enum.expansions", result.expansions);
+    metrics->counter_add("enum.dedup.inserts", inserts_total);
+    metrics->counter_add("enum.dedup.hits", dupes_total);
+    metrics->counter_add("enum.dedup.local_hits", local_dupes_total);
+    metrics->counter_add("enum.dedup.probes", probes_total);
+    metrics->counter_add("enum.dedup.flushes", flushes_total);
+    metrics->counter_add("enum.sched.serial_levels", serial_levels);
+    metrics->counter_add("enum.sched.parallel_levels", parallel_levels);
+    visited.publish_metrics(*metrics);
     metrics->timer_add("enum.lock_wait", lock_wait_total_ns, flushes_total);
     metrics->timer_add("enum.worker_busy", busy_total_ns,
                        result.levels * workers);
@@ -467,6 +519,8 @@ EnumerationResult Enumerator::run() const {
                        static_cast<double>(frontier_peak));
     metrics->gauge_set("enum.grain", static_cast<double>(grain_used));
     metrics->gauge_set("enum.threads", static_cast<double>(workers));
+    metrics->gauge_set("enum.threads_requested",
+                       static_cast<double>(requested));
     if (level_wall_ns > 0) {
       metrics->gauge_set(
           "enum.thread_utilization",
@@ -477,10 +531,13 @@ EnumerationResult Enumerator::run() const {
   };
 
   // Per-worker expansion state lives *outside* the level loop: kernels
-  // keep their reified-block scratch, and WorkerState keeps the capacity
-  // of its 64 per-shard pending batches, instead of reconstructing
-  // workers x 64 vectors at every BFS level.
+  // keep their reified-block scratch, and WorkerState keeps its batch and
+  // dedup-cache capacity, instead of reconstructing them every BFS level.
   std::vector<WorkerState> wstate(workers);
+  for (WorkerState& ws : wstate) {
+    ws.pending.reserve(flush_at);
+    ws.dedup_cache.assign(kLocalDedupSlots, EnumKey{});
+  }
   std::vector<SuccessorKernel> kernels;
   kernels.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
@@ -506,11 +563,8 @@ EnumerationResult Enumerator::run() const {
     cp.visits = total_visits;
     cp.symmetry_skips = total_symmetry_skips;
     cp.expansions = result.expansions;
-    cp.visited.reserve(total_states.load());
-    for (Shard& shard : shards) {
-      cp.visited.insert(cp.visited.end(), shard.seen.begin(),
-                        shard.seen.end());
-    }
+    cp.visited.reserve(visited.size());
+    visited.for_each([&](const EnumKey& key) { cp.visited.push_back(key); });
     std::sort(cp.visited.begin(), cp.visited.end(), key_less);
     cp.frontier = std::move(cp_frontier);
     std::sort(cp.frontier.begin(), cp.frontier.end(), key_less);
@@ -540,50 +594,68 @@ EnumerationResult Enumerator::run() const {
       // barrier, so plain chars are race-free.
       std::vector<char> expanded(frontier.size(), 0);
 
-      // Frontier chunks are badly skewed (successor fan-out varies per
-      // state), so hand indices out dynamically in grains instead of one
-      // static split per worker.
-      grain_used = std::clamp<std::size_t>(
-          frontier.size() / (workers * 8), 1, 64);
-      pool.parallel_for_dynamic(
-          0, frontier.size(), grain_used,
-          [&](std::size_t begin, std::size_t end, std::size_t worker) {
-            WorkerState& ws = wstate[worker];
-            SuccessorKernel& kernel = kernels[worker];
-            const std::uint64_t t0 =
-                metrics == nullptr ? 0 : metrics_now_ns();
-            const auto sink = [&](const EnumKey& succ, ConcreteAction) {
-              const std::size_t shard_index = succ.hash() % kShards;
-              ws.pending[shard_index].push_back(succ);
-              if (ws.pending[shard_index].size() >= flush_at) {
-                flush(ws, shard_index);
-              }
-            };
-            for (std::size_t idx = begin; idx < end; ++idx) {
-              if (total_states.load(std::memory_order_relaxed) >
-                  options_.max_states) {
-                throw over_cap();  // another worker crossed the bound
-              }
-              // Budget polls sit *between* states: an expansion, once
-              // started, always completes, so `expanded[]` cleanly
-              // partitions the frontier at a stop.
-              if (budget != nullptr &&
-                  budget->poll() != StopReason::None) {
-                break;
-              }
-              kernel.expand(frontier[idx], ws.stats, sink);
-              expanded[idx] = 1;
-            }
-            if (metrics != nullptr) ws.busy_ns += metrics_now_ns() - t0;
-          });
+      const auto sweep = [&](std::size_t begin, std::size_t end,
+                             std::size_t worker) {
+        WorkerState& ws = wstate[worker];
+        SuccessorKernel& kernel = kernels[worker];
+        const std::uint64_t t0 = metrics == nullptr ? 0 : metrics_now_ns();
+        const auto sink = [&](const EnumKey& succ, ConcreteAction) {
+          // Local filter first: a hit never touches shared state.
+          EnumKey& cached =
+              ws.dedup_cache[static_cast<std::size_t>(succ.hash()) &
+                             (kLocalDedupSlots - 1)];
+          if (cached == succ) {
+            ++ws.local_dupes;
+            return;
+          }
+          cached = succ;
+          ws.pending.push_back(succ);
+          if (ws.pending.size() >= flush_at) flush(ws);
+        };
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          if (total_states.load(std::memory_order_relaxed) >
+              options_.max_states) {
+            throw over_cap();  // another worker crossed the bound
+          }
+          // Budget polls sit *between* states: an expansion, once
+          // started, always completes, so `expanded[]` cleanly
+          // partitions the frontier at a stop.
+          if (budget != nullptr && budget->poll() != StopReason::None) {
+            break;
+          }
+          kernel.expand(frontier[idx], ws.stats, sink);
+          expanded[idx] = 1;
+        }
+        if (metrics != nullptr) ws.busy_ns += metrics_now_ns() - t0;
+      };
+
+      // Adaptive dispatch: levels below the serial grain run inline -- no
+      // pool wake-up, no barrier -- which is what keeps small levels (and
+      // whole small searches) at sequential speed regardless of the
+      // requested thread count.
+      const bool go_parallel =
+          workers > 1 && options_.serial_grain != 0 &&
+          frontier.size() >= workers * options_.serial_grain;
+      if (go_parallel) {
+        ++parallel_levels;
+        // Frontier chunks are badly skewed (successor fan-out varies per
+        // state), so hand indices out dynamically in grains instead of
+        // one static split per worker.
+        grain_used = std::clamp<std::size_t>(
+            frontier.size() / (workers * 8), 1, 64);
+        if (!pool) pool.emplace(workers);
+        pool->parallel_for_dynamic(0, frontier.size(), grain_used, sweep);
+      } else {
+        ++serial_levels;
+        grain_used = frontier.size();
+        sweep(0, frontier.size(), 0);
+      }
 
       // Drain the leftover per-worker batches (each below flush_at) --
       // unconditionally, also after a budget stop, so the visited set and
       // the admitted next-level states agree with the expanded[] partition
       // before any checkpoint is captured.
-      for (WorkerState& ws : wstate) {
-        for (std::size_t s = 0; s < kShards; ++s) flush(ws, s);
-      }
+      for (WorkerState& ws : wstate) flush(ws);
       for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
         if (expanded[idx] != 0) ++result.expansions;
       }
@@ -597,6 +669,10 @@ EnumerationResult Enumerator::run() const {
         lock_wait_total_ns += ws.lock_wait_ns;
         busy_total_ns += ws.busy_ns;
         flushes_total += ws.flushes;
+        inserts_total += ws.inserts;
+        dupes_total += ws.dupes;
+        local_dupes_total += ws.local_dupes;
+        probes_total += ws.probes;
         for (ConcreteError& e : ws.errors) found.push_back(std::move(e));
         next.insert(next.end(), std::make_move_iterator(ws.next.begin()),
                     std::make_move_iterator(ws.next.end()));
@@ -604,6 +680,10 @@ EnumerationResult Enumerator::run() const {
         ws.errors.clear();
         ws.stats = SuccessorStats{};
         ws.flushes = 0;
+        ws.inserts = 0;
+        ws.dupes = 0;
+        ws.local_dupes = 0;
+        ws.probes = 0;
         ws.lock_wait_ns = 0;
         ws.busy_ns = 0;
       }
@@ -619,7 +699,7 @@ EnumerationResult Enumerator::run() const {
         std::vector<EnumKey> remainder;
         for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
           if (expanded[idx] == 0) {
-            remainder.push_back(std::move(frontier[idx]));
+            remainder.push_back(frontier[idx]);
           }
         }
         if (remainder.empty() && next.empty()) {
@@ -667,10 +747,9 @@ EnumerationResult Enumerator::run() const {
   result.symmetry_skips = total_symmetry_skips;
   finalize_errors(found, options_.max_errors, result);
   if (options_.keep_states) {
-    for (Shard& shard : shards) {
-      result.reachable.insert(result.reachable.end(), shard.seen.begin(),
-                              shard.seen.end());
-    }
+    result.reachable.reserve(visited.size());
+    visited.for_each(
+        [&](const EnumKey& key) { result.reachable.push_back(key); });
     std::sort(result.reachable.begin(), result.reachable.end(), key_less);
   }
   publish_metrics();

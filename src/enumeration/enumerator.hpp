@@ -15,10 +15,14 @@
 /// kernel of successor_kernel.hpp: under counting equivalence only one
 /// representative cache per distinct (state, freshness) cell class is
 /// expanded, with skipped duplicates credited so `visits` matches an
-/// unreduced expansion exactly. The frontier sweep is bulk-parallel: each
-/// BFS level is partitioned over a thread pool and visited-set lookups go
-/// through hash-sharded sets, so large state spaces (6+ caches) enumerate
-/// at memory bandwidth rather than lock contention.
+/// unreduced expansion exactly. The frontier sweep is bulk-parallel and
+/// adaptive: each BFS level either runs inline on the calling thread (small
+/// frontiers, where pool dispatch and the level barrier would dominate) or
+/// is partitioned over a thread pool whose width is clamped to the real
+/// hardware concurrency. Deduplication goes through a single CAS-based
+/// open-addressing set of packed keys (visited_set.hpp), fed per-worker
+/// batches that are locally deduplicated first, so large state spaces (6+
+/// caches) enumerate at memory bandwidth rather than lock contention.
 
 #include <cstdint>
 #include <string>
@@ -104,6 +108,18 @@ class Enumerator {
     std::size_t n_caches = 4;
     Equivalence equivalence = Equivalence::Counting;
     std::size_t threads = 1;          ///< 0 = hardware concurrency
+    /// Clamp the worker count to `std::thread::hardware_concurrency()`.
+    /// Oversubscribing a frontier sweep only adds scheduling overhead (the
+    /// workload is CPU-bound with no blocking), so this is on by default;
+    /// results are identical either way. Tests that deliberately
+    /// oversubscribe to widen race windows turn it off.
+    bool clamp_threads = true;
+    /// A BFS level whose frontier is smaller than `serial_grain x workers`
+    /// runs inline on the calling thread: tiny levels (the first few of
+    /// every search, most levels of small spaces) would otherwise spend
+    /// more on pool dispatch and the level barrier than on expansion.
+    /// 0 disables the serial fast path (every level goes to the pool).
+    std::size_t serial_grain = 8;
     /// Safety valve, enforced *during* a level in both modes: the run
     /// throws ModelError as soon as admitting a state would push the
     /// distinct-state count past the cap. A space with exactly

@@ -4,7 +4,7 @@ namespace ccver {
 
 KeyCensus census_of(const Protocol& p, const EnumKey& key) {
   KeyCensus census;
-  for (std::size_t i = 0; i < key.cells.size(); ++i) {
+  for (std::size_t i = 0; i < key.size(); ++i) {
     const StateId s = key_state(key, i);
     ++census.counts[s][static_cast<std::size_t>(key_cdata(key, i))];
     if (p.is_valid_state(s)) ++census.valid;

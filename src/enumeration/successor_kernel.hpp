@@ -147,7 +147,7 @@ class SuccessorKernel {
       // interchangeable with `i` are exactly the run of equal cells.
       std::size_t mult = 1;
       if (reduce_) {
-        while (i + mult < n && key.cells[i + mult] == key.cells[i]) ++mult;
+        while (i + mult < n && key.cell(i + mult) == key.cell(i)) ++mult;
       }
 
       // f_i is "some other cache holds a valid copy": O(1) from the

@@ -1,0 +1,125 @@
+#include "enumeration/visited_set.hpp"
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+
+namespace {
+
+[[nodiscard]] std::size_t ceil_pow2(std::size_t v) noexcept {
+  std::size_t cap = 1;
+  while (cap < v) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+ConcurrentKeySet::ConcurrentKeySet(std::size_t expected_keys) {
+  // Capacity keeps the load factor at or below 5/8 for the expected key
+  // count. The floor guarantees the 3/8 free headroom always covers the
+  // worst case of every worker completing one full in-flight batch after
+  // its last `needs_grow` check (workers x flush batch <= 16 x 64 slots,
+  // with a generous margin).
+  constexpr std::size_t kMinCapacity = 4096;
+  const std::size_t wanted = ceil_pow2(expected_keys + expected_keys / 2 + 1);
+  rehash(std::max(kMinCapacity, wanted));
+}
+
+void ConcurrentKeySet::rehash(std::size_t new_capacity) {
+  auto fresh =
+      std::make_unique<std::atomic<std::uint64_t>[]>(new_capacity *
+                                                     EnumKey::kWords);
+  const std::size_t mask = new_capacity - 1;
+  for (std::size_t s = 0; s < capacity_; ++s) {
+    const std::uint64_t tag =
+        slots_[s * EnumKey::kWords + 3].load(std::memory_order_relaxed);
+    if (tag == kEmpty || tag == kBusy) continue;
+    const EnumKey key = key_at(s, tag);
+    std::size_t idx = static_cast<std::size_t>(key.hash()) & mask;
+    while (fresh[idx * EnumKey::kWords + 3].load(
+               std::memory_order_relaxed) != kEmpty) {
+      idx = (idx + 1) & mask;
+    }
+    const std::size_t base = idx * EnumKey::kWords;
+    fresh[base + 0].store(key.words[0], std::memory_order_relaxed);
+    fresh[base + 1].store(key.words[1], std::memory_order_relaxed);
+    fresh[base + 2].store(key.words[2], std::memory_order_relaxed);
+    fresh[base + 3].store(key.words[3], std::memory_order_relaxed);
+  }
+  slots_ = std::move(fresh);
+  capacity_ = new_capacity;
+  grow_at_.store(new_capacity / 2 + new_capacity / 8,  // 5/8 load
+                 std::memory_order_relaxed);
+}
+
+void ConcurrentKeySet::maybe_grow() {
+  const std::unique_lock<std::shared_mutex> lock(grow_mutex_);
+  if (!needs_grow()) return;  // a racing grower already resized
+  rehash(capacity_ * 2);
+  ++grows_;
+}
+
+void ConcurrentKeySet::reserve(std::size_t keys) {
+  const std::size_t wanted = ceil_pow2(keys + keys / 2 + 1);
+  if (wanted <= capacity_) return;
+  const std::unique_lock<std::shared_mutex> lock(grow_mutex_);
+  rehash(wanted);
+}
+
+bool ConcurrentKeySet::insert_locked(const EnumKey& key,
+                                     std::uint64_t& probes) {
+  const auto h = static_cast<std::size_t>(key.hash());
+  const std::size_t mask = capacity_ - 1;
+  std::size_t idx = h & mask;
+  std::size_t steps = 0;
+  for (;;) {
+    std::atomic<std::uint64_t>* slot = &slots_[idx * EnumKey::kWords];
+    std::uint64_t tag = slot[3].load(std::memory_order_acquire);
+    if (tag == kEmpty) {
+      std::uint64_t expected = kEmpty;
+      if (slot[3].compare_exchange_strong(expected, kBusy,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        slot[0].store(key.words[0], std::memory_order_relaxed);
+        slot[1].store(key.words[1], std::memory_order_relaxed);
+        slot[2].store(key.words[2], std::memory_order_relaxed);
+        // The release publishes the payload: a prober that acquires this
+        // tag value is guaranteed to read the words stored above.
+        slot[3].store(key.words[3], std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      tag = expected;  // lost the claim race; re-examine the fresh tag
+    }
+    while (tag == kBusy) {
+      // The claimant is between CAS and publish -- a handful of stores.
+      std::this_thread::yield();
+      tag = slot[3].load(std::memory_order_acquire);
+    }
+    if (tag == key.words[3] &&
+        slot[0].load(std::memory_order_relaxed) == key.words[0] &&
+        slot[1].load(std::memory_order_relaxed) == key.words[1] &&
+        slot[2].load(std::memory_order_relaxed) == key.words[2]) {
+      return false;
+    }
+    idx = (idx + 1) & mask;
+    ++probes;
+    if (++steps > capacity_) {
+      throw InternalError(
+          "ConcurrentKeySet probe loop exhausted the table (growth "
+          "headroom invariant violated)");
+    }
+  }
+}
+
+void ConcurrentKeySet::publish_metrics(MetricsRegistry& metrics) const {
+  metrics.gauge_set("enum.dedup.capacity", static_cast<double>(capacity_));
+  metrics.gauge_set("enum.dedup.load_factor",
+                    capacity_ == 0 ? 0.0
+                                   : static_cast<double>(size()) /
+                                         static_cast<double>(capacity_));
+  metrics.counter_add("enum.dedup.grows", grows_);
+}
+
+}  // namespace ccver

@@ -1,0 +1,162 @@
+#pragma once
+/// \file visited_set.hpp
+/// Lock-light concurrent visited set over packed `EnumKey`s.
+///
+/// The parallel frontier sweep deduplicates successor states against one
+/// shared table. The previous design (64 shards, each a mutex +
+/// `std::unordered_set`) serialized workers on shard mutexes and chased
+/// list nodes per lookup; this one is a single open-addressing table of
+/// 32-byte packed keys with CAS insert-if-absent, in the style of the
+/// Stern & Dill parallel Murphi hash tables:
+///
+///  * **Slots are four 64-bit words** -- exactly `EnumKey::words`. The
+///    last word doubles as the occupancy tag: a real key always carries a
+///    nonzero cell count in `words[3]` (count bits [7,2], count >= 1), so
+///    the values 0 (`kEmpty`) and 1 (`kBusy`) are free sentinels and no
+///    separate control byte is needed.
+///  * **Insert-if-absent is a CAS.** A worker claims an empty slot by
+///    CASing its tag word 0 -> `kBusy`, fills the three payload words, and
+///    publishes with a release store of the real `words[3]`. Probers that
+///    load the tag with acquire see either a fully published key or
+///    `kBusy` (brief; they yield and re-read). Linear probing; slots only
+///    ever go empty -> busy -> full, so there is no ABA and no deletion
+///    path.
+///  * **Growth is amortized and flush-granular.** Workers insert in
+///    batches (see the enumerator's flush path) under a shared lock; a
+///    resize takes the lock exclusively, doubles the array and rehashes.
+///    Callers check `needs_grow()` *between* batches, so the exclusive
+///    section only ever waits for in-flight batches, and the grow
+///    threshold (5/8 load) leaves enough headroom that bounded batches
+///    cannot fill the table before the next check.
+///
+/// Determinism: which worker wins a racing insert of the same key is
+/// scheduling-dependent, but exactly one wins, so the per-worker "fresh"
+/// partitions differ while their union -- every set the enumerator
+/// publishes -- is identical at any thread count.
+///
+/// Observability: the table exports `enum.dedup.*` metrics through
+/// `publish_metrics` plus per-scope probe telemetry.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+
+#include "enumeration/enum_state.hpp"
+
+namespace ccver {
+
+class MetricsRegistry;
+
+/// Concurrent insert-only set of packed keys. See the file comment.
+class ConcurrentKeySet {
+ public:
+  /// Tag-word sentinels (a real key's words[3] is always >= 4).
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kBusy = 1;
+
+  /// `expected_keys` pre-sizes the table (it still grows on demand).
+  explicit ConcurrentKeySet(std::size_t expected_keys = 0);
+
+  ConcurrentKeySet(const ConcurrentKeySet&) = delete;
+  ConcurrentKeySet& operator=(const ConcurrentKeySet&) = delete;
+
+  /// Grants batch insert access while blocking table growth. Hold one per
+  /// flush, never across a `maybe_grow` call.
+  class InsertScope {
+   public:
+    /// Inserts `key`; returns true iff it was not already present.
+    /// `probes` accumulates collision steps for telemetry.
+    bool insert(const EnumKey& key) {
+      return set_->insert_locked(key, probes);
+    }
+
+    std::uint64_t probes = 0;  ///< collision slots inspected in this scope
+
+   private:
+    friend class ConcurrentKeySet;
+    InsertScope(ConcurrentKeySet* set, std::shared_mutex& mutex)
+        : set_(set), lock_(mutex) {}
+    ConcurrentKeySet* set_;
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+
+  [[nodiscard]] InsertScope insert_scope() {
+    return InsertScope(this, grow_mutex_);
+  }
+
+  /// True when the load factor crossed the grow threshold. Check between
+  /// insert scopes; pair with `maybe_grow`.
+  [[nodiscard]] bool needs_grow() const noexcept {
+    return size_.load(std::memory_order_relaxed) >=
+           grow_at_.load(std::memory_order_relaxed);
+  }
+
+  /// Doubles the table if still needed (exclusive; waits for in-flight
+  /// insert scopes; a racing grower turns this into a no-op).
+  void maybe_grow();
+
+  /// Ensures capacity for `keys` keys without growth (single-threaded).
+  void reserve(std::size_t keys);
+
+  /// Single-threaded insert (seeding, serial fast path outside a scope).
+  bool insert_serial(const EnumKey& key) {
+    if (needs_grow()) maybe_grow();
+    std::uint64_t probes = 0;
+    return insert_locked(key, probes);
+  }
+
+  /// Exact between barriers; approximate while workers are inserting.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t grow_count() const noexcept { return grows_; }
+
+  /// Visits every key (barrier-phase only: no concurrent inserters).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t s = 0; s < capacity_; ++s) {
+      const std::uint64_t tag =
+          slots_[s * EnumKey::kWords + 3].load(std::memory_order_acquire);
+      if (tag == kEmpty || tag == kBusy) continue;
+      fn(key_at(s, tag));
+    }
+  }
+
+  /// Publishes `enum.dedup.capacity` / `.load_factor` / `.grows` gauges.
+  void publish_metrics(MetricsRegistry& metrics) const;
+
+ private:
+  friend class InsertScope;
+
+  bool insert_locked(const EnumKey& key, std::uint64_t& probes);
+
+  [[nodiscard]] EnumKey key_at(std::size_t slot,
+                               std::uint64_t tag) const noexcept {
+    EnumKey key;
+    const std::size_t base = slot * EnumKey::kWords;
+    key.words[0] = slots_[base + 0].load(std::memory_order_relaxed);
+    key.words[1] = slots_[base + 1].load(std::memory_order_relaxed);
+    key.words[2] = slots_[base + 2].load(std::memory_order_relaxed);
+    key.words[3] = tag;
+    return key;
+  }
+
+  /// Replaces the slot array with one of `new_capacity` slots (callers
+  /// hold the exclusive lock or are otherwise single-threaded).
+  void rehash(std::size_t new_capacity);
+
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::size_t capacity_ = 0;  ///< power of two
+  /// Size threshold (5/8 of capacity). Atomic because `needs_grow` reads
+  /// it deliberately lock-free between batches; a stale value only delays
+  /// the check, and `maybe_grow` re-decides under the exclusive lock.
+  std::atomic<std::size_t> grow_at_{0};
+  std::atomic<std::size_t> size_{0};
+  std::uint64_t grows_ = 0;
+  std::shared_mutex grow_mutex_;
+};
+
+}  // namespace ccver

@@ -1,0 +1,225 @@
+/// \file test_key_compat.cpp
+/// Representation-compatibility guarantees for the packed `EnumKey`:
+///
+///  * the checkpoint text format is frozen -- a v1 checkpoint written by
+///    the pre-packing build (fixture under tests/fixtures/checkpoints/)
+///    loads, resumes to the exact uninterrupted result, and re-saves
+///    byte-identically;
+///  * pack/unpack against the legacy `CellKey` encoding is a lossless
+///    round trip for every shipped spec at every cache count, and the
+///    packed comparator/equality agree with the cell-wise reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "enumeration/checkpoint.hpp"
+#include "enumeration/enumerator.hpp"
+#include "protocols/protocols.hpp"
+#include "spec/loader.hpp"
+#include "util/error.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kFixture = fs::path(CCVER_SOURCE_DIR) / "tests" / "fixtures" /
+                          "checkpoints" / "v1_prepack_moesisplit_n4.ckpt";
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+// -- frozen v1 text format ----------------------------------------------
+
+TEST(CheckpointV1Compat, PrePackingFixtureLoads) {
+  const EnumCheckpoint cp = load_checkpoint(kFixture);
+  EXPECT_EQ(cp.protocol, "MOESISplit");
+  EXPECT_EQ(cp.n_caches, 4u);
+  EXPECT_EQ(cp.equivalence, Equivalence::Counting);
+  EXPECT_TRUE(cp.exploit_symmetry);
+  EXPECT_EQ(cp.visited.size(), 40u);
+  EXPECT_TRUE(cp.errors.empty());
+  // The sections were written sorted by the canonical key order and must
+  // parse back in that order under the packed comparator.
+  EXPECT_TRUE(std::is_sorted(cp.visited.begin(), cp.visited.end(), key_less));
+  EXPECT_TRUE(
+      std::is_sorted(cp.frontier.begin(), cp.frontier.end(), key_less));
+}
+
+TEST(CheckpointV1Compat, PrePackingFixtureResavesByteIdentically) {
+  const EnumCheckpoint cp = load_checkpoint(kFixture);
+  const fs::path dir = fs::temp_directory_path() / "ccver_v1_compat_resave";
+  fs::create_directories(dir);
+  const fs::path copy = dir / "resave.ckpt";
+  save_checkpoint(cp, copy);
+  EXPECT_EQ(slurp(copy), slurp(kFixture));
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointV1Compat, PrePackingFixtureResumesToUninterruptedResult) {
+  const Protocol p = protocols::moesi_split();
+  const EnumCheckpoint cp = load_checkpoint(kFixture);
+  ASSERT_EQ(cp.fingerprint, protocol_fingerprint(p))
+      << "shipped MOESISplit no longer matches the fixture; regenerate the "
+         "fixture only if the protocol intentionally changed";
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    Enumerator::Options base;
+    base.n_caches = 4;
+    base.threads = threads;
+    base.keep_states = true;
+    const EnumerationResult full = Enumerator(p, base).run();
+
+    Enumerator::Options resumed = base;
+    resumed.resume = &cp;
+    const EnumerationResult after = Enumerator(p, resumed).run();
+    EXPECT_EQ(after.outcome, Outcome::Complete);
+    EXPECT_EQ(after.states, full.states);
+    EXPECT_EQ(after.visits, full.visits);
+    EXPECT_EQ(after.levels, full.levels);
+    EXPECT_EQ(after.expansions, full.expansions);
+    EXPECT_EQ(after.symmetry_skips, full.symmetry_skips);
+    EXPECT_EQ(after.reachable, full.reachable);
+  }
+}
+
+// -- packed <-> legacy cell encoding ------------------------------------
+
+/// Reference comparator on the legacy encoding: cell count, then cells
+/// lexicographically, then mdata. `key_less` must agree after packing.
+bool cell_key_less(const CellKey& a, const CellKey& b) {
+  if (a.cells.size() != b.cells.size()) {
+    return a.cells.size() < b.cells.size();
+  }
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (a.cells[i] != b.cells[i]) return a.cells[i] < b.cells[i];
+  }
+  return a.mdata < b.mdata;
+}
+
+/// A random key that is *valid for `p`*: per cell, a protocol state with a
+/// consistent freshness class (valid state <-> holds data).
+CellKey random_cell_key(const Protocol& p, std::size_t n,
+                        std::mt19937_64& rng) {
+  CellKey key;
+  std::uniform_int_distribution<std::size_t> state_dist(
+      0, p.state_count() - 1);
+  std::uniform_int_distribution<int> fresh_dist(0, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<StateId>(state_dist(rng));
+    const CData c = !p.is_valid_state(s)    ? CData::NoData
+                    : fresh_dist(rng) != 0 ? CData::Fresh
+                                           : CData::Obsolete;
+    key.cells.push_back(
+        static_cast<std::uint8_t>((s << 2) | static_cast<std::uint8_t>(c)));
+  }
+  key.mdata = static_cast<std::uint8_t>(fresh_dist(rng) != 0
+                                            ? MData::Fresh
+                                            : MData::Obsolete);
+  return key;
+}
+
+std::vector<fs::path> shipped_specs() {
+  std::vector<fs::path> specs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(
+           fs::path(CCVER_SOURCE_DIR) / "specs")) {
+    if (entry.path().extension() == ".ccp") specs.push_back(entry.path());
+  }
+  std::sort(specs.begin(), specs.end());
+  EXPECT_FALSE(specs.empty());
+  return specs;
+}
+
+TEST(PackedKeyRoundTrip, EverySpecEveryCacheCount) {
+  std::mt19937_64 rng(20260807);
+  for (const fs::path& spec : shipped_specs()) {
+    const Protocol p = load_protocol_file(spec.string());
+    for (std::size_t n = 1; n <= kMaxCaches; ++n) {
+      std::vector<CellKey> batch;
+      for (int trial = 0; trial < 20; ++trial) {
+        batch.push_back(random_cell_key(p, n, rng));
+      }
+      for (const CellKey& cell_key : batch) {
+        const EnumKey packed = pack_key(cell_key);
+        // Lossless layout change: size, every cell, mdata, and the exact
+        // inverse through unpack.
+        ASSERT_EQ(packed.size(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(packed.cell(i), cell_key.cells[i])
+              << spec.filename() << " n=" << n << " cell " << i;
+        }
+        ASSERT_EQ(packed.mdata(), cell_key.mdata);
+        ASSERT_EQ(unpack_key(packed), cell_key);
+        // Reify/project closes the loop through the concrete
+        // representation (strict: cell order is preserved).
+        ASSERT_EQ(project(p, reify(p, packed), Equivalence::Strict), packed)
+            << spec.filename() << " n=" << n;
+      }
+      // Packed equality and order agree with the cell-wise reference.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+          const EnumKey a = pack_key(batch[i]);
+          const EnumKey b = pack_key(batch[j]);
+          ASSERT_EQ(a == b, batch[i] == batch[j]);
+          ASSERT_EQ(key_less(a, b), cell_key_less(batch[i], batch[j]))
+              << spec.filename() << " n=" << n;
+          if (a == b) ASSERT_EQ(a.hash(), b.hash());
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedKeyRoundTrip, OrderAgreesAcrossCacheCounts) {
+  // Keys of different sizes order by size first, in both encodings.
+  std::mt19937_64 rng(7);
+  const Protocol p = protocols::moesi();
+  std::vector<CellKey> keys;
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{9}, std::size_t{10}, std::size_t{11},
+        std::size_t{29}, std::size_t{30}, std::size_t{31}, kMaxCaches}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      keys.push_back(random_cell_key(p, n, rng));
+    }
+  }
+  for (const CellKey& a : keys) {
+    for (const CellKey& b : keys) {
+      ASSERT_EQ(key_less(pack_key(a), pack_key(b)), cell_key_less(a, b));
+    }
+  }
+}
+
+TEST(PackedKeyRoundTrip, WordBoundaryCellsSurvive) {
+  // Cells 9/10 (words[0] -> words[1]), 29/30 (words[2] -> words[3]) and 31
+  // (the last slot) are the layout's edge cases: all-maximal cells at the
+  // boundary sizes must round-trip exactly.
+  for (const std::size_t n :
+       {std::size_t{10}, std::size_t{11}, std::size_t{30}, std::size_t{31},
+        kMaxCaches}) {
+    std::array<std::uint8_t, kMaxCaches> cells{};
+    for (std::size_t i = 0; i < n; ++i) {
+      cells[i] = static_cast<std::uint8_t>(i % 2 == 0 ? 0x3f : i);
+    }
+    const EnumKey key = EnumKey::pack(cells.data(), n, 3);
+    ASSERT_EQ(key.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(key.cell(i), cells[i]) << "n=" << n << " cell " << i;
+    }
+    ASSERT_EQ(key.mdata(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace ccver

@@ -89,10 +89,8 @@ std::optional<EnumKey> random_instance(const Protocol& p,
   if (level_of_count(valid) != s.level()) return std::nullopt;
   if (cells.empty() || cells.size() > kMaxCaches) return std::nullopt;
   std::sort(cells.begin(), cells.end());
-  EnumKey key;
-  for (const std::uint8_t cell : cells) key.cells.push_back(cell);
-  key.mdata = static_cast<std::uint8_t>(s.mdata());
-  return key;
+  return EnumKey::pack(cells.data(), cells.size(),
+                       static_cast<std::uint8_t>(s.mdata()));
 }
 
 TEST(Properties, InstancesOfAStateAreCoveredByIt) {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <string>
 #include <tuple>
@@ -48,7 +49,14 @@ using MatrixParam = std::tuple<std::string, int, int>;  // spec, pct, threads
 class KillAndResume : public ::testing::TestWithParam<MatrixParam> {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "ccver_resume_test";
+    // One directory per matrix cell: ctest runs these cases as separate
+    // concurrent processes, so a shared directory would be remove_all'd
+    // by one case's TearDown while another is mid-checkpoint.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = info->name();  // "Case/param" for TEST_P
+    std::replace(name.begin(), name.end(), '/', '_');
+    dir_ = fs::temp_directory_path() / ("ccver_resume_test_" + name);
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -56,7 +56,7 @@ TEST(Split, PendingWriterIsUniqueAndFillsAreRaceFree) {
   const StateId wm = *p.find_state("WritePending");
   for (const EnumKey& key : r.reachable) {
     std::size_t pending_writers = 0;
-    for (std::size_t i = 0; i < key.cells.size(); ++i) {
+    for (std::size_t i = 0; i < key.size(); ++i) {
       if (key_state(key, i) == wm) ++pending_writers;
     }
     EXPECT_LE(pending_writers, 1u) << to_string(p, key);

@@ -1,0 +1,152 @@
+/// \file test_visited_set.cpp
+/// ConcurrentKeySet: exact set semantics (serial and under deliberately
+/// oversubscribed concurrent insert), exactly-once insert reporting for
+/// racing duplicates, amortized growth, and the reserve fast path. The
+/// concurrent cases double as the TSan stress target for the CAS
+/// insert-if-absent and growth paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "enumeration/visited_set.hpp"
+
+namespace ccver {
+namespace {
+
+/// Distinct random packed keys of `n` cells (duplicates filtered so tests
+/// can count exact insert successes).
+std::vector<EnumKey> random_keys(std::size_t count, std::size_t n,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> cell_dist(0, 63);
+  std::uniform_int_distribution<int> mdata_dist(0, 3);
+  std::unordered_set<EnumKey, EnumKey::Hasher> seen;
+  std::vector<EnumKey> keys;
+  keys.reserve(count);
+  std::array<std::uint8_t, kMaxCaches> cells{};
+  while (keys.size() < count) {
+    for (std::size_t i = 0; i < n; ++i) {
+      cells[i] = static_cast<std::uint8_t>(cell_dist(rng));
+    }
+    const EnumKey key = EnumKey::pack(
+        cells.data(), n, static_cast<std::uint8_t>(mdata_dist(rng)));
+    if (seen.insert(key).second) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::unordered_set<EnumKey, EnumKey::Hasher> contents(
+    const ConcurrentKeySet& set) {
+  std::unordered_set<EnumKey, EnumKey::Hasher> out;
+  set.for_each([&](const EnumKey& key) { out.insert(key); });
+  return out;
+}
+
+TEST(VisitedSet, SerialInsertMatchesReferenceSet) {
+  ConcurrentKeySet set;
+  std::unordered_set<EnumKey, EnumKey::Hasher> reference;
+  // Insert with repeats: every key goes in three times, only the first
+  // may report fresh.
+  const std::vector<EnumKey> keys = random_keys(5'000, 8, 1);
+  for (int round = 0; round < 3; ++round) {
+    for (const EnumKey& key : keys) {
+      const bool fresh = set.insert_serial(key);
+      EXPECT_EQ(fresh, reference.insert(key).second);
+    }
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  EXPECT_EQ(contents(set), reference);
+}
+
+TEST(VisitedSet, GrowthPreservesMembership) {
+  // Start at the minimum capacity and push far past it: every key must
+  // survive the rehashes and the table must have grown.
+  ConcurrentKeySet set;
+  const std::size_t initial_capacity = set.capacity();
+  const std::vector<EnumKey> keys = random_keys(20'000, 32, 2);
+  for (const EnumKey& key : keys) {
+    ASSERT_TRUE(set.insert_serial(key));
+  }
+  EXPECT_GT(set.grow_count(), 0u);
+  EXPECT_GT(set.capacity(), initial_capacity);
+  EXPECT_EQ(set.size(), keys.size());
+  const std::unordered_set<EnumKey, EnumKey::Hasher> reference(
+      keys.begin(), keys.end());
+  EXPECT_EQ(contents(set), reference);
+}
+
+TEST(VisitedSet, ReserveAvoidsGrowth) {
+  ConcurrentKeySet set;
+  const std::vector<EnumKey> keys = random_keys(20'000, 8, 3);
+  set.reserve(keys.size());
+  for (const EnumKey& key : keys) set.insert_serial(key);
+  EXPECT_EQ(set.grow_count(), 0u);
+  EXPECT_EQ(set.size(), keys.size());
+}
+
+/// Runs `threads` workers, each inserting its (overlapping) slice of
+/// `keys` in batches through the scope/grow protocol the enumerator uses.
+/// Returns the total number of inserts reported fresh.
+std::size_t hammer(ConcurrentKeySet& set, const std::vector<EnumKey>& keys,
+                   std::size_t threads, std::size_t batch,
+                   std::uint64_t shuffle_seed) {
+  std::atomic<std::size_t> fresh_total{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      // Each worker walks all keys in its own order: maximal duplicate
+      // contention, every key raced by every thread.
+      std::vector<EnumKey> mine = keys;
+      std::mt19937_64 rng(shuffle_seed + t);
+      std::shuffle(mine.begin(), mine.end(), rng);
+      std::size_t fresh = 0;
+      for (std::size_t at = 0; at < mine.size(); at += batch) {
+        const std::size_t end = std::min(mine.size(), at + batch);
+        if (set.needs_grow()) set.maybe_grow();
+        ConcurrentKeySet::InsertScope scope = set.insert_scope();
+        for (std::size_t i = at; i < end; ++i) {
+          if (scope.insert(mine[i])) ++fresh;
+        }
+      }
+      fresh_total.fetch_add(fresh);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return fresh_total.load();
+}
+
+TEST(VisitedSet, ConcurrentDuplicateInsertsReportFreshExactlyOnce) {
+  // 8 threads on any machine (including a single core: oversubscription
+  // widens the CAS/publish race windows) all inserting the same key set.
+  ConcurrentKeySet set;
+  const std::vector<EnumKey> keys = random_keys(10'000, 8, 4);
+  const std::size_t fresh = hammer(set, keys, 8, 64, 99);
+  EXPECT_EQ(fresh, keys.size());  // every key fresh exactly once, globally
+  EXPECT_EQ(set.size(), keys.size());
+  const std::unordered_set<EnumKey, EnumKey::Hasher> reference(
+      keys.begin(), keys.end());
+  EXPECT_EQ(contents(set), reference);
+}
+
+TEST(VisitedSet, ConcurrentInsertsSurviveForcedGrowth) {
+  // Enough keys to force several doublings from the minimum capacity
+  // while 8 threads are mid-flight; membership must still be exact.
+  ConcurrentKeySet set;
+  const std::vector<EnumKey> keys = random_keys(30'000, 32, 5);
+  const std::size_t fresh = hammer(set, keys, 8, 32, 7);
+  EXPECT_EQ(fresh, keys.size());
+  EXPECT_EQ(set.size(), keys.size());
+  EXPECT_GT(set.grow_count(), 0u);
+  const std::unordered_set<EnumKey, EnumKey::Hasher> reference(
+      keys.begin(), keys.end());
+  EXPECT_EQ(contents(set), reference);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -54,6 +54,11 @@ const char* eq_name(Equivalence eq) {
   return eq == Equivalence::Strict ? "strict" : "counting";
 }
 
+const char* row_eq_name(const bench::BenchEnumRow& row) {
+  return row.equivalence_label.empty() ? eq_name(row.equivalence)
+                                       : row.equivalence_label.c_str();
+}
+
 /// The thread counts worth measuring on this machine: the standard ladder
 /// cut at the hardware concurrency (1 always stays).
 struct ThreadPlan {
@@ -121,6 +126,15 @@ int run_sweep(const Protocol& p, std::size_t repeats,
     }
   }
 
+  // Symbolic-engine rows: the Figure-3 essential-state expansion in both
+  // pruning modes, so the perf gate tracks the symbolic engine's
+  // throughput alongside the enumerator's (see bench_trajectory.hpp for
+  // the batching and the visits/sec unit).
+  for (const PruningMode mode :
+       {PruningMode::Containment, PruningMode::EqualityOnly}) {
+    rows.push_back(bench::measure_symbolic(p, mode, repeats));
+  }
+
   JsonWriter json;
   json.begin_object();
   json.key("benchmark").value("enum_sweep");
@@ -143,7 +157,7 @@ int run_sweep(const Protocol& p, std::size_t repeats,
   for (const bench::BenchEnumRow& row : rows) {
     json.begin_object();
     json.key("n").value(static_cast<std::uint64_t>(row.n));
-    json.key("equivalence").value(eq_name(row.equivalence));
+    json.key("equivalence").value(row_eq_name(row));
     json.key("threads").value(static_cast<std::uint64_t>(row.threads));
     json.key("states").value(static_cast<std::uint64_t>(row.states));
     json.key("wall_ns").value(row.wall_ns);

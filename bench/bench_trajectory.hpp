@@ -13,7 +13,8 @@
 ///     "hardware_concurrency": <uint>,
 ///     "rows": [
 ///       { "protocol": "<name>", "n": <uint>, "equivalence":
-///         "strict"|"counting", "threads": <uint>, "states": <uint>,
+///         "strict"|"counting"|"symbolic-containment"|"symbolic-equality",
+///         "threads": <uint>, "states": <uint>,
 ///         "visits": <uint>, "symmetry_skips": <uint>, "wall_ns": <uint>,
 ///         "states_per_sec": <double> }, ...
 ///     ]
@@ -21,6 +22,15 @@
 ///
 /// `wall_ns` is the best (minimum) of the configured repeats -- the noise
 /// floor, which is what a perf trajectory wants to track across commits.
+///
+/// `symbolic-*` rows track the Figure-3 essential-state engine (one row
+/// per pruning mode, always single-threaded, `n` = 0 since composite
+/// states abstract over the cache count). A single symbolic run is tens of
+/// microseconds, far below the gate's noise floor, so each repeat times a
+/// calibrated batch of back-to-back runs; `states` is the essential-state
+/// count of one run, `visits` and `wall_ns` cover the whole batch, and
+/// `states_per_sec` carries the engine's throughput in *visits* per
+/// second (the unit Figure 3 is measured in).
 
 #include <chrono>
 #include <cstdint>
@@ -29,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/expansion.hpp"
 #include "enumeration/enumerator.hpp"
 #include "util/json.hpp"
 
@@ -46,6 +57,9 @@ struct BenchEnumRow {
   std::string protocol;
   std::size_t n = 0;
   Equivalence equivalence = Equivalence::Counting;
+  /// When non-empty, written as the row's `equivalence` value instead of
+  /// the enum name (used by the `symbolic-*` rows).
+  std::string equivalence_label;
   std::size_t threads = 0;
   std::size_t states = 0;
   std::size_t visits = 0;
@@ -87,6 +101,50 @@ inline BenchEnumRow measure_enum(const Protocol& p, std::size_t n,
   return row;
 }
 
+/// Runs one symbolic-expansion configuration and reports a trajectory row
+/// (see the schema note above: batched runs, visits/sec throughput).
+inline BenchEnumRow measure_symbolic(const Protocol& p, PruningMode mode,
+                                     std::size_t repeats) {
+  SymbolicExpander::Options opt;
+  opt.pruning = mode;
+  const SymbolicExpander expander(p, opt);
+
+  // Calibrate a batch that runs for >= 10ms, so the row clears the perf
+  // gate's 5ms jitter floor with margin.
+  ExpansionResult probe = expander.run();
+  const std::uint64_t t0 = trajectory_now_ns();
+  probe = expander.run();
+  const std::uint64_t per_run = std::max<std::uint64_t>(
+      std::uint64_t{1}, trajectory_now_ns() - t0);
+  const std::size_t iters = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, 10'000'000 / per_run));
+
+  BenchEnumRow row;
+  row.protocol = p.name();
+  row.n = 0;
+  row.equivalence_label = mode == PruningMode::Containment
+                              ? "symbolic-containment"
+                              : "symbolic-equality";
+  row.threads = 1;
+  row.states = probe.essential.size();
+  row.visits = probe.stats.visits * iters;
+  row.symmetry_skips = 0;
+  row.wall_ns = UINT64_MAX;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const std::uint64_t start = trajectory_now_ns();
+    for (std::size_t i = 0; i < iters; ++i) {
+      (void)expander.run();
+    }
+    const std::uint64_t dt = trajectory_now_ns() - start;
+    if (dt < row.wall_ns) row.wall_ns = dt;
+  }
+  row.states_per_sec = row.wall_ns == 0
+                           ? 0.0
+                           : 1e9 * static_cast<double>(row.visits) /
+                                 static_cast<double>(row.wall_ns);
+  return row;
+}
+
 /// Cost of periodic checkpointing relative to a checkpoint-free run of
 /// the same configuration (best-of-repeats both sides).
 struct CheckpointOverhead {
@@ -116,8 +174,10 @@ inline bool write_bench_enum_json(
     json.key("protocol").value(row.protocol);
     json.key("n").value(static_cast<std::uint64_t>(row.n));
     json.key("equivalence")
-        .value(row.equivalence == Equivalence::Strict ? "strict"
-                                                      : "counting");
+        .value(!row.equivalence_label.empty()
+                   ? row.equivalence_label.c_str()
+                   : (row.equivalence == Equivalence::Strict ? "strict"
+                                                             : "counting"));
     json.key("threads").value(static_cast<std::uint64_t>(row.threads));
     json.key("states").value(static_cast<std::uint64_t>(row.states));
     json.key("visits").value(static_cast<std::uint64_t>(row.visits));

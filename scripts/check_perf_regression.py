@@ -17,6 +17,13 @@ ladder, different sweep bounds) are skipped and listed. At least one
 single-thread row must survive the filters, otherwise the comparison is
 vacuous and the gate fails.
 
+Symbolic-engine rows (equivalence "symbolic-containment" /
+"symbolic-equality") gate exactly like enumeration rows -- their
+states_per_sec carries visits/sec, but the comparison is relative so the
+unit cancels. The measured trajectory must contain at least one symbolic
+row: a sweep that silently dropped the symbolic engine would otherwise
+pass on enumeration rows alone.
+
 Usage: check_perf_regression.py <measured.json> <baseline.json>
        [--tolerance-pct 30] [--min-wall-ms 5]
 """
@@ -84,6 +91,9 @@ def main():
     if matched_1t == 0:
         sys.exit("no single-thread rows matched between measured and "
                  "baseline: the gate compared nothing")
+    if not any(key[2].startswith("symbolic") for key in measured):
+        sys.exit("measured trajectory has no symbolic-engine rows: the "
+                 "sweep dropped the symbolic benchmark")
     if failures:
         sys.exit(f"{len(failures)} single-thread row(s) regressed more "
                  f"than {args.tolerance_pct:.0f}%")

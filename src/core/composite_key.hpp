@@ -1,0 +1,132 @@
+#pragma once
+/// \file composite_key.hpp
+/// Packed fixed-width image of a canonical composite state.
+///
+/// The symbolic expander's hot paths -- duplicate detection in the
+/// equality-only pruning mode and group signatures in the containment
+/// index -- compare and hash composite states millions of times per run.
+/// `CompositeState` is a 70+-byte aggregate whose comparison walks a
+/// SmallVec; this key packs the identical information into four words so
+/// equality is four integer compares and hashing is a short mix chain,
+/// the same idiom the enumeration engine uses for `EnumKey`.
+///
+/// Layout. Each canonical class becomes one byte
+///
+///   (state << 4) | (cdata << 2) | rep
+///
+/// which is nonzero for every canonical class (canonical form elides
+/// repetition Zero) and preserves the canonical (state, cdata) sort order
+/// when bytes are compared most-significant-first. Classes 0..23 fill
+/// `words_[0..2]` MSB-first; class 24 (kMaxClasses - 1) occupies the top
+/// byte of `words_[3]`, whose low byte is the tag
+///
+///   (class_count << 3) | (mdata << 2) | level.
+///
+/// Two canonical states are equal iff their keys are equal; the key of a
+/// state is recoverable (`unpack`), making the key a faithful image rather
+/// than a lossy fingerprint.
+
+#include <array>
+#include <cstdint>
+
+#include "core/composite_state.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace ccver {
+
+class CompositeKey {
+ public:
+  CompositeKey() = default;
+
+  /// Packs a canonical state. O(classes), no allocation.
+  [[nodiscard]] static CompositeKey pack(const CompositeState& s) noexcept {
+    CompositeKey k;
+    const auto& classes = s.classes();
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      const ClassEntry& c = classes[i];
+      const std::uint64_t byte =
+          (static_cast<std::uint64_t>(c.state) << 4) |
+          (static_cast<std::uint64_t>(c.cdata) << 2) |
+          static_cast<std::uint64_t>(c.rep);
+      k.words_[i >> 3] |= byte << (56 - 8 * (i & 7));
+    }
+    k.words_[3] |= (static_cast<std::uint64_t>(classes.size()) << 3) |
+                   (static_cast<std::uint64_t>(s.mdata()) << 2) |
+                   static_cast<std::uint64_t>(s.level());
+    return k;
+  }
+
+  /// Reconstructs the packed state. Only meaningful for keys produced by
+  /// `pack`; the round-trip is checked.
+  [[nodiscard]] CompositeState unpack(const Protocol& p) const {
+    CompositeState::ClassList classes;
+    const std::size_t count = (words_[3] >> 3) & 0x1f;
+    CCV_CHECK(count <= kMaxClasses, "corrupt composite key: class count");
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t byte =
+          (words_[i >> 3] >> (56 - 8 * (i & 7))) & 0xff;
+      classes.push_back(ClassEntry{
+          static_cast<StateId>(byte >> 4),
+          static_cast<Rep>(byte & 3),
+          static_cast<CData>((byte >> 2) & 3),
+      });
+    }
+    const auto mdata = static_cast<MData>((words_[3] >> 2) & 1);
+    const auto level = static_cast<SharingLevel>(words_[3] & 3);
+    const auto state = CompositeState::from_canonical(p, classes, mdata, level);
+    CCV_CHECK(state.has_value(), "corrupt composite key: not canonical");
+    return *state;
+  }
+
+  [[nodiscard]] bool operator==(const CompositeKey& other) const noexcept {
+    return words_ == other.words_;
+  }
+
+  /// One mixed hash over the four words. The middle words are zero for
+  /// states with at most eight classes (every library protocol), so the
+  /// chain usually reduces to two mixes.
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = mix64(words_[0]);
+    if (words_[1] != 0 || words_[2] != 0) {
+      hash_combine(h, mix64(words_[1]));
+      hash_combine(h, mix64(words_[2]));
+    }
+    hash_combine(h, mix64(words_[3]));
+    return h;
+  }
+
+  struct Hash {
+    [[nodiscard]] std::size_t operator()(const CompositeKey& k) const noexcept {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+
+  /// Class-presence bitmasks used by the containment index. Bit
+  /// `(state << 2) | cdata` marks a (state, cdata) key; `keys` covers every
+  /// class, `definite` only those whose repetition guarantees an instance
+  /// (One or Plus). Structural covering `a.covered_by(b)` requires
+  /// keys(a) ⊆ keys(b) and definite(b) ⊆ keys(a) -- necessary conditions
+  /// the index checks with two AND-NOTs before any per-class walk.
+  struct ClassMasks {
+    std::uint64_t keys = 0;
+    std::uint64_t definite = 0;
+  };
+
+  [[nodiscard]] static ClassMasks masks(const CompositeState& s) noexcept {
+    ClassMasks m;
+    for (const ClassEntry& c : s.classes()) {
+      const std::uint64_t bit =
+          1ULL << ((static_cast<std::uint64_t>(c.state) << 2) |
+                   static_cast<std::uint64_t>(c.cdata));
+      m.keys |= bit;
+      if (rep_definite(c.rep)) m.definite |= bit;
+    }
+    return m;
+  }
+
+ private:
+  std::array<std::uint64_t, 4> words_{};
+};
+
+}  // namespace ccver

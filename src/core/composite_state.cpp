@@ -92,6 +92,15 @@ CountInterval valid_count_interval(const Protocol& p,
 
 std::vector<CompositeState> CompositeState::canonicalize(
     const Protocol& p, const ClassList& raw, MData mdata, SharingLevel level) {
+  std::vector<CompositeState> out;
+  canonicalize_append(p, raw, mdata, level, out);
+  return out;
+}
+
+void CompositeState::canonicalize_append(const Protocol& p,
+                                         const ClassList& raw, MData mdata,
+                                         SharingLevel level,
+                                         std::vector<CompositeState>& out) {
   // Step 1: normalize attributes, merge classes of equal key, sort.
   ClassList merged;
   for (const ClassEntry& entry : raw) {
@@ -127,7 +136,6 @@ std::vector<CompositeState> CompositeState::canonicalize(
     unbounded = unbounded || rep_unbounded(c.rep);
   }
 
-  std::vector<CompositeState> out;
   const auto emit = [&out, mdata, level](ClassList classes) {
     CompositeState s;
     s.classes_ = classes;
@@ -152,12 +160,12 @@ std::vector<CompositeState> CompositeState::canonicalize(
 
   switch (level) {
     case SharingLevel::None: {
-      if (lo_sum > 0) return {};  // some valid copy surely exists
+      if (lo_sum > 0) return;  // some valid copy surely exists
       emit(drop_flexible_valid(merged, -1));
       break;
     }
     case SharingLevel::One: {
-      if (lo_sum > 1) return {};
+      if (lo_sum > 1) return;
       if (lo_sum == 1) {
         // The single definite valid class holds the only copy.
         ClassList classes = drop_flexible_valid(merged, -1);
@@ -179,12 +187,12 @@ std::vector<CompositeState> CompositeState::canonicalize(
           emit(classes);
           any = true;
         }
-        if (!any) return {};  // level One but no class can hold a copy
+        if (!any) return;  // level One but no class can hold a copy
       }
       break;
     }
     case SharingLevel::Many: {
-      if (!unbounded && lo_sum < 2) return {};  // cannot reach two copies
+      if (!unbounded && lo_sum < 2) return;  // cannot reach two copies
       ClassList classes = merged;
       // Sharpen: a flexible valid class must be nonempty when the other
       // valid classes cannot supply the two required copies on their own.
@@ -209,7 +217,33 @@ std::vector<CompositeState> CompositeState::canonicalize(
       break;
     }
   }
-  return out;
+}
+
+std::optional<CompositeState> CompositeState::from_canonical(
+    const Protocol& p, const ClassList& classes, MData mdata,
+    SharingLevel level) {
+  // Cheap structural screen first so obviously malformed input (untrusted
+  // checkpoint bytes) never reaches canonicalize's internal CCV_CHECKs.
+  std::uint16_t prev_key = 0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const ClassEntry& c = classes[i];
+    if (c.state >= p.state_count()) return std::nullopt;
+    if (c.rep == Rep::Zero) return std::nullopt;
+    if (p.is_valid_state(c.state)) {
+      if (c.cdata == CData::NoData) return std::nullopt;
+    } else {
+      if (c.cdata != CData::NoData) return std::nullopt;
+    }
+    const std::uint16_t key = class_key(c);
+    if (i > 0 && key <= prev_key) return std::nullopt;  // sorted, distinct
+    prev_key = key;
+  }
+  // The claim "already canonical" holds iff canonicalizing the parts
+  // reproduces exactly them: one refinement, bit-identical.
+  const std::vector<CompositeState> canon =
+      canonicalize(p, classes, mdata, level);
+  if (canon.size() != 1 || canon[0].classes_ != classes) return std::nullopt;
+  return canon[0];
 }
 
 SmallVec<std::size_t, kMaxClasses> CompositeState::display_order(

@@ -20,6 +20,7 @@
 ///    combinations are rejected as infeasible.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -113,7 +114,23 @@ class CompositeState {
   [[nodiscard]] static std::vector<CompositeState> canonicalize(
       const Protocol& p, const ClassList& raw, MData mdata,
       SharingLevel level);
+
+  /// Allocation-friendly variant: appends the refinements to `out` instead
+  /// of materializing a fresh vector (the streaming kernel reuses one
+  /// scratch vector across every call).
+  static void canonicalize_append(const Protocol& p, const ClassList& raw,
+                                  MData mdata, SharingLevel level,
+                                  std::vector<CompositeState>& out);
   ///@}
+
+  /// Rebuilds a state from parts that claim to already be canonical (the
+  /// checkpoint loader, the packed-key unpacker). Validates the claim --
+  /// structural invariants plus a canonicalize round-trip that must yield
+  /// exactly the input -- and returns nullopt when it does not hold, so
+  /// untrusted on-disk content cannot forge a non-canonical state.
+  [[nodiscard]] static std::optional<CompositeState> from_canonical(
+      const Protocol& p, const ClassList& classes, MData mdata,
+      SharingLevel level);
 
  private:
   CompositeState() = default;

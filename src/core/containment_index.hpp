@@ -1,0 +1,179 @@
+#pragma once
+/// \file containment_index.hpp
+/// Subsumption-aware index over the expansion archive.
+///
+/// Figure 3 discards a successor contained in any working/visited state and
+/// evicts working/visited states contained in an admitted successor. The
+/// original engine answered both questions with linear scans over the live
+/// lists -- O(work + visited) `contained_in` walks per generated successor,
+/// the dominant cost of symbolic runs on the split-transaction protocols.
+///
+/// This index exploits the structure of containment (Definition 9) to skip
+/// almost every walk:
+///
+///  * containment requires *equal* level and mdata, so entries bucket into
+///    six disjoint (level, mdata) buckets and a query touches exactly one;
+///  * `a.covered_by(b)` requires keys(a) ⊆ keys(b) (a class key absent
+///    from b would need rep Zero coverage) and definite(b) ⊆ keys(a) (a
+///    definite class of b cannot cover a's Zero), where keys/definite are
+///    64-bit presence masks over (state, cdata) class keys. Entries with
+///    the same keys-mask share a group, so both filters are two AND-NOT
+///    word ops per *group*, and only survivors pay the per-entry merge
+///    walk.
+///
+/// Eviction marks entries dead in place (tombstones) instead of erasing
+/// from the middle of the live lists; the expander filters dead indices
+/// when popping work and when assembling the essential set, preserving the
+/// exact order semantics of physical erasure. In EqualityOnly pruning mode
+/// the index degenerates to an exact hash map over packed `CompositeKey`s
+/// (equal keys iff equal canonical states) and eviction never fires: a
+/// successor equal to a live state is always discarded first.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/composite_key.hpp"
+#include "core/composite_state.hpp"
+#include "core/expansion.hpp"
+#include "util/error.hpp"
+
+namespace ccver {
+
+class ContainmentIndex {
+ public:
+  explicit ContainmentIndex(PruningMode mode) : mode_(mode) {}
+
+  /// Registers archive entry `idx` (must be the next unseen index or a
+  /// re-registration is an error) as alive.
+  void insert(std::size_t idx, const CompositeState& s) {
+    if (idx >= alive_.size()) alive_.resize(idx + 1, 0);
+    CCV_CHECK(!alive_[idx], "containment index: duplicate insert");
+    alive_[idx] = 1;
+    if (mode_ == PruningMode::EqualityOnly) {
+      exact_[CompositeKey::pack(s)].push_back(static_cast<std::uint32_t>(idx));
+      return;
+    }
+    const CompositeKey::ClassMasks m = CompositeKey::masks(s);
+    Bucket& bucket = buckets_[bucket_of(s)];
+    for (Group& g : bucket) {
+      if (g.keys == m.keys) {
+        g.entries.push_back(Entry{static_cast<std::uint32_t>(idx), m.definite});
+        return;
+      }
+    }
+    bucket.push_back(Group{m.keys, {Entry{static_cast<std::uint32_t>(idx),
+                                          m.definite}}});
+  }
+
+  /// Tombstones `idx` (popped for expansion, evicted, or superseded).
+  void deactivate(std::size_t idx) {
+    CCV_CHECK(idx < alive_.size() && alive_[idx],
+              "containment index: deactivating a dead entry");
+    alive_[idx] = 0;
+  }
+
+  /// Revives `idx` (the expanded state joins the visited list).
+  void activate(std::size_t idx) {
+    CCV_CHECK(idx < alive_.size() && !alive_[idx],
+              "containment index: activating a live entry");
+    alive_[idx] = 1;
+  }
+
+  [[nodiscard]] bool alive(std::size_t idx) const noexcept {
+    return idx < alive_.size() && alive_[idx] != 0;
+  }
+
+  /// True if some live entry subsumes `q` (contains it in Containment
+  /// mode, equals it in EqualityOnly mode). `state_of` maps an archive
+  /// index to its state and is only called for mask-filter survivors.
+  template <typename StateOf>
+  [[nodiscard]] bool any_subsuming(const CompositeState& q,
+                                   StateOf&& state_of) {
+    if (mode_ == PruningMode::EqualityOnly) {
+      ++probes_;
+      const auto it = exact_.find(CompositeKey::pack(q));
+      if (it == exact_.end()) return false;
+      for (const std::uint32_t idx : it->second) {
+        if (alive_[idx]) {
+          ++hits_;
+          return true;
+        }
+      }
+      return false;
+    }
+    const CompositeKey::ClassMasks m = CompositeKey::masks(q);
+    for (const Group& g : buckets_[bucket_of(q)]) {
+      // q ⊑ b needs keys(q) ⊆ keys(b): groups missing a key of q are out.
+      if ((m.keys & ~g.keys) != 0) continue;
+      for (const Entry& e : g.entries) {
+        if (!alive_[e.idx]) continue;
+        // ... and definite(b) ⊆ keys(q).
+        if ((e.definite & ~m.keys) != 0) continue;
+        ++probes_;
+        if (q.covered_by(state_of(e.idx))) {
+          ++hits_;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Tombstones every live entry contained in `n`; calls
+  /// `on_evict(idx)` for each. Containment mode only (no-op otherwise, by
+  /// the argument above).
+  template <typename StateOf, typename OnEvict>
+  void evict_contained(const CompositeState& n, StateOf&& state_of,
+                       OnEvict&& on_evict) {
+    if (mode_ == PruningMode::EqualityOnly) return;
+    const CompositeKey::ClassMasks m = CompositeKey::masks(n);
+    for (Group& g : buckets_[bucket_of(n)]) {
+      // b ⊑ n needs keys(b) ⊆ keys(n) and definite(n) ⊆ keys(b) -- both
+      // decided per group, since keys(b) is the group signature.
+      if ((g.keys & ~m.keys) != 0) continue;
+      if ((m.definite & ~g.keys) != 0) continue;
+      for (const Entry& e : g.entries) {
+        if (!alive_[e.idx]) continue;
+        ++probes_;
+        if (state_of(e.idx).covered_by(n)) {
+          ++hits_;
+          alive_[e.idx] = 0;
+          on_evict(static_cast<std::size_t>(e.idx));
+        }
+      }
+    }
+  }
+
+  /// Full `covered_by` walks performed (mask-filter survivors).
+  [[nodiscard]] std::uint64_t probes() const noexcept { return probes_; }
+  /// Probes that confirmed containment.
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+
+ private:
+  struct Entry {
+    std::uint32_t idx = 0;
+    std::uint64_t definite = 0;
+  };
+  struct Group {
+    std::uint64_t keys = 0;
+    std::vector<Entry> entries;
+  };
+  using Bucket = std::vector<Group>;
+
+  [[nodiscard]] static std::size_t bucket_of(const CompositeState& s) noexcept {
+    return static_cast<std::size_t>(s.level()) * 2 +
+           static_cast<std::size_t>(s.mdata());
+  }
+
+  PruningMode mode_;
+  Bucket buckets_[6];
+  std::unordered_map<CompositeKey, std::vector<std::uint32_t>,
+                     CompositeKey::Hash>
+      exact_;
+  std::vector<char> alive_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace ccver

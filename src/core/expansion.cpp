@@ -1,262 +1,37 @@
 #include "core/expansion.hpp"
 
 #include <cctype>
-#include <limits>
 #include <optional>
 #include <sstream>
 
+#include "core/containment_index.hpp"
+#include "core/expansion_checkpoint.hpp"
+#include "core/symbolic_kernel.hpp"
+#include "util/checkpoint_io.hpp"
 #include "util/error.hpp"
 
 namespace ccver {
 
 namespace {
 
-constexpr unsigned kUnbounded = std::numeric_limits<unsigned>::max();
+/// Bytes of working-set growth charged per admitted state: its archive
+/// entry plus its (amortized) slots in the working list and the index.
+constexpr std::uint64_t kBytesPerAdmission =
+    sizeof(ArchiveEntry) + 2 * sizeof(std::size_t);
 
-[[nodiscard]] CData cdata_from_mdata(MData m) noexcept {
-  return m == MData::Fresh ? CData::Fresh : CData::Obsolete;
-}
+/// Sink that collects every successor (the free `successors()` function).
+class CollectingSink final : public SymbolicKernel::Sink {
+ public:
+  explicit CollectingSink(std::vector<Successor>& out) : out_(&out) {}
 
-[[nodiscard]] MData mdata_from_cdata(CData c) {
-  CCV_CHECK(c != CData::NoData, "write-back from a copy that holds no data");
-  return c == CData::Fresh ? MData::Fresh : MData::Obsolete;
-}
+  bool accept(const CompositeState& succ, const EdgeLabel& label) override {
+    out_->push_back(Successor{succ, label});
+    return true;
+  }
 
-/// One resolution of the data micro-ops of a rule against the symbolic
-/// population (all caches except the originator). Supplier classes whose
-/// presence is uncertain (`*` repetition) split the scenario: the
-/// present-branch sharpens the class to `+`, the absent-branch removes it.
-struct Scenario {
-  CompositeState::ClassList population;  // pre-transition, originator removed
-  MData mdata;
-  std::optional<CData> load_value;
+ private:
+  std::vector<Successor>* out_;
 };
-
-void resolve_load(const Protocol&, const Scenario& base,
-                  const SmallVec<StateId, kMaxStates>& sources,
-                  std::vector<Scenario>& out) {
-  Scenario cur = base;
-  for (const StateId src : sources) {
-    bool definite_found = false;
-    // Definite suppliers: classes of this state that surely have a member.
-    for (std::size_t i = 0; i < cur.population.size(); ++i) {
-      const ClassEntry& c = cur.population[i];
-      if (c.state != src) continue;
-      if (rep_definite(c.rep)) {
-        Scenario chosen = cur;
-        chosen.load_value = c.cdata;
-        out.push_back(std::move(chosen));
-        definite_found = true;
-      } else if (c.rep == Rep::Star) {
-        // Present-branch: the supplier exists; record the assumption by
-        // sharpening the class.
-        Scenario chosen = cur;
-        chosen.population[i].rep = Rep::Plus;
-        chosen.load_value = c.cdata;
-        out.push_back(std::move(chosen));
-      }
-    }
-    if (definite_found) return;  // a surely-present supplier blocks fallback
-    // Absent-branch: no cache of this state exists; drop its flexible
-    // classes and try the next preference.
-    for (std::size_t i = cur.population.size(); i-- > 0;) {
-      if (cur.population[i].state == src) cur.population.erase_at(i);
-    }
-  }
-  // Fallback: served by memory.
-  cur.load_value = cdata_from_mdata(cur.mdata);
-  out.push_back(std::move(cur));
-}
-
-void resolve_writeback_from(const Protocol&, const Scenario& base,
-                            StateId src, std::vector<Scenario>& out) {
-  bool definite_found = false;
-  for (std::size_t i = 0; i < base.population.size(); ++i) {
-    const ClassEntry& c = base.population[i];
-    if (c.state != src) continue;
-    if (rep_definite(c.rep)) {
-      Scenario chosen = base;
-      chosen.mdata = mdata_from_cdata(c.cdata);
-      out.push_back(std::move(chosen));
-      definite_found = true;
-    } else if (c.rep == Rep::Star) {
-      Scenario chosen = base;
-      chosen.population[i].rep = Rep::Plus;
-      chosen.mdata = mdata_from_cdata(c.cdata);
-      out.push_back(std::move(chosen));
-    }
-  }
-  if (definite_found) return;
-  // Absent-branch: no holder, the write-back does not happen.
-  Scenario none = base;
-  for (std::size_t i = none.population.size(); i-- > 0;) {
-    if (none.population[i].state == src) none.population.erase_at(i);
-  }
-  out.push_back(std::move(none));
-}
-
-[[nodiscard]] std::vector<Scenario> enumerate_scenarios(
-    const Protocol& p, const CompositeState& s, std::size_t origin_index,
-    const Rule& rule) {
-  const ClassEntry& origin = s.classes()[origin_index];
-
-  Scenario base;
-  base.mdata = s.mdata();
-  for (std::size_t i = 0; i < s.classes().size(); ++i) {
-    ClassEntry c = s.classes()[i];
-    if (i == origin_index) {
-      c.rep = rep_decrement(c.rep);
-      if (c.rep == Rep::Zero) continue;
-    }
-    base.population.push_back(c);
-  }
-
-  std::vector<Scenario> scenarios{std::move(base)};
-  for (const DataOp& d : rule.data_ops) {
-    switch (d.kind) {
-      case DataOpKind::LoadFromMemory:
-        for (Scenario& sc : scenarios) {
-          sc.load_value = cdata_from_mdata(sc.mdata);
-        }
-        break;
-      case DataOpKind::LoadPreferred: {
-        std::vector<Scenario> next;
-        for (const Scenario& sc : scenarios) {
-          resolve_load(p, sc, d.sources, next);
-        }
-        scenarios = std::move(next);
-        break;
-      }
-      case DataOpKind::WriteBackSelf:
-        for (Scenario& sc : scenarios) {
-          sc.mdata = mdata_from_cdata(origin.cdata);
-        }
-        break;
-      case DataOpKind::WriteBackFrom: {
-        std::vector<Scenario> next;
-        for (const Scenario& sc : scenarios) {
-          resolve_writeback_from(p, sc, d.sources[0], next);
-        }
-        scenarios = std::move(next);
-        break;
-      }
-      case DataOpKind::StoreSelf:
-      case DataOpKind::StoreThrough:
-      case DataOpKind::UpdateOthers:
-        break;  // handled in the store phase of apply_transition
-    }
-  }
-  return scenarios;
-}
-
-/// Applies the state phase, store phase and level analysis for one
-/// scenario; appends every feasible canonical successor state.
-void apply_transition(const Protocol& p, const CompositeState& s,
-                      std::size_t origin_index, const Rule& rule,
-                      const Scenario& scenario,
-                      std::vector<CompositeState>& out) {
-  const ClassEntry& origin = s.classes()[origin_index];
-  const bool orig_was_valid = p.is_valid_state(origin.state);
-  const bool orig_now_valid = p.is_valid_state(rule.self_next);
-
-  // ---- State phase: coincident transitions of the population.
-  CompositeState::ClassList entries;
-  for (const ClassEntry& c : scenario.population) {
-    const StateId next = rule.observed[c.state];
-    const CData cdata = p.is_valid_state(next) ? c.cdata : CData::NoData;
-    entries.push_back(ClassEntry{next, c.rep, cdata});
-  }
-
-  // Originator data value.
-  CData orig_cdata;
-  if (rule.loads()) {
-    CCV_CHECK(scenario.load_value.has_value(),
-              "load scenario resolved without a value");
-    orig_cdata = *scenario.load_value;
-  } else {
-    orig_cdata = origin.cdata;
-  }
-  MData mdata = scenario.mdata;
-
-  // ---- Store phase (Definition 3): age every copy of the old value, then
-  // apply write-through / write-broadcast, then freshen the writer.
-  if (rule.stores()) {
-    for (ClassEntry& e : entries) {
-      if (e.cdata == CData::Fresh) e.cdata = CData::Obsolete;
-    }
-    if (mdata == MData::Fresh) mdata = MData::Obsolete;
-    for (const DataOp& d : rule.data_ops) {
-      if (d.kind == DataOpKind::UpdateOthers) {
-        for (ClassEntry& e : entries) {
-          if (p.is_valid_state(e.state)) e.cdata = CData::Fresh;
-        }
-      }
-      if (d.kind == DataOpKind::StoreThrough) mdata = MData::Fresh;
-    }
-    orig_cdata = CData::Fresh;
-  }
-  if (!orig_now_valid) orig_cdata = CData::NoData;
-  entries.push_back(ClassEntry{rule.self_next, Rep::One, orig_cdata});
-
-  // ---- Sharing-level analysis.
-  // Effective lower bounds of the pre-transition population, sharpened by
-  // the pre-level: if the level promises more valid copies than the class
-  // structure shows and exactly one flexible valid class exists, the
-  // deficit must live there (e.g. `Shared+` under level Many holds >= 2).
-  unsigned pop_lo = 0;
-  std::size_t flexible_valid = 0;
-  std::size_t flexible_index = 0;
-  for (std::size_t i = 0; i < scenario.population.size(); ++i) {
-    const ClassEntry& c = scenario.population[i];
-    if (!p.is_valid_state(c.state)) continue;
-    pop_lo += rep_lo(c.rep);
-    if (rep_unbounded(c.rep)) {
-      ++flexible_valid;
-      flexible_index = i;
-    }
-  }
-  const unsigned orig_contrib = orig_was_valid ? 1U : 0U;
-  const unsigned pre_min = level_min(s.level());
-  const unsigned deficit =
-      pre_min > pop_lo + orig_contrib ? pre_min - pop_lo - orig_contrib : 0U;
-
-  // Post-transition interval of the number of valid copies.
-  unsigned post_lo = orig_now_valid ? 1U : 0U;
-  bool post_unbounded = false;
-  for (std::size_t i = 0; i < scenario.population.size(); ++i) {
-    const ClassEntry& c = scenario.population[i];
-    if (!p.is_valid_state(rule.observed[c.state])) continue;
-    unsigned lo = rep_lo(c.rep);
-    if (deficit > 0 && flexible_valid == 1 && i == flexible_index) {
-      lo += deficit;
-    }
-    post_lo += lo;
-    post_unbounded = post_unbounded || rep_unbounded(c.rep);
-  }
-  // Upper bound inherited from the pre-level when it pins the population
-  // count exactly (levels None and One are exact categories).
-  unsigned post_hi = post_unbounded ? kUnbounded : post_lo;
-  if (s.level() != SharingLevel::Many) {
-    const unsigned pop_max = level_min(s.level()) >= orig_contrib
-                                 ? level_min(s.level()) - orig_contrib
-                                 : 0U;
-    const unsigned cap = pop_max + (orig_now_valid ? 1U : 0U);
-    if (cap < post_hi) post_hi = cap;
-    if (post_lo > post_hi) post_lo = post_hi;  // defensive; should not occur
-  }
-
-  SmallVec<SharingLevel, 3> candidates;
-  if (post_lo == 0) candidates.push_back(SharingLevel::None);
-  if (post_lo <= 1 && post_hi >= 1) candidates.push_back(SharingLevel::One);
-  if (post_hi >= 2) candidates.push_back(SharingLevel::Many);
-
-  for (const SharingLevel level : candidates) {
-    for (CompositeState& succ :
-         CompositeState::canonicalize(p, entries, mdata, level)) {
-      out.push_back(std::move(succ));
-    }
-  }
-}
 
 }  // namespace
 
@@ -271,28 +46,9 @@ std::string EdgeLabel::to_string(const Protocol& p) const {
 std::vector<Successor> successors(const Protocol& p,
                                   const CompositeState& s) {
   std::vector<Successor> out;
-  for (std::size_t ci = 0; ci < s.classes().size(); ++ci) {
-    const ClassEntry& cls = s.classes()[ci];
-    if (!rep_possible(cls.rep)) continue;
-    const bool orig_valid = p.is_valid_state(cls.state);
-    CCV_CHECK(!(orig_valid && s.level() == SharingLevel::None),
-              "canonical state holds a valid class under level none");
-    const bool sharing = sharing_seen_by(s.level(), orig_valid);
-
-    for (OpId op = 0; op < static_cast<OpId>(p.op_count()); ++op) {
-      const Rule* rule = p.find_rule(cls.state, op, sharing);
-      if (rule == nullptr) continue;
-      const EdgeLabel label{op, cls.state, sharing};
-      for (const Scenario& scenario :
-           enumerate_scenarios(p, s, ci, *rule)) {
-        std::vector<CompositeState> states;
-        apply_transition(p, s, ci, *rule, scenario, states);
-        for (CompositeState& st : states) {
-          out.push_back(Successor{std::move(st), label});
-        }
-      }
-    }
-  }
+  SymbolicKernel kernel(p);
+  CollectingSink sink(out);
+  kernel.expand(s, sink);
   return out;
 }
 
@@ -314,6 +70,27 @@ ExpansionResult SymbolicExpander::run() const {
 }
 
 ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
+  const bool survivable =
+      !options_.checkpoint_path.empty() || options_.resume != nullptr;
+  if (survivable && options_.record_trace) {
+    throw SpecError(
+        "expansion traces cannot span checkpoint/resume boundaries; drop "
+        "--trace or the checkpoint options");
+  }
+  if (survivable && options_.reference_engine) {
+    throw SpecError(
+        "the reference expansion engine does not support checkpoint/resume");
+  }
+  return options_.reference_engine ? run_reference(initial)
+                                   : run_indexed(initial);
+}
+
+/// The original Figure-3 loop with linear containment scans, kept verbatim
+/// as an executable specification of the engine's observable behavior. The
+/// equivalence suite runs every spec through both engines and compares the
+/// full JSON reports byte for byte.
+ExpansionResult SymbolicExpander::run_reference(
+    const CompositeState& initial) const {
   const Protocol& p = *protocol_;
   MetricsRegistry* const metrics = options_.metrics;
   const ScopedTimer wall(metrics, "expand.wall");
@@ -341,6 +118,11 @@ ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
       result.stop_reason = budget->latched();
       break;
     }
+    if (result.stats.visits >= options_.max_visits) {
+      result.outcome = Outcome::Partial;
+      result.stop_reason = StopReason::VisitBudget;
+      break;
+    }
     const std::size_t current = work.front();
     work.pop_front();
     ++result.stats.expansions;
@@ -350,10 +132,6 @@ ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
     bool current_superseded = false;
     for (const Successor& succ : successors(p, state_at(current))) {
       ++result.stats.visits;
-      if (result.stats.visits > options_.max_visits) {
-        throw ModelError("symbolic expansion exceeded max_visits (" +
-                         std::to_string(options_.max_visits) + ")");
-      }
 
       VisitDisposition disposition = VisitDisposition::Added;
       const bool containment_pruning =
@@ -407,6 +185,7 @@ ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
         result.archive.push_back(ArchiveEntry{
             succ.state, static_cast<std::int64_t>(current), succ.label});
         work.push_back(result.archive.size() - 1);
+        if (budget != nullptr) budget->charge_bytes(kBytesPerAdmission);
 
         if (containment_pruning &&
             state_at(current).contained_in(succ.state)) {
@@ -446,6 +225,282 @@ ExpansionResult SymbolicExpander::run(const CompositeState& initial) const {
     metrics->counter_add("expand.source_restarts",
                          result.stats.source_restarts);
     metrics->counter_add("expand.essential", result.essential.size());
+    metrics->counter_add("expand.level_clamp", result.stats.level_clamps);
+  }
+  return result;
+}
+
+namespace {
+
+/// The streaming sink of the indexed engine: one Figure-3 visit per
+/// accepted successor, against the containment index instead of linear
+/// scans. Returning false aborts the current expansion ("discard A and
+/// start a new run").
+class EngineSink final : public SymbolicKernel::Sink {
+ public:
+  EngineSink(const SymbolicExpander::Options& options, ExpansionResult& result,
+             ContainmentIndex& index, std::deque<std::size_t>& work,
+             Budget* budget)
+      : options_(&options),
+        result_(&result),
+        index_(&index),
+        work_(&work),
+        budget_(budget) {}
+
+  /// Arms the sink for one expansion step.
+  void begin_expansion(std::size_t current, const CompositeState& cur) {
+    current_ = current;
+    cur_ = &cur;
+    superseded_ = false;
+  }
+
+  [[nodiscard]] bool current_superseded() const noexcept {
+    return superseded_;
+  }
+
+  bool accept(const CompositeState& succ, const EdgeLabel& label) override {
+    ExpansionResult& result = *result_;
+    ++result.stats.visits;
+
+    VisitDisposition disposition = VisitDisposition::Added;
+    const bool containment_pruning =
+        options_->pruning == PruningMode::Containment;
+    const auto state_at = [&result](std::size_t idx) -> const CompositeState& {
+      return result.archive[idx].state;
+    };
+
+    // Discard if subsumed by the source or any live archived state
+    // (Figure 3, first branch). The source is checked directly: it is
+    // deactivated in the index while it expands.
+    const bool discard =
+        (containment_pruning ? succ.contained_in(*cur_) : succ == *cur_) ||
+        index_->any_subsuming(succ, state_at);
+
+    if (discard) {
+      ++result.stats.discarded_contained;
+      disposition = VisitDisposition::ContainedInVisited;
+    } else {
+      // Evict live states contained in the newcomer (tombstones; the
+      // expander filters dead indices when popping and reporting).
+      index_->evict_contained(succ, state_at, [&](std::size_t) {
+        ++result.stats.evicted;
+        disposition = VisitDisposition::SupersededExisting;
+      });
+
+      result.archive.push_back(ArchiveEntry{
+          succ, static_cast<std::int64_t>(current_), label});
+      const std::size_t admitted = result.archive.size() - 1;
+      work_->push_back(admitted);
+      index_->insert(admitted, succ);
+      if (budget_ != nullptr) budget_->charge_bytes(kBytesPerAdmission);
+
+      if (containment_pruning && cur_->contained_in(succ)) {
+        // Figure 3: "discard A and terminate all FOR loops starting a new
+        // run" -- the newcomer regenerates everything A would.
+        disposition = VisitDisposition::SupersededSource;
+        superseded_ = true;
+      }
+    }
+
+    if (options_->record_trace) {
+      result.trace.push_back(VisitRecord{*cur_, label, succ, disposition});
+    }
+    if (superseded_) {
+      ++result.stats.source_restarts;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const SymbolicExpander::Options* options_;
+  ExpansionResult* result_;
+  ContainmentIndex* index_;
+  std::deque<std::size_t>* work_;
+  Budget* budget_;
+  std::size_t current_ = 0;
+  const CompositeState* cur_ = nullptr;
+  bool superseded_ = false;
+};
+
+}  // namespace
+
+ExpansionResult SymbolicExpander::run_indexed(
+    const CompositeState& initial) const {
+  const Protocol& p = *protocol_;
+  MetricsRegistry* const metrics = options_.metrics;
+  const ScopedTimer wall(metrics, "expand.wall");
+  ExpansionResult result;
+
+  std::deque<std::size_t> work;
+  std::vector<std::size_t> visited;
+  ContainmentIndex index(options_.pruning);
+  SymbolicKernel kernel(p);
+  Budget* const budget = options_.budget;
+
+  // Level clamps observed before this run (restored from a checkpoint);
+  // the kernel counts this run's own.
+  std::size_t clamps_base = 0;
+
+  if (options_.resume != nullptr) {
+    const SymbolicCheckpoint& cp = *options_.resume;
+    const auto reject = [](const std::string& why) {
+      throw SpecError("cannot resume: " + why);
+    };
+    if (cp.protocol != p.name()) {
+      reject("checkpoint is for protocol '" + cp.protocol + "', not '" +
+             p.name() + "'");
+    }
+    if (cp.fingerprint != describe_fingerprint(p.describe())) {
+      reject("protocol '" + p.name() +
+             "' has changed since the checkpoint was written");
+    }
+    if (cp.pruning != options_.pruning) {
+      reject("checkpoint was written with a different pruning mode");
+    }
+    result.stats = cp.stats;
+    clamps_base = cp.stats.level_clamps;
+    result.archive.reserve(cp.archive.size());
+    for (std::size_t i = 0; i < cp.archive.size(); ++i) {
+      const SymbolicCheckpoint::Entry& e = cp.archive[i];
+      std::optional<CompositeState> state =
+          CompositeState::from_canonical(p, e.classes, e.mdata, e.level);
+      if (!state.has_value()) {
+        reject("archive entry " + std::to_string(i) +
+               " is not a canonical state of protocol '" + p.name() + "'");
+      }
+      if (e.via.op >= p.op_count() || e.via.origin_state >= p.state_count()) {
+        reject("archive entry " + std::to_string(i) +
+               " has a label outside protocol '" + p.name() + "'");
+      }
+      result.archive.push_back(
+          ArchiveEntry{std::move(*state), e.parent, e.via});
+    }
+    if (result.archive[0].state != initial) {
+      reject("checkpoint starts from a different initial state");
+    }
+    work.assign(cp.work.begin(), cp.work.end());
+    visited.assign(cp.visited.begin(), cp.visited.end());
+    // Rebuild the index over the live lists; dead archive entries stay out.
+    for (const std::size_t idx : cp.work) {
+      index.insert(idx, result.archive[idx].state);
+    }
+    for (const std::size_t idx : cp.visited) {
+      index.insert(idx, result.archive[idx].state);
+    }
+    // The restored working set counts against a fresh memory budget just
+    // as it accrued in the original run.
+    if (budget != nullptr) {
+      budget->charge_bytes(kBytesPerAdmission * result.archive.size());
+    }
+  } else {
+    result.archive.push_back(ArchiveEntry{initial, -1, {}});
+    work.push_back(0);
+    index.insert(0, initial);
+    if (budget != nullptr) budget->charge_bytes(kBytesPerAdmission);
+  }
+
+  const auto state_at = [&result](std::size_t idx) -> const CompositeState& {
+    return result.archive[idx].state;
+  };
+
+  const auto write_checkpoint = [&]() {
+    SymbolicCheckpoint cp;
+    cp.protocol = p.name();
+    cp.fingerprint = describe_fingerprint(p.describe());
+    cp.pruning = options_.pruning;
+    result.stats.level_clamps = clamps_base + kernel.level_clamps();
+    cp.stats = result.stats;
+    cp.archive.reserve(result.archive.size());
+    for (const ArchiveEntry& e : result.archive) {
+      cp.archive.push_back(SymbolicCheckpoint::Entry{
+          e.state.classes(), e.state.mdata(), e.state.level(), e.parent,
+          e.via});
+    }
+    for (const std::size_t idx : work) {
+      if (index.alive(idx)) cp.work.push_back(idx);
+    }
+    for (const std::size_t idx : visited) {
+      if (index.alive(idx)) cp.visited.push_back(idx);
+    }
+    save_symbolic_checkpoint(cp, options_.checkpoint_path, metrics);
+    result.checkpoint_written = true;
+  };
+
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  std::uint64_t last_checkpoint_ns = checkpointing ? metrics_now_ns() : 0;
+
+  EngineSink sink(options_, result, index, work, budget);
+  while (!work.empty()) {
+    // Evicted states are tombstoned, not erased; skip them here so the
+    // pop order of live states matches the reference engine's exactly.
+    if (!index.alive(work.front())) {
+      work.pop_front();
+      continue;
+    }
+    // Polled between expansion steps only, so a stopped run has settled
+    // every state it reports and simply leaves the rest of the working
+    // list unexplored.
+    if (budget != nullptr && budget->poll() != StopReason::None) {
+      result.outcome = Outcome::Partial;
+      result.stop_reason = budget->latched();
+      break;
+    }
+    if (result.stats.visits >= options_.max_visits) {
+      result.outcome = Outcome::Partial;
+      result.stop_reason = StopReason::VisitBudget;
+      break;
+    }
+    const std::size_t current = work.front();
+    work.pop_front();
+    index.deactivate(current);
+    ++result.stats.expansions;
+    if (budget != nullptr) budget->charge_states(1);
+    const std::uint64_t step_t0 = metrics == nullptr ? 0 : metrics_now_ns();
+
+    // A stable copy: the sink appends to the archive, which may relocate.
+    const CompositeState cur = state_at(current);
+    sink.begin_expansion(current, cur);
+    kernel.expand(cur, sink);
+
+    if (!sink.current_superseded()) {
+      index.activate(current);
+      visited.push_back(current);
+    }
+    if (metrics != nullptr) {
+      metrics->timer_add("expand.step", metrics_now_ns() - step_t0);
+    }
+    if (checkpointing) {
+      const std::uint64_t now = metrics_now_ns();
+      if (now - last_checkpoint_ns >=
+          options_.checkpoint_interval_ms * 1'000'000ULL) {
+        write_checkpoint();
+        last_checkpoint_ns = now;
+      }
+    }
+  }
+
+  if (checkpointing && result.outcome == Outcome::Partial) {
+    write_checkpoint();
+  }
+
+  result.stats.level_clamps = clamps_base + kernel.level_clamps();
+  result.essential.reserve(visited.size());
+  for (const std::size_t idx : visited) {
+    if (index.alive(idx)) result.essential.push_back(state_at(idx));
+  }
+  if (metrics != nullptr) {
+    metrics->counter_add("expand.visits", result.stats.visits);
+    metrics->counter_add("expand.expansions", result.stats.expansions);
+    metrics->counter_add("expand.discarded_contained",
+                         result.stats.discarded_contained);
+    metrics->counter_add("expand.evicted", result.stats.evicted);
+    metrics->counter_add("expand.source_restarts",
+                         result.stats.source_restarts);
+    metrics->counter_add("expand.essential", result.essential.size());
+    metrics->counter_add("expand.index_probes", index.probes());
+    metrics->counter_add("expand.index_hits", index.hits());
+    metrics->counter_add("expand.level_clamp", result.stats.level_clamps);
   }
   return result;
 }

@@ -80,6 +80,10 @@ struct ExpansionStats {
   std::size_t discarded_contained = 0;
   std::size_t evicted = 0;            ///< W/H states removed by supersession
   std::size_t source_restarts = 0;    ///< "discard A and start a new run"
+  /// Defensive sharing-level clamps that fired during successor generation
+  /// (believed unreachable; see SymbolicKernel::level_clamps). Not part of
+  /// the JSON report.
+  std::size_t level_clamps = 0;
 };
 
 /// Ancestry record for counterexample reconstruction: every state that was
@@ -102,6 +106,9 @@ struct ExpansionResult {
   ExpansionStats stats;
   std::vector<ArchiveEntry> archive;
   std::vector<VisitRecord> trace;  ///< populated when Options::record_trace
+  /// True when the run wrote at least one checkpoint (periodic or on a
+  /// partial stop) to Options::checkpoint_path.
+  bool checkpoint_written = false;
 };
 
 /// How the working/visited lists are pruned during expansion.
@@ -115,20 +122,45 @@ enum class PruningMode : std::uint8_t {
   EqualityOnly = 1,
 };
 
+struct SymbolicCheckpoint;
+
 /// The essential-state generation algorithm of Figure 3.
 class SymbolicExpander {
  public:
   struct Options {
     bool record_trace = false;
     PruningMode pruning = PruningMode::Containment;
-    std::size_t max_visits = 1'000'000;  ///< safety valve; throws ModelError
+    /// Safety valve on generated successors, checked between expansion
+    /// steps: when the count reaches it the run stops cleanly with
+    /// `Outcome::Partial` and `StopReason::VisitBudget` (the in-flight
+    /// expansion always completes, so the count can overshoot by one
+    /// state's successors).
+    std::size_t max_visits = 1'000'000;
     /// When set, the run records `expand.*` counters and phase timers
     /// (total wall clock, per-expansion-step). Null = no instrumentation.
     MetricsRegistry* metrics = nullptr;
     /// Cooperative budget, polled once per working-list pop. Exhaustion
     /// stops the run cleanly with `Outcome::Partial` instead of throwing.
-    /// Null = unlimited.
+    /// Archive/work growth is charged as bytes, so a memory budget bounds
+    /// the run's working set. Null = unlimited.
     Budget* budget = nullptr;
+    /// When nonempty, the run checkpoints its full algorithm state here --
+    /// periodically (time-gated) and on every partial stop -- so long
+    /// Figure-3 campaigns survive interruption. Incompatible with
+    /// record_trace and reference_engine.
+    std::string checkpoint_path;
+    /// Minimum milliseconds between periodic checkpoints; 0 = checkpoint
+    /// after every expansion step (tests).
+    std::uint64_t checkpoint_interval_ms = 500;
+    /// When set, the run continues from this checkpoint instead of seeding
+    /// from the initial state; the final result is byte-identical to the
+    /// uninterrupted run. Validated against the protocol and options
+    /// (SpecError on mismatch).
+    const SymbolicCheckpoint* resume = nullptr;
+    /// Runs the original linear-scan engine instead of the indexed one.
+    /// Kept as an executable specification: the equivalence suite proves
+    /// both engines produce byte-identical reports on every spec.
+    bool reference_engine = false;
   };
 
   explicit SymbolicExpander(const Protocol& p) : SymbolicExpander(p, Options{}) {}
@@ -141,6 +173,11 @@ class SymbolicExpander {
   [[nodiscard]] ExpansionResult run(const CompositeState& initial) const;
 
  private:
+  [[nodiscard]] ExpansionResult run_reference(
+      const CompositeState& initial) const;
+  [[nodiscard]] ExpansionResult run_indexed(
+      const CompositeState& initial) const;
+
   const Protocol* protocol_;
   Options options_;
 };

@@ -1,0 +1,224 @@
+#include "core/expansion_checkpoint.hpp"
+
+#include <sstream>
+
+#include "util/checkpoint_io.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace ccver {
+
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+[[nodiscard]] std::uint8_t class_byte(const ClassEntry& c) noexcept {
+  return static_cast<std::uint8_t>(
+      (static_cast<unsigned>(c.state) << 4) |
+      (static_cast<unsigned>(c.cdata) << 2) | static_cast<unsigned>(c.rep));
+}
+
+/// Serializes everything above the checksum line.
+[[nodiscard]] std::string render_payload(const SymbolicCheckpoint& cp) {
+  std::ostringstream out;
+  out << kCheckpointMagic << " v" << SymbolicCheckpoint::kVersion << '\n'
+      << "kind symbolic\n"
+      << "protocol " << cp.protocol << '\n'
+      << "fingerprint " << checkpoint_hex(cp.fingerprint) << '\n'
+      << "pruning "
+      << (cp.pruning == PruningMode::Containment ? "containment" : "equality")
+      << '\n'
+      << "visits " << cp.stats.visits << '\n'
+      << "expansions " << cp.stats.expansions << '\n'
+      << "discarded_contained " << cp.stats.discarded_contained << '\n'
+      << "evicted " << cp.stats.evicted << '\n'
+      << "source_restarts " << cp.stats.source_restarts << '\n'
+      << "level_clamps " << cp.stats.level_clamps << '\n';
+  out << "archive " << cp.archive.size() << '\n';
+  for (const SymbolicCheckpoint::Entry& e : cp.archive) {
+    for (const ClassEntry& c : e.classes) {
+      const std::uint8_t b = class_byte(c);
+      out << kDigits[b >> 4] << kDigits[b & 0xf];
+    }
+    out << ' ' << static_cast<unsigned>(e.mdata) << ' '
+        << static_cast<unsigned>(e.level) << ' ' << e.parent << ' '
+        << static_cast<unsigned>(e.via.op) << ' '
+        << static_cast<unsigned>(e.via.origin_state) << ' '
+        << (e.via.sharing ? 1 : 0) << '\n';
+  }
+  const auto section = [&out](const char* name,
+                              const std::vector<std::size_t>& indices) {
+    out << name << ' ' << indices.size() << '\n';
+    for (const std::size_t idx : indices) out << idx << '\n';
+  };
+  section("work", cp.work);
+  section("visited", cp.visited);
+  return std::move(out).str();
+}
+
+/// Parses one archive line into raw parts, validating every range the
+/// format itself can vouch for (protocol-dependent checks happen at
+/// resume).
+[[nodiscard]] SymbolicCheckpoint::Entry archive_line(CheckpointReader& reader,
+                                                     std::size_t index) {
+  const std::string text(reader.next_line());
+  std::istringstream in(text);
+  std::string hex;
+  long mdata = -1;
+  long level = -1;
+  long long parent = -2;
+  long op = -1;
+  long origin = -1;
+  long sharing = -1;
+  if (!(in >> hex >> mdata >> level >> parent >> op >> origin >> sharing)) {
+    reader.fail("malformed archive entry '" + text + "'");
+  }
+  std::string trailing;
+  if (in >> trailing) reader.fail("trailing content after archive entry");
+
+  SymbolicCheckpoint::Entry e;
+  if (hex.size() % 2 != 0 || hex.size() / 2 > kMaxClasses) {
+    reader.fail("archive entry class list has invalid length");
+  }
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    unsigned byte = 0;
+    for (std::size_t j = i; j < i + 2; ++j) {
+      const char c = hex[j];
+      const int digit = c >= '0' && c <= '9'   ? c - '0'
+                        : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                               : -1;
+      if (digit < 0) {
+        reader.fail("invalid archive class hex '" + hex + "'");
+      }
+      byte = (byte << 4) | static_cast<unsigned>(digit);
+    }
+    const auto rep = static_cast<Rep>(byte & 3);
+    if (rep == Rep::Zero) {
+      reader.fail("archive class with repetition zero (not canonical)");
+    }
+    e.classes.push_back(ClassEntry{static_cast<StateId>(byte >> 4), rep,
+                                   static_cast<CData>((byte >> 2) & 3)});
+  }
+  if (mdata < 0 || mdata > 1) reader.fail("archive entry mdata out of range");
+  if (level < 0 || level > 2) reader.fail("archive entry level out of range");
+  e.mdata = static_cast<MData>(mdata);
+  e.level = static_cast<SharingLevel>(level);
+  if (index == 0 ? parent != -1
+                 : (parent < 0 || parent >= static_cast<long long>(index))) {
+    reader.fail("archive entry parent out of range");
+  }
+  e.parent = parent;
+  if (op < 0 || op > 255 || origin < 0 || origin > 255 ||
+      (sharing != 0 && sharing != 1)) {
+    reader.fail("archive entry label out of range");
+  }
+  e.via = EdgeLabel{static_cast<OpId>(op), static_cast<StateId>(origin),
+                    sharing == 1};
+  return e;
+}
+
+}  // namespace
+
+void save_symbolic_checkpoint(const SymbolicCheckpoint& cp,
+                              const std::filesystem::path& path,
+                              MetricsRegistry* metrics) {
+  save_checkpoint_payload(render_payload(cp), path, metrics);
+}
+
+SymbolicCheckpoint load_symbolic_checkpoint(
+    const std::filesystem::path& path) {
+  std::size_t checksum_at = 0;
+  const std::string content = load_checkpoint_content(path, checksum_at);
+
+  CheckpointReader reader;
+  reader.in.str(content);
+  reader.path = path.string();
+
+  const std::string_view magic_line = reader.next_line();
+  if (magic_line != std::string(kCheckpointMagic) + " v1") {
+    if (starts_with(magic_line, kCheckpointMagic)) {
+      reader.fail("unsupported checkpoint version '" +
+                  std::string(magic_line) + "' (this build reads v" +
+                  std::to_string(SymbolicCheckpoint::kVersion) + ")");
+    }
+    reader.fail("not a ccver checkpoint (bad magic)");
+  }
+
+  const std::string_view kind_line = reader.next_line();
+  if (!starts_with(kind_line, "kind ")) {
+    // No kind line: this is an enumeration checkpoint (its format predates
+    // the kind marker).
+    reader.fail(
+        "enumeration checkpoint does not resume 'verify' (use 'ccverify "
+        "enumerate --resume')");
+  }
+  if (kind_line != "kind symbolic") {
+    reader.fail("unsupported checkpoint kind '" +
+                std::string(kind_line.substr(5)) + "'");
+  }
+
+  SymbolicCheckpoint cp;
+  const std::string_view protocol = reader.field("protocol");
+  if (protocol.empty()) reader.fail("empty protocol name");
+  cp.protocol = std::string(protocol);
+  cp.fingerprint = reader.hex_field("fingerprint");
+  const std::string_view pruning = reader.field("pruning");
+  if (pruning == "containment") {
+    cp.pruning = PruningMode::Containment;
+  } else if (pruning == "equality") {
+    cp.pruning = PruningMode::EqualityOnly;
+  } else {
+    reader.fail("invalid pruning mode '" + std::string(pruning) + "'");
+  }
+  cp.stats.visits = reader.number_field("visits");
+  cp.stats.expansions = reader.number_field("expansions");
+  cp.stats.discarded_contained = reader.number_field("discarded_contained");
+  cp.stats.evicted = reader.number_field("evicted");
+  cp.stats.source_restarts = reader.number_field("source_restarts");
+  cp.stats.level_clamps = reader.number_field("level_clamps");
+
+  const std::uint64_t archive_count = reader.number_field("archive");
+  if (archive_count == 0) reader.fail("checkpoint has an empty archive");
+  cp.archive.reserve(archive_count);
+  for (std::uint64_t i = 0; i < archive_count; ++i) {
+    cp.archive.push_back(archive_line(reader, i));
+  }
+
+  // Work/visited must partition a subset of the archive: in range, no
+  // duplicates, disjoint (a state is live in exactly one list).
+  std::vector<std::uint8_t> seen(cp.archive.size(), 0);
+  const auto read_indices = [&](std::string_view label,
+                                std::vector<std::size_t>& out) {
+    const std::uint64_t count = reader.number_field(label);
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::string_view text = reader.next_line();
+      std::uint64_t idx = 0;
+      try {
+        idx = parse_unsigned(text);
+      } catch (const SpecError&) {
+        reader.fail("invalid " + std::string(label) + " index '" +
+                    std::string(text) + "'");
+      }
+      if (idx >= cp.archive.size()) {
+        reader.fail(std::string(label) + " index out of range");
+      }
+      if (seen[idx] != 0) {
+        reader.fail(std::string(label) + " index " + std::to_string(idx) +
+                    " appears in more than one live list");
+      }
+      seen[idx] = 1;
+      out.push_back(static_cast<std::size_t>(idx));
+    }
+  };
+  read_indices("work", cp.work);
+  read_indices("visited", cp.visited);
+  if (cp.work.empty() && cp.visited.empty()) {
+    reader.fail("checkpoint has no live states");
+  }
+
+  verify_checkpoint_checksum(reader, content, checksum_at);
+  return cp;
+}
+
+}  // namespace ccver

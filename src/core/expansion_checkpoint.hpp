@@ -1,0 +1,96 @@
+#pragma once
+/// \file expansion_checkpoint.hpp
+/// Versioned, checksummed checkpoints for the symbolic expander.
+///
+/// A symbolic checkpoint captures the *full* algorithm state of a Figure-3
+/// run at an expansion-step boundary: the append-only archive (including
+/// entries since evicted -- the verifier scans every archived state for
+/// invariant violations, so resumed reports stay byte-identical to
+/// uninterrupted ones), the live working list and visited list in exact
+/// order, and the cumulative statistics. Resuming replays nothing; the run
+/// simply continues from the boundary.
+///
+/// On-disk format (text, shares the `ccver-checkpoint v1` envelope, the
+/// atomic write path and the checksum trailer with the enumerator's
+/// format, but is distinguished by a `kind symbolic` line so the two
+/// loaders reject each other's files with a pointed message):
+///
+///   ccver-checkpoint v1
+///   kind symbolic
+///   protocol <name>
+///   fingerprint <hex>            # FNV-1a of the protocol description
+///   pruning containment|equality
+///   visits/expansions/discarded_contained/evicted <n>
+///   source_restarts/level_clamps <n>
+///   archive <count>              # then one entry per line:
+///                                # <classes-hex> <mdata> <level> <parent>
+///                                #   <op> <origin> <sharing>
+///   work <count>                 # then one archive index per line
+///   visited <count>              # then one archive index per line
+///   checksum <hex>               # FNV-1a of every preceding byte
+///
+/// A class renders as two hex digits of `(state << 4) | (cdata << 2) | rep`
+/// (the packed-key byte). Loading validates structure, ranges, parent
+/// topology (entry 0 is the root with parent -1; every other parent points
+/// backwards) and work/visited disjointness, and reports problems as
+/// located IoErrors. Protocol-dependent validation -- state ids in range,
+/// classes canonical, labels meaningful -- happens when the expander
+/// adopts the checkpoint, because only it holds the protocol.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/composite_state.hpp"
+#include "core/expansion.hpp"
+
+namespace ccver {
+
+class MetricsRegistry;
+
+/// Serializable mid-run state of one symbolic expansion.
+struct SymbolicCheckpoint {
+  /// Format version this library writes (and the newest it loads).
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// One archive entry in raw parts. The loader cannot build a
+  /// `CompositeState` (that requires the protocol to vouch the parts are
+  /// canonical); `SymbolicExpander` converts via
+  /// `CompositeState::from_canonical` at resume time.
+  struct Entry {
+    CompositeState::ClassList classes;
+    MData mdata = MData::Fresh;
+    SharingLevel level = SharingLevel::None;
+    std::int64_t parent = -1;
+    EdgeLabel via;
+  };
+
+  // -- run identity: a checkpoint only resumes the exact same search ----
+  std::string protocol;           ///< Protocol::name()
+  std::uint64_t fingerprint = 0;  ///< describe_fingerprint() at save time
+  PruningMode pruning = PruningMode::Containment;
+
+  // -- cumulative statistics at the capture point ----------------------
+  ExpansionStats stats;
+
+  // -- the algorithm state itself --------------------------------------
+  std::vector<Entry> archive;        ///< full, including dead entries
+  std::vector<std::size_t> work;     ///< live working list, FIFO order
+  std::vector<std::size_t> visited;  ///< live visited list, in order
+};
+
+/// Writes `cp` to `path` atomically (temp file + rename), retrying
+/// transient failures with backoff. Throws IoError when every attempt
+/// fails. Records `checkpoint.*` metrics when `metrics` is non-null.
+void save_symbolic_checkpoint(const SymbolicCheckpoint& cp,
+                              const std::filesystem::path& path,
+                              MetricsRegistry* metrics = nullptr);
+
+/// Parses a checkpoint; throws a located IoError (`<path>:<line>: detail`)
+/// on any malformed, truncated or bit-flipped content -- including an
+/// enumeration checkpoint offered to the wrong command.
+[[nodiscard]] SymbolicCheckpoint load_symbolic_checkpoint(
+    const std::filesystem::path& path);
+
+}  // namespace ccver

@@ -1,0 +1,284 @@
+#include "core/symbolic_kernel.hpp"
+
+#include <limits>
+#include <new>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccver {
+
+namespace {
+
+constexpr unsigned kUnbounded = std::numeric_limits<unsigned>::max();
+
+[[nodiscard]] CData cdata_from_mdata(MData m) noexcept {
+  return m == MData::Fresh ? CData::Fresh : CData::Obsolete;
+}
+
+[[nodiscard]] MData mdata_from_cdata(CData c) {
+  CCV_CHECK(c != CData::NoData, "write-back from a copy that holds no data");
+  return c == CData::Fresh ? MData::Fresh : MData::Obsolete;
+}
+
+}  // namespace
+
+void SymbolicKernel::resolve_load(const Scenario& base,
+                                  const SmallVec<StateId, kMaxStates>& sources,
+                                  std::vector<Scenario>& out) {
+  Scenario cur = base;
+  for (const StateId src : sources) {
+    bool definite_found = false;
+    // Definite suppliers: classes of this state that surely have a member.
+    for (std::size_t i = 0; i < cur.population.size(); ++i) {
+      const ClassEntry& c = cur.population[i];
+      if (c.state != src) continue;
+      if (rep_definite(c.rep)) {
+        Scenario chosen = cur;
+        chosen.load_value = c.cdata;
+        out.push_back(std::move(chosen));
+        definite_found = true;
+      } else if (c.rep == Rep::Star) {
+        // Present-branch: the supplier exists; record the assumption by
+        // sharpening the class.
+        Scenario chosen = cur;
+        chosen.population[i].rep = Rep::Plus;
+        chosen.load_value = c.cdata;
+        out.push_back(std::move(chosen));
+      }
+    }
+    if (definite_found) return;  // a surely-present supplier blocks fallback
+    // Absent-branch: no cache of this state exists; drop its flexible
+    // classes and try the next preference.
+    for (std::size_t i = cur.population.size(); i-- > 0;) {
+      if (cur.population[i].state == src) cur.population.erase_at(i);
+    }
+  }
+  // Fallback: served by memory.
+  cur.load_value = cdata_from_mdata(cur.mdata);
+  out.push_back(std::move(cur));
+}
+
+void SymbolicKernel::resolve_writeback_from(const Scenario& base, StateId src,
+                                            std::vector<Scenario>& out) {
+  bool definite_found = false;
+  for (std::size_t i = 0; i < base.population.size(); ++i) {
+    const ClassEntry& c = base.population[i];
+    if (c.state != src) continue;
+    if (rep_definite(c.rep)) {
+      Scenario chosen = base;
+      chosen.mdata = mdata_from_cdata(c.cdata);
+      out.push_back(std::move(chosen));
+      definite_found = true;
+    } else if (c.rep == Rep::Star) {
+      Scenario chosen = base;
+      chosen.population[i].rep = Rep::Plus;
+      chosen.mdata = mdata_from_cdata(c.cdata);
+      out.push_back(std::move(chosen));
+    }
+  }
+  if (definite_found) return;
+  // Absent-branch: no holder, the write-back does not happen.
+  Scenario none = base;
+  for (std::size_t i = none.population.size(); i-- > 0;) {
+    if (none.population[i].state == src) none.population.erase_at(i);
+  }
+  out.push_back(std::move(none));
+}
+
+void SymbolicKernel::enumerate_scenarios(const CompositeState& s,
+                                         std::size_t origin_index,
+                                         const Rule& rule) {
+  const ClassEntry& origin = s.classes()[origin_index];
+
+  Scenario base;
+  base.mdata = s.mdata();
+  for (std::size_t i = 0; i < s.classes().size(); ++i) {
+    ClassEntry c = s.classes()[i];
+    if (i == origin_index) {
+      c.rep = rep_decrement(c.rep);
+      if (c.rep == Rep::Zero) continue;
+    }
+    base.population.push_back(c);
+  }
+
+  scenarios_.clear();
+  scenarios_.push_back(std::move(base));
+  for (const DataOp& d : rule.data_ops) {
+    switch (d.kind) {
+      case DataOpKind::LoadFromMemory:
+        for (Scenario& sc : scenarios_) {
+          sc.load_value = cdata_from_mdata(sc.mdata);
+        }
+        break;
+      case DataOpKind::LoadPreferred: {
+        scenarios_next_.clear();
+        for (const Scenario& sc : scenarios_) {
+          resolve_load(sc, d.sources, scenarios_next_);
+        }
+        scenarios_.swap(scenarios_next_);
+        break;
+      }
+      case DataOpKind::WriteBackSelf:
+        for (Scenario& sc : scenarios_) {
+          sc.mdata = mdata_from_cdata(origin.cdata);
+        }
+        break;
+      case DataOpKind::WriteBackFrom: {
+        scenarios_next_.clear();
+        for (const Scenario& sc : scenarios_) {
+          resolve_writeback_from(sc, d.sources[0], scenarios_next_);
+        }
+        scenarios_.swap(scenarios_next_);
+        break;
+      }
+      case DataOpKind::StoreSelf:
+      case DataOpKind::StoreThrough:
+      case DataOpKind::UpdateOthers:
+        break;  // handled in the store phase of apply_transition
+    }
+  }
+}
+
+void SymbolicKernel::apply_transition(const CompositeState& s,
+                                      std::size_t origin_index,
+                                      const Rule& rule,
+                                      const Scenario& scenario) {
+  const Protocol& p = *protocol_;
+  const ClassEntry& origin = s.classes()[origin_index];
+  const bool orig_was_valid = p.is_valid_state(origin.state);
+  const bool orig_now_valid = p.is_valid_state(rule.self_next);
+
+  // ---- State phase: coincident transitions of the population.
+  CompositeState::ClassList entries;
+  for (const ClassEntry& c : scenario.population) {
+    const StateId next = rule.observed[c.state];
+    const CData cdata = p.is_valid_state(next) ? c.cdata : CData::NoData;
+    entries.push_back(ClassEntry{next, c.rep, cdata});
+  }
+
+  // Originator data value.
+  CData orig_cdata;
+  if (rule.loads()) {
+    CCV_CHECK(scenario.load_value.has_value(),
+              "load scenario resolved without a value");
+    orig_cdata = *scenario.load_value;
+  } else {
+    orig_cdata = origin.cdata;
+  }
+  MData mdata = scenario.mdata;
+
+  // ---- Store phase (Definition 3): age every copy of the old value, then
+  // apply write-through / write-broadcast, then freshen the writer.
+  if (rule.stores()) {
+    for (ClassEntry& e : entries) {
+      if (e.cdata == CData::Fresh) e.cdata = CData::Obsolete;
+    }
+    if (mdata == MData::Fresh) mdata = MData::Obsolete;
+    for (const DataOp& d : rule.data_ops) {
+      if (d.kind == DataOpKind::UpdateOthers) {
+        for (ClassEntry& e : entries) {
+          if (p.is_valid_state(e.state)) e.cdata = CData::Fresh;
+        }
+      }
+      if (d.kind == DataOpKind::StoreThrough) mdata = MData::Fresh;
+    }
+    orig_cdata = CData::Fresh;
+  }
+  if (!orig_now_valid) orig_cdata = CData::NoData;
+  entries.push_back(ClassEntry{rule.self_next, Rep::One, orig_cdata});
+
+  // ---- Sharing-level analysis.
+  // Effective lower bounds of the pre-transition population, sharpened by
+  // the pre-level: if the level promises more valid copies than the class
+  // structure shows and exactly one flexible valid class exists, the
+  // deficit must live there (e.g. `Shared+` under level Many holds >= 2).
+  unsigned pop_lo = 0;
+  std::size_t flexible_valid = 0;
+  std::size_t flexible_index = 0;
+  for (std::size_t i = 0; i < scenario.population.size(); ++i) {
+    const ClassEntry& c = scenario.population[i];
+    if (!p.is_valid_state(c.state)) continue;
+    pop_lo += rep_lo(c.rep);
+    if (rep_unbounded(c.rep)) {
+      ++flexible_valid;
+      flexible_index = i;
+    }
+  }
+  const unsigned orig_contrib = orig_was_valid ? 1U : 0U;
+  const unsigned pre_min = level_min(s.level());
+  const unsigned deficit =
+      pre_min > pop_lo + orig_contrib ? pre_min - pop_lo - orig_contrib : 0U;
+
+  // Post-transition interval of the number of valid copies.
+  unsigned post_lo = orig_now_valid ? 1U : 0U;
+  bool post_unbounded = false;
+  for (std::size_t i = 0; i < scenario.population.size(); ++i) {
+    const ClassEntry& c = scenario.population[i];
+    if (!p.is_valid_state(rule.observed[c.state])) continue;
+    unsigned lo = rep_lo(c.rep);
+    if (deficit > 0 && flexible_valid == 1 && i == flexible_index) {
+      lo += deficit;
+    }
+    post_lo += lo;
+    post_unbounded = post_unbounded || rep_unbounded(c.rep);
+  }
+  // Upper bound inherited from the pre-level when it pins the population
+  // count exactly (levels None and One are exact categories).
+  unsigned post_hi = post_unbounded ? kUnbounded : post_lo;
+  if (s.level() != SharingLevel::Many) {
+    const unsigned pop_max = level_min(s.level()) >= orig_contrib
+                                 ? level_min(s.level()) - orig_contrib
+                                 : 0U;
+    const unsigned cap = pop_max + (orig_now_valid ? 1U : 0U);
+    if (cap < post_hi) post_hi = cap;
+    if (post_lo > post_hi) {
+      // Believed unreachable (the pre-level sharpening above should keep
+      // the bounds consistent); clamp defensively and count the event so
+      // a protocol that does reach it is visible in `expand.level_clamp`.
+      post_lo = post_hi;
+      ++level_clamps_;
+    }
+  }
+
+  SmallVec<SharingLevel, 3> candidates;
+  if (post_lo == 0) candidates.push_back(SharingLevel::None);
+  if (post_lo <= 1 && post_hi >= 1) candidates.push_back(SharingLevel::One);
+  if (post_hi >= 2) candidates.push_back(SharingLevel::Many);
+
+  for (const SharingLevel level : candidates) {
+    CompositeState::canonicalize_append(p, entries, mdata, level, canon_);
+  }
+}
+
+bool SymbolicKernel::expand(const CompositeState& s, Sink& sink) {
+  if (CCV_FAILPOINT("expand.scratch_alloc")) throw std::bad_alloc();
+  const Protocol& p = *protocol_;
+  for (std::size_t ci = 0; ci < s.classes().size(); ++ci) {
+    const ClassEntry& cls = s.classes()[ci];
+    if (!rep_possible(cls.rep)) continue;
+    const bool orig_valid = p.is_valid_state(cls.state);
+    CCV_CHECK(!(orig_valid && s.level() == SharingLevel::None),
+              "canonical state holds a valid class under level none");
+    const bool sharing = sharing_seen_by(s.level(), orig_valid);
+
+    for (OpId op = 0; op < static_cast<OpId>(p.op_count()); ++op) {
+      const Rule* rule = p.find_rule(cls.state, op, sharing);
+      if (rule == nullptr) continue;
+      const EdgeLabel label{op, cls.state, sharing};
+      enumerate_scenarios(s, ci, *rule);
+      // scenarios_ is stable while apply_transition runs (it only appends
+      // to canon_), so indexed iteration over it is safe.
+      for (std::size_t si = 0; si < scenarios_.size(); ++si) {
+        canon_.clear();
+        apply_transition(s, ci, *rule, scenarios_[si]);
+        for (const CompositeState& succ : canon_) {
+          if (!sink.accept(succ, label)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ccver

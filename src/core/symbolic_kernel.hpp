@@ -1,0 +1,90 @@
+#pragma once
+/// \file symbolic_kernel.hpp
+/// Streaming successor kernel for composite (symbolic) states.
+///
+/// The original `successors()` materialized a `std::vector<Successor>` per
+/// expanded state -- every call allocated the result vector, one scenario
+/// vector per data-op resolution round and one canonicalization vector per
+/// sharing-level candidate. At Figure-3 scale (millions of visits for the
+/// split-transaction protocols) that allocation churn dominates the
+/// profile, exactly as it did for the enumeration engine before PR 3's
+/// `SuccessorKernel`. This kernel applies the same cure: scratch buffers
+/// live in the kernel object and are reused across calls, and successors
+/// are *streamed* to a sink in generation order instead of being collected,
+/// so the expander can stop mid-state (Figure 3's "discard A and start a
+/// new run") without paying for successors it will never look at.
+///
+/// Generation order is part of the engine's observable behavior (trace
+/// records, visit counts, archive order and therefore `--json` output); the
+/// kernel reproduces the original nesting exactly: originating class in
+/// canonical order, operation id ascending, data-op scenario order,
+/// sharing-level candidates None/One/Many, canonicalization emission order.
+
+#include "core/composite_state.hpp"
+#include "core/expansion.hpp"
+#include "fsm/protocol.hpp"
+
+namespace ccver {
+
+/// Reusable successor generator. Not thread-safe: one kernel per worker.
+class SymbolicKernel {
+ public:
+  /// Receives successors as they are generated. Return false to stop the
+  /// current `expand` call (remaining successors are never produced).
+  class Sink {
+   public:
+    virtual ~Sink() = default;
+    virtual bool accept(const CompositeState& succ, const EdgeLabel& label) = 0;
+  };
+
+  explicit SymbolicKernel(const Protocol& p) : protocol_(&p) {}
+
+  SymbolicKernel(const SymbolicKernel&) = delete;
+  SymbolicKernel& operator=(const SymbolicKernel&) = delete;
+
+  /// Streams every canonical successor of `s` to `sink` in generation
+  /// order. Returns false when the sink stopped the expansion early.
+  /// The `expand.scratch_alloc` failpoint throws std::bad_alloc here,
+  /// modeling scratch-growth failure under memory pressure.
+  bool expand(const CompositeState& s, Sink& sink);
+
+  /// Number of times the defensive sharing-level clamp fired (the
+  /// post-transition lower bound exceeded the upper bound implied by the
+  /// pre-level). Believed unreachable; counted rather than assumed.
+  [[nodiscard]] std::size_t level_clamps() const noexcept {
+    return level_clamps_;
+  }
+
+ private:
+  /// One resolution of the data micro-ops of a rule against the symbolic
+  /// population (all caches except the originator). Supplier classes whose
+  /// presence is uncertain (`*` repetition) split the scenario: the
+  /// present-branch sharpens the class to `+`, the absent-branch removes
+  /// it.
+  struct Scenario {
+    CompositeState::ClassList population;  // pre-transition, no originator
+    MData mdata = MData::Fresh;
+    std::optional<CData> load_value;
+  };
+
+  void enumerate_scenarios(const CompositeState& s, std::size_t origin_index,
+                           const Rule& rule);
+  void apply_transition(const CompositeState& s, std::size_t origin_index,
+                        const Rule& rule, const Scenario& scenario);
+
+  static void resolve_load(const Scenario& base,
+                           const SmallVec<StateId, kMaxStates>& sources,
+                           std::vector<Scenario>& out);
+  static void resolve_writeback_from(const Scenario& base, StateId src,
+                                     std::vector<Scenario>& out);
+
+  const Protocol* protocol_;
+  std::size_t level_clamps_ = 0;
+
+  // Scratch reused across expand() calls; cleared, never shrunk.
+  std::vector<Scenario> scenarios_;
+  std::vector<Scenario> scenarios_next_;
+  std::vector<CompositeState> canon_;
+};
+
+}  // namespace ccver

@@ -61,6 +61,11 @@ ExpansionResult Verifier::expand() const {
   opt.record_trace = options_.record_trace;
   opt.metrics = options_.metrics;
   opt.budget = options_.budget;
+  opt.pruning = options_.pruning;
+  opt.checkpoint_path = options_.checkpoint_path;
+  opt.checkpoint_interval_ms = options_.checkpoint_interval_ms;
+  opt.resume = options_.resume;
+  opt.reference_engine = options_.reference_engine;
   return SymbolicExpander(*protocol_, opt).run();
 }
 
@@ -99,6 +104,7 @@ VerificationReport Verifier::verify() const {
   report.stop_reason = expansion.stop_reason;
   report.essential = expansion.essential;
   report.stats = expansion.stats;
+  report.checkpoint_written = expansion.checkpoint_written;
 
   // Every archived state was judged reachable at some point (archive
   // entries are only created for states inserted into the working list);
@@ -117,7 +123,9 @@ VerificationReport Verifier::verify() const {
   }
 
   report.ok = report.errors.empty();
-  if (report.ok && options_.build_graph) {
+  // A partial essential set need not cover all successors, so the
+  // completeness-checked graph can only be built for complete runs.
+  if (report.ok && options_.build_graph && report.outcome == Outcome::Complete) {
     report.graph = ReachabilityGraph::build(p, report.essential);
   }
   return report;

@@ -44,6 +44,9 @@ struct VerificationReport {
   ExpansionStats stats;
   std::vector<VerificationError> errors;
   ReachabilityGraph graph;  ///< built over the essential states when ok
+  /// True when the expansion wrote at least one checkpoint. Not part of
+  /// the JSON report.
+  bool checkpoint_written = false;
 
   /// One-paragraph human summary.
   [[nodiscard]] std::string summary(const Protocol& p) const;
@@ -64,6 +67,12 @@ class Verifier {
     /// Forwarded to the symbolic expander; exhaustion yields a Partial
     /// report instead of an exception.
     Budget* budget = nullptr;
+    /// Forwarded to the symbolic expander (see SymbolicExpander::Options).
+    PruningMode pruning = PruningMode::Containment;
+    std::string checkpoint_path;
+    std::uint64_t checkpoint_interval_ms = 500;
+    const SymbolicCheckpoint* resume = nullptr;
+    bool reference_engine = false;
   };
 
   explicit Verifier(const Protocol& p) : Verifier(p, Options{}) {}

@@ -1,36 +1,15 @@
 #include "enumeration/checkpoint.hpp"
 
-#include <chrono>
-#include <fstream>
+#include <array>
 #include <sstream>
-#include <system_error>
-#include <thread>
 
+#include "util/checkpoint_io.hpp"
 #include "util/error.hpp"
-#include "util/failpoint.hpp"
-#include "util/metrics.hpp"
 #include "util/string_util.hpp"
 
 namespace ccver {
 
 namespace {
-
-constexpr std::string_view kMagic = "ccver-checkpoint";
-
-std::uint64_t fnv1a(std::string_view bytes, std::uint64_t h) noexcept {
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-
-std::string to_hex(std::uint64_t v) {
-  std::ostringstream os;
-  os << std::hex << v;
-  return os.str();
-}
 
 void render_key(std::ostream& out, const EnumKey& key) {
   static constexpr char kDigits[] = "0123456789abcdef";
@@ -44,9 +23,9 @@ void render_key(std::ostream& out, const EnumKey& key) {
 /// Serializes everything above the checksum line.
 std::string render_payload(const EnumCheckpoint& cp) {
   std::ostringstream out;
-  out << kMagic << " v" << EnumCheckpoint::kVersion << '\n'
+  out << kCheckpointMagic << " v" << EnumCheckpoint::kVersion << '\n'
       << "protocol " << cp.protocol << '\n'
-      << "fingerprint " << to_hex(cp.fingerprint) << '\n'
+      << "fingerprint " << checkpoint_hex(cp.fingerprint) << '\n'
       << "n_caches " << cp.n_caches << '\n'
       << "equivalence "
       << (cp.equivalence == Equivalence::Strict ? "strict" : "counting")
@@ -76,219 +55,82 @@ std::string render_payload(const EnumCheckpoint& cp) {
   return std::move(out).str();
 }
 
-/// One write attempt: payload + checksum to `tmp`, fully flushed, then an
-/// atomic rename over `path`. Returns a description of the failure, empty
-/// on success. The `checkpoint.short_write` failpoint truncates the
-/// payload mid-write; `checkpoint.rename_fail` fails the rename -- both
-/// leave `path` untouched (never a torn checkpoint).
-std::string try_write(const std::string& full,
-                      const std::filesystem::path& tmp,
-                      const std::filesystem::path& path) {
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return "cannot open temporary file '" + tmp.string() + "'";
-    if (CCV_FAILPOINT("checkpoint.short_write")) {
-      out << full.substr(0, full.size() / 2);
-      return "short write to '" + tmp.string() + "' (injected)";
+/// Parses `<cells-hex> <mdata>[ <rest>]`; returns the key and leaves
+/// anything after the mdata token in `rest` (used by error lines).
+EnumKey key_line(CheckpointReader& reader, std::size_t n_caches,
+                 std::string_view* rest) {
+  const std::string_view text = reader.next_line();
+  const std::size_t space = text.find(' ');
+  if (space == std::string_view::npos) reader.fail("malformed state key line");
+  const std::string_view hex = text.substr(0, space);
+  if (hex.size() != 2 * n_caches) {
+    reader.fail("state key has " + std::to_string(hex.size() / 2) +
+                " cells, expected " + std::to_string(n_caches));
+  }
+  std::array<std::uint8_t, kMaxCaches> cells{};
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int cell = 0;
+    for (std::size_t j = i; j < i + 2; ++j) {
+      const char c = hex[j];
+      const int digit = c >= '0' && c <= '9'   ? c - '0'
+                        : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                               : -1;
+      if (digit < 0) {
+        reader.fail("invalid state key hex '" + std::string(hex) + "'");
+      }
+      cell = (cell << 4) | digit;
     }
-    out << full;
-    out.flush();
-    if (!out) return "I/O error writing '" + tmp.string() + "'";
+    if (cell >= 1 << 6) {
+      reader.fail("state key cell out of range in '" + std::string(hex) +
+                  "'");
+    }
+    cells[i / 2] = static_cast<std::uint8_t>(cell);
   }
-  std::error_code ec;
-  if (CCV_FAILPOINT("checkpoint.rename_fail")) {
-    return "rename to '" + path.string() + "' failed (injected)";
+  std::string_view tail = text.substr(space + 1);
+  const std::size_t md_end = tail.find(' ');
+  const std::string_view md =
+      md_end == std::string_view::npos ? tail : tail.substr(0, md_end);
+  std::uint8_t mdata = 0;
+  try {
+    const unsigned long parsed = parse_unsigned(md);
+    if (parsed > 3) reader.fail("state key mdata out of range");
+    mdata = static_cast<std::uint8_t>(parsed);
+  } catch (const SpecError&) {
+    reader.fail("invalid state key mdata '" + std::string(md) + "'");
   }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return "rename to '" + path.string() + "' failed: " + ec.message();
+  const EnumKey key = EnumKey::pack(cells.data(), hex.size() / 2, mdata);
+  if (rest != nullptr) {
+    *rest = md_end == std::string_view::npos ? std::string_view{}
+                                             : tail.substr(md_end + 1);
+  } else if (md_end != std::string_view::npos) {
+    reader.fail("trailing content after state key");
   }
-  return {};
+  return key;
 }
 
 }  // namespace
 
 std::uint64_t protocol_fingerprint(const Protocol& p) {
-  return fnv1a(p.describe(), kFnvOffset);
+  return describe_fingerprint(p.describe());
 }
 
 void save_checkpoint(const EnumCheckpoint& cp,
                      const std::filesystem::path& path,
                      MetricsRegistry* metrics) {
-  const ScopedTimer timer(metrics, "checkpoint.write");
-  std::string full = render_payload(cp);
-  full += "checksum " + to_hex(fnv1a(full, kFnvOffset)) + '\n';
-  const std::filesystem::path tmp = path.string() + ".tmp";
-
-  // Transient failures (contended filesystem, injected short write or
-  // rename fault) are retried with backoff; the visible file at `path` is
-  // only ever replaced wholesale by a fully written, checksummed payload.
-  constexpr int kAttempts = 4;
-  std::string failure;
-  for (int attempt = 0; attempt < kAttempts; ++attempt) {
-    if (attempt > 0) {
-      if (metrics != nullptr) metrics->counter_add("checkpoint.retries", 1);
-      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
-    }
-    failure = try_write(full, tmp, path);
-    if (failure.empty()) {
-      if (metrics != nullptr) {
-        metrics->counter_add("checkpoint.writes", 1);
-        metrics->counter_add("checkpoint.bytes", full.size());
-      }
-      return;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::remove(tmp, ec);  // best effort; never masks the error
-  throw IoError("checkpoint write failed after " +
-                std::to_string(kAttempts) + " attempts: " + failure);
+  save_checkpoint_payload(render_payload(cp), path, metrics);
 }
 
-namespace {
-
-/// Line-oriented reader that keeps the current line number for located
-/// diagnostics and treats premature end-of-file as truncation.
-struct CheckpointReader {
-  std::istringstream in;
-  std::string path;
-  std::size_t line_no = 0;
-  std::string line;
-
-  [[noreturn]] void fail(const std::string& message) const {
-    throw IoError(path, line_no, message);
-  }
-
-  std::string_view next_line() {
-    if (!std::getline(in, line)) {
-      ++line_no;
-      fail("truncated checkpoint (unexpected end of file)");
-    }
-    ++line_no;
-    return line;
-  }
-
-  /// Reads a `<label> <value>` line; returns the value text.
-  std::string_view field(std::string_view label) {
-    const std::string_view text = next_line();
-    if (!starts_with(text, label) || text.size() <= label.size() ||
-        text[label.size()] != ' ') {
-      fail("expected '" + std::string(label) + " <value>', got '" +
-           std::string(text) + "'");
-    }
-    return text.substr(label.size() + 1);
-  }
-
-  std::uint64_t number_field(std::string_view label) {
-    const std::string_view value = field(label);
-    try {
-      return parse_unsigned(value);
-    } catch (const SpecError&) {
-      fail("invalid " + std::string(label) + " '" + std::string(value) +
-           "'");
-    }
-  }
-
-  std::uint64_t hex_field(std::string_view label) {
-    const std::string_view value = field(label);
-    std::uint64_t out = 0;
-    if (value.empty() || value.size() > 16) {
-      fail("invalid " + std::string(label) + " '" + std::string(value) +
-           "'");
-    }
-    for (const char c : value) {
-      const int digit = c >= '0' && c <= '9'   ? c - '0'
-                        : c >= 'a' && c <= 'f' ? c - 'a' + 10
-                                               : -1;
-      if (digit < 0) {
-        fail("invalid " + std::string(label) + " '" + std::string(value) +
-             "'");
-      }
-      out = (out << 4) | static_cast<std::uint64_t>(digit);
-    }
-    return out;
-  }
-
-  /// Parses `<cells-hex> <mdata>[ <rest>]`; returns the key and leaves
-  /// anything after the mdata token in `rest` (used by error lines).
-  EnumKey key_line(std::size_t n_caches, std::string_view* rest) {
-    const std::string_view text = next_line();
-    const std::size_t space = text.find(' ');
-    if (space == std::string_view::npos) fail("malformed state key line");
-    const std::string_view hex = text.substr(0, space);
-    if (hex.size() != 2 * n_caches) {
-      fail("state key has " + std::to_string(hex.size() / 2) +
-           " cells, expected " + std::to_string(n_caches));
-    }
-    std::array<std::uint8_t, kMaxCaches> cells{};
-    for (std::size_t i = 0; i < hex.size(); i += 2) {
-      int cell = 0;
-      for (std::size_t j = i; j < i + 2; ++j) {
-        const char c = hex[j];
-        const int digit = c >= '0' && c <= '9'   ? c - '0'
-                          : c >= 'a' && c <= 'f' ? c - 'a' + 10
-                                                 : -1;
-        if (digit < 0) fail("invalid state key hex '" + std::string(hex) + "'");
-        cell = (cell << 4) | digit;
-      }
-      if (cell >= 1 << 6) {
-        fail("state key cell out of range in '" + std::string(hex) + "'");
-      }
-      cells[i / 2] = static_cast<std::uint8_t>(cell);
-    }
-    std::string_view tail = text.substr(space + 1);
-    const std::size_t md_end = tail.find(' ');
-    const std::string_view md =
-        md_end == std::string_view::npos ? tail : tail.substr(0, md_end);
-    std::uint8_t mdata = 0;
-    try {
-      const unsigned long parsed = parse_unsigned(md);
-      if (parsed > 3) fail("state key mdata out of range");
-      mdata = static_cast<std::uint8_t>(parsed);
-    } catch (const SpecError&) {
-      fail("invalid state key mdata '" + std::string(md) + "'");
-    }
-    const EnumKey key = EnumKey::pack(cells.data(), hex.size() / 2, mdata);
-    if (rest != nullptr) {
-      *rest = md_end == std::string_view::npos ? std::string_view{}
-                                               : tail.substr(md_end + 1);
-    } else if (md_end != std::string_view::npos) {
-      fail("trailing content after state key");
-    }
-    return key;
-  }
-};
-
-}  // namespace
-
 EnumCheckpoint load_checkpoint(const std::filesystem::path& path) {
-  std::ifstream file(path);
-  if (!file) {
-    throw IoError("cannot open checkpoint '" + path.string() + "'");
-  }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  if (file.bad()) {
-    throw IoError("I/O error reading checkpoint '" + path.string() + "'");
-  }
-  const std::string content = std::move(buffer).str();
-
-  // The checksum line covers every byte before it; verify before parsing
-  // so a bit-flip anywhere is reported even if it still parses.
-  const std::size_t checksum_at = content.rfind("checksum ");
-  if (checksum_at == std::string::npos ||
-      (checksum_at != 0 && content[checksum_at - 1] != '\n')) {
-    throw IoError(path.string() +
-                  ": truncated checkpoint (missing checksum line)");
-  }
+  std::size_t checksum_at = 0;
+  const std::string content = load_checkpoint_content(path, checksum_at);
 
   CheckpointReader reader;
   reader.in.str(content);
   reader.path = path.string();
 
   const std::string_view magic_line = reader.next_line();
-  if (magic_line != std::string(kMagic) + " v1") {
-    if (starts_with(magic_line, kMagic)) {
+  if (magic_line != std::string(kCheckpointMagic) + " v1") {
+    if (starts_with(magic_line, kCheckpointMagic)) {
       reader.fail("unsupported checkpoint version '" +
                   std::string(magic_line) + "' (this build reads v" +
                   std::to_string(EnumCheckpoint::kVersion) + ")");
@@ -297,7 +139,22 @@ EnumCheckpoint load_checkpoint(const std::filesystem::path& path) {
   }
 
   EnumCheckpoint cp;
-  cp.protocol = std::string(reader.field("protocol"));
+  // Enumeration checkpoints have no `kind` line (the format predates the
+  // symbolic one); a `kind` here means the file resumes a different
+  // command.
+  const std::string_view proto_line = reader.next_line();
+  if (starts_with(proto_line, "kind ")) {
+    reader.fail("checkpoint kind '" +
+                std::string(proto_line.substr(5)) +
+                "' does not resume 'enumerate' (use 'ccverify verify "
+                "--resume')");
+  }
+  if (!starts_with(proto_line, "protocol ") ||
+      proto_line.size() <= std::string_view("protocol ").size()) {
+    reader.fail("expected 'protocol <value>', got '" +
+                std::string(proto_line) + "'");
+  }
+  cp.protocol = std::string(proto_line.substr(9));
   cp.fingerprint = reader.hex_field("fingerprint");
   cp.n_caches = reader.number_field("n_caches");
   if (cp.n_caches < 1 || cp.n_caches > kMaxCaches) {
@@ -323,7 +180,7 @@ EnumCheckpoint load_checkpoint(const std::filesystem::path& path) {
     const std::uint64_t count = reader.number_field(label);
     keys.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
-      keys.push_back(reader.key_line(cp.n_caches, nullptr));
+      keys.push_back(key_line(reader, cp.n_caches, nullptr));
     }
   };
   read_section("visited", cp.visited);
@@ -334,33 +191,12 @@ EnumCheckpoint load_checkpoint(const std::filesystem::path& path) {
   cp.errors.reserve(error_count);
   for (std::uint64_t i = 0; i < error_count; ++i) {
     std::string_view detail;
-    const EnumKey key = reader.key_line(cp.n_caches, &detail);
+    const EnumKey key = key_line(reader, cp.n_caches, &detail);
     if (detail.empty()) reader.fail("error line has no detail");
     cp.errors.push_back(ConcreteError{key, std::string(detail), {}});
   }
 
-  const std::string_view checksum_value = reader.field("checksum");
-  std::uint64_t declared = 0;
-  for (const char c : checksum_value) {
-    const int digit = c >= '0' && c <= '9'   ? c - '0'
-                      : c >= 'a' && c <= 'f' ? c - 'a' + 10
-                                             : -1;
-    if (digit < 0 || checksum_value.size() > 16) {
-      reader.fail("invalid checksum '" + std::string(checksum_value) + "'");
-    }
-    declared = (declared << 4) | static_cast<std::uint64_t>(digit);
-  }
-  const std::uint64_t actual =
-      fnv1a(std::string_view(content).substr(0, checksum_at), kFnvOffset);
-  if (declared != actual) {
-    reader.fail("checksum mismatch (file corrupt): declared " +
-                std::string(checksum_value) + ", computed " +
-                to_hex(actual));
-  }
-  std::string trailing;
-  if (reader.in >> trailing) {
-    reader.fail("trailing content after checksum");
-  }
+  verify_checkpoint_checksum(reader, content, checksum_at);
 
   // Internal consistency: every frontier/next state must be visited.
   if (cp.visited.empty()) reader.fail("checkpoint has no visited states");

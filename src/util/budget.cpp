@@ -21,6 +21,7 @@ std::string_view to_string(StopReason r) noexcept {
     case StopReason::MemoryBudget: return "memory-budget";
     case StopReason::Cancelled: return "cancelled";
     case StopReason::Failpoint: return "failpoint";
+    case StopReason::VisitBudget: return "visit-budget";
   }
   return "?";
 }

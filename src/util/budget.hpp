@@ -42,6 +42,7 @@ enum class StopReason : std::uint8_t {
   MemoryBudget = 3, ///< byte allowance spent
   Cancelled = 4,    ///< Budget::cancel() was called
   Failpoint = 5,    ///< forced by the `budget.exhaust` failpoint
+  VisitBudget = 6,  ///< state-visit allowance spent (symbolic expansion)
 };
 
 [[nodiscard]] std::string_view to_string(Outcome o) noexcept;

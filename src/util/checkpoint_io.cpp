@@ -1,0 +1,202 @@
+#include "util/checkpoint_io.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <system_error>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/string_util.hpp"
+
+namespace ccver {
+
+std::uint64_t checkpoint_fnv1a(std::string_view bytes,
+                               std::uint64_t h) noexcept {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string checkpoint_hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+std::uint64_t describe_fingerprint(std::string_view describe) {
+  return checkpoint_fnv1a(describe);
+}
+
+namespace {
+
+/// One write attempt: payload + checksum to `tmp`, fully flushed, then an
+/// atomic rename over `path`. Returns a description of the failure, empty
+/// on success. The `checkpoint.short_write` failpoint truncates the
+/// payload mid-write; `checkpoint.rename_fail` fails the rename -- both
+/// leave `path` untouched (never a torn checkpoint).
+std::string try_write(const std::string& full,
+                      const std::filesystem::path& tmp,
+                      const std::filesystem::path& path) {
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return "cannot open temporary file '" + tmp.string() + "'";
+    if (CCV_FAILPOINT("checkpoint.short_write")) {
+      out << full.substr(0, full.size() / 2);
+      return "short write to '" + tmp.string() + "' (injected)";
+    }
+    out << full;
+    out.flush();
+    if (!out) return "I/O error writing '" + tmp.string() + "'";
+  }
+  std::error_code ec;
+  if (CCV_FAILPOINT("checkpoint.rename_fail")) {
+    return "rename to '" + path.string() + "' failed (injected)";
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return "rename to '" + path.string() + "' failed: " + ec.message();
+  }
+  return {};
+}
+
+}  // namespace
+
+void save_checkpoint_payload(std::string payload,
+                             const std::filesystem::path& path,
+                             MetricsRegistry* metrics) {
+  const ScopedTimer timer(metrics, "checkpoint.write");
+  payload += "checksum " + checkpoint_hex(checkpoint_fnv1a(payload)) + '\n';
+  const std::filesystem::path tmp = path.string() + ".tmp";
+
+  // Transient failures (contended filesystem, injected short write or
+  // rename fault) are retried with backoff; the visible file at `path` is
+  // only ever replaced wholesale by a fully written, checksummed payload.
+  constexpr int kAttempts = 4;
+  std::string failure;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    if (attempt > 0) {
+      if (metrics != nullptr) metrics->counter_add("checkpoint.retries", 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+    }
+    failure = try_write(payload, tmp, path);
+    if (failure.empty()) {
+      if (metrics != nullptr) {
+        metrics->counter_add("checkpoint.writes", 1);
+        metrics->counter_add("checkpoint.bytes", payload.size());
+      }
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove(tmp, ec);  // best effort; never masks the error
+  throw IoError("checkpoint write failed after " +
+                std::to_string(kAttempts) + " attempts: " + failure);
+}
+
+std::string load_checkpoint_content(const std::filesystem::path& path,
+                                    std::size_t& checksum_at) {
+  std::ifstream file(path);
+  if (!file) {
+    throw IoError("cannot open checkpoint '" + path.string() + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) {
+    throw IoError("I/O error reading checkpoint '" + path.string() + "'");
+  }
+  std::string content = std::move(buffer).str();
+
+  // The checksum line covers every byte before it; locate it up front so
+  // callers verify before trusting anything they parsed.
+  const std::size_t at = content.rfind("checksum ");
+  if (at == std::string::npos || (at != 0 && content[at - 1] != '\n')) {
+    throw IoError(path.string() +
+                  ": truncated checkpoint (missing checksum line)");
+  }
+  checksum_at = at;
+  return content;
+}
+
+void CheckpointReader::fail(const std::string& message) const {
+  throw IoError(path, line_no, message);
+}
+
+std::string_view CheckpointReader::next_line() {
+  if (!std::getline(in, line)) {
+    ++line_no;
+    fail("truncated checkpoint (unexpected end of file)");
+  }
+  ++line_no;
+  return line;
+}
+
+std::string_view CheckpointReader::field(std::string_view label) {
+  const std::string_view text = next_line();
+  if (!starts_with(text, label) || text.size() <= label.size() ||
+      text[label.size()] != ' ') {
+    fail("expected '" + std::string(label) + " <value>', got '" +
+         std::string(text) + "'");
+  }
+  return text.substr(label.size() + 1);
+}
+
+std::uint64_t CheckpointReader::number_field(std::string_view label) {
+  const std::string_view value = field(label);
+  try {
+    return parse_unsigned(value);
+  } catch (const SpecError&) {
+    fail("invalid " + std::string(label) + " '" + std::string(value) + "'");
+  }
+}
+
+std::uint64_t CheckpointReader::hex_field(std::string_view label) {
+  const std::string_view value = field(label);
+  std::uint64_t out = 0;
+  if (value.empty() || value.size() > 16) {
+    fail("invalid " + std::string(label) + " '" + std::string(value) + "'");
+  }
+  for (const char c : value) {
+    const int digit = c >= '0' && c <= '9'   ? c - '0'
+                      : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                             : -1;
+    if (digit < 0) {
+      fail("invalid " + std::string(label) + " '" + std::string(value) +
+           "'");
+    }
+    out = (out << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return out;
+}
+
+void verify_checkpoint_checksum(CheckpointReader& reader,
+                                std::string_view content,
+                                std::size_t checksum_at) {
+  const std::string_view checksum_value = reader.field("checksum");
+  std::uint64_t declared = 0;
+  for (const char c : checksum_value) {
+    const int digit = c >= '0' && c <= '9'   ? c - '0'
+                      : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                             : -1;
+    if (digit < 0 || checksum_value.size() > 16) {
+      reader.fail("invalid checksum '" + std::string(checksum_value) + "'");
+    }
+    declared = (declared << 4) | static_cast<std::uint64_t>(digit);
+  }
+  const std::uint64_t actual =
+      checkpoint_fnv1a(content.substr(0, checksum_at));
+  if (declared != actual) {
+    reader.fail("checksum mismatch (file corrupt): declared " +
+                std::string(checksum_value) + ", computed " +
+                checkpoint_hex(actual));
+  }
+  std::string trailing;
+  if (reader.in >> trailing) {
+    reader.fail("trailing content after checksum");
+  }
+}
+
+}  // namespace ccver

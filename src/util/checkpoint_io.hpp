@@ -1,0 +1,91 @@
+#pragma once
+/// \file checkpoint_io.hpp
+/// Format-agnostic machinery shared by every `ccver-checkpoint v1` writer
+/// and reader (the enumerator's and the symbolic expander's).
+///
+/// A checkpoint file is line-oriented text: a magic line, format-specific
+/// payload lines, and a trailing `checksum <hex>` line covering every byte
+/// before it (FNV-1a). This header owns the pieces that do not depend on
+/// what the payload encodes:
+///
+///  * the hash/hex helpers and the shared magic string;
+///  * `save_checkpoint_payload`: checksum + atomic temp-file/rename write
+///    with bounded retries (and the `checkpoint.short_write` /
+///    `checkpoint.rename_fail` failpoints);
+///  * `load_checkpoint_content`: whole-file read that locates the checksum
+///    line before any parsing starts;
+///  * `CheckpointReader`: a line reader producing located IoErrors
+///    (`<path>:<line>: detail`) for malformed or truncated content, plus
+///    `verify_checkpoint_checksum` for the shared trailer validation.
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ccver {
+
+class MetricsRegistry;
+
+/// First token of every checkpoint file's magic line.
+inline constexpr std::string_view kCheckpointMagic = "ccver-checkpoint";
+
+/// FNV-1a offset basis used by every checkpoint hash.
+inline constexpr std::uint64_t kCheckpointFnvOffset = 0xcbf29ce484222325ULL;
+
+/// FNV-1a over `bytes`, continuing from `h`.
+[[nodiscard]] std::uint64_t checkpoint_fnv1a(
+    std::string_view bytes, std::uint64_t h = kCheckpointFnvOffset) noexcept;
+
+/// Lower-case hex rendering without leading zeros (the checkpoint format's
+/// representation for fingerprints and checksums).
+[[nodiscard]] std::string checkpoint_hex(std::uint64_t v);
+
+/// Stable identity hash of a protocol description text; both checkpoint
+/// formats store it to refuse resuming against a changed spec.
+[[nodiscard]] std::uint64_t describe_fingerprint(std::string_view describe);
+
+/// Appends the `checksum <hex>` trailer to `payload` and writes the result
+/// to `path` atomically (temp file + rename), retrying transient failures
+/// with backoff. Throws IoError when every attempt fails; the visible file
+/// at `path` is only ever replaced wholesale by a fully written payload.
+/// Records `checkpoint.*` metrics when `metrics` is non-null.
+void save_checkpoint_payload(std::string payload,
+                             const std::filesystem::path& path,
+                             MetricsRegistry* metrics = nullptr);
+
+/// Reads the whole file and locates the final `checksum ` line; throws
+/// IoError on unreadable files or a missing trailer. `checksum_at` gets
+/// the byte offset of the checksum line (the hash input ends there).
+[[nodiscard]] std::string load_checkpoint_content(
+    const std::filesystem::path& path, std::size_t& checksum_at);
+
+/// Line-oriented reader that keeps the current line number for located
+/// diagnostics and treats premature end-of-file as truncation.
+struct CheckpointReader {
+  std::istringstream in;
+  std::string path;
+  std::size_t line_no = 0;
+  std::string line;
+
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string_view next_line();
+
+  /// Reads a `<label> <value>` line; returns the value text.
+  std::string_view field(std::string_view label);
+
+  std::uint64_t number_field(std::string_view label);
+
+  std::uint64_t hex_field(std::string_view label);
+};
+
+/// Validates the trailer: reads the `checksum` field through `reader`,
+/// compares it against the hash of `content` up to `checksum_at`, and
+/// rejects trailing content. Call after the payload has been parsed.
+void verify_checkpoint_checksum(CheckpointReader& reader,
+                                std::string_view content,
+                                std::size_t checksum_at);
+
+}  // namespace ccver

@@ -1,0 +1,104 @@
+/// \file test_composite_key.cpp
+/// The packed composite-state key: a faithful four-word image of a
+/// canonical state. Equality must coincide with state equality, pack/unpack
+/// must round-trip every reachable state of every library protocol, and
+/// the class-presence masks must be sound necessary conditions for
+/// structural covering (no mask filter may reject a real containment).
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/composite_key.hpp"
+#include "core/expansion.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+/// Every state the symbolic expansion ever archives, in equality-only mode
+/// (the larger state population of the two).
+std::vector<CompositeState> reachable_states(const Protocol& p) {
+  SymbolicExpander::Options opt;
+  opt.pruning = PruningMode::EqualityOnly;
+  const ExpansionResult r = SymbolicExpander(p, opt).run();
+  std::vector<CompositeState> states;
+  states.reserve(r.archive.size());
+  for (const ArchiveEntry& e : r.archive) states.push_back(e.state);
+  return states;
+}
+
+TEST(CompositeKey, PackUnpackRoundTripsEveryReachableState) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    for (const CompositeState& s : reachable_states(p)) {
+      const CompositeKey k = CompositeKey::pack(s);
+      EXPECT_TRUE(k.unpack(p) == s)
+          << np.name << ": " << s.to_string(p) << " lost in round-trip";
+    }
+  }
+}
+
+TEST(CompositeKey, EqualityCoincidesWithStateEquality) {
+  const Protocol p = protocols::moesi_split();
+  const std::vector<CompositeState> states = reachable_states(p);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      const bool keys_equal =
+          CompositeKey::pack(states[i]) == CompositeKey::pack(states[j]);
+      EXPECT_EQ(keys_equal, states[i] == states[j])
+          << states[i].to_string(p) << " vs " << states[j].to_string(p);
+    }
+  }
+}
+
+TEST(CompositeKey, EqualKeysHashEqualAndDistinctKeysRarelyCollide) {
+  const Protocol p = protocols::moesi_split();
+  const std::vector<CompositeState> states = reachable_states(p);
+  std::unordered_set<std::uint64_t> hashes;
+  for (const CompositeState& s : states) {
+    const CompositeKey k = CompositeKey::pack(s);
+    EXPECT_EQ(k.hash(), CompositeKey::pack(s).hash());
+    hashes.insert(k.hash());
+  }
+  // All reachable MOESISplit states are distinct canonical states; a
+  // quality hash should separate essentially all of them.
+  EXPECT_GE(hashes.size(), states.size() - states.size() / 64);
+}
+
+TEST(CompositeKey, MasksAreNecessaryConditionsForCovering) {
+  // The containment index prunes with keys(a) ⊆ keys(b) and
+  // definite(b) ⊆ keys(a); if either rejected a pair that covered_by
+  // accepts, the index would silently drop real containments.
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    const std::vector<CompositeState> states = reachable_states(p);
+    for (const CompositeState& a : states) {
+      const CompositeKey::ClassMasks ma = CompositeKey::masks(a);
+      for (const CompositeState& b : states) {
+        if (!a.covered_by(b)) continue;
+        const CompositeKey::ClassMasks mb = CompositeKey::masks(b);
+        EXPECT_EQ(ma.keys & ~mb.keys, 0u)
+            << np.name << ": keys(a) ⊄ keys(b) for a covered pair";
+        EXPECT_EQ(mb.definite & ~ma.keys, 0u)
+            << np.name << ": definite(b) ⊄ keys(a) for a covered pair";
+      }
+    }
+  }
+}
+
+TEST(CompositeKey, TagDistinguishesMDataAndLevel) {
+  const Protocol p = protocols::illinois();
+  const CompositeState fresh =
+      CompositeState::parse(p, "(Shared+, Inv*) level=many");
+  const CompositeState obsolete =
+      CompositeState::parse(p, "(Shared+, Inv*) mem=obsolete level=many");
+  const CompositeState one =
+      CompositeState::parse(p, "(Shared, Inv*) level=one");
+  EXPECT_FALSE(CompositeKey::pack(fresh) == CompositeKey::pack(obsolete));
+  EXPECT_FALSE(CompositeKey::pack(fresh) == CompositeKey::pack(one));
+}
+
+}  // namespace
+}  // namespace ccver

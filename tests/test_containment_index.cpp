@@ -1,0 +1,164 @@
+/// \file test_containment_index.cpp
+/// The subsumption index behind the symbolic engine's pruning: bucket
+/// routing, mask prefilters, tombstone lifecycle, and -- the property the
+/// whole design rests on -- answer-equivalence with a plain linear scan
+/// over the live states, for both pruning modes, on real state
+/// populations.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/containment_index.hpp"
+#include "core/expansion.hpp"
+#include "protocols/protocols.hpp"
+
+namespace ccver {
+namespace {
+
+class ContainmentIndexTest : public ::testing::Test {
+ protected:
+  const Protocol p = protocols::illinois();
+
+  [[nodiscard]] CompositeState parse(std::string_view text) const {
+    return CompositeState::parse(p, text);
+  }
+};
+
+TEST_F(ContainmentIndexTest, FindsSubsumingStateNotJustEqualOnes) {
+  ContainmentIndex index(PruningMode::Containment);
+  const CompositeState broad = parse("(Shared+, Inv*) level=many");
+  const CompositeState narrow = parse("(Shared+) level=many");
+  std::vector<CompositeState> archive = {broad};
+  index.insert(0, archive[0]);
+
+  const auto state_of = [&](std::size_t i) -> const CompositeState& {
+    return archive[i];
+  };
+  ASSERT_TRUE(narrow.contained_in(broad));
+  EXPECT_TRUE(index.any_subsuming(narrow, state_of));
+  // Containment is not symmetric: the broad state is not subsumed by an
+  // index holding only itself... and trivially is by an equal entry.
+  EXPECT_TRUE(index.any_subsuming(broad, state_of));
+}
+
+TEST_F(ContainmentIndexTest, EqualityModeMatchesOnlyExactDuplicates) {
+  ContainmentIndex index(PruningMode::EqualityOnly);
+  const CompositeState broad = parse("(Shared+, Inv*) level=many");
+  const CompositeState narrow = parse("(Shared+) level=many");
+  std::vector<CompositeState> archive = {broad};
+  index.insert(0, archive[0]);
+
+  const auto state_of = [&](std::size_t i) -> const CompositeState& {
+    return archive[i];
+  };
+  ASSERT_TRUE(narrow.contained_in(broad));
+  EXPECT_FALSE(index.any_subsuming(narrow, state_of));
+  EXPECT_TRUE(index.any_subsuming(broad, state_of));
+}
+
+TEST_F(ContainmentIndexTest, DifferentLevelOrMDataNeverSubsumes) {
+  ContainmentIndex index(PruningMode::Containment);
+  std::vector<CompositeState> archive = {
+      parse("(Shared+, Inv*) level=many"),
+  };
+  index.insert(0, archive[0]);
+  const auto state_of = [&](std::size_t i) -> const CompositeState& {
+    return archive[i];
+  };
+  EXPECT_FALSE(index.any_subsuming(parse("(Shared, Inv*) level=one"), state_of));
+  EXPECT_FALSE(index.any_subsuming(
+      parse("(Shared+, Inv*) mem=obsolete level=many"), state_of));
+}
+
+TEST_F(ContainmentIndexTest, TombstonedEntriesStopAnswering) {
+  ContainmentIndex index(PruningMode::Containment);
+  std::vector<CompositeState> archive = {parse("(Shared+, Inv*) level=many")};
+  index.insert(0, archive[0]);
+  const auto state_of = [&](std::size_t i) -> const CompositeState& {
+    return archive[i];
+  };
+  const CompositeState q = parse("(Shared+) level=many");
+  EXPECT_TRUE(index.any_subsuming(q, state_of));
+  index.deactivate(0);
+  EXPECT_FALSE(index.alive(0));
+  EXPECT_FALSE(index.any_subsuming(q, state_of));
+  index.activate(0);
+  EXPECT_TRUE(index.any_subsuming(q, state_of));
+}
+
+TEST_F(ContainmentIndexTest, EvictContainedTombstonesExactlyTheContained) {
+  ContainmentIndex index(PruningMode::Containment);
+  std::vector<CompositeState> archive = {
+      parse("(Shared+) level=many"),            // contained in newcomer
+      parse("(Shared, Inv*) level=one"),        // different level: kept
+      parse("(Shared+, Inv+) level=many"),      // contained in newcomer
+  };
+  for (std::size_t i = 0; i < archive.size(); ++i) index.insert(i, archive[i]);
+  const auto state_of = [&](std::size_t i) -> const CompositeState& {
+    return archive[i];
+  };
+
+  const CompositeState newcomer = parse("(Shared+, Inv*) level=many");
+  std::vector<std::size_t> evicted;
+  index.evict_contained(newcomer, state_of,
+                        [&](std::size_t i) { evicted.push_back(i); });
+  EXPECT_EQ(evicted, (std::vector<std::size_t>{0, 2}));
+  EXPECT_FALSE(index.alive(0));
+  EXPECT_TRUE(index.alive(1));
+  EXPECT_FALSE(index.alive(2));
+}
+
+TEST_F(ContainmentIndexTest, EvictIsANoOpInEqualityMode) {
+  ContainmentIndex index(PruningMode::EqualityOnly);
+  std::vector<CompositeState> archive = {parse("(Shared+) level=many")};
+  index.insert(0, archive[0]);
+  const auto state_of = [&](std::size_t i) -> const CompositeState& {
+    return archive[i];
+  };
+  std::size_t evictions = 0;
+  index.evict_contained(parse("(Shared+, Inv*) level=many"), state_of,
+                        [&](std::size_t) { ++evictions; });
+  EXPECT_EQ(evictions, 0u);
+  EXPECT_TRUE(index.alive(0));
+}
+
+/// The load-bearing property: on every reachable state population, the
+/// index answers exactly like a linear scan over the live entries.
+TEST(ContainmentIndexEquivalence, AgreesWithLinearScanOnRealPopulations) {
+  for (const protocols::NamedProtocol& np : protocols::all()) {
+    const Protocol p = np.factory();
+    SymbolicExpander::Options opt;
+    opt.pruning = PruningMode::EqualityOnly;  // densest population
+    const ExpansionResult r = SymbolicExpander(p, opt).run();
+
+    for (const PruningMode mode :
+         {PruningMode::Containment, PruningMode::EqualityOnly}) {
+      ContainmentIndex index(mode);
+      for (std::size_t i = 0; i < r.archive.size(); ++i) {
+        index.insert(i, r.archive[i].state);
+        if (i % 3 == 0) index.deactivate(i);  // exercise tombstones
+      }
+      const auto state_of = [&](std::size_t i) -> const CompositeState& {
+        return r.archive[i].state;
+      };
+      for (const ArchiveEntry& e : r.archive) {
+        bool scan = false;
+        for (std::size_t i = 0; i < r.archive.size(); ++i) {
+          if (!index.alive(i)) continue;
+          if (mode == PruningMode::Containment
+                  ? e.state.contained_in(r.archive[i].state)
+                  : e.state == r.archive[i].state) {
+            scan = true;
+            break;
+          }
+        }
+        EXPECT_EQ(index.any_subsuming(e.state, state_of), scan)
+            << np.name << ": " << e.state.to_string(p);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccver

@@ -168,10 +168,21 @@ TEST_F(IllinoisExpansion, TraceRecordsEveryVisit) {
   }
 }
 
-TEST_F(IllinoisExpansion, MaxVisitsIsEnforced) {
+TEST_F(IllinoisExpansion, MaxVisitsStopsWithPartialOutcome) {
   SymbolicExpander::Options opt;
   opt.max_visits = 3;
-  EXPECT_THROW((void)SymbolicExpander(p, opt).run(), ModelError);
+  const ExpansionResult r = SymbolicExpander(p, opt).run();
+  EXPECT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.stop_reason, StopReason::VisitBudget);
+  // The in-flight expansion completes, so the count may overshoot the
+  // valve -- but only by one state's successors.
+  EXPECT_GE(r.stats.visits, 3U);
+  // Both engines latch the same stop.
+  opt.reference_engine = true;
+  const ExpansionResult ref = SymbolicExpander(p, opt).run();
+  EXPECT_EQ(ref.outcome, Outcome::Partial);
+  EXPECT_EQ(ref.stop_reason, StopReason::VisitBudget);
+  EXPECT_EQ(ref.stats.visits, r.stats.visits);
 }
 
 // ------------------------------------------------------- Lemma 2 in action

@@ -1,0 +1,347 @@
+/// \file test_expansion_checkpoint.cpp
+/// Survivability of symbolic Figure-3 runs: checkpoint round-trips,
+/// interrupt -> resume byte-identity at every interruption point, strict
+/// validation of untrusted on-disk state, budget-driven partial stops,
+/// and fault injection on the write path.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/expansion.hpp"
+#include "core/expansion_checkpoint.hpp"
+#include "core/report_json.hpp"
+#include "core/verifier.hpp"
+#include "protocols/protocols.hpp"
+#include "util/budget.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ExpansionCheckpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: gtest_discover_tests runs each test as its own
+    // ctest entry, so parallel ctest would race a shared directory.
+    dir_ = fs::temp_directory_path() /
+           (std::string("ccver_expansion_checkpoint_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Runs a visit-budget-interrupted expansion that writes a checkpoint.
+  SymbolicCheckpoint make_checkpoint(const Protocol& p, std::size_t max_visits,
+                                     const fs::path& path) {
+    SymbolicExpander::Options opt;
+    opt.max_visits = max_visits;
+    opt.checkpoint_path = path.string();
+    const ExpansionResult r = SymbolicExpander(p, opt).run();
+    EXPECT_EQ(r.outcome, Outcome::Partial);
+    EXPECT_EQ(r.stop_reason, StopReason::VisitBudget);
+    EXPECT_TRUE(r.checkpoint_written);
+    return load_symbolic_checkpoint(path);
+  }
+
+  /// Rewrites `path` with `line_no` (1-based) replaced by `text`, fixing
+  /// up the checksum trailer so only the targeted corruption is seen.
+  void corrupt_line(const fs::path& path, std::size_t line_no,
+                    const std::string& text) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    lines.at(line_no - 1) = text;
+    // Drop the old checksum line and recompute over the payload.
+    lines.pop_back();
+    std::string payload;
+    for (const std::string& line : lines) payload += line + '\n';
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a, as checkpoint_io
+    for (const char c : payload) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    std::ostringstream os;
+    os << payload << "checksum " << std::hex << h << '\n';
+    std::ofstream out(path, std::ios::trunc);
+    out << os.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ExpansionCheckpoint, SaveLoadRoundTripsEveryField) {
+  const Protocol p = protocols::moesi_split();
+  const fs::path path = dir_ / "moesi_split.ckpt";
+  const SymbolicCheckpoint cp = make_checkpoint(p, 40, path);
+
+  EXPECT_EQ(cp.protocol, p.name());
+  EXPECT_EQ(cp.pruning, PruningMode::Containment);
+  EXPECT_FALSE(cp.archive.empty());
+  EXPECT_FALSE(cp.work.empty());
+
+  const fs::path copy = dir_ / "copy.ckpt";
+  save_symbolic_checkpoint(cp, copy);
+  const SymbolicCheckpoint again = load_symbolic_checkpoint(copy);
+  EXPECT_EQ(again.protocol, cp.protocol);
+  EXPECT_EQ(again.fingerprint, cp.fingerprint);
+  EXPECT_EQ(again.pruning, cp.pruning);
+  EXPECT_EQ(again.stats.visits, cp.stats.visits);
+  EXPECT_EQ(again.stats.expansions, cp.stats.expansions);
+  EXPECT_EQ(again.stats.discarded_contained, cp.stats.discarded_contained);
+  EXPECT_EQ(again.stats.evicted, cp.stats.evicted);
+  EXPECT_EQ(again.stats.source_restarts, cp.stats.source_restarts);
+  EXPECT_EQ(again.work, cp.work);
+  EXPECT_EQ(again.visited, cp.visited);
+  ASSERT_EQ(again.archive.size(), cp.archive.size());
+  for (std::size_t i = 0; i < cp.archive.size(); ++i) {
+    EXPECT_TRUE(again.archive[i].classes == cp.archive[i].classes);
+    EXPECT_EQ(again.archive[i].mdata, cp.archive[i].mdata);
+    EXPECT_EQ(again.archive[i].level, cp.archive[i].level);
+    EXPECT_EQ(again.archive[i].parent, cp.archive[i].parent);
+    EXPECT_TRUE(again.archive[i].via == cp.archive[i].via);
+  }
+}
+
+TEST_F(ExpansionCheckpoint, ResumeIsByteIdenticalAtEveryInterruptionPoint) {
+  const Protocol p = protocols::moesi_split();
+  const Verifier full(p);
+  const std::string uninterrupted = report_to_json(full.verify(), p);
+
+  // MOESISplit takes 454 visits; interrupt at a spread of points,
+  // including mid-stride ones that land inside an expansion step.
+  for (const std::size_t cut : {1u, 23u, 100u, 300u, 400u}) {
+    const fs::path path = dir_ / ("cut_" + std::to_string(cut) + ".ckpt");
+    Verifier::Options part_opt;
+    part_opt.max_visits = cut;
+    part_opt.checkpoint_path = path.string();
+    const VerificationReport partial = Verifier(p, part_opt).verify();
+    ASSERT_EQ(partial.outcome, Outcome::Partial) << "cut=" << cut;
+    ASSERT_TRUE(partial.checkpoint_written) << "cut=" << cut;
+
+    const SymbolicCheckpoint cp = load_symbolic_checkpoint(path);
+    Verifier::Options resume_opt;
+    resume_opt.resume = &cp;
+    const std::string resumed =
+        report_to_json(Verifier(p, resume_opt).verify(), p);
+    EXPECT_EQ(resumed, uninterrupted) << "cut=" << cut;
+  }
+}
+
+TEST_F(ExpansionCheckpoint, ResumeAcrossEqualityPruningMode) {
+  const Protocol p = protocols::illinois_split();
+  Verifier::Options full_opt;
+  full_opt.pruning = PruningMode::EqualityOnly;
+  const std::string uninterrupted =
+      report_to_json(Verifier(p, full_opt).verify(), p);
+
+  const fs::path path = dir_ / "equality.ckpt";
+  Verifier::Options part_opt = full_opt;
+  part_opt.max_visits = 50;
+  part_opt.checkpoint_path = path.string();
+  ASSERT_EQ(Verifier(p, part_opt).verify().outcome, Outcome::Partial);
+
+  const SymbolicCheckpoint cp = load_symbolic_checkpoint(path);
+  EXPECT_EQ(cp.pruning, PruningMode::EqualityOnly);
+  Verifier::Options resume_opt = full_opt;
+  resume_opt.resume = &cp;
+  EXPECT_EQ(report_to_json(Verifier(p, resume_opt).verify(), p),
+            uninterrupted);
+}
+
+TEST_F(ExpansionCheckpoint, MemoryBudgetStopsTheRunAndResumes) {
+  // Satellite regression: symbolic expansion must charge bytes, so a tiny
+  // --mem-budget actually ends the run instead of being ignored.
+  const Protocol p = protocols::moesi_split();
+  const fs::path path = dir_ / "mem.ckpt";
+  Budget budget{Budget::Limits{.max_bytes = 4000}};
+  SymbolicExpander::Options opt;
+  opt.budget = &budget;
+  opt.checkpoint_path = path.string();
+  const ExpansionResult r = SymbolicExpander(p, opt).run();
+  ASSERT_EQ(r.outcome, Outcome::Partial);
+  EXPECT_EQ(r.stop_reason, StopReason::MemoryBudget);
+  EXPECT_GE(budget.bytes_charged(), 4000u);
+  EXPECT_TRUE(r.checkpoint_written);
+
+  // Resuming re-charges the restored working set, so the same budget
+  // trips again immediately; an unlimited budget runs to completion.
+  const SymbolicCheckpoint cp = load_symbolic_checkpoint(path);
+  SymbolicExpander::Options resume_opt;
+  resume_opt.resume = &cp;
+  const ExpansionResult resumed = SymbolicExpander(p, resume_opt).run();
+  EXPECT_EQ(resumed.outcome, Outcome::Complete);
+  EXPECT_EQ(resumed.essential.size(), 27u);
+}
+
+TEST_F(ExpansionCheckpoint, PeriodicCheckpointsAreWrittenMidRun) {
+  const Protocol p = protocols::moesi_split();
+  const fs::path path = dir_ / "periodic.ckpt";
+  SymbolicExpander::Options opt;
+  opt.checkpoint_path = path.string();
+  opt.checkpoint_interval_ms = 0;  // every expansion step
+  const ExpansionResult r = SymbolicExpander(p, opt).run();
+  EXPECT_EQ(r.outcome, Outcome::Complete);
+  EXPECT_TRUE(r.checkpoint_written);
+  // The last periodic checkpoint resumes to the same completed result.
+  const SymbolicCheckpoint cp = load_symbolic_checkpoint(path);
+  SymbolicExpander::Options resume_opt;
+  resume_opt.resume = &cp;
+  const ExpansionResult resumed = SymbolicExpander(p, resume_opt).run();
+  EXPECT_EQ(resumed.essential.size(), r.essential.size());
+}
+
+TEST_F(ExpansionCheckpoint, RejectsProtocolAndPruningMismatches) {
+  const fs::path path = dir_ / "illinois.ckpt";
+  make_checkpoint(protocols::illinois(), 10, path);
+  const SymbolicCheckpoint cp = load_symbolic_checkpoint(path);
+
+  SymbolicExpander::Options opt;
+  opt.resume = &cp;
+  EXPECT_THROW((void)SymbolicExpander(protocols::dragon(), opt).run(),
+               SpecError);
+
+  SymbolicExpander::Options mode_opt;
+  mode_opt.resume = &cp;
+  mode_opt.pruning = PruningMode::EqualityOnly;
+  EXPECT_THROW((void)SymbolicExpander(protocols::illinois(), mode_opt).run(),
+               SpecError);
+}
+
+TEST_F(ExpansionCheckpoint, RejectsIncompatibleOptionCombinations) {
+  SymbolicExpander::Options trace_opt;
+  trace_opt.record_trace = true;
+  trace_opt.checkpoint_path = (dir_ / "x.ckpt").string();
+  EXPECT_THROW((void)SymbolicExpander(protocols::illinois(), trace_opt).run(),
+               SpecError);
+
+  SymbolicExpander::Options ref_opt;
+  ref_opt.reference_engine = true;
+  ref_opt.checkpoint_path = (dir_ / "y.ckpt").string();
+  EXPECT_THROW((void)SymbolicExpander(protocols::illinois(), ref_opt).run(),
+               SpecError);
+}
+
+TEST_F(ExpansionCheckpoint, LoaderRejectsCorruptContentWithLocatedErrors) {
+  const Protocol p = protocols::illinois();
+  const fs::path path = dir_ / "victim.ckpt";
+  make_checkpoint(p, 10, path);
+
+  const auto expect_rejected = [&](const std::string& needle) {
+    try {
+      (void)load_symbolic_checkpoint(path);
+      FAIL() << "corrupt checkpoint accepted (wanted: " << needle << ")";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual: " << e.what();
+    }
+  };
+
+  // Bit flip anywhere -> checksum mismatch.
+  corrupt_line(path, 3, "protocol Illinois ");
+  {
+    // corrupt_line recomputes the checksum, so damage it directly.
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    const std::size_t pos = content.rfind("checksum ");
+    content[pos + 9] = content[pos + 9] == '0' ? '1' : '0';
+    std::ofstream(path, std::ios::trunc) << content;
+  }
+  expect_rejected("checksum");
+
+  make_checkpoint(p, 10, path);
+  corrupt_line(path, 2, "kind sideways");
+  expect_rejected("kind");
+
+  make_checkpoint(p, 10, path);
+  corrupt_line(path, 5, "pruning sometimes");
+  expect_rejected("pruning");
+
+  // Archive entry with an out-of-range parent (forward reference).
+  make_checkpoint(p, 10, path);
+  {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    std::size_t archive_line = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].rfind("archive ", 0) == 0) archive_line = i + 2;
+    }
+    ASSERT_GT(archive_line, 0u);
+    // Entry 1 (second archive line): point its parent at itself.
+    std::istringstream is(lines[archive_line]);
+    std::string classes, mdata, level, parent, rest;
+    is >> classes >> mdata >> level >> parent;
+    std::getline(is, rest);
+    corrupt_line(path, archive_line + 1,
+                 classes + " " + mdata + " " + level + " 7" + rest);
+  }
+  expect_rejected("parent");
+
+  // Truncation: drop everything after the header.
+  make_checkpoint(p, 10, path);
+  {
+    std::ifstream in(path);
+    std::string keep;
+    std::string line;
+    for (int i = 0; i < 4 && std::getline(in, line); ++i) keep += line + '\n';
+    in.close();
+    std::ofstream(path, std::ios::trunc) << keep;
+  }
+  expect_rejected("");
+
+  // An enumeration checkpoint (no `kind` line) must be pointed elsewhere.
+  make_checkpoint(p, 10, path);
+  {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    in.close();
+    lines.erase(lines.begin() + 1);  // drop "kind symbolic"
+    std::string payload;
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) payload += lines[i] + '\n';
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : payload) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    std::ostringstream os;
+    os << payload << "checksum " << std::hex << h << '\n';
+    std::ofstream(path, std::ios::trunc) << os.str();
+  }
+  expect_rejected("enumeration checkpoint");
+}
+
+TEST_F(ExpansionCheckpoint, TransientWriteFaultsAreRetried) {
+  const Protocol p = protocols::moesi_split();
+  const fs::path path = dir_ / "retry.ckpt";
+  ScopedFailpoints fp("checkpoint.short_write=2");
+  SymbolicExpander::Options opt;
+  opt.max_visits = 40;
+  opt.checkpoint_path = path.string();
+  const ExpansionResult r = SymbolicExpander(p, opt).run();
+  EXPECT_TRUE(r.checkpoint_written);
+  // The file written after retries must load clean.
+  const SymbolicCheckpoint cp = load_symbolic_checkpoint(path);
+  EXPECT_EQ(cp.protocol, p.name());
+}
+
+TEST_F(ExpansionCheckpoint, ScratchAllocationFaultSurfacesAsBadAlloc) {
+  ScopedFailpoints fp("expand.scratch_alloc");
+  SymbolicExpander::Options opt;
+  EXPECT_THROW((void)SymbolicExpander(protocols::illinois(), opt).run(),
+               std::bad_alloc);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -4,6 +4,7 @@
 ///   ccverify list
 ///   ccverify verify <protocol|file.ccp> [--dot <out.dot>] [--trace]
 ///                   [--json] [--stats] [--deadline D] [--mem-budget B]
+///                   [--max-visits N] [--checkpoint F] [--resume F]
 ///   ccverify describe <protocol|file.ccp>
 ///   ccverify enumerate <protocol|file.ccp> [--caches N | --n N] [--strict]
 ///                      [--threads N] [--max-states N] [--max-errors N]
@@ -25,9 +26,9 @@
 ///   1  protocol errors found (or compare/diff/lint mismatch)
 ///   2  usage error (bad flags, unknown protocol, malformed spec)
 ///   3  internal or I/O failure (unreadable/corrupt files, OOM)
-///   4  partial result: a --deadline/--mem-budget/--max-states budget
-///      stopped the run before completion (enumerate writes a resumable
-///      checkpoint when --checkpoint is given)
+///   4  partial result: a --deadline/--mem-budget/--max-states/--max-visits
+///      budget stopped the run before completion (verify and enumerate
+///      write a resumable checkpoint when --checkpoint is given)
 
 #include <algorithm>
 #include <cstring>
@@ -39,6 +40,7 @@
 #include "analysis/checks.hpp"
 #include "analysis/output.hpp"
 #include "core/compare.hpp"
+#include "core/expansion_checkpoint.hpp"
 #include "core/report_json.hpp"
 #include "core/verifier.hpp"
 #include "enumeration/checkpoint.hpp"
@@ -133,15 +135,6 @@ int cmd_list() {
 }
 
 int cmd_verify(const Args& args) {
-  if (args.has("--checkpoint") || args.has("--resume")) {
-    // The symbolic expansion finishes in milliseconds even for the largest
-    // shipped protocols; there is nothing worth checkpointing. Fail loudly
-    // instead of silently ignoring the flag.
-    throw SpecError(
-        "verify does not support --checkpoint/--resume (the symbolic "
-        "expansion completes in milliseconds; checkpointing applies to "
-        "'enumerate')");
-  }
   const Protocol p = resolve_protocol(args.positional_at(0, "protocol"));
   MetricsRegistry metrics;
   Budget budget(budget_limits(args, /*states_from_flag=*/false));
@@ -149,6 +142,21 @@ int cmd_verify(const Args& args) {
   opt.record_trace = args.has("--trace");
   opt.budget = &budget;
   if (args.has("--stats")) opt.metrics = &metrics;
+  if (args.has("--max-visits")) {
+    opt.max_visits = args.get_number("--max-visits", opt.max_visits);
+  }
+  opt.checkpoint_path = args.get("--checkpoint", "");
+  opt.checkpoint_interval_ms =
+      args.get_number("--checkpoint-interval-ms", 500);
+  if (opt.record_trace &&
+      (!opt.checkpoint_path.empty() || args.has("--resume"))) {
+    throw SpecError("--trace cannot be combined with --checkpoint/--resume");
+  }
+  SymbolicCheckpoint resume_cp;
+  if (args.has("--resume")) {
+    resume_cp = load_symbolic_checkpoint(args.get("--resume", ""));
+    opt.resume = &resume_cp;
+  }
   const Verifier verifier(p, opt);
 
   const auto exit_code = [](const VerificationReport& report) {
@@ -181,6 +189,10 @@ int cmd_verify(const Args& args) {
 
   const VerificationReport report = verifier.verify();
   std::cout << report.summary(p) << '\n';
+  if (report.outcome == Outcome::Partial && report.checkpoint_written) {
+    std::cout << "checkpoint written to " << opt.checkpoint_path
+              << " (resume with --resume)\n";
+  }
   for (const Diagnostic& d : lint_protocol(p).diagnostics) {
     std::cout << to_string(d.severity) << " [" << d.check << "]: "
               << d.message << '\n';
@@ -559,7 +571,8 @@ int usage() {
       "usage: ccverify <command> [args]\n"
       "  list                                 protocols in the library\n"
       "  verify <protocol> [--dot F] [--trace] [--json] [--stats]\n"
-      "         [--deadline D] [--mem-budget B]\n"
+      "         [--deadline D] [--mem-budget B] [--max-visits N]\n"
+      "         [--checkpoint F] [--checkpoint-interval-ms N] [--resume F]\n"
       "                                       symbolic verification\n"
       "  describe <protocol>                  print the rule table\n"
       "  enumerate <protocol> [--caches N | --n N] [--strict] [--threads N]\n"

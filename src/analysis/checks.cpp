@@ -5,7 +5,9 @@
 #include <sstream>
 #include <tuple>
 
-#include "core/expansion.hpp"
+#include "core/progress_graph.hpp"
+#include "core/scc.hpp"
+#include "util/error.hpp"
 
 namespace ccver {
 
@@ -43,6 +45,18 @@ const std::vector<CheckInfo>& all_checks() {
        "the rule can never fire from any reachable global state"},
       {"stuck-transient", Severity::Warning, CheckLayer::Reachability,
        "a state stalls the processor but has no self-initiated exit"},
+      {"global-deadlock", Severity::Error, CheckLayer::Progress,
+       "a reachable global state from which a pending op can never "
+       "complete"},
+      {"livelock-cycle", Severity::Error, CheckLayer::Progress,
+       "a cycle keeps firing rules while a pending op's completion is "
+       "never enabled"},
+      {"unreachable-completion", Severity::Warning, CheckLayer::Progress,
+       "a completion rule of a live transient state fires in no reachable "
+       "global state"},
+      {"layer-skipped", Severity::Note, CheckLayer::Progress,
+       "the reachability/progress layers were skipped: the shared expansion "
+       "hit its budget"},
   };
   return registry;
 }
@@ -286,28 +300,18 @@ void check_dead_state(const LintContext& ctx,
   }
 }
 
-void check_dead_rule(const LintContext& ctx, const ExpansionResult& r,
-                     const std::array<bool, kMaxStates>& state_live) {
-  // A rule is live if re-expanding some essential state fires a transition
-  // matching its (from, op, guard) triple. Guard Any fires under either
-  // sharing value.
+void check_dead_rule(const LintContext& ctx,
+                     const std::vector<bool>& rule_fired,
+                     const std::array<bool, kMaxStates>& state_live,
+                     const std::vector<bool>& completion_missing) {
   const auto& rules = ctx.p.rules();
-  std::vector<bool> rule_live(rules.size(), false);
-  for (const CompositeState& s : r.essential) {
-    for (const Successor& succ : successors(ctx.p, s)) {
-      for (std::size_t i = 0; i < rules.size(); ++i) {
-        const bool guard_matches = covers(rules[i].guard, succ.label.sharing);
-        if (rules[i].from == succ.label.origin_state &&
-            rules[i].op == succ.label.op && guard_matches) {
-          rule_live[i] = true;
-        }
-      }
-    }
-  }
   for (std::size_t i = 0; i < rules.size(); ++i) {
-    if (rule_live[i]) continue;
-    // A rule out of a dead state is subsumed by the dead-state report.
+    if (rule_fired[i]) continue;
+    // A rule out of a dead state is subsumed by the dead-state report, and
+    // a never-firing completion rule of a live transient state by the more
+    // specific unreachable-completion report.
     if (!state_live[rules[i].from]) continue;
+    if (completion_missing[i]) continue;
     ctx.emit("dead-rule", ctx.p.rule_span(i),
              ctx.rule_label(rules[i]) +
                  " can never fire from any reachable state",
@@ -320,7 +324,9 @@ void check_stuck_transient(const LintContext& ctx,
   // A live state that stalls processor operations must offer the stalled
   // processor a way forward on its own (a non-stall rule leaving the
   // state); relying solely on other caches to abort it starves a lone
-  // processor forever.
+  // processor forever. (A state with such an exit -- a completion rule --
+  // is exactly what the progress layer's deadlock/livelock checks cover,
+  // so the two layers partition the transient states between them.)
   for (std::size_t s = 0; s < ctx.p.state_count(); ++s) {
     if (!state_live[s]) continue;
     bool stalls = false;
@@ -339,9 +345,181 @@ void check_stuck_transient(const LintContext& ctx,
   }
 }
 
+// --------------------------------------------------------- progress layer
+
+/// Graph-wide progress facts about one completable transient state `t`
+/// (a transient declaring at least one completion rule; transients with
+/// none are stuck-transient's domain, so the layers stay disjoint).
+struct TransientFacts {
+  StateId t = 0;
+  /// Node surely holds a cache pending in `t` (a definite `t` class).
+  std::vector<bool> pending;
+  /// Node has an enabled completing-`t` edge: the pending cache can
+  /// complete right here.
+  std::vector<bool> comp_out;
+  /// Some node with an enabled completing-`t` edge is reachable from here.
+  std::vector<bool> can_complete;
+  /// A completing-`t` edge exists anywhere in the reachable graph. False
+  /// means every completion of `t` is dead -- unreachable-completion's
+  /// finding, not deadlock's.
+  bool completes_somewhere = false;
+};
+
+/// Computes per-transient progress facts over the labeled graph. The
+/// backward closure `can_complete` is a graph search over reversed edges
+/// seeded at the nodes that can complete directly.
+[[nodiscard]] std::vector<TransientFacts> transient_facts(
+    const Protocol& p, const ProgressGraph& g, const TransientInfo& info) {
+  std::vector<bool> completable(p.state_count(), false);
+  for (std::size_t i = 0; i < p.rules().size(); ++i) {
+    if (info.completing_rule[i]) completable[p.rules()[i].from] = true;
+  }
+  std::vector<std::vector<std::uint32_t>> rev(g.nodes.size());
+  for (const ProgressEdge& e : g.edges) rev[e.to].push_back(e.from);
+
+  std::vector<TransientFacts> out;
+  for (std::size_t t = 0; t < p.state_count(); ++t) {
+    if (!completable[t]) continue;
+    TransientFacts f;
+    f.t = static_cast<StateId>(t);
+    f.pending.assign(g.nodes.size(), false);
+    for (std::size_t v = 0; v < g.nodes.size(); ++v) {
+      for (const ClassEntry& c : g.nodes[v].classes()) {
+        if (c.state == f.t && rep_definite(c.rep)) {
+          f.pending[v] = true;
+          break;
+        }
+      }
+    }
+    f.comp_out.assign(g.nodes.size(), false);
+    for (const ProgressEdge& e : g.edges) {
+      if (e.completes && p.rules()[e.rule_index].from == f.t) {
+        f.comp_out[e.from] = true;
+        f.completes_somewhere = true;
+      }
+    }
+    f.can_complete = f.comp_out;
+    std::vector<std::uint32_t> work;
+    for (std::uint32_t v = 0; v < g.nodes.size(); ++v) {
+      if (f.can_complete[v]) work.push_back(v);
+    }
+    while (!work.empty()) {
+      const std::uint32_t v = work.back();
+      work.pop_back();
+      for (const std::uint32_t u : rev[v]) {
+        if (!f.can_complete[u]) {
+          f.can_complete[u] = true;
+          work.push_back(u);
+        }
+      }
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+void check_global_deadlock(const LintContext& ctx, const ProgressGraph& g,
+                           const std::vector<TransientFacts>& facts) {
+  // Deadlock for a pending operation: a reachable global state from which
+  // no continuation ever reaches a completing rule of its transient --
+  // the stalled processor retries forever with certainty. (The stronger
+  // "no cache can act at all" never happens in this model: operation
+  // coverage guarantees the unbounded invalid pool always has an enabled
+  // miss rule.) One report per transient, at the first witness node in
+  // BFS discovery order, so a wedged region does not flood the report.
+  for (const TransientFacts& f : facts) {
+    if (!f.completes_somewhere) continue;  // unreachable-completion's case
+    for (std::uint32_t v = 0; v < g.nodes.size(); ++v) {
+      if (!f.pending[v] || f.can_complete[v]) continue;
+      ctx.emit("global-deadlock", ctx.p.state_span(f.t),
+               "global deadlock: from reachable state " +
+                   g.nodes[v].to_string(ctx.p) +
+                   " the operation pending in " + ctx.p.state_name(f.t) +
+                   " can never complete; no continuation reaches a "
+                   "completion rule",
+               "keep a completion enabled along every pending path (cover "
+               "the shared case), or abort the pending operation");
+      break;
+    }
+  }
+}
+
+void check_livelock_cycle(const LintContext& ctx, const ProgressGraph& g,
+                          const std::vector<TransientFacts>& facts) {
+  // Livelock for a pending operation: a cycle of global states on which
+  // the transient stays pending and its completion is never enabled, so
+  // the system can circle forever even though a completing path still
+  // exists (a fairness hole, where deadlock above is certain starvation;
+  // a node with the completion enabled on the cycle is mere
+  // nondeterminism, not livelock). Detected as a strongly connected
+  // component of the subgraph induced by the pending-but-cannot-complete-
+  // here nodes containing a non-stall edge (stall self-loops alone are
+  // just the processor retrying).
+  for (const TransientFacts& f : facts) {
+    std::vector<bool> induced(g.nodes.size(), false);
+    bool any = false;
+    for (std::uint32_t v = 0; v < g.nodes.size(); ++v) {
+      induced[v] = f.pending[v] && !f.comp_out[v] && f.can_complete[v];
+      any = any || induced[v];
+    }
+    if (!any) continue;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs;
+    for (const ProgressEdge& e : g.edges) {
+      if (induced[e.from] && induced[e.to]) arcs.emplace_back(e.from, e.to);
+    }
+    const SccResult scc = strongly_connected_components(g.nodes.size(), arcs);
+    std::vector<bool> active(scc.count, false);
+    for (const ProgressEdge& e : g.edges) {
+      if (induced[e.from] && induced[e.to] && !e.is_stall &&
+          scc.component[e.from] == scc.component[e.to]) {
+        active[scc.component[e.from]] = true;
+      }
+    }
+    for (std::uint32_t v = 0; v < g.nodes.size(); ++v) {
+      if (!induced[v] || !active[scc.component[v]]) continue;
+      std::size_t size = 0;
+      for (std::uint32_t u = 0; u < g.nodes.size(); ++u) {
+        if (induced[u] && scc.component[u] == scc.component[v]) ++size;
+      }
+      ctx.emit("livelock-cycle", ctx.p.state_span(f.t),
+               "livelock: reachable state " + g.nodes[v].to_string(ctx.p) +
+                   " lies on a cycle of " + std::to_string(size) +
+                   " global state(s) that keeps firing rules while " +
+                   ctx.p.state_name(f.t) +
+                   " stays pending and its completion is never enabled",
+               "enable a completion somewhere on the cycle (cover the "
+               "shared case), or break the cycle");
+      break;
+    }
+  }
+}
+
+void check_unreachable_completion(
+    const LintContext& ctx, const std::vector<bool>& completion_missing) {
+  const auto& rules = ctx.p.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (!completion_missing[i]) continue;
+    ctx.emit("unreachable-completion", ctx.p.rule_span(i),
+             ctx.rule_label(rules[i]) + " is the completion of transient "
+                 "state " + ctx.p.state_name(rules[i].from) +
+                 " but fires in no reachable global state; the pending "
+                 "operation can never complete this way",
+             "fix the guard or the protocol flow so the completion is "
+             "reachable");
+  }
+}
+
 }  // namespace
 
 LintReport lint_protocol(const Protocol& p, const LintOptions& options) {
+  for (const std::string& id : options.disabled) {
+    if (find_check(id) == nullptr) {
+      throw SpecError(SourceSpan{}, "unknown check id '" + id +
+                                        "'; see `ccverify lint --list` for "
+                                        "the registered checks");
+    }
+  }
+
   LintReport report;
   const LintContext ctx{p, options, report.diagnostics};
 
@@ -361,36 +539,88 @@ LintReport lint_protocol(const Protocol& p, const LintOptions& options) {
   run("store-no-invalidate", check_store_no_invalidate);
   run("load-prefer-missing-owner", check_load_prefer_missing_owner);
 
-  // Reachability checks interpret the rule table through the symbolic
-  // expander; on a structurally broken table (duplicates, holes) the
-  // expansion semantics are arbitrary, so skip rather than mislead.
+  // Reachability and progress checks interpret the rule table through the
+  // symbolic kernel; on a structurally broken table (duplicates, holes)
+  // the expansion semantics are arbitrary, so skip rather than mislead.
+  // Both layers read one shared labeled transition-graph build: the full
+  // equality-dedup graph reaches exactly the states the Figure-3 essential
+  // expansion covers, so the reachability verdicts are unchanged, and its
+  // per-edge rule labels are what the progress checks need.
   const bool want_reachability = ctx.enabled("dead-state") ||
                                  ctx.enabled("dead-rule") ||
                                  ctx.enabled("stuck-transient");
-  if (want_reachability && !report.has_errors()) {
-    ExpansionResult result;
+  const bool want_progress = ctx.enabled("global-deadlock") ||
+                             ctx.enabled("livelock-cycle") ||
+                             ctx.enabled("unreachable-completion");
+  if ((want_reachability || want_progress) && !report.has_errors()) {
+    ProgressGraph graph;
     {
       ScopedTimer timer(options.metrics, "lint.expansion");
-      result = SymbolicExpander(p).run();
+      ProgressGraphOptions graph_options;
+      graph_options.budget = options.budget;
+      graph_options.metrics = options.metrics;
+      graph = build_progress_graph(p, graph_options);
     }
-    // A state is live if some reachable composite state may populate it;
-    // the archive covers every state that ever entered the working list,
-    // which includes everything the essential states subsume.
-    std::array<bool, kMaxStates> state_live{};
-    state_live[p.invalid_state()] = true;
-    for (const ArchiveEntry& entry : result.archive) {
-      for (const ClassEntry& c : entry.state.classes()) {
-        if (rep_possible(c.rep)) state_live[c.state] = true;
+    if (!graph.complete()) {
+      // Verdicts on a truncated graph would be unsound in both directions
+      // (a missing node can hide a defect, a missing edge can fake one);
+      // degrade to one located note instead.
+      if (ctx.enabled("layer-skipped")) {
+        ctx.emit("layer-skipped", p.state_span(p.invalid_state()),
+                 "reachability and progress checks skipped: the shared "
+                 "expansion stopped early (" +
+                     std::string(to_string(graph.stop_reason)) + " after " +
+                     std::to_string(graph.nodes.size()) + " states)",
+                 "raise --deadline/--mem-budget or run without a budget");
       }
+    } else {
+      const TransientInfo info(p);
+
+      // A state is live if some reachable composite state may populate it.
+      std::array<bool, kMaxStates> state_live{};
+      state_live[p.invalid_state()] = true;
+      for (const CompositeState& s : graph.nodes) {
+        for (const ClassEntry& c : s.classes()) {
+          if (rep_possible(c.rep)) state_live[c.state] = true;
+        }
+      }
+      std::vector<bool> rule_fired(p.rules().size(), false);
+      for (const ProgressEdge& e : graph.edges) rule_fired[e.rule_index] = true;
+
+      // Completion rules of live transient states that never fire: the
+      // unreachable-completion findings, which also subsume their would-be
+      // dead-rule reports (computed only when that check will emit them).
+      std::vector<bool> completion_missing(p.rules().size(), false);
+      if (ctx.enabled("unreachable-completion")) {
+        for (std::size_t i = 0; i < p.rules().size(); ++i) {
+          completion_missing[i] = info.completing_rule[i] && !rule_fired[i] &&
+                                  state_live[p.rules()[i].from];
+        }
+      }
+
+      run("dead-state",
+          [&](const LintContext& c) { check_dead_state(c, state_live); });
+      run("dead-rule", [&](const LintContext& c) {
+        check_dead_rule(c, rule_fired, state_live, completion_missing);
+      });
+      run("stuck-transient", [&](const LintContext& c) {
+        check_stuck_transient(c, state_live);
+      });
+
+      std::vector<TransientFacts> facts;
+      if (ctx.enabled("global-deadlock") || ctx.enabled("livelock-cycle")) {
+        facts = transient_facts(p, graph, info);
+      }
+      run("global-deadlock", [&](const LintContext& c) {
+        check_global_deadlock(c, graph, facts);
+      });
+      run("livelock-cycle", [&](const LintContext& c) {
+        check_livelock_cycle(c, graph, facts);
+      });
+      run("unreachable-completion", [&](const LintContext& c) {
+        check_unreachable_completion(c, completion_missing);
+      });
     }
-    run("dead-state",
-        [&](const LintContext& c) { check_dead_state(c, state_live); });
-    run("dead-rule", [&](const LintContext& c) {
-      check_dead_rule(c, result, state_live);
-    });
-    run("stuck-transient", [&](const LintContext& c) {
-      check_stuck_transient(c, state_live);
-    });
   }
 
   sort_diagnostics(report.diagnostics);

@@ -26,6 +26,16 @@
 ///      stall the processor with no self-initiated exit. Skipped when
 ///      layer-1 found errors: expansion semantics are unreliable on a
 ///      structurally broken rule table.
+///   4. **Progress** -- path and cycle properties of the full labeled
+///      composite transition graph (core/progress_graph.hpp): a reachable
+///      global state from which a pending operation can never complete
+///      (global deadlock: no continuation reaches a completing rule), a
+///      cycle that keeps firing rules while a pending operation's
+///      completion is never enabled even though a completing path still
+///      exists (livelock: a fairness hole), and a completion rule that
+///      fires in no reachable state at all. Gated like layer 3, and
+///      sharing its one Budget-bounded expansion: when the budget stops
+///      the build, both layers degrade to a single `layer-skipped` note.
 
 #include <string>
 #include <string_view>
@@ -33,6 +43,7 @@
 
 #include "analysis/diagnostic.hpp"
 #include "fsm/protocol.hpp"
+#include "util/budget.hpp"
 #include "util/metrics.hpp"
 
 namespace ccver {
@@ -42,6 +53,7 @@ enum class CheckLayer : std::uint8_t {
   Structural = 0,
   DataFlow = 1,
   Reachability = 2,
+  Progress = 3,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(CheckLayer l) noexcept {
@@ -49,6 +61,7 @@ enum class CheckLayer : std::uint8_t {
     case CheckLayer::Structural: return "structural";
     case CheckLayer::DataFlow: return "data-flow";
     case CheckLayer::Reachability: return "reachability";
+    case CheckLayer::Progress: return "progress";
   }
   return "?";
 }
@@ -72,11 +85,17 @@ struct CheckInfo {
 
 /// Options for one lint run.
 struct LintOptions {
-  /// Check ids to skip (`--disable=<id>`). Unknown ids are the caller's
-  /// problem; the CLI validates against the registry first.
+  /// Check ids to skip (`--disable=<id>`). Validated by `lint_protocol`
+  /// against the registry: an unknown id raises a SpecError pointing at
+  /// `ccverify lint --list`, for library callers and the CLI alike.
   std::vector<std::string> disabled;
   /// When set, each check records a `lint.check.<id>` phase timer.
   MetricsRegistry* metrics = nullptr;
+  /// Cooperative budget for the shared reachability/progress expansion
+  /// (`ccverify lint --deadline/--mem-budget`). When it stops the build
+  /// early, both layers are skipped with a `layer-skipped` note instead of
+  /// reporting verdicts from an incomplete graph. Null = unlimited.
+  Budget* budget = nullptr;
 };
 
 /// Result of linting one protocol.
@@ -95,9 +114,11 @@ struct LintReport {
 };
 
 /// Runs every enabled check against `p` and returns the findings in
-/// canonical order. Reachability checks run a fresh symbolic expansion
-/// internally (microseconds for every protocol in the library) and are
-/// skipped when a structural check reported an error.
+/// canonical order. The reachability and progress layers share one labeled
+/// transition-graph build internally (milliseconds for every protocol in
+/// the library, `options.budget`-bounded) and are skipped when a
+/// structural check reported an error. Throws SpecError when
+/// `options.disabled` names an unknown check id.
 [[nodiscard]] LintReport lint_protocol(const Protocol& p,
                                        const LintOptions& options = {});
 

@@ -69,6 +69,22 @@ namespace {
   return "none";
 }
 
+/// One SARIF physicalLocation object for a diagnostic's span.
+void sarif_physical_location(JsonWriter& json, const std::string& file,
+                             const SourceSpan& span) {
+  json.key("physicalLocation").begin_object();
+  json.key("artifactLocation").begin_object();
+  json.key("uri").value(file);
+  json.end_object();
+  if (span.known()) {
+    json.key("region").begin_object();
+    json.key("startLine").value(std::uint64_t{span.line});
+    json.key("startColumn").value(std::uint64_t{span.column});
+    json.end_object();
+  }
+  json.end_object();
+}
+
 }  // namespace
 
 std::string diagnostics_to_sarif(const std::vector<LintedFile>& files) {
@@ -106,25 +122,34 @@ std::string diagnostics_to_sarif(const std::vector<LintedFile>& files) {
       json.key("ruleId").value(d.check);
       json.key("level").value(sarif_level(d.severity));
       json.key("message").begin_object();
-      std::string text = d.message;
-      if (!d.fix_hint.empty()) text += " (hint: " + d.fix_hint + ")";
-      json.key("text").value(text);
+      json.key("text").value(d.message);
       json.end_object();
       json.key("locations").begin_array();
       json.begin_object();
-      json.key("physicalLocation").begin_object();
-      json.key("artifactLocation").begin_object();
-      json.key("uri").value(f.file);
-      json.end_object();
-      if (d.span.known()) {
-        json.key("region").begin_object();
-        json.key("startLine").value(std::uint64_t{d.span.line});
-        json.key("startColumn").value(std::uint64_t{d.span.column});
-        json.end_object();
-      }
-      json.end_object();
+      sarif_physical_location(json, f.file, d.span);
       json.end_object();
       json.end_array();
+      // The fix hint rides as a relatedLocation (SARIF `fixes` would need
+      // concrete replacement text we cannot synthesize), so viewers show
+      // it as an annotation instead of it polluting the message text.
+      if (!d.fix_hint.empty()) {
+        json.key("relatedLocations").begin_array();
+        json.begin_object();
+        sarif_physical_location(json, f.file, d.span);
+        json.key("message").begin_object();
+        json.key("text").value("hint: " + d.fix_hint);
+        json.end_object();
+        json.end_object();
+        json.end_array();
+      }
+      // Stable identity for code-scanning dedup across runs: the check id
+      // plus the declaration position (not the message, which may embed
+      // run-dependent detail).
+      json.key("partialFingerprints").begin_object();
+      json.key("ccverifyLint/v1").value(
+          d.check + "@" + std::to_string(d.span.line) + ":" +
+          std::to_string(d.span.column));
+      json.end_object();
       json.end_object();
     }
   }

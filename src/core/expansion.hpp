@@ -41,6 +41,19 @@ struct EdgeLabel {
   [[nodiscard]] std::string to_string(const Protocol& p) const;
 };
 
+/// Extra provenance of one generated transition, streamed alongside the
+/// `EdgeLabel` by `SymbolicKernel`. The label alone cannot recover which
+/// canonical class originated the transition (a state symbol may appear in
+/// several classes, split by data attribute) nor the fired rule without a
+/// table lookup; the progress-graph builder needs both. Kept out of
+/// `EdgeLabel` so the symbolic checkpoint format (which serializes labels)
+/// is untouched.
+struct EdgeDetail {
+  std::size_t rule_index = 0;    ///< index into Protocol::rules()
+  std::size_t origin_class = 0;  ///< index into the source state's classes()
+  bool is_stall = false;         ///< the fired rule stalls the processor
+};
+
 /// One generated successor.
 struct Successor {
   CompositeState state;

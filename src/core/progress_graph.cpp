@@ -1,0 +1,157 @@
+#include "core/progress_graph.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/symbolic_kernel.hpp"
+
+namespace ccver {
+
+TransientInfo::TransientInfo(const Protocol& p) {
+  transient_state.assign(p.state_count(), false);
+  for (const Rule& r : p.rules()) {
+    if (r.is_stall) transient_state[r.from] = true;
+  }
+  completing_rule.assign(p.rules().size(), false);
+  for (std::size_t i = 0; i < p.rules().size(); ++i) {
+    const Rule& r = p.rules()[i];
+    completing_rule[i] =
+        transient_state[r.from] && !r.is_stall && r.self_next != r.from;
+  }
+}
+
+namespace {
+
+/// Bytes charged to the budget per admitted node / recorded edge. Rough
+/// accounting in the spirit of expansion.cpp's kBytesPerAdmission: the
+/// stored state, the dedup-map slot, and the pending flag.
+constexpr std::uint64_t kBytesPerNode =
+    sizeof(CompositeState) + 3 * sizeof(std::size_t);
+constexpr std::uint64_t kBytesPerEdge = sizeof(ProgressEdge);
+
+[[nodiscard]] bool node_pending(const CompositeState& s,
+                                const TransientInfo& info) {
+  for (const ClassEntry& c : s.classes()) {
+    if (rep_definite(c.rep) && info.transient_state[c.state]) return true;
+  }
+  return false;
+}
+
+/// BFS sink: interns each successor into the node table and records one
+/// labeled edge. Never stops the kernel (the whole graph is wanted);
+/// budget exhaustion is handled between expansions by the driver.
+class GraphSink final : public SymbolicKernel::Sink {
+ public:
+  GraphSink(ProgressGraph& graph, const TransientInfo& info, Budget* budget,
+            std::deque<std::uint32_t>& frontier)
+      : graph_(graph), info_(info), budget_(budget), frontier_(frontier) {}
+
+  void begin_node(std::uint32_t from) {
+    from_ = from;
+    first_edge_ = graph_.edges.size();
+  }
+
+  bool accept(const CompositeState& succ, const EdgeLabel& label) override {
+    // The kernel always streams through the detail overload; this body is
+    // required (the two-argument accept is the pure-virtual primitive) but
+    // unreachable.
+    return accept(succ, label, EdgeDetail{});
+  }
+
+  bool accept(const CompositeState& succ, const EdgeLabel& label,
+              const EdgeDetail& detail) override {
+    const std::uint32_t to = intern(succ);
+    // Scenario branches frequently re-derive the same (rule, successor)
+    // transition; one edge per distinct pair keeps the graph tight without
+    // changing any connectivity or completion verdict.
+    for (std::size_t i = first_edge_; i < graph_.edges.size(); ++i) {
+      const ProgressEdge& e = graph_.edges[i];
+      if (e.to == to && e.rule_index == detail.rule_index &&
+          e.label == label) {
+        return true;
+      }
+    }
+    graph_.edges.push_back(ProgressEdge{
+        from_, to, label, static_cast<std::uint32_t>(detail.rule_index),
+        detail.is_stall,
+        info_.completing_rule[detail.rule_index]});
+    if (budget_ != nullptr) budget_->charge_bytes(kBytesPerEdge);
+    return true;
+  }
+
+  std::uint32_t intern(const CompositeState& s) {
+    const std::uint64_t h = s.hash();
+    auto [it, inserted] = dedup_.try_emplace(h);
+    if (!inserted) {
+      for (const std::uint32_t id : it->second) {
+        if (graph_.nodes[id] == s) return id;
+      }
+    }
+    const auto id = static_cast<std::uint32_t>(graph_.nodes.size());
+    graph_.nodes.push_back(s);
+    graph_.pending.push_back(node_pending(s, info_));
+    it->second.push_back(id);
+    frontier_.push_back(id);
+    if (budget_ != nullptr) {
+      budget_->charge_states(1);
+      budget_->charge_bytes(kBytesPerNode);
+    }
+    return id;
+  }
+
+ private:
+  ProgressGraph& graph_;
+  const TransientInfo& info_;
+  Budget* budget_;
+  std::deque<std::uint32_t>& frontier_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> dedup_;
+  std::uint32_t from_ = 0;
+  std::size_t first_edge_ = 0;
+};
+
+}  // namespace
+
+ProgressGraph build_progress_graph(const Protocol& p,
+                                   const ProgressGraphOptions& options) {
+  ProgressGraph graph;
+  TransientInfo info(p);
+  SymbolicKernel kernel(p);
+  std::deque<std::uint32_t> frontier;
+  GraphSink sink(graph, info, options.budget, frontier);
+
+  sink.intern(CompositeState::initial(p));
+
+  while (!frontier.empty()) {
+    if (options.budget != nullptr) {
+      const StopReason reason = options.budget->poll();
+      if (reason != StopReason::None) {
+        graph.outcome = Outcome::Partial;
+        graph.stop_reason = reason;
+        break;
+      }
+    }
+    if (options.max_nodes != 0 && graph.nodes.size() >= options.max_nodes) {
+      graph.outcome = Outcome::Partial;
+      graph.stop_reason = StopReason::VisitBudget;
+      break;
+    }
+    const std::uint32_t id = frontier.front();
+    frontier.pop_front();
+    sink.begin_node(id);
+    // The expanded node is read from the table by value: the sink appends
+    // to graph.nodes mid-expansion, and a reference would dangle across
+    // the vector's reallocation.
+    const CompositeState state = graph.nodes[id];
+    kernel.expand(state, sink);
+    ++graph.expansions;
+  }
+
+  if (options.metrics != nullptr) {
+    options.metrics->counter_add("progress.nodes", graph.nodes.size());
+    options.metrics->counter_add("progress.edges", graph.edges.size());
+    options.metrics->counter_add("progress.expansions", graph.expansions);
+  }
+  return graph;
+}
+
+}  // namespace ccver

@@ -1,0 +1,96 @@
+#pragma once
+/// \file progress_graph.hpp
+/// The labeled composite transition graph used by the progress checks.
+///
+/// The Figure-3 expansion (expansion.hpp) answers a *coverage* question --
+/// which composite states are reachable -- and prunes aggressively by
+/// containment to do it. Progress properties (deadlock, livelock,
+/// completion reachability) are questions about *paths and cycles*, and
+/// containment pruning destroys those: a pruned state's outgoing edges are
+/// attributed to its subsumer. This facility therefore materializes the
+/// full graph of distinct canonical composite states (the EqualityOnly
+/// fixpoint of expansion.hpp, which converges to the same reachable set)
+/// with one labeled edge per fired rule, so Tarjan SCC and per-node
+/// enabled-rule analyses are exact.
+///
+/// Transient vocabulary, shared with the lint layer:
+///  * a *transient* state is one that stalls at least one processor
+///    operation (it has an `is_stall` rule);
+///  * a node is *pending* when a transient class is definitely populated
+///    (repetition One or Plus -- `*` classes may be empty, and a report
+///    about a possibly-absent cache would be a false positive);
+///  * a *completing* rule is a non-stall rule that leaves a transient
+///    state; an edge that fires one *completes* a pending operation.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/composite_state.hpp"
+#include "core/expansion.hpp"
+#include "fsm/protocol.hpp"
+#include "util/budget.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+
+/// One labeled transition of the composite graph.
+struct ProgressEdge {
+  std::uint32_t from = 0;        ///< index into ProgressGraph::nodes
+  std::uint32_t to = 0;          ///< index into ProgressGraph::nodes
+  EdgeLabel label;               ///< op / originator state / sharing value
+  std::uint32_t rule_index = 0;  ///< fired rule, index into Protocol::rules()
+  bool is_stall = false;         ///< the edge is a stalled (deferred) op
+  bool completes = false;        ///< the edge fires a completing rule
+};
+
+/// The materialized composite transition graph. Nodes are distinct
+/// canonical composite states in discovery (BFS) order; node 0 is the
+/// initial state `(Invalid+)`. Deterministic for a given protocol: the
+/// kernel streams successors in generation order and the build is
+/// single-threaded, so node and edge numbering never varies across runs.
+struct ProgressGraph {
+  /// Partial = the budget (or node ceiling) stopped the build; the graph
+  /// is then a reachable prefix and progress verdicts on it are unsound
+  /// (a missing edge could be the completion), so callers skip analysis.
+  Outcome outcome = Outcome::Complete;
+  StopReason stop_reason = StopReason::None;
+  std::vector<CompositeState> nodes;
+  std::vector<ProgressEdge> edges;
+  /// Per node: a transient class is definitely populated (rep One/Plus).
+  std::vector<bool> pending;
+  std::size_t expansions = 0;  ///< nodes whose successors were generated
+
+  [[nodiscard]] bool complete() const noexcept {
+    return outcome == Outcome::Complete;
+  }
+};
+
+/// Per-rule classification backing the pending/completing flags; exposed
+/// so the lint checks and the graph builder agree on one definition.
+struct TransientInfo {
+  std::vector<bool> transient_state;  ///< state id -> has an is_stall rule
+  std::vector<bool> completing_rule;  ///< rule index -> completes a transient
+
+  explicit TransientInfo(const Protocol& p);
+};
+
+/// Options of one graph build.
+struct ProgressGraphOptions {
+  /// Cooperative budget, polled once per node expansion; exhaustion stops
+  /// the build with `Outcome::Partial`. Node and edge growth is charged as
+  /// bytes, admitted nodes as states. Null = unlimited.
+  Budget* budget = nullptr;
+  /// Safety ceiling on materialized nodes (the composite lattice is finite
+  /// but a defective spec can make it astronomically wide); crossing it
+  /// stops with `StopReason::VisitBudget`. 0 = unlimited.
+  std::size_t max_nodes = 1'000'000;
+  /// When set, the build records `progress.*` counters.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Builds the full labeled transition graph of `p` from the canonical
+/// initial state. Single-threaded and deterministic.
+[[nodiscard]] ProgressGraph build_progress_graph(
+    const Protocol& p, const ProgressGraphOptions& options = {});
+
+}  // namespace ccver

@@ -1,0 +1,81 @@
+#include "core/scc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccver {
+
+SccResult strongly_connected_components(
+    std::size_t node_count,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+  const auto n = static_cast<std::uint32_t>(node_count);
+
+  // CSR adjacency: head[v]..head[v+1] indexes into adj. Counting sort keeps
+  // edge order within a node equal to list order (determinism).
+  std::vector<std::uint32_t> head(node_count + 1, 0);
+  for (const auto& e : edges) ++head[e.first + 1];
+  for (std::size_t v = 0; v < node_count; ++v) head[v + 1] += head[v];
+  std::vector<std::uint32_t> adj(edges.size());
+  {
+    std::vector<std::uint32_t> cursor(head.begin(), head.end() - 1);
+    for (const auto& e : edges) adj[cursor[e.first]++] = e.second;
+  }
+
+  SccResult result;
+  result.component.assign(node_count, kNone);
+  std::vector<std::uint32_t> index(node_count, kNone);
+  std::vector<std::uint32_t> low(node_count, 0);
+  std::vector<std::uint32_t> stack;
+  std::vector<bool> on_stack(node_count, false);
+
+  // Explicit DFS frame: the node and the next adjacency slot to explore.
+  struct Frame {
+    std::uint32_t v = 0;
+    std::uint32_t edge = 0;
+  };
+  std::vector<Frame> call;
+  std::uint32_t next_index = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kNone) continue;
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    call.push_back(Frame{root, head[root]});
+
+    while (!call.empty()) {
+      const std::uint32_t v = call.back().v;
+      if (call.back().edge < head[v + 1]) {
+        const std::uint32_t w = adj[call.back().edge++];
+        if (index[w] == kNone) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back(Frame{w, head[w]});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        const std::uint32_t parent = call.back().v;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+      if (low[v] == index[v]) {
+        while (true) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = result.count;
+          if (w == v) break;
+        }
+        ++result.count;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ccver

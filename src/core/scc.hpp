@@ -1,0 +1,38 @@
+#pragma once
+/// \file scc.hpp
+/// Strongly connected components of the composite transition graph.
+///
+/// The progress checks (analysis/checks.cpp) reason about *terminal* SCCs:
+/// a livelock is a terminal component that keeps firing rules without ever
+/// completing a pending operation. Tarjan's algorithm fits because its
+/// component numbering is a reverse topological order -- every cross edge
+/// points from a higher component id to a lower one -- so terminal
+/// components are recognizable with one pass over the edges. Implemented
+/// iteratively: composite graphs reach hundreds of thousands of nodes and
+/// a recursive DFS would overflow the stack long before that.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ccver {
+
+/// Component assignment of one graph.
+struct SccResult {
+  /// node -> component id. Ids are assigned in completion order of
+  /// Tarjan's DFS, which is a reverse topological order of the component
+  /// DAG: for every edge (u, v) with component[u] != component[v],
+  /// component[u] > component[v].
+  std::vector<std::uint32_t> component;
+  std::uint32_t count = 0;  ///< number of components
+};
+
+/// Computes the strongly connected components of the directed graph with
+/// nodes `0..node_count-1` and the given edge list. Deterministic: the
+/// DFS visits nodes in ascending id order and edges in list order, so the
+/// component numbering depends only on the input.
+[[nodiscard]] SccResult strongly_connected_components(
+    std::size_t node_count,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
+
+}  // namespace ccver

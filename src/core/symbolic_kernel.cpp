@@ -266,6 +266,9 @@ bool SymbolicKernel::expand(const CompositeState& s, Sink& sink) {
       const Rule* rule = p.find_rule(cls.state, op, sharing);
       if (rule == nullptr) continue;
       const EdgeLabel label{op, cls.state, sharing};
+      const EdgeDetail detail{
+          static_cast<std::size_t>(rule - p.rules().data()), ci,
+          rule->is_stall};
       enumerate_scenarios(s, ci, *rule);
       // scenarios_ is stable while apply_transition runs (it only appends
       // to canon_), so indexed iteration over it is safe.
@@ -273,7 +276,7 @@ bool SymbolicKernel::expand(const CompositeState& s, Sink& sink) {
         canon_.clear();
         apply_transition(s, ci, *rule, scenarios_[si]);
         for (const CompositeState& succ : canon_) {
-          if (!sink.accept(succ, label)) return false;
+          if (!sink.accept(succ, label, detail)) return false;
         }
       }
     }

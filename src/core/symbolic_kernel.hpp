@@ -31,10 +31,21 @@ class SymbolicKernel {
  public:
   /// Receives successors as they are generated. Return false to stop the
   /// current `expand` call (remaining successors are never produced).
+  ///
+  /// The kernel always streams through the three-argument overload; its
+  /// default implementation drops the `EdgeDetail` and forwards to the
+  /// two-argument one, so sinks that only care about the label (the
+  /// expander engines) override that and detail-hungry sinks (the
+  /// progress-graph builder) override the full form.
   class Sink {
    public:
     virtual ~Sink() = default;
     virtual bool accept(const CompositeState& succ, const EdgeLabel& label) = 0;
+    virtual bool accept(const CompositeState& succ, const EdgeLabel& label,
+                        const EdgeDetail& detail) {
+      (void)detail;
+      return accept(succ, label);
+    }
   };
 
   explicit SymbolicKernel(const Protocol& p) : protocol_(&p) {}

@@ -1,0 +1,75 @@
+# Fixture: a grant-based protocol that paints itself into a corner. Both
+# transients complete only on an *unshared* grant, a read miss while the
+# line is busy is NACKed (stall), but a write miss while the line is busy
+# joins as another waiter without invalidating anyone -- and a granted
+# line is pinned (never evicted, never invalidated). Once two waiters
+# coexist, e.g. the reachable state (ReadWait, WriteWait, Invalid*), the
+# line never becomes unshared again and no continuation reaches either
+# grant -> global-deadlock for both transients. Each grant does fire on
+# the solo path, so stuck-transient and unreachable-completion stay
+# silent; and with the pinned holder nothing ever reopens a completing
+# path, so no livelock cycle exists either -- the starvation is certain.
+protocol GlobalDeadlock {
+  characteristic sharing
+
+  op GntR
+  op GntW write
+  invalid state Invalid
+  state ReadWait
+  state WriteWait unique
+  state Held exclusive
+
+  rule Invalid R when unshared -> ReadWait {
+    load memory
+    note "read miss on an idle line: data latched, grant pending"
+  }
+  rule Invalid R when shared -> Invalid {
+    stall
+    note "read miss while the line is busy: NACKed, retry"
+  }
+  rule Invalid W when unshared -> WriteWait {
+    load memory
+    defer store
+    note "write miss on an idle line: data latched, grant pending"
+  }
+  rule Invalid W when shared -> WriteWait {
+    load memory
+    defer store
+    note "write miss while the line is busy: joins as another waiter"
+  }
+  rule ReadWait GntR when unshared -> Held {
+    note "read grant arrives once the line is unshared"
+  }
+  rule WriteWait GntW when unshared -> Held {
+    store
+    note "write grant arrives once the line is unshared"
+  }
+  rule ReadWait R -> ReadWait {
+    stall
+  }
+  rule ReadWait W -> ReadWait {
+    stall
+  }
+  rule ReadWait Z -> ReadWait {
+    stall
+  }
+  rule WriteWait R -> WriteWait {
+    stall
+  }
+  rule WriteWait W -> WriteWait {
+    stall
+  }
+  rule WriteWait Z -> WriteWait {
+    stall
+  }
+  rule Held R -> Held {
+    note "read hit"
+  }
+  rule Held W -> Held {
+    store
+    note "write hit"
+  }
+  rule Held Z -> Held {
+    note "replacement deferred: a granted line stays pinned"
+  }
+}

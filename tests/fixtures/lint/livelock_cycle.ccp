@@ -1,0 +1,72 @@
+# Fixture: readers pile onto a pending line. A read miss while the line
+# is busy *joins* the pending set instead of being NACKed, but the fill
+# acknowledgment is only granted when the line is unshared -- so in the
+# reachable state (Pending+, Invalid*) new readers can keep joining
+# forever while no Ack is ever enabled: a livelock cycle. It is not a
+# deadlock because a write miss invalidates the pending set and the solo
+# path (Pending, Invalid*) completes normally, so a completing
+# continuation always stays reachable; the system just never has to take
+# it.
+protocol LivelockCycle {
+  characteristic sharing
+
+  op Ack
+  invalid state Invalid
+  state Pending
+  state Exclusive exclusive
+  state Dirty exclusive owner
+
+  rule Invalid R when unshared -> Pending {
+    load memory
+    note "read miss on an idle line: data latched, fill pending"
+  }
+  rule Invalid R when shared -> Pending {
+    load memory
+    note "read miss while the line is busy: joins the pending set"
+  }
+  rule Invalid W when unshared -> Dirty {
+    load memory
+    store
+    note "write miss on an idle line: atomic fill and write"
+  }
+  rule Invalid W when shared -> Dirty {
+    invalidate others
+    load memory
+    store
+    note "write miss while the line is busy: invalidates the pending set"
+  }
+  rule Pending Ack when unshared -> Exclusive {
+    note "fill acknowledged once the line is unshared"
+  }
+  rule Pending R -> Pending {
+    stall
+  }
+  rule Pending W -> Pending {
+    stall
+  }
+  rule Pending Z -> Pending {
+    stall
+  }
+  rule Exclusive R -> Exclusive {
+    note "read hit"
+  }
+  rule Exclusive W -> Dirty {
+    invalidate others
+    store
+    note "write hit: upgrade"
+  }
+  rule Exclusive Z -> Invalid {
+    note "replace clean copy"
+  }
+  rule Dirty R -> Dirty {
+    note "read hit"
+  }
+  rule Dirty W -> Dirty {
+    store
+    note "write hit"
+  }
+  rule Dirty Z -> Invalid {
+    writeback self
+    note "replace dirty copy: write back to memory"
+  }
+}

@@ -1,0 +1,59 @@
+# Fixture: a completion that assumes a supplier. The fill acknowledgment
+# for Pending is guarded `when shared` (the grant expects another cache
+# to supply the data), but a read miss while the line is busy is NACKed,
+# so Pending only ever exists alone -- the shared context never arises
+# and the Ack rule fires in no reachable global state ->
+# unreachable-completion. The pending copy is still aborted by a remote
+# write miss, which keeps every state live and the rest of the report
+# clean (the rule's dead-rule report is subsumed).
+protocol UnreachableCompletion {
+  characteristic sharing
+
+  op Ack
+  invalid state Invalid
+  state Pending
+  state Dirty exclusive owner
+
+  rule Invalid R when unshared -> Pending {
+    load memory
+    note "read miss on an idle line: data latched, fill pending"
+  }
+  rule Invalid R when shared -> Invalid {
+    stall
+    note "read miss while the line is busy: NACKed, retry"
+  }
+  rule Invalid W when unshared -> Dirty {
+    load memory
+    store
+    note "write miss on an idle line: atomic fill and write"
+  }
+  rule Invalid W when shared -> Dirty {
+    invalidate others
+    load memory
+    store
+    note "write miss while the line is busy: invalidates the pending copy"
+  }
+  rule Pending Ack when shared -> Dirty {
+    note "fill acknowledged by a supplying cache -- which never exists"
+  }
+  rule Pending R -> Pending {
+    stall
+  }
+  rule Pending W -> Pending {
+    stall
+  }
+  rule Pending Z -> Pending {
+    stall
+  }
+  rule Dirty R -> Dirty {
+    note "read hit"
+  }
+  rule Dirty W -> Dirty {
+    store
+    note "write hit"
+  }
+  rule Dirty Z -> Invalid {
+    writeback self
+    note "replace dirty copy: write back to memory"
+  }
+}

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <numeric>
 
 #include "analysis/checks.hpp"
 #include "analysis/output.hpp"
@@ -16,6 +17,7 @@
 #include "spec/loader.hpp"
 #include "spec/parser.hpp"
 #include "spec/writer.hpp"
+#include "util/budget.hpp"
 
 namespace ccver {
 namespace {
@@ -193,6 +195,156 @@ TEST(Analysis, ReachabilityChecksAreGatedBehindStructuralErrors) {
   EXPECT_EQ(find_diag(report, "dead-rule"), nullptr);
 }
 
+// ---------------------------------------------- progress-layer mutants
+
+/// Index of the first rule matching (from, op, guard), or rules().size().
+std::size_t rule_index(const Protocol& p, std::string_view from, OpId op,
+                       SharingGuard guard) {
+  const StateId f = *p.find_state(from);
+  for (std::size_t i = 0; i < p.rules().size(); ++i) {
+    const Rule& r = p.rules()[i];
+    if (r.from == f && r.op == op && r.guard == guard) return i;
+  }
+  return p.rules().size();
+}
+
+TEST(Analysis, LivelockCycleFromMutatedSplitProtocol) {
+  const Protocol base = protocols::illinois_split();
+  const OpId ackr = *base.find_op("AckR");
+  // Drop the shared-case fill completion: once a second reader joins a
+  // pending line, readers can keep piling on forever while no AckR is
+  // enabled -- but a write miss still aborts the pending set, so a
+  // completing continuation stays reachable (livelock, not deadlock).
+  const std::size_t shared_fill =
+      rule_index(base, "ReadPending", ackr, SharingGuard::Shared);
+  ASSERT_LT(shared_fill, base.rules().size());
+  const Protocol mutant =
+      ProtocolMutator::without_rule(base, shared_fill, "-SharedFillLost");
+  const LintReport report = lint_via_spec(mutant);
+  const Diagnostic* d = find_diag(report, "livelock-cycle");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_TRUE(d->span.known());
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(Analysis, UnreachableCompletionFromMutatedSplitProtocol) {
+  const Protocol base = protocols::moesi_split();
+  // NACK the read miss on a busy line instead of joining: ReadPending now
+  // only ever exists alone, so the shared-case fill completion
+  // `ReadPending AckR when shared` fires in no reachable state.
+  const std::size_t read_join =
+      rule_index(base, "Invalid", StdOps::Read, SharingGuard::Shared);
+  ASSERT_LT(read_join, base.rules().size());
+  Rule nack;
+  nack.from = *base.find_state("Invalid");
+  nack.op = StdOps::Read;
+  nack.guard = SharingGuard::Shared;
+  nack.self_next = nack.from;
+  std::iota(nack.observed.begin(), nack.observed.end(), StateId{0});
+  nack.is_stall = true;
+  nack.note = "read miss while the line is busy: NACKed, retry";
+  const Protocol mutant =
+      ProtocolMutator::with_rule(base, read_join, nack, "-ReadNack");
+  const LintReport report = lint_via_spec(mutant);
+  const Diagnostic* d = find_diag(report, "unreachable-completion");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Warning);
+  EXPECT_TRUE(d->span.known());
+}
+
+TEST(Analysis, GlobalDeadlockFromMutatedSplitProtocol) {
+  // Three coordinated slips: the write-miss join forgets to invalidate the
+  // other copies, and both grant completions assume the arbiter only
+  // grants an unshared line. Two racing upgraders then pin the line shared
+  // forever -- nothing in the closure evicts, invalidates, or completes a
+  // pending upgrade, while the solo upgrade path still completes (so this
+  // is certain starvation, not unreachable-completion).
+  const Protocol base = protocols::moesi_split();
+  const OpId ackw = *base.find_op("AckW");
+  std::size_t i =
+      rule_index(base, "Invalid", StdOps::Write, SharingGuard::Shared);
+  ASSERT_LT(i, base.rules().size());
+  Rule join = base.rules()[i];
+  std::iota(join.observed.begin(), join.observed.end(), StateId{0});
+  Protocol mutant = ProtocolMutator::with_rule(base, i, join, "-LostInv");
+  for (const char* transient : {"WritePending", "UpgradePending"}) {
+    i = rule_index(mutant, transient, ackw, SharingGuard::Any);
+    ASSERT_LT(i, mutant.rules().size());
+    Rule grant = mutant.rules()[i];
+    grant.guard = SharingGuard::Unshared;
+    mutant = ProtocolMutator::with_rule(mutant, i, grant, "");
+  }
+  const LintReport report = lint_via_spec(mutant);
+  const Diagnostic* d = find_diag(report, "global-deadlock");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::Error);
+  EXPECT_TRUE(d->span.known());
+  EXPECT_NE(d->message.find("UpgradePending"), std::string::npos)
+      << d->message;
+}
+
+TEST(Analysis, AllShippedSpecsAreCleanUnderProgressLayer) {
+  const fs::path dir = fs::path(CCVER_SOURCE_DIR) / "specs";
+  std::size_t seen = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ccp") continue;
+    ++seen;
+    const LintReport report =
+        lint_protocol(load_protocol_file(entry.path(), BuildMode::Lenient));
+    EXPECT_EQ(report.count(Severity::Error), 0u)
+        << entry.path() << ": " << (report.clean() ? std::string()
+                                                   : report.diagnostics
+                                                         .front()
+                                                         .message);
+    EXPECT_EQ(report.count(Severity::Warning), 0u) << entry.path();
+  }
+  EXPECT_EQ(seen, 11u);
+}
+
+TEST(Analysis, BudgetExhaustionSkipsReachabilityAndProgressLayers) {
+  Budget budget(Budget::Limits{.deadline_ns = 0, .max_states = 1});
+  LintOptions options;
+  options.budget = &budget;
+  const fs::path spec =
+      fs::path(CCVER_SOURCE_DIR) / "specs" / "illinoissplit.ccp";
+  const LintReport report =
+      lint_protocol(load_protocol_file(spec, BuildMode::Lenient), options);
+  const Diagnostic* skip = find_diag(report, "layer-skipped");
+  ASSERT_NE(skip, nullptr);
+  EXPECT_EQ(skip->severity, Severity::Note);
+  EXPECT_TRUE(skip->span.known());
+  // No verdict from the incomplete graph leaks through.
+  for (const CheckInfo& c : all_checks()) {
+    if (c.layer != CheckLayer::Reachability && c.layer != CheckLayer::Progress)
+      continue;
+    if (c.id == "layer-skipped") continue;
+    EXPECT_EQ(find_diag(report, c.id), nullptr) << c.id;
+  }
+}
+
+TEST(Analysis, UnknownDisabledIdRaisesSpecError) {
+  LintOptions options;
+  options.disabled = {"no-such-check"};
+  try {
+    (void)lint_protocol(protocols::msi(), options);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-check"), std::string::npos) << what;
+    EXPECT_NE(what.find("ccverify lint --list"), std::string::npos) << what;
+  }
+}
+
+TEST(Analysis, DisablingACheckSuppressesItsDiagnostics) {
+  const Protocol p =
+      load_protocol_file(fixture("global_deadlock"), BuildMode::Lenient);
+  LintOptions options;
+  options.disabled = {"global-deadlock"};
+  const LintReport report = lint_protocol(p, options);
+  EXPECT_EQ(find_diag(report, "global-deadlock"), nullptr);
+}
+
 // -------------------------------------------------- fixture-file checks
 
 struct FixtureCase {
@@ -236,6 +388,10 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"dead_state", "dead-state", Severity::Warning},
         FixtureCase{"dead_rule", "dead-rule", Severity::Warning},
         FixtureCase{"stuck_transient", "stuck-transient",
+                    Severity::Warning},
+        FixtureCase{"global_deadlock", "global-deadlock", Severity::Error},
+        FixtureCase{"livelock_cycle", "livelock-cycle", Severity::Error},
+        FixtureCase{"unreachable_completion", "unreachable-completion",
                     Severity::Warning}),
     [](const ::testing::TestParamInfo<FixtureCase>& i) {
       return std::string(i.param.file);
@@ -304,6 +460,18 @@ TEST(Output, SarifCarriesRulesResultsAndRegions) {
               std::string::npos)
         << c.id;
   }
+}
+
+TEST(Output, SarifCarriesRelatedLocationsAndFingerprints) {
+  const LintedFile f = lint_fixture_file("global_deadlock");
+  const std::string sarif = diagnostics_to_sarif({f});
+  // The fix hint rides as a relatedLocation annotation...
+  EXPECT_NE(sarif.find("\"relatedLocations\""), std::string::npos) << sarif;
+  EXPECT_NE(sarif.find("\"text\":\"hint: "), std::string::npos);
+  // ...and every result carries a stable check@line:column fingerprint.
+  EXPECT_NE(sarif.find("\"partialFingerprints\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ccverifyLint/v1\":\"global-deadlock@"),
+            std::string::npos);
 }
 
 TEST(Output, DiagnosticsSortByPositionThenCheck) {

@@ -152,13 +152,14 @@ TEST(Lint, RegistryIdsAreStableAndComplete) {
        {"parse-error", "duplicate-rule", "rule-overlap", "guard-in-null",
         "missing-coverage", "unused-op", "owner-evict-no-writeback",
         "store-no-invalidate", "load-prefer-missing-owner", "dead-state",
-        "dead-rule", "stuck-transient"}) {
+        "dead-rule", "stuck-transient", "global-deadlock",
+        "livelock-cycle", "unreachable-completion", "layer-skipped"}) {
     const CheckInfo* info = find_check(id);
     ASSERT_NE(info, nullptr) << id;
     EXPECT_EQ(info->id, id);
     EXPECT_FALSE(info->description.empty());
   }
-  EXPECT_EQ(all_checks().size(), 12u);
+  EXPECT_EQ(all_checks().size(), 16u);
   EXPECT_EQ(find_check("no-such-check"), nullptr);
 }
 

@@ -1,0 +1,202 @@
+/// \file test_progress.cpp
+/// The progress-graph facility (core/progress_graph.hpp) and the iterative
+/// Tarjan SCC routine (core/scc.hpp) that back the layer-4 lint checks:
+/// transient/completing classification, full labeled graph materialization,
+/// determinism, budget degradation, and component numbering order.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/progress_graph.hpp"
+#include "core/repetition.hpp"
+#include "core/scc.hpp"
+#include "protocols/protocols.hpp"
+#include "util/budget.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+namespace {
+
+using Edges = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+// ------------------------------------------------------------------ scc
+
+TEST(Scc, CycleCollapsesToOneComponent) {
+  const SccResult r =
+      strongly_connected_components(3, Edges{{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[1], r.component[2]);
+}
+
+TEST(Scc, ChainYieldsReverseTopologicalNumbering) {
+  const Edges edges{{0, 1}, {1, 2}, {2, 3}};
+  const SccResult r = strongly_connected_components(4, edges);
+  EXPECT_EQ(r.count, 4u);
+  // Every cross edge points from a higher component id to a lower one;
+  // the livelock check relies on this to find terminal components.
+  for (const auto& [u, v] : edges) {
+    EXPECT_GT(r.component[u], r.component[v]) << u << "->" << v;
+  }
+}
+
+TEST(Scc, SelfLoopAndIsolatedNodeAreBothSingletons) {
+  const SccResult r = strongly_connected_components(2, Edges{{0, 0}});
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_NE(r.component[0], r.component[1]);
+}
+
+TEST(Scc, MixedGraphSeparatesCycleFromTail) {
+  // 0 <-> 1 form a component; 2 -> 0 and 3 alone are singletons.
+  const SccResult r =
+      strongly_connected_components(4, Edges{{0, 1}, {1, 0}, {2, 0}});
+  EXPECT_EQ(r.count, 3u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_GT(r.component[2], r.component[0]);
+}
+
+TEST(Scc, DeepChainDoesNotOverflowTheStack) {
+  // The implementation must be iterative: composite graphs reach
+  // hundreds of thousands of nodes in one DFS.
+  constexpr std::uint32_t kNodes = 200'000;
+  Edges edges;
+  edges.reserve(kNodes - 1);
+  for (std::uint32_t i = 0; i + 1 < kNodes; ++i) edges.push_back({i, i + 1});
+  const SccResult r = strongly_connected_components(kNodes, edges);
+  EXPECT_EQ(r.count, kNodes);
+}
+
+// --------------------------------------------------------- transient info
+
+TEST(Progress, TransientInfoClassifiesSplitProtocolStates) {
+  const Protocol p = protocols::illinois_split();
+  const TransientInfo info(p);
+  EXPECT_TRUE(info.transient_state[*p.find_state("ReadPending")]);
+  EXPECT_TRUE(info.transient_state[*p.find_state("WritePending")]);
+  EXPECT_FALSE(info.transient_state[*p.find_state("Shared")]);
+  EXPECT_FALSE(info.transient_state[*p.find_state("Dirty")]);
+  for (std::size_t i = 0; i < p.rules().size(); ++i) {
+    const Rule& r = p.rules()[i];
+    const bool expect = info.transient_state[r.from] && !r.is_stall &&
+                        r.self_next != r.from;
+    EXPECT_EQ(info.completing_rule[i], expect) << "rule " << i;
+  }
+}
+
+TEST(Progress, AtomicProtocolHasNoTransients) {
+  const Protocol p = protocols::msi();
+  const TransientInfo info(p);
+  for (std::size_t s = 0; s < info.transient_state.size(); ++s) {
+    EXPECT_FALSE(info.transient_state[s]) << s;
+  }
+  const ProgressGraph g = build_progress_graph(p);
+  for (std::size_t v = 0; v < g.nodes.size(); ++v) {
+    EXPECT_FALSE(g.pending[v]) << v;
+  }
+}
+
+// ----------------------------------------------------------- graph build
+
+TEST(Progress, GraphIsCompleteAndWellFormed) {
+  const Protocol p = protocols::illinois_split();
+  const ProgressGraph g = build_progress_graph(p);
+  EXPECT_TRUE(g.complete());
+  EXPECT_EQ(g.stop_reason, StopReason::None);
+  ASSERT_FALSE(g.nodes.empty());
+  EXPECT_EQ(g.pending.size(), g.nodes.size());
+  EXPECT_EQ(g.expansions, g.nodes.size());
+  for (const ProgressEdge& e : g.edges) {
+    ASSERT_LT(e.from, g.nodes.size());
+    ASSERT_LT(e.to, g.nodes.size());
+    ASSERT_LT(e.rule_index, p.rules().size());
+    // A stall leaves every cache state in place, but the symbolic
+    // successor may still be a refinement of the source node (guard
+    // branching), so only the rule flag is asserted here.
+    EXPECT_EQ(e.is_stall, p.rules()[e.rule_index].is_stall);
+  }
+}
+
+TEST(Progress, PendingFlagsTrackDefiniteTransientClasses) {
+  const Protocol p = protocols::illinois_split();
+  const TransientInfo info(p);
+  const ProgressGraph g = build_progress_graph(p);
+  std::size_t pending_nodes = 0;
+  for (std::size_t v = 0; v < g.nodes.size(); ++v) {
+    bool expect = false;
+    for (const ClassEntry& c : g.nodes[v].classes()) {
+      expect = expect || (info.transient_state[c.state] && rep_definite(c.rep));
+    }
+    EXPECT_EQ(g.pending[v], expect) << g.nodes[v].to_string(p);
+    pending_nodes += g.pending[v] ? 1 : 0;
+  }
+  EXPECT_GT(pending_nodes, 0u);
+}
+
+TEST(Progress, CompletingEdgesExistAndMatchTheRuleTable) {
+  const Protocol p = protocols::illinois_split();
+  const TransientInfo info(p);
+  const ProgressGraph g = build_progress_graph(p);
+  std::size_t completing = 0;
+  for (const ProgressEdge& e : g.edges) {
+    EXPECT_EQ(e.completes, bool(info.completing_rule[e.rule_index]));
+    completing += e.completes ? 1 : 0;
+  }
+  // Both AckR fills and the AckW retirement fire somewhere.
+  EXPECT_GT(completing, 0u);
+}
+
+TEST(Progress, BuildIsDeterministicAcrossRuns) {
+  const Protocol p = protocols::moesi_split();
+  const ProgressGraph a = build_progress_graph(p);
+  const ProgressGraph b = build_progress_graph(p);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t v = 0; v < a.nodes.size(); ++v) {
+    EXPECT_EQ(a.nodes[v], b.nodes[v]) << v;
+  }
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].from, b.edges[i].from) << i;
+    EXPECT_EQ(a.edges[i].to, b.edges[i].to) << i;
+    EXPECT_EQ(a.edges[i].rule_index, b.edges[i].rule_index) << i;
+  }
+}
+
+TEST(Progress, NodeCeilingDegradesToPartial) {
+  ProgressGraphOptions options;
+  options.max_nodes = 2;
+  const ProgressGraph g =
+      build_progress_graph(protocols::illinois_split(), options);
+  EXPECT_FALSE(g.complete());
+  EXPECT_EQ(g.stop_reason, StopReason::VisitBudget);
+  EXPECT_LE(g.nodes.size(), 2u + 1u);  // the crossing admission may land
+}
+
+TEST(Progress, StateBudgetDegradesToPartial) {
+  Budget budget(Budget::Limits{.deadline_ns = 0, .max_states = 1});
+  ProgressGraphOptions options;
+  options.budget = &budget;
+  const ProgressGraph g =
+      build_progress_graph(protocols::illinois_split(), options);
+  EXPECT_FALSE(g.complete());
+  EXPECT_EQ(g.stop_reason, StopReason::StateBudget);
+}
+
+TEST(Progress, MetricsRecordNodesEdgesAndExpansions) {
+  MetricsRegistry metrics;
+  ProgressGraphOptions options;
+  options.metrics = &metrics;
+  const ProgressGraph g =
+      build_progress_graph(protocols::illinois_split(), options);
+  const MetricsSnapshot snap = metrics.snapshot();
+  ASSERT_TRUE(snap.counters.contains("progress.nodes"));
+  EXPECT_EQ(snap.counters.at("progress.nodes"), g.nodes.size());
+  ASSERT_TRUE(snap.counters.contains("progress.edges"));
+  EXPECT_EQ(snap.counters.at("progress.edges"), g.edges.size());
+  ASSERT_TRUE(snap.counters.contains("progress.expansions"));
+  EXPECT_EQ(snap.counters.at("progress.expansions"), g.expansions);
+}
+
+}  // namespace
+}  // namespace ccver

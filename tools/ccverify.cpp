@@ -510,6 +510,13 @@ int cmd_lint(const Args& args) {
   }
   MetricsRegistry metrics;
   if (args.has("--stats")) options.metrics = &metrics;
+  // A budget bounds the shared reachability/progress expansion: crossing
+  // it downgrades those layers to a `layer-skipped` note per file, and the
+  // run exits kExitPartial (unless real findings already made it fail).
+  Budget budget(budget_limits(args, /*states_from_flag=*/false));
+  if (args.has("--deadline") || args.has("--mem-budget")) {
+    options.budget = &budget;
+  }
 
   const auto enabled = [&options](std::string_view id) {
     return std::find(options.disabled.begin(), options.disabled.end(), id) ==
@@ -563,7 +570,10 @@ int cmd_lint(const Args& args) {
     if (args.has("--stats")) print_stats(metrics);
   }
   const bool failed = errors > 0 || (args.has("--Werror") && warnings > 0);
-  return failed ? 1 : 0;
+  if (failed) return kExitProtocolErrors;
+  // A clean verdict with skipped layers is weaker than a clean run; the
+  // partial exit code keeps CI honest about it.
+  return budget.exhausted() ? kExitPartial : kExitVerified;
 }
 
 int usage() {
@@ -589,6 +599,7 @@ int usage() {
       "  mutate <protocol>                    single-rule mutation study\n"
       "  lint <protocol>... [--json | --sarif] [--Werror]\n"
       "       [--disable=<id>[,<id>...]] [--list] [--stats]\n"
+      "       [--deadline D] [--mem-budget B]\n"
       "                                       static analysis of the spec\n"
       "  random <seed> [--out F.ccp]          generate a random protocol\n"
       "<protocol> is a library name or a .ccp file path.\n"

@@ -126,13 +126,21 @@ int run_sweep(const Protocol& p, std::size_t repeats,
     }
   }
 
-  // Symbolic-engine rows: the Figure-3 essential-state expansion in both
-  // pruning modes, so the perf gate tracks the symbolic engine's
-  // throughput alongside the enumerator's (see bench_trajectory.hpp for
-  // the batching and the visits/sec unit).
-  for (const PruningMode mode :
-       {PruningMode::Containment, PruningMode::EqualityOnly}) {
-    rows.push_back(bench::measure_symbolic(p, mode, repeats));
+  // Symbolic-engine rows: the Figure-3 essential-state expansion for the
+  // five canonical protocols, both pruning modes, over the same measured
+  // thread ladder as the enumerator, so the perf gate tracks the symbolic
+  // engine's throughput alongside the enumerator's (see
+  // bench_trajectory.hpp for the batching and the visits/sec unit; the
+  // gate only scores the threads=1 rows -- wider rows chart scaling).
+  for (const char* name : {"Illinois", "Dragon", "MOESI", "IllinoisSplit",
+                           "MOESISplit"}) {
+    const Protocol sp = protocols::by_name(name);
+    for (const PruningMode mode :
+         {PruningMode::Containment, PruningMode::EqualityOnly}) {
+      for (const std::size_t threads : plan.measured) {
+        rows.push_back(bench::measure_symbolic(sp, mode, repeats, threads));
+      }
+    }
   }
 
   JsonWriter json;
@@ -156,6 +164,7 @@ int run_sweep(const Protocol& p, std::size_t repeats,
   json.key("rows").begin_array();
   for (const bench::BenchEnumRow& row : rows) {
     json.begin_object();
+    json.key("protocol").value(row.protocol);
     json.key("n").value(static_cast<std::uint64_t>(row.n));
     json.key("equivalence").value(row_eq_name(row));
     json.key("threads").value(static_cast<std::uint64_t>(row.threads));

@@ -16,16 +16,20 @@
 ///         "strict"|"counting"|"symbolic-containment"|"symbolic-equality",
 ///         "threads": <uint>, "states": <uint>,
 ///         "visits": <uint>, "symmetry_skips": <uint>, "wall_ns": <uint>,
-///         "states_per_sec": <double> }, ...
+///         "states_per_sec": <uint> }, ...
 ///     ]
 ///   }
 ///
 /// `wall_ns` is the best (minimum) of the configured repeats -- the noise
 /// floor, which is what a perf trajectory wants to track across commits.
+/// `states_per_sec` is an integer: rates in the millions rendered as
+/// doubles came out in scientific notation, which the gate script and
+/// human eyes both misread.
 ///
 /// `symbolic-*` rows track the Figure-3 essential-state engine (one row
-/// per pruning mode, always single-threaded, `n` = 0 since composite
-/// states abstract over the cache count). A single symbolic run is tens of
+/// per pruning mode and measured worker count; `n` = 0 since composite
+/// states abstract over the cache count, `threads` is the worker count the
+/// run was configured with). A single symbolic run is tens of
 /// microseconds, far below the gate's noise floor, so each repeat times a
 /// calibrated batch of back-to-back runs; `states` is the essential-state
 /// count of one run, `visits` and `wall_ns` cover the whole batch, and
@@ -65,8 +69,17 @@ struct BenchEnumRow {
   std::size_t visits = 0;
   std::size_t symmetry_skips = 0;
   std::uint64_t wall_ns = 0;  ///< best of the configured repeats
-  double states_per_sec = 0.0;
+  std::uint64_t states_per_sec = 0;
 };
+
+/// Integer rate (units per second) from a count and a wall time.
+[[nodiscard]] inline std::uint64_t rate_per_sec(std::size_t count,
+                                                std::uint64_t wall_ns) {
+  return wall_ns == 0 ? 0
+                      : static_cast<std::uint64_t>(
+                            1e9 * static_cast<double>(count) /
+                            static_cast<double>(wall_ns));
+}
 
 /// Runs one enumeration configuration `repeats` times and reports the
 /// best-of run as a trajectory row.
@@ -94,19 +107,20 @@ inline BenchEnumRow measure_enum(const Protocol& p, std::size_t n,
     row.visits = result.visits;
     row.symmetry_skips = result.symmetry_skips;
   }
-  row.states_per_sec = row.wall_ns == 0
-                           ? 0.0
-                           : 1e9 * static_cast<double>(row.states) /
-                                 static_cast<double>(row.wall_ns);
+  row.states_per_sec = rate_per_sec(row.states, row.wall_ns);
   return row;
 }
 
 /// Runs one symbolic-expansion configuration and reports a trajectory row
 /// (see the schema note above: batched runs, visits/sec throughput).
+/// `threads` is forwarded to the engine (output is identical at any
+/// count; the row records the configured value).
 inline BenchEnumRow measure_symbolic(const Protocol& p, PruningMode mode,
-                                     std::size_t repeats) {
+                                     std::size_t repeats,
+                                     std::size_t threads = 1) {
   SymbolicExpander::Options opt;
   opt.pruning = mode;
+  opt.threads = threads;
   const SymbolicExpander expander(p, opt);
 
   // Calibrate a batch that runs for >= 10ms, so the row clears the perf
@@ -125,7 +139,7 @@ inline BenchEnumRow measure_symbolic(const Protocol& p, PruningMode mode,
   row.equivalence_label = mode == PruningMode::Containment
                               ? "symbolic-containment"
                               : "symbolic-equality";
-  row.threads = 1;
+  row.threads = threads;
   row.states = probe.essential.size();
   row.visits = probe.stats.visits * iters;
   row.symmetry_skips = 0;
@@ -138,10 +152,7 @@ inline BenchEnumRow measure_symbolic(const Protocol& p, PruningMode mode,
     const std::uint64_t dt = trajectory_now_ns() - start;
     if (dt < row.wall_ns) row.wall_ns = dt;
   }
-  row.states_per_sec = row.wall_ns == 0
-                           ? 0.0
-                           : 1e9 * static_cast<double>(row.visits) /
-                                 static_cast<double>(row.wall_ns);
+  row.states_per_sec = rate_per_sec(row.visits, row.wall_ns);
   return row;
 }
 

@@ -20,9 +20,11 @@ vacuous and the gate fails.
 Symbolic-engine rows (equivalence "symbolic-containment" /
 "symbolic-equality") gate exactly like enumeration rows -- their
 states_per_sec carries visits/sec, but the comparison is relative so the
-unit cancels. The measured trajectory must contain at least one symbolic
-row: a sweep that silently dropped the symbolic engine would otherwise
-pass on enumeration rows alone.
+unit cancels. At least one symbolic threads=1 row must actually be
+*gated* (matched against the baseline and past the wall-time filter): a
+sweep that silently dropped the symbolic engine, or a baseline whose
+symbolic rows no longer match the measured ladder, would otherwise pass
+on enumeration rows alone.
 
 Usage: check_perf_regression.py <measured.json> <baseline.json>
        [--tolerance-pct 30] [--min-wall-ms 5]
@@ -61,6 +63,7 @@ def main():
           f"{baseline_doc.get('hardware_concurrency')}")
 
     matched_1t = 0
+    matched_symbolic_1t = 0
     failures = []
     for key in sorted(set(measured) & set(baseline)):
         protocol, n, equivalence, threads = key
@@ -78,6 +81,8 @@ def main():
             print(f"  info (too fast to gate): {label}")
             continue
         matched_1t += 1
+        if equivalence.startswith("symbolic"):
+            matched_symbolic_1t += 1
         if delta_pct < -args.tolerance_pct:
             failures.append(label)
             print(f"  FAIL: {label}")
@@ -91,13 +96,15 @@ def main():
     if matched_1t == 0:
         sys.exit("no single-thread rows matched between measured and "
                  "baseline: the gate compared nothing")
-    if not any(key[2].startswith("symbolic") for key in measured):
-        sys.exit("measured trajectory has no symbolic-engine rows: the "
-                 "sweep dropped the symbolic benchmark")
+    if matched_symbolic_1t == 0:
+        sys.exit("no symbolic-engine single-thread rows were gated: the "
+                 "sweep dropped the symbolic benchmark or its rows no "
+                 "longer match the baseline")
     if failures:
         sys.exit(f"{len(failures)} single-thread row(s) regressed more "
                  f"than {args.tolerance_pct:.0f}%")
-    print(f"gate passed: {matched_1t} single-thread row(s) within "
+    print(f"gate passed: {matched_1t} single-thread row(s) "
+          f"({matched_symbolic_1t} symbolic) within "
           f"{args.tolerance_pct:.0f}%")
 
 

@@ -97,12 +97,13 @@ std::vector<CompositeState> CompositeState::canonicalize(
   return out;
 }
 
-void CompositeState::canonicalize_append(const Protocol& p,
-                                         const ClassList& raw, MData mdata,
-                                         SharingLevel level,
-                                         std::vector<CompositeState>& out) {
-  // Step 1: normalize attributes, merge classes of equal key, sort.
-  ClassList merged;
+void CompositeState::merge_classes(const Protocol& p, const ClassList& raw,
+                                   MergedClasses& out) {
+  // Normalize attributes and insertion-merge into sorted position: the raw
+  // lists of the hot path are a handful of nearly sorted entries, so one
+  // backward scan per entry beats the old merge-then-std::sort pass.
+  ClassList& merged = out.classes;
+  merged.clear();
   for (const ClassEntry& entry : raw) {
     if (entry.rep == Rep::Zero) continue;
     ClassEntry c = entry;
@@ -112,67 +113,87 @@ void CompositeState::canonicalize_append(const Protocol& p,
       CCV_CHECK(c.cdata != CData::NoData,
                 "valid cache-state class must carry a data attribute");
     }
-    bool found = false;
-    for (ClassEntry& m : merged) {
-      if (m.same_key(c)) {
-        m.rep = rep_merge(m.rep, c.rep);
-        found = true;
+    const std::uint16_t key = class_key(c);
+    std::size_t pos = merged.size();
+    bool absorbed = false;
+    while (pos > 0) {
+      const std::uint16_t prev = class_key(merged[pos - 1]);
+      if (prev == key) {
+        merged[pos - 1].rep = rep_merge(merged[pos - 1].rep, c.rep);
+        absorbed = true;
         break;
       }
+      if (prev < key) break;
+      --pos;
     }
-    if (!found) merged.push_back(c);
+    if (!absorbed) {
+      merged.push_back(c);
+      for (std::size_t i = merged.size() - 1; i > pos; --i) {
+        merged[i] = merged[i - 1];
+      }
+      merged[pos] = c;
+    }
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const ClassEntry& a, const ClassEntry& b) {
-              return class_key(a) < class_key(b);
-            });
 
-  // Step 2: feasibility and sharpening against the sharing level.
-  unsigned lo_sum = 0;
-  bool unbounded = false;
+  out.valid_lo = 0;
+  out.valid_unbounded = false;
   for (const ClassEntry& c : merged) {
     if (!p.is_valid_state(c.state)) continue;
-    lo_sum += rep_lo(c.rep);
-    unbounded = unbounded || rep_unbounded(c.rep);
+    out.valid_lo += rep_lo(c.rep);
+    out.valid_unbounded = out.valid_unbounded || rep_unbounded(c.rep);
   }
+}
 
-  const auto emit = [&out, mdata, level](ClassList classes) {
-    CompositeState s;
-    s.classes_ = classes;
-    s.mdata_ = mdata;
-    s.level_ = level;
-    out.push_back(std::move(s));
-  };
-  const auto drop_flexible_valid = [&p](const ClassList& classes,
-                                        int keep_index) {
-    // Removes every valid class that can be empty, except `keep_index`.
-    ClassList kept;
-    for (std::size_t i = 0; i < classes.size(); ++i) {
-      const ClassEntry& c = classes[i];
-      if (p.is_valid_state(c.state) && c.rep == Rep::Star &&
-          static_cast<int>(i) != keep_index) {
-        continue;
-      }
-      kept.push_back(c);
-    }
-    return kept;
-  };
+void CompositeState::canonicalize_append(const Protocol& p,
+                                         const ClassList& raw, MData mdata,
+                                         SharingLevel level,
+                                         std::vector<CompositeState>& out) {
+  MergedClasses merged;
+  merge_classes(p, raw, merged);
+  canonicalize_merged_append(p, merged, mdata, level, out);
+}
 
+void CompositeState::canonicalize_merged_append(
+    const Protocol& p, const MergedClasses& m, MData mdata, SharingLevel level,
+    std::vector<CompositeState>& out) {
+  const ClassList& merged = m.classes;
+  const unsigned lo_sum = m.valid_lo;
+  const bool unbounded = m.valid_unbounded;
+
+  // Each branch builds its refinement directly in a fresh state -- no
+  // intermediate class lists -- and moves it into `out`: one pass, one copy.
   switch (level) {
     case SharingLevel::None: {
       if (lo_sum > 0) return;  // some valid copy surely exists
-      emit(drop_flexible_valid(merged, -1));
+      CompositeState s;
+      s.mdata_ = mdata;
+      s.level_ = level;
+      // Drop every valid class that can be empty (all of them are `*`).
+      for (const ClassEntry& c : merged) {
+        if (p.is_valid_state(c.state) && c.rep == Rep::Star) continue;
+        s.classes_.push_back(c);
+      }
+      out.push_back(std::move(s));
       break;
     }
     case SharingLevel::One: {
       if (lo_sum > 1) return;
       if (lo_sum == 1) {
         // The single definite valid class holds the only copy.
-        ClassList classes = drop_flexible_valid(merged, -1);
-        for (ClassEntry& c : classes) {
-          if (p.is_valid_state(c.state) && c.rep == Rep::Plus) c.rep = Rep::One;
+        CompositeState s;
+        s.mdata_ = mdata;
+        s.level_ = level;
+        for (const ClassEntry& c : merged) {
+          if (p.is_valid_state(c.state)) {
+            if (c.rep == Rep::Star) continue;
+            ClassEntry sharpened = c;
+            if (sharpened.rep == Rep::Plus) sharpened.rep = Rep::One;
+            s.classes_.push_back(sharpened);
+            continue;
+          }
+          s.classes_.push_back(c);
         }
-        emit(classes);
+        out.push_back(std::move(s));
       } else {
         // All valid classes are flexible; one of them holds the copy.
         bool any = false;
@@ -180,11 +201,19 @@ void CompositeState::canonicalize_append(const Protocol& p,
           if (!p.is_valid_state(merged[i].state)) continue;
           CCV_CHECK(merged[i].rep == Rep::Star,
                     "lo_sum==0 implies flexible valid classes");
-          ClassList classes = drop_flexible_valid(merged, static_cast<int>(i));
-          for (ClassEntry& c : classes) {
-            if (c.same_key(merged[i])) c.rep = Rep::One;
+          CompositeState s;
+          s.mdata_ = mdata;
+          s.level_ = level;
+          for (std::size_t j = 0; j < merged.size(); ++j) {
+            const ClassEntry& c = merged[j];
+            if (p.is_valid_state(c.state) && c.rep == Rep::Star && j != i) {
+              continue;
+            }
+            ClassEntry kept = c;
+            if (j == i) kept.rep = Rep::One;
+            s.classes_.push_back(kept);
           }
-          emit(classes);
+          out.push_back(std::move(s));
           any = true;
         }
         if (!any) return;  // level One but no class can hold a copy
@@ -193,19 +222,22 @@ void CompositeState::canonicalize_append(const Protocol& p,
     }
     case SharingLevel::Many: {
       if (!unbounded && lo_sum < 2) return;  // cannot reach two copies
-      ClassList classes = merged;
+      CompositeState s;
+      s.mdata_ = mdata;
+      s.level_ = level;
+      s.classes_ = merged;
       // Sharpen: a flexible valid class must be nonempty when the other
       // valid classes cannot supply the two required copies on their own.
-      for (std::size_t i = 0; i < classes.size(); ++i) {
-        ClassEntry& c = classes[i];
+      for (std::size_t i = 0; i < s.classes_.size(); ++i) {
+        ClassEntry& c = s.classes_[i];
         if (!p.is_valid_state(c.state) || c.rep != Rep::Star) continue;
         unsigned others_lo = 0;
         bool others_unbounded = false;
-        for (std::size_t j = 0; j < classes.size(); ++j) {
-          if (j == i || !p.is_valid_state(classes[j].state)) continue;
-          others_lo += rep_lo(classes[j].rep);
+        for (std::size_t j = 0; j < s.classes_.size(); ++j) {
+          if (j == i || !p.is_valid_state(s.classes_[j].state)) continue;
+          others_lo += rep_lo(s.classes_[j].rep);
           others_unbounded =
-              others_unbounded || rep_unbounded(classes[j].rep);
+              others_unbounded || rep_unbounded(s.classes_[j].rep);
         }
         if (!others_unbounded && others_lo < 2) {
           // Others top out at others_lo copies; this class must contribute
@@ -213,7 +245,7 @@ void CompositeState::canonicalize_append(const Protocol& p,
           c.rep = Rep::Plus;
         }
       }
-      emit(classes);
+      out.push_back(std::move(s));
       break;
     }
   }

@@ -121,6 +121,27 @@ class CompositeState {
   static void canonicalize_append(const Protocol& p, const ClassList& raw,
                                   MData mdata, SharingLevel level,
                                   std::vector<CompositeState>& out);
+
+  /// The level-independent first stage of canonicalization: attributes
+  /// normalized, equal keys merged, classes sorted, plus the valid-copy
+  /// interval of the result. One transition probes up to three sharing
+  /// levels against the same raw class list, so the kernel runs this once
+  /// and feeds the result to `canonicalize_merged_append` per level.
+  struct MergedClasses {
+    ClassList classes;
+    unsigned valid_lo = 0;        ///< sum of definite valid-class minima
+    bool valid_unbounded = false; ///< some valid class is `*` or `+`
+  };
+  static void merge_classes(const Protocol& p, const ClassList& raw,
+                            MergedClasses& out);
+
+  /// The level-dependent second stage (feasibility and sharpening).
+  /// `canonicalize_append(p, raw, ...)` is exactly `merge_classes` followed
+  /// by this.
+  static void canonicalize_merged_append(const Protocol& p,
+                                         const MergedClasses& merged,
+                                         MData mdata, SharingLevel level,
+                                         std::vector<CompositeState>& out);
   ///@}
 
   /// Rebuilds a state from parts that claim to already be canonical (the

@@ -1,0 +1,30 @@
+#include "core/concurrent_containment_index.hpp"
+
+namespace ccver {
+
+ConcurrentContainmentIndex::~ConcurrentContainmentIndex() {
+  for (std::atomic<std::atomic<std::uint8_t>*>& slot : segs_) {
+    delete[] slot.load(std::memory_order_relaxed);
+  }
+}
+
+std::atomic<std::uint8_t>& ConcurrentContainmentIndex::ensure_flag(
+    std::size_t idx) {
+  const std::size_t s = seg_of(idx);
+  CCV_CHECK(s < kMaxSegments, "containment index: archive index overflow");
+  std::atomic<std::uint8_t>* seg = segs_[s].load(std::memory_order_acquire);
+  if (seg == nullptr) {
+    std::lock_guard lock(grow_mutex_);
+    seg = segs_[s].load(std::memory_order_relaxed);
+    if (seg == nullptr) {
+      if (CCV_FAILPOINT("index.shard_alloc")) throw std::bad_alloc();
+      // Value-initialized: every flag starts dead.
+      seg = new std::atomic<std::uint8_t>[seg_size(s)]();
+      shard_allocs_.fetch_add(1, std::memory_order_relaxed);
+      segs_[s].store(seg, std::memory_order_release);
+    }
+  }
+  return seg[idx - seg_base(s)];
+}
+
+}  // namespace ccver

@@ -1,0 +1,574 @@
+#pragma once
+/// \file concurrent_containment_index.hpp
+/// Sharded, thread-aware subsumption index over the expansion archive,
+/// plus the run-wide decided-key cache that fronts it.
+///
+/// The serial `ContainmentIndex` (PR 6) answers Figure 3's two questions --
+/// "is this successor subsumed by a live state?" and "which live states
+/// does this newcomer evict?" -- with six (level, mdata) buckets of
+/// class-mask groups. This index keeps that structure but applies the PR-5
+/// `ConcurrentKeySet` discipline so the parallel symbolic engine can probe
+/// it from many workers at once:
+///
+///  * each (level, mdata) bucket is split into `kShardsPerBucket` shards by
+///    a hash of the class-mask group key (EqualityOnly mode: by the packed
+///    `CompositeKey` hash), so concurrent probes and admissions mostly
+///    touch different locks;
+///  * every shard is guarded by a `std::shared_mutex`: the hot
+///    `covers()`/`covered_by()` probes take shared locks
+///    (`probe_subsuming_shared`), admission takes the shard lock
+///    exclusively (`try_insert_shared`), and eviction claims its tombstone
+///    with a compare-and-swap (`evict_contained_shared`) so each entry is
+///    evicted exactly once no matter how many workers race;
+///  * liveness is a segmented array of atomic bytes (tombstones in place,
+///    exact pop-order semantics preserved -- the expander filters dead
+///    indices when popping and reporting, as before). Segments double in
+///    size and are published with acquire/release, so readers never take a
+///    lock and the array never relocates under them.
+///
+/// The engine itself runs bulk-synchronous (speculate in parallel, decide
+/// serially at the level barrier), so it uses the *serial* methods --
+/// `insert` / `any_subsuming` / `evict_contained`, no locks, exactly the
+/// PR-6 fast path -- in its decision phase, and the `_shared` methods only
+/// from workers during speculation. The two method families may not
+/// overlap in time except that `_shared` readers may run concurrently with
+/// each other; the engine's pool barriers provide the required
+/// happens-before edges. The TSan hammer suite
+/// (tests/test_concurrent_containment_index.cpp) exercises the `_shared`
+/// family under real contention.
+///
+/// Allocation sites (new segment, new group, new exact-map key) evaluate
+/// the `index.shard_alloc` failpoint, modeling index growth failure under
+/// memory pressure for the chaos harness.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/composite_key.hpp"
+#include "core/composite_state.hpp"
+#include "core/expansion.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccver {
+
+/// Exact-duplicate filter for the symbolic engine's parallel phases: the
+/// set of packed keys of every successor replayed at a level barrier
+/// (decided to admit or discard). Figure 3's pruning orders are reflexive
+/// and transitive, and a tombstoned state always has a live subsumer
+/// chain, so once a state has been processed, any later successor equal
+/// to it is guaranteed to be discarded -- speculating workers use a hit
+/// here as a sound frozen discard verdict, and the replay answers repeat
+/// visits (70-92% of all visits on the library protocols) with one probe
+/// instead of a full index decision. The streaming serial path skips the
+/// cache: its keys are already packed only on the replay path, and the
+/// serial decision is cheaper than the pack-and-probe would be.
+///
+/// Open addressing, linear probing, insert-only, grown by doubling at ~70%
+/// load. Runs see at most a few hundred distinct states, so the table
+/// starts tiny (128 slots) to keep per-run construction off the measured
+/// path. Not thread-safe for writes; the engine writes only in its serial
+/// decision phase and reads from workers only across a pool barrier.
+class DecidedKeyCache {
+ public:
+  DecidedKeyCache() = default;
+
+  [[nodiscard]] bool contains(const CompositeKey& k,
+                              std::uint64_t hash) const noexcept {
+    if (count_ == 0) return false;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+      if (used_[i] == 0) return false;
+      if (slots_[i] == k) return true;
+    }
+  }
+
+  /// Marks `k` as processed. No-op if already present.
+  void insert(const CompositeKey& k, std::uint64_t hash) {
+    if (slots_.empty() || (count_ + 1) * 10 >= slots_.size() * 7) grow();
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+      if (used_[i] == 0) {
+        slots_[i] = k;
+        used_[i] = 1;
+        ++count_;
+        return;
+      }
+      if (slots_[i] == k) return;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+ private:
+  void grow() {
+    const std::size_t next = slots_.empty() ? 128 : slots_.size() * 2;
+    std::vector<CompositeKey> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(next, CompositeKey{});
+    used_.assign(next, 0);
+    const std::size_t mask = next - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_used[i] == 0) continue;
+      for (std::size_t j = old_slots[i].hash() & mask;; j = (j + 1) & mask) {
+        if (used_[j] == 0) {
+          slots_[j] = old_slots[i];
+          used_[j] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<CompositeKey> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t count_ = 0;
+};
+
+class ConcurrentContainmentIndex {
+ public:
+  /// Worker-local probe counters, merged at a barrier (mirrors the
+  /// LocalMetrics pattern): probes = full covered_by walks performed,
+  /// hits = probes that confirmed subsumption.
+  struct ProbeStats {
+    std::uint64_t probes = 0;
+    std::uint64_t hits = 0;
+  };
+
+  explicit ConcurrentContainmentIndex(PruningMode mode) : mode_(mode) {}
+  ~ConcurrentContainmentIndex();
+
+  ConcurrentContainmentIndex(const ConcurrentContainmentIndex&) = delete;
+  ConcurrentContainmentIndex& operator=(const ConcurrentContainmentIndex&) =
+      delete;
+
+  // --- Liveness (atomic tombstones; safe from any thread) ---------------
+
+  [[nodiscard]] bool alive(std::size_t idx) const noexcept {
+    const std::atomic<std::uint8_t>* seg =
+        segs_[seg_of(idx)].load(std::memory_order_acquire);
+    return seg != nullptr &&
+           seg[idx - seg_base(seg_of(idx))].load(std::memory_order_relaxed) !=
+               0;
+  }
+
+  /// Tombstones `idx` (popped for expansion, evicted, or superseded).
+  /// Serial phase only.
+  void deactivate(std::size_t idx) {
+    CCV_CHECK(alive(idx), "containment index: deactivating a dead entry");
+    flag(idx).store(0, std::memory_order_relaxed);
+  }
+
+  /// Revives `idx` (the expanded state joins the visited list). Serial
+  /// phase only.
+  void activate(std::size_t idx) {
+    std::atomic<std::uint8_t>& f = flag(idx);
+    CCV_CHECK(f.load(std::memory_order_relaxed) == 0,
+              "containment index: activating a live entry");
+    f.store(1, std::memory_order_relaxed);
+  }
+
+  /// Claims the tombstone of `idx` with a CAS: exactly one of any number
+  /// of racing callers succeeds. Returns false when `idx` was already
+  /// dead (or never inserted).
+  [[nodiscard]] bool try_deactivate(std::size_t idx) noexcept {
+    std::atomic<std::uint8_t>* seg =
+        segs_[seg_of(idx)].load(std::memory_order_acquire);
+    if (seg == nullptr) return false;
+    std::uint8_t expected = 1;
+    return seg[idx - seg_base(seg_of(idx))].compare_exchange_strong(
+        expected, 0, std::memory_order_acq_rel, std::memory_order_relaxed);
+  }
+
+  // --- Serial-phase API (no locks; the PR-6 fast path) -------------------
+
+  void insert(std::size_t idx, const CompositeState& s) {
+    insert(idx, s, CompositeKey::pack(s), CompositeKey::masks(s));
+  }
+
+  /// Registers archive entry `idx` as alive. Each index may be inserted at
+  /// most once over the run (tombstoning and revival go through the flag).
+  void insert(std::size_t idx, const CompositeState& s,
+              const CompositeKey& key, const CompositeKey::ClassMasks& m) {
+    std::atomic<std::uint8_t>& f = ensure_flag(idx);
+    CCV_CHECK(f.load(std::memory_order_relaxed) == 0,
+              "containment index: duplicate insert");
+    f.store(1, std::memory_order_relaxed);
+    // Serial phase: plain load+store bumps (no lock-prefixed RMWs on the
+    // admission path; the concurrent `_shared` entry points use real RMWs).
+    if (mode_ == PruningMode::EqualityOnly) {
+      ExactShard& sh = exact_shard(key);
+      std::vector<std::uint32_t>& bucket = exact_slot(sh, key);
+      bucket.push_back(static_cast<std::uint32_t>(idx));
+      bump_relaxed(entries_);
+      return;
+    }
+    const std::size_t b = bucket_of(s);
+    const std::size_t shard = shard_of_hash(mix64(m.keys));
+    Group& g = group_slot(buckets_[b][shard], m.keys);
+    g.entries.push_back(Entry{static_cast<std::uint32_t>(idx), m.definite});
+    row_nonempty_[b].store(
+        static_cast<std::uint8_t>(
+            row_nonempty_[b].load(std::memory_order_relaxed) | (1U << shard)),
+        std::memory_order_relaxed);
+    bump_relaxed(entries_);
+  }
+
+  /// True if some live entry subsumes `q` (contains it in Containment
+  /// mode, equals it in EqualityOnly mode). `state_of` maps an archive
+  /// index to its state and is only called for mask-filter survivors.
+  template <typename StateOf>
+  [[nodiscard]] bool any_subsuming(const CompositeState& q,
+                                   const CompositeKey& key,
+                                   const CompositeKey::ClassMasks& m,
+                                   StateOf&& state_of) {
+    ProbeStats stats;
+    const bool found = mode_ == PruningMode::EqualityOnly
+                           ? probe_exact(exact_shard(key), key, stats)
+                           : probe_masked(bucket_of(q), m, q, state_of, stats);
+    probes_serial_ += stats.probes;
+    hits_serial_ += stats.hits;
+    return found;
+  }
+
+  /// Tombstones every live entry contained in `n`; calls `on_evict(idx)`
+  /// for each. Containment mode only (in EqualityOnly mode a successor
+  /// equal to a live state is always discarded first, so eviction never
+  /// fires).
+  template <typename StateOf, typename OnEvict>
+  void evict_contained(const CompositeState& n,
+                       const CompositeKey::ClassMasks& m, StateOf&& state_of,
+                       OnEvict&& on_evict) {
+    if (mode_ == PruningMode::EqualityOnly) return;
+    const std::size_t b = bucket_of(n);
+    for (std::uint8_t bits = nonempty_bits(b); bits != 0; bits &= bits - 1) {
+      MaskShard& sh = buckets_[b][static_cast<std::size_t>(
+          std::countr_zero(bits))];
+      for (Group& g : sh.groups) {
+        if ((g.keys & ~m.keys) != 0) continue;
+        if ((m.definite & ~g.keys) != 0) continue;
+        for (const Entry& e : g.entries) {
+          if (!alive(e.idx)) continue;
+          ++probes_serial_;
+          if (state_of(e.idx).covered_by(n)) {
+            ++hits_serial_;
+            flag(e.idx).store(0, std::memory_order_relaxed);
+            on_evict(static_cast<std::size_t>(e.idx));
+          }
+        }
+      }
+    }
+  }
+
+  // --- Concurrent-phase API (shared-lock probes, CAS tombstones) ---------
+
+  /// Admission under contention: claims the liveness flag with a CAS, then
+  /// registers the entry under its shard's exclusive lock. Exactly one of
+  /// any number of racing callers wins; losers return false. Only valid
+  /// for indices never inserted before (the engine admits each archive
+  /// index exactly once).
+  bool try_insert_shared(std::size_t idx, const CompositeState& s,
+                         const CompositeKey& key,
+                         const CompositeKey::ClassMasks& m) {
+    std::atomic<std::uint8_t>& f = ensure_flag(idx);
+    std::uint8_t expected = 0;
+    if (!f.compare_exchange_strong(expected, 1, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed)) {
+      return false;
+    }
+    if (mode_ == PruningMode::EqualityOnly) {
+      ExactShard& sh = exact_shard(key);
+      std::unique_lock lock(sh.mutex);
+      exact_slot(sh, key).push_back(static_cast<std::uint32_t>(idx));
+    } else {
+      const std::size_t b = bucket_of(s);
+      const std::size_t shard = shard_of_hash(mix64(m.keys));
+      MaskShard& sh = buckets_[b][shard];
+      // Bit first: it is sequenced before the exclusive section, so any
+      // probe that acquires the shard lock late enough to see the entry
+      // also sees the bit. (A probe seeing the bit early just walks an
+      // empty shard.)
+      row_nonempty_[b].fetch_or(static_cast<std::uint8_t>(1U << shard),
+                                std::memory_order_relaxed);
+      std::unique_lock lock(sh.mutex);
+      group_slot(sh, m.keys)
+          .entries.push_back(
+              Entry{static_cast<std::uint32_t>(idx), m.definite});
+    }
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// `any_subsuming` under shared locks, safe against concurrent `_shared`
+  /// calls. Counts into caller-local `stats` (merge at a barrier via
+  /// `merge_probe_stats`).
+  template <typename StateOf>
+  [[nodiscard]] bool probe_subsuming_shared(const CompositeState& q,
+                                            const CompositeKey& key,
+                                            const CompositeKey::ClassMasks& m,
+                                            StateOf&& state_of,
+                                            ProbeStats& stats) const {
+    if (mode_ == PruningMode::EqualityOnly) {
+      const ExactShard& sh = exact_shard(key);
+      std::shared_lock lock(sh.mutex);
+      return probe_exact(sh, key, stats);
+    }
+    bool found = false;
+    const std::size_t b = bucket_of(q);
+    for (std::uint8_t bits = nonempty_bits(b); bits != 0; bits &= bits - 1) {
+      const MaskShard& sh = buckets_[b][static_cast<std::size_t>(
+          std::countr_zero(bits))];
+      std::shared_lock lock(sh.mutex);
+      if (probe_masked_one(sh, m, q, state_of, stats)) {
+        found = true;
+        break;
+      }
+    }
+    return found;
+  }
+
+  /// `evict_contained` under shared locks: the scan holds each shard
+  /// shared (entry vectors are only appended under the exclusive lock, and
+  /// never relocated mid-scan because scans and admissions of one shard
+  /// exclude each other), and each tombstone is claimed with a CAS so a
+  /// racing evictor pair calls `on_evict` exactly once per entry.
+  template <typename StateOf, typename OnEvict>
+  void evict_contained_shared(const CompositeState& n,
+                              const CompositeKey::ClassMasks& m,
+                              StateOf&& state_of, OnEvict&& on_evict) {
+    if (mode_ == PruningMode::EqualityOnly) return;
+    ProbeStats stats;
+    const std::size_t b = bucket_of(n);
+    for (std::uint8_t bits = nonempty_bits(b); bits != 0; bits &= bits - 1) {
+      const MaskShard& sh = buckets_[b][static_cast<std::size_t>(
+          std::countr_zero(bits))];
+      std::shared_lock lock(sh.mutex);
+      for (const Group& g : sh.groups) {
+        if ((g.keys & ~m.keys) != 0) continue;
+        if ((m.definite & ~g.keys) != 0) continue;
+        for (const Entry& e : g.entries) {
+          if (!alive(e.idx)) continue;
+          ++stats.probes;
+          if (state_of(e.idx).covered_by(n) && try_deactivate(e.idx)) {
+            ++stats.hits;
+            on_evict(static_cast<std::size_t>(e.idx));
+          }
+        }
+      }
+    }
+    probes_shared_.fetch_add(stats.probes, std::memory_order_relaxed);
+    hits_shared_.fetch_add(stats.hits, std::memory_order_relaxed);
+  }
+
+  void merge_probe_stats(const ProbeStats& stats) noexcept {
+    probes_shared_.fetch_add(stats.probes, std::memory_order_relaxed);
+    hits_shared_.fetch_add(stats.hits, std::memory_order_relaxed);
+  }
+
+  // --- Counters ----------------------------------------------------------
+
+  /// Full `covered_by` walks performed (mask-filter survivors).
+  [[nodiscard]] std::uint64_t probes() const noexcept {
+    return probes_serial_ + probes_shared_.load(std::memory_order_relaxed);
+  }
+  /// Probes that confirmed subsumption.
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_serial_ + hits_shared_.load(std::memory_order_relaxed);
+  }
+  /// Shards a probe may touch (per-bucket shards; EqualityOnly uses the
+  /// same count over the exact map).
+  [[nodiscard]] static constexpr std::uint64_t shard_count() noexcept {
+    return kShardsPerBucket;
+  }
+  /// Distinct class-mask groups (Containment) / distinct keys
+  /// (EqualityOnly) created so far.
+  [[nodiscard]] std::uint64_t group_count() const noexcept {
+    return groups_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t entry_count() const noexcept {
+    return entries_.load(std::memory_order_relaxed);
+  }
+  /// Allocation events (liveness segments, groups, exact-map keys) -- the
+  /// sites armed by the `index.shard_alloc` failpoint.
+  [[nodiscard]] std::uint64_t shard_allocs() const noexcept {
+    return shard_allocs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t idx = 0;
+    std::uint64_t definite = 0;
+  };
+  struct Group {
+    std::uint64_t keys = 0;
+    std::vector<Entry> entries;
+  };
+  struct MaskShard {
+    mutable std::shared_mutex mutex;
+    std::vector<Group> groups;
+  };
+  struct ExactShard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<CompositeKey, std::vector<std::uint32_t>,
+                       CompositeKey::Hash>
+        map;
+  };
+
+  static constexpr std::size_t kBuckets = 6;  ///< (level, mdata) pairs
+  static constexpr std::size_t kShardsPerBucket = 8;
+  /// Liveness segments double in size: segment s holds `1024 << s`
+  /// entries, so 48 segment slots cover any archive the address space can.
+  static constexpr std::size_t kFirstSegBits = 10;
+  static constexpr std::size_t kMaxSegments = 48;
+
+  [[nodiscard]] static std::size_t seg_of(std::size_t idx) noexcept {
+    return static_cast<std::size_t>(
+               std::bit_width((idx >> kFirstSegBits) + 1)) -
+           1;
+  }
+  [[nodiscard]] static std::size_t seg_base(std::size_t s) noexcept {
+    return ((std::size_t{1} << s) - 1) << kFirstSegBits;
+  }
+  [[nodiscard]] static std::size_t seg_size(std::size_t s) noexcept {
+    return std::size_t{1} << (kFirstSegBits + s);
+  }
+
+  [[nodiscard]] std::atomic<std::uint8_t>& flag(std::size_t idx) noexcept {
+    return segs_[seg_of(idx)].load(std::memory_order_acquire)
+        [idx - seg_base(seg_of(idx))];
+  }
+  /// Returns the liveness flag for `idx`, allocating its segment if needed
+  /// (double-checked under the growth mutex; `index.shard_alloc` fires
+  /// here).
+  [[nodiscard]] std::atomic<std::uint8_t>& ensure_flag(std::size_t idx);
+
+  [[nodiscard]] static std::size_t shard_of_hash(std::uint64_t h) noexcept {
+    // High bits: the group-key hash below already mixes, and
+    // CompositeKey::hash is a mix chain; fold to the shard count.
+    return static_cast<std::size_t>(h >> 56) & (kShardsPerBucket - 1);
+  }
+  [[nodiscard]] static std::size_t bucket_of(const CompositeState& s) noexcept {
+    return static_cast<std::size_t>(s.level()) * 2 +
+           static_cast<std::size_t>(s.mdata());
+  }
+  [[nodiscard]] std::uint8_t nonempty_bits(std::size_t b) const noexcept {
+    return row_nonempty_[b].load(std::memory_order_relaxed);
+  }
+  /// Single-writer counter bump (serial phase): avoids the lock-prefixed
+  /// RMW a `fetch_add` would emit.
+  static void bump_relaxed(std::atomic<std::uint64_t>& c) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] ExactShard& exact_shard(const CompositeKey& key) noexcept {
+    return exact_[shard_of_hash(key.hash())];
+  }
+  [[nodiscard]] const ExactShard& exact_shard(const CompositeKey& key) const
+      noexcept {
+    return exact_[shard_of_hash(key.hash())];
+  }
+
+  /// The group with signature `keys_mask` in `sh`, created on first use
+  /// (`index.shard_alloc` fires on creation). Caller holds the shard
+  /// exclusively (or runs in the serial phase).
+  [[nodiscard]] Group& group_slot(MaskShard& sh, std::uint64_t keys_mask) {
+    for (Group& g : sh.groups) {
+      if (g.keys == keys_mask) return g;
+    }
+    if (CCV_FAILPOINT("index.shard_alloc")) throw std::bad_alloc();
+    groups_.fetch_add(1, std::memory_order_relaxed);
+    shard_allocs_.fetch_add(1, std::memory_order_relaxed);
+    sh.groups.push_back(Group{keys_mask, {}});
+    return sh.groups.back();
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t>& exact_slot(
+      ExactShard& sh, const CompositeKey& key) {
+    const auto it = sh.map.find(key);
+    if (it != sh.map.end()) return it->second;
+    if (CCV_FAILPOINT("index.shard_alloc")) throw std::bad_alloc();
+    groups_.fetch_add(1, std::memory_order_relaxed);
+    shard_allocs_.fetch_add(1, std::memory_order_relaxed);
+    return sh.map[key];
+  }
+
+  template <typename StateOf>
+  [[nodiscard]] bool probe_masked(std::size_t b,
+                                  const CompositeKey::ClassMasks& m,
+                                  const CompositeState& q, StateOf&& state_of,
+                                  ProbeStats& stats) const {
+    for (std::uint8_t bits = nonempty_bits(b); bits != 0; bits &= bits - 1) {
+      const MaskShard& sh = buckets_[b][static_cast<std::size_t>(
+          std::countr_zero(bits))];
+      if (probe_masked_one(sh, m, q, state_of, stats)) return true;
+    }
+    return false;
+  }
+
+  template <typename StateOf>
+  [[nodiscard]] bool probe_masked_one(const MaskShard& sh,
+                                      const CompositeKey::ClassMasks& m,
+                                      const CompositeState& q,
+                                      StateOf&& state_of,
+                                      ProbeStats& stats) const {
+    for (const Group& g : sh.groups) {
+      // q ⊑ b needs keys(q) ⊆ keys(b): groups missing a key of q are out.
+      if ((m.keys & ~g.keys) != 0) continue;
+      for (const Entry& e : g.entries) {
+        if (!alive(e.idx)) continue;
+        // ... and definite(b) ⊆ keys(q).
+        if ((e.definite & ~m.keys) != 0) continue;
+        ++stats.probes;
+        if (q.covered_by(state_of(e.idx))) {
+          ++stats.hits;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool probe_exact(const ExactShard& sh, const CompositeKey& key,
+                                 ProbeStats& stats) const {
+    ++stats.probes;
+    const auto it = sh.map.find(key);
+    if (it == sh.map.end()) return false;
+    for (const std::uint32_t idx : it->second) {
+      if (alive(idx)) {
+        ++stats.hits;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  PruningMode mode_;
+  std::array<std::array<MaskShard, kShardsPerBucket>, kBuckets> buckets_;
+  /// Bit s set when shard s of the bucket holds at least one group. Library
+  /// runs populate one or two shards per bucket, so probes and evictions
+  /// walk the set bits instead of all `kShardsPerBucket` scattered shard
+  /// objects. Ordering rides the phase barriers (set before the insert's
+  /// entry is visible to any later probe in program order serially, and
+  /// the pool barrier publishes both together).
+  std::array<std::atomic<std::uint8_t>, kBuckets> row_nonempty_{};
+  std::array<ExactShard, kShardsPerBucket> exact_;
+
+  std::array<std::atomic<std::atomic<std::uint8_t>*>, kMaxSegments> segs_{};
+  std::mutex grow_mutex_;
+
+  std::uint64_t probes_serial_ = 0;
+  std::uint64_t hits_serial_ = 0;
+  std::atomic<std::uint64_t> probes_shared_{0};
+  std::atomic<std::uint64_t> hits_shared_{0};
+  std::atomic<std::uint64_t> groups_{0};
+  std::atomic<std::uint64_t> entries_{0};
+  std::atomic<std::uint64_t> shard_allocs_{0};
+};
+
+}  // namespace ccver

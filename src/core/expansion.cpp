@@ -1,14 +1,18 @@
 #include "core/expansion.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
-#include "core/containment_index.hpp"
+#include "core/concurrent_containment_index.hpp"
 #include "core/expansion_checkpoint.hpp"
 #include "core/symbolic_kernel.hpp"
 #include "util/checkpoint_io.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ccver {
 
@@ -232,20 +236,169 @@ ExpansionResult SymbolicExpander::run_reference(
 
 namespace {
 
-/// The streaming sink of the indexed engine: one Figure-3 visit per
-/// accepted successor, against the containment index instead of linear
-/// scans. Returning false aborts the current expansion ("discard A and
-/// start a new run").
-class EngineSink final : public SymbolicKernel::Sink {
+/// Archive-index-to-state functor shared by the index probes.
+struct StateAt {
+  const ExpansionResult* result;
+  const CompositeState& operator()(std::size_t idx) const {
+    return result->archive[idx].state;
+  }
+};
+
+/// One speculatively generated successor, buffered between the parallel
+/// generation phase and the serial replay at the level barrier. The state
+/// copy is allocation-free (`ClassList` stores inline) and the key, hash
+/// and class masks are computed once here and reused by every later check.
+struct SpecRecord {
+  CompositeState state;
+  EdgeLabel label;
+  CompositeKey key;
+  std::uint64_t key_hash = 0;
+  CompositeKey::ClassMasks masks;
+  /// Sound discard verdict precomputed against frozen state (see
+  /// GenerationSink::accept): replay discards without re-probing.
+  bool pre_discard = false;
+};
+
+/// Speculation buffer of one working-list source.
+struct SpecBuffer {
+  std::vector<SpecRecord> records;
+  std::size_t level_clamps = 0;
+  bool generated = false;
+};
+
+/// The shared run state of the indexed engine, plus the one Figure-3
+/// decision both execution paths (streaming serial step, barrier replay)
+/// funnel through. Decisions always run serially, so the engine's output
+/// is byte-identical at any thread count.
+struct Engine {
+  Engine(const SymbolicExpander::Options& opt, ExpansionResult& res)
+      : options(opt),
+        result(res),
+        containment(opt.pruning == PruningMode::Containment),
+        index(opt.pruning),
+        budget(opt.budget) {}
+
+  const SymbolicExpander::Options& options;
+  ExpansionResult& result;
+  const bool containment;
+  ConcurrentContainmentIndex index;
+  DecidedKeyCache decided;
+  Budget* budget;
+  std::deque<std::size_t> work;
+  std::vector<std::size_t> visited;
+
+  // Scheduling/dedup counters, published as expand.sched.* / expand.dedup.*.
+  std::uint64_t serial_steps = 0;
+  std::uint64_t parallel_rounds = 0;
+  std::uint64_t speculated = 0;        ///< sources generated by workers
+  std::uint64_t wasted = 0;            ///< speculated but dead at replay
+  std::uint64_t dedup_hits = 0;        ///< decided-cache discard shortcuts
+  std::uint64_t prefiltered = 0;       ///< records replayed pre-discarded
+
+  [[nodiscard]] const CompositeState& state_at(std::size_t idx) const {
+    return result.archive[idx].state;
+  }
+
+  [[nodiscard]] bool subsumed_by(const CompositeState& a,
+                                 const CompositeState& b) const {
+    return containment ? a.contained_in(b) : a == b;
+  }
+
+  /// One Figure-3 visit of successor `succ` of the currently expanding
+  /// source `current`/`cur` (a stable copy: admissions may relocate the
+  /// archive). `spec` is non-null on the barrier-replay path and carries
+  /// the precomputed key, masks and a sound frozen discard verdict; the
+  /// streaming serial path passes null and pays for no key packing in
+  /// containment mode (the index probes on class masks alone there).
+  /// Returns false when the newcomer superseded its own source ("discard
+  /// A and start a new run").
+  bool visit(std::size_t current, const CompositeState& cur,
+             const CompositeState& succ, const EdgeLabel& label,
+             const SpecRecord* spec) {
+    ++result.stats.visits;
+    VisitDisposition disposition = VisitDisposition::Added;
+    bool superseded = false;
+
+    // Discard if subsumed by the source or any live archived state
+    // (Figure 3, first branch). On replay, cheapest-first: a successor
+    // equal to an already-processed one is always discarded (its subsumer
+    // chain ends at a live state, or at the source, which the direct
+    // check covers), so the decided-key cache answers repeat visits in
+    // one probe. The source is checked directly: it is deactivated while
+    // it expands.
+    bool discard;
+    if (spec != nullptr) {
+      if (spec->pre_discard) {
+        discard = true;
+        ++prefiltered;
+      } else if (decided.contains(spec->key, spec->key_hash)) {
+        discard = true;
+        ++dedup_hits;
+      } else {
+        discard = subsumed_by(succ, cur);
+      }
+    } else {
+      discard = subsumed_by(succ, cur);
+    }
+    if (!discard) {
+      CompositeKey key;
+      CompositeKey::ClassMasks masks;
+      if (spec != nullptr) {
+        key = spec->key;
+        masks = spec->masks;
+      } else if (containment) {
+        masks = CompositeKey::masks(succ);  // probes never touch the key
+      } else {
+        key = CompositeKey::pack(succ);  // exact probes never touch masks
+      }
+      discard = index.any_subsuming(succ, key, masks, StateAt{&result});
+      if (!discard) {
+        // Evict live states contained in the newcomer (tombstones; the
+        // expander filters dead indices when popping and reporting).
+        index.evict_contained(succ, masks, StateAt{&result},
+                              [&](std::size_t) {
+                                ++result.stats.evicted;
+                                disposition =
+                                    VisitDisposition::SupersededExisting;
+                              });
+
+        result.archive.push_back(
+            ArchiveEntry{succ, static_cast<std::int64_t>(current), label});
+        const std::size_t admitted = result.archive.size() - 1;
+        work.push_back(admitted);
+        index.insert(admitted, succ, key, masks);
+        if (budget != nullptr) budget->charge_bytes(kBytesPerAdmission);
+
+        if (containment && cur.contained_in(succ)) {
+          // Figure 3: "discard A and terminate all FOR loops starting a
+          // new run" -- the newcomer regenerates everything A would.
+          disposition = VisitDisposition::SupersededSource;
+          superseded = true;
+        }
+      }
+    }
+    if (discard) {
+      ++result.stats.discarded_contained;
+      disposition = VisitDisposition::ContainedInVisited;
+    }
+    if (spec != nullptr) decided.insert(spec->key, spec->key_hash);
+
+    if (options.record_trace) {
+      result.trace.push_back(VisitRecord{cur, label, succ, disposition});
+    }
+    if (superseded) {
+      ++result.stats.source_restarts;
+      return false;
+    }
+    return true;
+  }
+};
+
+/// The streaming sink of the serial path: one Figure-3 decision per
+/// accepted successor. Returning false aborts the current expansion.
+class SerialSink final : public SymbolicKernel::Sink {
  public:
-  EngineSink(const SymbolicExpander::Options& options, ExpansionResult& result,
-             ContainmentIndex& index, std::deque<std::size_t>& work,
-             Budget* budget)
-      : options_(&options),
-        result_(&result),
-        index_(&index),
-        work_(&work),
-        budget_(budget) {}
+  explicit SerialSink(Engine& engine) : engine_(&engine) {}
 
   /// Arms the sink for one expansion step.
   void begin_expansion(std::size_t current, const CompositeState& cur) {
@@ -259,69 +412,69 @@ class EngineSink final : public SymbolicKernel::Sink {
   }
 
   bool accept(const CompositeState& succ, const EdgeLabel& label) override {
-    ExpansionResult& result = *result_;
-    ++result.stats.visits;
-
-    VisitDisposition disposition = VisitDisposition::Added;
-    const bool containment_pruning =
-        options_->pruning == PruningMode::Containment;
-    const auto state_at = [&result](std::size_t idx) -> const CompositeState& {
-      return result.archive[idx].state;
-    };
-
-    // Discard if subsumed by the source or any live archived state
-    // (Figure 3, first branch). The source is checked directly: it is
-    // deactivated in the index while it expands.
-    const bool discard =
-        (containment_pruning ? succ.contained_in(*cur_) : succ == *cur_) ||
-        index_->any_subsuming(succ, state_at);
-
-    if (discard) {
-      ++result.stats.discarded_contained;
-      disposition = VisitDisposition::ContainedInVisited;
-    } else {
-      // Evict live states contained in the newcomer (tombstones; the
-      // expander filters dead indices when popping and reporting).
-      index_->evict_contained(succ, state_at, [&](std::size_t) {
-        ++result.stats.evicted;
-        disposition = VisitDisposition::SupersededExisting;
-      });
-
-      result.archive.push_back(ArchiveEntry{
-          succ, static_cast<std::int64_t>(current_), label});
-      const std::size_t admitted = result.archive.size() - 1;
-      work_->push_back(admitted);
-      index_->insert(admitted, succ);
-      if (budget_ != nullptr) budget_->charge_bytes(kBytesPerAdmission);
-
-      if (containment_pruning && cur_->contained_in(succ)) {
-        // Figure 3: "discard A and terminate all FOR loops starting a new
-        // run" -- the newcomer regenerates everything A would.
-        disposition = VisitDisposition::SupersededSource;
-        superseded_ = true;
-      }
-    }
-
-    if (options_->record_trace) {
-      result.trace.push_back(VisitRecord{*cur_, label, succ, disposition});
-    }
-    if (superseded_) {
-      ++result.stats.source_restarts;
-      return false;
-    }
-    return true;
+    const bool keep = engine_->visit(current_, *cur_, succ, label, nullptr);
+    superseded_ = !keep;
+    return keep;
   }
 
  private:
-  const SymbolicExpander::Options* options_;
-  ExpansionResult* result_;
-  ContainmentIndex* index_;
-  std::deque<std::size_t>* work_;
-  Budget* budget_;
+  Engine* engine_;
   std::size_t current_ = 0;
   const CompositeState* cur_ = nullptr;
   bool superseded_ = false;
 };
+
+/// The speculation sink of the parallel phase: buffers every successor of
+/// one source together with its packed key, hash and class masks, plus a
+/// *sound* frozen discard verdict -- subsumption by the source is a pure
+/// check, and the decided cache and the index are frozen between level
+/// barriers, so a hit in either guarantees the serial decision would also
+/// discard (tombstone chains always end at a state live at decision time,
+/// or at the expanding source, which the replay checks directly). Never
+/// aborts generation: source restarts are enforced at replay, where the
+/// buffered tail is simply skipped.
+class GenerationSink final : public SymbolicKernel::Sink {
+ public:
+  GenerationSink(const Engine& engine, const CompositeState& src,
+                 std::vector<SpecRecord>& out,
+                 ConcurrentContainmentIndex::ProbeStats& stats)
+      : engine_(&engine), src_(&src), out_(&out), stats_(&stats) {}
+
+  bool accept(const CompositeState& succ, const EdgeLabel& label) override {
+    const CompositeKey key = CompositeKey::pack(succ);
+    const std::uint64_t key_hash = key.hash();
+    const CompositeKey::ClassMasks masks = engine_->containment
+                                               ? CompositeKey::masks(succ)
+                                               : CompositeKey::ClassMasks{};
+    bool discard = engine_->subsumed_by(succ, *src_);
+    if (!discard) discard = engine_->decided.contains(key, key_hash);
+    if (!discard) {
+      discard = engine_->index.probe_subsuming_shared(
+          succ, key, masks, StateAt{&engine_->result}, *stats_);
+    }
+    out_->push_back(SpecRecord{succ, label, key, key_hash, masks, discard});
+    return true;
+  }
+
+ private:
+  const Engine* engine_;
+  const CompositeState* src_;
+  std::vector<SpecRecord>* out_;
+  ConcurrentContainmentIndex::ProbeStats* stats_;
+};
+
+/// Sources speculated per parallel round, bounding the buffered
+/// speculation memory (a round replays before the next one snapshots).
+constexpr std::size_t kMaxRoundSources = 1024;
+
+/// `std::thread::hardware_concurrency()` reads sysfs on every call (a
+/// couple of microseconds -- more than a small protocol's whole run), so
+/// the probe result is cached for the process lifetime.
+[[nodiscard]] std::size_t hardware_threads() {
+  static const std::size_t n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  return n;
+}
 
 }  // namespace
 
@@ -332,15 +485,30 @@ ExpansionResult SymbolicExpander::run_indexed(
   const ScopedTimer wall(metrics, "expand.wall");
   ExpansionResult result;
 
-  std::deque<std::size_t> work;
-  std::vector<std::size_t> visited;
-  ContainmentIndex index(options_.pruning);
+  Engine eng(options_, result);
+  std::deque<std::size_t>& work = eng.work;
+  std::vector<std::size_t>& visited = eng.visited;
+  ConcurrentContainmentIndex& index = eng.index;
   SymbolicKernel kernel(p);
   Budget* const budget = options_.budget;
 
+  // Same resolution as the enumerator: 0 = hardware, clamped by default
+  // (oversubscribing a CPU-bound expansion only adds barrier latency).
+  // Trace runs are forced serial: trace order is defined by the
+  // single-threaded engine.
+  const std::size_t requested =
+      options_.threads == 0 ? hardware_threads() : options_.threads;
+  std::size_t workers = requested;
+  if (options_.clamp_threads && requested > 1) {
+    workers = std::min(requested, hardware_threads());
+  }
+  if (options_.record_trace) workers = 1;
+
   // Level clamps observed before this run (restored from a checkpoint);
-  // the kernel counts this run's own.
+  // the kernel counts this run's own, and `round_clamps` collects the
+  // worker kernels' counts for replayed speculated sources.
   std::size_t clamps_base = 0;
+  std::size_t round_clamps = 0;
 
   if (options_.resume != nullptr) {
     const SymbolicCheckpoint& cp = *options_.resume;
@@ -409,7 +577,8 @@ ExpansionResult SymbolicExpander::run_indexed(
     cp.protocol = p.name();
     cp.fingerprint = describe_fingerprint(p.describe());
     cp.pruning = options_.pruning;
-    result.stats.level_clamps = clamps_base + kernel.level_clamps();
+    result.stats.level_clamps =
+        clamps_base + kernel.level_clamps() + round_clamps;
     cp.stats = result.stats;
     cp.archive.reserve(result.archive.size());
     for (const ArchiveEntry& e : result.archive) {
@@ -430,52 +599,178 @@ ExpansionResult SymbolicExpander::run_indexed(
   const bool checkpointing = !options_.checkpoint_path.empty();
   std::uint64_t last_checkpoint_ns = checkpointing ? metrics_now_ns() : 0;
 
-  EngineSink sink(options_, result, index, work, budget);
-  while (!work.empty()) {
-    // Evicted states are tombstoned, not erased; skip them here so the
-    // pop order of live states matches the reference engine's exactly.
-    if (!index.alive(work.front())) {
+  // The pool, its per-worker kernels (SymbolicKernel is not thread-safe)
+  // and the round buffers are lazy: a run that never crosses the parallel
+  // threshold pays nothing for them.
+  std::optional<ThreadPool> pool;
+  std::vector<std::unique_ptr<SymbolicKernel>> worker_kernels;
+  std::vector<SpecBuffer> buffers;
+  std::vector<std::size_t> round_sources;
+
+  SerialSink sink(eng);
+  bool stopped = false;
+  while (!work.empty() && !stopped) {
+    const bool go_parallel = workers > 1 && options_.serial_grain != 0 &&
+                             work.size() >= workers * options_.serial_grain;
+    if (!go_parallel) {
+      // --- Streaming serial step (the only path at threads=1) -----------
+      // Evicted states are tombstoned, not erased; skip them here so the
+      // pop order of live states matches the reference engine's exactly.
+      if (!index.alive(work.front())) {
+        work.pop_front();
+        continue;
+      }
+      // Polled between expansion steps only, so a stopped run has settled
+      // every state it reports and simply leaves the rest of the working
+      // list unexplored.
+      if (budget != nullptr && budget->poll() != StopReason::None) {
+        result.outcome = Outcome::Partial;
+        result.stop_reason = budget->latched();
+        break;
+      }
+      if (result.stats.visits >= options_.max_visits) {
+        result.outcome = Outcome::Partial;
+        result.stop_reason = StopReason::VisitBudget;
+        break;
+      }
+      const std::size_t current = work.front();
       work.pop_front();
+      index.deactivate(current);
+      ++result.stats.expansions;
+      if (budget != nullptr) budget->charge_states(1);
+      const std::uint64_t step_t0 = metrics == nullptr ? 0 : metrics_now_ns();
+
+      // A stable copy: the sink appends to the archive, which may relocate.
+      const CompositeState cur = state_at(current);
+      sink.begin_expansion(current, cur);
+      kernel.expand(cur, sink);
+
+      if (!sink.current_superseded()) {
+        index.activate(current);
+        visited.push_back(current);
+      }
+      ++eng.serial_steps;
+      if (metrics != nullptr) {
+        metrics->timer_add("expand.step", metrics_now_ns() - step_t0);
+      }
+      if (checkpointing) {
+        const std::uint64_t now = metrics_now_ns();
+        if (now - last_checkpoint_ns >=
+            options_.checkpoint_interval_ms * 1'000'000ULL) {
+          write_checkpoint();
+          last_checkpoint_ns = now;
+        }
+      }
       continue;
     }
-    // Polled between expansion steps only, so a stopped run has settled
-    // every state it reports and simply leaves the rest of the working
-    // list unexplored.
-    if (budget != nullptr && budget->poll() != StopReason::None) {
-      result.outcome = Outcome::Partial;
-      result.stop_reason = budget->latched();
-      break;
-    }
-    if (result.stats.visits >= options_.max_visits) {
-      result.outcome = Outcome::Partial;
-      result.stop_reason = StopReason::VisitBudget;
-      break;
-    }
-    const std::size_t current = work.front();
-    work.pop_front();
-    index.deactivate(current);
-    ++result.stats.expansions;
-    if (budget != nullptr) budget->charge_states(1);
-    const std::uint64_t step_t0 = metrics == nullptr ? 0 : metrics_now_ns();
 
-    // A stable copy: the sink appends to the archive, which may relocate.
-    const CompositeState cur = state_at(current);
-    sink.begin_expansion(current, cur);
-    kernel.expand(cur, sink);
+    // --- Parallel round: speculate in parallel, decide serially ---------
+    // Snapshot a prefix of the working list, generate every snapshot
+    // source's successors (plus sound frozen discard verdicts) on the
+    // pool, then replay the snapshot in exact pop order through the same
+    // Figure-3 decision the serial path uses. All admissions, evictions,
+    // stop checks and checkpoints happen in the replay, so the observable
+    // sequence is byte-identical to the serial engine's.
+    ++eng.parallel_rounds;
+    const std::size_t round = std::min(work.size(), kMaxRoundSources);
+    round_sources.assign(work.begin(),
+                         work.begin() + static_cast<std::ptrdiff_t>(round));
+    buffers.assign(round, SpecBuffer{});
+    if (!pool.has_value()) {
+      pool.emplace(workers);
+      worker_kernels.resize(pool->thread_count());
+      for (std::unique_ptr<SymbolicKernel>& k : worker_kernels) {
+        k = std::make_unique<SymbolicKernel>(p);
+      }
+    }
+    pool->parallel_for_dynamic(
+        std::size_t{0}, round, 1,
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          ConcurrentContainmentIndex::ProbeStats stats;
+          SymbolicKernel& wk = *worker_kernels[worker];
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t src_idx = round_sources[i];
+            // Dead at snapshot stays dead (eviction is permanent): the
+            // replay will skip it exactly like the serial pop loop.
+            if (!index.alive(src_idx)) continue;
+            const CompositeState src = state_at(src_idx);
+            const std::size_t clamps0 = wk.level_clamps();
+            GenerationSink gsink(eng, src, buffers[i].records, stats);
+            wk.expand(src, gsink);
+            buffers[i].level_clamps = wk.level_clamps() - clamps0;
+            buffers[i].generated = true;
+          }
+          index.merge_probe_stats(stats);
+        });
+    for (const SpecBuffer& b : buffers) {
+      if (b.generated) ++eng.speculated;
+    }
 
-    if (!sink.current_superseded()) {
-      index.activate(current);
-      visited.push_back(current);
-    }
-    if (metrics != nullptr) {
-      metrics->timer_add("expand.step", metrics_now_ns() - step_t0);
-    }
-    if (checkpointing) {
-      const std::uint64_t now = metrics_now_ns();
-      if (now - last_checkpoint_ns >=
-          options_.checkpoint_interval_ms * 1'000'000ULL) {
-        write_checkpoint();
-        last_checkpoint_ns = now;
+    for (std::size_t i = 0; i < round; ++i) {
+      const std::size_t current = work.front();
+      if (!index.alive(current)) {
+        // Evicted before the snapshot, or mid-replay by a newcomer
+        // admitted for an earlier snapshot source.
+        work.pop_front();
+        if (buffers[i].generated) ++eng.wasted;
+        continue;
+      }
+      if (budget != nullptr && budget->poll() != StopReason::None) {
+        result.outcome = Outcome::Partial;
+        result.stop_reason = budget->latched();
+        stopped = true;
+      } else if (result.stats.visits >= options_.max_visits) {
+        result.outcome = Outcome::Partial;
+        result.stop_reason = StopReason::VisitBudget;
+        stopped = true;
+      }
+      if (stopped) {
+        // Unreplayed speculation is abandoned (the sources stay on the
+        // working list for a resumed run to expand afresh).
+        for (std::size_t j = i; j < round; ++j) {
+          if (buffers[j].generated) ++eng.wasted;
+        }
+        break;
+      }
+      work.pop_front();
+      index.deactivate(current);
+      ++result.stats.expansions;
+      if (budget != nullptr) budget->charge_states(1);
+      const std::uint64_t step_t0 = metrics == nullptr ? 0 : metrics_now_ns();
+
+      const CompositeState cur = state_at(current);
+      bool superseded = false;
+      if (buffers[i].generated) {
+        for (const SpecRecord& r : buffers[i].records) {
+          if (!eng.visit(current, cur, r.state, r.label, &r)) {
+            // Figure 3's source restart: the buffered tail is dropped,
+            // exactly where the serial kernel would have stopped.
+            superseded = true;
+            break;
+          }
+        }
+        round_clamps += buffers[i].level_clamps;
+      } else {
+        // Defensive: alive but never speculated -- expand inline.
+        sink.begin_expansion(current, cur);
+        kernel.expand(cur, sink);
+        superseded = sink.current_superseded();
+      }
+
+      if (!superseded) {
+        index.activate(current);
+        visited.push_back(current);
+      }
+      if (metrics != nullptr) {
+        metrics->timer_add("expand.step", metrics_now_ns() - step_t0);
+      }
+      if (checkpointing) {
+        const std::uint64_t now = metrics_now_ns();
+        if (now - last_checkpoint_ns >=
+            options_.checkpoint_interval_ms * 1'000'000ULL) {
+          write_checkpoint();
+          last_checkpoint_ns = now;
+        }
       }
     }
   }
@@ -484,7 +779,8 @@ ExpansionResult SymbolicExpander::run_indexed(
     write_checkpoint();
   }
 
-  result.stats.level_clamps = clamps_base + kernel.level_clamps();
+  result.stats.level_clamps =
+      clamps_base + kernel.level_clamps() + round_clamps;
   result.essential.reserve(visited.size());
   for (const std::size_t idx : visited) {
     if (index.alive(idx)) result.essential.push_back(state_at(idx));
@@ -501,6 +797,18 @@ ExpansionResult SymbolicExpander::run_indexed(
     metrics->counter_add("expand.index_probes", index.probes());
     metrics->counter_add("expand.index_hits", index.hits());
     metrics->counter_add("expand.level_clamp", result.stats.level_clamps);
+    metrics->counter_add("expand.sched.threads", workers);
+    metrics->counter_add("expand.sched.serial_steps", eng.serial_steps);
+    metrics->counter_add("expand.sched.parallel_rounds", eng.parallel_rounds);
+    metrics->counter_add("expand.sched.speculated", eng.speculated);
+    metrics->counter_add("expand.sched.wasted", eng.wasted);
+    metrics->counter_add("expand.dedup.decided_hits", eng.dedup_hits);
+    metrics->counter_add("expand.dedup.prefiltered", eng.prefiltered);
+    metrics->counter_add("expand.index.shard_count",
+                         ConcurrentContainmentIndex::shard_count());
+    metrics->counter_add("expand.index.shard_groups", index.group_count());
+    metrics->counter_add("expand.index.shard_entries", index.entry_count());
+    metrics->counter_add("expand.index.shard_allocs", index.shard_allocs());
   }
   return result;
 }

@@ -172,8 +172,26 @@ class SymbolicExpander {
     const SymbolicCheckpoint* resume = nullptr;
     /// Runs the original linear-scan engine instead of the indexed one.
     /// Kept as an executable specification: the equivalence suite proves
-    /// both engines produce byte-identical reports on every spec.
+    /// both engines produce byte-identical reports on every spec. Always
+    /// single-threaded (`threads` is ignored).
     bool reference_engine = false;
+    /// Worker threads for the level-synchronous parallel engine (0 =
+    /// hardware concurrency). The result is byte-identical at any thread
+    /// count: workers only *speculate* successor generation and sound
+    /// discard verdicts against a frozen index snapshot; every admission,
+    /// eviction and stop decision replays serially in exact pop order at
+    /// the level barrier. Runs that record a trace are forced serial
+    /// (trace order is defined by the single-threaded engine).
+    std::size_t threads = 1;
+    /// Clamp `threads` to the real hardware concurrency (oversubscribing
+    /// a CPU-bound expansion only adds barrier latency). Same semantics
+    /// as the enumerator's knob.
+    bool clamp_threads = true;
+    /// A working list shorter than `serial_grain x threads` is expanded
+    /// inline on the calling thread -- no pool wake-up, no speculation --
+    /// so small runs (and every run's first levels) stay at sequential
+    /// speed. 0 disables parallel rounds entirely.
+    std::size_t serial_grain = 4;
   };
 
   explicit SymbolicExpander(const Protocol& p) : SymbolicExpander(p, Options{}) {}

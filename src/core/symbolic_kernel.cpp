@@ -91,8 +91,14 @@ void SymbolicKernel::enumerate_scenarios(const CompositeState& s,
                                          const Rule& rule) {
   const ClassEntry& origin = s.classes()[origin_index];
 
-  Scenario base;
+  // The base scenario is built in place in the scratch vector (one
+  // Scenario is ~90 bytes of inline storage; copying it per expansion
+  // step showed up in profiles).
+  scenarios_.resize(1);
+  Scenario& base = scenarios_.front();
+  base.population.clear();
   base.mdata = s.mdata();
+  base.load_value.reset();
   for (std::size_t i = 0; i < s.classes().size(); ++i) {
     ClassEntry c = s.classes()[i];
     if (i == origin_index) {
@@ -101,9 +107,6 @@ void SymbolicKernel::enumerate_scenarios(const CompositeState& s,
     }
     base.population.push_back(c);
   }
-
-  scenarios_.clear();
-  scenarios_.push_back(std::move(base));
   for (const DataOp& d : rule.data_ops) {
     switch (d.kind) {
       case DataOpKind::LoadFromMemory:
@@ -246,8 +249,11 @@ void SymbolicKernel::apply_transition(const CompositeState& s,
   if (post_lo <= 1 && post_hi >= 1) candidates.push_back(SharingLevel::One);
   if (post_hi >= 2) candidates.push_back(SharingLevel::Many);
 
+  // The merge stage is level-independent; run it once for all candidates.
+  CompositeState::merge_classes(p, entries, merged_);
   for (const SharingLevel level : candidates) {
-    CompositeState::canonicalize_append(p, entries, mdata, level, canon_);
+    CompositeState::canonicalize_merged_append(p, merged_, mdata, level,
+                                               canon_);
   }
 }
 

@@ -96,6 +96,7 @@ class SymbolicKernel {
   std::vector<Scenario> scenarios_;
   std::vector<Scenario> scenarios_next_;
   std::vector<CompositeState> canon_;
+  CompositeState::MergedClasses merged_;
 };
 
 }  // namespace ccver

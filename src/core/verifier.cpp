@@ -66,6 +66,8 @@ ExpansionResult Verifier::expand() const {
   opt.checkpoint_interval_ms = options_.checkpoint_interval_ms;
   opt.resume = options_.resume;
   opt.reference_engine = options_.reference_engine;
+  opt.threads = options_.threads;
+  opt.clamp_threads = options_.clamp_threads;
   return SymbolicExpander(*protocol_, opt).run();
 }
 

@@ -73,6 +73,10 @@ class Verifier {
     std::uint64_t checkpoint_interval_ms = 500;
     const SymbolicCheckpoint* resume = nullptr;
     bool reference_engine = false;
+    /// Worker threads for the expansion (see SymbolicExpander::Options:
+    /// the report is byte-identical at any thread count; 0 = hardware).
+    std::size_t threads = 1;
+    bool clamp_threads = true;
   };
 
   explicit Verifier(const Protocol& p) : Verifier(p, Options{}) {}

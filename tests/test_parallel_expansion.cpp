@@ -1,0 +1,182 @@
+/// \file test_parallel_expansion.cpp
+/// Determinism of multi-threaded Figure-3 runs: the parallel symbolic
+/// engine must be byte-identical to the serial one at any thread count --
+/// same report JSON, same counters-bearing archive order, same essential
+/// set -- and checkpoints cut under one thread count must resume under
+/// another without a byte of divergence. Thread counts here are forced
+/// past the adaptive clamp (`clamp_threads = false`) so real parallel
+/// rounds run even on a single-core CI host.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/expansion.hpp"
+#include "core/expansion_checkpoint.hpp"
+#include "core/report_json.hpp"
+#include "core/verifier.hpp"
+#include "protocols/protocols.hpp"
+#include "spec/loader.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] std::string report_json(const Protocol& p, PruningMode mode,
+                                      std::size_t threads) {
+  Verifier::Options opt;
+  opt.pruning = mode;
+  opt.threads = threads;
+  opt.clamp_threads = false;  // force real workers on a 1-core host
+  return report_to_json(Verifier(p, opt).verify(), p);
+}
+
+TEST(ParallelExpansion, ByteIdenticalAcrossThreadCountsOnEveryShippedSpec) {
+  const fs::path specs = fs::path(CCVER_SOURCE_DIR) / "specs";
+  std::size_t checked = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(specs)) {
+    if (entry.path().extension() != ".ccp") continue;
+    const Protocol p = load_protocol_file(entry.path());
+    for (const PruningMode mode :
+         {PruningMode::Containment, PruningMode::EqualityOnly}) {
+      const std::string serial = report_json(p, mode, 1);
+      for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        EXPECT_EQ(report_json(p, mode, threads), serial)
+            << p.name() << " threads=" << threads << " mode="
+            << (mode == PruningMode::Containment ? "containment" : "equality");
+      }
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 11u);
+}
+
+TEST(ParallelExpansion, HardwareDefaultAndClampedRequestsStaySerialEqual) {
+  // threads = 0 resolves to the hardware count; an absurd request under the
+  // adaptive clamp resolves to at most that. Both must match serial output.
+  const Protocol p = protocols::moesi();
+  Verifier::Options serial_opt;
+  const std::string serial = report_to_json(Verifier(p, serial_opt).verify(), p);
+
+  Verifier::Options hw_opt;
+  hw_opt.threads = 0;
+  EXPECT_EQ(report_to_json(Verifier(p, hw_opt).verify(), p), serial);
+
+  Verifier::Options clamp_opt;
+  clamp_opt.threads = 4096;  // clamp_threads defaults to true
+  EXPECT_EQ(report_to_json(Verifier(p, clamp_opt).verify(), p), serial);
+}
+
+TEST(ParallelExpansion, TraceRecordingForcesOneWorkerAndMatchesReference) {
+  const Protocol p = protocols::illinois();
+  SymbolicExpander::Options ref_opt;
+  ref_opt.record_trace = true;
+  ref_opt.reference_engine = true;
+  const ExpansionResult ref = SymbolicExpander(p, ref_opt).run();
+
+  SymbolicExpander::Options par_opt;
+  par_opt.record_trace = true;
+  par_opt.threads = 8;
+  par_opt.clamp_threads = false;
+  const ExpansionResult r = SymbolicExpander(p, par_opt).run();
+  ASSERT_EQ(r.trace.size(), ref.trace.size());
+  for (std::size_t i = 0; i < ref.trace.size(); ++i) {
+    EXPECT_EQ(r.trace[i].disposition, ref.trace[i].disposition) << i;
+    EXPECT_TRUE(r.trace[i].to == ref.trace[i].to) << "trace diverges at " << i;
+    EXPECT_TRUE(r.trace[i].label == ref.trace[i].label) << i;
+  }
+}
+
+class ParallelCheckpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           (std::string("ccver_parallel_expansion_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Interrupt a run at `cut` visits under `cut_threads`, resume it under
+  /// `resume_threads`, and demand the stitched report equals the
+  /// uninterrupted serial one byte for byte.
+  void expect_resume_identical(const Protocol& p, PruningMode mode,
+                               const std::string& uninterrupted,
+                               std::size_t cut, std::size_t cut_threads,
+                               std::size_t resume_threads) {
+    const fs::path path =
+        dir_ / (p.name() + "_" + std::to_string(cut) + "_" +
+                std::to_string(cut_threads) + "to" +
+                std::to_string(resume_threads) + ".ckpt");
+    Verifier::Options part_opt;
+    part_opt.pruning = mode;
+    part_opt.max_visits = cut;
+    part_opt.checkpoint_path = path.string();
+    part_opt.threads = cut_threads;
+    part_opt.clamp_threads = false;
+    const VerificationReport partial = Verifier(p, part_opt).verify();
+    if (partial.outcome == Outcome::Complete) {
+      // The budget is polled between expansion steps; a small protocol can
+      // drain its worklist inside the step that crosses `cut`, leaving no
+      // interruption point here. Nothing to resume.
+      EXPECT_EQ(report_to_json(partial, p), uninterrupted)
+          << p.name() << " cut=" << cut;
+      return;
+    }
+    ASSERT_TRUE(partial.checkpoint_written) << p.name() << " cut=" << cut;
+
+    const SymbolicCheckpoint cp = load_symbolic_checkpoint(path);
+    Verifier::Options resume_opt;
+    resume_opt.pruning = mode;
+    resume_opt.resume = &cp;
+    resume_opt.threads = resume_threads;
+    resume_opt.clamp_threads = false;
+    EXPECT_EQ(report_to_json(Verifier(p, resume_opt).verify(), p),
+              uninterrupted)
+        << p.name() << " cut=" << cut << " " << cut_threads << " -> "
+        << resume_threads << " threads";
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ParallelCheckpoint, QuarterCutsResumeAcrossThreadCounts) {
+  // 25/50/75% interruption points, cut parallel -> resumed serial and cut
+  // serial -> resumed parallel, for every spec x both pruning modes.
+  const fs::path specs = fs::path(CCVER_SOURCE_DIR) / "specs";
+  std::size_t checked = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(specs)) {
+    if (entry.path().extension() != ".ccp") continue;
+    const Protocol p = load_protocol_file(entry.path());
+    for (const PruningMode mode :
+         {PruningMode::Containment, PruningMode::EqualityOnly}) {
+      SymbolicExpander::Options full_opt;
+      full_opt.pruning = mode;
+      const ExpansionResult full = SymbolicExpander(p, full_opt).run();
+      const std::uint64_t visits = full.stats.visits;
+      ASSERT_GT(visits, 4u) << p.name();
+      const std::string uninterrupted = [&] {
+        Verifier::Options opt;
+        opt.pruning = mode;
+        return report_to_json(Verifier(p, opt).verify(), p);
+      }();
+
+      for (const std::uint64_t pct : {25u, 50u, 75u}) {
+        const std::size_t cut =
+            static_cast<std::size_t>(std::max<std::uint64_t>(
+                1, visits * pct / 100));
+        expect_resume_identical(p, mode, uninterrupted, cut, 8, 1);
+        expect_resume_identical(p, mode, uninterrupted, cut, 1, 8);
+      }
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 11u);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -152,6 +152,15 @@ int cmd_verify(const Args& args) {
       (!opt.checkpoint_path.empty() || args.has("--resume"))) {
     throw SpecError("--trace cannot be combined with --checkpoint/--resume");
   }
+  // Same semantics as enumerate: 0 = hardware concurrency, requests above
+  // the machine are clamped adaptively. The report is byte-identical at
+  // any thread count, so --threads is purely a wall-clock knob.
+  opt.threads = args.get_number("--threads", 1);
+  if (opt.record_trace && args.has("--threads")) {
+    throw SpecError(
+        "--trace records the serial visit order and always runs one "
+        "worker; drop --threads");
+  }
   SymbolicCheckpoint resume_cp;
   if (args.has("--resume")) {
     resume_cp = load_symbolic_checkpoint(args.get("--resume", ""));
@@ -581,8 +590,9 @@ int usage() {
       "usage: ccverify <command> [args]\n"
       "  list                                 protocols in the library\n"
       "  verify <protocol> [--dot F] [--trace] [--json] [--stats]\n"
-      "         [--deadline D] [--mem-budget B] [--max-visits N]\n"
-      "         [--checkpoint F] [--checkpoint-interval-ms N] [--resume F]\n"
+      "         [--threads N] [--deadline D] [--mem-budget B]\n"
+      "         [--max-visits N] [--checkpoint F]\n"
+      "         [--checkpoint-interval-ms N] [--resume F]\n"
       "                                       symbolic verification\n"
       "  describe <protocol>                  print the rule table\n"
       "  enumerate <protocol> [--caches N | --n N] [--strict] [--threads N]\n"

@@ -1,0 +1,43 @@
+#include "enumeration/report_json.hpp"
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+
+std::string enumeration_to_json(const Protocol& p, std::size_t n_caches,
+                                Equivalence eq, const EnumerationResult& r,
+                                const MetricsSnapshot* metrics) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("protocol").value(p.name());
+  json.key("n_caches").value(static_cast<std::uint64_t>(n_caches));
+  json.key("equivalence")
+      .value(eq == Equivalence::Strict ? "strict" : "counting");
+  json.key("outcome").value(std::string(to_string(r.outcome)));
+  json.key("stop_reason").value(std::string(to_string(r.stop_reason)));
+  json.key("states").value(static_cast<std::uint64_t>(r.states));
+  json.key("visits").value(static_cast<std::uint64_t>(r.visits));
+  json.key("levels").value(static_cast<std::uint64_t>(r.levels));
+  json.key("expansions").value(static_cast<std::uint64_t>(r.expansions));
+  json.key("errors").begin_array();
+  for (const ConcreteError& e : r.errors) {
+    json.begin_object();
+    json.key("detail").value(e.detail);
+    json.key("state").value(to_string(p, e.state));
+    json.key("path").begin_array();
+    for (const std::string& step : e.path) json.value(step);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("errors_truncated").value(r.errors_truncated);
+  if (metrics != nullptr) {
+    json.key("metrics");
+    metrics_to_json(json, *metrics);
+  }
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace ccver

@@ -1,0 +1,33 @@
+#pragma once
+/// \file report_json.hpp
+/// Machine-readable (JSON) rendering of enumeration results.
+///
+/// One renderer shared by the `ccverify enumerate --json` front end and the
+/// serve subsystem, so a job response payload is byte-identical to the
+/// one-shot CLI output for the same protocol and options. Field order and
+/// content are deterministic: errors and reachable states come back
+/// canonically sorted from the enumerator, and wall-clock data only appears
+/// under the opt-in "metrics" key.
+
+#include <string>
+
+#include "enumeration/enumerator.hpp"
+
+namespace ccver {
+
+struct MetricsSnapshot;
+
+/// Serializes `r` for a run of `p` under (`n_caches`, `eq`):
+/// {
+///   "protocol": ..., "n_caches": N, "equivalence": "strict"|"counting",
+///   "outcome": ..., "stop_reason": ..., "states": N, "visits": N,
+///   "levels": N, "expansions": N,
+///   "errors": [{"detail": ..., "state": ..., "path": [...]}, ...],
+///   "errors_truncated": bool,
+///   "metrics": {...}  // when `metrics` is non-null (--stats)
+/// }
+[[nodiscard]] std::string enumeration_to_json(
+    const Protocol& p, std::size_t n_caches, Equivalence eq,
+    const EnumerationResult& r, const MetricsSnapshot* metrics = nullptr);
+
+}  // namespace ccver

@@ -1,0 +1,226 @@
+#include "serve/job.hpp"
+
+#include <algorithm>
+
+#include "analysis/checks.hpp"
+#include "analysis/output.hpp"
+#include "core/report_json.hpp"
+#include "core/verifier.hpp"
+#include "enumeration/enumerator.hpp"
+#include "enumeration/report_json.hpp"
+#include "protocols/protocols.hpp"
+#include "spec/loader.hpp"
+#include "spec/parser.hpp"
+#include "util/checkpoint_io.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+
+namespace {
+
+std::uint64_t clamp_limit(std::uint64_t requested,
+                          std::uint64_t ceiling) noexcept {
+  if (ceiling == 0) return requested;
+  if (requested == 0) return ceiling;
+  return std::min(requested, ceiling);
+}
+
+constexpr std::uint64_t mix64(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Budget::Limits effective_limits(const Budget::Limits& requested,
+                                const Budget::Limits& ceilings) {
+  Budget::Limits limits;
+  limits.deadline_ns = clamp_limit(requested.deadline_ns, ceilings.deadline_ns);
+  limits.max_states = clamp_limit(requested.max_states, ceilings.max_states);
+  limits.max_bytes = clamp_limit(requested.max_bytes, ceilings.max_bytes);
+  return limits;
+}
+
+bool default_budget(const ServeRequest& request) {
+  return request.limits.deadline_ns == 0 && request.limits.max_states == 0 &&
+         request.limits.max_bytes == 0 && request.max_visits == 0;
+}
+
+std::uint64_t job_cache_key(const ServeRequest& request, const Protocol& p) {
+  std::uint64_t h = describe_fingerprint(p.describe());
+  h = mix64(h, static_cast<std::uint64_t>(request.verb));
+  h = mix64(h, static_cast<std::uint64_t>(request.equivalence));
+  h = mix64(h, request.verb == ServeRequest::Verb::Enumerate
+                   ? static_cast<std::uint64_t>(request.n_caches)
+                   : 0);
+  if (request.verb == ServeRequest::Verb::Lint) {
+    // Lint diagnostics carry source spans, which the semantic fingerprint
+    // cannot see: two formattings of one protocol must not share verdicts.
+    h = mix64(h, fnv1a(request.spec));
+  }
+  return h;
+}
+
+Protocol resolve_job_protocol(const ServeRequest& request) {
+  // Lint resolves leniently so every lint-diagnosable defect survives into
+  // the built protocol, exactly like the one-shot `ccverify lint`.
+  const bool lenient = request.verb == ServeRequest::Verb::Lint;
+  switch (request.source) {
+    case SpecSource::Library: return protocols::by_name(request.spec);
+    case SpecSource::Inline:
+      return lenient ? parse_protocol_lenient(request.spec)
+                     : parse_protocol(request.spec);
+    case SpecSource::Path:
+      return load_protocol_file(request.spec, lenient ? BuildMode::Lenient
+                                                      : BuildMode::Strict);
+  }
+  throw InternalError("unhandled job spec source");
+}
+
+namespace {
+
+/// The label lint diagnostics are anchored to: a path stays a path, a
+/// library protocol its name, and inline source the pseudo-file "spec"
+/// (the same anchor SpecError uses before a loader re-anchors it).
+std::string lint_label(const ServeRequest& request) {
+  return request.source == SpecSource::Inline ? "spec" : request.spec;
+}
+
+JobResult run_verify(const ServeRequest& request, const Protocol& p,
+                     Budget& budget, const std::uint64_t ceiling_visits,
+                     MetricsRegistry* metrics) {
+  Verifier::Options opt;
+  opt.budget = &budget;
+  opt.metrics = metrics;
+  // Intersect like the budget limits: the request may lower the visit
+  // bound under the ceiling but never raise it past one; with neither set
+  // the verifier's stock default stands.
+  if (ceiling_visits != 0) opt.max_visits = ceiling_visits;
+  if (request.max_visits != 0) {
+    opt.max_visits = ceiling_visits == 0
+                         ? request.max_visits
+                         : std::min(request.max_visits, ceiling_visits);
+  }
+  opt.checkpoint_path = request.checkpoint;
+  const VerificationReport report = Verifier(p, opt).verify();
+  JobResult result;
+  if (!report.ok) {
+    result.status = JobStatus::ProtocolErrors;
+  } else if (report.outcome == Outcome::Partial) {
+    result.status = JobStatus::Partial;
+  } else {
+    result.status = JobStatus::Verified;
+  }
+  if (metrics != nullptr) {
+    budget.publish(*metrics);
+    failpoints_publish(*metrics);
+    const MetricsSnapshot snapshot = metrics->snapshot();
+    result.payload = report_to_json(report, p, &snapshot);
+  } else {
+    result.payload = report_to_json(report, p);
+  }
+  return result;
+}
+
+JobResult run_enumerate(const ServeRequest& request, const Protocol& p,
+                        Budget& budget, MetricsRegistry* metrics) {
+  Enumerator::Options opt;
+  opt.n_caches = request.n_caches;
+  opt.equivalence = request.equivalence;
+  opt.budget = &budget;
+  opt.metrics = metrics;
+  opt.checkpoint_path = request.checkpoint;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  JobResult result;
+  if (!r.errors.empty()) {
+    result.status = JobStatus::ProtocolErrors;
+  } else if (r.outcome == Outcome::Partial) {
+    result.status = JobStatus::Partial;
+  } else {
+    result.status = JobStatus::Verified;
+  }
+  if (metrics != nullptr) {
+    budget.publish(*metrics);
+    failpoints_publish(*metrics);
+    const MetricsSnapshot snapshot = metrics->snapshot();
+    result.payload = enumeration_to_json(p, opt.n_caches, opt.equivalence, r,
+                                         &snapshot);
+  } else {
+    result.payload =
+        enumeration_to_json(p, opt.n_caches, opt.equivalence, r);
+  }
+  return result;
+}
+
+JobResult run_lint(const ServeRequest& request, const Protocol& p,
+                   Budget& budget, MetricsRegistry* metrics) {
+  LintOptions options;
+  options.budget = &budget;
+  options.metrics = metrics;
+  std::vector<LintedFile> files;
+  files.push_back(LintedFile{lint_label(request), lint_protocol(p, options)});
+  JobResult result;
+  result.payload = diagnostics_to_json(files);
+  if (files.front().report.count(Severity::Error) > 0) {
+    result.status = JobStatus::ProtocolErrors;
+  } else if (budget.exhausted()) {
+    result.status = JobStatus::Partial;
+  } else {
+    result.status = JobStatus::Verified;
+  }
+  return result;
+}
+
+}  // namespace
+
+JobResult lint_parse_error_result(const ServeRequest& request,
+                                  const SpecError& error) {
+  // Mirrors the one-shot `ccverify lint`: what lenient parsing still
+  // rejects becomes a located parse-error diagnostic, not a usage error.
+  std::vector<LintedFile> files;
+  LintedFile f{lint_label(request), {}};
+  f.report.diagnostics.push_back(Diagnostic{
+      "parse-error", Severity::Error, error.span(), error.detail(), ""});
+  files.push_back(std::move(f));
+  JobResult result;
+  result.status = JobStatus::ProtocolErrors;
+  result.payload = diagnostics_to_json(files);
+  return result;
+}
+
+JobResult run_job(const ServeRequest& request, const Protocol& p,
+                  Budget& budget, std::uint64_t ceiling_max_visits,
+                  MetricsRegistry* metrics) {
+  try {
+    switch (request.verb) {
+      case ServeRequest::Verb::Verify:
+        return run_verify(request, p, budget, ceiling_max_visits, metrics);
+      case ServeRequest::Verb::Enumerate:
+        return run_enumerate(request, p, budget, metrics);
+      case ServeRequest::Verb::Lint:
+        return run_lint(request, p, budget, metrics);
+    }
+    throw InternalError("unhandled job verb");
+  } catch (const IoError& e) {
+    return JobResult{JobStatus::InternalError, "", e.what()};
+  } catch (const SpecError& e) {
+    return JobResult{JobStatus::UsageError, "", e.what()};
+  } catch (const std::bad_alloc&) {
+    return JobResult{JobStatus::InternalError, "", "out of memory"};
+  } catch (const std::exception& e) {
+    return JobResult{JobStatus::InternalError, "", e.what()};
+  }
+}
+
+}  // namespace ccver

@@ -1,0 +1,73 @@
+#pragma once
+/// \file job.hpp
+/// Execution of one validated serve job: spec resolution, per-job budget
+/// isolation, and verdict rendering.
+///
+/// A job runs with a `Budget` built by *intersecting* the request's limits
+/// with the server-wide per-job ceilings: a client may ask for less than
+/// the ceiling but never more, and an unlimited request inherits the
+/// ceiling. The budget is constructed at admission time, so queue wait
+/// counts against the job's deadline -- a job that starves in the queue
+/// degrades to a Partial verdict instead of occupying a worker forever.
+///
+/// `run_job` never throws. Every failure mode -- unparseable inline spec,
+/// unreadable path, unknown library protocol, engine fault -- maps onto
+/// the job status taxonomy with a located error message, because one bad
+/// job must never take the server loop down.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "util/budget.hpp"
+
+namespace ccver {
+
+class MetricsRegistry;
+class Protocol;
+class SpecError;
+
+/// Server-wide per-job ceilings; a request's limits are clamped to these.
+/// Zero fields are unlimited (no ceiling).
+struct JobCeilings {
+  Budget::Limits limits;
+  std::uint64_t max_visits = 0;
+};
+
+/// `request.limits` clamped to `ceilings`: a zero (unlimited) request
+/// field takes the ceiling, a nonzero one is capped at it.
+[[nodiscard]] Budget::Limits effective_limits(const Budget::Limits& requested,
+                                              const Budget::Limits& ceilings);
+
+/// True when the job asks for no budget of its own (so its verdict is the
+/// same as any other default-budget run and may be cached).
+[[nodiscard]] bool default_budget(const ServeRequest& request);
+
+/// Cache key for a resolved job: `describe_fingerprint(p)` mixed with the
+/// verb and every option that changes the verdict (equivalence, n).
+[[nodiscard]] std::uint64_t job_cache_key(const ServeRequest& request,
+                                          const Protocol& p);
+
+/// Resolves the request's spec source into a protocol. Throws SpecError /
+/// IoError exactly like the one-shot CLI (the caller maps them onto
+/// usage-error / internal-error responses).
+[[nodiscard]] Protocol resolve_job_protocol(const ServeRequest& request);
+
+/// The lint-verb fallback for a spec that `resolve_job_protocol` rejected:
+/// a protocol-errors verdict whose payload carries one located parse-error
+/// diagnostic, exactly like the one-shot `ccverify lint` on a broken file.
+[[nodiscard]] JobResult lint_parse_error_result(const ServeRequest& request,
+                                                const SpecError& error);
+
+/// Runs the job under `budget` (already intersected with the server's
+/// ceilings) and returns its verdict; `ceiling_max_visits` caps the
+/// verify-verb visit bound the same way (0 = no ceiling). The payload is
+/// byte-identical to the one-shot `ccverify <verb> ... --json` output for
+/// the same spec and options. Never throws.
+[[nodiscard]] JobResult run_job(const ServeRequest& request,
+                                const Protocol& p, Budget& budget,
+                                std::uint64_t ceiling_max_visits,
+                                MetricsRegistry* metrics);
+
+}  // namespace ccver

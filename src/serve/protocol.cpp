@@ -1,0 +1,514 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ccver {
+
+std::string_view to_string(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::Verified: return "verified";
+    case JobStatus::ProtocolErrors: return "protocol-errors";
+    case JobStatus::UsageError: return "usage-error";
+    case JobStatus::InternalError: return "internal-error";
+    case JobStatus::Partial: return "partial";
+    case JobStatus::Overloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
+int job_status_exit_code(JobStatus s) noexcept {
+  return s == JobStatus::Overloaded ? -1 : static_cast<int>(s);
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over one request line. Every failure
+/// throws SpecError located as `byte <offset>: <detail>`; the depth cap
+/// bounds recursion against hostile nesting.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& detail) const {
+    throw SpecError("byte " + std::to_string(pos_) + ": " + detail);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of request");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': {
+        parse_literal("null");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("invalid literal (expected '" + std::string(word) + "')");
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (peek() == 't') {
+      parse_literal("true");
+      v.boolean = true;
+    } else {
+      parse_literal("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    bool integral = true;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      fail("invalid number");
+    }
+    std::uint64_t magnitude = 0;
+    bool overflow = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const std::uint64_t digit =
+          static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (magnitude > (UINT64_MAX - digit) / 10) overflow = true;
+      magnitude = magnitude * 10 + digit;
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("invalid number (bare decimal point)");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("invalid number (empty exponent)");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (integral && overflow) fail("integer out of range");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    v.is_unsigned = integral && !negative;
+    v.unsigned_number = v.is_unsigned ? magnitude : 0;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: a low surrogate escape must follow.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        fail("high surrogate without low surrogate");
+      }
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (pos_ >= text_.size()) fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key string");
+      }
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (v.object.contains(key)) fail("duplicate key '" + key + "'");
+      v.object.emplace(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (pos_ >= text_.size()) fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Fields every op accepts plus per-op job fields; anything else is a
+/// located usage error (a hardened service rejects what it does not
+/// understand instead of guessing).
+const JsonValue* take_field(const JsonValue& doc, const std::string& name,
+                            JsonValue::Kind kind, const char* kind_name) {
+  const JsonValue* v = doc.find(name);
+  if (v == nullptr) return nullptr;
+  if (v->kind != kind) {
+    throw SpecError("field '" + name + "' must be a " + kind_name);
+  }
+  return v;
+}
+
+std::uint64_t take_unsigned(const JsonValue& doc, const std::string& name,
+                            std::uint64_t fallback) {
+  const JsonValue* v =
+      take_field(doc, name, JsonValue::Kind::Number, "number");
+  if (v == nullptr) return fallback;
+  if (!v->is_unsigned) {
+    throw SpecError("field '" + name + "' must be a non-negative integer");
+  }
+  return v->unsigned_number;
+}
+
+std::string take_string(const JsonValue& doc, const std::string& name) {
+  const JsonValue* v =
+      take_field(doc, name, JsonValue::Kind::String, "string");
+  return v == nullptr ? std::string() : v->string;
+}
+
+ServeRequest build_request(const JsonValue& doc) {
+  if (doc.kind != JsonValue::Kind::Object) {
+    throw SpecError("request must be a JSON object");
+  }
+  ServeRequest req;
+  req.id = take_string(doc, "id");
+
+  const std::string op = take_string(doc, "op");
+  static const std::vector<std::string> kCommonFields = {"op", "id"};
+  std::vector<std::string> allowed = kCommonFields;
+  if (op == "job") {
+    req.op = RequestOp::Job;
+    allowed.insert(allowed.end(),
+                   {"verb", "protocol", "spec", "path", "equivalence", "n",
+                    "deadline", "mem_budget", "max_states", "max_visits",
+                    "checkpoint", "stats"});
+  } else if (op == "stats") {
+    req.op = RequestOp::Stats;
+  } else if (op == "ping") {
+    req.op = RequestOp::Ping;
+  } else if (op == "shutdown") {
+    req.op = RequestOp::Shutdown;
+  } else if (op.empty()) {
+    throw SpecError("missing 'op' field (job, stats, ping or shutdown)");
+  } else {
+    throw SpecError("unknown op '" + op +
+                    "' (use job, stats, ping or shutdown)");
+  }
+  for (const auto& [key, value] : doc.object) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw SpecError("unknown field '" + key + "' for op '" + op + "'");
+    }
+  }
+  if (req.op != RequestOp::Job) return req;
+
+  const std::string verb = take_string(doc, "verb");
+  if (verb == "verify") {
+    req.verb = ServeRequest::Verb::Verify;
+  } else if (verb == "enumerate") {
+    req.verb = ServeRequest::Verb::Enumerate;
+  } else if (verb == "lint") {
+    req.verb = ServeRequest::Verb::Lint;
+  } else if (verb.empty()) {
+    throw SpecError("job needs a 'verb' (verify, enumerate or lint)");
+  } else {
+    throw SpecError("unknown verb '" + verb +
+                    "' (use verify, enumerate or lint)");
+  }
+
+  int sources = 0;
+  if (const JsonValue* v =
+          take_field(doc, "protocol", JsonValue::Kind::String, "string")) {
+    req.source = SpecSource::Library;
+    req.spec = v->string;
+    ++sources;
+  }
+  if (const JsonValue* v =
+          take_field(doc, "spec", JsonValue::Kind::String, "string")) {
+    req.source = SpecSource::Inline;
+    req.spec = v->string;
+    ++sources;
+  }
+  if (const JsonValue* v =
+          take_field(doc, "path", JsonValue::Kind::String, "string")) {
+    req.source = SpecSource::Path;
+    req.spec = v->string;
+    ++sources;
+  }
+  if (sources != 1) {
+    throw SpecError(
+        "job needs exactly one of 'protocol', 'spec' or 'path'");
+  }
+  if (req.spec.empty()) {
+    throw SpecError("job spec source must not be empty");
+  }
+
+  const std::string eq = take_string(doc, "equivalence");
+  if (eq == "strict") {
+    req.equivalence = Equivalence::Strict;
+  } else if (!eq.empty() && eq != "counting") {
+    throw SpecError("unknown equivalence '" + eq +
+                    "' (use counting or strict)");
+  }
+  req.n_caches = take_unsigned(doc, "n", req.n_caches);
+  if (req.n_caches == 0) throw SpecError("field 'n' must be positive");
+
+  if (const JsonValue* v =
+          take_field(doc, "deadline", JsonValue::Kind::String, "string")) {
+    req.limits.deadline_ns = parse_duration_ns(v->string);
+  }
+  if (const JsonValue* v =
+          take_field(doc, "mem_budget", JsonValue::Kind::String, "string")) {
+    req.limits.max_bytes = parse_byte_size(v->string);
+  }
+  req.limits.max_states = take_unsigned(doc, "max_states", 0);
+  req.max_visits = take_unsigned(doc, "max_visits", 0);
+  req.checkpoint = take_string(doc, "checkpoint");
+  if (const JsonValue* v =
+          take_field(doc, "stats", JsonValue::Kind::Bool, "boolean")) {
+    req.want_stats = v->boolean;
+  }
+  return req;
+}
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+ParsedRequest parse_request(std::string_view line, std::uint64_t seq) {
+  ParsedRequest parsed;
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const SpecError& e) {
+    parsed.error = std::string("request ") + std::to_string(seq) + ": " +
+                   e.detail();
+    return parsed;
+  }
+  // Salvage the client id even from invalid requests so the error response
+  // still correlates.
+  if (doc.kind == JsonValue::Kind::Object) {
+    if (const JsonValue* id = doc.find("id");
+        id != nullptr && id->kind == JsonValue::Kind::String) {
+      parsed.id = id->string;
+    }
+  }
+  try {
+    parsed.request = build_request(doc);
+  } catch (const SpecError& e) {
+    parsed.error = std::string("request ") + std::to_string(seq) + ": " +
+                   e.detail();
+    return parsed;
+  }
+  parsed.request.seq = seq;
+  parsed.request.id = parsed.id;
+  parsed.ok = true;
+  return parsed;
+}
+
+std::string render_job_response(const std::string& id, std::uint64_t seq,
+                                JobStatus s, const std::string& payload,
+                                const std::string& error, bool cached) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("id").value(id);
+  json.key("seq").value(seq);
+  json.key("status").value(to_string(s));
+  const int code = job_status_exit_code(s);
+  if (code >= 0) {
+    json.key("exit_code").value(static_cast<std::uint64_t>(code));
+  }
+  json.key("cached").value(cached);
+  if (!error.empty()) json.key("error").value(error);
+  if (!payload.empty()) json.key("payload").raw_value(payload);
+  json.end_object();
+  return std::move(json).str();
+}
+
+std::string render_control_response(const std::string& id, std::uint64_t seq,
+                                    std::string_view op) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("id").value(id);
+  json.key("seq").value(seq);
+  json.key("status").value("ok");
+  json.key("op").value(op);
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace ccver

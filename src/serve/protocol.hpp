@@ -1,0 +1,151 @@
+#pragma once
+/// \file protocol.hpp
+/// Newline-delimited-JSON request/response framing for `ccverify serve`.
+///
+/// A client sends one JSON object per line; the server answers with one
+/// JSON object per line. Responses complete out of order under concurrent
+/// jobs, so clients correlate by the echoed `id` (or the server-assigned
+/// `seq`). The framing layer is the outermost robustness boundary of the
+/// service: malformed, oversized or unparseable request lines must become
+/// located error *responses*, never exceptions that escape into the accept
+/// loop -- so `parse_request` reports failures by value.
+///
+/// Request grammar (field order free; unknown fields are rejected):
+///
+///   {"op":"job", "verb":"verify"|"enumerate"|"lint",
+///    "protocol":NAME | "spec":TEXT | "path":FILE.ccp,   // exactly one
+///    "id":STRING?, "equivalence":"counting"|"strict"?, "n":N?,
+///    "deadline":DUR?, "mem_budget":BYTES?, "max_states":N?,
+///    "max_visits":N?, "checkpoint":FILE?, "stats":BOOL?}
+///   {"op":"stats", "id":STRING?}      -> serve.* metrics snapshot
+///   {"op":"ping", "id":STRING?}       -> liveness probe
+///   {"op":"shutdown", "id":STRING?}   -> begin graceful drain
+///
+/// `deadline` and `mem_budget` accept the `--deadline`/`--mem-budget` CLI
+/// grammars (`5s`, `64M`). The job status enum extends the PR-4 exit-code
+/// taxonomy: statuses 0-4 are exactly the `ccverify` exit codes, and
+/// `overloaded` marks requests shed by admission control before any code
+/// ran.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "enumeration/enum_state.hpp"
+#include "util/budget.hpp"
+
+namespace ccver {
+
+/// Status of one serve job, mirroring the exit-code taxonomy (values 0-4
+/// are the exit codes; Overloaded is the serve-only shed status).
+enum class JobStatus : std::uint8_t {
+  Verified = 0,        ///< completed with no protocol errors (exit 0)
+  ProtocolErrors = 1,  ///< completed; the protocol is incorrect (exit 1)
+  UsageError = 2,      ///< malformed request or spec (exit 2)
+  InternalError = 3,   ///< I/O or internal failure (exit 3)
+  Partial = 4,         ///< a budget stopped the job; prefix result (exit 4)
+  Overloaded = 5,      ///< shed by admission control; never ran
+};
+
+/// The wire status string ("verified", "protocol-errors", "usage-error",
+/// "internal-error", "partial", "overloaded").
+[[nodiscard]] std::string_view to_string(JobStatus s) noexcept;
+
+/// The `ccverify` exit code a one-shot run of the same job would return;
+/// Overloaded has no one-shot counterpart and maps to -1.
+[[nodiscard]] int job_status_exit_code(JobStatus s) noexcept;
+
+/// Minimal parsed JSON value (the request side of the framing; responses
+/// are written with JsonWriter). Objects keep their keys in sorted order.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t unsigned_number = 0;  ///< exact value when `is_unsigned`
+  bool is_unsigned = false;           ///< number was a plain integer >= 0
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses exactly one JSON document from `text` (trailing whitespace is
+/// allowed, trailing content is not). Throws SpecError whose message is
+/// located as `byte <offset>: <detail>`. Nesting depth is capped so a
+/// hostile request cannot exhaust the parser's stack.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// What a request asks the server to do.
+enum class RequestOp : std::uint8_t { Job, Stats, Ping, Shutdown };
+
+/// Where a job's protocol text comes from.
+enum class SpecSource : std::uint8_t {
+  Library,  ///< `protocol`: a built-in protocol name
+  Inline,   ///< `spec`: full `.ccp` source carried in the request
+  Path,     ///< `path`: a `.ccp` file on the server's filesystem
+};
+
+/// One validated request. `seq` is assigned by the server when the line is
+/// read; `id` is the client's correlation string (may be empty).
+struct ServeRequest {
+  RequestOp op = RequestOp::Ping;
+  std::string id;
+  std::uint64_t seq = 0;
+
+  // Job fields (op == Job).
+  enum class Verb : std::uint8_t { Verify, Enumerate, Lint } verb =
+      Verb::Verify;
+  SpecSource source = SpecSource::Library;
+  std::string spec;  ///< name, inline text, or path, per `source`
+  Equivalence equivalence = Equivalence::Counting;
+  std::size_t n_caches = 4;
+  /// Requested budget (0 = take the server's per-job ceiling).
+  Budget::Limits limits;
+  std::uint64_t max_visits = 0;
+  std::string checkpoint;  ///< when set, a drained/partial job checkpoints
+  bool want_stats = false;
+};
+
+/// Outcome of parsing one request line: either a request or a located
+/// error message (`detail` is ready to ship in an error response).
+struct ParsedRequest {
+  bool ok = false;
+  ServeRequest request;
+  std::string error;  ///< located detail when !ok
+  std::string id;     ///< client id salvaged from the line when possible
+};
+
+/// Parses and validates one NDJSON request line. Never throws: malformed
+/// JSON, unknown ops/fields, conflicting spec sources and bad budget
+/// grammar all come back as `ParsedRequest::error`, located with the byte
+/// offset where known. `seq` is stamped into the result.
+[[nodiscard]] ParsedRequest parse_request(std::string_view line,
+                                          std::uint64_t seq);
+
+/// Renders the response envelope for a finished/refused job. `payload` is
+/// injected verbatim and must be a complete JSON document (or empty for no
+/// payload); `error` carries the located detail for error statuses;
+/// `cached` marks verdicts served from the result cache.
+[[nodiscard]] std::string render_job_response(const std::string& id,
+                                              std::uint64_t seq, JobStatus s,
+                                              const std::string& payload,
+                                              const std::string& error,
+                                              bool cached);
+
+/// Renders a control-op response (`ping`/`shutdown`): `{"id":...,"seq":N,
+/// "status":"ok","op":...}`.
+[[nodiscard]] std::string render_control_response(const std::string& id,
+                                                  std::uint64_t seq,
+                                                  std::string_view op);
+
+}  // namespace ccver

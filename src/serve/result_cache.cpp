@@ -1,0 +1,128 @@
+#include "serve/result_cache.hpp"
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+
+namespace ccver {
+
+ResultCache::Lookup ResultCache::acquire(std::uint64_t key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second->done &&
+        CCV_FAILPOINT("serve.cache_evict")) {
+      // Chaos: forcibly forget the verdict so this acquire takes the miss
+      // path. The server must survive a cache that never hits.
+      lru_.erase(it->second->lru);
+      entries_.erase(it);
+      ++forced_evictions_;
+      it = entries_.end();
+    }
+    if (it == entries_.end()) {
+      ++misses_;
+      auto entry = std::make_shared<Entry>();
+      entries_.emplace(key, std::move(entry));
+      return Lookup{Role::Owner, {}};
+    }
+    Entry& entry = *it->second;
+    if (entry.done) {
+      ++hits_;
+      touch_locked(entry, key);
+      return Lookup{Role::Hit, entry.result};
+    }
+    // A run is in flight; wait for its publish (or abandon, which loops
+    // back to retry ownership so one failed owner cannot wedge the key).
+    ++waits_;
+    const std::shared_ptr<Entry> held = it->second;
+    ++held->waiters;
+    held->cv.wait(lock, [&held] { return held->done || held->abandoned; });
+    --held->waiters;
+    if (held->done && !held->abandoned) {
+      return Lookup{Role::Waited, held->result};
+    }
+  }
+}
+
+void ResultCache::publish(std::uint64_t key, const JobResult& result,
+                          bool cacheable) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  CCV_CHECK(it != entries_.end() && !it->second->done,
+            "ResultCache::publish without matching acquire");
+  Entry& entry = *it->second;
+  entry.result = result;
+  entry.done = true;
+  if (cacheable) {
+    lru_.push_front(key);
+    entry.lru = lru_.begin();
+    ++inserts_;
+    while (lru_.size() > options_.max_entries) evict_oldest_locked();
+  } else {
+    // Waiters still get the result through their shared_ptr; the map only
+    // forgets the key so the next acquire re-runs.
+    entry.abandoned = false;
+    it->second->cv.notify_all();
+    entries_.erase(it);
+    return;
+  }
+  entry.cv.notify_all();
+}
+
+void ResultCache::abandon(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second->done) return;
+  it->second->abandoned = true;
+  it->second->cv.notify_all();
+  entries_.erase(it);
+}
+
+void ResultCache::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second->done) {
+      lru_.erase(it->second->lru);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void ResultCache::evict_oldest_locked() {
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  entries_.erase(victim);
+  ++evictions_;
+}
+
+void ResultCache::touch_locked(Entry& entry, std::uint64_t key) {
+  lru_.erase(entry.lru);
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+}
+
+void ResultCache::publish_metrics(MetricsRegistry& metrics) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics.counter_add("serve.cache.hits", hits_);
+  metrics.counter_add("serve.cache.misses", misses_);
+  metrics.counter_add("serve.cache.waits", waits_);
+  metrics.counter_add("serve.cache.inserts", inserts_);
+  metrics.counter_add("serve.cache.evictions", evictions_);
+  metrics.counter_add("serve.cache.forced_evictions", forced_evictions_);
+  metrics.gauge_set("serve.cache.entries", static_cast<double>(lru_.size()));
+  const std::uint64_t lookups = hits_ + misses_;
+  metrics.gauge_set("serve.cache.hit_rate",
+                    lookups == 0
+                        ? 0.0
+                        : static_cast<double>(hits_) /
+                              static_cast<double>(lookups));
+}
+
+}  // namespace ccver

@@ -1,0 +1,122 @@
+#pragma once
+/// \file result_cache.hpp
+/// Fingerprint-keyed verdict cache with single-flight deduplication.
+///
+/// Most traffic against a verification service is repeat specs: the same
+/// protocol re-checked after every edit, the same CI matrix fanned out to
+/// many clients. A completed verdict for (spec fingerprint x options) is
+/// deterministic, so the cache serves it again in microseconds instead of
+/// re-running the engine.
+///
+/// Single-flight: when N identical jobs arrive concurrently, exactly one
+/// caller becomes the *owner* (runs the engine); the other N-1 block until
+/// the owner publishes and then reuse its result. This holds even for
+/// results that are not cacheable (partial verdicts, failures): the
+/// followers still reuse the owner's outcome -- N concurrent identical
+/// jobs cost one run either way -- but nothing is retained afterwards.
+///
+/// Only Complete verdicts (verified / protocol-errors) under the server's
+/// default budget are cacheable; partial results depend on how much budget
+/// the job happened to get and errors may be transient. Capacity is
+/// bounded: inserting past `max_entries` evicts the least-recently-used
+/// verdict (`serve.cache.evictions`), and the `serve.cache_evict`
+/// failpoint forces misses to drill the cache-thrash path under chaos.
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace ccver {
+
+class MetricsRegistry;
+
+/// One finished job's outcome as shipped to clients. `payload` is the
+/// verbatim one-shot CLI `--json` document (empty when the job produced
+/// none); `error` the located detail for error statuses.
+struct JobResult {
+  JobStatus status = JobStatus::InternalError;
+  std::string payload;
+  std::string error;
+};
+
+/// Thread-safe single-flight result cache. Keys are
+/// `describe_fingerprint(spec) x options` hashes computed by the job layer.
+class ResultCache {
+ public:
+  struct Options {
+    std::size_t max_entries = 1024;  ///< LRU bound on retained verdicts
+  };
+
+  explicit ResultCache(Options options) : options_(options) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// How `acquire` resolved.
+  enum class Role : std::uint8_t {
+    Hit,     ///< cached verdict returned immediately
+    Owner,   ///< caller must run the job and then publish/abandon `key`
+    Waited,  ///< an owner was in flight; its published result is returned
+  };
+
+  struct Lookup {
+    Role role = Role::Owner;
+    JobResult result;  ///< valid for Hit and Waited
+  };
+
+  /// Looks up `key`. Hit: returns the cached verdict. Miss with no run in
+  /// flight: the caller becomes Owner and *must* later call `publish` or
+  /// `abandon` for `key`, or followers block until drain cancels them.
+  /// Miss with a run in flight: blocks until the owner publishes or
+  /// abandons. Abandoned waits retry ownership, so one crashed owner
+  /// cannot wedge the key.
+  [[nodiscard]] Lookup acquire(std::uint64_t key);
+
+  /// Publishes the owner's result to every waiter; retains it for future
+  /// hits only when `cacheable` (Complete verdict under default budget).
+  void publish(std::uint64_t key, const JobResult& result, bool cacheable);
+
+  /// Owner failed without producing a result; wakes waiters to retry.
+  void abandon(std::uint64_t key);
+
+  /// Drops every retained verdict (drain flush); in-flight entries are
+  /// untouched.
+  void flush();
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Publishes `serve.cache.*` counters and the hit-rate gauge.
+  void publish_metrics(MetricsRegistry& metrics) const;
+
+ private:
+  struct Entry {
+    bool done = false;       ///< result is valid (cached verdict)
+    bool abandoned = false;  ///< owner gave up; waiters retry
+    JobResult result;
+    std::size_t waiters = 0;
+    std::condition_variable cv;
+    std::list<std::uint64_t>::iterator lru;  ///< valid when done
+  };
+
+  void evict_oldest_locked();
+  void touch_locked(Entry& entry, std::uint64_t key);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Entry>> entries_;
+  std::list<std::uint64_t> lru_;  ///< most recent at front; done entries only
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t waits_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t forced_evictions_ = 0;  ///< serve.cache_evict failpoint
+};
+
+}  // namespace ccver

@@ -1,0 +1,495 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "fsm/protocol.hpp"
+#include "serve/job.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/json.hpp"
+
+namespace ccver {
+
+namespace {
+
+/// Transport poll granularity: the upper bound on how stale the drain /
+/// signal flags can get inside a blocking read or accept.
+constexpr int kPollMs = 100;
+
+/// Writes all of `data`, retrying short writes and EINTR. Returns false on
+/// a hard error (closed peer); SIGPIPE is ignored process-wide by run_*.
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (!owns_fds) return;
+  if (in_fd >= 0) ::close(in_fd);
+  if (out_fd >= 0 && out_fd != in_fd) ::close(out_fd);
+}
+
+Server::Server(const Options& options)
+    : options_(options),
+      // submit() never runs on the calling thread, so +1 keeps the job
+      // concurrency at `workers` even though the accept loop owns the pool.
+      pool_(options.workers + 1),
+      cache_(ResultCache::Options{options.cache_entries}) {}
+
+Server::~Server() { pool_.wait_idle(); }
+
+void Server::begin_drain() noexcept {
+  if (!draining_.exchange(true, std::memory_order_relaxed)) {
+    drain_started_ns_.store(metrics_now_ns(), std::memory_order_relaxed);
+  }
+}
+
+void Server::poll_external_drain() {
+  if (options_.external_drain != nullptr && !draining() &&
+      options_.external_drain->load(std::memory_order_relaxed)) {
+    begin_drain();
+  }
+}
+
+int Server::run_stdio(int in_fd, int out_fd) {
+  // A client that disconnects mid-response must degrade to a dropped
+  // response, not a SIGPIPE death.
+  std::signal(SIGPIPE, SIG_IGN);
+  const auto conn = std::make_shared<Connection>();
+  conn->in_fd = in_fd;
+  conn->out_fd = out_fd;
+  conn->owns_fds = false;
+  connections_.fetch_add(1, std::memory_order_relaxed);
+  serve_connection(conn);
+  begin_drain();  // EOF (or the drain that ended the read loop)
+  finish_drain();
+  return 0;
+}
+
+int Server::run_unix(const std::string& path) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    throw IoError("serve: cannot create unix socket: " +
+                  std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(listener);
+    throw SpecError("serve: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 64) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listener);
+    throw IoError("serve: cannot bind " + path + ": " + detail);
+  }
+
+  std::vector<std::thread> readers;
+  std::vector<std::shared_ptr<Connection>> conns;
+  while (!draining()) {
+    poll_external_drain();
+    if (draining()) break;
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (CCV_FAILPOINT("serve.accept_fail")) {
+      // Chaos: the accept path failed after the kernel handed us the
+      // connection; drop it and keep serving everyone else.
+      ::close(fd);
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->in_fd = fd;
+    conn->out_fd = fd;
+    conn->owns_fds = true;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    conns.push_back(conn);
+    readers.emplace_back([this, conn] { serve_connection(conn); });
+  }
+  // Readers exit on the drain flag within one poll interval; in-flight
+  // jobs keep writing responses through the still-open sockets until
+  // finish_drain has seen them all out.
+  for (std::thread& t : readers) t.join();
+  finish_drain();
+  conns.clear();  // closes the sockets
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  bool skipping = false;  // inside an oversized line, discarding to '\n'
+  for (;;) {
+    poll_external_drain();
+    if (draining()) return;
+    pollfd pfd{conn->in_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::read(conn->in_fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return;
+    }
+    if (n == 0) return;  // EOF: client is done
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (skipping) {
+        skipping = false;  // the tail of the oversized line; already refused
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.size() > options_.max_request_bytes) {
+        // The whole line arrived in one read; refuse it the same way as a
+        // line whose size was caught while still streaming in.
+        oversized_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t seq =
+            next_seq_.fetch_add(1, std::memory_order_relaxed);
+        respond(conn, render_job_response(
+                          "", seq, JobStatus::UsageError, "",
+                          "request exceeds " +
+                              std::to_string(options_.max_request_bytes) +
+                              " bytes; line discarded",
+                          false));
+        continue;
+      }
+      handle_line(conn, line);
+    }
+    if (!skipping && buffer.size() > options_.max_request_bytes) {
+      // Refuse the line before it finishes arriving, then discard to the
+      // next newline so one hostile request cannot hold the buffer.
+      oversized_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t seq =
+          next_seq_.fetch_add(1, std::memory_order_relaxed);
+      respond(conn,
+              render_job_response(
+                  "", seq, JobStatus::UsageError, "",
+                  "request exceeds " +
+                      std::to_string(options_.max_request_bytes) +
+                      " bytes; line discarded",
+                  false));
+      buffer.clear();
+      skipping = true;
+    }
+  }
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         std::string_view line) {
+  if (line.find_first_not_of(" \t") == std::string_view::npos) {
+    return;  // blank lines are keep-alive noise, not requests
+  }
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ParsedRequest parsed = parse_request(line, seq);
+  if (!parsed.ok) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    respond(conn, render_job_response(parsed.id, seq, JobStatus::UsageError,
+                                      "", parsed.error, false));
+    return;
+  }
+  if (parsed.request.op == RequestOp::Job) {
+    admit_job(conn, std::move(parsed.request));
+  } else {
+    handle_control(conn, parsed.request);
+  }
+}
+
+void Server::handle_control(const std::shared_ptr<Connection>& conn,
+                            const ServeRequest& request) {
+  control_ops_.fetch_add(1, std::memory_order_relaxed);
+  switch (request.op) {
+    case RequestOp::Ping:
+      respond(conn, render_control_response(request.id, request.seq, "ping"));
+      return;
+    case RequestOp::Shutdown:
+      // Acknowledge first: once the drain begins this connection's reader
+      // stops, but in-flight responses still go out.
+      respond(conn,
+              render_control_response(request.id, request.seq, "shutdown"));
+      begin_drain();
+      return;
+    case RequestOp::Stats: {
+      const MetricsSnapshot snapshot = stats_snapshot();
+      JsonWriter json;
+      json.begin_object();
+      json.key("id").value(request.id);
+      json.key("seq").value(request.seq);
+      json.key("status").value("ok");
+      json.key("op").value("stats");
+      json.key("serve");
+      metrics_to_json(json, snapshot);
+      json.end_object();
+      respond(conn, std::move(json).str());
+      return;
+    }
+    case RequestOp::Job: break;  // unreachable; dispatched by handle_line
+  }
+  throw InternalError("unhandled control op");
+}
+
+void Server::admit_job(const std::shared_ptr<Connection>& conn,
+                       ServeRequest request) {
+  const auto shed = [&](const std::string& why) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    respond(conn, render_job_response(request.id, request.seq,
+                                      JobStatus::Overloaded, "", why, false));
+  };
+  if (draining()) {
+    shed("server is draining; not admitting new jobs");
+    return;
+  }
+  if (CCV_FAILPOINT("serve.job_spawn")) {
+    spawn_failures_.fetch_add(1, std::memory_order_relaxed);
+    respond(conn, render_job_response(request.id, request.seq,
+                                      JobStatus::InternalError, "",
+                                      "injected fault: serve.job_spawn",
+                                      false));
+    return;
+  }
+  // Admission control: reserve, then roll back on overflow, so two
+  // concurrent readers cannot both slip under the bound.
+  const std::size_t jobs = jobs_inflight_.fetch_add(1) + 1;
+  if (jobs > options_.max_queue) {
+    jobs_inflight_.fetch_sub(1);
+    shed("queue full: " + std::to_string(options_.max_queue) +
+         " jobs in flight");
+    return;
+  }
+  const std::uint64_t job_bytes = request.spec.size();
+  const std::uint64_t bytes = bytes_inflight_.fetch_add(job_bytes) + job_bytes;
+  if (bytes > options_.max_inflight_bytes) {
+    bytes_inflight_.fetch_sub(job_bytes);
+    jobs_inflight_.fetch_sub(1);
+    shed("in-flight bytes bound exceeded: " +
+         std::to_string(options_.max_inflight_bytes) + " bytes");
+    return;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  // The budget starts now, at admission: queue wait counts against the
+  // job's deadline, so a starved job degrades to Partial instead of
+  // occupying a worker long after its client gave up.
+  const Budget::Limits limits =
+      effective_limits(request.limits, options_.ceilings.limits);
+  auto job = std::make_shared<ActiveJob>(std::move(request), limits, conn);
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    live_jobs_.push_back(job);
+  }
+  try {
+    pool_.submit([this, job] { run_admitted(job); });
+  } catch (const std::exception& e) {
+    {
+      const std::lock_guard<std::mutex> lock(jobs_mutex_);
+      std::erase(live_jobs_, job);
+    }
+    bytes_inflight_.fetch_sub(job_bytes);
+    jobs_inflight_.fetch_sub(1);
+    spawn_failures_.fetch_add(1, std::memory_order_relaxed);
+    respond(conn, render_job_response(job->request.id, job->request.seq,
+                                      JobStatus::InternalError, "", e.what(),
+                                      false));
+  }
+}
+
+void Server::run_admitted(const std::shared_ptr<ActiveJob>& job) {
+  const ServeRequest& request = job->request;
+  JobResult result;
+  bool cached = false;
+  try {
+    const Protocol p = resolve_job_protocol(request);
+    MetricsRegistry job_metrics;
+    MetricsRegistry* metrics = request.want_stats ? &job_metrics : nullptr;
+    // Only a default-budget, side-effect-free job may share a verdict:
+    // custom budgets make the verdict depend on the allowance, --stats
+    // payloads carry run-specific timings, and checkpoint jobs must
+    // actually write their checkpoint.
+    const bool shareable = default_budget(request) && !request.want_stats &&
+                           request.checkpoint.empty();
+    if (shareable) {
+      const std::uint64_t key = job_cache_key(request, p);
+      ResultCache::Lookup lookup = cache_.acquire(key);
+      if (lookup.role == ResultCache::Role::Owner) {
+        try {
+          result = run_job(request, p, job->budget,
+                           options_.ceilings.max_visits, metrics);
+        } catch (...) {
+          cache_.abandon(key);
+          throw;
+        }
+        // Partial verdicts depend on how much budget the run got (drain
+        // cancellation included), so only Complete outcomes are retained.
+        const bool cacheable = result.status == JobStatus::Verified ||
+                               result.status == JobStatus::ProtocolErrors;
+        cache_.publish(key, result, cacheable);
+      } else {
+        result = lookup.result;
+        cached = true;  // Hit or Waited: this job never ran the engine
+      }
+    } else {
+      result = run_job(request, p, job->budget, options_.ceilings.max_visits,
+                       metrics);
+    }
+  } catch (const IoError& e) {
+    result = JobResult{JobStatus::InternalError, "", e.what()};
+  } catch (const SpecError& e) {
+    result = request.verb == ServeRequest::Verb::Lint
+                 ? lint_parse_error_result(request, e)
+                 : JobResult{JobStatus::UsageError, "", e.what()};
+  } catch (const std::bad_alloc&) {
+    result = JobResult{JobStatus::InternalError, "", "out of memory"};
+  } catch (const std::exception& e) {
+    result = JobResult{JobStatus::InternalError, "", e.what()};
+  }
+
+  if (cached) {
+    cached_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (result.status == JobStatus::Partial) {
+    partial_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status == JobStatus::UsageError ||
+             result.status == JobStatus::InternalError) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  respond(job->conn, render_job_response(request.id, request.seq,
+                                         result.status, result.payload,
+                                         result.error, cached));
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    std::erase(live_jobs_, job);
+  }
+  bytes_inflight_.fetch_sub(request.spec.size());
+  jobs_inflight_.fetch_sub(1);
+}
+
+void Server::respond(const std::shared_ptr<Connection>& conn,
+                     const std::string& line) {
+  const std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->write_failed.load(std::memory_order_relaxed)) {
+    responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!write_all(conn->out_fd, line) || !write_all(conn->out_fd, "\n")) {
+    // The peer is gone; remember it so later responses on this connection
+    // are dropped instead of re-attempted.
+    conn->write_failed.store(true, std::memory_order_relaxed);
+    responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::finish_drain() {
+  bool cancelled = false;
+  for (;;) {
+    if (jobs_inflight_.load(std::memory_order_relaxed) == 0 &&
+        pool_.tasks_pending() == 0) {
+      break;
+    }
+    const std::uint64_t started =
+        drain_started_ns_.load(std::memory_order_relaxed);
+    if (!cancelled && started != 0 &&
+        metrics_now_ns() - started >= options_.drain_grace_ns) {
+      // Grace expired: cancel every in-flight budget so stuck jobs come
+      // back Partial promptly (queued jobs latch before they even start).
+      const std::lock_guard<std::mutex> lock(jobs_mutex_);
+      for (const auto& job : live_jobs_) job->budget.cancel();
+      cancelled = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  pool_.wait_idle();
+  cache_.flush();
+  if (options_.metrics != nullptr) {
+    publish_counters(*options_.metrics);
+    cache_.publish_metrics(*options_.metrics);
+  }
+}
+
+void Server::publish_counters(MetricsRegistry& registry) const {
+  registry.counter_add("serve.jobs.admitted",
+                       admitted_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.jobs.rejected",
+                       rejected_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.jobs.completed",
+                       completed_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.jobs.cached",
+                       cached_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.jobs.partial",
+                       partial_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.jobs.failed",
+                       failed_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.requests.malformed",
+                       malformed_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.requests.oversized",
+                       oversized_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.requests.control",
+                       control_ops_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.connections.accepted",
+                       connections_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.connections.accept_errors",
+                       accept_errors_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.jobs.spawn_failures",
+                       spawn_failures_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.responses.dropped",
+                       responses_dropped_.load(std::memory_order_relaxed));
+  registry.gauge_set("serve.queue.depth",
+                     static_cast<double>(
+                         jobs_inflight_.load(std::memory_order_relaxed)));
+  registry.gauge_set("serve.bytes.inflight",
+                     static_cast<double>(
+                         bytes_inflight_.load(std::memory_order_relaxed)));
+}
+
+MetricsSnapshot Server::stats_snapshot() const {
+  // Counters in a MetricsRegistry accumulate, so stats are built into a
+  // fresh temporary each time -- every snapshot is absolute.
+  MetricsRegistry registry;
+  publish_counters(registry);
+  cache_.publish_metrics(registry);
+  return registry.snapshot();
+}
+
+}  // namespace ccver

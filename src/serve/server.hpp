@@ -1,0 +1,161 @@
+#pragma once
+/// \file server.hpp
+/// The long-lived `ccverify serve` process: accept verification jobs over
+/// stdio or a Unix socket, run them on the shared thread pool with per-job
+/// budget isolation, and stay up no matter what the traffic looks like.
+///
+/// Robustness contract:
+///  * Malformed, oversized or unparseable requests produce located error
+///    responses; nothing a client sends can take the process down.
+///  * Admission control sheds load: once `max_queue` jobs or
+///    `max_inflight_bytes` of admitted spec text are in flight, further
+///    jobs are refused with an `overloaded` status instead of queueing
+///    without bound.
+///  * Every job runs under a `Budget` built from the request's limits
+///    intersected with the server-wide ceilings, constructed at admission
+///    so queue wait counts toward the deadline; exhaustion degrades the
+///    job to a Partial verdict, never kills the worker.
+///  * A drain request (SIGINT/SIGTERM via the external flag, a `shutdown`
+///    op, or end of input) stops admission, lets in-flight jobs finish --
+///    cancelling their budgets after `drain_grace_ns` so a stuck job
+///    degrades to Partial instead of blocking exit -- flushes the cache,
+///    publishes final metrics, and returns 0.
+///
+/// Repeat verdicts are served from a fingerprint-keyed single-flight
+/// `ResultCache`; `serve.*` metrics cover jobs, queue, cache and transport
+/// and are also available live through the `{"op":"stats"}` request.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccver {
+
+class Server {
+ public:
+  struct Options {
+    /// Concurrent job workers (the pool is sized `workers + 1`: the accept
+    /// loop never runs jobs itself).
+    std::size_t workers = 2;
+    /// Admission bound on jobs queued or running.
+    std::size_t max_queue = 64;
+    /// Admission bound on admitted-but-unfinished spec bytes.
+    std::uint64_t max_inflight_bytes = 64ULL << 20;
+    /// One request line larger than this is answered with a located
+    /// usage error and skipped.
+    std::size_t max_request_bytes = 1ULL << 20;
+    /// Server-wide per-job ceilings (request limits are clamped to these).
+    JobCeilings ceilings;
+    std::size_t cache_entries = 1024;
+    /// After a drain begins, in-flight budgets are cancelled once this
+    /// grace expires (jobs then return Partial promptly).
+    std::uint64_t drain_grace_ns = 5'000'000'000ULL;
+    /// Signal bridge: handlers may only set an atomic flag, so the loops
+    /// poll this (when non-null) and begin the drain on their behalf.
+    const std::atomic<bool>* external_drain = nullptr;
+    /// Final `serve.*` metrics are published here at drain (for --stats).
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit Server(const Options& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves one already-open stream pair (stdio mode). Returns 0 after a
+  /// clean drain (EOF, shutdown op, or external drain flag).
+  int run_stdio(int in_fd, int out_fd);
+
+  /// Binds `path`, accepts connections until drain, serves each on its own
+  /// reader thread. Returns 0 after a clean drain.
+  int run_unix(const std::string& path);
+
+  /// Begins the graceful drain (idempotent, callable from any thread).
+  void begin_drain() noexcept;
+
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time absolute `serve.*` metrics (what `{"op":"stats"}`
+  /// reports and what drain publishes).
+  [[nodiscard]] MetricsSnapshot stats_snapshot() const;
+
+ private:
+  struct Connection {
+    int in_fd = -1;
+    int out_fd = -1;
+    bool owns_fds = false;  ///< close on destruction (socket connections)
+    std::mutex write_mutex;
+    std::atomic<bool> write_failed{false};
+    ~Connection();
+  };
+
+  /// One admitted job: its request, its budget (alive until the response
+  /// is written, registered for drain cancellation), and its connection.
+  struct ActiveJob {
+    ServeRequest request;
+    Budget budget;
+    std::shared_ptr<Connection> conn;
+    ActiveJob(ServeRequest r, Budget::Limits limits,
+              std::shared_ptr<Connection> c)
+        : request(std::move(r)), budget(limits), conn(std::move(c)) {}
+  };
+
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   std::string_view line);
+  void handle_control(const std::shared_ptr<Connection>& conn,
+                      const ServeRequest& request);
+  void admit_job(const std::shared_ptr<Connection>& conn,
+                 ServeRequest request);
+  void run_admitted(const std::shared_ptr<ActiveJob>& job);
+  void respond(const std::shared_ptr<Connection>& conn,
+               const std::string& line);
+  void publish_counters(MetricsRegistry& registry) const;
+  void poll_external_drain();
+  /// Blocks until every admitted job has responded, cancelling budgets
+  /// once the drain grace expires; then flushes the cache and publishes
+  /// final metrics.
+  void finish_drain();
+
+  Options options_;
+  ThreadPool pool_;
+  ResultCache cache_;
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> drain_started_ns_{0};
+  std::atomic<std::uint64_t> next_seq_{1};
+
+  std::mutex jobs_mutex_;
+  std::vector<std::shared_ptr<ActiveJob>> live_jobs_;
+  std::atomic<std::size_t> jobs_inflight_{0};
+  std::atomic<std::uint64_t> bytes_inflight_{0};
+
+  // serve.* counters (absolute; snapshotted on demand).
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cached_{0};
+  std::atomic<std::uint64_t> partial_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> oversized_{0};
+  std::atomic<std::uint64_t> control_ops_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> spawn_failures_{0};
+  std::atomic<std::uint64_t> responses_dropped_{0};
+};
+
+}  // namespace ccver

@@ -115,6 +115,10 @@ std::uint64_t parse_duration_ns(std::string_view text) {
     throw SpecError("invalid duration unit '" + unit +
                     "' (use ns, us, ms, s, m or h)");
   }
+  if (magnitude > UINT64_MAX / scale) {
+    throw SpecError("duration '" + std::string(text) +
+                    "' overflows the nanosecond range");
+  }
   return magnitude * scale;
 }
 
@@ -138,6 +142,10 @@ std::uint64_t parse_byte_size(std::string_view text) {
   } else {
     throw SpecError("invalid byte-size unit '" + unit +
                     "' (use K, M or G)");
+  }
+  if (magnitude > UINT64_MAX / scale) {
+    throw SpecError("byte size '" + std::string(text) +
+                    "' overflows the byte range");
   }
   return magnitude * scale;
 }

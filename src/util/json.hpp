@@ -109,6 +109,17 @@ class JsonWriter {
     return *this;
   }
 
+  /// Splices `text` in verbatim as the next value. The caller guarantees
+  /// it is one complete, well-formed JSON document -- the writer only
+  /// handles the surrounding comma/key bookkeeping. This is how the serve
+  /// layer embeds an already-rendered report payload byte-identically
+  /// instead of re-serializing it.
+  JsonWriter& raw_value(std::string_view text) {
+    begin_value();
+    out_ << text;
+    return *this;
+  }
+
   /// Finishes and returns the document; the writer must be balanced.
   [[nodiscard]] std::string str() && {
     CCV_CHECK(stack_.empty(), "JsonWriter: unbalanced document");

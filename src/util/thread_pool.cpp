@@ -119,6 +119,60 @@ void ThreadPool::parallel_for_dynamic(
                });
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  CCV_CHECK(task != nullptr, "ThreadPool::submit needs a callable task");
+  if (workers_.empty()) {
+    // No helper threads to hand the task to; run it inline (with the same
+    // error capture) so a one-thread pool still makes progress.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++tasks_running_;
+    }
+    run_task(std::move(task));
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  start_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock,
+                [this] { return tasks_.empty() && tasks_running_ == 0; });
+}
+
+std::size_t ThreadPool::tasks_pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size() + tasks_running_;
+}
+
+std::exception_ptr ThreadPool::take_task_error() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::exception_ptr err = first_task_error_;
+  first_task_error_ = nullptr;
+  return err;
+}
+
+void ThreadPool::run_task(std::function<void()> task) {
+  std::exception_ptr local_error;
+  try {
+    task();
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (local_error != nullptr && first_task_error_ == nullptr) {
+      first_task_error_ = local_error;
+    }
+    --tasks_running_;
+    if (tasks_.empty() && tasks_running_ == 0) idle_cv_.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop(std::size_t worker_index) {
   std::size_t seen_generation = 0;
   for (;;) {
@@ -126,8 +180,21 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [this, seen_generation] {
-        return stopping_ || generation_ != seen_generation;
+        return stopping_ || generation_ != seen_generation ||
+               !tasks_.empty();
       });
+      // Bulk calls take priority: every worker must run its chunk before
+      // the barrier opens, so a queued task never stalls a sibling at the
+      // level barrier longer than one task body.
+      if (generation_ == seen_generation && !tasks_.empty()) {
+        std::function<void()> task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++tasks_running_;
+        lock.unlock();
+        run_task(std::move(task));
+        continue;
+      }
+      // Drain queued tasks before honoring shutdown (graceful stop).
       if (stopping_) return;
       seen_generation = generation_;
       bulk = bulk_;

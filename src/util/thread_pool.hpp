@@ -11,6 +11,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -59,8 +60,32 @@ class ThreadPool {
                             const std::function<void(std::size_t, std::size_t,
                                                      std::size_t)>& body);
 
+  /// Enqueues `task` for asynchronous execution on a pool worker and
+  /// returns immediately. Unlike the bulk calls, the submitting thread
+  /// does not participate, so a pool serving `submit` traffic needs at
+  /// least two construction threads (one helper); with no helpers the
+  /// task runs inline before `submit` returns. Tasks and bulk calls may
+  /// be mixed on one pool: a bulk call takes priority at each worker's
+  /// next dispatch, and queued tasks resume after it. A task that throws
+  /// never takes the process down -- the first exception is stashed for
+  /// `take_task_error()` and the worker moves on.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished and the queue is
+  /// empty. New `submit` calls during the wait extend it.
+  void wait_idle();
+
+  /// Number of tasks currently queued or running (a point-in-time read).
+  [[nodiscard]] std::size_t tasks_pending() const;
+
+  /// Returns and clears the first exception thrown by a submitted task
+  /// since the last call (nullptr when none). Bulk-call exceptions are
+  /// not routed here; they rethrow from `parallel_for` itself.
+  [[nodiscard]] std::exception_ptr take_task_error();
+
  private:
   void worker_loop(std::size_t worker_index);
+  void run_task(std::function<void()> task);
 
   struct Bulk {
     const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
@@ -71,15 +96,19 @@ class ThreadPool {
   };
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
+  std::condition_variable idle_cv_;
   Bulk bulk_;
   std::size_t generation_ = 0;   // incremented per bulk call
   std::size_t outstanding_ = 0;  // workers still running current bulk
   std::exception_ptr first_error_;
   std::atomic<bool> abort_{false};  // an error was recorded this bulk call
   bool stopping_ = false;
+  std::deque<std::function<void()>> tasks_;  // submit() queue
+  std::size_t tasks_running_ = 0;            // submitted tasks in flight
+  std::exception_ptr first_task_error_;
 };
 
 }  // namespace ccver

@@ -139,5 +139,37 @@ TEST(ParseByteSize, RejectsMalformedAndZero) {
   EXPECT_THROW((void)parse_byte_size("0M"), SpecError);
 }
 
+TEST(ParseDuration, RejectsOverflowAsLocatedUsageError) {
+  // 999999999 hours overflows uint64 nanoseconds; the parser must say so
+  // (naming the input) instead of wrapping silently into a tiny deadline.
+  try {
+    (void)parse_duration_ns("999999999h");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("999999999h"), std::string::npos);
+    EXPECT_NE(what.find("overflow"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_duration_ns("18446744073709551616ns"), SpecError);
+  // The largest representable values still parse.
+  EXPECT_EQ(parse_duration_ns("18446744073709551615ns"), UINT64_MAX);
+  EXPECT_EQ(parse_duration_ns("5124095h"),
+            5'124'095ULL * 3'600'000'000'000ULL);
+}
+
+TEST(ParseByteSize, RejectsOverflowAsLocatedUsageError) {
+  try {
+    (void)parse_byte_size("1000000000000g");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1000000000000g"), std::string::npos);
+    EXPECT_NE(what.find("overflow"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_byte_size("18446744073709551616"), SpecError);
+  EXPECT_EQ(parse_byte_size("18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(parse_byte_size("17179869183G"), 17'179'869'183ULL << 30);
+}
+
 }  // namespace
 }  // namespace ccver

@@ -1,0 +1,742 @@
+/// \file test_serve.cpp
+/// The `ccverify serve` subsystem: NDJSON framing round-trips, the
+/// single-flight result cache, thread-pool task submission, per-job budget
+/// isolation, admission shedding and graceful drain -- each exercised at
+/// the layer where its guarantee lives, plus end-to-end streams through a
+/// real `Server` over pipes and a Unix socket.
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/report_json.hpp"
+#include "core/verifier.hpp"
+#include "enumeration/enumerator.hpp"
+#include "enumeration/report_json.hpp"
+#include "protocols/protocols.hpp"
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccver {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(ServeJson, ParsesScalarsObjectsAndArrays) {
+  const JsonValue v = parse_json(
+      R"({"a": 1, "b": "two", "c": [true, false, null], "d": {"e": 2.5}})");
+  ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_TRUE(v.find("a")->is_unsigned);
+  EXPECT_EQ(v.find("a")->unsigned_number, 1u);
+  EXPECT_EQ(v.find("b")->string, "two");
+  ASSERT_EQ(v.find("c")->array.size(), 3u);
+  EXPECT_TRUE(v.find("c")->array[0].boolean);
+  EXPECT_EQ(v.find("c")->array[2].kind, JsonValue::Kind::Null);
+  EXPECT_DOUBLE_EQ(v.find("d")->find("e")->number, 2.5);
+}
+
+TEST(ServeJson, DecodesEscapesAndSurrogatePairs) {
+  const JsonValue v =
+      parse_json(R"({"s": "a\"b\\c\ndAé😀"})");
+  // A = 'A'; é = e-acute (2 UTF-8 bytes); the surrogate pair is
+  // U+1F600 (4 UTF-8 bytes).
+  EXPECT_EQ(v.find("s")->string,
+            std::string("a\"b\\c\ndA\xc3\xa9\xf0\x9f\x98\x80"));
+}
+
+TEST(ServeJson, LocatesErrorsByByteOffset) {
+  try {
+    (void)parse_json(R"({"a": })");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 6"), std::string::npos);
+  }
+}
+
+TEST(ServeJson, RejectsHostileInputs) {
+  // Unbounded nesting must be cut off, not recursed into.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  EXPECT_THROW((void)parse_json(deep), SpecError);
+  // Duplicate keys are ambiguous, integer overflow is not silently folded,
+  // and trailing content means the line held more than one document.
+  EXPECT_THROW((void)parse_json(R"({"a":1,"a":2})"), SpecError);
+  EXPECT_THROW((void)parse_json("18446744073709551616"), SpecError);
+  EXPECT_THROW((void)parse_json("{} trailing"), SpecError);
+  EXPECT_THROW((void)parse_json(""), SpecError);
+}
+
+TEST(ServeJson, LargestUnsignedSurvivesExactly) {
+  const JsonValue v = parse_json("18446744073709551615");
+  EXPECT_TRUE(v.is_unsigned);
+  EXPECT_EQ(v.unsigned_number, UINT64_MAX);
+}
+
+// ------------------------------------------------------------- framing --
+
+TEST(ServeProtocol, ParsesAFullJobRequest) {
+  const ParsedRequest pr = parse_request(
+      R"({"op":"job","verb":"enumerate","protocol":"MSI","id":"j1",)"
+      R"("equivalence":"strict","n":6,"deadline":"5s","mem_budget":"64M",)"
+      R"("max_states":1000,"max_visits":50,"checkpoint":"x.ckpt",)"
+      R"("stats":true})",
+      7);
+  ASSERT_TRUE(pr.ok) << pr.error;
+  const ServeRequest& r = pr.request;
+  EXPECT_EQ(r.op, RequestOp::Job);
+  EXPECT_EQ(r.verb, ServeRequest::Verb::Enumerate);
+  EXPECT_EQ(r.source, SpecSource::Library);
+  EXPECT_EQ(r.spec, "MSI");
+  EXPECT_EQ(r.id, "j1");
+  EXPECT_EQ(r.seq, 7u);
+  EXPECT_EQ(r.equivalence, Equivalence::Strict);
+  EXPECT_EQ(r.n_caches, 6u);
+  EXPECT_EQ(r.limits.deadline_ns, 5'000'000'000u);
+  EXPECT_EQ(r.limits.max_bytes, 64u << 20);
+  EXPECT_EQ(r.limits.max_states, 1000u);
+  EXPECT_EQ(r.max_visits, 50u);
+  EXPECT_EQ(r.checkpoint, "x.ckpt");
+  EXPECT_TRUE(r.want_stats);
+}
+
+TEST(ServeProtocol, MalformedRequestsComeBackAsLocatedErrors) {
+  const auto expect_error = [](std::string_view line,
+                               std::string_view needle) {
+    const ParsedRequest pr = parse_request(line, 3);
+    EXPECT_FALSE(pr.ok) << line;
+    EXPECT_NE(pr.error.find("request 3"), std::string::npos) << pr.error;
+    EXPECT_NE(pr.error.find(needle), std::string::npos) << pr.error;
+  };
+  expect_error("not json", "byte");
+  expect_error(R"({"op":"job","verb":"verify"})", "protocol");
+  expect_error(R"({"op":"job","verb":"dance","protocol":"MSI"})", "verb");
+  expect_error(R"({"op":"fly"})", "op");
+  expect_error(R"({"op":"job","verb":"verify","protocol":"MSI","x":1})",
+               "x");
+  expect_error(
+      R"({"op":"job","verb":"verify","protocol":"A","spec":"B"})",
+      "exactly one");
+  expect_error(
+      R"({"op":"job","verb":"verify","protocol":"M","deadline":"wat"})",
+      "wat");
+  expect_error(R"({"op":"job","verb":"verify","protocol":"M","n":0})", "n");
+}
+
+TEST(ServeProtocol, SalvagesClientIdFromInvalidRequests) {
+  const ParsedRequest pr =
+      parse_request(R"({"id":"req-9","op":"job","verb":"nope"})", 1);
+  EXPECT_FALSE(pr.ok);
+  EXPECT_EQ(pr.id, "req-9");
+}
+
+TEST(ServeProtocol, ResponseEnvelopeRoundTrips) {
+  const std::string line = render_job_response(
+      "j1", 4, JobStatus::Partial, R"({"ok":false})", "stopped", false);
+  const JsonValue v = parse_json(line);
+  EXPECT_EQ(v.find("id")->string, "j1");
+  EXPECT_EQ(v.find("seq")->unsigned_number, 4u);
+  EXPECT_EQ(v.find("status")->string, "partial");
+  EXPECT_EQ(v.find("exit_code")->unsigned_number, 4u);
+  EXPECT_FALSE(v.find("cached")->boolean);
+  EXPECT_EQ(v.find("error")->string, "stopped");
+  EXPECT_EQ(v.find("payload")->find("ok")->boolean, false);
+
+  const JsonValue c = parse_json(render_control_response("p", 1, "ping"));
+  EXPECT_EQ(c.find("status")->string, "ok");
+  EXPECT_EQ(c.find("op")->string, "ping");
+}
+
+TEST(ServeProtocol, StatusEnumMirrorsExitTaxonomy) {
+  EXPECT_EQ(job_status_exit_code(JobStatus::Verified), 0);
+  EXPECT_EQ(job_status_exit_code(JobStatus::ProtocolErrors), 1);
+  EXPECT_EQ(job_status_exit_code(JobStatus::UsageError), 2);
+  EXPECT_EQ(job_status_exit_code(JobStatus::InternalError), 3);
+  EXPECT_EQ(job_status_exit_code(JobStatus::Partial), 4);
+  EXPECT_EQ(job_status_exit_code(JobStatus::Overloaded), -1);
+  EXPECT_EQ(to_string(JobStatus::Overloaded), "overloaded");
+}
+
+// ----------------------------------------------------------- job layer --
+
+TEST(ServeJob, EffectiveLimitsIntersectRequestAndCeiling) {
+  Budget::Limits requested;
+  requested.deadline_ns = 10;
+  requested.max_states = 0;  // unlimited: takes the ceiling
+  requested.max_bytes = 500;
+  Budget::Limits ceiling;
+  ceiling.deadline_ns = 5;  // tighter than the request: wins
+  ceiling.max_states = 100;
+  ceiling.max_bytes = 0;  // no ceiling: request stands
+  const Budget::Limits got = effective_limits(requested, ceiling);
+  EXPECT_EQ(got.deadline_ns, 5u);
+  EXPECT_EQ(got.max_states, 100u);
+  EXPECT_EQ(got.max_bytes, 500u);
+}
+
+TEST(ServeJob, CacheKeySeparatesVerbOptionsAndLintText) {
+  const Protocol p = protocols::by_name("MSI");
+  ServeRequest verify;
+  verify.verb = ServeRequest::Verb::Verify;
+  verify.spec = "MSI";
+  ServeRequest enumerate = verify;
+  enumerate.verb = ServeRequest::Verb::Enumerate;
+  ServeRequest enumerate5 = enumerate;
+  enumerate5.n_caches = 5;
+  ServeRequest strict = enumerate;
+  strict.equivalence = Equivalence::Strict;
+  const std::uint64_t kv = job_cache_key(verify, p);
+  const std::uint64_t ke = job_cache_key(enumerate, p);
+  const std::uint64_t ke5 = job_cache_key(enumerate5, p);
+  const std::uint64_t ks = job_cache_key(strict, p);
+  EXPECT_NE(kv, ke);
+  EXPECT_NE(ke, ke5);
+  EXPECT_NE(ke, ks);
+  // Verify ignores n (it is not an input of the symbolic engine).
+  ServeRequest verify9 = verify;
+  verify9.n_caches = 9;
+  EXPECT_EQ(kv, job_cache_key(verify9, p));
+  // Lint keys include the spec text: same protocol, different formatting,
+  // different spans -- must not share a verdict.
+  ServeRequest lint_a = verify;
+  lint_a.verb = ServeRequest::Verb::Lint;
+  ServeRequest lint_b = lint_a;
+  lint_b.spec = "MSI ";
+  EXPECT_NE(job_cache_key(lint_a, p), job_cache_key(lint_b, p));
+}
+
+TEST(ServeJob, DefaultBudgetDetectsAnyLimit) {
+  ServeRequest r;
+  EXPECT_TRUE(default_budget(r));
+  r.max_visits = 1;
+  EXPECT_FALSE(default_budget(r));
+  r.max_visits = 0;
+  r.limits.deadline_ns = 1;
+  EXPECT_FALSE(default_budget(r));
+}
+
+TEST(ServeJob, VerifyPayloadMatchesOneShotJsonByteForByte) {
+  const Protocol p = protocols::by_name("Illinois");
+  ServeRequest request;
+  request.verb = ServeRequest::Verb::Verify;
+  request.spec = "Illinois";
+  Budget budget;
+  const JobResult got = run_job(request, p, budget, 0, nullptr);
+  EXPECT_EQ(got.status, JobStatus::Verified);
+
+  Budget cli_budget;
+  Verifier::Options opt;
+  opt.budget = &cli_budget;
+  const VerificationReport report = Verifier(p, opt).verify();
+  EXPECT_EQ(got.payload, report_to_json(report, p));
+}
+
+TEST(ServeJob, EnumeratePayloadMatchesOneShotJsonByteForByte) {
+  const Protocol p = protocols::by_name("MSI");
+  ServeRequest request;
+  request.verb = ServeRequest::Verb::Enumerate;
+  request.spec = "MSI";
+  request.n_caches = 3;
+  Budget budget;
+  const JobResult got = run_job(request, p, budget, 0, nullptr);
+  EXPECT_EQ(got.status, JobStatus::Verified);
+
+  Budget cli_budget;
+  Enumerator::Options opt;
+  opt.n_caches = 3;
+  opt.budget = &cli_budget;
+  const EnumerationResult r = Enumerator(p, opt).run();
+  EXPECT_EQ(got.payload,
+            enumeration_to_json(p, 3, Equivalence::Counting, r));
+}
+
+TEST(ServeJob, LintParseErrorBecomesDiagnosticNotUsageError) {
+  ServeRequest request;
+  request.verb = ServeRequest::Verb::Lint;
+  request.source = SpecSource::Inline;
+  request.spec = "this is not a protocol";
+  try {
+    (void)resolve_job_protocol(request);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const JobResult result = lint_parse_error_result(request, e);
+    EXPECT_EQ(result.status, JobStatus::ProtocolErrors);
+    EXPECT_NE(result.payload.find("parse-error"), std::string::npos);
+    EXPECT_NE(result.payload.find("\"file\":\"spec\""), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------- result cache --
+
+TEST(ResultCacheTest, OwnerPublishesThenHits) {
+  ResultCache cache(ResultCache::Options{4});
+  ResultCache::Lookup first = cache.acquire(1);
+  ASSERT_EQ(first.role, ResultCache::Role::Owner);
+  cache.publish(1, JobResult{JobStatus::Verified, "payload", ""}, true);
+  const ResultCache::Lookup second = cache.acquire(1);
+  EXPECT_EQ(second.role, ResultCache::Role::Hit);
+  EXPECT_EQ(second.result.payload, "payload");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, UncacheablePublishServesWaitersButForgets) {
+  ResultCache cache(ResultCache::Options{4});
+  ASSERT_EQ(cache.acquire(1).role, ResultCache::Role::Owner);
+  std::atomic<int> waited{0};
+  std::thread waiter([&] {
+    const ResultCache::Lookup w = cache.acquire(1);
+    EXPECT_EQ(w.role, ResultCache::Role::Waited);
+    EXPECT_EQ(w.result.status, JobStatus::Partial);
+    waited.store(1);
+  });
+  // Give the waiter time to block, then publish uncacheably.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.publish(1, JobResult{JobStatus::Partial, "", "stopped"}, false);
+  waiter.join();
+  EXPECT_EQ(waited.load(), 1);
+  // Nothing retained: the next acquire owns a fresh run.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.acquire(1).role, ResultCache::Role::Owner);
+  cache.abandon(1);
+}
+
+TEST(ResultCacheTest, AbandonedOwnerDoesNotWedgeTheKey) {
+  ResultCache cache(ResultCache::Options{4});
+  ASSERT_EQ(cache.acquire(7).role, ResultCache::Role::Owner);
+  std::thread retrier([&] {
+    // Blocks behind the first owner; its abandon makes this the new owner.
+    const ResultCache::Lookup w = cache.acquire(7);
+    EXPECT_EQ(w.role, ResultCache::Role::Owner);
+    cache.publish(7, JobResult{JobStatus::Verified, "second", ""}, true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.abandon(7);
+  retrier.join();
+  const ResultCache::Lookup hit = cache.acquire(7);
+  EXPECT_EQ(hit.role, ResultCache::Role::Hit);
+  EXPECT_EQ(hit.result.payload, "second");
+}
+
+TEST(ResultCacheTest, SingleFlightDeduplicatesConcurrentIdenticalJobs) {
+  ResultCache cache(ResultCache::Options{8});
+  ASSERT_EQ(cache.acquire(3).role, ResultCache::Role::Owner);
+  std::atomic<int> waited_count{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      const ResultCache::Lookup w = cache.acquire(3);
+      EXPECT_EQ(w.result.payload, "shared");
+      if (w.role == ResultCache::Role::Waited) waited_count.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.publish(3, JobResult{JobStatus::Verified, "shared", ""}, true);
+  for (std::thread& t : waiters) t.join();
+  // Every follower shared the owner's run (some may land after the publish
+  // and count as plain hits; none may have re-run).
+  MetricsRegistry metrics;
+  cache.publish_metrics(metrics);
+  const MetricsSnapshot s = metrics.snapshot();
+  EXPECT_EQ(s.counters.at("serve.cache.misses"), 1u);
+  EXPECT_EQ(s.counters.at("serve.cache.waits"),
+            static_cast<std::uint64_t>(waited_count.load()));
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  ResultCache cache(ResultCache::Options{2});
+  for (std::uint64_t key : {1u, 2u}) {
+    ASSERT_EQ(cache.acquire(key).role, ResultCache::Role::Owner);
+    cache.publish(key, JobResult{JobStatus::Verified, "p", ""}, true);
+  }
+  // Touch 1 so 2 is the LRU victim when 3 arrives.
+  EXPECT_EQ(cache.acquire(1).role, ResultCache::Role::Hit);
+  ASSERT_EQ(cache.acquire(3).role, ResultCache::Role::Owner);
+  cache.publish(3, JobResult{JobStatus::Verified, "p", ""}, true);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.acquire(1).role, ResultCache::Role::Hit);
+  EXPECT_EQ(cache.acquire(2).role, ResultCache::Role::Owner);  // evicted
+  cache.abandon(2);
+}
+
+TEST(ResultCacheTest, FailpointForcesEvictionForChaosRuns) {
+  ResultCache cache(ResultCache::Options{4});
+  ASSERT_EQ(cache.acquire(1).role, ResultCache::Role::Owner);
+  cache.publish(1, JobResult{JobStatus::Verified, "p", ""}, true);
+  const ScopedFailpoints fp("serve.cache_evict");
+  // Armed: the retained verdict is forcibly forgotten, so what would have
+  // been a hit becomes a fresh owner -- the cache-thrash path.
+  EXPECT_EQ(cache.acquire(1).role, ResultCache::Role::Owner);
+  cache.abandon(1);
+}
+
+TEST(ResultCacheTest, FlushDropsRetainedVerdicts) {
+  ResultCache cache(ResultCache::Options{4});
+  ASSERT_EQ(cache.acquire(1).role, ResultCache::Role::Owner);
+  cache.publish(1, JobResult{JobStatus::Verified, "p", ""}, true);
+  cache.flush();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.acquire(1).role, ResultCache::Role::Owner);
+  cache.abandon(1);
+}
+
+// ------------------------------------------------------ thread pool tasks --
+
+TEST(ThreadPoolTasks, SubmitRunsTasksAndWaitIdleBarriers) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_EQ(pool.tasks_pending(), 0u);
+}
+
+TEST(ThreadPoolTasks, HelperlessPoolRunsInline) {
+  ThreadPool pool(1);  // no helper threads
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  // Inline execution: the task finished before submit returned.
+  EXPECT_EQ(ran.load(), 1);
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTasks, TaskExceptionIsStashedNotFatal) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);  // the pool survived the throwing task
+  const std::exception_ptr error = pool.take_task_error();
+  ASSERT_NE(error, nullptr);
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  EXPECT_EQ(pool.take_task_error(), nullptr);  // take clears
+}
+
+TEST(ThreadPoolTasks, TasksCoexistWithBulkCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> task_ran{0};
+  std::atomic<int> bulk_ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&task_ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      task_ran.fetch_add(1);
+    });
+  }
+  pool.parallel_for(0, 64, [&bulk_ran](std::size_t b, std::size_t e,
+                                       std::size_t /*worker*/) {
+    bulk_ran.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(bulk_ran.load(), 64);
+  pool.wait_idle();
+  EXPECT_EQ(task_ran.load(), 8);
+}
+
+// -------------------------------------------------------------- server --
+
+/// Runs a server over pipes: writes `input` to its stdin, drains at EOF,
+/// returns the full response stream.
+std::string run_server_stdio(const Server::Options& options,
+                             const std::string& input) {
+  int in_pipe[2];
+  int out_pipe[2];
+  EXPECT_EQ(::pipe(in_pipe), 0);
+  EXPECT_EQ(::pipe(out_pipe), 0);
+  Server server(options);
+  int rc = -1;
+  std::thread server_thread(
+      [&] { rc = server.run_stdio(in_pipe[0], out_pipe[1]); });
+  std::string output;
+  std::thread reader([&] {
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(out_pipe[0], chunk, sizeof chunk)) > 0) {
+      output.append(chunk, static_cast<std::size_t>(n));
+    }
+  });
+  EXPECT_TRUE(::write(in_pipe[1], input.data(), input.size()) ==
+              static_cast<ssize_t>(input.size()));
+  ::close(in_pipe[1]);
+  server_thread.join();
+  ::close(out_pipe[1]);
+  reader.join();
+  ::close(in_pipe[0]);
+  ::close(out_pipe[0]);
+  EXPECT_EQ(rc, 0);  // graceful drain always exits 0
+  return output;
+}
+
+/// Splits a response stream into parsed lines keyed by id.
+std::map<std::string, JsonValue> by_id(const std::string& output) {
+  std::map<std::string, JsonValue> responses;
+  std::size_t start = 0;
+  while (start < output.size()) {
+    std::size_t end = output.find('\n', start);
+    if (end == std::string::npos) end = output.size();
+    JsonValue v = parse_json(output.substr(start, end - start));
+    responses[v.find("id")->string] = std::move(v);
+    start = end + 1;
+  }
+  return responses;
+}
+
+TEST(ServeServer, MixedStreamOverStdio) {
+  Server::Options options;
+  options.workers = 2;
+  const std::string output = run_server_stdio(
+      options,
+      "{\"op\":\"ping\",\"id\":\"p\"}\n"
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"Illinois\","
+      "\"id\":\"v1\"}\n"
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"Illinois\","
+      "\"id\":\"v2\"}\n"
+      "this is not json\n"
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"NoSuch\","
+      "\"id\":\"bad\"}\n"
+      "{\"op\":\"job\",\"verb\":\"lint\",\"spec\":\"garbage\","
+      "\"id\":\"l\"}\n");
+  const auto responses = by_id(output);
+  ASSERT_EQ(responses.count("p"), 1u);
+  EXPECT_EQ(responses.at("p").find("status")->string, "ok");
+  EXPECT_EQ(responses.at("v1").find("status")->string, "verified");
+  EXPECT_EQ(responses.at("v2").find("status")->string, "verified");
+  EXPECT_EQ(responses.at("bad").find("status")->string, "usage-error");
+  EXPECT_EQ(responses.at("l").find("status")->string, "protocol-errors");
+  // The malformed line got a located error response with an empty id.
+  ASSERT_EQ(responses.count(""), 1u);
+  EXPECT_EQ(responses.at("").find("status")->string, "usage-error");
+  EXPECT_NE(responses.at("").find("error")->string.find("byte"),
+            std::string::npos);
+  // The repeat spec was served from the cache; payloads are identical.
+  const bool v1_cached = responses.at("v1").find("cached")->boolean;
+  const bool v2_cached = responses.at("v2").find("cached")->boolean;
+  EXPECT_TRUE(v1_cached || v2_cached);
+  EXPECT_FALSE(v1_cached && v2_cached);
+}
+
+TEST(ServeServer, PerJobBudgetIsolation) {
+  Server::Options options;
+  options.workers = 1;
+  const std::string output = run_server_stdio(
+      options,
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"MOESISplit\","
+      "\"deadline\":\"1ns\",\"id\":\"starved\"}\n"
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"MOESISplit\","
+      "\"id\":\"free\"}\n");
+  const auto responses = by_id(output);
+  // The 1ns job degrades to Partial; the default-budget job on the same
+  // worker is untouched by its neighbor's exhaustion.
+  EXPECT_EQ(responses.at("starved").find("status")->string, "partial");
+  EXPECT_EQ(responses.at("starved").find("exit_code")->unsigned_number, 4u);
+  EXPECT_EQ(responses.at("free").find("status")->string, "verified");
+}
+
+TEST(ServeServer, OversizedRequestIsRefusedAndStreamRecovers) {
+  Server::Options options;
+  options.workers = 1;
+  options.max_request_bytes = 256;
+  std::string big = "{\"op\":\"job\",\"verb\":\"lint\",\"spec\":\"";
+  big.append(1000, 'x');
+  big += "\",\"id\":\"big\"}\n";
+  const std::string output = run_server_stdio(
+      options,
+      big + "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"MSI\","
+            "\"id\":\"after\"}\n");
+  const auto responses = by_id(output);
+  ASSERT_EQ(responses.count(""), 1u);
+  EXPECT_EQ(responses.at("").find("status")->string, "usage-error");
+  EXPECT_NE(responses.at("").find("error")->string.find("exceeds"),
+            std::string::npos);
+  // The stream survived: the next request was served normally.
+  EXPECT_EQ(responses.at("after").find("status")->string, "verified");
+}
+
+TEST(ServeServer, ShutdownOpStopsAdmissionAndDrains) {
+  Server::Options options;
+  options.workers = 1;
+  const std::string output = run_server_stdio(
+      options,
+      "{\"op\":\"shutdown\",\"id\":\"s\"}\n"
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"MSI\","
+      "\"id\":\"late\"}\n");
+  const auto responses = by_id(output);
+  EXPECT_EQ(responses.at("s").find("status")->string, "ok");
+  // The job behind the shutdown in the same chunk was shed, not run.
+  EXPECT_EQ(responses.at("late").find("status")->string, "overloaded");
+  EXPECT_NE(responses.at("late").find("error")->string.find("drain"),
+            std::string::npos);
+}
+
+TEST(ServeServer, AdmissionControlShedsWhenFull) {
+  // A FIFO with no writer blocks the only worker inside spec resolution,
+  // deterministically: job q1 holds the worker, q2 fills the queue, q3
+  // must be shed with `overloaded`. Unblocking the FIFO lets the stream
+  // finish and drain.
+  char dir_template[] = "/tmp/ccv_serve_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string fifo = std::string(dir_template) + "/spec.ccp";
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+
+  Server::Options options;
+  options.workers = 1;
+  options.max_queue = 2;
+  int in_pipe[2];
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(in_pipe), 0);
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  Server server(options);
+  int rc = -1;
+  std::thread server_thread(
+      [&] { rc = server.run_stdio(in_pipe[0], out_pipe[1]); });
+
+  const std::string requests =
+      "{\"op\":\"job\",\"verb\":\"verify\",\"path\":\"" + fifo +
+      "\",\"id\":\"q1\"}\n"
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"MSI\","
+      "\"id\":\"q2\"}\n"
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"MSI\","
+      "\"id\":\"q3\"}\n";
+  ASSERT_EQ(::write(in_pipe[1], requests.data(), requests.size()),
+            static_cast<ssize_t>(requests.size()));
+
+  // The first response must be q3's rejection (q1 is blocked on the FIFO,
+  // q2 sits in the queue).
+  std::string output;
+  while (output.find('\n') == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::read(out_pipe[0], chunk, sizeof chunk);
+    ASSERT_GT(n, 0);
+    output.append(chunk, static_cast<std::size_t>(n));
+  }
+  {
+    const JsonValue first =
+        parse_json(output.substr(0, output.find('\n')));
+    EXPECT_EQ(first.find("id")->string, "q3");
+    EXPECT_EQ(first.find("status")->string, "overloaded");
+    EXPECT_NE(first.find("error")->string.find("queue full"),
+              std::string::npos);
+  }
+
+  // Unblock the worker: give the FIFO a writer (empty content -> the spec
+  // fails to parse, which is fine -- the job just has to finish).
+  const int wfd = ::open(fifo.c_str(), O_WRONLY);
+  ASSERT_GE(wfd, 0);
+  ::close(wfd);
+  ::close(in_pipe[1]);  // EOF -> drain
+  std::thread reader([&] {
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(out_pipe[0], chunk, sizeof chunk)) > 0) {
+      output.append(chunk, static_cast<std::size_t>(n));
+    }
+  });
+  server_thread.join();
+  ::close(out_pipe[1]);
+  reader.join();
+  ::close(in_pipe[0]);
+  ::close(out_pipe[0]);
+  EXPECT_EQ(rc, 0);
+
+  const auto responses = by_id(output);
+  // q1 resolved (to some error verdict -- an empty spec), q2 ran normally.
+  EXPECT_NE(responses.at("q1").find("status")->string, "overloaded");
+  EXPECT_EQ(responses.at("q2").find("status")->string, "verified");
+  ::unlink(fifo.c_str());
+  ::rmdir(dir_template);
+}
+
+TEST(ServeServer, UnixSocketRoundTripAndShutdown) {
+  char dir_template[] = "/tmp/ccv_serve_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string path = std::string(dir_template) + "/serve.sock";
+
+  Server::Options options;
+  options.workers = 2;
+  Server server(options);
+  int rc = -1;
+  std::thread server_thread([&] { rc = server.run_unix(path); });
+
+  // Wait for the socket to appear, then connect.
+  int fd = -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(fd, 0) << "could not connect to " << path;
+
+  const std::string requests =
+      "{\"op\":\"job\",\"verb\":\"enumerate\",\"protocol\":\"MSI\","
+      "\"n\":3,\"id\":\"e\"}\n"
+      "{\"op\":\"shutdown\",\"id\":\"s\"}\n";
+  ASSERT_EQ(::write(fd, requests.data(), requests.size()),
+            static_cast<ssize_t>(requests.size()));
+  std::string output;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+    output.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server_thread.join();
+  EXPECT_EQ(rc, 0);
+
+  const auto responses = by_id(output);
+  EXPECT_EQ(responses.at("e").find("status")->string, "verified");
+  EXPECT_EQ(responses.at("s").find("status")->string, "ok");
+  const MetricsSnapshot stats = server.stats_snapshot();
+  EXPECT_EQ(stats.counters.at("serve.jobs.admitted"), 1u);
+  EXPECT_EQ(stats.counters.at("serve.connections.accepted"), 1u);
+}
+
+TEST(ServeServer, SpawnFailpointDegradesToInternalError) {
+  Server::Options options;
+  options.workers = 1;
+  const ScopedFailpoints fp("serve.job_spawn=1");
+  const std::string output = run_server_stdio(
+      options,
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"MSI\","
+      "\"id\":\"hit\"}\n"
+      "{\"op\":\"job\",\"verb\":\"verify\",\"protocol\":\"MSI\","
+      "\"id\":\"ok\"}\n");
+  const auto responses = by_id(output);
+  EXPECT_EQ(responses.at("hit").find("status")->string, "internal-error");
+  EXPECT_NE(responses.at("hit").find("error")->string.find("serve.job_spawn"),
+            std::string::npos);
+  // One-shot failpoint: the very next job runs normally.
+  EXPECT_EQ(responses.at("ok").find("status")->string, "verified");
+}
+
+}  // namespace
+}  // namespace ccver

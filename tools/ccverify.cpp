@@ -17,6 +17,11 @@
 ///   ccverify mutate <protocol|file.ccp>
 ///   ccverify lint <protocol|file.ccp>... [--json | --sarif] [--Werror]
 ///                 [--disable=<id>[,<id>...]] [--list] [--stats]
+///   ccverify serve [--socket PATH] [--workers N] [--max-queue N]
+///                  [--max-inflight-bytes B] [--max-request-bytes B]
+///                  [--job-deadline D] [--job-mem-budget B]
+///                  [--job-max-states N] [--job-max-visits N]
+///                  [--cache-entries N] [--drain-grace D] [--stats]
 ///
 /// A protocol argument is either a library name (see `list`) or a path to
 /// a `.ccp` specification file.
@@ -30,7 +35,10 @@
 ///      budget stopped the run before completion (verify and enumerate
 ///      write a resumable checkpoint when --checkpoint is given)
 
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -45,6 +53,8 @@
 #include "core/verifier.hpp"
 #include "enumeration/checkpoint.hpp"
 #include "enumeration/enumerator.hpp"
+#include "enumeration/report_json.hpp"
+#include "serve/server.hpp"
 #include "protocols/mutation.hpp"
 #include "protocols/protocols.hpp"
 #include "protocols/random_protocol.hpp"
@@ -115,6 +125,44 @@ void publish_robustness_metrics(const Budget& budget,
   failpoints_publish(metrics);
 }
 
+// SIGINT/SIGTERM turn into cooperative cancellation, not process death: the
+// handler latches the active run's budget (an async-signal-safe atomic
+// store), the engine loop notices at its next poll and stops cleanly, and
+// the command exits through the normal Partial path -- checkpoint written
+// when --checkpoint asked for one, exit code 4. `serve` watches the drain
+// flag instead and runs its graceful drain.
+std::atomic<Budget*> g_cancel_budget{nullptr};
+std::atomic<bool> g_drain_requested{false};
+
+void handle_stop_signal(int /*signum*/) {
+  g_drain_requested.store(true, std::memory_order_relaxed);
+  Budget* budget = g_cancel_budget.load(std::memory_order_relaxed);
+  if (budget != nullptr) budget->cancel();
+}
+
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;  // batch loops cancel via budget polls
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// Points the signal handler at the active run's budget for this scope.
+class ScopedCancelTarget {
+ public:
+  explicit ScopedCancelTarget(Budget* budget) {
+    install_stop_handlers();
+    g_cancel_budget.store(budget, std::memory_order_relaxed);
+  }
+  ~ScopedCancelTarget() {
+    g_cancel_budget.store(nullptr, std::memory_order_relaxed);
+  }
+  ScopedCancelTarget(const ScopedCancelTarget&) = delete;
+  ScopedCancelTarget& operator=(const ScopedCancelTarget&) = delete;
+};
+
 int cmd_list() {
   TextTable table({"name", "|Q|", "characteristic", "states"});
   for (const protocols::NamedProtocol& np : protocols::all()) {
@@ -138,6 +186,7 @@ int cmd_verify(const Args& args) {
   const Protocol p = resolve_protocol(args.positional_at(0, "protocol"));
   MetricsRegistry metrics;
   Budget budget(budget_limits(args, /*states_from_flag=*/false));
+  const ScopedCancelTarget cancel_target(&budget);
   Verifier::Options opt;
   opt.record_trace = args.has("--trace");
   opt.budget = &budget;
@@ -246,6 +295,7 @@ int cmd_enumerate(const Args& args) {
   if (args.has("--stats")) opt.metrics = &metrics;
 
   Budget budget(budget_limits(args, /*states_from_flag=*/true));
+  const ScopedCancelTarget cancel_target(&budget);
   opt.budget = &budget;
   opt.checkpoint_path = args.get("--checkpoint", "");
   opt.checkpoint_interval_ms =
@@ -269,39 +319,17 @@ int cmd_enumerate(const Args& args) {
   if (args.has("--json")) {
     // Field order and content are deterministic: errors and reachable
     // states come back canonically sorted, and wall-clock data only
-    // appears under the opt-in "metrics" key.
-    JsonWriter json;
-    json.begin_object();
-    json.key("protocol").value(p.name());
-    json.key("n_caches").value(static_cast<std::uint64_t>(opt.n_caches));
-    json.key("equivalence")
-        .value(opt.equivalence == Equivalence::Strict ? "strict"
-                                                      : "counting");
-    json.key("outcome").value(std::string(to_string(r.outcome)));
-    json.key("stop_reason").value(std::string(to_string(r.stop_reason)));
-    json.key("states").value(static_cast<std::uint64_t>(r.states));
-    json.key("visits").value(static_cast<std::uint64_t>(r.visits));
-    json.key("levels").value(static_cast<std::uint64_t>(r.levels));
-    json.key("expansions")
-        .value(static_cast<std::uint64_t>(r.expansions));
-    json.key("errors").begin_array();
-    for (const ConcreteError& e : r.errors) {
-      json.begin_object();
-      json.key("detail").value(e.detail);
-      json.key("state").value(to_string(p, e.state));
-      json.key("path").begin_array();
-      for (const std::string& step : e.path) json.value(step);
-      json.end_array();
-      json.end_object();
-    }
-    json.end_array();
-    json.key("errors_truncated").value(r.errors_truncated);
+    // appears under the opt-in "metrics" key. The rendering is shared with
+    // the serve payload path, which promises byte-identical documents.
     if (args.has("--stats")) {
-      json.key("metrics");
-      metrics_to_json(json, metrics.snapshot());
+      const MetricsSnapshot snapshot = metrics.snapshot();
+      std::cout << enumeration_to_json(p, opt.n_caches, opt.equivalence, r,
+                                       &snapshot)
+                << '\n';
+    } else {
+      std::cout << enumeration_to_json(p, opt.n_caches, opt.equivalence, r)
+                << '\n';
     }
-    json.end_object();
-    std::cout << std::move(json).str() << '\n';
     return exit_code;
   }
 
@@ -374,6 +402,7 @@ int cmd_simulate(const Args& args) {
 
   MetricsRegistry metrics;
   Budget budget(budget_limits(args, /*states_from_flag=*/false));
+  const ScopedCancelTarget cancel_target(&budget);
   Machine::Options mopt;
   mopt.n_cpus = n_cpus;
   mopt.threads = args.get_number("--threads", 1);
@@ -523,6 +552,7 @@ int cmd_lint(const Args& args) {
   // it downgrades those layers to a `layer-skipped` note per file, and the
   // run exits kExitPartial (unless real findings already made it fail).
   Budget budget(budget_limits(args, /*states_from_flag=*/false));
+  const ScopedCancelTarget cancel_target(&budget);
   if (args.has("--deadline") || args.has("--mem-budget")) {
     options.budget = &budget;
   }
@@ -585,6 +615,51 @@ int cmd_lint(const Args& args) {
   return budget.exhausted() ? kExitPartial : kExitVerified;
 }
 
+int cmd_serve(const Args& args) {
+  Server::Options opt;
+  opt.workers = args.get_number("--workers", opt.workers);
+  opt.max_queue = args.get_number("--max-queue", opt.max_queue);
+  if (args.has("--max-inflight-bytes")) {
+    opt.max_inflight_bytes =
+        parse_byte_size(args.get("--max-inflight-bytes", ""));
+  }
+  if (args.has("--max-request-bytes")) {
+    opt.max_request_bytes = static_cast<std::size_t>(
+        parse_byte_size(args.get("--max-request-bytes", "")));
+  }
+  // Server-wide per-job ceilings: every job's requested budget is clamped
+  // to these, so one client cannot ask the service for an unbounded run.
+  if (args.has("--job-deadline")) {
+    opt.ceilings.limits.deadline_ns =
+        parse_duration_ns(args.get("--job-deadline", ""));
+  }
+  if (args.has("--job-mem-budget")) {
+    opt.ceilings.limits.max_bytes =
+        parse_byte_size(args.get("--job-mem-budget", ""));
+  }
+  opt.ceilings.limits.max_states = args.get_number("--job-max-states", 0);
+  opt.ceilings.max_visits = args.get_number("--job-max-visits", 0);
+  opt.cache_entries = args.get_number("--cache-entries", opt.cache_entries);
+  if (args.has("--drain-grace")) {
+    opt.drain_grace_ns = parse_duration_ns(args.get("--drain-grace", ""));
+  }
+  MetricsRegistry metrics;
+  if (args.has("--stats")) opt.metrics = &metrics;
+  // SIGINT/SIGTERM set the drain flag; the server notices within one poll
+  // interval, stops admitting, finishes in-flight jobs and exits 0.
+  install_stop_handlers();
+  opt.external_drain = &g_drain_requested;
+  Server server(opt);
+  const int rc = args.has("--socket")
+                     ? server.run_unix(args.get("--socket", ""))
+                     : server.run_stdio(0, 1);
+  if (args.has("--stats")) {
+    // stdout is the response stream, so operator output goes to stderr.
+    std::cerr << "\nserve metrics:\n" << metrics_to_table(metrics.snapshot());
+  }
+  return rc;
+}
+
 int usage() {
   std::cerr <<
       "usage: ccverify <command> [args]\n"
@@ -611,6 +686,14 @@ int usage() {
       "       [--disable=<id>[,<id>...]] [--list] [--stats]\n"
       "       [--deadline D] [--mem-budget B]\n"
       "                                       static analysis of the spec\n"
+      "  serve [--socket PATH] [--workers N] [--max-queue N]\n"
+      "        [--max-inflight-bytes B] [--max-request-bytes B]\n"
+      "        [--job-deadline D] [--job-mem-budget B] [--job-max-states N]\n"
+      "        [--job-max-visits N] [--cache-entries N] [--drain-grace D]\n"
+      "        [--stats]\n"
+      "                                       long-lived NDJSON job server\n"
+      "                                       (stdio, or --socket unix path;\n"
+      "                                       see docs/serve.md)\n"
       "  random <seed> [--out F.ccp]          generate a random protocol\n"
       "<protocol> is a library name or a .ccp file path.\n"
       "--stats prints engine metrics (per-level timings, lock wait,\n"
@@ -650,6 +733,7 @@ int main(int argc, char** argv) {
     if (command == "diff") return cmd_diff(args);
     if (command == "mutate") return cmd_mutate(args);
     if (command == "lint") return cmd_lint(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "random") return cmd_random(args);
     return usage();
   } catch (const IoError& e) {

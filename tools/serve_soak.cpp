@@ -1,0 +1,319 @@
+/// \file serve_soak.cpp
+/// Soak driver for `ccverify serve`: hammers an in-process server over a
+/// Unix socket with a mixed stream -- good jobs, repeat specs, malformed
+/// lines, oversized lines, unknown protocols -- from 8 concurrent client
+/// threads, and asserts the hardening contract end to end:
+///
+///   * every request gets exactly one response with a valid status,
+///   * the process neither crashes nor hangs,
+///   * verify/enumerate payloads are byte-identical to the one-shot CLI
+///     `--json` output for the same spec and options,
+///   * repeat specs are served from the result cache,
+///   * the final shutdown drains gracefully (exit 0).
+///
+/// Usage: serve_soak [FAILPOINT_SPEC]
+///
+/// An optional failpoint spec (`serve.accept_fail=3`, `serve.job_spawn=5+`,
+/// `serve.cache_evict`, ...) arms chaos injection inside the server; the
+/// client side then only checks survival invariants (responses still
+/// arrive or connections fail cleanly; statuses stay valid; drain still
+/// exits 0) and skips the cache-hit and strict-count assertions that
+/// injected faults legitimately perturb.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report_json.hpp"
+#include "core/verifier.hpp"
+#include "enumeration/enumerator.hpp"
+#include "enumeration/report_json.hpp"
+#include "protocols/protocols.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/budget.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+std::atomic<int> g_failures{0};
+
+#define SOAK_CHECK(cond, detail)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "soak: FAIL %s:%d: %s: %s\n", __FILE__,      \
+                   __LINE__, #cond, std::string(detail).c_str());       \
+      g_failures.fetch_add(1);                                          \
+    }                                                                   \
+  } while (0)
+
+constexpr int kClients = 8;
+constexpr int kJobsPerClient = 72;  // 8 * 72 = 576 >= 500 mixed jobs
+
+/// One request in the rotating mix, plus what its response must satisfy.
+struct Probe {
+  std::string line;            ///< request line (no trailing newline)
+  std::string expect_status;   ///< required status ("" = any valid status)
+  std::string expect_payload;  ///< required payload bytes ("" = unchecked)
+};
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_line(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one newline-terminated response; empty on EOF/error.
+std::string read_line(int fd, std::string& buffer) {
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) return {};
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// Extracts the raw payload bytes from a response line (payload renders
+/// last in the envelope); empty when the response carries none.
+std::string payload_bytes(const std::string& line) {
+  static const std::string kKey = "\"payload\":";
+  const std::size_t pos = line.find(kKey);
+  if (pos == std::string::npos) return {};
+  return line.substr(pos + kKey.size(),
+                     line.size() - (pos + kKey.size()) - 1);
+}
+
+bool valid_status(const std::string& status) {
+  return status == "verified" || status == "protocol-errors" ||
+         status == "usage-error" || status == "internal-error" ||
+         status == "partial" || status == "overloaded" || status == "ok";
+}
+
+/// One client thread: lockstep request/response over its own connection,
+/// reconnecting when chaos (serve.accept_fail) kills the stream.
+void run_client(const std::string& socket_path,
+                const std::vector<Probe>& mix, const bool chaos,
+                std::atomic<std::uint64_t>& responses_seen) {
+  int fd = -1;
+  std::string buffer;
+  for (int i = 0; i < kJobsPerClient; ++i) {
+    const Probe& probe = mix[static_cast<std::size_t>(i) % mix.size()];
+    std::string response;
+    for (int attempt = 0; attempt < 50 && response.empty(); ++attempt) {
+      if (fd < 0) {
+        fd = connect_unix(socket_path);
+        if (fd < 0) {
+          // Accept-side chaos: back off and retry the connection.
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        buffer.clear();
+      }
+      if (!write_line(fd, probe.line)) {
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+      response = read_line(fd, buffer);
+      if (response.empty()) {  // connection died mid-request: reconnect
+        ::close(fd);
+        fd = -1;
+      }
+    }
+    SOAK_CHECK(!response.empty(), "no response after retries: " + probe.line);
+    if (response.empty()) continue;
+    responses_seen.fetch_add(1);
+
+    try {
+      const ccver::JsonValue v = ccver::parse_json(response);
+      const ccver::JsonValue* status = v.find("status");
+      SOAK_CHECK(status != nullptr, response);
+      if (status == nullptr) continue;
+      SOAK_CHECK(valid_status(status->string), response);
+      if (!chaos && !probe.expect_status.empty()) {
+        SOAK_CHECK(status->string == probe.expect_status,
+                   probe.line + " -> " + response);
+      }
+      if (!probe.expect_payload.empty() && status->string == "verified") {
+        SOAK_CHECK(payload_bytes(response) == probe.expect_payload,
+                   "payload drifted from one-shot CLI for " + probe.line);
+      }
+    } catch (const std::exception& e) {
+      SOAK_CHECK(false, std::string(e.what()) + ": " + response);
+    }
+  }
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccver;
+  const bool chaos = argc > 1;
+  if (chaos) {
+    try {
+      failpoints_configure(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "soak: bad failpoint spec: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr, "soak: chaos armed: %s\n", argv[1]);
+  }
+
+  // One-shot CLI ground truth, computed in-process through the same
+  // renderers the CLI front end calls.
+  std::string verify_expected;
+  {
+    Budget budget;
+    Verifier::Options opt;
+    opt.budget = &budget;
+    const Protocol p = protocols::by_name("Illinois");
+    verify_expected = report_to_json(Verifier(p, opt).verify(), p);
+  }
+  std::string enumerate_expected;
+  {
+    Budget budget;
+    Enumerator::Options opt;
+    opt.n_caches = 3;
+    opt.budget = &budget;
+    const Protocol p = protocols::by_name("MSI");
+    enumerate_expected =
+        enumeration_to_json(p, 3, Equivalence::Counting, Enumerator(p, opt).run());
+  }
+
+  // The rotating request mix. Repeat specs across all 8 clients are the
+  // cache-hit workload; the malformed/oversized/unknown lines are the
+  // poison the server must shrug off mid-stream.
+  std::string oversized = R"({"op":"job","verb":"lint","spec":")";
+  oversized.append(20'000, 'x');
+  oversized += R"("})";
+  const std::vector<Probe> mix = {
+      {R"({"op":"job","verb":"verify","protocol":"Illinois","id":"v"})",
+       "verified", verify_expected},
+      {R"({"op":"job","verb":"enumerate","protocol":"MSI","n":3,"id":"e"})",
+       "verified", enumerate_expected},
+      {R"({"op":"job","verb":"lint","protocol":"Synapse","id":"l"})", "", ""},
+      {"this line is not json", "usage-error", ""},
+      {R"({"op":"job","verb":"verify","protocol":"Berkeley","id":"v2"})",
+       "verified", ""},
+      {oversized, "usage-error", ""},
+      {R"({"op":"job","verb":"verify","protocol":"NoSuchProtocol","id":"u"})",
+       "usage-error", ""},
+      {R"({"op":"job","verb":"enumerate","protocol":"Dragon","n":3,"id":"e2"})",
+       "verified", ""},
+      {R"({"op":"ping","id":"p"})", "ok", ""},
+  };
+
+  char dir_template[] = "/tmp/ccv_soak_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::perror("soak: mkdtemp");
+    return 3;
+  }
+  const std::string socket_path = std::string(dir_template) + "/serve.sock";
+
+  Server::Options options;
+  options.workers = 4;
+  options.max_request_bytes = 8192;  // the oversized probe trips this
+  Server server(options);
+  int server_rc = -1;
+  std::thread server_thread(
+      [&] { server_rc = server.run_unix(socket_path); });
+
+  std::atomic<std::uint64_t> responses_seen{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(run_client, socket_path, std::cref(mix), chaos,
+                         std::ref(responses_seen));
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Graceful shutdown through the wire: ack, then drain, then exit 0.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const int fd = connect_unix(socket_path);
+    if (fd < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    std::string buffer;
+    if (write_line(fd, R"({"op":"shutdown","id":"bye"})")) {
+      const std::string ack = read_line(fd, buffer);
+      SOAK_CHECK(!chaos ? !ack.empty() : true, "no shutdown ack");
+    }
+    ::close(fd);
+    break;
+  }
+  server_thread.join();
+  SOAK_CHECK(server_rc == 0, "drain exit code " + std::to_string(server_rc));
+  ::unlink(socket_path.c_str());
+  ::rmdir(dir_template);
+
+  const MetricsSnapshot stats = server.stats_snapshot();
+  const auto counter = [&stats](const char* name) -> std::uint64_t {
+    const auto it = stats.counters.find(name);
+    return it == stats.counters.end() ? 0 : it->second;
+  };
+  const std::uint64_t total = kClients * std::uint64_t{kJobsPerClient};
+  std::fprintf(
+      stderr,
+      "soak: %llu/%llu responses, admitted=%llu cached=%llu hits=%llu "
+      "malformed=%llu oversized=%llu rejected=%llu\n",
+      static_cast<unsigned long long>(responses_seen.load()),
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(counter("serve.jobs.admitted")),
+      static_cast<unsigned long long>(counter("serve.jobs.cached")),
+      static_cast<unsigned long long>(counter("serve.cache.hits")),
+      static_cast<unsigned long long>(counter("serve.requests.malformed")),
+      static_cast<unsigned long long>(counter("serve.requests.oversized")),
+      static_cast<unsigned long long>(counter("serve.jobs.rejected")));
+
+  if (!chaos) {
+    // Clean runs are fully deterministic: every request answered, repeat
+    // specs cache-served, and the poison lines counted where they landed.
+    SOAK_CHECK(responses_seen.load() == total, "lost responses");
+    SOAK_CHECK(counter("serve.cache.hits") > 0, "repeat specs never hit");
+    SOAK_CHECK(counter("serve.jobs.cached") > 0, "no cached verdicts");
+    SOAK_CHECK(counter("serve.requests.malformed") > 0, "malformed uncounted");
+    SOAK_CHECK(counter("serve.requests.oversized") > 0, "oversized uncounted");
+  }
+
+  if (g_failures.load() != 0) {
+    std::fprintf(stderr, "soak: %d failure(s)\n", g_failures.load());
+    return 1;
+  }
+  std::fprintf(stderr, "soak: PASS\n");
+  return 0;
+}

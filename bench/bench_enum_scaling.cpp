@@ -26,7 +26,12 @@
 ///
 /// Usage: bench_enum_scaling [protocol] [n_caches] [repeats]
 ///        [--strict | --counting] [--sweep] [--sweep-max-strict-n <n>]
-///        [--json <path>]
+///        [--spill-acceptance-n <n>] [--json <path>]
+///
+/// `--sweep` also measures one tiered-visited-set row (strict n=7 under a
+/// 4 MiB budget with a spill directory; `spill: true` in the trajectory),
+/// and `--spill-acceptance-n <n>` appends the expensive external-memory
+/// acceptance row at strict n under a 64 MiB budget (single repeat).
 ///
 /// Wall times are the best (minimum) of the configured repeats. The
 /// enumerator's results are deterministic across thread counts, so the
@@ -99,7 +104,8 @@ bool rows_consistent(const std::vector<bench::BenchEnumRow>& rows,
 }
 
 int run_sweep(const Protocol& p, std::size_t repeats,
-              std::size_t max_strict_n, const std::string& json_path) {
+              std::size_t max_strict_n, std::size_t spill_acceptance_n,
+              const std::string& json_path) {
   const ThreadPlan plan = plan_threads();
   std::vector<bench::BenchEnumRow> rows;
   struct Skip {
@@ -123,6 +129,52 @@ int run_sweep(const Protocol& p, std::size_t repeats,
                   << p.name() << " n=" << n << ' ' << eq_name(eq) << '\n';
         return 1;
       }
+    }
+  }
+
+  // Tiered-visited-set row (schema v2 `spill: true`): the strict n=7
+  // sweep under a 4 MiB byte budget -- too tight for the all-in-RAM
+  // engine, which returns Partial there -- with a spill directory, so the
+  // trajectory tracks degraded-mode throughput. The counts must match the
+  // in-RAM row exactly (spilling is a capacity mechanism, not a different
+  // search); the perf gate fails if this row ever vanishes.
+  if (max_strict_n >= 7) {
+    const bench::SpillConfig cfg{
+        (std::filesystem::temp_directory_path() / "bench_enum_spill")
+            .string(),
+        4ULL << 20};
+    rows.push_back(
+        bench::measure_enum(p, 7, Equivalence::Strict, 1, repeats, &cfg));
+    const bench::BenchEnumRow& spill_row = rows.back();
+    for (const bench::BenchEnumRow& row : rows) {
+      if (row.spill || row.n != 7 || row.threads != 1 ||
+          row.equivalence != Equivalence::Strict ||
+          !row.equivalence_label.empty()) {
+        continue;
+      }
+      if (row.states != spill_row.states || row.visits != spill_row.visits) {
+        std::cerr << "FATAL: spill row diverges from the in-RAM row at "
+                  << p.name() << " n=7 strict\n";
+        return 1;
+      }
+    }
+  }
+
+  // Acceptance row for the external-memory tier (off by default -- minutes
+  // of wall clock): strict at `--spill-acceptance-n` under a 64 MiB
+  // budget, one repeat. Checked into the baseline to document the scale
+  // the spill tier unlocks; CI's smaller sweep skips it as baseline-only.
+  if (spill_acceptance_n != 0) {
+    const bench::SpillConfig cfg{
+        (std::filesystem::temp_directory_path() / "bench_enum_spill9")
+            .string(),
+        64ULL << 20};
+    rows.push_back(bench::measure_enum(p, spill_acceptance_n,
+                                       Equivalence::Strict, 1, 1, &cfg));
+    if (rows.back().states == 0) {
+      std::cerr << "FATAL: spill acceptance run did not complete at "
+                << p.name() << " n=" << spill_acceptance_n << " strict\n";
+      return 1;
     }
   }
 
@@ -168,6 +220,7 @@ int run_sweep(const Protocol& p, std::size_t repeats,
     json.key("n").value(static_cast<std::uint64_t>(row.n));
     json.key("equivalence").value(row_eq_name(row));
     json.key("threads").value(static_cast<std::uint64_t>(row.threads));
+    json.key("spill").value(row.spill);
     json.key("states").value(static_cast<std::uint64_t>(row.states));
     json.key("wall_ns").value(row.wall_ns);
     json.key("states_per_sec").value(row.states_per_sec);
@@ -286,6 +339,7 @@ int main(int argc, char** argv) {
   Equivalence eq = Equivalence::Strict;
   bool sweep = false;
   std::size_t max_strict_n = 8;
+  std::size_t spill_acceptance_n = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -297,6 +351,8 @@ int main(int argc, char** argv) {
       sweep = true;
     } else if (arg == "--sweep-max-strict-n" && i + 1 < argc) {
       max_strict_n = parse_unsigned(argv[++i]);
+    } else if (arg == "--spill-acceptance-n" && i + 1 < argc) {
+      spill_acceptance_n = parse_unsigned(argv[++i]);
     } else {
       positional.push_back(arg);
     }
@@ -309,6 +365,7 @@ int main(int argc, char** argv) {
       positional.size() > 2 ? parse_unsigned(positional[2]) : 5;
   const Protocol p = protocols::by_name(name);
 
-  return sweep ? run_sweep(p, repeats, max_strict_n, json_path)
+  return sweep ? run_sweep(p, repeats, max_strict_n, spill_acceptance_n,
+                           json_path)
                : run_curve(p, n_caches, eq, repeats, json_path);
 }

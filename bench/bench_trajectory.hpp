@@ -9,16 +9,23 @@
 ///
 ///   {
 ///     "benchmark": "<emitting binary>",
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "hardware_concurrency": <uint>,
 ///     "rows": [
 ///       { "protocol": "<name>", "n": <uint>, "equivalence":
 ///         "strict"|"counting"|"symbolic-containment"|"symbolic-equality",
-///         "threads": <uint>, "states": <uint>,
+///         "threads": <uint>, "spill": <bool>, "states": <uint>,
 ///         "visits": <uint>, "symmetry_skips": <uint>, "wall_ns": <uint>,
 ///         "states_per_sec": <uint> }, ...
 ///     ]
 ///   }
+///
+/// Schema v2 adds the `spill` column: `true` rows ran with the tiered
+/// external-memory visited set engaged (a spill directory plus a tight
+/// byte budget that the all-in-RAM engine cannot complete under), so the
+/// trajectory tracks degraded-mode throughput alongside the in-RAM rows.
+/// Row identity is (protocol, n, equivalence, threads, spill); v1 readers
+/// treat a missing `spill` as false.
 ///
 /// `wall_ns` is the best (minimum) of the configured repeats -- the noise
 /// floor, which is what a perf trajectory wants to track across commits.
@@ -38,6 +45,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -45,6 +53,7 @@
 
 #include "core/expansion.hpp"
 #include "enumeration/enumerator.hpp"
+#include "util/budget.hpp"
 #include "util/json.hpp"
 
 namespace ccver::bench {
@@ -65,11 +74,22 @@ struct BenchEnumRow {
   /// the enum name (used by the `symbolic-*` rows).
   std::string equivalence_label;
   std::size_t threads = 0;
+  /// True when the run used the tiered visited set (spill directory plus
+  /// a byte budget the in-RAM engine cannot complete under).
+  bool spill = false;
   std::size_t states = 0;
   std::size_t visits = 0;
   std::size_t symmetry_skips = 0;
   std::uint64_t wall_ns = 0;  ///< best of the configured repeats
   std::uint64_t states_per_sec = 0;
+};
+
+/// Configuration for a `spill = true` trajectory row: where the cold tier
+/// lives and how tight the byte budget is. `mem_budget` of 0 runs without
+/// a budget (the watermark then sits at 0: spill at every level barrier).
+struct SpillConfig {
+  std::string dir;
+  std::uint64_t mem_budget = 0;
 };
 
 /// Integer rate (units per second) from a count and a wall time.
@@ -82,31 +102,47 @@ struct BenchEnumRow {
 }
 
 /// Runs one enumeration configuration `repeats` times and reports the
-/// best-of run as a trajectory row.
+/// best-of run as a trajectory row. With a `SpillConfig` the run engages
+/// the tiered visited set (fresh spill directory and budget per repeat,
+/// so no repeat reuses the previous one's runs or latched budget); a
+/// spilling repeat that does not complete zeroes the row's counts, which
+/// the caller's cross-checks then reject.
 inline BenchEnumRow measure_enum(const Protocol& p, std::size_t n,
                                  Equivalence eq, std::size_t threads,
-                                 std::size_t repeats) {
+                                 std::size_t repeats,
+                                 const SpillConfig* spill = nullptr) {
   Enumerator::Options opt;
   opt.n_caches = n;
   opt.equivalence = eq;
   opt.threads = threads;
-  const Enumerator enumerator(p, opt);
 
   BenchEnumRow row;
   row.protocol = p.name();
   row.n = n;
   row.equivalence = eq;
   row.threads = threads;
+  row.spill = spill != nullptr;
   row.wall_ns = UINT64_MAX;
   for (std::size_t r = 0; r < repeats; ++r) {
+    Budget budget{Budget::Limits{
+        .max_bytes = spill != nullptr ? spill->mem_budget : 0}};
+    if (spill != nullptr) {
+      std::filesystem::remove_all(spill->dir);
+      std::filesystem::create_directories(spill->dir);
+      opt.spill_dir = spill->dir;
+      opt.spill_watermark = spill->mem_budget / 2;
+      if (spill->mem_budget != 0) opt.budget = &budget;
+    }
     const std::uint64_t t0 = trajectory_now_ns();
-    const EnumerationResult result = enumerator.run();
+    const EnumerationResult result = Enumerator(p, opt).run();
     const std::uint64_t dt = trajectory_now_ns() - t0;
     if (dt < row.wall_ns) row.wall_ns = dt;
-    row.states = result.states;
-    row.visits = result.visits;
+    const bool ok = result.outcome == Outcome::Complete;
+    row.states = ok ? result.states : 0;
+    row.visits = ok ? result.visits : 0;
     row.symmetry_skips = result.symmetry_skips;
   }
+  if (spill != nullptr) std::filesystem::remove_all(spill->dir);
   row.states_per_sec = rate_per_sec(row.states, row.wall_ns);
   return row;
 }
@@ -176,7 +212,7 @@ inline bool write_bench_enum_json(
   JsonWriter json;
   json.begin_object();
   json.key("benchmark").value(benchmark);
-  json.key("schema_version").value(std::uint64_t{1});
+  json.key("schema_version").value(std::uint64_t{2});
   json.key("hardware_concurrency")
       .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   json.key("rows").begin_array();
@@ -190,6 +226,7 @@ inline bool write_bench_enum_json(
                    : (row.equivalence == Equivalence::Strict ? "strict"
                                                              : "counting"));
     json.key("threads").value(static_cast<std::uint64_t>(row.threads));
+    json.key("spill").value(row.spill);
     json.key("states").value(static_cast<std::uint64_t>(row.states));
     json.key("visits").value(static_cast<std::uint64_t>(row.visits));
     json.key("symmetry_skips")

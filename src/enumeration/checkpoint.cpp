@@ -47,6 +47,15 @@ std::string render_payload(const EnumCheckpoint& cp) {
   section("visited", cp.visited);
   section("frontier", cp.frontier);
   section("next", cp.next);
+  // Conditional section: all-in-RAM checkpoints stay byte-identical to the
+  // original v1 payload (pinned by the format-compat tests).
+  if (!cp.spill_runs.empty()) {
+    out << "spill_runs " << cp.spill_runs.size() << '\n';
+    for (const SpillRunRef& run : cp.spill_runs) {
+      out << run.file << ' ' << run.partition << ' ' << run.keys << ' '
+          << checkpoint_hex(run.checksum) << '\n';
+    }
+  }
   out << "errors " << cp.errors.size() << '\n';
   for (const ConcreteError& e : cp.errors) {
     render_key(out, e.state);
@@ -187,7 +196,65 @@ EnumCheckpoint load_checkpoint(const std::filesystem::path& path) {
   read_section("frontier", cp.frontier);
   read_section("next", cp.next);
 
-  const std::uint64_t error_count = reader.number_field("errors");
+  // The section after `next` is either the optional spill-run manifest or
+  // the errors; peek the line to branch.
+  std::string_view sect = reader.next_line();
+  if (starts_with(sect, "spill_runs ")) {
+    std::uint64_t run_count = 0;
+    try {
+      run_count = parse_unsigned(sect.substr(11));
+    } catch (const SpecError&) {
+      reader.fail("invalid spill_runs count '" +
+                  std::string(sect.substr(11)) + "'");
+    }
+    cp.spill_runs.reserve(run_count);
+    for (std::uint64_t i = 0; i < run_count; ++i) {
+      const std::vector<std::string> parts = split(reader.next_line(), ' ');
+      if (parts.size() != 4) {
+        reader.fail("malformed spill run manifest line");
+      }
+      SpillRunRef ref;
+      ref.file = parts[0];
+      // The file is joined onto the spill directory at adoption time: only
+      // plain filenames are acceptable, never path components.
+      if (ref.file.empty() || ref.file.find('/') != std::string::npos ||
+          ref.file.find("..") != std::string::npos) {
+        reader.fail("spill run filename '" + ref.file +
+                    "' is not a plain filename");
+      }
+      try {
+        ref.partition = parse_unsigned(parts[1]);
+        ref.keys = parse_unsigned(parts[2]);
+      } catch (const SpecError&) {
+        reader.fail("malformed spill run manifest line");
+      }
+      const std::string& hex = parts[3];
+      if (hex.empty() || hex.size() > 16) {
+        reader.fail("invalid spill run checksum '" + hex + "'");
+      }
+      for (const char c : hex) {
+        const int digit = c >= '0' && c <= '9'   ? c - '0'
+                          : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                                 : -1;
+        if (digit < 0) {
+          reader.fail("invalid spill run checksum '" + hex + "'");
+        }
+        ref.checksum = (ref.checksum << 4) | static_cast<std::uint64_t>(digit);
+      }
+      cp.spill_runs.push_back(std::move(ref));
+    }
+    sect = reader.next_line();
+  }
+  if (!starts_with(sect, "errors ") ||
+      sect.size() <= std::string_view("errors ").size()) {
+    reader.fail("expected 'errors <value>', got '" + std::string(sect) + "'");
+  }
+  std::uint64_t error_count = 0;
+  try {
+    error_count = parse_unsigned(sect.substr(7));
+  } catch (const SpecError&) {
+    reader.fail("invalid errors count '" + std::string(sect.substr(7)) + "'");
+  }
   cp.errors.reserve(error_count);
   for (std::uint64_t i = 0; i < error_count; ++i) {
     std::string_view detail;
@@ -199,7 +266,11 @@ EnumCheckpoint load_checkpoint(const std::filesystem::path& path) {
   verify_checkpoint_checksum(reader, content, checksum_at);
 
   // Internal consistency: every frontier/next state must be visited.
-  if (cp.visited.empty()) reader.fail("checkpoint has no visited states");
+  // With spill runs the hot tier may legitimately be empty (the whole
+  // visited set lives in the cold tier).
+  if (cp.visited.empty() && cp.spill_runs.empty()) {
+    reader.fail("checkpoint has no visited states");
+  }
   return cp;
 }
 

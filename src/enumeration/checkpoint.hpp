@@ -23,8 +23,17 @@
 ///   visited <count>              # then one key per line
 ///   frontier <count>             # unexpanded current-level states
 ///   next <count>                 # admitted next-level states
+///   spill_runs <count>           # optional; "<file> <part> <keys> <hex>"
 ///   errors <count>               # "<key> <detail>" per line
 ///   checksum <hex>               # FNV-1a of every preceding byte
+///
+/// The `spill_runs` section appears only when the run had spilled visited
+/// partitions to disk (see spill_store.hpp): `visited` then holds the hot
+/// tier only and each manifest line references one spill run file (relative
+/// to the spill directory) with its partition, key count and checksum, so a
+/// resume can re-adopt -- and re-validate -- the cold tier without reading
+/// it back into the checkpoint. Checkpoints without spill runs are
+/// byte-identical to the original v1 format.
 ///
 /// A key renders as `<cells-hex> <mdata>` (two hex digits per cell).
 /// Writes are atomic -- the payload goes to `<path>.tmp` and is renamed
@@ -41,6 +50,7 @@
 #include <vector>
 
 #include "enumeration/enumerator.hpp"
+#include "enumeration/spill_store.hpp"
 
 namespace ccver {
 
@@ -66,9 +76,12 @@ struct EnumCheckpoint {
   std::size_t expansions = 0;
 
   // -- the search state itself -----------------------------------------
-  std::vector<EnumKey> visited;   ///< full visited set
+  std::vector<EnumKey> visited;   ///< hot tier (full set when no spill runs)
   std::vector<EnumKey> frontier;  ///< states not yet expanded
   std::vector<EnumKey> next;      ///< admitted states of the following level
+  /// Cold-tier manifest: spill runs holding the rest of the visited set
+  /// (empty for all-in-RAM runs; see spill_store.hpp).
+  std::vector<SpillRunRef> spill_runs;
   std::vector<ConcreteError> errors;  ///< found so far (paths never recorded)
 };
 

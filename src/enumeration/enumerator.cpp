@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <optional>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
 
 #include "enumeration/checkpoint.hpp"
+#include "enumeration/run_merge.hpp"
+#include "enumeration/spill_store.hpp"
 #include "enumeration/visited_set.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -127,11 +130,14 @@ void finalize_errors(std::vector<ConcreteError>& found,
   result.errors = std::move(found);
 }
 
-/// Deterministic working-set estimate charged to a memory budget per
-/// admitted state: the key lives once in a visited-table slot (plus table
-/// headroom) and once in the frontier. Coarse on purpose -- the budget is
-/// a degradation threshold, not an allocator audit -- and identical at
-/// every thread count so memory-budget runs stay reproducible.
+/// Working-set estimate charged per admitted state by the sequential
+/// replay-path search, whose parent-indexed containers the budget cannot
+/// observe directly: the key lives in the index map, the order vector and
+/// the parent records. The parallel sweep does NOT use this -- it charges
+/// the visited table at actual allocated capacity (see ConcurrentKeySet)
+/// plus `sizeof(EnumKey)` of frontier residency per admitted key, released
+/// as frontiers are consumed or spilled, so spill watermarks track where
+/// memory is really consumed.
 constexpr std::uint64_t kStateFootprintBytes = 2 * sizeof(EnumKey) + 64;
 
 /// Seed capacity for the replay-path containers: deep enough that small,
@@ -318,6 +324,13 @@ EnumerationResult run_with_paths(const Protocol& p,
 /// 128 KiB, sized to sit in L2.
 constexpr std::size_t kLocalDedupSlots = 4096;
 
+/// External-frontier granularity (spilling engaged only): the merged
+/// frontier is materialized and swept in chunks of this many keys, and a
+/// worker whose next-level batch reaches it writes the batch out as a
+/// delta-encoded frontier run instead of holding it. 32k packed keys =
+/// 1 MiB resident per chunk / per worker batch.
+constexpr std::size_t kFrontierChunkKeys = 32 * 1024;
+
 }  // namespace
 
 EnumerationResult Enumerator::run() const {
@@ -325,10 +338,15 @@ EnumerationResult Enumerator::run() const {
   if (options_.track_paths) {
     // Path bookkeeping is sequential and parent-indexed; a checkpoint of
     // it would be a different (much bigger) format for runs small enough
-    // to just rerun. Budgets still apply.
+    // to just rerun. Budgets still apply. The same smallness argument
+    // rules out external-memory tiers.
     if (options_.resume != nullptr || !options_.checkpoint_path.empty()) {
       throw SpecError(
           "checkpoint/resume is not supported with replay-path tracking");
+    }
+    if (!options_.spill_dir.empty()) {
+      throw SpecError(
+          "spilling is not supported with replay-path tracking");
     }
     return run_with_paths(p, options_);
   }
@@ -348,8 +366,35 @@ EnumerationResult Enumerator::run() const {
   const std::size_t workers =
       options_.clamp_threads ? std::min(requested, hardware) : requested;
 
-  ConcurrentKeySet visited(resume == nullptr ? 0
-                                             : resume->visited.size() * 2);
+  ConcurrentKeySet visited(
+      resume == nullptr ? 0 : resume->visited.size() * 2, budget);
+
+  // Cold tier, present only when a spill directory is configured. The
+  // default (no spill dir) keeps the hot path untouched: no probe, no
+  // engagement check, no extra branches in the level loop's common case.
+  std::optional<SpillStore> spill_store;
+  SpillStore* spill = nullptr;
+  if (!options_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.spill_dir, ec);
+    if (ec) {
+      throw IoError("cannot create spill directory '" + options_.spill_dir +
+                    "': " + ec.message());
+    }
+    spill_store.emplace(SpillStore::Options{
+        options_.spill_dir, protocol_fingerprint(p), options_.n_caches,
+        options_.equivalence, budget, metrics});
+    spill = &*spill_store;
+  }
+  if (resume != nullptr && !resume->spill_runs.empty()) {
+    if (spill == nullptr) {
+      throw SpecError("cannot resume: the checkpoint references " +
+                      std::to_string(resume->spill_runs.size()) +
+                      " spill run(s); rerun with --spill-dir pointing at "
+                      "the original spill directory");
+    }
+    spill->adopt(resume->spill_runs);
+  }
 
   EnumerationResult result;
   std::vector<ConcreteError> found;  // all erroneous states; sorted later
@@ -375,7 +420,10 @@ EnumerationResult Enumerator::run() const {
       found.push_back(ConcreteError{initial, std::move(*detail), {}});
     }
     frontier.push_back(initial);
-    if (budget != nullptr) budget->charge_states(1);
+    if (budget != nullptr) {
+      budget->charge_states(1);
+      budget->charge_bytes(sizeof(EnumKey));  // frontier residency
+    }
   } else {
     // Everything the interrupted run had admitted -- including its errors
     // and counters -- is restored verbatim; only the unexpanded states get
@@ -393,8 +441,20 @@ EnumerationResult Enumerator::run() const {
     result.expansions = resume->expansions;
     total_visits = static_cast<std::size_t>(resume->visits);
     total_symmetry_skips = static_cast<std::size_t>(resume->symmetry_skips);
-    seed_states = resume->visited.size();
-    if (budget != nullptr) budget->charge_states(seed_states);
+    seed_states = resume->visited.size() +
+                  (spill == nullptr
+                       ? 0
+                       : static_cast<std::size_t>(spill->spilled_keys()));
+    if (budget != nullptr) {
+      budget->charge_states(seed_states);
+      // Seeded frontier residency, matching the per-key charge the sweep
+      // applies as it admits states. When the seed alone exceeds the byte
+      // allowance, this latches MemoryBudget before any expansion -- the
+      // CLI turns that into a pointed diagnostic instead of a confusing
+      // immediate Partial.
+      budget->charge_bytes((frontier.size() + next_carry.size()) *
+                           sizeof(EnumKey));
+    }
   }
   std::atomic<std::size_t> total_states{seed_states};
 
@@ -413,11 +473,14 @@ EnumerationResult Enumerator::run() const {
 
   struct WorkerState {
     std::vector<EnumKey> next;
+    std::vector<std::string> next_runs;  ///< frontier runs written this level
     std::vector<ConcreteError> errors;
     std::vector<EnumKey> pending;
     std::vector<EnumKey> fresh;
     std::vector<EnumKey> dedup_cache;  ///< direct-mapped, zero = empty
     SuccessorStats stats;
+    std::size_t index = 0;         ///< worker ordinal (run file naming)
+    std::uint64_t run_seq = 0;     ///< frontier runs written, ever
     std::size_t flushes = 0;
     std::uint64_t inserts = 0;      ///< keys newly admitted to the table
     std::uint64_t dupes = 0;        ///< shared-table hits (already seen)
@@ -432,6 +495,13 @@ EnumerationResult Enumerator::run() const {
                       std::to_string(options_.max_states) + ")");
   };
 
+  // Spill engagement is decided at level barriers (sticky once on) and
+  // read by sweep workers mid-level; `frontier_runs_ok` flips off on the
+  // first frontier-run write failure so a broken spill device degrades to
+  // all-in-RAM instead of aborting the sweep.
+  std::atomic<bool> spill_engaged{false};
+  std::atomic<bool> frontier_runs_ok{true};
+
   const auto flush = [&](WorkerState& ws) {
     if (ws.pending.empty()) return;
     ++ws.flushes;
@@ -441,6 +511,18 @@ EnumerationResult Enumerator::run() const {
     ws.local_dupes +=
         static_cast<std::uint64_t>(ws.pending.end() - last);
     ws.pending.erase(last, ws.pending.end());
+    // Cold-tier filter: a key that already lives in a spill run is a
+    // duplicate. Dropping it *before* the hot-tier insert keeps the tiers
+    // disjoint (hot + runs always partition the visited set). The probe is
+    // lock-free -- the run set is immutable between barriers.
+    if (spill != nullptr && spill->has_runs()) {
+      const auto cold = std::remove_if(
+          ws.pending.begin(), ws.pending.end(),
+          [&](const EnumKey& key) { return spill->contains(key); });
+      ws.dupes += static_cast<std::uint64_t>(ws.pending.end() - cold);
+      ws.pending.erase(cold, ws.pending.end());
+      if (ws.pending.empty()) return;
+    }
     // Growth check sits *between* insert scopes: the exclusive rehash only
     // ever waits for in-flight batches.
     if (visited.needs_grow()) visited.maybe_grow();
@@ -470,10 +552,13 @@ EnumerationResult Enumerator::run() const {
     if (admitted > options_.max_states) throw over_cap();
     // Budget charges latch instead of throwing: the sweep keeps draining
     // already-generated successors and stops cleanly at the next per-state
-    // poll, so a budget stop never tears an expansion.
+    // poll, so a budget stop never tears an expansion. Bytes are charged
+    // as frontier residency (the table itself is charged at allocation by
+    // ConcurrentKeySet) and released when the key leaves RAM -- consumed
+    // with its level or written to a frontier run.
     if (budget != nullptr) {
       budget->charge_states(ws.fresh.size());
-      budget->charge_bytes(ws.fresh.size() * kStateFootprintBytes);
+      budget->charge_bytes(ws.fresh.size() * sizeof(EnumKey));
     }
     for (EnumKey& key : ws.fresh) {
       if (auto detail = check_concrete_invariants(p, key);
@@ -481,6 +566,31 @@ EnumerationResult Enumerator::run() const {
         ws.errors.push_back(ConcreteError{key, std::move(*detail), {}});
       }
       ws.next.push_back(key);
+    }
+    // External frontier: once spilling is engaged, an oversized next-level
+    // batch leaves RAM as a sorted delta-encoded run. Write failures fall
+    // back to RAM for the rest of the run -- worker threads never throw
+    // out of the spill path.
+    if (spill_engaged.load(std::memory_order_relaxed) &&
+        frontier_runs_ok.load(std::memory_order_relaxed) &&
+        ws.next.size() >= kFrontierChunkKeys) {
+      std::sort(ws.next.begin(), ws.next.end(), key_less);
+      std::ostringstream name;
+      name << "frontier-L" << result.levels << "-w" << ws.index << "-"
+           << ws.run_seq << ".frun";
+      const std::filesystem::path run_path =
+          std::filesystem::path(options_.spill_dir) / name.str();
+      try {
+        write_frontier_run(run_path, ws.next, options_.n_caches);
+        ++ws.run_seq;
+        ws.next_runs.push_back(run_path.string());
+        if (budget != nullptr) {
+          budget->release_bytes(ws.next.size() * sizeof(EnumKey));
+        }
+        ws.next.clear();
+      } catch (const IoError&) {
+        frontier_runs_ok.store(false, std::memory_order_relaxed);
+      }
     }
   };
 
@@ -496,6 +606,7 @@ EnumerationResult Enumerator::run() const {
   std::size_t parallel_levels = 0;
   std::size_t frontier_peak = 1;
   std::size_t grain_used = 1;
+  std::uint64_t merge_ns_total = 0;
 
   const auto publish_metrics = [&] {
     if (metrics == nullptr) return;
@@ -512,6 +623,10 @@ EnumerationResult Enumerator::run() const {
     metrics->counter_add("enum.sched.serial_levels", serial_levels);
     metrics->counter_add("enum.sched.parallel_levels", parallel_levels);
     visited.publish_metrics(*metrics);
+    if (spill != nullptr) {
+      spill->publish_metrics(*metrics);
+      metrics->counter_add("enum.spill.merge_ns", merge_ns_total);
+    }
     metrics->timer_add("enum.lock_wait", lock_wait_total_ns, flushes_total);
     metrics->timer_add("enum.worker_busy", busy_total_ns,
                        result.levels * workers);
@@ -534,9 +649,10 @@ EnumerationResult Enumerator::run() const {
   // keep their reified-block scratch, and WorkerState keeps its batch and
   // dedup-cache capacity, instead of reconstructing them every BFS level.
   std::vector<WorkerState> wstate(workers);
-  for (WorkerState& ws : wstate) {
-    ws.pending.reserve(flush_at);
-    ws.dedup_cache.assign(kLocalDedupSlots, EnumKey{});
+  for (std::size_t w = 0; w < workers; ++w) {
+    wstate[w].index = w;
+    wstate[w].pending.reserve(flush_at);
+    wstate[w].dedup_cache.assign(kLocalDedupSlots, EnumKey{});
   }
   std::vector<SuccessorKernel> kernels;
   kernels.reserve(workers);
@@ -566,6 +682,9 @@ EnumerationResult Enumerator::run() const {
     cp.visited.reserve(visited.size());
     visited.for_each([&](const EnumKey& key) { cp.visited.push_back(key); });
     std::sort(cp.visited.begin(), cp.visited.end(), key_less);
+    // Cold-tier keys stay on disk: the manifest references them by file,
+    // and a resume re-adopts the runs after validation.
+    if (spill != nullptr) cp.spill_runs = spill->manifest();
     cp.frontier = std::move(cp_frontier);
     std::sort(cp.frontier.begin(), cp.frontier.end(), key_less);
     cp.next = std::move(cp_next);
@@ -578,21 +697,48 @@ EnumerationResult Enumerator::run() const {
   std::uint64_t last_checkpoint_ns =
       options_.checkpoint_path.empty() ? 0 : metrics_now_ns();
 
+  // Reads a frontier run back into `out` (checkpoint materialization --
+  // checkpoints reference spill runs for the visited set only, never for
+  // frontiers) and best-effort cleanup of consumed run files.
+  const auto read_frontier_run_keys = [&](const std::string& file,
+                                          std::vector<EnumKey>& out) {
+    FrontierRunReader run_reader(file, options_.n_caches);
+    EnumKey key;
+    while (run_reader.next(key)) out.push_back(key);
+  };
+  const auto remove_files = [](const std::vector<std::string>& files) {
+    std::error_code ec;
+    for (const std::string& file : files) {
+      std::filesystem::remove(file, ec);
+    }
+  };
+
   try {
     bool first_sweep = true;
-    while (!frontier.empty() || !next_carry.empty()) {
+    // Frontier runs feeding the current level (written by the previous
+    // level's workers; empty until spilling engages).
+    std::vector<std::string> level_runs;
+    while (!frontier.empty() || !level_runs.empty() || !next_carry.empty()) {
       // A mid-level resume re-enters a level the interrupted run already
       // counted; every later sweep starts a fresh level.
       if (!(first_sweep && resume_level_counted)) ++result.levels;
       first_sweep = false;
-      frontier_peak = std::max(frontier_peak, frontier.size());
       const std::uint64_t level_t0 =
           metrics == nullptr ? 0 : metrics_now_ns();
 
-      // Which frontier states this sweep finished. Each index is written
+      // The level input is the in-RAM `frontier` (always the first chunk)
+      // plus the merged stream of this level's frontier runs, consumed in
+      // bounded chunks so the full frontier is never resident at once.
+      FrontierRunMerger merger;
+      for (const std::string& file : level_runs) {
+        merger.add_run(FrontierRunReader(file, options_.n_caches));
+      }
+
+      // Which chunk states this sweep finished. Each index is written
       // only by the worker that owns its grain and read after the pool
       // barrier, so plain chars are race-free.
-      std::vector<char> expanded(frontier.size(), 0);
+      std::vector<char> expanded;
+      std::vector<EnumKey> chunk;
 
       const auto sweep = [&](std::size_t begin, std::size_t end,
                              std::size_t worker) {
@@ -623,45 +769,81 @@ EnumerationResult Enumerator::run() const {
           if (budget != nullptr && budget->poll() != StopReason::None) {
             break;
           }
-          kernel.expand(frontier[idx], ws.stats, sink);
+          kernel.expand(chunk[idx], ws.stats, sink);
           expanded[idx] = 1;
         }
         if (metrics != nullptr) ws.busy_ns += metrics_now_ns() - t0;
       };
 
-      // Adaptive dispatch: levels below the serial grain run inline -- no
-      // pool wake-up, no barrier -- which is what keeps small levels (and
-      // whole small searches) at sequential speed regardless of the
-      // requested thread count.
-      const bool go_parallel =
-          workers > 1 && options_.serial_grain != 0 &&
-          frontier.size() >= workers * options_.serial_grain;
-      if (go_parallel) {
-        ++parallel_levels;
-        // Frontier chunks are badly skewed (successor fan-out varies per
-        // state), so hand indices out dynamically in grains instead of
-        // one static split per worker.
-        grain_used = std::clamp<std::size_t>(
-            frontier.size() / (workers * 8), 1, 64);
-        if (!pool) pool.emplace(workers);
-        pool->parallel_for_dynamic(0, frontier.size(), grain_used, sweep);
-      } else {
-        ++serial_levels;
-        grain_used = frontier.size();
-        sweep(0, frontier.size(), 0);
+      // Unexpanded states of this level at a budget stop: the tail of the
+      // stopped chunk plus everything still in the merger.
+      std::vector<EnumKey> remainder;
+      chunk = std::move(frontier);
+      frontier.clear();
+      bool first_chunk = true;
+      while (first_chunk || !merger.empty()) {
+        if (!first_chunk) {
+          chunk.clear();
+          merger.next_chunk(chunk, kFrontierChunkKeys);
+          if (budget != nullptr) {
+            // Materialized chunk residency; released when consumed below.
+            budget->charge_bytes(chunk.size() * sizeof(EnumKey));
+          }
+        }
+        first_chunk = false;
+        if (chunk.empty()) continue;
+        frontier_peak = std::max(frontier_peak, chunk.size());
+        expanded.assign(chunk.size(), 0);
+
+        // Adaptive dispatch: chunks below the serial grain run inline --
+        // no pool wake-up, no barrier -- which is what keeps small levels
+        // (and whole small searches) at sequential speed regardless of
+        // the requested thread count. Without spilling there is exactly
+        // one chunk per level, so this is the historical per-level
+        // decision unchanged.
+        const bool go_parallel =
+            workers > 1 && options_.serial_grain != 0 &&
+            chunk.size() >= workers * options_.serial_grain;
+        if (go_parallel) {
+          ++parallel_levels;
+          // Frontier chunks are badly skewed (successor fan-out varies
+          // per state), so hand indices out dynamically in grains instead
+          // of one static split per worker.
+          grain_used = std::clamp<std::size_t>(
+              chunk.size() / (workers * 8), 1, 64);
+          if (!pool) pool.emplace(workers);
+          pool->parallel_for_dynamic(0, chunk.size(), grain_used, sweep);
+        } else {
+          ++serial_levels;
+          grain_used = chunk.size();
+          sweep(0, chunk.size(), 0);
+        }
+
+        for (std::size_t idx = 0; idx < chunk.size(); ++idx) {
+          if (expanded[idx] != 0) ++result.expansions;
+        }
+        if (budget != nullptr && budget->latched() != StopReason::None) {
+          for (std::size_t idx = 0; idx < chunk.size(); ++idx) {
+            if (expanded[idx] == 0) remainder.push_back(chunk[idx]);
+          }
+          merger.drain(remainder);
+          break;
+        }
+        if (budget != nullptr) {
+          budget->release_bytes(chunk.size() * sizeof(EnumKey));  // consumed
+        }
       }
+      merge_ns_total += merger.merge_ns();
 
       // Drain the leftover per-worker batches (each below flush_at) --
       // unconditionally, also after a budget stop, so the visited set and
       // the admitted next-level states agree with the expanded[] partition
       // before any checkpoint is captured.
       for (WorkerState& ws : wstate) flush(ws);
-      for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
-        if (expanded[idx] != 0) ++result.expansions;
-      }
 
       std::vector<EnumKey> next = std::move(next_carry);
       next_carry.clear();
+      std::vector<std::string> next_runs;
       for (WorkerState& ws : wstate) {
         total_visits += static_cast<std::size_t>(ws.stats.visits);
         total_symmetry_skips +=
@@ -677,6 +859,10 @@ EnumerationResult Enumerator::run() const {
         next.insert(next.end(), std::make_move_iterator(ws.next.begin()),
                     std::make_move_iterator(ws.next.end()));
         ws.next.clear();
+        next_runs.insert(next_runs.end(),
+                         std::make_move_iterator(ws.next_runs.begin()),
+                         std::make_move_iterator(ws.next_runs.end()));
+        ws.next_runs.clear();
         ws.errors.clear();
         ws.stats = SuccessorStats{};
         ws.flushes = 0;
@@ -696,12 +882,16 @@ EnumerationResult Enumerator::run() const {
       const StopReason stop =
           budget == nullptr ? StopReason::None : budget->latched();
       if (stop != StopReason::None) {
-        std::vector<EnumKey> remainder;
-        for (std::size_t idx = 0; idx < frontier.size(); ++idx) {
-          if (expanded[idx] == 0) {
-            remainder.push_back(frontier[idx]);
-          }
+        // Frontier runs are never referenced from a checkpoint: any that
+        // were written this level are materialized back into `next` (they
+        // hold admitted next-level states) so the checkpoint is
+        // self-contained modulo the visited spill manifest.
+        for (const std::string& file : next_runs) {
+          read_frontier_run_keys(file, next);
         }
+        remove_files(next_runs);
+        remove_files(level_runs);  // drained into `remainder` above
+        level_runs.clear();
         if (remainder.empty() && next.empty()) {
           // The budget latched exactly as the search hit its fixpoint:
           // nothing is left undone, so the result is Complete after all.
@@ -723,16 +913,47 @@ EnumerationResult Enumerator::run() const {
         }
       }
 
+      remove_files(level_runs);  // fully streamed through the merger
+      level_runs = std::move(next_runs);
       frontier = std::move(next);
+
+      // Visited-set spill barrier: once byte pressure crosses the
+      // watermark, the hot tier drains to sorted partition runs and the
+      // table resets to its floor capacity. Sticky: later levels keep
+      // spilling (and keep writing frontier runs) even if pressure drops,
+      // so membership stays a single hot-probe + cold-probe protocol.
+      if (spill != nullptr &&
+          (options_.spill_watermark == 0 ||
+           (budget != nullptr &&
+            budget->bytes_charged() >= options_.spill_watermark))) {
+        spill_engaged.store(true, std::memory_order_relaxed);
+        if (!spill->write_disabled()) {
+          std::vector<EnumKey> hot;
+          hot.reserve(visited.size());
+          visited.for_each(
+              [&](const EnumKey& key) { hot.push_back(key); });
+          if (!hot.empty() && spill->spill(std::move(hot))) {
+            visited.clear_and_reset();
+          }
+        }
+      }
 
       // Periodic barrier checkpoint, time-gated so its cost amortizes to
       // noise on long campaigns (interval 0 = every barrier, for tests).
-      if (!options_.checkpoint_path.empty() && !frontier.empty()) {
+      if (!options_.checkpoint_path.empty() &&
+          (!frontier.empty() || !level_runs.empty())) {
         const std::uint64_t now = metrics_now_ns();
         if (options_.checkpoint_interval_ms == 0 ||
             now - last_checkpoint_ns >=
                 options_.checkpoint_interval_ms * 1'000'000ULL) {
-          write_checkpoint(frontier, {}, /*mid_level=*/false);
+          std::vector<EnumKey> cp_frontier = frontier;
+          // Spilled frontier runs are read back (not deleted -- the next
+          // level still consumes them) so the checkpoint stays
+          // self-contained.
+          for (const std::string& file : level_runs) {
+            read_frontier_run_keys(file, cp_frontier);
+          }
+          write_checkpoint(std::move(cp_frontier), {}, /*mid_level=*/false);
           last_checkpoint_ns = metrics_now_ns();
         }
       }
@@ -745,11 +966,17 @@ EnumerationResult Enumerator::run() const {
   result.states = total_states.load();
   result.visits = total_visits;
   result.symmetry_skips = total_symmetry_skips;
+  if (spill != nullptr) {
+    result.spilled_keys = spill->spilled_keys();
+    result.spill_runs = spill->run_count();
+  }
   finalize_errors(found, options_.max_errors, result);
   if (options_.keep_states) {
-    result.reachable.reserve(visited.size());
+    result.reachable.reserve(visited.size() +
+                             static_cast<std::size_t>(result.spilled_keys));
     visited.for_each(
         [&](const EnumKey& key) { result.reachable.push_back(key); });
+    if (spill != nullptr) spill->append_keys(result.reachable);
     std::sort(result.reachable.begin(), result.reachable.end(), key_less);
   }
   publish_metrics();

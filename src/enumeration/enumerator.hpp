@@ -70,6 +70,12 @@ struct EnumerationResult {
   std::vector<ConcreteError> errors;  ///< sorted; capped at max_errors
   bool errors_truncated = false;      ///< errors were dropped past the cap
   std::vector<EnumKey> reachable;     ///< sorted; when Options::keep_states
+  /// Visited keys resident in the cold (disk) tier at the end of the run,
+  /// and the number of spill runs holding them. Telemetry only -- never
+  /// rendered into the JSON report, which stays byte-identical between
+  /// spilling and all-in-RAM runs of the same search.
+  std::uint64_t spilled_keys = 0;
+  std::size_t spill_runs = 0;
 };
 
 /// Checks the concrete counterparts of the standard invariants: Definition
@@ -166,6 +172,18 @@ class Enumerator {
     /// a resumed run is byte-identical to an uninterrupted run at any
     /// thread count.
     const EnumCheckpoint* resume = nullptr;
+    /// When non-empty, enables the tiered external-memory mode: once byte
+    /// pressure crosses `spill_watermark`, the visited hot tier is flushed
+    /// to sorted runs under this directory at level barriers, and oversized
+    /// next-level batches spill as delta-encoded frontier runs that are
+    /// streamed back through a k-way merge. Results are identical to an
+    /// all-in-RAM run. Incompatible with `track_paths`. Empty = all in RAM
+    /// (the default; zero overhead on the hot path).
+    std::string spill_dir;
+    /// Byte-pressure threshold (against Budget::bytes_charged) above which
+    /// spilling engages. 0 = spill at every level barrier once `spill_dir`
+    /// is set (tests; also the right choice without a `--mem-budget`).
+    std::uint64_t spill_watermark = 0;
   };
 
   Enumerator(const Protocol& p, Options options);

@@ -1,0 +1,238 @@
+#include "enumeration/run_merge.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "util/checkpoint_io.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/string_util.hpp"
+
+namespace ccver {
+
+namespace {
+
+constexpr std::string_view kFrunMagic = "ccver-frun v1";
+constexpr std::size_t kEncodedKeyBytes = sizeof(EnumKey);
+
+/// Big-endian image of a key: the four words most-significant-byte first,
+/// so that byte-lexicographic order equals `key_less` within one cache
+/// count (words-lexicographic order).
+void encode_be(const EnumKey& key, unsigned char out[kEncodedKeyBytes]) {
+  for (std::size_t w = 0; w < EnumKey::kWords; ++w) {
+    const std::uint64_t v = key.words[w];
+    for (unsigned b = 0; b < 8; ++b) {
+      out[w * 8 + b] = static_cast<unsigned char>(v >> (56 - 8 * b));
+    }
+  }
+}
+
+[[nodiscard]] EnumKey decode_be(const unsigned char in[kEncodedKeyBytes]) {
+  EnumKey key;
+  for (std::size_t w = 0; w < EnumKey::kWords; ++w) {
+    std::uint64_t v = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      v = (v << 8) | static_cast<std::uint64_t>(in[w * 8 + b]);
+    }
+    key.words[w] = v;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::uint64_t write_frontier_run(const std::filesystem::path& path,
+                                 const std::vector<EnumKey>& sorted_keys,
+                                 std::size_t n_caches,
+                                 MetricsRegistry* metrics) {
+  std::string records;
+  records.reserve(sorted_keys.size() * 8);  // deltas are short when sorted
+  unsigned char prev[kEncodedKeyBytes] = {};
+  unsigned char cur[kEncodedKeyBytes];
+  for (std::size_t i = 0; i < sorted_keys.size(); ++i) {
+    encode_be(sorted_keys[i], cur);
+    std::size_t prefix = 0;
+    if (i > 0) {
+      while (prefix < kEncodedKeyBytes && prev[prefix] == cur[prefix]) {
+        ++prefix;
+      }
+    }
+    records.push_back(static_cast<char>(prefix));
+    records.append(reinterpret_cast<const char*>(cur + prefix),
+                   kEncodedKeyBytes - prefix);
+    std::memcpy(prev, cur, kEncodedKeyBytes);
+  }
+
+  std::string payload;
+  payload.reserve(96 + records.size());
+  payload += kFrunMagic;
+  payload += "\nn_caches ";
+  payload += std::to_string(n_caches);
+  payload += "\nkeys ";
+  payload += std::to_string(sorted_keys.size());
+  payload += "\nbytes ";
+  payload += std::to_string(records.size());
+  payload += '\n';
+  payload += records;
+
+  const std::uint64_t total = payload.size();
+  if (CCV_FAILPOINT("spill.write_fail")) {
+    throw IoError(path.string() + ": frontier run write failed (injected)");
+  }
+  save_checkpoint_payload(std::move(payload), path, metrics);
+  if (CCV_FAILPOINT("spill.tmp_rename")) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    throw IoError(path.string() + ": frontier run rename failed (injected)");
+  }
+  return total;
+}
+
+FrontierRunReader::FrontierRunReader(const std::filesystem::path& path,
+                                     std::size_t n_caches)
+    : path_(path.string()) {
+  const auto fail = [&](std::size_t line, const std::string& detail) {
+    return IoError(path_, line, detail);
+  };
+  if (CCV_FAILPOINT("spill.read_fail")) {
+    throw fail(0, "cannot read frontier run (injected)");
+  }
+  map_ = MappedFile(path);
+  const std::string_view content(map_.data(), map_.size());
+
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  const auto next_line = [&]() -> std::string_view {
+    ++line_no;
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      throw fail(line_no, "truncated frontier run header");
+    }
+    const std::string_view line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+  const auto number = [&](std::string_view label) -> std::uint64_t {
+    const std::string_view line = next_line();
+    if (!starts_with(line, label) || line.size() <= label.size() ||
+        line[label.size()] != ' ') {
+      throw fail(line_no, "expected '" + std::string(label) +
+                              " <value>', got '" + std::string(line) + "'");
+    }
+    const std::string_view value = line.substr(label.size() + 1);
+    try {
+      return parse_unsigned(value);
+    } catch (const SpecError&) {
+      throw fail(line_no, "invalid " + std::string(label) + " '" +
+                              std::string(value) + "'");
+    }
+  };
+
+  if (next_line() != kFrunMagic) {
+    throw fail(line_no, "not a ccver frontier run (bad magic)");
+  }
+  if (number("n_caches") != n_caches) {
+    throw fail(line_no, "frontier run has a different cache count");
+  }
+  key_count_ = number("keys");
+  const std::uint64_t bytes = number("bytes");
+  pos_ = pos;
+  end_ = pos_ + static_cast<std::size_t>(bytes);
+  if (end_ > content.size()) {
+    throw fail(line_no, "truncated frontier run (missing records)");
+  }
+
+  const std::string_view trailer = content.substr(end_);
+  if (!starts_with(trailer, "checksum ") || trailer.empty() ||
+      trailer.back() != '\n') {
+    throw fail(line_no, "truncated frontier run (missing checksum trailer)");
+  }
+  const std::string_view declared = trailer.substr(9, trailer.size() - 10);
+  std::uint64_t want = 0;
+  if (declared.empty() || declared.size() > 16) {
+    throw fail(line_no, "invalid checksum '" + std::string(declared) + "'");
+  }
+  for (const char c : declared) {
+    const int digit = c >= '0' && c <= '9'   ? c - '0'
+                      : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                             : -1;
+    if (digit < 0) {
+      throw fail(line_no, "invalid checksum '" + std::string(declared) + "'");
+    }
+    want = (want << 4) | static_cast<std::uint64_t>(digit);
+  }
+  const std::uint64_t actual = checkpoint_fnv1a(content.substr(0, end_));
+  if (want != actual) {
+    throw fail(line_no, "checksum mismatch (file corrupt): declared " +
+                            checkpoint_hex(want) + ", computed " +
+                            checkpoint_hex(actual));
+  }
+  remaining_ = key_count_;
+}
+
+bool FrontierRunReader::next(EnumKey& out) {
+  if (remaining_ == 0) return false;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(map_.data());
+  if (pos_ >= end_) {
+    throw IoError(path_, 0, "frontier run ends before its declared keys");
+  }
+  const std::size_t prefix = bytes[pos_++];
+  if (prefix > kEncodedKeyBytes) {
+    throw IoError(path_, 0, "corrupt frontier run record");
+  }
+  const std::size_t suffix = kEncodedKeyBytes - prefix;
+  if (pos_ + suffix > end_) {
+    throw IoError(path_, 0, "corrupt frontier run record");
+  }
+  std::memcpy(prev_ + prefix, bytes + pos_, suffix);
+  pos_ += suffix;
+  --remaining_;
+  out = decode_be(prev_);
+  return true;
+}
+
+void FrontierRunMerger::add_run(FrontierRunReader reader) {
+  runs_.push_back(std::move(reader));
+  FrontierRunReader& run = runs_.back();
+  EnumKey first;
+  if (run.next(first)) {
+    pending_ += 1 + run.remaining();
+    heap_.push_back(Entry{first, runs_.size() - 1});
+    std::push_heap(heap_.begin(), heap_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return key_less(b.key, a.key);
+                   });
+  }
+}
+
+void FrontierRunMerger::next_chunk(std::vector<EnumKey>& out,
+                                   std::size_t max) {
+  const auto started = std::chrono::steady_clock::now();
+  const auto later = [](const Entry& a, const Entry& b) {
+    return key_less(b.key, a.key);
+  };
+  for (std::size_t taken = 0; taken < max && !heap_.empty(); ++taken) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Entry top = heap_.back();
+    heap_.pop_back();
+    out.push_back(top.key);
+    --pending_;
+    if (runs_[top.source].next(top.key)) {
+      heap_.push_back(top);
+      std::push_heap(heap_.begin(), heap_.end(), later);
+    }
+  }
+  merge_ns_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+}
+
+void FrontierRunMerger::drain(std::vector<EnumKey>& out) {
+  while (!heap_.empty()) {
+    next_chunk(out, static_cast<std::size_t>(pending_));
+  }
+}
+
+}  // namespace ccver

@@ -1,0 +1,122 @@
+#pragma once
+/// \file run_merge.hpp
+/// External frontier: delta-encoded sorted key runs and their k-way merge.
+///
+/// When spilling is engaged, a sweep worker whose next-level batch grows
+/// past a threshold sorts it and writes it out as a *frontier run* instead
+/// of holding it until the level barrier. At the barrier the per-worker
+/// runs are merged lazily -- `FrontierRunMerger` hands the level loop one
+/// bounded chunk of globally ordered keys at a time, so a level's expansion
+/// streams run-merge -> `SuccessorKernel` -> dedup without ever
+/// materializing the whole frontier in RAM.
+///
+/// ## File format (`ccver-frun v1`)
+///
+/// Text header (magic, `n_caches`, `keys`, `bytes` -- the encoded payload
+/// size, which puts the checksum trailer at a known offset), then the
+/// encoded records, then the standard `checksum <hex>` trailer written by
+/// `save_checkpoint_payload` (atomic tmp+rename, FNV-1a over everything
+/// before the trailer).
+///
+/// Records are delta-encoded against their predecessor: each key is first
+/// rendered as 32 big-endian bytes (the four words most-significant-byte
+/// first, which makes byte-lexicographic order coincide with `key_less`
+/// for the fixed cache count of a run), then stored as one prefix-length
+/// byte (bytes shared with the previous record, 0..32) plus the differing
+/// suffix. Sorted neighbours share long prefixes, so a run costs a few
+/// bytes per key instead of 32.
+///
+/// Readers verify the checksum at open (mmap; nothing is trusted before
+/// that) and then decode sequentially. Frontier runs are process-local
+/// scratch -- they are written and consumed within one enumeration and are
+/// never referenced by checkpoints (a checkpoint materializes the frontier
+/// back into its own text payload).
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "enumeration/enum_state.hpp"
+#include "util/mmap_file.hpp"
+
+namespace ccver {
+
+class MetricsRegistry;
+
+/// Writes `sorted_keys` (ascending by `key_less`, all of `n_caches` cells)
+/// to `path` as a frontier run. Returns the total payload size in bytes.
+/// Throws IoError on write failure (and honours the `spill.write_fail` /
+/// `spill.tmp_rename` failpoints); callers on worker threads catch and
+/// fall back to keeping the batch in RAM.
+std::uint64_t write_frontier_run(const std::filesystem::path& path,
+                                 const std::vector<EnumKey>& sorted_keys,
+                                 std::size_t n_caches,
+                                 MetricsRegistry* metrics = nullptr);
+
+/// Sequential reader over one frontier run. Validates the header and the
+/// checksum trailer at construction (throws located IoError), then decodes
+/// records one at a time straight off the mapping.
+class FrontierRunReader {
+ public:
+  FrontierRunReader() = default;
+
+  FrontierRunReader(const std::filesystem::path& path, std::size_t n_caches);
+
+  /// Decodes the next key into `out`; false once the run is exhausted.
+  bool next(EnumKey& out);
+
+  [[nodiscard]] std::uint64_t remaining() const noexcept {
+    return remaining_;
+  }
+  [[nodiscard]] std::uint64_t key_count() const noexcept {
+    return key_count_;
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  MappedFile map_;
+  std::string path_;
+  std::size_t pos_ = 0;  ///< next encoded byte
+  std::size_t end_ = 0;  ///< end of the encoded region
+  std::uint64_t key_count_ = 0;
+  std::uint64_t remaining_ = 0;
+  unsigned char prev_[32] = {};  ///< rolling big-endian image of the last key
+};
+
+/// K-way merge over frontier runs, ordered by `key_less`. Runs hold
+/// disjoint key sets (every key enters exactly one worker's batch), so the
+/// merge is a plain heap walk with no deduplication. `next_chunk` bounds
+/// how much of the frontier is resident at once; `drain` empties everything
+/// that remains (checkpoint materialization on early stop).
+class FrontierRunMerger {
+ public:
+  void add_run(FrontierRunReader reader);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Keys not yet handed out.
+  [[nodiscard]] std::uint64_t pending() const noexcept { return pending_; }
+
+  /// Appends up to `max` globally ordered keys to `out`.
+  void next_chunk(std::vector<EnumKey>& out, std::size_t max);
+
+  /// Appends every remaining key to `out` (ordered).
+  void drain(std::vector<EnumKey>& out);
+
+  /// Total time spent merging, for the `enum.spill.merge_ns` counter.
+  [[nodiscard]] std::uint64_t merge_ns() const noexcept { return merge_ns_; }
+
+ private:
+  struct Entry {
+    EnumKey key;
+    std::size_t source = 0;
+  };
+
+  std::vector<FrontierRunReader> runs_;
+  std::vector<Entry> heap_;  ///< min-heap by key_less
+  std::uint64_t pending_ = 0;
+  std::uint64_t merge_ns_ = 0;
+};
+
+}  // namespace ccver

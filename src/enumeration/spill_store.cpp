@@ -1,0 +1,384 @@
+#include "enumeration/spill_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "util/budget.hpp"
+#include "util/checkpoint_io.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/hash.hpp"
+#include "util/metrics.hpp"
+#include "util/string_util.hpp"
+
+namespace ccver {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Magic line of every visited spill run.
+constexpr std::string_view kSpillMagic = "ccver-spill v1";
+
+/// Bloom sizing: ~12 bits per key with two probes keeps the false-positive
+/// rate around 2-3%, at 1/21 of the RAM the 32-byte records would need.
+constexpr std::uint64_t kBloomBitsPerKey = 12;
+
+[[nodiscard]] std::uint64_t ceil_pow2(std::uint64_t v) noexcept {
+  std::uint64_t out = 1;
+  while (out < v) out <<= 1;
+  return out;
+}
+
+/// Second bloom probe: decorrelated from EnumKey::hash by one more mix.
+[[nodiscard]] std::uint64_t bloom_h2(std::uint64_t h1) noexcept {
+  return mix64(h1 ^ 0x94d049bb133111ebULL);
+}
+
+[[nodiscard]] std::string_view eq_name(Equivalence eq) noexcept {
+  return eq == Equivalence::Strict ? "strict" : "counting";
+}
+
+}  // namespace
+
+EnumKey SpillStore::Run::record(std::uint64_t index) const noexcept {
+  EnumKey key;
+  std::memcpy(&key, map.data() + records_at + index * sizeof(EnumKey),
+              sizeof(EnumKey));
+  return key;
+}
+
+bool SpillStore::Run::binary_search(const EnumKey& key) const noexcept {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = key_count;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (key_less(record(mid), key)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < key_count && record(lo) == key;
+}
+
+SpillStore::SpillStore(Options options) : options_(std::move(options)) {}
+
+bool SpillStore::contains(const EnumKey& key) const noexcept {
+  const std::vector<Run>& runs = parts_[partition_of(key)];
+  if (runs.empty()) return false;
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h1 = key.hash();
+  const std::uint64_t h2 = bloom_h2(h1);
+  for (const Run& run : runs) {
+    if (!run.bloom_test(h1, h2)) {
+      bloom_skips_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (run.binary_search(key)) return true;
+  }
+  probe_misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+SpillStore::Run SpillStore::open_run(const std::string& file,
+                                     const SpillRunRef* expect) {
+  const fs::path path = options_.dir / file;
+  // Returned (not thrown) so callers `throw fail(...)` -- this keeps every
+  // error path explicit to the compiler's flow analysis.
+  const auto fail = [&](std::size_t line, const std::string& detail) {
+    return IoError(path.string(), line, detail);
+  };
+  if (CCV_FAILPOINT("spill.read_fail")) {
+    throw fail(0, "cannot read spill run (injected)");
+  }
+
+  Run run;
+  run.file = file;
+  run.map = MappedFile(path);
+  const std::string_view content(run.map.data(), run.map.size());
+
+  // -- text header: six lines, fixed order ------------------------------
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  const auto next_line = [&]() -> std::string_view {
+    ++line_no;
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      throw fail(line_no, "truncated spill run header");
+    }
+    const std::string_view line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+  const auto field = [&](std::string_view label) -> std::string_view {
+    const std::string_view line = next_line();
+    if (!starts_with(line, label) || line.size() <= label.size() ||
+        line[label.size()] != ' ') {
+      throw fail(line_no, "expected '" + std::string(label) +
+                              " <value>', got '" + std::string(line) + "'");
+    }
+    return line.substr(label.size() + 1);
+  };
+  const auto number = [&](std::string_view label) -> std::uint64_t {
+    const std::string_view value = field(label);
+    try {
+      return parse_unsigned(value);
+    } catch (const SpecError&) {
+      throw fail(line_no, "invalid " + std::string(label) + " '" +
+                              std::string(value) + "'");
+    }
+  };
+  const auto hex = [&](std::string_view value,
+                       std::string_view what) -> std::uint64_t {
+    std::uint64_t out = 0;
+    if (value.empty() || value.size() > 16) {
+      throw fail(line_no, "invalid " + std::string(what) + " '" +
+                              std::string(value) + "'");
+    }
+    for (const char c : value) {
+      const int digit = c >= '0' && c <= '9'   ? c - '0'
+                        : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                               : -1;
+      if (digit < 0) {
+        throw fail(line_no, "invalid " + std::string(what) + " '" +
+                                std::string(value) + "'");
+      }
+      out = (out << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return out;
+  };
+
+  if (next_line() != kSpillMagic) {
+    throw fail(line_no, "not a ccver spill run (bad magic)");
+  }
+  const std::uint64_t fingerprint = hex(field("fingerprint"), "fingerprint");
+  if (fingerprint != options_.fingerprint) {
+    throw fail(line_no,
+               "spill run belongs to a different protocol (fingerprint " +
+                   checkpoint_hex(fingerprint) + ", expected " +
+                   checkpoint_hex(options_.fingerprint) + ")");
+  }
+  if (number("n_caches") != options_.n_caches) {
+    throw fail(line_no, "spill run has a different cache count");
+  }
+  if (field("equivalence") != eq_name(options_.equivalence)) {
+    throw fail(line_no, "spill run has a different equivalence");
+  }
+  const std::uint64_t partition = number("partition");
+  if (partition >= kPartitions) {
+    throw fail(line_no, "partition out of range");
+  }
+  if (expect != nullptr && partition != expect->partition) {
+    throw fail(line_no, "partition does not match the checkpoint manifest");
+  }
+  run.key_count = number("keys");
+  if (expect != nullptr && run.key_count != expect->keys) {
+    throw fail(line_no, "key count does not match the checkpoint manifest");
+  }
+  run.records_at = pos;
+
+  // -- fixed-width records + checksum trailer ---------------------------
+  const std::size_t records_end =
+      run.records_at + run.key_count * sizeof(EnumKey);
+  if (records_end > content.size()) {
+    throw fail(line_no, "truncated spill run (missing records)");
+  }
+  const std::string_view trailer = content.substr(records_end);
+  if (!starts_with(trailer, "checksum ") || trailer.back() != '\n') {
+    throw fail(line_no, "truncated spill run (missing checksum trailer)");
+  }
+  run.checksum = hex(trailer.substr(9, trailer.size() - 10), "checksum");
+  const std::uint64_t actual =
+      checkpoint_fnv1a(content.substr(0, records_end));
+  if (run.checksum != actual) {
+    throw fail(line_no, "checksum mismatch (file corrupt): declared " +
+                            checkpoint_hex(run.checksum) + ", computed " +
+                            checkpoint_hex(actual));
+  }
+  if (expect != nullptr && run.checksum != expect->checksum) {
+    throw fail(line_no, "checksum does not match the checkpoint manifest");
+  }
+
+  // -- probe index: bloom bits, plus a sortedness audit so binary search
+  //    is sound even against a syntactically valid foreign file ---------
+  const std::uint64_t bits =
+      ceil_pow2(std::max<std::uint64_t>(256, run.key_count * kBloomBitsPerKey));
+  run.bloom.assign(static_cast<std::size_t>(bits / 64), 0);
+  run.bloom_mask = bits - 1;
+  EnumKey prev;
+  for (std::uint64_t i = 0; i < run.key_count; ++i) {
+    const EnumKey key = run.record(i);
+    if (key.size() != options_.n_caches) {
+      throw fail(line_no, "spill record " + std::to_string(i) +
+                              " has the wrong cell count");
+    }
+    if (partition_of(key) != partition) {
+      throw fail(line_no, "spill record " + std::to_string(i) +
+                              " is in the wrong partition");
+    }
+    if (i > 0 && !key_less(prev, key)) {
+      throw fail(line_no, "spill records are not strictly sorted");
+    }
+    prev = key;
+    const std::uint64_t h1 = key.hash();
+    const std::uint64_t b1 = h1 & run.bloom_mask;
+    const std::uint64_t b2 = bloom_h2(h1) & run.bloom_mask;
+    run.bloom[b1 >> 6] |= 1ULL << (b1 & 63);
+    run.bloom[b2 >> 6] |= 1ULL << (b2 & 63);
+  }
+  return run;
+}
+
+void SpillStore::register_run(Run run, std::size_t partition) {
+  const std::uint64_t footprint =
+      run.bloom.size() * sizeof(std::uint64_t) + sizeof(Run);
+  index_bytes_ += footprint;
+  if (options_.budget != nullptr) options_.budget->charge_bytes(footprint);
+  spilled_keys_ += run.key_count;
+  ++runs_;
+  parts_[partition].push_back(std::move(run));
+}
+
+bool SpillStore::spill(std::vector<EnumKey> keys) {
+  if (write_disabled_) return false;
+  if (keys.empty()) return true;
+
+  std::vector<EnumKey> buckets[kPartitions];
+  for (const EnumKey& key : keys) {
+    buckets[partition_of(key)].push_back(key);
+  }
+  keys.clear();
+  keys.shrink_to_fit();
+
+  // All-or-nothing: every partition's run is written *and* re-opened
+  // before any of them registers, so a failure mid-spill leaves the store
+  // exactly as it was and the caller keeps the keys in RAM.
+  std::vector<std::pair<Run, std::size_t>> pending;
+  std::vector<fs::path> written;
+  try {
+    for (std::size_t part = 0; part < kPartitions; ++part) {
+      std::vector<EnumKey>& bucket = buckets[part];
+      if (bucket.empty()) continue;
+      std::sort(bucket.begin(), bucket.end(), key_less);
+
+      std::ostringstream name;
+      name << "visited-p" << part << "-g" << generation_ << ".run";
+      const std::string file = name.str();
+      const fs::path path = options_.dir / file;
+
+      std::string payload;
+      payload.reserve(128 + bucket.size() * sizeof(EnumKey));
+      payload += kSpillMagic;
+      payload += "\nfingerprint ";
+      payload += checkpoint_hex(options_.fingerprint);
+      payload += "\nn_caches ";
+      payload += std::to_string(options_.n_caches);
+      payload += "\nequivalence ";
+      payload += eq_name(options_.equivalence);
+      payload += "\npartition ";
+      payload += std::to_string(part);
+      payload += "\nkeys ";
+      payload += std::to_string(bucket.size());
+      payload += '\n';
+      payload.append(reinterpret_cast<const char*>(bucket.data()),
+                     bucket.size() * sizeof(EnumKey));
+
+      if (CCV_FAILPOINT("spill.write_fail")) {
+        throw IoError(path.string() + ": spill write failed (injected)");
+      }
+      // Metrics stay null here: spill traffic has its own enum.spill.*
+      // counters and must not inflate the checkpoint.* series.
+      save_checkpoint_payload(std::move(payload), path, nullptr);
+      written.push_back(path);
+      if (CCV_FAILPOINT("spill.tmp_rename")) {
+        throw IoError(path.string() + ": spill rename failed (injected)");
+      }
+      pending.emplace_back(open_run(file, nullptr), part);
+    }
+  } catch (const IoError&) {
+    // Graceful fallback: drop whatever this call wrote, disable the store
+    // and tell the caller to keep the keys hot. Never propagates -- a
+    // broken spill device degrades to the old all-in-RAM behavior.
+    pending.clear();  // unmap before removing the files
+    std::error_code ec;
+    for (const fs::path& path : written) fs::remove(path, ec);
+    ++write_failures_;
+    write_disabled_ = true;
+    return false;
+  }
+
+  ++generation_;
+  for (auto& [run, part] : pending) {
+    register_run(std::move(run), part);
+  }
+  return true;
+}
+
+void SpillStore::adopt(const std::vector<SpillRunRef>& runs) {
+  for (const SpillRunRef& ref : runs) {
+    if (ref.partition >= kPartitions) {
+      throw IoError((options_.dir / ref.file).string() +
+                    ": manifest partition out of range");
+    }
+    Run run = open_run(ref.file, &ref);
+    // Future runs must not collide with adopted filenames: continue the
+    // generation sequence past the highest adopted ordinal.
+    const std::size_t g = ref.file.rfind("-g");
+    if (g != std::string::npos) {
+      try {
+        const std::uint64_t gen = parse_unsigned(std::string_view(ref.file)
+                                                     .substr(g + 2,
+                                                             ref.file.size() -
+                                                                 g - 6));
+        generation_ = std::max(generation_, gen + 1);
+      } catch (const SpecError&) {
+        // Foreign naming scheme; the ordinal guard below still applies.
+      }
+    }
+    generation_ = std::max<std::uint64_t>(generation_, runs_ + 1);
+    register_run(std::move(run), ref.partition);
+  }
+}
+
+std::vector<SpillRunRef> SpillStore::manifest() const {
+  std::vector<SpillRunRef> out;
+  out.reserve(runs_);
+  for (const std::vector<Run>& part_runs : parts_) {
+    for (const Run& run : part_runs) {
+      out.push_back(SpillRunRef{
+          run.file,
+          static_cast<std::size_t>(&part_runs - &parts_[0]),
+          run.key_count, run.checksum});
+    }
+  }
+  return out;
+}
+
+void SpillStore::append_keys(std::vector<EnumKey>& out) const {
+  for (const std::vector<Run>& part_runs : parts_) {
+    for (const Run& run : part_runs) {
+      for (std::uint64_t i = 0; i < run.key_count; ++i) {
+        out.push_back(run.record(i));
+      }
+    }
+  }
+}
+
+void SpillStore::publish_metrics(MetricsRegistry& metrics) const {
+  metrics.counter_add("enum.spill.spilled_keys", spilled_keys_);
+  metrics.counter_add("enum.spill.runs", runs_);
+  metrics.counter_add("enum.spill.probes",
+                      probes_.load(std::memory_order_relaxed));
+  metrics.counter_add("enum.spill.probe_misses",
+                      probe_misses_.load(std::memory_order_relaxed));
+  metrics.counter_add("enum.spill.bloom_skips",
+                      bloom_skips_.load(std::memory_order_relaxed));
+  metrics.counter_add("enum.spill.write_failures", write_failures_);
+  metrics.gauge_set("enum.spill.index_bytes",
+                    static_cast<double>(index_bytes_));
+}
+
+}  // namespace ccver

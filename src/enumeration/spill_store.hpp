@@ -1,0 +1,162 @@
+#pragma once
+/// \file spill_store.hpp
+/// Cold tier of the tiered visited set: hash-partitioned sorted runs on
+/// disk.
+///
+/// When byte pressure crosses the spill watermark, the enumerator flushes
+/// the entire hot tier (the open-addressing `ConcurrentKeySet`) through
+/// `SpillStore::spill`: keys are partitioned by the top bits of their hash,
+/// sorted, and written as fixed-width 32-byte records -- the packed
+/// `EnumKey` is trivially copyable and its canonical order is a word
+/// comparison, so a run needs no serialization layer and stays probeable by
+/// binary search. Each run file reuses the checkpoint envelope discipline
+/// (text header with magic/fingerprint, atomic tmp+rename write, FNV-1a
+/// checksum trailer), and is immutable once written.
+///
+/// Membership is probed only on a hot-tier miss, and consults, per run of
+/// the key's partition, a bloom-style prefilter (two hash probes, ~12 bits
+/// per key) before touching the mmap'd records. Runs are disjoint by
+/// construction: a key, once spilled, is filtered out of every later flush
+/// before it can re-enter the hot tier, so hot tier + runs always partition
+/// the visited set.
+///
+/// Concurrency contract: `spill` and `adopt` run single-threaded at level
+/// barriers; `contains` is called concurrently by sweep workers between
+/// barriers, against an immutable run set, so probes need no locks (the
+/// telemetry counters are relaxed atomics).
+///
+/// Failure injection: `spill.write_fail` and `spill.tmp_rename` fail the
+/// write path -- the store disables itself and the enumerator keeps the
+/// keys in RAM (graceful fallback, never an error); `spill.read_fail`
+/// fails run adoption/validation with a located IoError.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "enumeration/enum_state.hpp"
+#include "util/mmap_file.hpp"
+
+namespace ccver {
+
+class Budget;
+class MetricsRegistry;
+
+/// One spill run as referenced by a checkpoint manifest: everything a
+/// resumed run needs to re-adopt (and re-validate) the file.
+struct SpillRunRef {
+  std::string file;  ///< filename relative to the spill directory
+  std::size_t partition = 0;
+  std::uint64_t keys = 0;
+  std::uint64_t checksum = 0;  ///< FNV-1a of the file payload (= trailer)
+};
+
+/// Disk-resident cold tier of the visited set. See the file comment.
+class SpillStore {
+ public:
+  /// Keys are partitioned by the top `log2(kPartitions)` bits of their
+  /// hash, so every probe touches exactly one partition's runs.
+  static constexpr std::size_t kPartitions = 16;
+
+  struct Options {
+    std::filesystem::path dir;  ///< spill directory (must exist)
+    std::uint64_t fingerprint = 0;  ///< protocol fingerprint for run headers
+    std::size_t n_caches = 0;
+    Equivalence equivalence = Equivalence::Counting;
+    /// Charged for the in-RAM probe index (bloom filters + run metadata);
+    /// the records themselves live on disk. Null = unaccounted.
+    Budget* budget = nullptr;
+    MetricsRegistry* metrics = nullptr;  ///< checkpoint-envelope write metrics
+  };
+
+  explicit SpillStore(Options options);
+
+  SpillStore(const SpillStore&) = delete;
+  SpillStore& operator=(const SpillStore&) = delete;
+
+  [[nodiscard]] static std::size_t partition_of(const EnumKey& key) noexcept {
+    return static_cast<std::size_t>(key.hash() >> 60);
+  }
+
+  /// Writes `keys` (distinct, absent from every existing run) as one
+  /// sorted run per non-empty partition and registers them for probing.
+  /// Single-threaded (barrier phase). Returns false when the write path
+  /// failed -- the store disables further spilling and the caller keeps
+  /// every key in RAM; no partial registration ever survives a failure.
+  [[nodiscard]] bool spill(std::vector<EnumKey> keys);
+
+  /// Membership probe; thread-safe between `spill`/`adopt` calls.
+  [[nodiscard]] bool contains(const EnumKey& key) const noexcept;
+
+  /// Re-adopts the runs a checkpoint manifest references: validates each
+  /// file's magic, fingerprint, cache count, equivalence and checksum
+  /// (against both the file trailer and the manifest) and registers it.
+  /// Throws a located IoError on any mismatch or unreadable file.
+  void adopt(const std::vector<SpillRunRef>& runs);
+
+  /// Manifest of every registered run, in registration order.
+  [[nodiscard]] std::vector<SpillRunRef> manifest() const;
+
+  /// Appends every spilled key to `out` (keep_states finalization).
+  void append_keys(std::vector<EnumKey>& out) const;
+
+  [[nodiscard]] std::uint64_t spilled_keys() const noexcept {
+    return spilled_keys_;
+  }
+  [[nodiscard]] std::size_t run_count() const noexcept { return runs_; }
+  [[nodiscard]] bool has_runs() const noexcept { return runs_ != 0; }
+  /// True after a write failure: the store fell back to RAM for good.
+  [[nodiscard]] bool write_disabled() const noexcept {
+    return write_disabled_;
+  }
+
+  /// Publishes the `enum.spill.*` family (spilled_keys, runs, probes,
+  /// probe_misses, bloom_skips, write_failures, index_bytes).
+  void publish_metrics(MetricsRegistry& metrics) const;
+
+ private:
+  struct Run {
+    std::string file;  ///< relative filename
+    std::uint64_t key_count = 0;
+    std::uint64_t checksum = 0;
+    MappedFile map;
+    std::size_t records_at = 0;  ///< byte offset of the first record
+    std::vector<std::uint64_t> bloom;  ///< power-of-two bit array
+    std::uint64_t bloom_mask = 0;      ///< bit-index mask
+
+    [[nodiscard]] bool bloom_test(std::uint64_t h1,
+                                  std::uint64_t h2) const noexcept {
+      const std::uint64_t b1 = h1 & bloom_mask;
+      const std::uint64_t b2 = h2 & bloom_mask;
+      return ((bloom[b1 >> 6] >> (b1 & 63)) & 1) != 0 &&
+             ((bloom[b2 >> 6] >> (b2 & 63)) & 1) != 0;
+    }
+
+    [[nodiscard]] EnumKey record(std::uint64_t index) const noexcept;
+    [[nodiscard]] bool binary_search(const EnumKey& key) const noexcept;
+  };
+
+  /// Opens `file`, validates header + checksum, builds the bloom filter
+  /// and returns the registered-ready run. Throws located IoError.
+  [[nodiscard]] Run open_run(const std::string& file,
+                             const SpillRunRef* expect);
+
+  void register_run(Run run, std::size_t partition);
+
+  Options options_;
+  std::vector<Run> parts_[kPartitions];
+  std::size_t runs_ = 0;
+  std::uint64_t spilled_keys_ = 0;
+  std::uint64_t generation_ = 0;  ///< next run filename ordinal
+  std::uint64_t index_bytes_ = 0;  ///< in-RAM bloom + metadata footprint
+  std::uint64_t write_failures_ = 0;
+  bool write_disabled_ = false;
+  mutable std::atomic<std::uint64_t> probes_{0};
+  mutable std::atomic<std::uint64_t> probe_misses_{0};
+  mutable std::atomic<std::uint64_t> bloom_skips_{0};
+};
+
+}  // namespace ccver

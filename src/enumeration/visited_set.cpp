@@ -1,5 +1,6 @@
 #include "enumeration/visited_set.hpp"
 
+#include "util/budget.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 
@@ -15,13 +16,13 @@ namespace {
 
 }  // namespace
 
-ConcurrentKeySet::ConcurrentKeySet(std::size_t expected_keys) {
+ConcurrentKeySet::ConcurrentKeySet(std::size_t expected_keys, Budget* budget)
+    : budget_(budget) {
   // Capacity keeps the load factor at or below 5/8 for the expected key
   // count. The floor guarantees the 3/8 free headroom always covers the
   // worst case of every worker completing one full in-flight batch after
   // its last `needs_grow` check (workers x flush batch <= 16 x 64 slots,
   // with a generous margin).
-  constexpr std::size_t kMinCapacity = 4096;
   const std::size_t wanted = ceil_pow2(expected_keys + expected_keys / 2 + 1);
   rehash(std::max(kMinCapacity, wanted));
 }
@@ -30,6 +31,10 @@ void ConcurrentKeySet::rehash(std::size_t new_capacity) {
   auto fresh =
       std::make_unique<std::atomic<std::uint64_t>[]>(new_capacity *
                                                      EnumKey::kWords);
+  // Charge the doubled array before the old one is released: pressure
+  // peaks at old+new during the copy, which is exactly when an allocation
+  // can fail.
+  if (budget_ != nullptr) budget_->charge_bytes(new_capacity * kSlotBytes);
   const std::size_t mask = new_capacity - 1;
   for (std::size_t s = 0; s < capacity_; ++s) {
     const std::uint64_t tag =
@@ -48,6 +53,9 @@ void ConcurrentKeySet::rehash(std::size_t new_capacity) {
     fresh[base + 3].store(key.words[3], std::memory_order_relaxed);
   }
   slots_ = std::move(fresh);
+  if (budget_ != nullptr && capacity_ != 0) {
+    budget_->release_bytes(capacity_ * kSlotBytes);
+  }
   capacity_ = new_capacity;
   grow_at_.store(new_capacity / 2 + new_capacity / 8,  // 5/8 load
                  std::memory_order_relaxed);
@@ -65,6 +73,17 @@ void ConcurrentKeySet::reserve(std::size_t keys) {
   if (wanted <= capacity_) return;
   const std::unique_lock<std::shared_mutex> lock(grow_mutex_);
   rehash(wanted);
+}
+
+void ConcurrentKeySet::clear_and_reset() {
+  const std::unique_lock<std::shared_mutex> lock(grow_mutex_);
+  if (budget_ != nullptr && capacity_ != 0) {
+    budget_->release_bytes(capacity_ * kSlotBytes);
+  }
+  slots_.reset();
+  capacity_ = 0;
+  size_.store(0, std::memory_order_relaxed);
+  rehash(kMinCapacity);
 }
 
 bool ConcurrentKeySet::insert_locked(const EnumKey& key,

@@ -47,6 +47,7 @@
 
 namespace ccver {
 
+class Budget;
 class MetricsRegistry;
 
 /// Concurrent insert-only set of packed keys. See the file comment.
@@ -56,8 +57,19 @@ class ConcurrentKeySet {
   static constexpr std::uint64_t kEmpty = 0;
   static constexpr std::uint64_t kBusy = 1;
 
-  /// `expected_keys` pre-sizes the table (it still grows on demand).
-  explicit ConcurrentKeySet(std::size_t expected_keys = 0);
+  /// Smallest slot array ever allocated (see the constructor comment).
+  static constexpr std::size_t kMinCapacity = 4096;
+
+  /// Bytes of one slot -- the unit every budget charge is expressed in.
+  static constexpr std::size_t kSlotBytes =
+      EnumKey::kWords * sizeof(std::uint64_t);
+
+  /// `expected_keys` pre-sizes the table (it still grows on demand). When
+  /// `budget` is non-null, the table charges its slot array at actual
+  /// allocated capacity -- and releases the old array on every rehash --
+  /// so byte pressure tracks real allocations, not an estimate per key.
+  explicit ConcurrentKeySet(std::size_t expected_keys = 0,
+                            Budget* budget = nullptr);
 
   ConcurrentKeySet(const ConcurrentKeySet&) = delete;
   ConcurrentKeySet& operator=(const ConcurrentKeySet&) = delete;
@@ -99,6 +111,11 @@ class ConcurrentKeySet {
 
   /// Ensures capacity for `keys` keys without growth (single-threaded).
   void reserve(std::size_t keys);
+
+  /// Empties the table back to `kMinCapacity` and releases the byte
+  /// difference to the budget. Barrier-phase only (the tiered visited set
+  /// calls this after flushing the hot tier to a spill run).
+  void clear_and_reset();
 
   /// Single-threaded insert (seeding, serial fast path outside a scope).
   bool insert_serial(const EnumKey& key) {
@@ -149,6 +166,7 @@ class ConcurrentKeySet {
   void rehash(std::size_t new_capacity);
 
   std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  Budget* budget_ = nullptr;  ///< charged per slot array; may be null
   std::size_t capacity_ = 0;  ///< power of two
   /// Size threshold (5/8 of capacity). Atomic because `needs_grow` reads
   /// it deliberately lock-free between batches; a stale value only delays

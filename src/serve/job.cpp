@@ -141,8 +141,16 @@ JobResult run_enumerate(const ServeRequest& request, const Protocol& p,
   opt.budget = &budget;
   opt.metrics = metrics;
   opt.checkpoint_path = request.checkpoint;
+  opt.spill_dir = request.spill_dir;
+  if (!opt.spill_dir.empty()) {
+    // Mirror the CLI default: spill past half the byte allowance, or at
+    // every level barrier when the job has no byte budget at all.
+    opt.spill_watermark = budget.limits().max_bytes / 2;
+  }
   const EnumerationResult r = Enumerator(p, opt).run();
   JobResult result;
+  result.spilled_keys = r.spilled_keys;
+  result.spill_runs = r.spill_runs;
   if (!r.errors.empty()) {
     result.status = JobStatus::ProtocolErrors;
   } else if (r.outcome == Outcome::Partial) {

@@ -353,7 +353,7 @@ ServeRequest build_request(const JsonValue& doc) {
     allowed.insert(allowed.end(),
                    {"verb", "protocol", "spec", "path", "equivalence", "n",
                     "deadline", "mem_budget", "max_states", "max_visits",
-                    "checkpoint", "stats"});
+                    "checkpoint", "spill_dir", "stats"});
   } else if (op == "stats") {
     req.op = RequestOp::Stats;
   } else if (op == "ping") {
@@ -436,6 +436,10 @@ ServeRequest build_request(const JsonValue& doc) {
   req.limits.max_states = take_unsigned(doc, "max_states", 0);
   req.max_visits = take_unsigned(doc, "max_visits", 0);
   req.checkpoint = take_string(doc, "checkpoint");
+  req.spill_dir = take_string(doc, "spill_dir");
+  if (!req.spill_dir.empty() && req.verb != ServeRequest::Verb::Enumerate) {
+    throw SpecError("'spill_dir' applies to enumerate jobs only");
+  }
   if (const JsonValue* v =
           take_field(doc, "stats", JsonValue::Kind::Bool, "boolean")) {
     req.want_stats = v->boolean;

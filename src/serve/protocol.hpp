@@ -16,7 +16,7 @@
 ///    "protocol":NAME | "spec":TEXT | "path":FILE.ccp,   // exactly one
 ///    "id":STRING?, "equivalence":"counting"|"strict"?, "n":N?,
 ///    "deadline":DUR?, "mem_budget":BYTES?, "max_states":N?,
-///    "max_visits":N?, "checkpoint":FILE?, "stats":BOOL?}
+///    "max_visits":N?, "checkpoint":FILE?, "spill_dir":DIR?, "stats":BOOL?}
 ///   {"op":"stats", "id":STRING?}      -> serve.* metrics snapshot
 ///   {"op":"ping", "id":STRING?}       -> liveness probe
 ///   {"op":"shutdown", "id":STRING?}   -> begin graceful drain
@@ -113,6 +113,10 @@ struct ServeRequest {
   Budget::Limits limits;
   std::uint64_t max_visits = 0;
   std::string checkpoint;  ///< when set, a drained/partial job checkpoints
+  /// When set (enumerate only), the job runs with the tiered
+  /// external-memory visited set spilling into this directory; the
+  /// watermark defaults to half the job's byte budget (0 without one).
+  std::string spill_dir;
   bool want_stats = false;
 };
 

@@ -43,6 +43,11 @@ struct JobResult {
   JobStatus status = JobStatus::InternalError;
   std::string payload;
   std::string error;
+  /// External-memory telemetry of the run (enumerate jobs with a
+  /// `spill_dir`; zero otherwise). Feeds the server's serve.spill.*
+  /// stats; never part of the payload.
+  std::uint64_t spilled_keys = 0;
+  std::uint64_t spill_runs = 0;
 };
 
 /// Thread-safe single-flight result cache. Keys are

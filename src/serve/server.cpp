@@ -347,7 +347,8 @@ void Server::run_admitted(const std::shared_ptr<ActiveJob>& job) {
     // payloads carry run-specific timings, and checkpoint jobs must
     // actually write their checkpoint.
     const bool shareable = default_budget(request) && !request.want_stats &&
-                           request.checkpoint.empty();
+                           request.checkpoint.empty() &&
+                           request.spill_dir.empty();
     if (shareable) {
       const std::uint64_t key = job_cache_key(request, p);
       ResultCache::Lookup lookup = cache_.acquire(key);
@@ -388,6 +389,20 @@ void Server::run_admitted(const std::shared_ptr<ActiveJob>& job) {
     cached_.fetch_add(1, std::memory_order_relaxed);
   } else {
     completed_.fetch_add(1, std::memory_order_relaxed);
+    // Budget/spill pressure: cached verdicts never ran an engine, so only
+    // real runs feed these series.
+    const std::uint64_t bytes = job->budget.bytes_charged();
+    budget_bytes_charged_.fetch_add(bytes, std::memory_order_relaxed);
+    std::uint64_t peak = budget_peak_bytes_.load(std::memory_order_relaxed);
+    while (bytes > peak &&
+           !budget_peak_bytes_.compare_exchange_weak(
+               peak, bytes, std::memory_order_relaxed)) {
+    }
+    if (job->budget.latched() == StopReason::MemoryBudget) {
+      budget_stopped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    spilled_keys_.fetch_add(result.spilled_keys, std::memory_order_relaxed);
+    spill_runs_.fetch_add(result.spill_runs, std::memory_order_relaxed);
   }
   if (result.status == JobStatus::Partial) {
     partial_.fetch_add(1, std::memory_order_relaxed);
@@ -475,6 +490,17 @@ void Server::publish_counters(MetricsRegistry& registry) const {
                        spawn_failures_.load(std::memory_order_relaxed));
   registry.counter_add("serve.responses.dropped",
                        responses_dropped_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.budget.bytes_charged",
+                       budget_bytes_charged_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.jobs.budget_stopped",
+                       budget_stopped_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.spill.spilled_keys",
+                       spilled_keys_.load(std::memory_order_relaxed));
+  registry.counter_add("serve.spill.runs",
+                       spill_runs_.load(std::memory_order_relaxed));
+  registry.gauge_set("serve.budget.peak_bytes",
+                     static_cast<double>(
+                         budget_peak_bytes_.load(std::memory_order_relaxed)));
   registry.gauge_set("serve.queue.depth",
                      static_cast<double>(
                          jobs_inflight_.load(std::memory_order_relaxed)));

@@ -156,6 +156,15 @@ class Server {
   std::atomic<std::uint64_t> accept_errors_{0};
   std::atomic<std::uint64_t> spawn_failures_{0};
   std::atomic<std::uint64_t> responses_dropped_{0};
+  // Budget/spill pressure across all jobs run so far (cache hits excluded:
+  // they never touched an engine). Peak bytes is the high-water mark of
+  // any single job's byte charge -- the number to compare against the
+  // per-job ceiling when deciding whether jobs need a spill_dir.
+  std::atomic<std::uint64_t> budget_bytes_charged_{0};
+  std::atomic<std::uint64_t> budget_peak_bytes_{0};
+  std::atomic<std::uint64_t> budget_stopped_{0};
+  std::atomic<std::uint64_t> spilled_keys_{0};
+  std::atomic<std::uint64_t> spill_runs_{0};
 };
 
 }  // namespace ccver

@@ -54,6 +54,10 @@ void Budget::charge_bytes(std::uint64_t n) noexcept {
   }
 }
 
+void Budget::release_bytes(std::uint64_t n) noexcept {
+  bytes_.fetch_sub(n, std::memory_order_relaxed);
+}
+
 void Budget::cancel() noexcept { latch(StopReason::Cancelled); }
 
 StopReason Budget::poll() noexcept {

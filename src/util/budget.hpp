@@ -74,6 +74,12 @@ class Budget {
   /// the allowance is spent. Never throws.
   void charge_bytes(std::uint64_t n) noexcept;
 
+  /// Returns `n` previously charged bytes (spilled visited keys, consumed
+  /// frontier chunks, freed tables). Deliberately never un-latches a
+  /// crossed MemoryBudget: releasing only lowers the pressure reading for
+  /// watermark decisions made *before* the limit is hit.
+  void release_bytes(std::uint64_t n) noexcept;
+
   /// Requests cooperative cancellation (latches Cancelled).
   void cancel() noexcept;
 

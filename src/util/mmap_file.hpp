@@ -1,0 +1,95 @@
+#pragma once
+/// \file mmap_file.hpp
+/// Read-only memory-mapped file, RAII-owned.
+///
+/// The external-memory tiers (visited-set spill runs, frontier runs) probe
+/// and decode fixed-width records straight out of the page cache instead of
+/// copying whole run files into heap buffers: a spill partition may hold
+/// tens of millions of 32-byte records, and membership probes touch only a
+/// bloom filter plus O(log n) of them. POSIX-only by design -- the project
+/// targets Linux (see the CI matrix); the constructor throws IoError where
+/// a caller-facing diagnostic is wanted.
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace ccver {
+
+/// Maps an entire file read-only for its lifetime. Move-only.
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  /// Opens and maps `path`; throws IoError on any failure. An empty file
+  /// maps to a null base with size 0 (valid, nothing to read).
+  explicit MappedFile(const std::filesystem::path& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      throw IoError("cannot open '" + path.string() + "' for mapping");
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw IoError("cannot stat '" + path.string() + "'");
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ > 0) {
+      void* base = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (base == MAP_FAILED) {
+        ::close(fd);
+        size_ = 0;
+        throw IoError("cannot map '" + path.string() + "'");
+      }
+      base_ = base;
+    }
+    ::close(fd);  // the mapping keeps the pages; the descriptor is done
+  }
+
+  MappedFile(MappedFile&& other) noexcept
+      : base_(other.base_), size_(other.size_) {
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      base_ = other.base_;
+      size_ = other.size_;
+      other.base_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  ~MappedFile() { reset(); }
+
+  [[nodiscard]] const char* data() const noexcept {
+    return static_cast<const char*>(base_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool mapped() const noexcept { return base_ != nullptr; }
+
+ private:
+  void reset() noexcept {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = nullptr;
+    size_ = 0;
+  }
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ccver

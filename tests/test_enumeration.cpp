@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/verifier.hpp"
 #include "enumeration/coverage.hpp"
 #include "enumeration/enumerator.hpp"
@@ -152,6 +154,50 @@ TEST(Enumeration, ParallelResultsAreDeterministic) {
   for (std::size_t i = 1; i < first.reachable.size(); ++i) {
     EXPECT_TRUE(key_less(first.reachable[i - 1], first.reachable[i]));
   }
+}
+
+TEST(Enumeration, SpillTierMatchesAllInRam) {
+  // The tiered visited set is a pure capacity mechanism: with the spill
+  // watermark at 0 (flush the hot tier at every level barrier) the result
+  // -- counts, errors, reachable set -- must be identical to the all-in-RAM
+  // run at every thread count. Runs with errors exercise the error path
+  // through the chunked sweep too.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ccver_enum_spill_equiv";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  for (const Protocol& p : {protocols::moesi_split(),
+                            protocols::illinois_no_invalidate_on_write_hit()}) {
+    Enumerator::Options base;
+    base.n_caches = 5;
+    base.equivalence = Equivalence::Strict;
+    base.keep_states = true;
+    base.max_errors = 1'000'000;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      base.threads = threads;
+      const EnumerationResult ram = Enumerator(p, base).run();
+
+      Enumerator::Options spill = base;
+      spill.spill_dir = dir.string();
+      const EnumerationResult tiered = Enumerator(p, spill).run();
+
+      EXPECT_GT(tiered.spilled_keys, 0u);
+      EXPECT_GT(tiered.spill_runs, 0u);
+      EXPECT_EQ(ram.states, tiered.states);
+      EXPECT_EQ(ram.visits, tiered.visits);
+      EXPECT_EQ(ram.levels, tiered.levels);
+      EXPECT_EQ(ram.expansions, tiered.expansions);
+      EXPECT_EQ(ram.symmetry_skips, tiered.symmetry_skips);
+      ASSERT_EQ(ram.errors.size(), tiered.errors.size());
+      for (std::size_t i = 0; i < ram.errors.size(); ++i) {
+        EXPECT_TRUE(ram.errors[i].state == tiered.errors[i].state);
+        EXPECT_EQ(ram.errors[i].detail, tiered.errors[i].detail);
+      }
+      EXPECT_EQ(ram.reachable, tiered.reachable);
+    }
+  }
+  fs::remove_all(dir);
 }
 
 TEST(Enumeration, ErrorsTruncatedFlagReflectsMaxErrors) {

@@ -44,7 +44,8 @@ void expect_equal_results(const EnumerationResult& a,
 
 // -- the spec matrix: every .ccp x {25,50,75}% x {1,8} threads ----------
 
-using MatrixParam = std::tuple<std::string, int, int>;  // spec, pct, threads
+// spec, pct, threads, spill (interrupt + resume with a tiered spill dir)
+using MatrixParam = std::tuple<std::string, int, int, bool>;
 
 class KillAndResume : public ::testing::TestWithParam<MatrixParam> {
  protected:
@@ -65,7 +66,7 @@ class KillAndResume : public ::testing::TestWithParam<MatrixParam> {
 };
 
 TEST_P(KillAndResume, ResumedRunMatchesUninterrupted) {
-  const auto& [spec, pct, threads] = GetParam();
+  const auto& [spec, pct, threads, spill] = GetParam();
   const fs::path spec_path = fs::path(CCVER_SOURCE_DIR) / "specs" / spec;
   const Protocol p = load_protocol_file(spec_path.string());
 
@@ -78,14 +79,18 @@ TEST_P(KillAndResume, ResumedRunMatchesUninterrupted) {
   ASSERT_GT(full.states, 0u);
 
   // Interrupt at pct% of the reachable set. The budget latches strictly
-  // before the fixpoint, so the run is guaranteed Partial.
+  // before the fixpoint, so the run is guaranteed Partial. Spill cells
+  // run the interrupted leg with a watermark-0 spill directory, so the
+  // checkpoint carries live spill partitions into the resume.
   const std::uint64_t cut = std::max<std::uint64_t>(
       1, full.states * static_cast<std::uint64_t>(pct) / 100);
   const fs::path ckpt = dir_ / (spec + ".ckpt");
+  const fs::path spill_dir = dir_ / "spill";
   Budget budget{Budget::Limits{.max_states = cut}};
   Enumerator::Options interrupted = base;
   interrupted.budget = &budget;
   interrupted.checkpoint_path = ckpt.string();
+  if (spill) interrupted.spill_dir = spill_dir.string();
   const EnumerationResult partial = Enumerator(p, interrupted).run();
   ASSERT_EQ(partial.outcome, Outcome::Partial);
   ASSERT_EQ(partial.stop_reason, StopReason::StateBudget);
@@ -95,6 +100,14 @@ TEST_P(KillAndResume, ResumedRunMatchesUninterrupted) {
   const EnumCheckpoint cp = load_checkpoint(ckpt);
   Enumerator::Options resumed = base;
   resumed.resume = &cp;
+  if (spill) {
+    // A checkpoint with live spill partitions refuses to resume without
+    // the spill directory -- never a silently wrong answer.
+    if (!cp.spill_runs.empty()) {
+      EXPECT_THROW((void)Enumerator(p, resumed).run(), SpecError);
+    }
+    resumed.spill_dir = spill_dir.string();
+  }
   const EnumerationResult after = Enumerator(p, resumed).run();
   ASSERT_EQ(after.outcome, Outcome::Complete);
   expect_equal_results(full, after);
@@ -107,8 +120,15 @@ std::vector<MatrixParam> matrix() {
     if (entry.path().extension() != ".ccp") continue;
     for (const int pct : {25, 50, 75}) {
       for (const int threads : {1, 8}) {
-        params.emplace_back(entry.path().filename().string(), pct, threads);
+        params.emplace_back(entry.path().filename().string(), pct, threads,
+                            false);
       }
+    }
+    // Spill cells: the 50% cut at both thread widths, enough to exercise
+    // partition re-adoption everywhere without tripling the matrix.
+    for (const int threads : {1, 8}) {
+      params.emplace_back(entry.path().filename().string(), 50, threads,
+                          true);
     }
   }
   return params;
@@ -118,7 +138,8 @@ std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
   const std::string& spec = std::get<0>(info.param);
   return spec.substr(0, spec.find('.')) + "_" +
          std::to_string(std::get<1>(info.param)) + "pct_" +
-         std::to_string(std::get<2>(info.param)) + "t";
+         std::to_string(std::get<2>(info.param)) + "t" +
+         (std::get<3>(info.param) ? "_spill" : "");
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSpecs, KillAndResume,

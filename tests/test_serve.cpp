@@ -720,6 +720,56 @@ TEST(ServeServer, UnixSocketRoundTripAndShutdown) {
   EXPECT_EQ(stats.counters.at("serve.connections.accepted"), 1u);
 }
 
+TEST(ServeServer, SpillJobFeedsSpillAndBudgetStats) {
+  char dir_template[] = "/tmp/ccv_serve_spill_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string spill_dir = std::string(dir_template) + "/spill";
+
+  Server::Options options;
+  options.workers = 1;
+  int in_pipe[2];
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(in_pipe), 0);
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  Server server(options);
+  int rc = -1;
+  std::thread server_thread(
+      [&] { rc = server.run_stdio(in_pipe[0], out_pipe[1]); });
+  std::string output;
+  std::thread reader([&] {
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(out_pipe[0], chunk, sizeof chunk)) > 0) {
+      output.append(chunk, static_cast<std::size_t>(n));
+    }
+  });
+  // No mem_budget: the job-level default watermark is then 0, so the run
+  // spills at every level barrier -- deterministic spill traffic.
+  const std::string input =
+      "{\"op\":\"job\",\"verb\":\"enumerate\",\"protocol\":\"MOESISplit\","
+      "\"n\":4,\"equivalence\":\"strict\",\"spill_dir\":\"" +
+      spill_dir + "\",\"id\":\"sp\"}\n";
+  ASSERT_EQ(::write(in_pipe[1], input.data(), input.size()),
+            static_cast<ssize_t>(input.size()));
+  ::close(in_pipe[1]);
+  server_thread.join();
+  ::close(out_pipe[1]);
+  reader.join();
+  ::close(in_pipe[0]);
+  ::close(out_pipe[0]);
+  EXPECT_EQ(rc, 0);
+
+  const auto responses = by_id(output);
+  EXPECT_EQ(responses.at("sp").find("status")->string, "verified");
+  // The spilled run and its byte pressure show up in {"op":"stats"}.
+  const MetricsSnapshot stats = server.stats_snapshot();
+  EXPECT_GT(stats.counters.at("serve.spill.spilled_keys"), 0u);
+  EXPECT_GT(stats.counters.at("serve.spill.runs"), 0u);
+  EXPECT_GT(stats.counters.at("serve.budget.bytes_charged"), 0u);
+  EXPECT_GT(stats.gauges.at("serve.budget.peak_bytes"), 0.0);
+  EXPECT_EQ(stats.counters.at("serve.jobs.budget_stopped"), 0u);
+}
+
 TEST(ServeServer, SpawnFailpointDegradesToInternalError) {
   Server::Options options;
   options.workers = 1;

@@ -1,0 +1,313 @@
+/// \file test_spill_store.cpp
+/// Unit coverage for the cold tier of the tiered visited set: spill-run
+/// round-trips through `SpillStore` (partitioning, probing, adoption,
+/// validation and write-failure fallback) and the delta-encoded frontier
+/// runs plus their k-way merge in `run_merge`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "enumeration/enum_state.hpp"
+#include "enumeration/run_merge.hpp"
+#include "enumeration/spill_store.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace ccver {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kCaches = 8;
+constexpr std::uint64_t kFingerprint = 0x5eed5eed5eed5eedULL;
+
+/// Deterministic distinct keys: the base-8 digits of `i` spread across the
+/// cells, so every i < 8^kCaches yields a unique, valid (6-bit) cell
+/// vector. No sortedness is implied by i -- callers sort where needed.
+EnumKey make_key(std::uint64_t i) {
+  std::uint8_t cells[kCaches];
+  for (std::size_t j = 0; j < kCaches; ++j) {
+    cells[j] = static_cast<std::uint8_t>((i >> (3 * j)) & 7);
+  }
+  return EnumKey::pack(cells, kCaches, static_cast<std::uint8_t>(i & 3));
+}
+
+std::vector<EnumKey> make_keys(std::uint64_t count, std::uint64_t start = 0) {
+  std::vector<EnumKey> keys;
+  keys.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) keys.push_back(make_key(start + i));
+  return keys;
+}
+
+class SpillStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("ccver_spill_test_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] SpillStore::Options options() const {
+    SpillStore::Options opt;
+    opt.dir = dir_;
+    opt.fingerprint = kFingerprint;
+    opt.n_caches = kCaches;
+    opt.equivalence = Equivalence::Strict;
+    return opt;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SpillStoreTest, SpillThenProbe) {
+  SpillStore store(options());
+  const std::vector<EnumKey> keys = make_keys(5000);
+  ASSERT_TRUE(store.spill(keys));
+
+  EXPECT_EQ(store.spilled_keys(), keys.size());
+  EXPECT_TRUE(store.has_runs());
+  for (const EnumKey& k : keys) EXPECT_TRUE(store.contains(k));
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    EXPECT_FALSE(store.contains(make_key(100000 + i)));
+  }
+
+  // Every registered run holds keys of its own partition only, and the
+  // manifest accounts for every spilled key exactly once.
+  std::uint64_t manifest_keys = 0;
+  for (const SpillRunRef& run : store.manifest()) {
+    EXPECT_LT(run.partition, SpillStore::kPartitions);
+    EXPECT_NE(run.checksum, 0u);
+    manifest_keys += run.keys;
+  }
+  EXPECT_EQ(manifest_keys, keys.size());
+}
+
+TEST_F(SpillStoreTest, MultipleGenerationsStayProbeable) {
+  SpillStore store(options());
+  ASSERT_TRUE(store.spill(make_keys(1200, 0)));
+  const std::size_t runs_after_first = store.run_count();
+  ASSERT_TRUE(store.spill(make_keys(1200, 5000)));
+  EXPECT_GT(store.run_count(), runs_after_first);
+  EXPECT_EQ(store.spilled_keys(), 2400u);
+  for (std::uint64_t i = 0; i < 1200; ++i) {
+    EXPECT_TRUE(store.contains(make_key(i)));
+    EXPECT_TRUE(store.contains(make_key(5000 + i)));
+  }
+}
+
+TEST_F(SpillStoreTest, AppendKeysRecoversEverySpilledKey) {
+  SpillStore store(options());
+  std::vector<EnumKey> keys = make_keys(800);
+  ASSERT_TRUE(store.spill(keys));
+
+  std::vector<EnumKey> recovered;
+  store.append_keys(recovered);
+  ASSERT_EQ(recovered.size(), keys.size());
+  std::sort(keys.begin(), keys.end(), key_less);
+  std::sort(recovered.begin(), recovered.end(), key_less);
+  EXPECT_EQ(recovered, keys);
+}
+
+TEST_F(SpillStoreTest, AdoptRoundTrip) {
+  std::vector<SpillRunRef> manifest;
+  const std::vector<EnumKey> keys = make_keys(3000);
+  {
+    SpillStore writer(options());
+    ASSERT_TRUE(writer.spill(keys));
+    manifest = writer.manifest();
+  }
+
+  SpillStore reader(options());
+  reader.adopt(manifest);
+  EXPECT_EQ(reader.spilled_keys(), keys.size());
+  EXPECT_EQ(reader.run_count(), manifest.size());
+  for (const EnumKey& k : keys) EXPECT_TRUE(reader.contains(k));
+  EXPECT_FALSE(reader.contains(make_key(999999)));
+}
+
+TEST_F(SpillStoreTest, AdoptRejectsForeignFingerprint) {
+  std::vector<SpillRunRef> manifest;
+  {
+    SpillStore writer(options());
+    ASSERT_TRUE(writer.spill(make_keys(100)));
+    manifest = writer.manifest();
+  }
+
+  SpillStore::Options foreign = options();
+  foreign.fingerprint = kFingerprint ^ 1;
+  SpillStore reader(foreign);
+  try {
+    reader.adopt(manifest);
+    FAIL() << "foreign fingerprint accepted";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos);
+  }
+}
+
+TEST_F(SpillStoreTest, AdoptRejectsCorruptRun) {
+  std::vector<SpillRunRef> manifest;
+  {
+    SpillStore writer(options());
+    ASSERT_TRUE(writer.spill(make_keys(400)));
+    manifest = writer.manifest();
+  }
+  ASSERT_FALSE(manifest.empty());
+
+  // Flip one record byte in the first run: the checksum trailer no longer
+  // matches, so adoption must refuse the file.
+  const fs::path victim = dir_ / manifest.front().file;
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+
+  SpillStore reader(options());
+  EXPECT_THROW(reader.adopt(manifest), IoError);
+}
+
+TEST_F(SpillStoreTest, AdoptRejectsManifestKeyCountMismatch) {
+  std::vector<SpillRunRef> manifest;
+  {
+    SpillStore writer(options());
+    ASSERT_TRUE(writer.spill(make_keys(300)));
+    manifest = writer.manifest();
+  }
+  ASSERT_FALSE(manifest.empty());
+  manifest.front().keys += 1;  // checkpoint and file disagree
+
+  SpillStore reader(options());
+  EXPECT_THROW(reader.adopt(manifest), IoError);
+}
+
+TEST_F(SpillStoreTest, WriteFailureDisablesStoreWithoutPartialState) {
+  SpillStore store(options());
+  {
+    ScopedFailpoints fp("spill.write_fail=1");
+    EXPECT_FALSE(store.spill(make_keys(500)));
+  }
+  // All-or-nothing: the failed flush registered nothing, and the store
+  // stays disabled so the enumerator keeps every key in RAM from here on.
+  EXPECT_TRUE(store.write_disabled());
+  EXPECT_EQ(store.spilled_keys(), 0u);
+  EXPECT_FALSE(store.has_runs());
+  EXPECT_FALSE(store.contains(make_key(0)));
+  EXPECT_FALSE(store.spill(make_keys(10)));
+}
+
+// -- frontier runs (run_merge) ------------------------------------------
+
+TEST_F(SpillStoreTest, FrontierRunRoundTrip) {
+  std::vector<EnumKey> keys = make_keys(2000);
+  std::sort(keys.begin(), keys.end(), key_less);
+
+  const fs::path run = dir_ / "roundtrip.frun";
+  const std::uint64_t bytes = write_frontier_run(run, keys, kCaches);
+  EXPECT_GT(bytes, 0u);
+  // Delta encoding earns its keep: sorted neighbours share prefixes, so
+  // the payload undercuts the 32-byte fixed-width encoding.
+  EXPECT_LT(bytes, keys.size() * 32);
+
+  FrontierRunReader reader(run, kCaches);
+  EXPECT_EQ(reader.key_count(), keys.size());
+  std::vector<EnumKey> decoded;
+  EnumKey k;
+  while (reader.next(k)) decoded.push_back(k);
+  EXPECT_EQ(decoded, keys);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST_F(SpillStoreTest, FrontierReaderRejectsCorruption) {
+  std::vector<EnumKey> keys = make_keys(200);
+  std::sort(keys.begin(), keys.end(), key_less);
+  const fs::path run = dir_ / "corrupt.frun";
+  write_frontier_run(run, keys, kCaches);
+
+  {
+    std::fstream f(run, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x04);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(FrontierRunReader(run, kCaches), IoError);
+}
+
+TEST_F(SpillStoreTest, FrontierMergerRestoresGlobalOrder) {
+  // Three disjoint runs whose key ranges interleave; the merger must hand
+  // back one globally sorted stream regardless of chunk size.
+  std::vector<std::vector<EnumKey>> runs(3);
+  std::vector<EnumKey> all;
+  for (std::uint64_t i = 0; i < 900; ++i) {
+    const EnumKey k = make_key(i * 7 + 1);
+    runs[i % 3].push_back(k);
+    all.push_back(k);
+  }
+  FrontierRunMerger merger;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    std::sort(runs[r].begin(), runs[r].end(), key_less);
+    const fs::path path = dir_ / ("merge" + std::to_string(r) + ".frun");
+    write_frontier_run(path, runs[r], kCaches);
+    merger.add_run(FrontierRunReader(path, kCaches));
+  }
+  std::sort(all.begin(), all.end(), key_less);
+
+  EXPECT_EQ(merger.pending(), all.size());
+  std::vector<EnumKey> merged;
+  std::vector<EnumKey> chunk;
+  while (!merger.empty()) {
+    chunk.clear();
+    merger.next_chunk(chunk, 64);  // deliberately tiny: many refills
+    EXPECT_LE(chunk.size(), 64u);
+    merged.insert(merged.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(merged, all);
+  EXPECT_EQ(merger.pending(), 0u);
+}
+
+TEST_F(SpillStoreTest, FrontierMergerDrainEmptiesRemainder) {
+  std::vector<EnumKey> keys = make_keys(500);
+  std::sort(keys.begin(), keys.end(), key_less);
+  const fs::path path = dir_ / "drain.frun";
+  write_frontier_run(path, keys, kCaches);
+
+  FrontierRunMerger merger;
+  merger.add_run(FrontierRunReader(path, kCaches));
+  std::vector<EnumKey> head;
+  merger.next_chunk(head, 100);
+  ASSERT_EQ(head.size(), 100u);
+
+  std::vector<EnumKey> tail;
+  merger.drain(tail);
+  EXPECT_EQ(tail.size(), 400u);
+  EXPECT_TRUE(merger.empty());
+
+  head.insert(head.end(), tail.begin(), tail.end());
+  EXPECT_EQ(head, keys);
+}
+
+}  // namespace
+}  // namespace ccver

@@ -294,12 +294,26 @@ int cmd_enumerate(const Args& args) {
   opt.track_paths = args.has("--paths");
   if (args.has("--stats")) opt.metrics = &metrics;
 
-  Budget budget(budget_limits(args, /*states_from_flag=*/true));
+  const Budget::Limits limits = budget_limits(args, /*states_from_flag=*/true);
+  Budget budget(limits);
   const ScopedCancelTarget cancel_target(&budget);
   opt.budget = &budget;
   opt.checkpoint_path = args.get("--checkpoint", "");
   opt.checkpoint_interval_ms =
       args.get_number("--checkpoint-interval-ms", 500);
+  opt.spill_dir = args.get("--spill-dir", "");
+  if (args.has("--spill-watermark")) {
+    if (opt.spill_dir.empty()) {
+      throw SpecError("--spill-watermark requires --spill-dir");
+    }
+    opt.spill_watermark = parse_byte_size(args.get("--spill-watermark", ""));
+  } else if (!opt.spill_dir.empty()) {
+    // Default watermark: start spilling at half the byte budget, leaving
+    // headroom for the table to be rebuilt and the next level admitted.
+    // Without a --mem-budget there is no pressure signal, so spill at
+    // every level barrier (watermark 0).
+    opt.spill_watermark = limits.max_bytes / 2;
+  }
   if (opt.track_paths &&
       (!opt.checkpoint_path.empty() || args.has("--resume"))) {
     throw SpecError("--paths cannot be combined with --checkpoint/--resume");
@@ -315,6 +329,32 @@ int cmd_enumerate(const Args& args) {
   const int exit_code = !r.errors.empty()         ? kExitProtocolErrors
                         : r.outcome == Outcome::Partial ? kExitPartial
                                                         : kExitVerified;
+
+  // A resumed run that latched MemoryBudget without expanding a single
+  // state means the checkpoint's seeded search state alone exceeds the
+  // byte allowance: retrying with the same budget can never progress.
+  // Name both sizes so the fix (raise --mem-budget or add --spill-dir) is
+  // obvious, instead of an unexplained immediate Partial.
+  if (opt.resume != nullptr && r.outcome == Outcome::Partial &&
+      r.stop_reason == StopReason::MemoryBudget &&
+      r.expansions == resume_cp.expansions) {
+    std::uint64_t seeded_visited = resume_cp.visited.size();
+    for (const SpillRunRef& run : resume_cp.spill_runs) {
+      seeded_visited += run.keys;
+    }
+    const std::size_t seeded_frontier =
+        resume_cp.frontier.size() + resume_cp.next.size();
+    std::cerr << args.get("--resume", "")
+              << ": seeded checkpoint state (" << seeded_visited
+              << " visited states, " << seeded_frontier
+              << " frontier states) exceeds --mem-budget ("
+              << budget.bytes_charged() << " bytes charged, limit "
+              << limits.max_bytes << "); no state was expanded -- raise "
+              << (opt.spill_dir.empty() ? "--mem-budget or rerun with "
+                                          "--spill-dir"
+                                        : "--mem-budget")
+              << '\n';
+  }
 
   if (args.has("--json")) {
     // Field order and content are deterministic: errors and reachable
@@ -674,7 +714,7 @@ int usage() {
       "            [--max-states N] [--max-errors N] [--paths] [--json]\n"
       "            [--stats] [--deadline D] [--mem-budget B]\n"
       "            [--checkpoint F] [--checkpoint-interval-ms N]\n"
-      "            [--resume F]\n"
+      "            [--resume F] [--spill-dir DIR] [--spill-watermark B]\n"
       "  simulate <protocol> [--pattern P] [--events N] [--cpus N]\n"
       "           [--blocks N] [--capacity N] [--seed S] [--threads N]\n"
       "           [--save-trace F | --trace-file F] [--stats]\n"
@@ -701,7 +741,13 @@ int usage() {
       "--deadline takes ns/us/ms/s/m/h (bare number = seconds);\n"
       "--mem-budget takes K/M/G (bare number = bytes). A crossed budget\n"
       "ends the run gracefully: partial results, exit code 4, and -- for\n"
-      "enumerate with --checkpoint -- a resumable checkpoint. --failpoints\n"
+      "enumerate with --checkpoint -- a resumable checkpoint.\n"
+      "enumerate --spill-dir enables the tiered external-memory visited\n"
+      "set: past --spill-watermark bytes (default: half the --mem-budget;\n"
+      "0 = every level) visited states and oversized frontiers spill to\n"
+      "sorted runs on disk, so strict sweeps degrade to disk instead of\n"
+      "dying; results are identical (see docs/external-memory.md).\n"
+      "--failpoints\n"
       "(or CCVER_FAILPOINTS) arms fault-injection points: name[=N[+]],\n"
       "comma-separated; see docs/robustness.md.\n"
       "exit codes: 0 verified, 1 protocol errors, 2 usage,\n"
